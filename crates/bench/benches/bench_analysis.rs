@@ -1,0 +1,76 @@
+//! Criterion bench for E3/E4/E8 machinery: MCM analysis, self-timed
+//! simulation, buffer sizing and the Fig. 5 model construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streamgate_core::{fig5_csdf, Fig5Params};
+use streamgate_dataflow::buffer::{min_buffers_for_period, BufferProblem};
+use streamgate_dataflow::{mcm_period, simulate, CsdfGraph};
+use streamgate_ilp::rat;
+
+fn chain_graph(n: usize) -> CsdfGraph {
+    let mut g = CsdfGraph::new();
+    let actors: Vec<_> = (0..n)
+        .map(|i| g.add_sdf_actor(format!("a{i}"), 1 + (i as u64 % 7)))
+        .collect();
+    for i in 0..n - 1 {
+        g.add_sdf_edge(format!("e{i}"), actors[i], 1, actors[i + 1], 1, 0);
+    }
+    g.add_sdf_edge("bp", actors[n - 1], 1, actors[0], 1, 4);
+    g
+}
+
+fn bench_mcm(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("mcm");
+    for n in [4usize, 8, 16, 32] {
+        let g = chain_graph(n);
+        grp.bench_with_input(BenchmarkId::new("chain", n), &g, |b, g| {
+            b.iter(|| mcm_period(std::hint::black_box(g)).unwrap())
+        });
+    }
+    for eta in [4usize, 16, 64] {
+        let m = fig5_csdf(&Fig5Params::prototype(eta, 20, 1));
+        grp.bench_with_input(BenchmarkId::new("fig5-model", eta), &m.graph, |b, g| {
+            b.iter(|| mcm_period(std::hint::black_box(g)).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("self-timed-sim");
+    for eta in [8usize, 32] {
+        let m = fig5_csdf(&Fig5Params::prototype(eta, 20, 1));
+        grp.bench_with_input(BenchmarkId::new("fig5-blocks", eta), &m.graph, |b, g| {
+            b.iter(|| simulate(std::hint::black_box(g), 10).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+fn bench_buffer_sizing(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("buffer-sizing");
+    grp.sample_size(20);
+    for eta in [4u64, 8, 12] {
+        grp.bench_with_input(BenchmarkId::new("fig8-point", eta), &eta, |b, &eta| {
+            b.iter(|| {
+                let mut g = CsdfGraph::new();
+                let v_p = g.add_sdf_actor("vP", 8);
+                let v_s = g.add_sdf_actor("vS", 6 + 5 * (eta + 2));
+                let v_c = g.add_sdf_actor("vC", 1);
+                let e_in = g.add_sdf_edge("b", v_p, 1, v_s, eta, 0);
+                let e_out = g.add_sdf_edge("d", v_s, eta, v_c, 1, 0);
+                let p = BufferProblem {
+                    graph: g,
+                    channels: vec![e_in, e_out],
+                    reference: v_c,
+                    target_period: rat(8, 1),
+                };
+                min_buffers_for_period(std::hint::black_box(&p), 512).unwrap()
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_mcm, bench_simulation, bench_buffer_sizing);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion bench for the E6 kernels: CORDIC, polyphase decimator, FM
+//! demodulation and the full reference decode chain — the per-sample costs
+//! that justify the paper's ε/ρ_A/δ parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamgate_dsp::{
+    decode_stereo, Complex, Cordic, Decimator, FmDemodulator, Mixer, PalConfig, PalStereoSource,
+};
+
+fn bench_cordic(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("cordic");
+    let cordic = Cordic::default();
+    grp.throughput(Throughput::Elements(1));
+    grp.bench_function("rotate", |b| {
+        let mut phase = 0i64;
+        b.iter(|| {
+            phase = phase.wrapping_add(77_000_001) & ((1 << 30) - 1);
+            cordic.rotate_fixed(std::hint::black_box(1 << 20), 55, phase)
+        })
+    });
+    grp.bench_function("vector(atan2)", |b| {
+        let mut x = 1i32 << 20;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            cordic.vector_fixed(std::hint::black_box(x), 12345)
+        })
+    });
+    for iters in [8usize, 16, 24] {
+        let c2 = Cordic::new(iters);
+        grp.bench_with_input(BenchmarkId::new("rotate-iters", iters), &c2, |b, c2| {
+            b.iter(|| c2.rotate_fixed(std::hint::black_box(1 << 20), 7, 123_456_789))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_stream_kernels(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("kernels");
+    let block: Vec<Complex> = (0..4096)
+        .map(|k| Complex::from_angle(k as f64 * 0.01) * 0.4)
+        .collect();
+    grp.throughput(Throughput::Elements(block.len() as u64));
+    grp.bench_function("mixer-4096", |b| {
+        let mut m = Mixer::new(100_000.0, 2_822_400.0);
+        b.iter(|| m.process_block(std::hint::black_box(&block)))
+    });
+    grp.bench_function("decimator-33tap-8to1-4096", |b| {
+        let mut d = Decimator::design(33, 8, 2_822_400.0);
+        b.iter(|| d.process_block(std::hint::black_box(&block)))
+    });
+    grp.bench_function("fm-demod-4096", |b| {
+        let mut d = FmDemodulator::new(50_000.0, 352_800.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &block {
+                acc += d.process(std::hint::black_box(s));
+            }
+            acc
+        })
+    });
+    grp.finish();
+}
+
+fn bench_full_chain(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("pal-reference-chain");
+    grp.sample_size(10);
+    let cfg = PalConfig {
+        fs: 64.0 * 4000.0,
+        f_carrier1: 60_000.0,
+        f_carrier2: 90_000.0,
+        deviation: 4_000.0,
+        carrier_amplitude: 0.45,
+    };
+    let mut src = PalStereoSource::new(cfg);
+    let baseband = src.tone_block(32_768, 400.0, 700.0);
+    grp.throughput(Throughput::Elements(baseband.len() as u64));
+    grp.bench_function("decode-stereo-32768", |b| {
+        b.iter(|| decode_stereo(std::hint::black_box(&cfg), &baseband, 33))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_cordic, bench_stream_kernels, bench_full_chain);
+criterion_main!(benches);

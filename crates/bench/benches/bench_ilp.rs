@@ -1,0 +1,51 @@
+//! Criterion bench for E5: Algorithm 1 solver performance — the exact
+//! branch-and-bound ILP vs the least-fixpoint iteration, on the paper's
+//! PAL problem and on scaled stream counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use streamgate_core::params::PAL_CLOCK_HZ;
+use streamgate_core::{
+    solve_blocksizes_fixpoint, solve_blocksizes_ilp, GatewayParams, SharingProblem, StreamSpec,
+};
+use streamgate_ilp::rat;
+
+fn pal_problem() -> SharingProblem {
+    SharingProblem::pal_decoder(PAL_CLOCK_HZ)
+}
+
+fn synthetic(n: usize) -> SharingProblem {
+    SharingProblem {
+        params: GatewayParams { epsilon: 10, rho_a: 1, delta: 1 },
+        streams: (0..n)
+            .map(|i| StreamSpec {
+                name: format!("s{i}"),
+                mu: rat(1, (20 * n as i128) * (i as i128 + 1)),
+                reconfig: 500,
+            })
+            .collect(),
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1");
+    let pal = pal_problem();
+    g.bench_function("ilp/pal-4-streams", |b| {
+        b.iter(|| solve_blocksizes_ilp(std::hint::black_box(&pal)).unwrap())
+    });
+    g.bench_function("fixpoint/pal-4-streams", |b| {
+        b.iter(|| solve_blocksizes_fixpoint(std::hint::black_box(&pal)).unwrap())
+    });
+    for n in [2usize, 4, 8] {
+        let prob = synthetic(n);
+        g.bench_with_input(BenchmarkId::new("ilp/streams", n), &prob, |b, p| {
+            b.iter(|| solve_blocksizes_ilp(std::hint::black_box(p)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("fixpoint/streams", n), &prob, |b, p| {
+            b.iter(|| solve_blocksizes_fixpoint(std::hint::black_box(p)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench for E6/E1: cycle-level system simulation rate, gateway
+//! block throughput, ring step cost, and the hardware-savings computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamgate_core::{build_pal_system, PalSystemConfig};
+use streamgate_hwcost::{components::cordic_ref, components::fir_ref, sharing_report};
+use streamgate_platform::{
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+};
+use streamgate_ring::DualRing;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("ring");
+    for nodes in [4usize, 8, 16] {
+        grp.throughput(Throughput::Elements(1000));
+        grp.bench_with_input(BenchmarkId::new("steps-1k", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut ring: DualRing<(f64, f64)> = DualRing::new(n);
+                for k in 0..64u64 {
+                    ring.send_data((k % n as u64) as usize, ((k + 1) % n as u64) as usize, 0, (k as f64, 0.0));
+                }
+                for _ in 0..1000 {
+                    ring.step();
+                }
+                ring.stats[0].delivered
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn two_stream_system(eta: usize) -> System {
+    let mut sys = System::new(4);
+    let i0 = sys.add_fifo(CFifo::new("i0", 8192));
+    let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
+    let i1 = sys.add_fifo(CFifo::new("i1", 8192));
+    let o1 = sys.add_fifo(CFifo::new("o1", 1 << 20));
+    let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+    let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, 3, 1);
+    gw.add_stream(StreamConfig::new("s0", i0, o0, eta, eta, 100, vec![Box::new(PassthroughKernel)]));
+    gw.add_stream(StreamConfig::new("s1", i1, o1, eta, eta, 100, vec![Box::new(PassthroughKernel)]));
+    sys.add_gateway(gw);
+    for k in 0..8192 {
+        sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+        sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
+    }
+    sys
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("system");
+    grp.sample_size(20);
+    for eta in [16usize, 64] {
+        grp.throughput(Throughput::Elements(50_000));
+        grp.bench_with_input(BenchmarkId::new("gateway-50k-cycles", eta), &eta, |b, &eta| {
+            b.iter(|| {
+                let mut sys = two_stream_system(eta);
+                sys.run(50_000);
+                sys.gateways[0].blocks.len()
+            })
+        });
+    }
+    grp.bench_function("pal-system-100k-cycles", |b| {
+        b.iter(|| {
+            let cfg = PalSystemConfig::scaled_default();
+            let mut p = build_pal_system(&cfg);
+            p.system.run(100_000);
+            p.system.cycle()
+        })
+    });
+    grp.finish();
+}
+
+fn bench_hwcost(c: &mut Criterion) {
+    c.bench_function("hwcost/table1-savings", |b| {
+        b.iter(|| sharing_report(std::hint::black_box(4), &[fir_ref(), cordic_ref()]))
+    });
+}
+
+criterion_group!(benches, bench_ring, bench_system, bench_hwcost);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E8 — ablation: accuracy of the single-actor SDF abstraction (Fig. 7)
+//! versus the detailed CSDF model (Fig. 5) and the cycle-level platform.
+//!
+//! `cargo run -p streamgate-bench --bin abstraction_gap`
+
+use streamgate_bench::print_table;
+use streamgate_core::{verify_csdf_refines_sdf, GatewayParams, SharingProblem, StreamSpec};
+use streamgate_dataflow::RefinementOutcome;
+use streamgate_ilp::rat;
+
+fn main() {
+    let prob = SharingProblem {
+        params: GatewayParams { epsilon: 3, rho_a: 1, delta: 1 },
+        streams: vec![
+            StreamSpec { name: "a".into(), mu: rat(1, 40), reconfig: 20 },
+            StreamSpec { name: "b".into(), mu: rat(1, 80), reconfig: 20 },
+        ],
+    };
+    println!("two streams over one chain; sweep η of stream a, measure how much");
+    println!("earlier the CSDF model delivers tokens than the SDF abstraction\n(the abstraction's pessimism — Fig. 2's refinement gap).");
+
+    let mut rows = Vec::new();
+    for eta in [2u64, 4, 8, 16, 32] {
+        let etas = [eta, eta / 2];
+        let (outcome, csdf_t, sdf_t) = verify_csdf_refines_sdf(&prob, 0, &etas, 40, 1, 3);
+        let status = match &outcome {
+            RefinementOutcome::Refines => "refines",
+            _ => "VIOLATED",
+        };
+        // Mean earliness of CSDF vs SDF per token (the accuracy loss §V-C
+        // accepts to get a single-actor model).
+        let n = csdf_t.len().min(sdf_t.len());
+        let mean_gap: f64 = csdf_t.times[..n]
+            .iter()
+            .zip(&sdf_t.times[..n])
+            .map(|(c, s)| *s as f64 - *c as f64)
+            .sum::<f64>()
+            / n as f64;
+        let gamma = prob.gamma(&etas);
+        rows.push(vec![
+            eta.to_string(),
+            status.into(),
+            gamma.to_string(),
+            format!("{mean_gap:.1}"),
+            format!("{:.1}%", 100.0 * mean_gap / gamma as f64),
+        ]);
+        assert_eq!(outcome, RefinementOutcome::Refines, "refinement must hold");
+    }
+    print_table(
+        "CSDF ⊑ SDF: abstraction gap per η (stream a)",
+        &["η", "refinement", "γ̂ (cycles)", "mean earliness", "gap/γ̂"],
+        &rows,
+    );
+    println!(
+        "\nthe abstraction is conservative at every η (refinement always holds)\n\
+         and its pessimism is bounded: tokens arrive earlier in the CSDF model\n\
+         only because vG1 releases them δ apart instead of all at the firing\n\
+         end — \"hardly any loss in accuracy\" (§V-C), shrinking relative to γ̂\n\
+         as blocks grow."
+    );
+}

@@ -1,0 +1,40 @@
+//! E3 — Fig. 8: minimum buffer capacity is non-monotone in the block size.
+//!
+//! `cargo run -p streamgate-bench --bin fig8_buffer_nonmonotone`
+
+use streamgate_bench::print_table;
+use streamgate_core::fig8_example;
+
+fn main() {
+    let sweep = fig8_example(1..=14);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|(eta, a)| {
+            vec![
+                eta.to_string(),
+                a.map(|a| a.to_string()).unwrap_or_else(|| "infeasible".into()),
+            ]
+        })
+        .collect();
+    print_table("Fig. 8b: minimum α vs block size η", &["η", "min α"], &rows);
+
+    let feasible: Vec<(u64, u64)> = sweep.iter().filter_map(|(e, a)| a.map(|a| (*e, a))).collect();
+    let crossovers: Vec<String> = feasible
+        .windows(2)
+        .filter(|w| w[0].1 > w[1].1)
+        .map(|w| format!("α({}) = {} > α({}) = {}", w[0].0, w[0].1, w[1].0, w[1].1))
+        .collect();
+    println!("\nnon-monotone crossovers found: {}", crossovers.len());
+    for c in &crossovers {
+        println!("  {c}");
+    }
+    println!(
+        "\npaper Fig. 8b reports (η, α) = (1,5) (2,6) (3,7) (4,8) (5,5) with the\n\
+         same qualitative shape: capacity rises while the throughput constraint\n\
+         is tight, then DROPS once a larger block amortises the overhead —\n\
+         α(small η) > α(larger η). Exact values differ because the paper uses\n\
+         the model-checking semantics of Geilen et al. [20] whose token-\n\
+         claiming rules it does not restate (see EXPERIMENTS.md §E3)."
+    );
+    assert!(!crossovers.is_empty(), "non-monotonicity must be visible");
+}

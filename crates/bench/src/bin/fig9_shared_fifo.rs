@@ -1,0 +1,77 @@
+//! E7 — Fig. 9: head-of-line blocking on a naively shared FIFO breaks
+//! the-earlier-the-better refinement; gateway block-multiplexing restores it.
+//!
+//! `cargo run -p streamgate-bench --bin fig9_shared_fifo`
+//!
+//! This is the same experiment as `examples/shared_fifo_blocking.rs`, in
+//! sweep form: lateness vs the slow consumer's service time.
+
+use streamgate_bench::print_table;
+use streamgate_dataflow::{check_refinement, ArrivalTrace, RefinementOutcome};
+use std::collections::VecDeque;
+
+fn run_shared(slow_cost: u64, horizon: u64) -> ArrivalTrace {
+    let mut fifo: VecDeque<(usize, u64)> = VecDeque::new();
+    let mut arrivals = Vec::new();
+    let mut busy = [0u64; 2];
+    let cost = [1u64, slow_cost];
+    for now in 0..horizon {
+        if now % 4 == 0 {
+            fifo.push_back((0, now));
+            fifo.push_back((1, now));
+        }
+        if let Some(&(s, _)) = fifo.front() {
+            if now >= busy[s] {
+                fifo.pop_front();
+                if s == 0 {
+                    arrivals.push(now);
+                }
+                busy[s] = now + cost[s];
+            }
+        }
+    }
+    ArrivalTrace::new(arrivals)
+}
+
+fn dedicated(n: usize) -> ArrivalTrace {
+    ArrivalTrace::new((0..n as u64).map(|k| k * 4).collect())
+}
+
+fn main() {
+    println!("Fig. 9: two producer/consumer pairs over ONE FIFO; stream 1's");
+    println!("consumer is slow; stream 0's tokens queue behind its tokens.\n");
+    let mut rows = Vec::new();
+    for slow in [1u64, 3, 5, 7, 9, 12] {
+        let shared = run_shared(slow, 2000);
+        let model = dedicated(shared.len());
+        let outcome = check_refinement(&shared, &model);
+        let max_late = shared
+            .times
+            .iter()
+            .zip(&model.times)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            slow.to_string(),
+            match outcome {
+                RefinementOutcome::Refines => "refines".to_string(),
+                RefinementOutcome::LateToken { index, .. } => format!("VIOLATED @ token {index}"),
+                RefinementOutcome::MissingTokens { .. } => "missing tokens".to_string(),
+            },
+            max_late.to_string(),
+        ]);
+    }
+    print_table(
+        "refinement of stream 0 vs its dedicated-FIFO model",
+        &["slow-consumer cost", "outcome", "max lateness (cycles)"],
+        &rows,
+    );
+    println!(
+        "\nonce the slow consumer's service time exceeds the production period,\n\
+         head-of-line blocking accumulates without bound — \"tokens from\n\
+         another stream can influence when produced tokens arrive\" (§V-G).\n\
+         The gateways avoid this by draining the FIFO before every switch,\n\
+         giving each block an exclusive FIFO (mutual exclusivity)."
+    );
+}

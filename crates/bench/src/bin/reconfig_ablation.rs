@@ -1,0 +1,48 @@
+//! Ablation of the paper's future work (§VI-A): "we are working on
+//! techniques to improve the speed at which state can be saved and
+//! restored". How much do faster context switches shrink the minimum block
+//! sizes — and therefore the buffering and the latency?
+//!
+//! Sweep R_s from the prototype's software-driven 4100 cycles down to a
+//! hardware-assisted handful, at the PAL operating point.
+//!
+//! `cargo run -p streamgate-bench --bin reconfig_ablation`
+
+use streamgate_bench::print_table;
+use streamgate_core::params::PAL_CLOCK_HZ;
+use streamgate_core::{solve_blocksizes_checked, SharingProblem};
+
+fn main() {
+    println!("PAL operating point, R_s swept (paper prototype: 4100 cycles,");
+    println!("software save/restore; hardware assist would shrink it)\n");
+    let mut rows = Vec::new();
+    for r_s in [4100u64, 2048, 1024, 512, 128, 32, 0] {
+        let mut prob = SharingProblem::pal_decoder(PAL_CLOCK_HZ);
+        for s in &mut prob.streams {
+            s.reconfig = r_s;
+        }
+        match solve_blocksizes_checked(&prob) {
+            Ok(sol) => {
+                let latency_ms = sol.gamma as f64 / PAL_CLOCK_HZ as f64 * 1e3;
+                rows.push(vec![
+                    r_s.to_string(),
+                    format!("{:?}", sol.etas),
+                    sol.gamma.to_string(),
+                    format!("{latency_ms:.3}"),
+                ]);
+            }
+            Err(e) => rows.push(vec![r_s.to_string(), format!("{e}"), "-".into(), "-".into()]),
+        }
+    }
+    print_table(
+        "minimum block sizes vs reconfiguration cost",
+        &["R_s (cycles)", "η (4 streams)", "γ (cycles)", "round latency (ms)"],
+        &rows,
+    );
+    println!(
+        "\neven R_s = 0 leaves substantial blocks: at 95.4 % utilisation the\n\
+         (η+2)·c0 pipeline fill/flush term dominates, so faster save/restore\n\
+         helps latency roughly in proportion to c1/γ — the gateways' block\n\
+         sizes are fundamentally a utilisation phenomenon, not a reconfig one."
+    );
+}

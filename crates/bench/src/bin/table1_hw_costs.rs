@@ -1,0 +1,63 @@
+//! E1 — Table I: hardware costs and savings on a Virtex-6.
+//!
+//! `cargo run -p streamgate-bench --bin table1_hw_costs`
+
+use streamgate_bench::{delta_pct, print_table};
+use streamgate_hwcost::{
+    break_even_streams, components::cordic_ref, components::fir_ref, cost_of, sharing_report,
+    Component,
+};
+
+fn main() {
+    // Per-component costs (top half of Table I).
+    let rows = [("Entry- + Exit-gateway", cost_of(&Component::GatewayPair), (3788u64, 4445u64)),
+        ("LPF + down-sampler (F+D)", cost_of(&fir_ref()), (6512, 10837)),
+        ("CORDIC (C)", cost_of(&cordic_ref()), (1714, 1882))];
+    print_table(
+        "Table I (top): component costs",
+        &["component", "slices", "LUTs", "paper slices", "paper LUTs", "Δ"],
+        &rows
+            .iter()
+            .map(|(n, c, (ps, pl))| {
+                vec![
+                    n.to_string(),
+                    c.slices.to_string(),
+                    c.luts.to_string(),
+                    ps.to_string(),
+                    pl.to_string(),
+                    delta_pct(*ps as f64, c.slices as f64),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Sharing comparison (bottom half of Table I).
+    let r = sharing_report(4, &[fir_ref(), cordic_ref()]);
+    print_table(
+        "Table I (bottom): non-shared vs shared",
+        &["design", "slices", "LUTs"],
+        &[
+            vec!["4×(F+D) + 4×C".into(), r.non_shared.slices.to_string(), r.non_shared.luts.to_string()],
+            vec!["gateways + (F+D) + C".into(), r.shared.slices.to_string(), r.shared.luts.to_string()],
+            vec!["savings".into(), r.saved.slices.to_string(), r.saved.luts.to_string()],
+            vec![
+                "savings %".into(),
+                format!("{:.1}%", r.percent.0),
+                format!("{:.1}%", r.percent.1),
+            ],
+        ],
+    );
+    println!("\npaper: 20890 slices (63.5%), 33712 LUTs (66.3%) — exact match expected");
+
+    // Ablation: where does sharing start to pay off?
+    println!("\nbreak-even analysis (ablation):");
+    let be = break_even_streams(&[fir_ref(), cordic_ref()], 16).unwrap();
+    println!("  sharing beats duplication from {be} streams on (paper uses 4)");
+    for n in 1..=8u64 {
+        let r = sharing_report(n, &[fir_ref(), cordic_ref()]);
+        println!(
+            "  {n} streams: non-shared {:>6} slices, shared {:>6}, saving {:>5.1}%",
+            r.non_shared.slices, r.shared.slices, r.percent.0
+        );
+    }
+}

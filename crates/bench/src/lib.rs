@@ -1,0 +1,80 @@
+//! # streamgate-bench
+//!
+//! Experiment harnesses and Criterion benches that regenerate every table
+//! and figure of the paper's evaluation (see DESIGN.md §4 for the index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results).
+//!
+//! Binaries (run with `cargo run -p streamgate-bench --bin <name>`):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table1_hw_costs` | Table I — hardware costs & savings |
+//! | `fig11_component_costs` | Fig. 11 — per-component cost bars |
+//! | `fig8_buffer_nonmonotone` | Fig. 8 — buffer capacity vs block size |
+//! | `fig6_schedule` | Fig. 6 — execution schedule of one block |
+//! | `blocksize_ilp` | §VI-A — η = 10136 / 1267 via Algorithm 1 |
+//! | `pal_system_sim` | §VI-A — real-time PAL decode on the platform |
+//! | `fig9_shared_fifo` | Fig. 9 — head-of-line blocking counter-example |
+//! | `abstraction_gap` | Fig. 2 / §V-C — SDF vs CSDF vs platform (ablation) |
+//! | `tau_bound_sweep` | Eq. 2 — τ̂ validity over randomised parameters |
+
+#![warn(missing_docs)]
+
+/// Print a two-column table with a title.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map(|c| c.len()).unwrap_or(0))
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    let line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("{}", line.join("  "));
+    for r in rows {
+        let line: Vec<String> = r
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format a percentage delta between paper and measured values.
+pub fn delta_pct(paper: f64, measured: f64) -> String {
+    if paper == 0.0 {
+        return "-".into();
+    }
+    format!("{:+.1}%", 100.0 * (measured - paper) / paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(delta_pct(100.0, 100.0), "+0.0%");
+        assert_eq!(delta_pct(100.0, 90.0), "-10.0%");
+        assert_eq!(delta_pct(0.0, 5.0), "-");
+    }
+
+    #[test]
+    fn table_prints() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The single-actor SDF abstraction (paper Fig. 7, §V-C).
+//!
+//! The detailed CSDF model inside the dashed box of Fig. 5 — entry gateway,
+//! accelerator chain, exit gateway — is collapsed into **one SDF actor**
+//! `v_S` with firing duration `γ̂_s` (Eq. 4) that atomically consumes and
+//! produces `η_s` tokens. The only loss of accuracy is that the abstraction
+//! delivers all η tokens at the end of the firing while the CSDF model
+//! delivers them one δ apart during `v_G1`'s phases — i.e. the abstraction
+//! is *more pessimistic*, so by the-earlier-the-better refinement every
+//! guarantee derived from it holds for the CSDF model and for the hardware.
+//!
+//! [`verify_csdf_refines_sdf`] checks that relation constructively on
+//! simulated traces (experiment E8).
+
+use crate::model::{fig5_csdf, Fig5Params};
+use crate::params::SharingProblem;
+use streamgate_dataflow::{
+    check_refinement, ArrivalTrace, CsdfGraph, RefinementOutcome, SimOptions,
+};
+
+/// The Fig. 7 graph with actor handles.
+pub struct SdfAbstraction {
+    /// The three-actor SDF graph `v_P → v_S → v_C` with bounded buffers.
+    pub graph: CsdfGraph,
+    /// Producer.
+    pub v_p: streamgate_dataflow::ActorId,
+    /// The single gateway+chain actor.
+    pub v_s: streamgate_dataflow::ActorId,
+    /// Consumer.
+    pub v_c: streamgate_dataflow::ActorId,
+    /// Data edge into v_C (observation point).
+    pub edge_to_c: streamgate_dataflow::EdgeId,
+    /// The abstraction's firing duration γ̂.
+    pub gamma_hat: u64,
+}
+
+/// Build the single-actor SDF abstraction for stream `stream` of `prob`,
+/// with all block sizes `etas` fixed (they determine γ̂ via Eq. 4).
+///
+/// `rho_p`/`rho_c` are the producer/consumer firing durations and
+/// `alpha0`/`alpha3` the buffer capacities, as in [`Fig5Params`].
+pub fn sdf_abstraction(
+    prob: &SharingProblem,
+    stream: usize,
+    etas: &[u64],
+    rho_p: u64,
+    rho_c: u64,
+    alpha0: u64,
+    alpha3: u64,
+) -> SdfAbstraction {
+    let eta = etas[stream];
+    assert!(alpha0 >= eta && alpha3 >= eta, "buffers must hold a block");
+    let gamma_hat = prob.gamma(etas);
+    let mut g = CsdfGraph::new();
+    let v_p = g.add_sdf_actor("vP", rho_p);
+    let v_s = g.add_sdf_actor("vS", gamma_hat);
+    let v_c = g.add_sdf_actor("vC", rho_c);
+    g.add_sdf_edge("b", v_p, 1, v_s, eta, 0);
+    g.add_sdf_edge("b_space", v_s, eta, v_p, 1, alpha0);
+    let edge_to_c = g.add_sdf_edge("d", v_s, eta, v_c, 1, 0);
+    g.add_sdf_edge("d_space", v_c, 1, v_s, eta, alpha3);
+    g.validate().expect("Fig. 7 abstraction is valid");
+    SdfAbstraction {
+        graph: g,
+        v_p,
+        v_s,
+        v_c,
+        edge_to_c,
+        gamma_hat,
+    }
+}
+
+/// Simulate both models for `blocks` blocks and check that the CSDF model
+/// (with the waiting time Ω̂ folded into its first phase) refines the SDF
+/// abstraction at the consumer's input: every token arrives no later in the
+/// CSDF trace. Returns the two traces for reporting.
+pub fn verify_csdf_refines_sdf(
+    prob: &SharingProblem,
+    stream: usize,
+    etas: &[u64],
+    rho_p: u64,
+    rho_c: u64,
+    blocks: u64,
+) -> (RefinementOutcome, ArrivalTrace, ArrivalTrace) {
+    let eta = etas[stream];
+    let alpha = 2 * eta;
+    // CSDF model with worst-case waiting Ω̂_s (Eq. 3) in the first phase.
+    let omega: u64 = (0..etas.len())
+        .filter(|&i| i != stream)
+        .map(|i| prob.tau_hat(i, etas[i]))
+        .sum();
+    let p5 = Fig5Params {
+        eta: eta as usize,
+        epsilon: prob.params.epsilon,
+        rho_a: prob.params.rho_a,
+        delta: prob.params.delta,
+        reconfig: prob.streams[stream].reconfig,
+        omega,
+        rho_p,
+        rho_c,
+        alpha0: alpha,
+        alpha3: alpha,
+        ni_depth: 2,
+    };
+    let csdf = fig5_csdf(&p5);
+    let sdf = sdf_abstraction(prob, stream, etas, rho_p, rho_c, alpha, alpha);
+
+    let trace_of = |g: &CsdfGraph,
+                    edge: streamgate_dataflow::EdgeId,
+                    per_block_firings: &[(streamgate_dataflow::ActorId, u64)]|
+     -> ArrivalTrace {
+        let mut targets = vec![0u64; g.num_actors()];
+        for &(a, per_block) in per_block_firings {
+            targets[a.index()] = per_block * blocks;
+        }
+        let t = streamgate_dataflow::simulate_with(
+            g,
+            &SimOptions {
+                targets,
+                max_total_firings: 10_000_000,
+                record_tokens: true,
+            },
+        );
+        ArrivalTrace::new(t.token_times[edge.index()].clone())
+    };
+
+    let csdf_trace = trace_of(
+        &csdf.graph,
+        csdf.edge_to_c,
+        &[
+            (csdf.v_p, eta),
+            (csdf.v_g0, eta),
+            (csdf.v_a, eta),
+            (csdf.v_g1, eta),
+            (csdf.v_c, eta),
+        ],
+    );
+    let sdf_trace = trace_of(
+        &sdf.graph,
+        sdf.edge_to_c,
+        &[(sdf.v_p, eta), (sdf.v_s, 1), (sdf.v_c, eta)],
+    );
+    let n = (blocks * eta) as usize;
+    let csdf_cut = ArrivalTrace::new(csdf_trace.times[..n.min(csdf_trace.len())].to_vec());
+    let sdf_cut = ArrivalTrace::new(sdf_trace.times[..n.min(sdf_trace.len())].to_vec());
+    (check_refinement(&csdf_cut, &sdf_cut), csdf_cut, sdf_cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GatewayParams, StreamSpec};
+    use streamgate_dataflow::{simulate, RefinementOutcome};
+    use streamgate_ilp::rat;
+
+    fn two_stream_prob() -> SharingProblem {
+        SharingProblem {
+            params: GatewayParams {
+                epsilon: 3,
+                rho_a: 1,
+                delta: 1,
+            },
+            streams: vec![
+                StreamSpec {
+                    name: "a".into(),
+                    mu: rat(1, 100),
+                    reconfig: 10,
+                },
+                StreamSpec {
+                    name: "b".into(),
+                    mu: rat(1, 200),
+                    reconfig: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn abstraction_structure() {
+        let prob = two_stream_prob();
+        let etas = [4, 2];
+        let a = sdf_abstraction(&prob, 0, &etas, 5, 1, 8, 8);
+        assert_eq!(a.gamma_hat, prob.gamma(&etas));
+        assert_eq!(a.graph.num_actors(), 3);
+        assert_eq!(a.graph.num_edges(), 4);
+    }
+
+    #[test]
+    fn abstraction_deadlock_free_and_periodic() {
+        let prob = two_stream_prob();
+        let etas = [4, 2];
+        let a = sdf_abstraction(&prob, 0, &etas, 5, 1, 8, 8);
+        let t = simulate(&a.graph, 8).unwrap();
+        assert!(!t.deadlocked);
+        // vS period is bounded below by γ̂ (self-edge).
+        let per = t.period_estimate(a.v_s).unwrap();
+        assert!(per >= rat(a.gamma_hat as i128, 1));
+    }
+
+    #[test]
+    fn csdf_refines_sdf_abstraction() {
+        let prob = two_stream_prob();
+        let etas = [4, 2];
+        let (outcome, csdf_t, sdf_t) =
+            verify_csdf_refines_sdf(&prob, 0, &etas, 5, 1, 4);
+        assert_eq!(outcome, RefinementOutcome::Refines, "Fig. 2 chain broken");
+        assert_eq!(csdf_t.len(), 16);
+        // And the gap is real: some token arrives strictly earlier in CSDF.
+        assert!(
+            csdf_t
+                .times
+                .iter()
+                .zip(&sdf_t.times)
+                .any(|(c, s)| c < s),
+            "abstraction should be strictly pessimistic somewhere"
+        );
+    }
+
+    #[test]
+    fn refinement_holds_for_both_streams() {
+        let prob = two_stream_prob();
+        let etas = [4, 2];
+        for s in 0..2 {
+            let (outcome, ..) = verify_csdf_refines_sdf(&prob, s, &etas, 7, 2, 3);
+            assert_eq!(outcome, RefinementOutcome::Refines, "stream {s}");
+        }
+    }
+
+    #[test]
+    fn throughput_of_abstraction_meets_mu() {
+        // With η from the solver, the abstraction's steady-state consumer
+        // rate must meet μ_s (Eq. 5 constructively).
+        let prob = two_stream_prob();
+        let r = crate::blocksize::solve_blocksizes_checked(&prob).unwrap();
+        for s in 0..prob.streams.len() {
+            let eta = r.etas[s];
+            let rho_p = (prob.streams[s].mu.recip().to_f64().floor()) as u64;
+            let a = sdf_abstraction(&prob, s, &r.etas, rho_p, 1, 2 * eta, 2 * eta);
+            let t = simulate(&a.graph, 12).unwrap();
+            assert!(!t.deadlocked);
+            let per_block = t.period_estimate(a.v_s).unwrap();
+            // Tokens per cycle delivered to the consumer:
+            let rate = rat(eta as i128, 1) / per_block;
+            assert!(
+                rate >= prob.streams[s].mu,
+                "stream {s}: rate {rate} below μ {}",
+                prob.streams[s].mu
+            );
+        }
+    }
+}

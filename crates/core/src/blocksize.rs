@@ -1,0 +1,285 @@
+//! Minimum block-size computation — the paper's Algorithm 1.
+//!
+//! Substituting `γ_s` (Eq. 4) into the throughput requirement (Eq. 5) gives,
+//! for every stream `s ∈ S`,
+//!
+//! ```text
+//!   η_s − c0 · μ_s · Σ_{i∈S} (η_i + 2)  ≥  μ_s · c1        (Eq. 6)
+//!   η_s ≥ 1, integral                                     (Eq. 7)
+//! ```
+//!
+//! minimising `Σ η_s`. Two independent solvers are provided:
+//!
+//! * [`solve_blocksizes_ilp`] — the literal ILP, handed to the exact
+//!   branch-and-bound solver of `streamgate-ilp`;
+//! * [`solve_blocksizes_fixpoint`] — a Kleene iteration on the monotone
+//!   operator `F(η)_s = ⌈μ_s (c0 Σ(η_i + 2) + c1)⌉`: starting from all-ones
+//!   it converges to the least fixpoint, which is the componentwise-minimal
+//!   feasible vector and therefore also the Σ-minimal one.
+//!
+//! Agreement of the two is asserted in tests and in experiment E5.
+
+use crate::params::SharingProblem;
+use streamgate_ilp::{
+    solve_ilp, IlpOptions, IlpStatus, LinExpr, Problem, Rational, Sense,
+};
+
+/// Result of a block-size computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Minimum block size per stream (aligned with the problem's streams).
+    pub etas: Vec<u64>,
+    /// The resulting round time γ (same for every stream), cycles.
+    pub gamma: u64,
+}
+
+/// Errors from block-size computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockSizeError {
+    /// No block sizes can satisfy the throughput constraints
+    /// (`c0 · Σ μ_s ≥ 1`).
+    Infeasible,
+    /// The ILP solver gave up (node limit) — never observed for sane inputs.
+    SolverLimit,
+}
+
+impl std::fmt::Display for BlockSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockSizeError::Infeasible => {
+                write!(f, "throughput constraints infeasible: c0 · Σ μ_s ≥ 1")
+            }
+            BlockSizeError::SolverLimit => write!(f, "ILP node limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BlockSizeError {}
+
+/// Solve Algorithm 1 with the exact ILP solver.
+pub fn solve_blocksizes_ilp(prob: &SharingProblem) -> Result<BlockSizes, BlockSizeError> {
+    if !prob.is_feasible() {
+        return Err(BlockSizeError::Infeasible);
+    }
+    let n = prob.streams.len();
+    let c0 = Rational::from_int(prob.params.c0() as i128);
+    let c1 = Rational::from_int(prob.c1() as i128);
+
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| p.add_int_var(prob.streams[i].name.clone()))
+        .collect();
+
+    for (s, var) in vars.iter().enumerate() {
+        let mu = prob.streams[s].mu;
+        // η_s − c0·μ_s·Σ_i (η_i + 2) ≥ μ_s·c1
+        let mut e = LinExpr::var(*var);
+        let coef = c0 * mu;
+        for v in &vars {
+            e.add_term(*v, -coef);
+        }
+        // Σ(η_i + 2) contributes the constant −c0·μ·2n on the left.
+        let two_n = Rational::from_int(2 * n as i128);
+        e = e + LinExpr::constant(-(coef * two_n));
+        p.add_constraint(
+            streamgate_ilp::Constraint::new(e, streamgate_ilp::Cmp::Ge, mu * c1)
+                .named(format!("throughput[{}]", prob.streams[s].name)),
+        );
+        // η_s ≥ 1 (Eq. 7).
+        p.ge(LinExpr::var(*var), Rational::ONE);
+    }
+    let mut obj = LinExpr::zero();
+    for v in &vars {
+        obj.add_term(*v, Rational::ONE);
+    }
+    p.set_objective(Sense::Minimize, obj);
+
+    let sol = solve_ilp(&p, IlpOptions::default());
+    match sol.status {
+        IlpStatus::Optimal => {
+            let etas: Vec<u64> = sol
+                .values
+                .iter()
+                .map(|v| v.as_integer().expect("integral solution") as u64)
+                .collect();
+            let gamma = prob.gamma(&etas);
+            Ok(BlockSizes { etas, gamma })
+        }
+        IlpStatus::Infeasible => Err(BlockSizeError::Infeasible),
+        IlpStatus::NodeLimit => Err(BlockSizeError::SolverLimit),
+        IlpStatus::Unbounded => unreachable!("minimisation with lower bounds"),
+    }
+}
+
+/// Solve Algorithm 1 by least-fixpoint iteration (independent cross-check).
+pub fn solve_blocksizes_fixpoint(prob: &SharingProblem) -> Result<BlockSizes, BlockSizeError> {
+    if !prob.is_feasible() {
+        return Err(BlockSizeError::Infeasible);
+    }
+    let n = prob.streams.len();
+    let c0 = Rational::from_int(prob.params.c0() as i128);
+    let c1 = Rational::from_int(prob.c1() as i128);
+    let mut eta: Vec<u64> = vec![1; n];
+    // The least fixpoint exists (feasibility checked); iterate to it.
+    // Each round only increases η, and η is bounded by the feasible point,
+    // so termination is guaranteed; the cap is a belt-and-braces guard.
+    for _round in 0..10_000_000 {
+        let sum: u64 = eta.iter().map(|e| e + 2).sum();
+        let base = c0 * Rational::from_int(sum as i128) + c1;
+        let mut changed = false;
+        for (e, stream) in eta.iter_mut().zip(&prob.streams) {
+            let need = stream.mu * base;
+            let want = need.ceil().max(1) as u64;
+            if want > *e {
+                *e = want;
+                changed = true;
+            }
+        }
+        if !changed {
+            let gamma = prob.gamma(&eta);
+            return Ok(BlockSizes { etas: eta, gamma });
+        }
+    }
+    unreachable!("fixpoint iteration diverged on a feasible problem")
+}
+
+/// Solve with both methods and assert they agree (used by E5 and tests).
+pub fn solve_blocksizes_checked(prob: &SharingProblem) -> Result<BlockSizes, BlockSizeError> {
+    let a = solve_blocksizes_ilp(prob)?;
+    let b = solve_blocksizes_fixpoint(prob)?;
+    assert_eq!(
+        a.etas, b.etas,
+        "ILP and fixpoint solvers disagree — solver bug"
+    );
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GatewayParams, SharingProblem, StreamSpec};
+    use streamgate_ilp::rat;
+
+    fn small_problem(mus: &[(i128, i128)], reconfig: u64, c0_eps: u64) -> SharingProblem {
+        SharingProblem {
+            params: GatewayParams {
+                epsilon: c0_eps,
+                rho_a: 1,
+                delta: 1,
+            },
+            streams: mus
+                .iter()
+                .enumerate()
+                .map(|(i, &(n, d))| StreamSpec {
+                    name: format!("s{i}"),
+                    mu: rat(n, d),
+                    reconfig,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_stream_minimal() {
+        // μ = 1/100 samples/cycle, c0 = 10, R = 100:
+        // η ≥ (10(η+2) + 100)/100 → 100η ≥ 10η + 120 → η ≥ 120/90 → η = 2.
+        let prob = small_problem(&[(1, 100)], 100, 10);
+        let r = solve_blocksizes_checked(&prob).unwrap();
+        assert_eq!(r.etas, vec![2]);
+        assert!(prob.satisfies_throughput(&r.etas));
+        assert!(!prob.satisfies_throughput(&[1]), "η−1 must violate");
+    }
+
+    #[test]
+    fn solvers_agree_on_random_problems() {
+        for seed in 0..30u64 {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let n = 1 + (rng() % 4) as usize;
+            let c0 = 1 + (rng() % 20);
+            let reconfig = rng() % 5000;
+            // Keep total utilisation below 1.
+            let mus: Vec<(i128, i128)> = (0..n)
+                .map(|_| {
+                    let d = 100 + (rng() % 900) as i128;
+                    (1, d * c0 as i128 * n as i128)
+                })
+                .collect();
+            let prob = small_problem(&mus, reconfig, c0);
+            assert!(prob.is_feasible(), "seed {seed}");
+            let r = solve_blocksizes_checked(&prob).unwrap();
+            // Minimality: every component is tight (reducing any η by 1
+            // violates some constraint).
+            assert!(prob.satisfies_throughput(&r.etas), "seed {seed}");
+            for s in 0..n {
+                if r.etas[s] > 1 {
+                    let mut smaller = r.etas.clone();
+                    smaller[s] -= 1;
+                    assert!(
+                        !prob.satisfies_throughput(&smaller),
+                        "seed {seed}: η[{s}] not minimal: {:?}",
+                        r.etas
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // μ = 1/5 with c0 = 10 → utilisation 2 ≥ 1.
+        let prob = small_problem(&[(1, 5)], 0, 10);
+        assert_eq!(solve_blocksizes_ilp(&prob), Err(BlockSizeError::Infeasible));
+        assert_eq!(
+            solve_blocksizes_fixpoint(&prob),
+            Err(BlockSizeError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn paper_pal_block_sizes_reproduced() {
+        // The headline numbers of §VI-A: η = 10136 for the front-half
+        // streams and 1267 for the back-half streams (ratio exactly 8:1),
+        // at the calibrated 12.483 MHz clock.
+        let prob = SharingProblem::pal_decoder(crate::params::PAL_CLOCK_HZ);
+        let r = solve_blocksizes_checked(&prob).unwrap();
+        assert_eq!(r.etas, vec![10136, 10136, 1267, 1267]);
+        assert_eq!(r.etas[0], 8 * r.etas[2], "8:1 ratio from the down-sampling");
+    }
+
+    #[test]
+    fn faster_clock_shrinks_blocks() {
+        let slow = solve_blocksizes_checked(&SharingProblem::pal_decoder(crate::params::PAL_CLOCK_HZ)).unwrap();
+        let fast = solve_blocksizes_checked(&SharingProblem::pal_decoder(400_000_000)).unwrap();
+        assert!(fast.etas.iter().sum::<u64>() < slow.etas.iter().sum::<u64>());
+        // At 50 MHz the blocks are dramatically smaller.
+        assert!(fast.etas[0] < 2000, "{:?}", fast.etas);
+    }
+
+    #[test]
+    fn near_saturation_blows_up_blocks() {
+        // Utilisation 0.99: blocks become enormous but finite.
+        let prob = small_problem(&[(99, 1000)], 1000, 10);
+        assert!(prob.is_feasible());
+        let r = solve_blocksizes_fixpoint(&prob).unwrap();
+        assert!(r.etas[0] > 1000, "η {:?}", r.etas);
+        assert!(prob.satisfies_throughput(&r.etas));
+    }
+
+    #[test]
+    fn gamma_consistent_with_etas() {
+        let prob = SharingProblem::pal_decoder(crate::params::PAL_CLOCK_HZ);
+        let r = solve_blocksizes_checked(&prob).unwrap();
+        assert_eq!(r.gamma, prob.gamma(&r.etas));
+        // γ must fit within the tightest stream's deadline: η/μ ≥ γ.
+        for (s, &eta) in r.etas.iter().enumerate() {
+            let deadline = rat(eta as i128, 1) / prob.streams[s].mu;
+            assert!(rat(r.gamma as i128, 1) <= deadline);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Run-time chain description — the paper's §IV-B "support library".
+//!
+//! > "Accelerators are chained together at run-time by a description
+//! > written by a programmer which describes the flow of data between
+//! > tiles. A support library abstracts the implementation details and
+//! > allows a programmer to simply connect blocks of functionality."
+//!
+//! [`SystemSpec`] is that description: name the shared accelerators, give
+//! each stream its block size and per-accelerator kernel contexts, and
+//! [`build_shared_system`] wires the complete platform — ring stations,
+//! NI links, gateway pair, FIFOs — with the admission checks and block
+//! sizes in place. The Fig. 10 PAL deployment of [`crate::deploy`] is one
+//! instance of this pattern; `SystemSpec` generalises it to arbitrary
+//! applications (e.g. several independent radios sharing one chain, the
+//! motivation of §I).
+
+use streamgate_platform::{
+    AcceleratorTile, CFifo, FifoId, GatewayPair, StreamConfig, StreamKernel, System,
+};
+
+/// One shared accelerator in the chain.
+pub struct AccelDef {
+    /// Diagnostic name.
+    pub name: String,
+    /// Worst-case processing time per sample (ρ of this stage).
+    pub cycles_per_sample: u64,
+}
+
+impl AccelDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cycles_per_sample: u64) -> Self {
+        AccelDef {
+            name: name.into(),
+            cycles_per_sample,
+        }
+    }
+}
+
+/// One multiplexed stream.
+pub struct StreamDef {
+    /// Diagnostic name.
+    pub name: String,
+    /// Block size in input samples (η_s).
+    pub eta_in: usize,
+    /// Block size in output samples (η_in divided by the chain's total
+    /// decimation).
+    pub eta_out: usize,
+    /// Reconfiguration cost R_s in cycles.
+    pub reconfig: u64,
+    /// Kernel context per chain accelerator, in chain order.
+    pub kernels: Vec<Box<dyn StreamKernel>>,
+    /// Input FIFO capacity (≥ 2·η_in recommended; see `core::buffers`).
+    pub input_capacity: usize,
+    /// Output FIFO capacity (≥ 2·η_out recommended).
+    pub output_capacity: usize,
+}
+
+/// A complete shared-chain system description.
+pub struct SystemSpec {
+    /// The shared accelerator chain.
+    pub chain: Vec<AccelDef>,
+    /// Entry-gateway DMA cost per sample (ε).
+    pub epsilon: u64,
+    /// Exit-gateway cost per sample (δ).
+    pub delta: u64,
+    /// NI buffer depth (2 in the paper).
+    pub ni_depth: u32,
+    /// The streams to multiplex.
+    pub streams: Vec<StreamDef>,
+}
+
+/// The wired platform with handles.
+pub struct BuiltSystem {
+    /// The simulated MPSoC.
+    pub system: System,
+    /// Gateway index.
+    pub gateway: usize,
+    /// Input FIFO per stream, in stream order.
+    pub inputs: Vec<FifoId>,
+    /// Output FIFO per stream, in stream order.
+    pub outputs: Vec<FifoId>,
+}
+
+impl BuiltSystem {
+    /// Push a sample into a stream's input FIFO; `false` when full.
+    pub fn push_input(&mut self, stream: usize, sample: (f64, f64)) -> bool {
+        let now = self.system.cycle();
+        self.system.fifos[self.inputs[stream].0].try_push(sample, now)
+    }
+
+    /// Pop one output sample of a stream, if any.
+    pub fn pop_output(&mut self, stream: usize) -> Option<(f64, f64)> {
+        self.system.fifos[self.outputs[stream].0].pop()
+    }
+
+    /// Completed blocks of a stream.
+    pub fn blocks_done(&self, stream: usize) -> u64 {
+        self.system.gateways[self.gateway].stream(stream).blocks_done
+    }
+}
+
+/// Wire a [`SystemSpec`] into a runnable platform.
+///
+/// Ring layout: station 0 is the entry gateway, stations `1..=k` the chain
+/// accelerators, station `k+1` the exit gateway.
+pub fn build_shared_system(spec: SystemSpec) -> BuiltSystem {
+    assert!(!spec.chain.is_empty(), "chain needs at least one accelerator");
+    assert!(!spec.streams.is_empty(), "need at least one stream");
+    let k = spec.chain.len();
+    let entry_node = 0usize;
+    let exit_node = k + 1;
+    let mut sys = System::new(k + 2);
+
+    // Accelerators: station i+1, receiving from i, sending to i+2.
+    // Link stream ids: link j connects station j to station j+1.
+    let mut accel_ids = Vec::with_capacity(k);
+    for (i, a) in spec.chain.iter().enumerate() {
+        let node = i + 1;
+        accel_ids.push(sys.add_accel(AcceleratorTile::new(
+            a.name.clone(),
+            node,
+            node - 1,
+            i as u32, // rx link id
+            node + 1,
+            (i + 1) as u32, // tx link id
+            spec.ni_depth,
+            a.cycles_per_sample,
+        )));
+    }
+
+    let mut gw = GatewayPair::new(
+        "gateway",
+        entry_node,
+        exit_node,
+        accel_ids,
+        1,
+        0, // entry DMA -> first accelerator is link 0
+        k,
+        k as u32, // last accelerator -> exit is link k
+        spec.ni_depth,
+        spec.epsilon,
+        spec.delta,
+    );
+
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for s in spec.streams {
+        let input = sys.add_fifo(CFifo::new(format!("in:{}", s.name), s.input_capacity));
+        let output = sys.add_fifo(CFifo::new(format!("out:{}", s.name), s.output_capacity));
+        inputs.push(input);
+        outputs.push(output);
+        gw.add_stream(StreamConfig::new(
+            s.name,
+            input,
+            output,
+            s.eta_in,
+            s.eta_out,
+            s.reconfig,
+            s.kernels,
+        ));
+    }
+    let gateway = sys.add_gateway(gw);
+
+    BuiltSystem {
+        system: sys,
+        gateway,
+        inputs,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgate_platform::{DownsampleKernel, PassthroughKernel, ScaleKernel};
+
+    fn spec_two_streams() -> SystemSpec {
+        SystemSpec {
+            chain: vec![AccelDef::new("A0", 1), AccelDef::new("A1", 1)],
+            epsilon: 3,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![
+                StreamDef {
+                    name: "x".into(),
+                    eta_in: 8,
+                    eta_out: 8,
+                    reconfig: 20,
+                    kernels: vec![Box::new(ScaleKernel::new(2.0)), Box::new(PassthroughKernel)],
+                    input_capacity: 64,
+                    output_capacity: 64,
+                },
+                StreamDef {
+                    name: "y".into(),
+                    eta_in: 16,
+                    eta_out: 4,
+                    reconfig: 20,
+                    kernels: vec![
+                        Box::new(PassthroughKernel),
+                        Box::new(DownsampleKernel::new(4)),
+                    ],
+                    input_capacity: 64,
+                    output_capacity: 64,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_and_processes_both_streams() {
+        let mut b = build_shared_system(spec_two_streams());
+        for k in 0..32 {
+            assert!(b.push_input(0, (k as f64, 0.0)));
+            assert!(b.push_input(1, (k as f64, 0.0)));
+        }
+        b.system.run(20_000);
+        assert!(b.blocks_done(0) >= 2, "stream x: {}", b.blocks_done(0));
+        assert!(b.blocks_done(1) >= 2, "stream y: {}", b.blocks_done(1));
+        // Stream x doubled its samples; stream y decimated 4:1.
+        assert_eq!(b.pop_output(0), Some((0.0, 0.0)));
+        assert_eq!(b.pop_output(0), Some((2.0, 0.0)));
+        let y0 = b.pop_output(1).unwrap();
+        assert_eq!(y0.0, 1.5, "average of 0..4");
+    }
+
+    #[test]
+    fn two_stage_chain_preserves_order() {
+        let mut b = build_shared_system(SystemSpec {
+            chain: vec![AccelDef::new("A0", 1), AccelDef::new("A1", 2)],
+            epsilon: 2,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![StreamDef {
+                name: "s".into(),
+                eta_in: 4,
+                eta_out: 4,
+                reconfig: 5,
+                kernels: vec![Box::new(PassthroughKernel), Box::new(PassthroughKernel)],
+                input_capacity: 64,
+                output_capacity: 64,
+            }],
+        });
+        for k in 0..16 {
+            b.push_input(0, (k as f64, -(k as f64)));
+        }
+        b.system.run(5_000);
+        for k in 0..16 {
+            assert_eq!(b.pop_output(0), Some((k as f64, -(k as f64))));
+        }
+    }
+
+    #[test]
+    fn single_accelerator_chain() {
+        let mut b = build_shared_system(SystemSpec {
+            chain: vec![AccelDef::new("only", 1)],
+            epsilon: 1,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![StreamDef {
+                name: "s".into(),
+                eta_in: 2,
+                eta_out: 2,
+                reconfig: 0,
+                kernels: vec![Box::new(ScaleKernel::new(-1.0))],
+                input_capacity: 16,
+                output_capacity: 16,
+            }],
+        });
+        b.push_input(0, (5.0, 0.0));
+        b.push_input(0, (7.0, 0.0));
+        b.system.run(1_000);
+        assert_eq!(b.pop_output(0), Some((-5.0, -0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "chain needs at least one accelerator")]
+    fn empty_chain_rejected() {
+        let _ = build_shared_system(SystemSpec {
+            chain: vec![],
+            epsilon: 1,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![],
+        });
+    }
+
+    #[test]
+    fn slow_second_stage_back_pressures() {
+        // ρ_A1 = 6 > ε: the chain pace is set by the slowest stage; the
+        // block still completes and order is kept.
+        let mut b = build_shared_system(SystemSpec {
+            chain: vec![AccelDef::new("fast", 1), AccelDef::new("slow", 6)],
+            epsilon: 2,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![StreamDef {
+                name: "s".into(),
+                eta_in: 8,
+                eta_out: 8,
+                reconfig: 0,
+                kernels: vec![Box::new(PassthroughKernel), Box::new(PassthroughKernel)],
+                input_capacity: 32,
+                output_capacity: 32,
+            }],
+        });
+        for k in 0..8 {
+            b.push_input(0, (k as f64, 0.0));
+        }
+        b.system.run(2_000);
+        assert_eq!(b.blocks_done(0), 1);
+        // τ̂ with c0 = max(ε, ρ_A, δ) = 6: block must respect the pace.
+        let block = b.system.gateways[0].blocks[0];
+        assert!(block.drain_end - block.start >= 8 * 6 - 6, "pace too fast");
+    }
+}

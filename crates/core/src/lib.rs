@@ -1,0 +1,45 @@
+//! # streamgate-core
+//!
+//! The contribution of *"Real-Time Multiprocessor Architecture for Sharing
+//! Stream Processing Accelerators"* (Dekens, Bekooij, Smit — IPDPSW 2015):
+//! temporal analysis and configuration of **entry-/exit-gateway pairs** that
+//! multiplex blocks of data from several real-time streams over a shared
+//! chain of stream-processing accelerators.
+//!
+//! * [`params`] — ε/ρ_A/δ/R_s/μ_s parameter sets, `c0`/`c1`, `τ̂` (Eq. 2),
+//!   `γ` (Eq. 4) and the throughput check (Eq. 5);
+//! * [`model`] — the per-stream CSDF model of Fig. 5 and its execution
+//!   schedule (Fig. 6), built on `streamgate-dataflow`;
+//! * [`abstraction`] — the single-actor SDF abstraction of Fig. 7 and its
+//!   conservativeness checks;
+//! * [`blocksize`] — minimum block sizes via the ILP of Algorithm 1 and an
+//!   independent least-fixpoint solver;
+//! * [`buffers`] — minimum buffer capacities given block sizes, including
+//!   the non-monotone example of Fig. 8;
+//! * [`deploy`] — turn-key construction of the PAL stereo decoder system
+//!   (Fig. 10) on the cycle-level platform, with the real DSP kernels;
+//! * [`validate`] — bound validation: measured block times vs `τ̂`/`γ̂`,
+//!   the-earlier-the-better refinement of simulated traces.
+
+#![warn(missing_docs)]
+
+pub mod abstraction;
+pub mod chain;
+pub mod blocksize;
+pub mod buffers;
+pub mod deploy;
+pub mod model;
+pub mod params;
+pub mod validate;
+
+pub use abstraction::{sdf_abstraction, verify_csdf_refines_sdf, SdfAbstraction};
+pub use chain::{build_shared_system, AccelDef, BuiltSystem, StreamDef, SystemSpec};
+pub use blocksize::{
+    solve_blocksizes_checked, solve_blocksizes_fixpoint, solve_blocksizes_ilp, BlockSizeError,
+    BlockSizes,
+};
+pub use buffers::{fig8_example, minimum_stream_buffers, sufficient_stream_buffers, StreamBuffers};
+pub use deploy::{build_pal_system, PalSystem, PalSystemConfig};
+pub use model::{fig5_csdf, fig6_schedule, Fig5Model, Fig5Params};
+pub use params::{GatewayParams, SharingProblem, StreamSpec};
+pub use validate::{measure_block_times, validate_tau_bound, TauValidation};

@@ -1,0 +1,284 @@
+//! The per-stream CSDF model (paper Fig. 5) and its execution schedule
+//! (Fig. 6).
+//!
+//! For each stream multiplexed over a gateway pair the paper constructs one
+//! CSDF graph: producer `v_P`, entry gateway `v_G0` (η phases — the first
+//! carries the waiting time Ω̂_s, the reconfiguration R_s and one copy ε;
+//! the rest one ε each), the shared accelerator `v_A`, exit gateway `v_G1`
+//! (η phases of δ) and consumer `v_C`. The edges carry:
+//!
+//! * the data path `v_P → v_G0 → v_A → v_G1 → v_C`;
+//! * NI-buffer back edges with α₁ = α₂ = 2 initial tokens;
+//! * the input-buffer pair (`α₀`) between `v_P` and `v_G0`;
+//! * the **check-for-space** edge `v_C → v_G0` with α₃ initial tokens —
+//!   v_G0's first phase consumes η space tokens, so a block cannot start
+//!   without room for its entire output;
+//! * the **pipeline-idle** edge `v_G1 → v_G0` with one initial token —
+//!   v_G0's first phase also consumes it, so a block cannot start before
+//!   the previous block fully drained.
+//!
+//! This module builds that graph for arbitrary parameters and extracts the
+//! Fig. 6 schedule from its self-timed execution.
+
+use streamgate_dataflow::{quanta, CsdfGraph, Gantt};
+
+/// Parameters of the Fig. 5 model for one stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig5Params {
+    /// Block size η_s (samples per multiplexed block).
+    pub eta: usize,
+    /// Entry-gateway copy time ε per sample.
+    pub epsilon: u64,
+    /// Accelerator firing duration ρ_A per sample.
+    pub rho_a: u64,
+    /// Exit-gateway copy time δ per sample.
+    pub delta: u64,
+    /// Reconfiguration time R_s charged to the first phase.
+    pub reconfig: u64,
+    /// Worst-case waiting time Ω̂_s for the other streams' blocks (0 when
+    /// analysing a stream in isolation, Eq. 3 otherwise).
+    pub omega: u64,
+    /// Producer firing duration ρ_P (its period; 1/μ_s for a rate source).
+    pub rho_p: u64,
+    /// Consumer firing duration ρ_C.
+    pub rho_c: u64,
+    /// Input buffer capacity α₀ (tokens between v_P and v_G0).
+    pub alpha0: u64,
+    /// Output buffer capacity α₃ (tokens between v_G1 and v_C).
+    pub alpha3: u64,
+    /// NI buffer depth α₁ = α₂ (2 in the paper).
+    pub ni_depth: u64,
+}
+
+impl Fig5Params {
+    /// Paper-prototype timing with free parameters for η and rates.
+    pub fn prototype(eta: usize, rho_p: u64, rho_c: u64) -> Self {
+        Fig5Params {
+            eta,
+            epsilon: 15,
+            rho_a: 1,
+            delta: 1,
+            reconfig: 4100,
+            omega: 0,
+            rho_p,
+            rho_c,
+            alpha0: 2 * eta as u64,
+            alpha3: 2 * eta as u64,
+            ni_depth: 2,
+        }
+    }
+}
+
+/// The constructed model with handles to its actors/edges.
+pub struct Fig5Model {
+    /// The CSDF graph.
+    pub graph: CsdfGraph,
+    /// v_P.
+    pub v_p: streamgate_dataflow::ActorId,
+    /// v_G0.
+    pub v_g0: streamgate_dataflow::ActorId,
+    /// v_A.
+    pub v_a: streamgate_dataflow::ActorId,
+    /// v_G1.
+    pub v_g1: streamgate_dataflow::ActorId,
+    /// v_C.
+    pub v_c: streamgate_dataflow::ActorId,
+    /// Data edge into v_C (observation point for refinement checks).
+    pub edge_to_c: streamgate_dataflow::EdgeId,
+}
+
+/// Build the CSDF model of Fig. 5.
+pub fn fig5_csdf(p: &Fig5Params) -> Fig5Model {
+    assert!(p.eta >= 1, "block size must be at least 1");
+    assert!(p.alpha0 >= p.eta as u64, "α0 must hold a whole block");
+    assert!(p.alpha3 >= p.eta as u64, "α3 must hold a whole block");
+    let eta = p.eta;
+    let mut g = CsdfGraph::new();
+
+    let v_p = g.add_sdf_actor("vP", p.rho_p);
+    // v_G0: first phase Ω + R + ε, remaining η−1 phases ε.
+    let mut g0_dur = vec![p.omega + p.reconfig + p.epsilon];
+    g0_dur.extend(std::iter::repeat_n(p.epsilon, eta - 1));
+    let v_g0 = g.add_actor("vG0", g0_dur);
+    let v_a = g.add_sdf_actor("vA", p.rho_a);
+    let v_g1 = g.add_actor("vG1", vec![p.delta; eta]);
+    let v_c = g.add_sdf_actor("vC", p.rho_c);
+
+    // Quanta helpers: [η, 0, …, 0] and [1, 1, …, 1] and [0, …, 0, 1].
+    let eta_then_zero = quanta(&[(1, eta as u64), (eta - 1, 0)]);
+    let ones = vec![1u64; eta];
+    let zero_then_one = quanta(&[(eta - 1, 0), (1, 1)]);
+
+    // Data: v_P → v_G0 (consume η in the first phase).
+    g.add_edge("b", v_p, vec![1], v_g0, eta_then_zero.clone(), 0);
+    // Input-buffer space: v_G0 → v_P, α0 initial (space released as the
+    // first phase claims the block).
+    g.add_edge("b_space", v_g0, eta_then_zero.clone(), v_p, vec![1], p.alpha0);
+    // Data: v_G0 → v_A, one sample per phase; NI back edge with α1 = depth.
+    g.add_edge("g0_a", v_g0, ones.clone(), v_a, vec![1], 0);
+    g.add_edge("a_g0_space", v_a, vec![1], v_g0, ones.clone(), p.ni_depth);
+    // Data: v_A → v_G1; NI back edge with α2 = depth.
+    g.add_edge("a_g1", v_a, vec![1], v_g1, ones.clone(), 0);
+    g.add_edge("g1_a_space", v_g1, ones.clone(), v_a, vec![1], p.ni_depth);
+    // Data: v_G1 → v_C, one sample per phase.
+    let edge_to_c = g.add_edge("d", v_g1, ones.clone(), v_c, vec![1], 0);
+    // Check-for-space: v_C → v_G0, η consumed in the first phase, α3 initial.
+    g.add_edge("d_space", v_c, vec![1], v_g0, eta_then_zero, p.alpha3);
+    // Pipeline idle: v_G1 → v_G0, produced in the last phase, consumed in
+    // the first, one initial token (pipeline starts idle).
+    g.add_edge(
+        "idle",
+        v_g1,
+        zero_then_one,
+        v_g0,
+        quanta(&[(1, 1), (eta - 1, 0)]),
+        1,
+    );
+
+    g.validate().expect("Fig. 5 model is structurally valid");
+    Fig5Model {
+        graph: g,
+        v_p,
+        v_g0,
+        v_a,
+        v_g1,
+        v_c,
+        edge_to_c,
+    }
+}
+
+/// Execute the Fig. 5 model self-timed for `blocks` blocks and return the
+/// Gantt chart of Fig. 6 (rows v_P, v_G0, v_A, v_G1, v_C).
+pub fn fig6_schedule(p: &Fig5Params, blocks: u64) -> (Fig5Model, Gantt) {
+    let model = fig5_csdf(p);
+    let trace =
+        streamgate_dataflow::simulate(&model.graph, blocks).expect("consistent Fig. 5 model");
+    let gantt = Gantt::from_trace(&model.graph, &trace);
+    (model, gantt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamgate_dataflow::{repetition_vector, simulate};
+
+    fn small() -> Fig5Params {
+        Fig5Params {
+            eta: 4,
+            epsilon: 3,
+            rho_a: 1,
+            delta: 1,
+            reconfig: 10,
+            omega: 0,
+            rho_p: 2,
+            rho_c: 1,
+            alpha0: 8,
+            alpha3: 8,
+            ni_depth: 2,
+        }
+    }
+
+    #[test]
+    fn model_is_consistent() {
+        let m = fig5_csdf(&small());
+        let r = repetition_vector(&m.graph).unwrap();
+        // Per iteration: vP fires η, vG0 one phase-cycle, vA η, vG1 one, vC η.
+        assert_eq!(r.cycles_of(m.v_p), 4);
+        assert_eq!(r.cycles_of(m.v_g0), 1);
+        assert_eq!(r.cycles_of(m.v_a), 4);
+        assert_eq!(r.cycles_of(m.v_g1), 1);
+        assert_eq!(r.cycles_of(m.v_c), 4);
+    }
+
+    #[test]
+    fn model_deadlock_free() {
+        let m = fig5_csdf(&small());
+        let t = simulate(&m.graph, 5).unwrap();
+        assert!(!t.deadlocked);
+        assert_eq!(t.firing_count(m.v_c), 20);
+    }
+
+    #[test]
+    fn block_time_within_tau_hat() {
+        // τ̂ = R + (η + 2)·max(ε, ρA, δ): the self-timed single block must
+        // finish within the bound (paper Eq. 2), measured from vG0's start.
+        let p = small();
+        let m = fig5_csdf(&p);
+        let t = simulate(&m.graph, 1).unwrap();
+        let g0_start = t.firings[m.v_g0.index()][0].start;
+        let c_last_input = t.firings[m.v_g1.index()].last().unwrap().end;
+        let tau = c_last_input - g0_start;
+        let c0 = p.epsilon.max(p.rho_a).max(p.delta);
+        let tau_hat = p.reconfig + (p.eta as u64 + 2) * c0;
+        assert!(tau <= tau_hat, "block took {tau}, bound {tau_hat}");
+    }
+
+    #[test]
+    fn pipeline_idle_token_serialises_blocks() {
+        // vG0's first phase of block k+1 must start no earlier than vG1's
+        // last phase of block k ends.
+        let p = small();
+        let m = fig5_csdf(&p);
+        let t = simulate(&m.graph, 3).unwrap();
+        let eta = p.eta;
+        for k in 1..3usize {
+            let g0_first = t.firings[m.v_g0.index()][k * eta].start;
+            let g1_last_prev = t.firings[m.v_g1.index()][k * eta - 1].end;
+            assert!(
+                g0_first >= g1_last_prev,
+                "block {k} started at {g0_first} before previous drained at {g1_last_prev}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_for_space_blocks_start() {
+        // With a slow consumer and α3 = η, the second block cannot start
+        // until the consumer has drained the first.
+        let mut p = small();
+        p.rho_c = 50;
+        p.alpha3 = p.eta as u64;
+        let m = fig5_csdf(&p);
+        let t = simulate(&m.graph, 2).unwrap();
+        assert!(!t.deadlocked);
+        let eta = p.eta;
+        // Second block's vG0 start must wait for vC to free η locations:
+        // at least η-1 consumer firings of the first block done.
+        let g0_second = t.firings[m.v_g0.index()][eta].start;
+        let c_firings_done = t.firings[m.v_c.index()]
+            .iter()
+            .filter(|f| f.end <= g0_second)
+            .count();
+        assert!(
+            c_firings_done >= eta - 1,
+            "second block started with only {c_firings_done} consumer firings done"
+        );
+    }
+
+    #[test]
+    fn omega_delays_first_phase() {
+        let mut p = small();
+        p.omega = 100;
+        let m = fig5_csdf(&p);
+        let t = simulate(&m.graph, 1).unwrap();
+        let first = &t.firings[m.v_g0.index()][0];
+        assert_eq!(first.end - first.start, 100 + 10 + 3);
+    }
+
+    #[test]
+    fn gantt_has_all_rows() {
+        let (model, gantt) = fig6_schedule(&small(), 2);
+        assert_eq!(gantt.rows.len(), 5);
+        assert!(gantt.rows[model.v_g0.index()].segments.len() >= 8);
+        let ascii = gantt.render_ascii(72);
+        assert!(ascii.contains("vG0") && ascii.contains("vA") && ascii.contains("vG1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "α3 must hold a whole block")]
+    fn too_small_output_buffer_rejected() {
+        let mut p = small();
+        p.alpha3 = 2;
+        let _ = fig5_csdf(&p);
+    }
+}

@@ -1,0 +1,299 @@
+//! Bound validation: measured platform behaviour vs the analysis.
+//!
+//! The refinement chain of Fig. 2 claims `hardware ⊑ CSDF ⊑ SDF`; here the
+//! "hardware" is the cycle-level platform simulator. We validate
+//! constructively:
+//!
+//! * every measured block-processing time `τ` stays within `τ̂` (Eq. 2),
+//!   modulo the documented ring-transport margin;
+//! * every measured round (queued block start → completion) stays within
+//!   `γ` (Eq. 4);
+//! * the platform's token-arrival traces refine the CSDF model's.
+
+use crate::params::SharingProblem;
+use streamgate_platform::{BlockRecord, System};
+
+/// Measured vs bound for one stream.
+#[derive(Clone, Debug)]
+pub struct TauValidation {
+    /// Stream name.
+    pub stream: String,
+    /// Number of measured blocks.
+    pub blocks: usize,
+    /// Maximum measured block time (reconfig start → drain end), cycles.
+    pub measured_max: u64,
+    /// Mean measured block time.
+    pub measured_mean: f64,
+    /// The bound τ̂ = R + (η + 2)·c0.
+    pub tau_hat: u64,
+    /// Extra allowance for ring transport (hops the analysis folds into
+    /// ε/δ; constant per system, not per sample).
+    pub margin: u64,
+    /// True iff `measured_max ≤ tau_hat + margin`.
+    pub ok: bool,
+}
+
+/// Extract per-stream block times from a gateway's block log.
+pub fn measure_block_times(sys: &System, gateway: usize) -> Vec<Vec<u64>> {
+    let gw = &sys.gateways[gateway];
+    let n = gw.num_streams();
+    let mut per_stream: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for b in &gw.blocks {
+        per_stream[b.stream].push(b.drain_end - b.start);
+    }
+    per_stream
+}
+
+/// Validate Eq. 2 against a run: for each stream, the maximum observed block
+/// time must be within `τ̂ + margin`. The margin covers the constant ring
+/// transport of a block's last sample (entry → accelerators → exit), which
+/// the paper's ε/δ absorb; it is O(ring size), not O(η).
+pub fn validate_tau_bound(
+    prob: &SharingProblem,
+    etas: &[u64],
+    sys: &System,
+    gateway: usize,
+    margin: u64,
+) -> Vec<TauValidation> {
+    let times = measure_block_times(sys, gateway);
+    times
+        .iter()
+        .enumerate()
+        .map(|(s, ts)| {
+            let tau_hat = prob.tau_hat(s, etas[s]);
+            let measured_max = ts.iter().copied().max().unwrap_or(0);
+            let mean = if ts.is_empty() {
+                0.0
+            } else {
+                ts.iter().sum::<u64>() as f64 / ts.len() as f64
+            };
+            TauValidation {
+                stream: prob.streams[s].name.clone(),
+                blocks: ts.len(),
+                measured_max,
+                measured_mean: mean,
+                tau_hat,
+                margin,
+                ok: measured_max <= tau_hat + margin,
+            }
+        })
+        .collect()
+}
+
+/// Round-time check (Eq. 4): every window of one block per stream must fit
+/// within γ + per-round margin. Returns the maximum observed round time over
+/// consecutive |S|-block windows of the gateway log.
+pub fn max_round_time(blocks: &[BlockRecord], num_streams: usize) -> Option<u64> {
+    if blocks.len() < num_streams {
+        return None;
+    }
+    blocks
+        .windows(num_streams)
+        .map(|w| w[num_streams - 1].drain_end - w[0].start)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{GatewayParams, StreamSpec};
+    use streamgate_ilp::rat;
+    use streamgate_platform::{
+        AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+    };
+
+    /// Two passthrough streams over one shared accelerator, kept saturated.
+    fn harness(etas: [usize; 2], reconfig: u64, epsilon: u64) -> (System, SharingProblem) {
+        let mut sys = System::new(4);
+        let i0 = sys.add_fifo(CFifo::new("i0", 4096));
+        let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
+        let i1 = sys.add_fifo(CFifo::new("i1", 4096));
+        let o1 = sys.add_fifo(CFifo::new("o1", 1 << 20));
+        let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+        let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
+        gw.add_stream(StreamConfig::new(
+            "s0",
+            i0,
+            o0,
+            etas[0],
+            etas[0],
+            reconfig,
+            vec![Box::new(PassthroughKernel)],
+        ));
+        gw.add_stream(StreamConfig::new(
+            "s1",
+            i1,
+            o1,
+            etas[1],
+            etas[1],
+            reconfig,
+            vec![Box::new(PassthroughKernel)],
+        ));
+        sys.add_gateway(gw);
+        for k in 0..4096 {
+            sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+            sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
+        }
+        let prob = SharingProblem {
+            params: GatewayParams {
+                epsilon,
+                rho_a: 1,
+                delta: 1,
+            },
+            streams: vec![
+                StreamSpec {
+                    name: "s0".into(),
+                    mu: rat(1, 1000),
+                    reconfig,
+                },
+                StreamSpec {
+                    name: "s1".into(),
+                    mu: rat(1, 1000),
+                    reconfig,
+                },
+            ],
+        };
+        (sys, prob)
+    }
+
+    #[test]
+    fn tau_bound_holds_on_platform() {
+        let (mut sys, prob) = harness([32, 16], 50, 5);
+        sys.run(60_000);
+        let v = validate_tau_bound(&prob, &[32, 16], &sys, 0, 16);
+        for t in &v {
+            assert!(t.blocks >= 3, "{}: only {} blocks", t.stream, t.blocks);
+            assert!(
+                t.ok,
+                "{}: measured {} exceeds τ̂ {} (+{})",
+                t.stream, t.measured_max, t.tau_hat, t.margin
+            );
+            // The bound must not be wildly loose either (within 2×).
+            assert!(
+                (t.measured_max as f64) > 0.3 * t.tau_hat as f64,
+                "{}: bound is vacuous: measured {} vs {}",
+                t.stream,
+                t.measured_max,
+                t.tau_hat
+            );
+        }
+    }
+
+    #[test]
+    fn round_time_within_gamma() {
+        let (mut sys, prob) = harness([32, 16], 50, 5);
+        sys.run(60_000);
+        let etas = [32u64, 16u64];
+        let gamma = prob.gamma(&etas);
+        let max_round = max_round_time(&sys.gateways[0].blocks, 2).unwrap();
+        // Per-round margin: ring transport per block × streams.
+        assert!(
+            max_round <= gamma + 32,
+            "round {max_round} exceeds γ {gamma}"
+        );
+    }
+
+    #[test]
+    fn block_times_scale_with_eta() {
+        let (mut sys_small, _) = harness([8, 8], 50, 5);
+        let (mut sys_big, _) = harness([64, 64], 50, 5);
+        sys_small.run(40_000);
+        sys_big.run(40_000);
+        let t_small = measure_block_times(&sys_small, 0);
+        let t_big = measure_block_times(&sys_big, 0);
+        let max_small = *t_small[0].iter().max().unwrap();
+        let max_big = *t_big[0].iter().max().unwrap();
+        assert!(
+            max_big > 3 * max_small,
+            "bigger blocks must take proportionally longer: {max_small} vs {max_big}"
+        );
+    }
+
+    #[test]
+    fn epsilon_dominates_when_largest() {
+        // With ε = 10 and η = 20, per-sample pace must be ≥ ε: block time
+        // at least η·ε.
+        let (mut sys, _prob) = harness([20, 4], 0, 10);
+        sys.run(20_000);
+        let times = measure_block_times(&sys, 0);
+        let min_block = *times[0].iter().min().unwrap();
+        assert!(min_block >= 190, "block time {min_block} below (η−1)·ε");
+    }
+}
+
+#[cfg(test)]
+mod omega_tests {
+    use crate::params::{GatewayParams, SharingProblem, StreamSpec};
+    use streamgate_ilp::rat;
+    use streamgate_platform::{
+        AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+    };
+
+    /// Eq. 3: a queued block of stream s waits at most ω̂_s = Σ_{i≠s} τ̂_i
+    /// before being served (RR over saturated streams). Measure the gap
+    /// between consecutive blocks of the same stream against γ = ω̂ + τ̂.
+    #[test]
+    fn round_robin_waiting_time_within_omega_hat() {
+        let etas = [24usize, 12, 6];
+        let reconfig = 40u64;
+        let epsilon = 4u64;
+        let mut sys = System::new(4);
+        let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+        let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
+        for (i, eta) in etas.iter().enumerate() {
+            let inf = sys.add_fifo(CFifo::new(format!("i{i}"), 8192));
+            let outf = sys.add_fifo(CFifo::new(format!("o{i}"), 1 << 20));
+            gw.add_stream(StreamConfig::new(
+                format!("s{i}"),
+                inf,
+                outf,
+                *eta,
+                *eta,
+                reconfig,
+                vec![Box::new(PassthroughKernel)],
+            ));
+            for k in 0..8192 {
+                sys.fifos[inf.0].try_push((k as f64, 0.0), 0);
+            }
+        }
+        sys.add_gateway(gw);
+        sys.run(80_000);
+
+        let prob = SharingProblem {
+            params: GatewayParams {
+                epsilon,
+                rho_a: 1,
+                delta: 1,
+            },
+            streams: (0..3)
+                .map(|i| StreamSpec {
+                    name: format!("s{i}"),
+                    mu: rat(1, 1_000_000),
+                    reconfig,
+                })
+                .collect(),
+        };
+        let etas_u: Vec<u64> = etas.iter().map(|&e| e as u64).collect();
+        let gamma = prob.gamma(&etas_u);
+
+        // Start-to-start distance between consecutive blocks of one stream
+        // is bounded by γ (Eq. 4 = one full round) plus the ring margin.
+        let blocks = &sys.gateways[0].blocks;
+        for s in 0..3 {
+            let starts: Vec<u64> = blocks
+                .iter()
+                .filter(|b| b.stream == s)
+                .map(|b| b.start)
+                .collect();
+            assert!(starts.len() >= 3, "stream {s} starved");
+            for w in starts.windows(2) {
+                assert!(
+                    w[1] - w[0] <= gamma + 24,
+                    "stream {s}: round {} exceeds γ {}",
+                    w[1] - w[0],
+                    gamma
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Admissible schedule extraction and Gantt rendering (paper Fig. 6).
+//!
+//! A self-timed execution trace *is* the earliest admissible schedule, so a
+//! [`Gantt`] is built directly from a [`SimTrace`]. The ASCII renderer
+//! reproduces the layout of Fig. 6: one row per actor, segments labelled by
+//! phase, a time axis in cycles.
+
+use crate::graph::{ActorId, CsdfGraph, Time};
+use crate::simulate::SimTrace;
+use std::fmt::Write as _;
+
+/// One busy interval of an actor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Start cycle.
+    pub start: Time,
+    /// End cycle.
+    pub end: Time,
+    /// Phase executed.
+    pub phase: usize,
+}
+
+/// All segments of one actor.
+#[derive(Clone, Debug)]
+pub struct GanttRow {
+    /// Actor name.
+    pub actor: String,
+    /// Busy intervals in time order.
+    pub segments: Vec<Segment>,
+}
+
+/// A complete schedule chart.
+#[derive(Clone, Debug)]
+pub struct Gantt {
+    /// Rows in actor-id order.
+    pub rows: Vec<GanttRow>,
+    /// Time of the last segment end.
+    pub makespan: Time,
+}
+
+impl Gantt {
+    /// Build a Gantt chart from a simulation trace.
+    pub fn from_trace(g: &CsdfGraph, trace: &SimTrace) -> Gantt {
+        let mut rows = Vec::with_capacity(g.num_actors());
+        let mut makespan = 0;
+        for a in g.actor_ids() {
+            let segments: Vec<Segment> = trace.firings[a.index()]
+                .iter()
+                .map(|f| Segment {
+                    start: f.start,
+                    end: f.end,
+                    phase: f.phase,
+                })
+                .collect();
+            if let Some(last) = segments.last() {
+                makespan = makespan.max(last.end);
+            }
+            rows.push(GanttRow {
+                actor: g.actor(a).name.clone(),
+                segments,
+            });
+        }
+        Gantt { rows, makespan }
+    }
+
+    /// Restrict the chart to a time window (segments overlapping it).
+    pub fn window(&self, from: Time, to: Time) -> Gantt {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| GanttRow {
+                actor: r.actor.clone(),
+                segments: r
+                    .segments
+                    .iter()
+                    .copied()
+                    .filter(|s| s.end > from && s.start < to)
+                    .collect(),
+            })
+            .collect();
+        Gantt {
+            rows,
+            makespan: self.makespan.min(to),
+        }
+    }
+
+    /// Total busy time of one row.
+    pub fn busy_time(&self, a: ActorId) -> Time {
+        self.rows[a.index()]
+            .segments
+            .iter()
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Utilisation (busy / makespan) of one row.
+    pub fn utilisation(&self, a: ActorId) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.busy_time(a) as f64 / self.makespan as f64
+    }
+
+    /// Render as an ASCII chart with `width` columns for the time axis.
+    ///
+    /// Busy cells are `#` (or the phase digit for CSDF actors with more than
+    /// one phase); idle cells are `.`.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        let span = self.makespan.max(1);
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.actor.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let col_time = |c: usize| -> (Time, Time) {
+            let a = (c as u128 * span as u128 / width as u128) as Time;
+            let b = ((c + 1) as u128 * span as u128 / width as u128) as Time;
+            (a, b.max(a + 1))
+        };
+        for row in &self.rows {
+            let _ = write!(out, "{:name_w$} |", row.actor);
+            let multi_phase = row.segments.iter().any(|s| s.phase > 0);
+            for c in 0..width {
+                let (t0, t1) = col_time(c);
+                let seg = row
+                    .segments
+                    .iter()
+                    .find(|s| s.end > t0 && s.start < t1 && s.end > s.start);
+                let ch = match seg {
+                    Some(s) if multi_phase => {
+                        char::from_digit((s.phase % 10) as u32, 10).unwrap_or('#')
+                    }
+                    Some(_) => '#',
+                    None => '.',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "{:name_w$} +", "");
+        for _ in 0..width {
+            out.push('-');
+        }
+        let _ = writeln!(out, "> t (0..{span} cycles)");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CsdfGraph;
+    use crate::simulate::simulate;
+
+    fn chart() -> (CsdfGraph, Gantt) {
+        let mut g = CsdfGraph::new();
+        let a = g.add_sdf_actor("A", 3);
+        let b = g.add_sdf_actor("B", 2);
+        g.add_sdf_edge("ab", a, 1, b, 1, 0);
+        g.add_sdf_edge("ba", b, 1, a, 1, 1);
+        let t = simulate(&g, 4).unwrap();
+        let gantt = Gantt::from_trace(&g, &t);
+        let _ = (a, b);
+        (g, gantt)
+    }
+
+    #[test]
+    fn segments_alternate() {
+        let (_g, gantt) = chart();
+        let a = &gantt.rows[0].segments;
+        let b = &gantt.rows[1].segments;
+        // A fires 0-3, B 3-5, A 5-8, ...
+        assert_eq!(a[0].start, 0);
+        assert_eq!(a[0].end, 3);
+        assert_eq!(b[0].start, 3);
+        assert_eq!(b[0].end, 5);
+        assert_eq!(a[1].start, 5);
+    }
+
+    #[test]
+    fn makespan_and_busy() {
+        let (_g, gantt) = chart();
+        assert!(gantt.makespan >= 5);
+        assert_eq!(gantt.busy_time(ActorId(0)) % 3, 0);
+        assert_eq!(gantt.busy_time(ActorId(1)) % 2, 0);
+        let u = gantt.utilisation(ActorId(0)) + gantt.utilisation(ActorId(1));
+        // A and B alternate exactly: utilisations sum to ~1.
+        assert!(u > 0.9 && u <= 1.01, "sum {u}");
+    }
+
+    #[test]
+    fn window_filters() {
+        let (_g, gantt) = chart();
+        let w = gantt.window(0, 4);
+        assert_eq!(w.rows[0].segments.len(), 1);
+        assert_eq!(w.rows[1].segments.len(), 1); // B's 3-5 overlaps
+    }
+
+    #[test]
+    fn ascii_renders_rows() {
+        let (_g, gantt) = chart();
+        let s = gantt.render_ascii(40);
+        assert!(s.contains("A"));
+        assert!(s.contains("B"));
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn csdf_phases_rendered_as_digits() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("G0", vec![4, 1]);
+        let b = g.add_sdf_actor("C", 1);
+        g.add_edge("ab", a, vec![1, 1], b, vec![1], 0);
+        let t = simulate(&g, 3).unwrap();
+        let gantt = Gantt::from_trace(&g, &t);
+        let s = gantt.render_ascii(30);
+        assert!(s.contains('0') && s.contains('1'), "phases visible: {s}");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let mut g = CsdfGraph::new();
+        let a = g.add_sdf_actor("A", 1);
+        let b = g.add_sdf_actor("B", 1);
+        g.add_sdf_edge("ab", a, 1, b, 1, 0);
+        g.add_sdf_edge("ba", b, 1, a, 1, 0); // deadlock
+        let t = simulate(&g, 1).unwrap();
+        let gantt = Gantt::from_trace(&g, &t);
+        assert_eq!(gantt.makespan, 0);
+        let s = gantt.render_ascii(10);
+        assert!(s.contains('.'));
+    }
+}

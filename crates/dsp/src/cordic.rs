@@ -1,0 +1,300 @@
+//! Fixed-point CORDIC — the paper's channel-mixer and FM-discriminator
+//! accelerator kernel.
+//!
+//! The demonstrator (paper §VI-A) uses "a channel mixer accelerator
+//! containing a CORDIC" and "an accelerator containing a CORDIC module…to
+//! convert the data stream from FM radio to normal audio". Both are the same
+//! hardware block operated in two modes:
+//!
+//! * **rotation mode** — rotate an I/Q sample by a phase: frequency
+//!   translation when driven by an NCO;
+//! * **vectoring mode** — drive the vector onto the real axis, accumulating
+//!   the angle: `atan2` and magnitude, the core of an FM discriminator.
+//!
+//! The implementation is a classic iterative shift-add CORDIC over `i32`
+//! (Q2.29 angles normalised to π), bit-accurate with what a Virtex-6
+//! implementation would compute, plus convenience `f64` wrappers.
+
+/// Number of CORDIC micro-rotations (also the output precision in bits).
+pub const DEFAULT_ITERATIONS: usize = 24;
+
+/// Angle representation: Q2.29 where π == `ANGLE_SCALE`.
+const ANGLE_BITS: u32 = 29;
+/// Fixed-point value of π in the angle representation.
+pub const ANGLE_SCALE: i64 = 1 << ANGLE_BITS;
+
+/// Fixed-point CORDIC engine with precomputed arctangent table.
+#[derive(Clone, Debug)]
+pub struct Cordic {
+    iterations: usize,
+    /// atan(2^-i) in Q2.29-normalised-to-π units.
+    atan_table: Vec<i64>,
+    /// CORDIC gain K = Π cos(atan(2^-i)) reciprocal, as Q1.30.
+    gain_recip_q30: i64,
+}
+
+impl Default for Cordic {
+    fn default() -> Self {
+        Cordic::new(DEFAULT_ITERATIONS)
+    }
+}
+
+impl Cordic {
+    /// Build an engine with the given number of micro-rotations (1..=30).
+    pub fn new(iterations: usize) -> Self {
+        assert!((1..=30).contains(&iterations), "iterations out of range");
+        let mut atan_table = Vec::with_capacity(iterations);
+        let mut gain = 1.0f64;
+        for i in 0..iterations {
+            let t = (2.0f64).powi(-(i as i32));
+            let a = t.atan();
+            // normalise: π -> ANGLE_SCALE
+            atan_table.push((a / std::f64::consts::PI * ANGLE_SCALE as f64).round() as i64);
+            gain *= 1.0 / (1.0 + t * t).sqrt();
+        }
+        let gain_recip_q30 = (gain * (1i64 << 30) as f64).round() as i64;
+        Cordic {
+            iterations,
+            atan_table,
+            gain_recip_q30,
+        }
+    }
+
+    /// Number of configured micro-rotations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The CORDIC gain `K ≈ 1.6468` as f64 (outputs of the raw iterations
+    /// are scaled by it; the engine compensates internally).
+    pub fn gain(&self) -> f64 {
+        (1i64 << 30) as f64 / self.gain_recip_q30 as f64
+    }
+
+    /// Rotate fixed-point vector `(x, y)` by `angle` (Q2.29, π = 2^29).
+    ///
+    /// Inputs are expected in Q1.24-ish ranges (|x|,|y| < 2^26) so the
+    /// internal widening never overflows. Gain is compensated.
+    pub fn rotate_fixed(&self, x: i32, y: i32, angle: i64) -> (i32, i32) {
+        // Reduce angle to (-π, π].
+        let mut z = wrap_angle(angle);
+        let (mut x, mut y) = (x as i64, y as i64);
+        // Pre-rotate by ±π/2 if |z| > π/2 so convergence holds.
+        let half_pi = ANGLE_SCALE / 2;
+        if z > half_pi {
+            let (nx, ny) = (-y, x);
+            x = nx;
+            y = ny;
+            z -= half_pi;
+        } else if z < -half_pi {
+            let (nx, ny) = (y, -x);
+            x = nx;
+            y = ny;
+            z += half_pi;
+        }
+        for i in 0..self.iterations {
+            let (dx, dy) = (x >> i, y >> i);
+            if z >= 0 {
+                let nx = x - dy;
+                let ny = y + dx;
+                x = nx;
+                y = ny;
+                z -= self.atan_table[i];
+            } else {
+                let nx = x + dy;
+                let ny = y - dx;
+                x = nx;
+                y = ny;
+                z += self.atan_table[i];
+            }
+        }
+        // Gain compensation in Q30.
+        let x = (x * self.gain_recip_q30) >> 30;
+        let y = (y * self.gain_recip_q30) >> 30;
+        (x as i32, y as i32)
+    }
+
+    /// Vectoring mode on fixed-point `(x, y)`: returns `(magnitude, angle)`
+    /// with the angle in Q2.29 (π = 2^29). Gain is compensated on the
+    /// magnitude.
+    pub fn vector_fixed(&self, x: i32, y: i32) -> (i32, i64) {
+        let (mut x, mut y) = (x as i64, y as i64);
+        let mut z: i64 = 0;
+        let half_pi = ANGLE_SCALE / 2;
+        // Pre-rotate left half-plane onto the right half-plane.
+        if x < 0 {
+            if y >= 0 {
+                let (nx, ny) = (y, -x);
+                x = nx;
+                y = ny;
+                z = half_pi;
+            } else {
+                let (nx, ny) = (-y, x);
+                x = nx;
+                y = ny;
+                z = -half_pi;
+            }
+        }
+        for i in 0..self.iterations {
+            let (dx, dy) = (x >> i, y >> i);
+            if y > 0 {
+                let nx = x + dy;
+                let ny = y - dx;
+                x = nx;
+                y = ny;
+                z += self.atan_table[i];
+            } else {
+                let nx = x - dy;
+                let ny = y + dx;
+                x = nx;
+                y = ny;
+                z -= self.atan_table[i];
+            }
+        }
+        let mag = (x * self.gain_recip_q30) >> 30;
+        (mag as i32, wrap_angle(z))
+    }
+
+    /// Rotate an `f64` I/Q pair by `theta` radians (wrapper over the
+    /// fixed-point path; max |input| must be ≤ 1.0 for full precision).
+    pub fn rotate(&self, i: f64, q: f64, theta: f64) -> (f64, f64) {
+        const S: f64 = (1 << 24) as f64;
+        let x = (i * S).round() as i32;
+        let y = (q * S).round() as i32;
+        let a = radians_to_fixed(theta);
+        let (xr, yr) = self.rotate_fixed(x, y, a);
+        (xr as f64 / S, yr as f64 / S)
+    }
+
+    /// `atan2(y, x)` in radians via vectoring mode (|inputs| ≤ 1.0).
+    pub fn atan2(&self, y: f64, x: f64) -> f64 {
+        const S: f64 = (1 << 24) as f64;
+        let xi = (x * S).round() as i32;
+        let yi = (y * S).round() as i32;
+        let (_, z) = self.vector_fixed(xi, yi);
+        fixed_to_radians(z)
+    }
+
+    /// Magnitude via vectoring mode (|inputs| ≤ 1.0).
+    pub fn magnitude(&self, x: f64, y: f64) -> f64 {
+        const S: f64 = (1 << 24) as f64;
+        let xi = (x * S).round() as i32;
+        let yi = (y * S).round() as i32;
+        let (m, _) = self.vector_fixed(xi, yi);
+        m as f64 / S
+    }
+}
+
+/// Wrap a Q2.29 angle into `(-π, π]`.
+pub fn wrap_angle(a: i64) -> i64 {
+    let two_pi = 2 * ANGLE_SCALE;
+    let mut a = a % two_pi;
+    if a > ANGLE_SCALE {
+        a -= two_pi;
+    } else if a <= -ANGLE_SCALE {
+        a += two_pi;
+    }
+    a
+}
+
+/// Convert radians to the Q2.29 angle representation.
+pub fn radians_to_fixed(theta: f64) -> i64 {
+    wrap_angle((theta / std::f64::consts::PI * ANGLE_SCALE as f64).round() as i64)
+}
+
+/// Convert a Q2.29 angle to radians.
+pub fn fixed_to_radians(a: i64) -> f64 {
+    a as f64 / ANGLE_SCALE as f64 * std::f64::consts::PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn rotation_matches_reference() {
+        let c = Cordic::default();
+        for k in 0..32 {
+            let theta = -PI + (2.0 * PI) * (k as f64 + 0.5) / 32.0;
+            let (i0, q0) = (0.7, -0.3);
+            let (i1, q1) = c.rotate(i0, q0, theta);
+            let ref_i = i0 * theta.cos() - q0 * theta.sin();
+            let ref_q = i0 * theta.sin() + q0 * theta.cos();
+            assert!(
+                (i1 - ref_i).abs() < 1e-5 && (q1 - ref_q).abs() < 1e-5,
+                "theta={theta}: got ({i1},{q1}) want ({ref_i},{ref_q})"
+            );
+        }
+    }
+
+    #[test]
+    fn vectoring_matches_atan2() {
+        let c = Cordic::default();
+        for &(x, y) in &[
+            (1.0, 0.0),
+            (0.5, 0.5),
+            (-0.5, 0.5),
+            (-0.5, -0.5),
+            (0.3, -0.9),
+            (-1.0, 0.001),
+        ] {
+            let got = c.atan2(y, x);
+            let want = f64::atan2(y, x);
+            assert!((got - want).abs() < 1e-5, "atan2({y},{x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn magnitude_accurate() {
+        let c = Cordic::default();
+        let m = c.magnitude(0.6, -0.8);
+        assert!((m - 1.0).abs() < 1e-5, "magnitude {m}");
+    }
+
+    #[test]
+    fn gain_near_theoretical() {
+        let c = Cordic::default();
+        assert!((c.gain() - 1.6467602).abs() < 1e-4);
+    }
+
+    #[test]
+    fn angle_wrapping() {
+        assert_eq!(wrap_angle(2 * ANGLE_SCALE), 0);
+        assert_eq!(wrap_angle(3 * ANGLE_SCALE), ANGLE_SCALE);
+        assert_eq!(wrap_angle(-3 * ANGLE_SCALE / 2), ANGLE_SCALE / 2);
+        let t = radians_to_fixed(3.0 * PI);
+        assert!((fixed_to_radians(t) - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_scales_with_iterations() {
+        let coarse = Cordic::new(8);
+        let fine = Cordic::new(28);
+        let theta = 1.1;
+        let (ic, _) = coarse.rotate(1.0, 0.0, theta);
+        let (ifn, _) = fine.rotate(1.0, 0.0, theta);
+        let want = theta.cos();
+        assert!((ifn - want).abs() < (ic - want).abs());
+        assert!((ifn - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_circle_rotation_identity() {
+        let c = Cordic::default();
+        let (mut i, mut q) = (0.9, 0.1);
+        let step = PI / 4.0;
+        for _ in 0..8 {
+            let (ni, nq) = c.rotate(i, q, step);
+            i = ni;
+            q = nq;
+        }
+        assert!((i - 0.9).abs() < 1e-4 && (q - 0.1).abs() < 1e-4, "({i},{q})");
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations out of range")]
+    fn zero_iterations_rejected() {
+        let _ = Cordic::new(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Polyphase decimating FIR — the paper's "LPF + down-sampler" accelerator
+//! (F+D in Table I).
+//!
+//! Combines the anti-alias low-pass with an `M:1` rate change. Only one of
+//! every `M` filter outputs is needed, so the polyphase form computes taps in
+//! `M` sub-filters and produces one output per `M` inputs — one multiply-
+//! accumulate per tap per *output*, like the FPGA block.
+
+use crate::complex::Complex;
+use crate::fir::{design_lowpass, Window};
+
+/// Streaming `M:1` decimator with built-in low-pass.
+#[derive(Clone, Debug)]
+pub struct Decimator {
+    /// Polyphase sub-filters: `poly[r][k] = h[k*M + r]`.
+    poly: Vec<Vec<f64>>,
+    factor: usize,
+    /// Input-sample ring buffers, one per phase (most-recent first layout is
+    /// maintained by shifting — sub-filters are short).
+    lines: Vec<Vec<Complex>>,
+    /// Next input phase index (0..factor).
+    phase: usize,
+}
+
+impl Decimator {
+    /// Build from prototype coefficients and decimation `factor`.
+    pub fn from_taps(taps: &[f64], factor: usize) -> Self {
+        assert!(factor >= 1, "decimation factor must be >= 1");
+        assert!(!taps.is_empty());
+        let sublen = taps.len().div_ceil(factor);
+        let mut poly = vec![vec![0.0; sublen]; factor];
+        for (k, &c) in taps.iter().enumerate() {
+            poly[k % factor][k / factor] = c;
+        }
+        let lines = vec![vec![Complex::ZERO; sublen]; factor];
+        Decimator {
+            poly,
+            factor,
+            lines,
+            phase: 0,
+        }
+    }
+
+    /// Design an anti-alias low-pass (cutoff at `0.4 · fs_out`) and build the
+    /// decimator. `taps` is the prototype length (33 in the paper).
+    pub fn design(taps: usize, factor: usize, fs_in: f64) -> Self {
+        let fs_out = fs_in / factor as f64;
+        let h = design_lowpass(taps, 0.4 * fs_out, fs_in, Window::Hamming);
+        Decimator::from_taps(&h, factor)
+    }
+
+    /// Decimation factor `M`.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Push one input sample; returns `Some(output)` on every `M`-th input.
+    pub fn process(&mut self, s: Complex) -> Option<Complex> {
+        // Polyphase input commutator runs backwards through the phases.
+        let r = (self.factor - 1 - self.phase) % self.factor;
+        let line = &mut self.lines[r];
+        // Shift in (sub-filters are short; O(sublen) is fine and cache-friendly).
+        line.rotate_right(1);
+        line[0] = s;
+        self.phase += 1;
+        if self.phase == self.factor {
+            self.phase = 0;
+            let mut acc = Complex::ZERO;
+            // Sub-filter r (taps h[jM+r]) reads the input class with
+            // n ≡ M-1-r (mod M), which the commutator stored in lines[r].
+            for (r, sub) in self.poly.iter().enumerate() {
+                let line = &self.lines[r];
+                for (k, &c) in sub.iter().enumerate() {
+                    acc += line[k] * c;
+                }
+            }
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// Process a block, returning the decimated output block.
+    pub fn process_block(&mut self, block: &[Complex]) -> Vec<Complex> {
+        block.iter().filter_map(|&s| self.process(s)).collect()
+    }
+
+    /// Snapshot the state (delay lines + commutator phase).
+    pub fn save_state(&self) -> DecimatorState {
+        DecimatorState {
+            lines: self.lines.clone(),
+            phase: self.phase,
+        }
+    }
+
+    /// Restore a snapshot.
+    pub fn restore_state(&mut self, st: &DecimatorState) {
+        assert_eq!(st.lines.len(), self.lines.len(), "state size mismatch");
+        self.lines.clone_from(&st.lines);
+        self.phase = st.phase;
+    }
+
+    /// Clear all state.
+    pub fn reset(&mut self) {
+        for l in &mut self.lines {
+            l.fill(Complex::ZERO);
+        }
+        self.phase = 0;
+    }
+}
+
+/// Saved decimator state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecimatorState {
+    lines: Vec<Vec<Complex>>,
+    phase: usize,
+}
+
+impl DecimatorState {
+    /// State size in samples.
+    pub fn size_samples(&self) -> usize {
+        self.lines.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::FirFilter;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn output_rate_is_one_per_factor() {
+        let mut d = Decimator::design(33, 8, 8000.0);
+        let mut outs = 0;
+        for k in 0..800 {
+            if d.process(Complex::new(k as f64, 0.0)).is_some() {
+                outs += 1;
+            }
+        }
+        assert_eq!(outs, 100);
+    }
+
+    #[test]
+    fn polyphase_equals_filter_then_downsample() {
+        let taps = crate::fir::design_lowpass(33, 400.0, 8000.0, Window::Hamming);
+        let mut d = Decimator::from_taps(&taps, 4);
+        let mut f = FirFilter::new(taps.clone());
+        let input: Vec<Complex> = (0..256)
+            .map(|k| Complex::new((k as f64 * 0.11).sin(), (k as f64 * 0.07).cos()))
+            .collect();
+        let mut reference = Vec::new();
+        for (n, &s) in input.iter().enumerate() {
+            let y = f.process(s);
+            if n % 4 == 3 {
+                reference.push(y);
+            }
+        }
+        let got = d.process_block(&input);
+        assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((*g - *r).abs() < 1e-12, "{g:?} vs {r:?}");
+        }
+    }
+
+    #[test]
+    fn alias_rejection() {
+        // A tone above the output Nyquist must be attenuated, not aliased.
+        let fs_in = 8000.0;
+        let mut d = Decimator::design(65, 8, fs_in);
+        let alias_tone = 3500.0; // would alias to 500 Hz at fs_out = 1 kHz
+        let out: Vec<Complex> = (0..8000)
+            .map(|k| Complex::new((TAU * alias_tone * k as f64 / fs_in).sin(), 0.0))
+            .filter_map(|s| d.process(s))
+            .collect();
+        let power: f64 =
+            out.iter().skip(20).map(|s| s.norm_sqr()).sum::<f64>() / (out.len() - 20) as f64;
+        assert!(power < 1e-5, "alias power {power}");
+    }
+
+    #[test]
+    fn passband_tone_survives() {
+        let fs_in = 8000.0;
+        let mut d = Decimator::design(65, 8, fs_in);
+        let tone = 200.0; // well inside fs_out/2 = 500 Hz
+        let out: Vec<Complex> = (0..8000)
+            .map(|k| Complex::new((TAU * tone * k as f64 / fs_in).sin(), 0.0))
+            .filter_map(|s| d.process(s))
+            .collect();
+        let power: f64 =
+            out.iter().skip(20).map(|s| s.norm_sqr()).sum::<f64>() / (out.len() - 20) as f64;
+        // A unit sine has power 0.5.
+        assert!((power - 0.5).abs() < 0.02, "passband power {power}");
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut d = Decimator::design(33, 8, 8000.0);
+        for k in 0..37 {
+            d.process(Complex::new(k as f64 * 0.1, 0.0));
+        }
+        let st = d.save_state();
+        let mut d2 = d.clone();
+        // Diverge d, then restore.
+        for _ in 0..16 {
+            d.process(Complex::new(5.0, 5.0));
+        }
+        d.restore_state(&st);
+        for k in 0..32 {
+            let a = d.process(Complex::new(k as f64, 1.0));
+            let b = d2.process(Complex::new(k as f64, 1.0));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn factor_one_is_plain_filter() {
+        let taps = crate::fir::design_lowpass(9, 100.0, 1000.0, Window::Hamming);
+        let mut d = Decimator::from_taps(&taps, 1);
+        let mut f = FirFilter::new(taps);
+        for k in 0..32 {
+            let s = Complex::new((k as f64 * 0.2).sin(), 0.0);
+            let a = d.process(s).expect("factor 1 always outputs");
+            let b = f.process(s);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

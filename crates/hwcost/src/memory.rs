@@ -1,0 +1,106 @@
+//! On-chip buffer memory cost: connects the buffer-capacity analysis
+//! (Fig. 8, `streamgate-core::buffers`) to FPGA memory resources.
+//!
+//! The paper motivates minimising buffer capacities because every location
+//! is local memory (C-FIFO space in BRAM). A Virtex-6 block RAM (BRAM36)
+//! holds 36 kbit; complex samples are two 18-bit words in a typical SDR
+//! datapath. [`buffer_memory`] converts a set of buffer capacities into a
+//! BRAM budget, and [`memory_nonmonotone_cost`] is the €-level consequence
+//! of the Fig. 8 non-monotonicity: the *cheapest* block size is not the
+//! smallest feasible one.
+
+/// Memory footprint of a set of buffers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryCost {
+    /// Total payload bits.
+    pub bits: u64,
+    /// Virtex-6 BRAM36 blocks (36 kbit each), rounded up per buffer
+    /// (buffers are separate memories — no packing across FIFOs).
+    pub bram36: u64,
+}
+
+/// Bits per buffered sample (complex 2 × 18-bit, the Virtex-6 DSP width).
+pub const BITS_PER_SAMPLE: u64 = 36;
+
+/// Capacity of one BRAM36 in bits.
+pub const BRAM36_BITS: u64 = 36 * 1024;
+
+/// Memory cost of a set of per-buffer capacities (in samples).
+pub fn buffer_memory(capacities: &[u64]) -> MemoryCost {
+    let mut bits = 0;
+    let mut bram = 0;
+    for &c in capacities {
+        let b = c * BITS_PER_SAMPLE;
+        bits += b;
+        bram += b.div_ceil(BRAM36_BITS).max(if c > 0 { 1 } else { 0 });
+    }
+    MemoryCost { bits, bram36: bram }
+}
+
+/// Given a sweep of `(η, total buffer capacity)` points (e.g. from
+/// `streamgate-core::fig8_example`), return the η with the cheapest memory
+/// and the η at the feasibility edge — demonstrating they differ when the
+/// capacity curve is non-monotone.
+pub fn memory_nonmonotone_cost(sweep: &[(u64, Option<u64>)]) -> Option<(u64, u64)> {
+    let feasible: Vec<(u64, u64)> = sweep
+        .iter()
+        .filter_map(|(e, a)| a.map(|a| (*e, a)))
+        .collect();
+    let smallest_eta = feasible.first()?.0;
+    let cheapest = feasible
+        .iter()
+        .min_by_key(|(_, a)| buffer_memory(&[*a]).bits)?
+        .0;
+    Some((smallest_eta, cheapest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_and_brams() {
+        let m = buffer_memory(&[1024]);
+        assert_eq!(m.bits, 1024 * 36);
+        assert_eq!(m.bram36, 1); // 36 kbit exactly
+        let m2 = buffer_memory(&[1025]);
+        assert_eq!(m2.bram36, 2, "one bit over spills a second BRAM");
+    }
+
+    #[test]
+    fn separate_buffers_do_not_pack() {
+        let together = buffer_memory(&[2048]);
+        let split = buffer_memory(&[1024, 1024]);
+        assert_eq!(together.bits, split.bits);
+        assert_eq!(together.bram36, 2);
+        assert_eq!(split.bram36, 2);
+        let tiny = buffer_memory(&[4, 4, 4]);
+        assert_eq!(tiny.bram36, 3, "every FIFO needs its own BRAM");
+    }
+
+    #[test]
+    fn zero_capacity_free() {
+        assert_eq!(buffer_memory(&[0]), MemoryCost { bits: 0, bram36: 0 });
+    }
+
+    #[test]
+    fn cheapest_eta_differs_from_smallest() {
+        // A Fig.-8-shaped sweep: capacity dips after the tight region.
+        let sweep = vec![
+            (1, None),
+            (2, Some(10u64)),
+            (3, Some(9)),
+            (4, Some(8)),
+            (5, Some(9)),
+        ];
+        let (smallest, cheapest) = memory_nonmonotone_cost(&sweep).unwrap();
+        assert_eq!(smallest, 2);
+        assert_eq!(cheapest, 4);
+        assert_ne!(smallest, cheapest, "the paper's point, in memory cost");
+    }
+
+    #[test]
+    fn empty_sweep_none() {
+        assert_eq!(memory_nonmonotone_cost(&[(1, None)]), None);
+    }
+}

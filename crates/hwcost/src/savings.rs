@@ -1,0 +1,142 @@
+//! Sharing-savings arithmetic (paper Table I bottom half) and break-even
+//! analysis.
+
+use crate::components::{cost_of, Component, ResourceCost};
+
+/// A bag of components with multiplicities.
+#[derive(Clone, Debug, Default)]
+pub struct Inventory {
+    items: Vec<(Component, u64)>,
+}
+
+impl Inventory {
+    /// Empty inventory.
+    pub fn new() -> Self {
+        Inventory::default()
+    }
+
+    /// Add `count` instances of a component (builder style).
+    pub fn with(mut self, c: Component, count: u64) -> Self {
+        self.items.push((c, count));
+        self
+    }
+
+    /// Total resource cost.
+    pub fn total(&self) -> ResourceCost {
+        let mut acc = ResourceCost::default();
+        for (c, n) in &self.items {
+            acc += cost_of(c) * *n;
+        }
+        acc
+    }
+
+    /// Items view.
+    pub fn items(&self) -> &[(Component, u64)] {
+        &self.items
+    }
+}
+
+/// Comparison of a duplicated vs. a gateway-shared design.
+#[derive(Clone, Debug)]
+pub struct SavingsReport {
+    /// Cost with one accelerator set per stream (no sharing).
+    pub non_shared: ResourceCost,
+    /// Cost with one shared set plus a gateway pair.
+    pub shared: ResourceCost,
+    /// Absolute resources saved.
+    pub saved: ResourceCost,
+    /// Percentage saved `(slices, luts)`.
+    pub percent: (f64, f64),
+}
+
+/// Build the paper's comparison: `streams` data streams each needing one
+/// instance of every accelerator in `accelerators`, against one shared
+/// instance of each behind a single gateway pair.
+pub fn sharing_report(streams: u64, accelerators: &[Component]) -> SavingsReport {
+    let mut non_shared = Inventory::new();
+    for &a in accelerators {
+        non_shared = non_shared.with(a, streams);
+    }
+    let mut shared = Inventory::new().with(Component::GatewayPair, 1);
+    for &a in accelerators {
+        shared = shared.with(a, 1);
+    }
+    let ns = non_shared.total();
+    let sh = shared.total();
+    SavingsReport {
+        non_shared: ns,
+        shared: sh,
+        saved: ns - sh,
+        percent: ns.savings_percent(&sh),
+    }
+}
+
+/// Smallest number of streams for which sharing is cheaper in slices than
+/// duplication, for the given accelerator set. Returns `None` if sharing
+/// never wins within `limit` streams (accelerators too cheap relative to the
+/// gateway).
+pub fn break_even_streams(accelerators: &[Component], limit: u64) -> Option<u64> {
+    for n in 1..=limit {
+        let r = sharing_report(n, accelerators);
+        if r.shared.slices < r.non_shared.slices {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{cordic_ref, fir_ref};
+
+    #[test]
+    fn paper_table1_savings_reproduced() {
+        // 4 × (F+D) + 4 × C   vs   gateways + (F+D) + C.
+        let r = sharing_report(4, &[fir_ref(), cordic_ref()]);
+        assert_eq!(r.non_shared, ResourceCost::new(32904, 50876));
+        assert_eq!(r.shared, ResourceCost::new(12014, 17164));
+        assert_eq!(r.saved, ResourceCost::new(20890, 33712));
+        assert!((r.percent.0 - 63.5).abs() < 0.05, "slices {}", r.percent.0);
+        assert!((r.percent.1 - 66.3).abs() < 0.05, "luts {}", r.percent.1);
+    }
+
+    #[test]
+    fn sharing_loses_for_one_stream() {
+        let r = sharing_report(1, &[fir_ref(), cordic_ref()]);
+        assert!(r.shared.slices > r.non_shared.slices);
+        assert_eq!(r.saved, ResourceCost::new(0, 0), "saturating sub clamps");
+    }
+
+    #[test]
+    fn break_even_for_paper_accelerators() {
+        // Gateway pair costs 3788 slices; one accel set is 8226 slices, so
+        // sharing already wins at 2 streams.
+        assert_eq!(break_even_streams(&[fir_ref(), cordic_ref()], 16), Some(2));
+    }
+
+    #[test]
+    fn break_even_never_for_tiny_accels() {
+        let tiny = Component::Cordic { iterations: 1 };
+        assert_eq!(break_even_streams(&[tiny], 8), None);
+    }
+
+    #[test]
+    fn inventory_totals() {
+        let inv = Inventory::new()
+            .with(fir_ref(), 2)
+            .with(cordic_ref(), 1);
+        assert_eq!(inv.total(), ResourceCost::new(2 * 6512 + 1714, 2 * 10837 + 1882));
+        assert_eq!(inv.items().len(), 2);
+    }
+
+    #[test]
+    fn savings_grow_with_stream_count() {
+        let mut prev = 0.0;
+        for n in 2..8 {
+            let r = sharing_report(n, &[fir_ref(), cordic_ref()]);
+            assert!(r.percent.0 > prev, "monotone savings");
+            prev = r.percent.0;
+        }
+    }
+}

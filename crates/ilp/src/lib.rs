@@ -1,0 +1,45 @@
+//! # streamgate-ilp
+//!
+//! Exact integer linear programming for the block-size computation of
+//! *"Real-Time Multiprocessor Architecture for Sharing Stream Processing
+//! Accelerators"* (Dekens et al., IPDPSW 2015), Algorithm 1.
+//!
+//! The paper derives, from a single-actor SDF abstraction of a gateway plus a
+//! chain of shared accelerators, an ILP whose solution is the minimum block
+//! size `η_s` per multiplexed stream. This crate supplies the solver from
+//! scratch (the paper does not name one; no external bindings are used):
+//!
+//! * [`Rational`] — exact `i128` rationals, so rates like 44100 samples/s over
+//!   a 12.48 MHz clock are represented without rounding;
+//! * [`Problem`] / [`LinExpr`] — a small modelling API;
+//! * [`solve_lp`] — two-phase primal simplex with Bland's rule;
+//! * [`solve_ilp`] — LP-based branch and bound with best-bound node order.
+//!
+//! ## Example
+//!
+//! ```
+//! use streamgate_ilp::{rat, LinExpr, Problem, Sense, solve_ilp, IlpOptions, IlpStatus};
+//!
+//! // minimise x + y  subject to  2x + y >= 7,  x, y integer >= 0.
+//! // The optimum is 4 (e.g. x = 3, y = 1), while the LP relaxation gives 3.5.
+//! let mut p = Problem::new();
+//! let x = p.add_int_var("x");
+//! let y = p.add_int_var("y");
+//! p.ge(LinExpr::var(x).scaled(rat(2, 1)) + LinExpr::var(y), rat(7, 1));
+//! p.set_objective(Sense::Minimize, LinExpr::var(x) + LinExpr::var(y));
+//! let s = solve_ilp(&p, IlpOptions::default());
+//! assert_eq!(s.status, IlpStatus::Optimal);
+//! assert_eq!(s.objective, rat(4, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod model;
+pub mod rational;
+pub mod simplex;
+
+pub use branch_bound::{solve_ilp, IlpOptions, IlpSolution, IlpStatus};
+pub use model::{Cmp, Constraint, LinExpr, Problem, Sense, Var, VarInfo, VarKind};
+pub use rational::{gcd, lcm, rat, Rational};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

@@ -1,0 +1,282 @@
+//! Accelerator tiles (paper §IV-B, Fig. 3b).
+//!
+//! An accelerator tile holds a coarsely-programmable stream kernel behind a
+//! network interface: it consumes one incoming hardware-FIFO stream and
+//! produces one outgoing stream, stalling on empty input or missing output
+//! credits. It has *no* knowledge of the rest of the system; multiplexing is
+//! entirely the gateways' business. The per-stream kernel context is
+//! installed/removed over the configuration bus by the entry gateway.
+
+use crate::types::{Sample, StreamKernel};
+use streamgate_ring::{CreditRx, CreditTx, DualRing, NodeId};
+
+/// Identifier of an accelerator in the [`crate::system::System`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AccelId(pub usize);
+
+/// A stream-processing accelerator tile.
+pub struct AcceleratorTile {
+    /// Diagnostic name.
+    pub name: String,
+    /// Ring station of this tile.
+    pub node: NodeId,
+    /// Input hardware FIFO (2-deep NI buffer, credit flow-controlled).
+    pub rx: CreditRx<Sample>,
+    /// Output link with credit counter for the downstream NI buffer.
+    pub tx: CreditTx,
+    /// Installed per-stream processing context (`None` while idle /
+    /// unconfigured — data arriving then would be a gateway protocol bug).
+    kernel: Option<Box<dyn StreamKernel>>,
+    /// Processing time per input sample (1 cycle in the paper's prototype).
+    pub cycles_per_sample: u64,
+    /// Busy until this cycle (exclusive).
+    busy_until: u64,
+    /// Output sample waiting for a credit.
+    pending_out: Option<Sample>,
+    /// Total busy cycles (for utilisation reports).
+    pub busy_cycles: u64,
+    /// Total samples consumed.
+    pub samples_in: u64,
+    /// Total samples produced.
+    pub samples_out: u64,
+}
+
+impl AcceleratorTile {
+    /// Create a tile at ring station `node`, receiving from `upstream` and
+    /// sending to `downstream` (stream ids identify the two links;
+    /// `ni_depth` is the NI buffer depth — 2 in the paper).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        node: NodeId,
+        upstream: NodeId,
+        rx_stream: u32,
+        downstream: NodeId,
+        tx_stream: u32,
+        ni_depth: u32,
+        cycles_per_sample: u64,
+    ) -> Self {
+        AcceleratorTile {
+            name: name.into(),
+            node,
+            rx: CreditRx::new(node, upstream, rx_stream, ni_depth),
+            tx: CreditTx::new(node, downstream, tx_stream, ni_depth),
+            kernel: None,
+            cycles_per_sample,
+            busy_until: 0,
+            pending_out: None,
+            busy_cycles: 0,
+            samples_in: 0,
+            samples_out: 0,
+        }
+    }
+
+    /// Install a stream's kernel context (configuration-bus restore).
+    pub fn install_kernel(&mut self, k: Box<dyn StreamKernel>) {
+        assert!(self.kernel.is_none(), "kernel already installed on {}", self.name);
+        self.kernel = Some(k);
+    }
+
+    /// Remove the current kernel context (configuration-bus save).
+    pub fn remove_kernel(&mut self) -> Option<Box<dyn StreamKernel>> {
+        self.kernel.take()
+    }
+
+    /// True if a kernel is installed.
+    pub fn has_kernel(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// True if the pipeline stage is empty: nothing buffered, nothing in
+    /// flight, nothing waiting for credits.
+    pub fn is_drained(&self, now: u64) -> bool {
+        self.rx.is_empty() && self.pending_out.is_none() && now >= self.busy_until
+    }
+
+    /// Advance one cycle: poll the NI, process, forward.
+    pub fn step(&mut self, ring: &mut DualRing<Sample>, now: u64) {
+        self.rx.poll_data(ring);
+        self.tx.poll_credits(ring);
+
+        // Try to forward a finished sample first.
+        if let Some(out) = self.pending_out {
+            if self.tx.try_send(ring, out) {
+                self.pending_out = None;
+                self.samples_out += 1;
+            }
+        }
+
+        if now < self.busy_until {
+            self.busy_cycles += 1;
+            return;
+        }
+
+        // Accept a new sample only when the previous output has left.
+        if self.pending_out.is_some() {
+            return;
+        }
+        let Some(kernel) = self.kernel.as_mut() else {
+            return;
+        };
+        if self.rx.is_empty() {
+            return;
+        }
+        let s = self.rx.pop(ring).expect("non-empty rx");
+        self.samples_in += 1;
+        self.busy_until = now + self.cycles_per_sample;
+        self.busy_cycles += 1;
+        if let Some(out) = kernel.process(s) {
+            // Output becomes available when the firing completes; we hold it
+            // in pending_out and the forward happens on/after busy_until.
+            self.pending_out = Some(out);
+        }
+    }
+
+    /// Name of the installed kernel, if any.
+    pub fn kernel_name(&self) -> Option<String> {
+        self.kernel.as_ref().map(|k| k.name().to_string())
+    }
+
+    /// State words of the installed kernel (configuration-bus payload).
+    pub fn kernel_state_words(&self) -> usize {
+        self.kernel.as_ref().map(|k| k.state_words()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DownsampleKernel, PassthroughKernel, ScaleKernel};
+
+    /// Drive one accelerator standalone between two manual endpoints.
+    fn run_chain(kernel: Box<dyn StreamKernel>, inputs: &[Sample], cycles: u64) -> Vec<Sample> {
+        let mut ring: DualRing<Sample> = DualRing::new(4);
+        // producer at node 0, accel at node 1, consumer at node 2.
+        let mut acc = AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1);
+        acc.install_kernel(kernel);
+        let mut producer_tx = CreditTx::new(0, 1, 10, 2);
+        let mut consumer_rx: CreditRx<Sample> = CreditRx::new(2, 1, 11, 2);
+        let mut inputs = inputs.to_vec();
+        inputs.reverse(); // pop from back
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            producer_tx.poll_credits(&mut ring);
+            if let Some(&s) = inputs.last() {
+                if producer_tx.try_send(&mut ring, s) {
+                    inputs.pop();
+                }
+            }
+            acc.step(&mut ring, now);
+            consumer_rx.poll_data(&mut ring);
+            if let Some(s) = consumer_rx.pop(&mut ring) {
+                out.push(s);
+            }
+            ring.step();
+        }
+        out
+    }
+
+    #[test]
+    fn passthrough_chain_delivers_in_order() {
+        let inputs: Vec<Sample> = (0..20).map(|k| (k as f64, 0.0)).collect();
+        let out = run_chain(Box::new(PassthroughKernel), &inputs, 400);
+        assert_eq!(out.len(), 20);
+        for (k, s) in out.iter().enumerate() {
+            assert_eq!(s.0, k as f64);
+        }
+    }
+
+    #[test]
+    fn scale_kernel_applies() {
+        let inputs: Vec<Sample> = (0..10).map(|k| (k as f64, 1.0)).collect();
+        let out = run_chain(Box::new(ScaleKernel::new(3.0)), &inputs, 300);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[4], (12.0, 3.0));
+    }
+
+    #[test]
+    fn downsampler_reduces_rate() {
+        let inputs: Vec<Sample> = (0..32).map(|k| (k as f64, 0.0)).collect();
+        let out = run_chain(Box::new(DownsampleKernel::new(8)), &inputs, 800);
+        assert_eq!(out.len(), 4);
+        // First group 0..8 averages to 3.5.
+        assert_eq!(out[0], (3.5, 0.0));
+    }
+
+    #[test]
+    fn no_kernel_means_no_consumption() {
+        let mut ring: DualRing<Sample> = DualRing::new(4);
+        let mut acc = AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1);
+        let mut producer_tx = CreditTx::new(0, 1, 10, 2);
+        assert!(producer_tx.try_send(&mut ring, (5.0, 0.0)));
+        for now in 0..20 {
+            acc.step(&mut ring, now);
+            ring.step();
+        }
+        assert_eq!(acc.samples_in, 0);
+        assert!(!acc.is_drained(20), "sample parked in the NI buffer");
+    }
+
+    #[test]
+    fn drained_after_flush() {
+        let inputs: Vec<Sample> = (0..4).map(|k| (k as f64, 0.0)).collect();
+        let mut ring: DualRing<Sample> = DualRing::new(4);
+        let mut acc = AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1);
+        acc.install_kernel(Box::new(PassthroughKernel));
+        let mut producer_tx = CreditTx::new(0, 1, 10, 2);
+        let mut consumer_rx: CreditRx<Sample> = CreditRx::new(2, 1, 11, 2);
+        let mut pending = inputs;
+        pending.reverse();
+        for now in 0..200 {
+            producer_tx.poll_credits(&mut ring);
+            if let Some(&s) = pending.last() {
+                if producer_tx.try_send(&mut ring, s) {
+                    pending.pop();
+                }
+            }
+            acc.step(&mut ring, now);
+            consumer_rx.poll_data(&mut ring);
+            consumer_rx.pop(&mut ring);
+            ring.step();
+        }
+        assert!(acc.is_drained(200));
+        assert_eq!(acc.samples_in, 4);
+        assert_eq!(acc.samples_out, 4);
+        // Context can now be swapped safely.
+        let k = acc.remove_kernel().unwrap();
+        assert_eq!(k.name(), "passthrough");
+    }
+
+    #[test]
+    fn slow_kernel_throttles() {
+        let inputs: Vec<Sample> = (0..10).map(|k| (k as f64, 0.0)).collect();
+        let mut ring: DualRing<Sample> = DualRing::new(4);
+        let mut acc = AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1);
+        acc.cycles_per_sample = 10;
+        acc.install_kernel(Box::new(PassthroughKernel));
+        let mut producer_tx = CreditTx::new(0, 1, 10, 2);
+        let mut consumer_rx: CreditRx<Sample> = CreditRx::new(2, 1, 11, 2);
+        let mut pending = inputs;
+        pending.reverse();
+        let mut arrivals = Vec::new();
+        for now in 0..400 {
+            producer_tx.poll_credits(&mut ring);
+            if let Some(&s) = pending.last() {
+                if producer_tx.try_send(&mut ring, s) {
+                    pending.pop();
+                }
+            }
+            acc.step(&mut ring, now);
+            consumer_rx.poll_data(&mut ring);
+            if consumer_rx.pop(&mut ring).is_some() {
+                arrivals.push(now);
+            }
+            ring.step();
+        }
+        assert_eq!(arrivals.len(), 10);
+        // Steady-state spacing must be >= the kernel's 10 cycles/sample.
+        for w in arrivals.windows(2).skip(2) {
+            assert!(w[1] - w[0] >= 10, "spacing {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Software C-FIFO channels (Gangwal et al. \[12\] in the paper).
+//!
+//! Processor tiles and gateways communicate through software FIFOs in local
+//! memories: the producer posts data words and a write-pointer update; the
+//! consumer reads locally and posts read-pointer updates back. Because the
+//! interconnect only supports posted writes with guaranteed acceptance, no
+//! hardware flow control is involved — capacity is enforced by the pointer
+//! protocol itself.
+//!
+//! The simulator models the pointer protocol's *effect* (a bounded queue
+//! whose producer sees space with a configurable pointer-update delay)
+//! rather than individual pointer writes; the transfer cost of data words is
+//! accounted in the copying agent (DMA ε, software task budgets).
+
+use crate::types::Sample;
+use std::collections::VecDeque;
+
+/// Identifier of a C-FIFO in the [`crate::system::System`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FifoId(pub usize);
+
+/// A bounded software FIFO.
+#[derive(Clone, Debug)]
+pub struct CFifo {
+    /// Diagnostic name.
+    pub name: String,
+    capacity: usize,
+    buf: VecDeque<Sample>,
+    /// Total samples ever pushed.
+    pub pushed: u64,
+    /// Total samples ever popped.
+    pub popped: u64,
+    /// Timestamps of pushes (kept only when tracing is on).
+    trace: Option<Vec<u64>>,
+}
+
+impl CFifo {
+    /// New FIFO with `capacity` locations.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        CFifo {
+            name: name.into(),
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            pushed: 0,
+            popped: 0,
+            trace: None,
+        }
+    }
+
+    /// Enable per-token push-timestamp tracing (for refinement checks).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Recorded push timestamps (empty if tracing is off).
+    pub fn trace(&self) -> &[u64] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Free locations.
+    pub fn space(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// Push one sample at time `now`; `false` if full (caller must stall —
+    /// this is the software flow-control condition).
+    pub fn try_push(&mut self, s: Sample, now: u64) -> bool {
+        if self.buf.len() >= self.capacity {
+            return false;
+        }
+        self.buf.push_back(s);
+        self.pushed += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(now);
+        }
+        true
+    }
+
+    /// Pop one sample.
+    pub fn pop(&mut self) -> Option<Sample> {
+        let v = self.buf.pop_front();
+        if v.is_some() {
+            self.popped += 1;
+        }
+        v
+    }
+
+    /// Peek without consuming.
+    pub fn peek(&self) -> Option<&Sample> {
+        self.buf.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_push_pop() {
+        let mut f = CFifo::new("t", 2);
+        assert!(f.try_push((1.0, 0.0), 0));
+        assert!(f.try_push((2.0, 0.0), 1));
+        assert!(!f.try_push((3.0, 0.0), 2), "full fifo must refuse");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.space(), 0);
+        assert_eq!(f.pop(), Some((1.0, 0.0)));
+        assert_eq!(f.space(), 1);
+        assert!(f.try_push((3.0, 0.0), 3));
+        assert_eq!(f.pop(), Some((2.0, 0.0)));
+        assert_eq!(f.pop(), Some((3.0, 0.0)));
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pushed, 3);
+        assert_eq!(f.popped, 3);
+    }
+
+    #[test]
+    fn trace_records_push_times() {
+        let mut f = CFifo::new("t", 4);
+        f.enable_trace();
+        f.try_push((0.0, 0.0), 10);
+        f.try_push((0.0, 0.0), 12);
+        f.pop();
+        f.try_push((0.0, 0.0), 15);
+        assert_eq!(f.trace(), &[10, 12, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CFifo::new("bad", 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Common types: samples, stream-kernel trait, test kernels.
+//!
+//! The platform moves I/Q samples between tiles. Accelerator behaviour is
+//! pluggable through [`StreamKernel`], so the same `AcceleratorTile` can act
+//! as the paper's CORDIC (mixer / FM discriminator) or FIR+down-sampler —
+//! the concrete DSP kernels live in `streamgate-dsp` and are adapted in
+//! `streamgate-core`.
+//!
+//! A kernel instance *is* the per-stream accelerator context: when the entry
+//! gateway multiplexes another stream onto the chain, it removes the current
+//! kernel (saving its state over the configuration bus) and installs the new
+//! stream's kernel. The move is what the reconfiguration time `R_s` pays
+//! for.
+
+/// One I/Q sample moving through the system: `(re, im)`.
+pub type Sample = (f64, f64);
+
+/// An accelerator's per-stream processing context.
+///
+/// `process` consumes exactly one input sample and produces zero or one
+/// output samples (a decimating kernel emits one sample every `M` inputs).
+pub trait StreamKernel: Send {
+    /// Process one sample.
+    fn process(&mut self, s: Sample) -> Option<Sample>;
+    /// Size of the kernel state in words — what the configuration bus must
+    /// save and restore on a context switch.
+    fn state_words(&self) -> usize;
+    /// Human-readable kernel name for reports.
+    fn name(&self) -> &str {
+        "kernel"
+    }
+}
+
+/// Identity kernel (1 sample in, 1 sample out, stateless).
+#[derive(Clone, Debug, Default)]
+pub struct PassthroughKernel;
+
+impl StreamKernel for PassthroughKernel {
+    fn process(&mut self, s: Sample) -> Option<Sample> {
+        Some(s)
+    }
+    fn state_words(&self) -> usize {
+        0
+    }
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+}
+
+/// Multiplies samples by a constant; carries a running sum as "state" so
+/// context-switch correctness is observable in tests.
+#[derive(Clone, Debug)]
+pub struct ScaleKernel {
+    /// Gain applied to both components.
+    pub gain: f64,
+    /// Running sum of processed sample real parts (observable state).
+    pub accumulated: f64,
+}
+
+impl ScaleKernel {
+    /// New scaling kernel.
+    pub fn new(gain: f64) -> Self {
+        ScaleKernel {
+            gain,
+            accumulated: 0.0,
+        }
+    }
+}
+
+impl StreamKernel for ScaleKernel {
+    fn process(&mut self, s: Sample) -> Option<Sample> {
+        self.accumulated += s.0;
+        Some((s.0 * self.gain, s.1 * self.gain))
+    }
+    fn state_words(&self) -> usize {
+        2
+    }
+    fn name(&self) -> &str {
+        "scale"
+    }
+}
+
+/// Emits one output per `factor` inputs (sum of the group) — a stand-in for
+/// the FIR+down-sampler's rate behaviour in platform tests.
+#[derive(Clone, Debug)]
+pub struct DownsampleKernel {
+    factor: usize,
+    count: usize,
+    acc: Sample,
+}
+
+impl DownsampleKernel {
+    /// New `factor:1` averaging down-sampler.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor >= 1);
+        DownsampleKernel {
+            factor,
+            count: 0,
+            acc: (0.0, 0.0),
+        }
+    }
+
+    /// The decimation factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+}
+
+impl StreamKernel for DownsampleKernel {
+    fn process(&mut self, s: Sample) -> Option<Sample> {
+        self.acc.0 += s.0;
+        self.acc.1 += s.1;
+        self.count += 1;
+        if self.count == self.factor {
+            let out = (self.acc.0 / self.factor as f64, self.acc.1 / self.factor as f64);
+            self.count = 0;
+            self.acc = (0.0, 0.0);
+            Some(out)
+        } else {
+            None
+        }
+    }
+    fn state_words(&self) -> usize {
+        3
+    }
+    fn name(&self) -> &str {
+        "downsample"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_is_identity() {
+        let mut k = PassthroughKernel;
+        assert_eq!(k.process((1.5, -2.0)), Some((1.5, -2.0)));
+        assert_eq!(k.state_words(), 0);
+    }
+
+    #[test]
+    fn scale_applies_gain_and_tracks_state() {
+        let mut k = ScaleKernel::new(2.0);
+        assert_eq!(k.process((3.0, 1.0)), Some((6.0, 2.0)));
+        assert_eq!(k.process((4.0, 0.0)), Some((8.0, 0.0)));
+        assert_eq!(k.accumulated, 7.0);
+    }
+
+    #[test]
+    fn downsample_rate_and_average() {
+        let mut k = DownsampleKernel::new(4);
+        assert_eq!(k.process((1.0, 0.0)), None);
+        assert_eq!(k.process((2.0, 0.0)), None);
+        assert_eq!(k.process((3.0, 0.0)), None);
+        assert_eq!(k.process((6.0, 0.0)), Some((3.0, 0.0)));
+        // Next group starts clean.
+        assert_eq!(k.process((8.0, 0.0)), None);
+    }
+}

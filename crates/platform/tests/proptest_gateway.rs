@@ -1,0 +1,115 @@
+//! Property tests for the gateway protocol invariants.
+//!
+//! Under arbitrary block sizes, reconfiguration costs and DMA paces:
+//! * sample conservation — every admitted input sample comes out exactly
+//!   once, in order;
+//! * block atomicity — output counts are always multiples of η_out at
+//!   block boundaries;
+//! * admission safety — the output FIFO never overflows (the
+//!   check-for-space test is sufficient).
+
+use proptest::prelude::*;
+use streamgate_platform::{
+    AcceleratorTile, CFifo, DownsampleKernel, GatewayPair, PassthroughKernel, StreamConfig,
+    StreamKernel, System,
+};
+
+fn build(
+    eta: usize,
+    reconfig: u64,
+    epsilon: u64,
+    decim: usize,
+    out_cap: usize,
+    feed: usize,
+) -> System {
+    let mut sys = System::new(4);
+    let i0 = sys.add_fifo(CFifo::new("i0", 1 << 16));
+    let o0 = sys.add_fifo(CFifo::new("o0", out_cap));
+    let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+    let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
+    let kernel: Box<dyn StreamKernel> = if decim == 1 {
+        Box::new(PassthroughKernel)
+    } else {
+        Box::new(DownsampleKernel::new(decim))
+    };
+    gw.add_stream(StreamConfig::new(
+        "s0",
+        i0,
+        o0,
+        eta,
+        eta / decim,
+        reconfig,
+        vec![kernel],
+    ));
+    sys.add_gateway(gw);
+    for k in 0..feed {
+        sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn samples_conserved_and_ordered(
+        eta_blocks in 1usize..6,
+        reconfig in 0u64..120,
+        epsilon in 1u64..8,
+        feed_blocks in 1usize..6,
+    ) {
+        let decim = 1;
+        let eta = eta_blocks * 4;
+        let feed = feed_blocks * eta;
+        let mut sys = build(eta, reconfig, epsilon, decim, 1 << 16, feed);
+        sys.run(((reconfig + (eta as u64 + 2) * epsilon.max(1)) * (feed_blocks as u64 + 2)).max(20_000));
+        // All full blocks admitted and delivered.
+        let out = sys.gateways[0].stream(0).output;
+        let delivered = sys.fifos[out.0].len();
+        prop_assert_eq!(delivered, feed, "all admitted samples must come out");
+        for k in 0..feed {
+            let s = sys.fifos[out.0].pop().unwrap();
+            prop_assert_eq!(s.0 as usize, k, "order violated at {}", k);
+        }
+    }
+
+    #[test]
+    fn decimating_stream_counts(
+        eta_blocks in 1usize..5,
+        reconfig in 0u64..80,
+        epsilon in 1u64..6,
+    ) {
+        let decim = 4;
+        let eta = eta_blocks * decim * 2;
+        let feed = 3 * eta;
+        let mut sys = build(eta, reconfig, epsilon, decim, 1 << 16, feed);
+        sys.run(((reconfig + (eta as u64 + 2) * epsilon.max(1)) * 5).max(30_000));
+        let out = sys.gateways[0].stream(0).output;
+        let blocks = sys.gateways[0].stream(0).blocks_done as usize;
+        prop_assert_eq!(blocks, 3);
+        prop_assert_eq!(sys.fifos[out.0].len(), feed / decim);
+    }
+
+    #[test]
+    fn small_output_fifo_never_overflows(
+        eta in 2usize..12,
+        out_slack in 0usize..4,
+    ) {
+        // Output capacity barely above one block: admission must pace the
+        // gateway so the exit push never fails (the assert inside the
+        // gateway would panic the test if it did).
+        let out_cap = eta + out_slack;
+        let mut sys = build(eta, 10, 2, 1, out_cap, 6 * eta);
+        // Consumer drains slowly: pop one sample every 7 cycles.
+        for step in 0..40_000u64 {
+            sys.step();
+            if step % 7 == 0 {
+                let out = sys.gateways[0].stream(0).output;
+                sys.fifos[out.0].pop();
+            }
+        }
+        // If we got here without the exit-gateway assertion firing, the
+        // check-for-space admission worked.
+        prop_assert!(sys.gateways[0].stream(0).blocks_done >= 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Flits: the unit of transfer on the rings.
+//!
+//! The data ring carries posted writes (address-based, §IV-A: "a write
+//! completes for a producer when the interconnect accepts"); the credit ring
+//! carries flow-control credits in the opposite direction (§IV: "a second
+//! ring for the communication of credits in the opposite direction as the
+//! data").
+
+/// Identifier of a tile's network interface on the ring.
+pub type NodeId = usize;
+
+/// A posted-write flit on the data ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataFlit<P> {
+    /// Source node (for statistics and ordering checks).
+    pub src: NodeId,
+    /// Destination node; ejection is guaranteed on arrival.
+    pub dst: NodeId,
+    /// Logical stream/channel the payload belongs to.
+    pub stream: u32,
+    /// The payload word.
+    pub payload: P,
+    /// Injection cycle (for latency accounting).
+    pub injected_at: u64,
+}
+
+/// A credit flit on the credit ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditFlit {
+    /// Source node (the consumer returning space).
+    pub src: NodeId,
+    /// Destination node (the producer being granted space).
+    pub dst: NodeId,
+    /// Stream the credits belong to.
+    pub stream: u32,
+    /// Number of buffer locations granted.
+    pub amount: u32,
+    /// Injection cycle.
+    pub injected_at: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_construction() {
+        let f = DataFlit {
+            src: 0,
+            dst: 3,
+            stream: 7,
+            payload: 42u64,
+            injected_at: 100,
+        };
+        assert_eq!(f.dst, 3);
+        let c = CreditFlit {
+            src: 3,
+            dst: 0,
+            stream: 7,
+            amount: 2,
+            injected_at: 101,
+        };
+        assert_eq!(c.amount, 2);
+    }
+}

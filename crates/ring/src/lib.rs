@@ -1,0 +1,27 @@
+//! # streamgate-ring
+//!
+//! Cycle-level simulator of the low-cost guaranteed-throughput **dual-ring
+//! interconnect** used as the inter-tile network in *"Real-Time
+//! Multiprocessor Architecture for Sharing Stream Processing Accelerators"*
+//! (Dekens et al., IPDPSW 2015, §IV; the ring itself is from the authors'
+//! DASIP 2013/2014 papers).
+//!
+//! Properties modelled:
+//!
+//! * unidirectional **data ring**, one slot per link, one hop per cycle;
+//! * a second **credit ring** in the opposite direction for flow control;
+//! * **posted writes** — a write completes when the interconnect accepts it;
+//! * **guaranteed acceptance** at every station (no circulating flits, no
+//!   network-level flow control for memory writes);
+//! * credit-based **hardware FIFO** endpoints ([`CreditTx`]/[`CreditRx`])
+//!   with the 2-deep NI buffers the CSDF model exposes as `α₁`/`α₂`.
+
+#![warn(missing_docs)]
+
+pub mod flit;
+pub mod network;
+pub mod ni;
+
+pub use flit::{CreditFlit, DataFlit, NodeId};
+pub use network::{DualRing, RingStats};
+pub use ni::{CreditRx, CreditTx};

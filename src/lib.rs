@@ -1,0 +1,49 @@
+//! # streamgate
+//!
+//! A full Rust reproduction of *"Real-Time Multiprocessor Architecture for
+//! Sharing Stream Processing Accelerators"* (B.H.J. Dekens, M.J.G. Bekooij,
+//! G.J.M. Smit — IEEE IPDPSW 2015, DOI 10.1109/IPDPSW.2015.147).
+//!
+//! Stream-processing accelerators (a CORDIC, a FIR low-pass + down-sampler)
+//! are *shared* between several real-time streams by entry-/exit-gateway
+//! pairs that multiplex whole blocks of data, check for output space before
+//! admitting a block, and save/restore accelerator state on every switch.
+//! A cyclo-static dataflow model of the arrangement yields worst-case
+//! bounds; an ILP computes the minimum block sizes that still meet every
+//! stream's throughput; buffer capacities are sized exactly — and shown to
+//! be non-monotone in the block size.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ilp`] | exact-rational simplex + branch-and-bound ILP solver |
+//! | [`dataflow`] | (C)SDF graphs, MCM, self-timed simulation, buffer sizing, refinement |
+//! | [`ring`] | cycle-level dual-ring interconnect with credit flow control |
+//! | [`platform`] | MPSoC tile simulator: processors, accelerators, gateways, C-FIFOs |
+//! | [`dsp`] | CORDIC, FIR/decimator, FM demodulation, PAL stereo synthesis |
+//! | [`core`] | the paper's contribution: models, Algorithm 1, deployment |
+//! | [`hwcost`] | Virtex-6 resource model, sharing savings (Table I / Fig. 11) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamgate::core::{solve_blocksizes_checked, SharingProblem};
+//! use streamgate::core::params::PAL_CLOCK_HZ;
+//!
+//! // The paper's PAL stereo decoder: four streams over one CORDIC and one
+//! // FIR+8:1, multiplexed by a single gateway pair.
+//! let problem = SharingProblem::pal_decoder(PAL_CLOCK_HZ);
+//! let solution = solve_blocksizes_checked(&problem).unwrap();
+//! assert_eq!(solution.etas, vec![10136, 10136, 1267, 1267]); // §VI-A
+//! ```
+
+#![warn(missing_docs)]
+
+pub use streamgate_core as core;
+pub use streamgate_dataflow as dataflow;
+pub use streamgate_dsp as dsp;
+pub use streamgate_hwcost as hwcost;
+pub use streamgate_ilp as ilp;
+pub use streamgate_platform as platform;
+pub use streamgate_ring as ring;

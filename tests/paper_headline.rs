@@ -1,0 +1,52 @@
+//! Integration: the paper's headline numbers, end to end across crates.
+
+use streamgate::core::params::PAL_CLOCK_HZ;
+use streamgate::core::{solve_blocksizes_checked, SharingProblem};
+use streamgate::hwcost::{components::cordic_ref, components::fir_ref, sharing_report};
+
+#[test]
+fn section6_block_sizes_exact() {
+    let prob = SharingProblem::pal_decoder(PAL_CLOCK_HZ);
+    let sol = solve_blocksizes_checked(&prob).unwrap();
+    assert_eq!(sol.etas, vec![10136, 10136, 1267, 1267]);
+    // 8:1 ratio "due to down-sampling" (§VI-A).
+    assert_eq!(sol.etas[0], 8 * sol.etas[2]);
+    // The published sizes are tight: any single decrement is infeasible.
+    for s in 0..4 {
+        let mut smaller = sol.etas.clone();
+        smaller[s] -= 1;
+        assert!(!prob.satisfies_throughput(&smaller), "η[{s}] not minimal");
+    }
+}
+
+#[test]
+fn table1_savings_exact() {
+    let r = sharing_report(4, &[fir_ref(), cordic_ref()]);
+    assert_eq!(r.non_shared.slices, 32904);
+    assert_eq!(r.non_shared.luts, 50876);
+    assert_eq!(r.shared.slices, 12014);
+    assert_eq!(r.shared.luts, 17164);
+    assert_eq!(r.saved.slices, 20890); // "reduces the number of logic cells with 63%"
+    assert_eq!(r.saved.luts, 33712);
+    assert!((r.percent.0 - 63.5).abs() < 0.05);
+    assert!((r.percent.1 - 66.3).abs() < 0.05);
+}
+
+#[test]
+fn accelerator_count_reduction() {
+    // "sharing reduces the number of accelerators by 75%": 8 instances
+    // (4×CORDIC + 4×FIR) become 2.
+    let before = 4 + 4;
+    let after = 1 + 1;
+    assert_eq!((before - after) * 100 / before, 75);
+}
+
+#[test]
+fn operating_point_is_near_saturation() {
+    let prob = SharingProblem::pal_decoder(PAL_CLOCK_HZ);
+    let u = prob.utilisation().to_f64();
+    assert!(u > 0.95 && u < 0.96, "utilisation {u}");
+    // Below the utilisation bound no block size works:
+    assert!(!SharingProblem::pal_decoder(95_256_000).is_feasible());
+    assert!(SharingProblem::pal_decoder(95_256_001).is_feasible());
+}
