@@ -77,5 +77,36 @@ fn bench_hwcost(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ring, bench_system, bench_hwcost);
+/// The observability layer's contract: with tracing DISABLED, `System::run`
+/// costs the same as it did before the layer existed (every emission site is
+/// one `Option` discriminant test). The enabled cost is reported alongside
+/// for scale.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("trace-overhead");
+    grp.throughput(Throughput::Elements(50_000));
+    grp.bench_function("disabled-50k-cycles", |b| {
+        b.iter(|| {
+            let mut sys = two_stream_system(32);
+            sys.run(50_000);
+            sys.gateways[0].blocks.len()
+        })
+    });
+    grp.bench_function("enabled-50k-cycles", |b| {
+        b.iter(|| {
+            let mut sys = two_stream_system(32);
+            sys.enable_tracing(1024);
+            sys.run(50_000);
+            sys.tracer.len()
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring,
+    bench_system,
+    bench_hwcost,
+    bench_trace_overhead
+);
 criterion_main!(benches);

@@ -1,8 +1,38 @@
 //! E4 — Fig. 6: execution schedule of one multiplexed block.
 //!
 //! `cargo run -p streamgate-bench --bin fig6_schedule`
+//!
+//! Pass `--trace out.json` to export the schedule as a Chrome trace (one
+//! thread per CSDF actor, one span per firing, labelled by phase).
 
+use streamgate_bench::{trace_arg, write_trace};
 use streamgate_core::{fig6_schedule, Fig5Params};
+use streamgate_dataflow::Gantt;
+
+/// Render a model Gantt chart in Chrome trace-event JSON: one thread per
+/// actor row, one complete ("X") span per firing segment.
+fn gantt_chrome_json(gantt: &Gantt) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut lines = Vec::new();
+    for (tid, row) in gantt.rows.iter().enumerate() {
+        lines.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            row.actor
+        ));
+        for s in &row.segments {
+            lines.push(format!(
+                "{{\"ph\":\"X\",\"cat\":\"firing\",\"name\":\"{} phase {}\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+                row.actor,
+                s.phase,
+                s.start,
+                s.end - s.start
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
 
 fn main() {
     // Small, legible parameters (the paper's figure is also schematic):
@@ -40,4 +70,8 @@ fn main() {
          staggered transfers at pace max(ε,ρ_A,δ), then the pipeline drains\n\
          through vA and vG1 before the next block may start."
     );
+
+    if let Some(path) = trace_arg() {
+        write_trace(&path, &gantt_chrome_json(&gantt));
+    }
 }

@@ -4,10 +4,20 @@
 //! `cargo run -p streamgate-bench --bin fig9_shared_fifo`
 //!
 //! This is the same experiment as `examples/shared_fifo_blocking.rs`, in
-//! sweep form: lateness vs the slow consumer's service time.
+//! sweep form: lateness vs the slow consumer's service time — followed by
+//! the same head-of-line blocking reproduced on the cycle-level platform by
+//! disabling the exit-gateway's check-for-space admission test (the tracer
+//! shows the stall cycles appear, and vanish when the check is on).
+//!
+//! Pass `--trace out.json` to export the check-disabled platform run as a
+//! Chrome trace.
 
-use streamgate_bench::print_table;
+use streamgate_bench::{print_table, trace_arg, write_trace};
+use streamgate_core::system_metrics;
 use streamgate_dataflow::{check_refinement, ArrivalTrace, RefinementOutcome};
+use streamgate_platform::{
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StallCause, StreamConfig, System,
+};
 use std::collections::VecDeque;
 
 fn run_shared(slow_cost: u64, horizon: u64) -> ArrivalTrace {
@@ -35,6 +45,43 @@ fn run_shared(slow_cost: u64, horizon: u64) -> ArrivalTrace {
 
 fn dedicated(n: usize) -> ArrivalTrace {
     ArrivalTrace::new((0..n as u64).map(|k| k * 4).collect())
+}
+
+/// Two streams over one shared accelerator chain; stream 1's consumer FIFO
+/// is smaller than its block and never drained (an arbitrarily slow
+/// consumer). With the §V-G check-for-space admission test the block never
+/// starts; without it the block wedges in the shared (hardware) FIFO and
+/// head-of-line-blocks stream 0 — exactly Fig. 9 on real machinery.
+fn run_platform(check_for_space: bool) -> (System, u64, u64) {
+    let mut sys = System::new(4);
+    sys.enable_tracing(0);
+    let i0 = sys.add_fifo(CFifo::new("i0", 4096));
+    let o0 = sys.add_fifo(CFifo::new("o0", 1 << 16));
+    let i1 = sys.add_fifo(CFifo::new("i1", 4096));
+    let o1 = sys.add_fifo(CFifo::new("o1-slow", 4)); // < η_out, never drained
+    let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+    let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, 2, 1);
+    gw.check_for_space = check_for_space;
+    for (name, i, o) in [("s0", i0, o0), ("s1", i1, o1)] {
+        gw.add_stream(StreamConfig::new(
+            name,
+            i,
+            o,
+            16,
+            16,
+            10,
+            vec![Box::new(PassthroughKernel)],
+        ));
+    }
+    sys.add_gateway(gw);
+    for k in 0..4096 {
+        sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+        sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
+    }
+    sys.run(20_000);
+    let stalls = sys.tracer.stall_cycles(0, StallCause::ExitFifoFull);
+    let s0_blocks = system_metrics(&sys, 0).streams[0].blocks() as u64;
+    (sys, stalls, s0_blocks)
 }
 
 fn main() {
@@ -74,4 +121,26 @@ fn main() {
          The gateways avoid this by draining the FIFO before every switch,\n\
          giving each block an exclusive FIFO (mutual exclusivity)."
     );
+
+    // --- the same effect on the cycle-level platform -----------------------
+    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false);
+    let (_good_sys, good_stalls, good_s0) = run_platform(true);
+    print_table(
+        "platform: exit-gateway space check on/off (tracer stall cycles)",
+        &["check-for-space", "exit-fifo-full stall cycles", "s0 blocks done"],
+        &[
+            vec!["disabled".into(), bad_stalls.to_string(), bad_s0.to_string()],
+            vec!["enabled".into(), good_stalls.to_string(), good_s0.to_string()],
+        ],
+    );
+    assert!(bad_stalls > 0 && good_stalls == 0 && good_s0 > bad_s0);
+    println!(
+        "\nwith the admission test disabled, stream 1's wedged block stalls the\n\
+         exit gateway (head-of-line on the shared hardware FIFO) and stream 0\n\
+         starves; enabling the check removes every such stall cycle."
+    );
+
+    if let Some(path) = trace_arg() {
+        write_trace(&path, &bad_sys.chrome_trace_json());
+    }
 }

@@ -2,13 +2,19 @@
 //! platform, verified against the pure-DSP reference chain.
 //!
 //! `cargo run --release -p streamgate-bench --bin pal_system_sim`
+//!
+//! Pass `--trace out.json` to record the run with the platform tracer and
+//! export a Chrome-trace-format timeline (block phases per stream,
+//! reconfiguration windows, DMA/drain phases, stalls, FIFO levels) viewable
+//! in <https://ui.perfetto.dev> or `chrome://tracing`.
 
-use streamgate_bench::print_table;
-use streamgate_core::{build_pal_system, solve_blocksizes_checked, PalSystemConfig};
+use streamgate_bench::{print_table, trace_arg, write_trace};
+use streamgate_core::{build_pal_system, solve_blocksizes_checked, system_metrics, PalSystemConfig};
 use streamgate_dsp::{decode_stereo, rms_error, snr_db, tone_power, PalStereoSource};
-use streamgate_platform::AccelId;
+use streamgate_platform::{AccelId, StallCause};
 
 fn main() {
+    let trace_path = trace_arg();
     let cfg = PalSystemConfig::scaled_default();
     let prob = cfg.sharing_problem();
     println!("laptop-scale PAL config: audio {} Hz, baseband {} Hz, clock {} Hz",
@@ -20,6 +26,10 @@ fn main() {
 
     let mut pal = build_pal_system(&cfg);
     let cycles = cfg.clock_hz; // one second of platform time
+    if trace_path.is_some() {
+        // ~1000 FIFO/ring counter samples over the run; spans are exact.
+        pal.system.enable_tracing(cycles / 1000);
+    }
     println!("\nsimulating {cycles} cycles (1 s) …");
     pal.system.run(cycles);
     let (left, right) = pal.take_audio();
@@ -82,5 +92,36 @@ fn main() {
          utilisation ×4 vs duplication (paper: \"improved accelerator\n\
          utilization by a factor of four\")."
     );
+
+    if let Some(path) = trace_path {
+        // Tracer-derived per-stream metrics and stall breakdown.
+        let metrics = system_metrics(&pal.system, 0);
+        let rows: Vec<Vec<String>> = metrics
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                vec![
+                    pal.system.gateways[0].stream(i).name.clone(),
+                    m.blocks().to_string(),
+                    m.tau_min().to_string(),
+                    format!("{:.0}", m.tau_mean()),
+                    m.tau_max().to_string(),
+                    m.dma_stall.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "tracer: per-stream block times (cycles)",
+            &["stream", "blocks", "τ min", "τ mean", "τ max", "dma stall"],
+            &rows,
+        );
+        let stall_rows: Vec<Vec<String>> = StallCause::ALL
+            .iter()
+            .map(|&c| vec![c.to_string(), metrics.stall_cycles(c).to_string()])
+            .collect();
+        print_table("tracer: gateway stall breakdown", &["cause", "cycles"], &stall_rows);
+        write_trace(&path, &pal.system.chrome_trace_json());
+    }
     assert!(ok_rt, "real-time constraint violated");
 }

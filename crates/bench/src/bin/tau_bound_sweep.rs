@@ -3,16 +3,19 @@
 //! over randomised parameters.
 //!
 //! `cargo run --release -p streamgate-bench --bin tau_bound_sweep`
+//!
+//! Pass `--trace out.json` to export the last case's run as a Chrome trace.
 
-use streamgate_bench::print_table;
+use streamgate_bench::{print_table, trace_arg, write_trace};
 use streamgate_core::{measure_block_times, GatewayParams, SharingProblem, StreamSpec};
 use streamgate_ilp::rat;
 use streamgate_platform::{
     AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
 };
 
-fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f64) {
+fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f64, System) {
     let mut sys = System::new(4);
+    sys.enable_tracing(0); // measurement comes from the tracer's event log
     let i0 = sys.add_fifo(CFifo::new("i0", 8192));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
     let acc = sys.add_accel({
@@ -37,10 +40,11 @@ fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f
     let times = measure_block_times(&sys, 0);
     let measured = *times[0].iter().max().unwrap_or(&0);
     let tau_hat = prob.tau_hat(0, eta as u64);
-    (measured, tau_hat, measured as f64 / tau_hat as f64)
+    (measured, tau_hat, measured as f64 / tau_hat as f64, sys)
 }
 
 fn main() {
+    let trace_path = trace_arg();
     println!("Eq. 2 validity sweep: measured max block time vs τ̂ on the platform");
     println!("(margin: ring transport of the last samples, constant ≈ 8 cycles)\n");
     let mut rows = Vec::new();
@@ -49,12 +53,14 @@ fn main() {
     let mut rng = move || {
         seed ^= seed << 13; seed ^= seed >> 7; seed ^= seed << 17; seed
     };
+    let mut last_sys = None;
     for case in 0..18 {
         let eta = 2 + (rng() % 48) as usize;
         let epsilon = 1 + rng() % 16;
         let rho_a = 1 + rng() % 8;
         let reconfig = rng() % 500;
-        let (measured, tau_hat, ratio) = run_case(eta, epsilon, rho_a, reconfig);
+        let (measured, tau_hat, ratio, sys) = run_case(eta, epsilon, rho_a, reconfig);
+        last_sys = Some(sys);
         worst_ratio = worst_ratio.max(ratio);
         let ok = measured <= tau_hat + 8;
         rows.push(vec![
@@ -73,4 +79,7 @@ fn main() {
     );
     println!("\nworst measured/τ̂ ratio: {worst_ratio:.3} (≤ 1 + margin ⇒ bound valid;");
     println!("close to 1 ⇒ bound tight, not vacuous)");
+    if let (Some(path), Some(mut sys)) = (trace_path, last_sys) {
+        write_trace(&path, &sys.chrome_trace_json());
+    }
 }

@@ -50,6 +50,39 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Parse a `--trace <path>` (or `--trace=<path>`) flag from the process
+/// arguments. Returns the output path when present.
+pub fn trace_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            match args.next() {
+                Some(p) => return Some(p),
+                None => {
+                    eprintln!("--trace requires an output path, e.g. --trace out.json");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.to_string());
+        }
+    }
+    None
+}
+
+/// Write a Chrome trace JSON string to `path` and print how to view it.
+pub fn write_trace(path: &str, json: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => println!(
+            "\ntrace written to {path} — open it in https://ui.perfetto.dev or chrome://tracing"
+        ),
+        Err(e) => {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Format a percentage delta between paper and measured values.
 pub fn delta_pct(paper: f64, measured: f64) -> String {
     if paper == 0.0 {

@@ -18,8 +18,11 @@
 //!   the non-monotone example of Fig. 8;
 //! * [`deploy`] — turn-key construction of the PAL stereo decoder system
 //!   (Fig. 10) on the cycle-level platform, with the real DSP kernels;
+//! * [`metrics`] — per-stream metrics (τ distributions, round times, stall
+//!   breakdowns) folded from the platform tracer's event log;
 //! * [`validate`] — bound validation: measured block times vs `τ̂`/`γ̂`,
-//!   the-earlier-the-better refinement of simulated traces.
+//!   the-earlier-the-better refinement of simulated traces — all measured
+//!   through the tracer.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod chain;
 pub mod blocksize;
 pub mod buffers;
 pub mod deploy;
+pub mod metrics;
 pub mod model;
 pub mod params;
 pub mod validate;
@@ -41,5 +45,8 @@ pub use blocksize::{
 pub use buffers::{fig8_example, minimum_stream_buffers, sufficient_stream_buffers, StreamBuffers};
 pub use deploy::{build_pal_system, PalSystem, PalSystemConfig};
 pub use model::{fig5_csdf, fig6_schedule, Fig5Model, Fig5Params};
+pub use metrics::{gateway_metrics, BlockMeasurement, GatewayMetrics, StreamMetrics};
 pub use params::{GatewayParams, SharingProblem, StreamSpec};
-pub use validate::{measure_block_times, validate_tau_bound, TauValidation};
+pub use validate::{
+    max_round_time, measure_block_times, system_metrics, validate_tau_bound, TauValidation,
+};

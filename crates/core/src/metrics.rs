@@ -1,0 +1,270 @@
+//! Per-stream metrics derived from the platform tracer's event log.
+//!
+//! The simulator's components emit structured events (see
+//! `streamgate_platform::trace`); this module folds a gateway's portion of
+//! that log into the quantities the temporal analysis talks about:
+//!
+//! * the measured block-time distribution `τ` per stream (to compare with
+//!   `τ̂`, Eq. 2);
+//! * measured round times — windows of one block per sharing stream — to
+//!   compare with `γ` (Eq. 4);
+//! * a stall breakdown by cause (DMA credit back-pressure, exit-FIFO
+//!   space, check-for-space admission waits).
+//!
+//! Everything here is computed **only** from the trace, never by reaching
+//! into simulator internals, so the same derivation works on any event log
+//! (including ones replayed from a file).
+
+use streamgate_platform::{StallCause, TraceEvent, Tracer};
+
+/// One completed block as recorded by the tracer.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockMeasurement {
+    /// Stream index within the gateway.
+    pub stream: usize,
+    /// Admission cycle (reconfiguration start).
+    pub start: u64,
+    /// End of the reconfiguration window.
+    pub reconfig_end: u64,
+    /// Cycle the DMA sent the last input sample.
+    pub stream_end: u64,
+    /// Cycle the pipeline was observed empty.
+    pub drain_end: u64,
+    /// DMA credit-stall cycles within the block.
+    pub dma_stall: u64,
+    /// Exit space-stall cycles within the block.
+    pub exit_stall: u64,
+}
+
+impl BlockMeasurement {
+    /// Measured block-processing time `τ` (admission → pipeline empty).
+    pub fn tau(&self) -> u64 {
+        self.drain_end - self.start
+    }
+}
+
+/// Measured `τ` distribution and stall totals of one stream.
+#[derive(Clone, Debug, Default)]
+pub struct StreamMetrics {
+    /// Measured block times in completion order.
+    pub taus: Vec<u64>,
+    /// Total DMA credit-stall cycles across the stream's blocks.
+    pub dma_stall: u64,
+    /// Total exit space-stall cycles across the stream's blocks.
+    pub exit_stall: u64,
+}
+
+impl StreamMetrics {
+    /// Completed blocks.
+    pub fn blocks(&self) -> usize {
+        self.taus.len()
+    }
+
+    /// Maximum measured block time (0 when no block completed).
+    pub fn tau_max(&self) -> u64 {
+        self.taus.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum measured block time (0 when no block completed).
+    pub fn tau_min(&self) -> u64 {
+        self.taus.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Mean measured block time (0 when no block completed).
+    pub fn tau_mean(&self) -> f64 {
+        if self.taus.is_empty() {
+            0.0
+        } else {
+            self.taus.iter().sum::<u64>() as f64 / self.taus.len() as f64
+        }
+    }
+}
+
+/// All tracer-derived metrics of one gateway pair.
+#[derive(Clone, Debug)]
+pub struct GatewayMetrics {
+    /// Gateway index the metrics were extracted for.
+    pub gateway: usize,
+    /// Streams multiplexed by the gateway (fixed at extraction time).
+    pub num_streams: usize,
+    /// Completed blocks in completion order (across all streams).
+    pub blocks: Vec<BlockMeasurement>,
+    /// Per-stream `τ` distributions and stall totals.
+    pub streams: Vec<StreamMetrics>,
+    /// Total stalled cycles per cause over the whole run (includes stalls
+    /// outside any completed block, e.g. a block still wedged at the end).
+    pub stalls: Vec<(StallCause, u64)>,
+}
+
+impl GatewayMetrics {
+    /// Measured round times: for every window of `num_streams` consecutive
+    /// blocks, first admission → last drain (Eq. 4 compares these with γ).
+    pub fn round_times(&self) -> Vec<u64> {
+        if self.num_streams == 0 || self.blocks.len() < self.num_streams {
+            return Vec::new();
+        }
+        self.blocks
+            .windows(self.num_streams)
+            .map(|w| w[self.num_streams - 1].drain_end - w[0].start)
+            .collect()
+    }
+
+    /// Maximum measured round time, if at least one full round completed.
+    pub fn max_round_time(&self) -> Option<u64> {
+        self.round_times().into_iter().max()
+    }
+
+    /// Total stalled cycles attributed to `cause`.
+    pub fn stall_cycles(&self, cause: StallCause) -> u64 {
+        self.stalls
+            .iter()
+            .find(|(c, _)| *c == cause)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+/// Fold the tracer's event log into per-stream metrics for one gateway.
+///
+/// `num_streams` sizes the per-stream vectors (streams that never completed
+/// a block still get an entry) and defines the round-window width.
+///
+/// # Panics
+///
+/// Panics when `tracer` is disabled: metrics would silently be empty, which
+/// always indicates a harness that forgot `System::enable_tracing`.
+pub fn gateway_metrics(tracer: &Tracer, gateway: usize, num_streams: usize) -> GatewayMetrics {
+    assert!(
+        tracer.is_enabled(),
+        "gateway_metrics needs a recording tracer — call System::enable_tracing before running"
+    );
+    let mut blocks = Vec::new();
+    let mut streams = vec![StreamMetrics::default(); num_streams];
+    for e in tracer.events() {
+        if let TraceEvent::BlockEnd {
+            gateway: g,
+            stream,
+            start,
+            reconfig_end,
+            stream_end,
+            drain_end,
+            dma_stall,
+            exit_stall,
+        } = *e
+        {
+            if g as usize != gateway {
+                continue;
+            }
+            let m = BlockMeasurement {
+                stream: stream as usize,
+                start,
+                reconfig_end,
+                stream_end,
+                drain_end,
+                dma_stall,
+                exit_stall,
+            };
+            blocks.push(m);
+            if let Some(s) = streams.get_mut(m.stream) {
+                s.taus.push(m.tau());
+                s.dma_stall += dma_stall;
+                s.exit_stall += exit_stall;
+            }
+        }
+    }
+    let stalls = StallCause::ALL
+        .iter()
+        .map(|&c| (c, tracer.stall_cycles(gateway, c)))
+        .collect();
+    GatewayMetrics {
+        gateway,
+        num_streams,
+        blocks,
+        streams,
+        stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn end(stream: u32, start: u64, drain_end: u64) -> TraceEvent {
+        TraceEvent::BlockEnd {
+            gateway: 0,
+            stream,
+            start,
+            reconfig_end: start + 10,
+            stream_end: drain_end - 2,
+            drain_end,
+            dma_stall: 1,
+            exit_stall: 0,
+        }
+    }
+
+    fn tracer_with(events: Vec<TraceEvent>) -> Tracer {
+        let mut t = Tracer::enabled(0);
+        for e in events {
+            t.emit(|| e);
+        }
+        t
+    }
+
+    #[test]
+    fn folds_blocks_per_stream() {
+        let t = tracer_with(vec![end(0, 0, 50), end(1, 60, 100), end(0, 110, 170)]);
+        let m = gateway_metrics(&t, 0, 2);
+        assert_eq!(m.blocks.len(), 3);
+        assert_eq!(m.streams[0].taus, vec![50, 60]);
+        assert_eq!(m.streams[1].taus, vec![40]);
+        assert_eq!(m.streams[0].tau_max(), 60);
+        assert_eq!(m.streams[0].tau_mean(), 55.0);
+        assert_eq!(m.streams[0].dma_stall, 2);
+    }
+
+    #[test]
+    fn round_times_over_windows() {
+        let t = tracer_with(vec![end(0, 0, 50), end(1, 60, 100), end(0, 110, 170)]);
+        let m = gateway_metrics(&t, 0, 2);
+        assert_eq!(m.round_times(), vec![100, 110]);
+        assert_eq!(m.max_round_time(), Some(110));
+    }
+
+    #[test]
+    fn other_gateways_filtered_out() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| end(0, 0, 50));
+        t.emit(|| TraceEvent::BlockEnd {
+            gateway: 3,
+            stream: 0,
+            start: 0,
+            reconfig_end: 0,
+            stream_end: 0,
+            drain_end: 9,
+            dma_stall: 0,
+            exit_stall: 0,
+        });
+        let m = gateway_metrics(&t, 0, 1);
+        assert_eq!(m.blocks.len(), 1);
+        assert_eq!(m.streams[0].taus, vec![50]);
+    }
+
+    #[test]
+    fn stall_breakdown_exposed() {
+        let mut t = Tracer::enabled(0);
+        for now in 0..5 {
+            t.stall_cycle(0, StallCause::DmaNoCredit, now);
+        }
+        t.stall_cycle(0, StallCause::CheckForSpace, 9);
+        let m = gateway_metrics(&t, 0, 1);
+        assert_eq!(m.stall_cycles(StallCause::DmaNoCredit), 5);
+        assert_eq!(m.stall_cycles(StallCause::CheckForSpace), 1);
+        assert_eq!(m.stall_cycles(StallCause::ExitFifoFull), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_tracing")]
+    fn disabled_tracer_rejected() {
+        let t = Tracer::disabled();
+        let _ = gateway_metrics(&t, 0, 1);
+    }
+}

@@ -9,9 +9,16 @@
 //! * every measured round (queued block start → completion) stays within
 //!   `γ` (Eq. 4);
 //! * the platform's token-arrival traces refine the CSDF model's.
+//!
+//! All measurements come from the platform's **tracer** (the observability
+//! layer of `streamgate_platform::trace`), folded by [`crate::metrics`] —
+//! validation consumes the same event log a Chrome trace export would, so
+//! what we check is exactly what an engineer would see on the timeline.
+//! Harnesses must call `System::enable_tracing` before running.
 
+use crate::metrics::{gateway_metrics, GatewayMetrics};
 use crate::params::SharingProblem;
-use streamgate_platform::{BlockRecord, System};
+use streamgate_platform::System;
 
 /// Measured vs bound for one stream.
 #[derive(Clone, Debug)]
@@ -33,21 +40,33 @@ pub struct TauValidation {
     pub ok: bool,
 }
 
-/// Extract per-stream block times from a gateway's block log.
-pub fn measure_block_times(sys: &System, gateway: usize) -> Vec<Vec<u64>> {
-    let gw = &sys.gateways[gateway];
-    let n = gw.num_streams();
-    let mut per_stream: Vec<Vec<u64>> = vec![Vec::new(); n];
-    for b in &gw.blocks {
-        per_stream[b.stream].push(b.drain_end - b.start);
-    }
-    per_stream
+/// Tracer-derived metrics for one gateway of a system.
+///
+/// # Panics
+///
+/// Panics when the system was run without `System::enable_tracing`.
+pub fn system_metrics(sys: &System, gateway: usize) -> GatewayMetrics {
+    let num_streams = sys.gateways[gateway].num_streams();
+    gateway_metrics(&sys.tracer, gateway, num_streams)
 }
 
-/// Validate Eq. 2 against a run: for each stream, the maximum observed block
-/// time must be within `τ̂ + margin`. The margin covers the constant ring
-/// transport of a block's last sample (entry → accelerators → exit), which
-/// the paper's ε/δ absorb; it is O(ring size), not O(η).
+/// Extract per-stream block times from the tracer's event log.
+///
+/// # Panics
+///
+/// Panics when the system was run without `System::enable_tracing`.
+pub fn measure_block_times(sys: &System, gateway: usize) -> Vec<Vec<u64>> {
+    system_metrics(sys, gateway)
+        .streams
+        .into_iter()
+        .map(|s| s.taus)
+        .collect()
+}
+
+/// Validate Eq. 2 against a traced run: for each stream, the maximum
+/// observed block time must be within `τ̂ + margin`. The margin covers the
+/// constant ring transport of a block's last sample (entry → accelerators →
+/// exit), which the paper's ε/δ absorb; it is O(ring size), not O(η).
 pub fn validate_tau_bound(
     prob: &SharingProblem,
     etas: &[u64],
@@ -55,42 +74,30 @@ pub fn validate_tau_bound(
     gateway: usize,
     margin: u64,
 ) -> Vec<TauValidation> {
-    let times = measure_block_times(sys, gateway);
-    times
+    let metrics = system_metrics(sys, gateway);
+    metrics
+        .streams
         .iter()
         .enumerate()
-        .map(|(s, ts)| {
+        .map(|(s, m)| {
             let tau_hat = prob.tau_hat(s, etas[s]);
-            let measured_max = ts.iter().copied().max().unwrap_or(0);
-            let mean = if ts.is_empty() {
-                0.0
-            } else {
-                ts.iter().sum::<u64>() as f64 / ts.len() as f64
-            };
             TauValidation {
                 stream: prob.streams[s].name.clone(),
-                blocks: ts.len(),
-                measured_max,
-                measured_mean: mean,
+                blocks: m.blocks(),
+                measured_max: m.tau_max(),
+                measured_mean: m.tau_mean(),
                 tau_hat,
                 margin,
-                ok: measured_max <= tau_hat + margin,
+                ok: m.tau_max() <= tau_hat + margin,
             }
         })
         .collect()
 }
 
-/// Round-time check (Eq. 4): every window of one block per stream must fit
-/// within γ + per-round margin. Returns the maximum observed round time over
-/// consecutive |S|-block windows of the gateway log.
-pub fn max_round_time(blocks: &[BlockRecord], num_streams: usize) -> Option<u64> {
-    if blocks.len() < num_streams {
-        return None;
-    }
-    blocks
-        .windows(num_streams)
-        .map(|w| w[num_streams - 1].drain_end - w[0].start)
-        .max()
+/// Round-time check (Eq. 4): the maximum observed round time — one block
+/// per sharing stream, first admission → last drain — over the traced run.
+pub fn max_round_time(metrics: &GatewayMetrics) -> Option<u64> {
+    metrics.max_round_time()
 }
 
 #[cfg(test)]
@@ -105,6 +112,7 @@ mod tests {
     /// Two passthrough streams over one shared accelerator, kept saturated.
     fn harness(etas: [usize; 2], reconfig: u64, epsilon: u64) -> (System, SharingProblem) {
         let mut sys = System::new(4);
+        sys.enable_tracing(0);
         let i0 = sys.add_fifo(CFifo::new("i0", 4096));
         let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
         let i1 = sys.add_fifo(CFifo::new("i1", 4096));
@@ -185,12 +193,30 @@ mod tests {
         sys.run(60_000);
         let etas = [32u64, 16u64];
         let gamma = prob.gamma(&etas);
-        let max_round = max_round_time(&sys.gateways[0].blocks, 2).unwrap();
+        let metrics = system_metrics(&sys, 0);
+        let max_round = max_round_time(&metrics).unwrap();
         // Per-round margin: ring transport per block × streams.
         assert!(
             max_round <= gamma + 32,
             "round {max_round} exceeds γ {gamma}"
         );
+    }
+
+    #[test]
+    fn tracer_agrees_with_gateway_log() {
+        // The tracer is the only measurement path for validation; it must
+        // agree exactly with the gateway's own block records.
+        let (mut sys, _) = harness([32, 16], 50, 5);
+        sys.run(60_000);
+        let metrics = system_metrics(&sys, 0);
+        let log = &sys.gateways[0].blocks;
+        assert_eq!(metrics.blocks.len(), log.len());
+        for (m, b) in metrics.blocks.iter().zip(log.iter()) {
+            assert_eq!(m.stream, b.stream);
+            assert_eq!(m.start, b.start);
+            assert_eq!(m.stream_end, b.stream_end);
+            assert_eq!(m.drain_end, b.drain_end);
+        }
     }
 
     #[test]
@@ -219,11 +245,34 @@ mod tests {
         let min_block = *times[0].iter().min().unwrap();
         assert!(min_block >= 190, "block time {min_block} below (η−1)·ε");
     }
+
+    #[test]
+    #[should_panic(expected = "enable_tracing")]
+    fn untraced_run_is_rejected() {
+        let mut sys = System::new(4);
+        let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+        let i = sys.add_fifo(CFifo::new("i", 16));
+        let o = sys.add_fifo(CFifo::new("o", 16));
+        let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, 1, 1);
+        gw.add_stream(StreamConfig::new(
+            "s",
+            i,
+            o,
+            4,
+            4,
+            0,
+            vec![Box::new(PassthroughKernel)],
+        ));
+        sys.add_gateway(gw);
+        sys.run(100);
+        let _ = measure_block_times(&sys, 0);
+    }
 }
 
 #[cfg(test)]
 mod omega_tests {
     use crate::params::{GatewayParams, SharingProblem, StreamSpec};
+    use crate::validate::system_metrics;
     use streamgate_ilp::rat;
     use streamgate_platform::{
         AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
@@ -238,6 +287,7 @@ mod omega_tests {
         let reconfig = 40u64;
         let epsilon = 4u64;
         let mut sys = System::new(4);
+        sys.enable_tracing(0);
         let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
         let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
         for (i, eta) in etas.iter().enumerate() {
@@ -278,9 +328,10 @@ mod omega_tests {
 
         // Start-to-start distance between consecutive blocks of one stream
         // is bounded by γ (Eq. 4 = one full round) plus the ring margin.
-        let blocks = &sys.gateways[0].blocks;
+        let metrics = system_metrics(&sys, 0);
         for s in 0..3 {
-            let starts: Vec<u64> = blocks
+            let starts: Vec<u64> = metrics
+                .blocks
                 .iter()
                 .filter(|b| b.stream == s)
                 .map(|b| b.start)

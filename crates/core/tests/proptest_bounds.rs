@@ -1,0 +1,118 @@
+//! Property tests for the closed-form bounds of the temporal analysis:
+//! τ̂_s = R_s + (η_s + 2)·max(ε, ρ_A, δ) (Eq. 2) and γ = Σ_{i∈S} τ̂_i
+//! (Eq. 3–4), over randomised sharing problems.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use streamgate_core::{GatewayParams, SharingProblem, StreamSpec};
+use streamgate_ilp::rat;
+
+fn problem(params: GatewayParams, reconfigs: &[u64]) -> SharingProblem {
+    SharingProblem {
+        params,
+        streams: reconfigs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StreamSpec {
+                name: format!("s{i}"),
+                mu: rat(1, 1_000_000),
+                reconfig: r,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq. 2 is monotone in the block size: more samples per block can only
+    /// lengthen the worst-case block time.
+    #[test]
+    fn tau_hat_monotone_in_eta(
+        epsilon in 1u64..64,
+        rho_a in 1u64..64,
+        delta in 1u64..64,
+        reconfig in 0u64..10_000,
+        eta in 1u64..100_000,
+        bump in 1u64..10_000,
+    ) {
+        let p = problem(GatewayParams { epsilon, rho_a, delta }, &[reconfig]);
+        prop_assert!(p.tau_hat(0, eta) < p.tau_hat(0, eta + bump));
+    }
+
+    /// Eq. 2 is monotone in c0 = max(ε, ρ_A, δ): slowing any chain element
+    /// that is (or becomes) the bottleneck can only lengthen the bound, and
+    /// the growth is exactly (η+2) per unit of c0.
+    #[test]
+    fn tau_hat_monotone_in_c0(
+        epsilon in 1u64..64,
+        rho_a in 1u64..64,
+        delta in 1u64..64,
+        reconfig in 0u64..10_000,
+        eta in 1u64..100_000,
+        bump in 1u64..64,
+    ) {
+        let base = GatewayParams { epsilon, rho_a, delta };
+        // Bump every component: c0 grows by exactly `bump`.
+        let slower = GatewayParams {
+            epsilon: epsilon + bump,
+            rho_a: rho_a + bump,
+            delta: delta + bump,
+        };
+        let p0 = problem(base, &[reconfig]);
+        let p1 = problem(slower, &[reconfig]);
+        prop_assert!(p1.params.c0() == p0.params.c0() + bump);
+        prop_assert_eq!(
+            p1.tau_hat(0, eta) - p0.tau_hat(0, eta),
+            (eta + 2) * bump
+        );
+    }
+
+    /// Raising a single component never lowers the bound (monotonicity in
+    /// each of ε, ρ_A, δ separately).
+    #[test]
+    fn tau_hat_monotone_in_each_component(
+        epsilon in 1u64..64,
+        rho_a in 1u64..64,
+        delta in 1u64..64,
+        reconfig in 0u64..10_000,
+        eta in 1u64..100_000,
+        which in 0usize..3,
+        bump in 1u64..64,
+    ) {
+        let base = GatewayParams { epsilon, rho_a, delta };
+        let mut slower = base;
+        match which {
+            0 => slower.epsilon += bump,
+            1 => slower.rho_a += bump,
+            _ => slower.delta += bump,
+        }
+        let p0 = problem(base, &[reconfig]);
+        let p1 = problem(slower, &[reconfig]);
+        prop_assert!(p1.tau_hat(0, eta) >= p0.tau_hat(0, eta));
+    }
+
+    /// Eq. 3–4: the round bound γ is exactly the sum of the member streams'
+    /// τ̂_i — no hidden slack, no missing term.
+    #[test]
+    fn gamma_is_sum_of_member_tau_hats(
+        epsilon in 1u64..64,
+        rho_a in 1u64..64,
+        delta in 1u64..64,
+        reconfigs in vec(0u64..10_000, 1..8),
+        etas_seed in vec(1u64..100_000, 8),
+    ) {
+        let p = problem(GatewayParams { epsilon, rho_a, delta }, &reconfigs);
+        let etas: Vec<u64> = etas_seed[..reconfigs.len()].to_vec();
+        let gamma = p.gamma(&etas);
+        let sum: u64 = (0..p.streams.len()).map(|i| p.tau_hat(i, etas[i])).sum();
+        prop_assert_eq!(gamma, sum);
+        // And γ dominates every member bound (a round contains each block).
+        for i in 0..p.streams.len() {
+            prop_assert!(gamma >= p.tau_hat(i, etas[i]));
+        }
+        // c1 (Eq. 9) is the reconfiguration part of γ.
+        let transfer: u64 = etas.iter().map(|&e| (e + 2) * p.params.c0()).sum();
+        prop_assert_eq!(gamma, p.c1() + transfer);
+    }
+}

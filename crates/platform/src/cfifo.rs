@@ -32,6 +32,9 @@ pub struct CFifo {
     pub popped: u64,
     /// Timestamps of pushes (kept only when tracing is on).
     trace: Option<Vec<u64>>,
+    /// Maximum occupancy ever reached (always maintained — one compare per
+    /// push — so the observability layer can report buffer sizing margins).
+    hwm: usize,
 }
 
 impl CFifo {
@@ -45,6 +48,7 @@ impl CFifo {
             pushed: 0,
             popped: 0,
             trace: None,
+            hwm: 0,
         }
     }
 
@@ -56,6 +60,11 @@ impl CFifo {
     /// Recorded push timestamps (empty if tracing is off).
     pub fn trace(&self) -> &[u64] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.hwm
     }
 
     /// Capacity in samples.
@@ -86,6 +95,7 @@ impl CFifo {
         }
         self.buf.push_back(s);
         self.pushed += 1;
+        self.hwm = self.hwm.max(self.buf.len());
         if let Some(t) = &mut self.trace {
             t.push(now);
         }
@@ -144,5 +154,22 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = CFifo::new("bad", 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut f = CFifo::new("t", 8);
+        assert_eq!(f.high_water(), 0);
+        f.try_push((0.0, 0.0), 0);
+        f.try_push((0.0, 0.0), 1);
+        f.try_push((0.0, 0.0), 2);
+        assert_eq!(f.high_water(), 3);
+        f.pop();
+        f.pop();
+        assert_eq!(f.high_water(), 3, "hwm must not decrease on pop");
+        for t in 3..8 {
+            f.try_push((0.0, 0.0), t);
+        }
+        assert_eq!(f.high_water(), 6);
     }
 }

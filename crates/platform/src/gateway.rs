@@ -26,6 +26,7 @@
 
 use crate::accel::{AccelId, AcceleratorTile};
 use crate::cfifo::{CFifo, FifoId};
+use crate::trace::{StallCause, TraceEvent, Tracer};
 use crate::types::{Sample, StreamKernel};
 use streamgate_ring::{CreditRx, CreditTx, DualRing, NodeId};
 
@@ -87,10 +88,17 @@ pub struct BlockRecord {
     pub stream: usize,
     /// Cycle the reconfiguration started.
     pub start: u64,
+    /// Cycle the reconfiguration window (R_s) ended and the DMA could start.
+    pub reconfig_end: u64,
     /// Cycle the DMA sent the last input sample.
     pub stream_end: u64,
     /// Cycle the exit gateway saw the last output sample (pipeline idle).
     pub drain_end: u64,
+    /// Cycles the entry DMA spent waiting for hardware credits.
+    pub dma_stall: u64,
+    /// Cycles the exit copy spent waiting for consumer-FIFO space (always 0
+    /// while the check-for-space admission is enabled).
+    pub exit_stall: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +126,14 @@ pub struct GatewayPair {
     /// Apply `R_s` even when the next block belongs to the same stream
     /// (matches the analysis, which charges R_s per block).
     pub reconfig_on_same_stream: bool,
+    /// §V-G check-for-space admission test: refuse to start a block unless
+    /// the output C-FIFO can hold all of it. Disabling this reproduces the
+    /// head-of-line blocking of Fig. 9 (the exit gateway stalls on a full
+    /// consumer FIFO with samples wedged in the shared chain).
+    pub check_for_space: bool,
+    /// Index used to label this gateway's trace events (set by
+    /// [`crate::system::System::add_gateway`]).
+    pub trace_id: u32,
     streams: Vec<StreamConfig>,
     active: Option<usize>,
     rr_next: usize,
@@ -129,7 +145,13 @@ pub struct GatewayPair {
     /// Cycle at which the exit copy of the next sample may happen.
     exit_next: u64,
     block_start: u64,
+    block_reconfig_end: u64,
+    block_dma_start: u64,
     block_stream_end: u64,
+    /// Credit-stall cycles of the current block's entry DMA.
+    block_dma_stall: u64,
+    /// Space-stall cycles of the current block's exit copy.
+    block_exit_stall: u64,
     /// Statistics.
     pub reconfig_cycles_total: u64,
     /// DMA busy cycles.
@@ -167,6 +189,8 @@ impl GatewayPair {
             dma_cycles_per_sample,
             exit_cycles_per_sample,
             reconfig_on_same_stream: true,
+            check_for_space: true,
+            trace_id: 0,
             streams: Vec::new(),
             active: None,
             rr_next: 0,
@@ -176,7 +200,11 @@ impl GatewayPair {
             block_received: 0,
             exit_next: 0,
             block_start: 0,
+            block_reconfig_end: 0,
+            block_dma_start: 0,
             block_stream_end: 0,
+            block_dma_stall: 0,
+            block_exit_stall: 0,
             reconfig_cycles_total: 0,
             dma_busy_cycles: 0,
             idle_cycles: 0,
@@ -210,14 +238,18 @@ impl GatewayPair {
         self.state == GwState::Idle
     }
 
-    /// One clock cycle of the gateway controller.
+    /// One clock cycle of the gateway controller. Structured events (block
+    /// phases, stalls) are emitted into `tracer`; pass a disabled tracer for
+    /// an untraced run (one branch per emission site).
     pub fn step(
         &mut self,
         ring: &mut DualRing<Sample>,
         fifos: &mut [CFifo],
         accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
         now: u64,
     ) {
+        let gw = self.trace_id;
         // ---- exit gateway side: drain the chain into the output FIFO ----
         self.exit_rx.poll_data(ring);
         if let Some(active) = self.active {
@@ -226,15 +258,24 @@ impl GatewayPair {
                 && !self.exit_rx.is_empty()
             {
                 let out_fifo = self.streams[active].output;
-                let s = self.exit_rx.pop(ring).expect("non-empty exit rx");
-                let ok = fifos[out_fifo.0].try_push(s, now);
-                assert!(
-                    ok,
-                    "exit gateway found no space — the check-for-space admission is broken"
-                );
-                self.block_received += 1;
-                self.streams[active].samples_out += 1;
-                self.exit_next = now + self.exit_cycles_per_sample;
+                if fifos[out_fifo.0].space() == 0 {
+                    assert!(
+                        !self.check_for_space,
+                        "exit gateway found no space — the check-for-space admission is broken"
+                    );
+                    // Fig. 9: with the admission test disabled the sample
+                    // stays wedged in the NI buffer and back-pressures the
+                    // whole shared chain (head-of-line blocking).
+                    self.block_exit_stall += 1;
+                    tracer.stall_cycle(gw, StallCause::ExitFifoFull, now);
+                } else {
+                    let s = self.exit_rx.pop(ring).expect("non-empty exit rx");
+                    let ok = fifos[out_fifo.0].try_push(s, now);
+                    debug_assert!(ok, "space was checked above");
+                    self.block_received += 1;
+                    self.streams[active].samples_out += 1;
+                    self.exit_next = now + self.exit_cycles_per_sample;
+                }
             }
         }
 
@@ -245,18 +286,28 @@ impl GatewayPair {
                 // Round-robin admission scan with the paper's three checks.
                 let n = self.streams.len();
                 let mut picked = None;
+                let mut space_blocked = false;
                 for k in 0..n {
                     let idx = (self.rr_next + k) % n;
                     let s = &self.streams[idx];
                     let enough_in = fifos[s.input.0].len() >= s.eta_in;
-                    let enough_out = fifos[s.output.0].space() >= s.eta_out;
+                    let enough_out =
+                        !self.check_for_space || fifos[s.output.0].space() >= s.eta_out;
                     if enough_in && enough_out {
                         picked = Some(idx);
                         break;
                     }
+                    // Input ready but held back solely by the space check:
+                    // that waiting is attributable to the admission test.
+                    space_blocked |= enough_in && !enough_out;
                 }
                 match picked {
-                    None => self.idle_cycles += 1,
+                    None => {
+                        self.idle_cycles += 1;
+                        if space_blocked {
+                            tracer.stall_cycle(gw, StallCause::CheckForSpace, now);
+                        }
+                    }
                     Some(idx) => {
                         let switching = self.active != Some(idx);
                         let charge_reconfig = switching || self.reconfig_on_same_stream;
@@ -265,34 +316,67 @@ impl GatewayPair {
                         if switching {
                             if let Some(prev) = self.active {
                                 for (slot, acc) in self.chain.iter().enumerate() {
+                                    let words = accels[acc.0].kernel_state_words() as u32;
                                     let k = accels[acc.0]
                                         .remove_kernel()
                                         .expect("active stream had kernels installed");
                                     self.streams[prev].kernels[slot] = Some(k);
+                                    tracer.emit(|| TraceEvent::ConfigSave {
+                                        gateway: gw,
+                                        stream: prev as u32,
+                                        accel: acc.0 as u32,
+                                        cycle: now,
+                                        words,
+                                    });
                                 }
                             }
                             for (slot, acc) in self.chain.iter().enumerate() {
                                 let k = self.streams[idx].kernels[slot]
                                     .take()
                                     .expect("inactive stream owns its kernels");
+                                let words = k.state_words() as u32;
                                 accels[acc.0].install_kernel(k);
+                                tracer.emit(|| TraceEvent::ConfigRestore {
+                                    gateway: gw,
+                                    stream: idx as u32,
+                                    accel: acc.0 as u32,
+                                    cycle: now,
+                                    words,
+                                });
                             }
                         }
                         self.active = Some(idx);
                         self.block_start = now;
                         self.block_received = 0;
+                        self.block_dma_stall = 0;
+                        self.block_exit_stall = 0;
                         let r = if charge_reconfig {
                             self.streams[idx].reconfig_cycles
                         } else {
                             0
                         };
                         self.reconfig_cycles_total += r;
+                        self.block_reconfig_end = now + r;
+                        tracer.emit(|| TraceEvent::BlockStart {
+                            gateway: gw,
+                            stream: idx as u32,
+                            cycle: now,
+                        });
+                        if r > 0 {
+                            tracer.emit(|| TraceEvent::ReconfigWindow {
+                                gateway: gw,
+                                stream: idx as u32,
+                                start: now,
+                                end: now + r,
+                            });
+                        }
                         self.state = GwState::Reconfig { until: now + r };
                     }
                 }
             }
             GwState::Reconfig { until } => {
                 if now >= until {
+                    self.block_dma_start = now;
                     self.state = GwState::Streaming {
                         sent: 0,
                         next_send: now,
@@ -303,6 +387,13 @@ impl GatewayPair {
                 let active = self.active.expect("streaming implies active");
                 if sent == self.streams[active].eta_in {
                     self.block_stream_end = now;
+                    tracer.emit(|| TraceEvent::DmaPhase {
+                        gateway: gw,
+                        stream: active as u32,
+                        start: self.block_dma_start,
+                        end: now,
+                        samples: self.streams[active].eta_in as u32,
+                    });
                     self.state = GwState::Draining;
                 } else if now >= next_send {
                     // ε cycles per sample, gated by hardware credits.
@@ -318,9 +409,12 @@ impl GatewayPair {
                             sent: sent + 1,
                             next_send: now + self.dma_cycles_per_sample,
                         };
+                    } else {
+                        // Out of credits — the chain is back-pressuring;
+                        // wait (this is the accelerator-stall path of §IV-B).
+                        self.block_dma_stall += 1;
+                        tracer.stall_cycle(gw, StallCause::DmaNoCredit, now);
                     }
-                    // else: out of credits — the chain is back-pressuring;
-                    // wait (this is the accelerator-stall path of §IV-B).
                 }
             }
             GwState::Draining => {
@@ -330,11 +424,31 @@ impl GatewayPair {
                     && self.exit_rx.is_empty();
                 if drained {
                     self.streams[active].blocks_done += 1;
-                    self.blocks.push(BlockRecord {
+                    let record = BlockRecord {
                         stream: active,
                         start: self.block_start,
+                        reconfig_end: self.block_reconfig_end,
                         stream_end: self.block_stream_end,
                         drain_end: now,
+                        dma_stall: self.block_dma_stall,
+                        exit_stall: self.block_exit_stall,
+                    };
+                    self.blocks.push(record);
+                    tracer.emit(|| TraceEvent::DrainPhase {
+                        gateway: gw,
+                        stream: active as u32,
+                        start: record.stream_end,
+                        end: now,
+                    });
+                    tracer.emit(|| TraceEvent::BlockEnd {
+                        gateway: gw,
+                        stream: active as u32,
+                        start: record.start,
+                        reconfig_end: record.reconfig_end,
+                        stream_end: record.stream_end,
+                        drain_end: record.drain_end,
+                        dma_stall: record.dma_stall,
+                        exit_stall: record.exit_stall,
                     });
                     self.rr_next = (active + 1) % self.streams.len();
                     self.state = GwState::Idle;
@@ -355,6 +469,7 @@ mod tests {
         fifos: Vec<CFifo>,
         accels: Vec<AcceleratorTile>,
         gw: GatewayPair,
+        tracer: Tracer,
         now: u64,
     }
 
@@ -393,14 +508,20 @@ mod tests {
                 fifos,
                 accels: vec![accel],
                 gw,
+                tracer: Tracer::disabled(),
                 now: 0,
             }
         }
 
         fn run(&mut self, cycles: u64) {
             for _ in 0..cycles {
-                self.gw
-                    .step(&mut self.ring, &mut self.fifos, &mut self.accels, self.now);
+                self.gw.step(
+                    &mut self.ring,
+                    &mut self.fifos,
+                    &mut self.accels,
+                    &mut self.tracer,
+                    self.now,
+                );
                 for a in &mut self.accels {
                     a.step(&mut self.ring, self.now);
                 }
@@ -552,6 +673,72 @@ mod tests {
         assert!(
             tau <= tau_hat + margin,
             "block took {tau}, bound {tau_hat} (+{margin})"
+        );
+    }
+
+    #[test]
+    fn traced_run_emits_block_phases() {
+        let mut h = Harness::new(vec![(4, 4, Box::new(PassthroughKernel))], 10);
+        h.tracer = Tracer::enabled(0);
+        h.fill_input(0, 8);
+        h.run(1500);
+        assert_eq!(h.gw.stream(0).blocks_done, 2);
+        h.tracer.finish(h.now);
+        let ends: Vec<_> = h
+            .tracer
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::BlockEnd {
+                    start,
+                    reconfig_end,
+                    stream_end,
+                    drain_end,
+                    ..
+                } => Some((start, reconfig_end, stream_end, drain_end)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends.len(), 2, "one BlockEnd per completed block");
+        // Phases must be ordered and match the gateway's own records.
+        for ((s, r, t, d), rec) in ends.iter().zip(h.gw.blocks.iter()) {
+            assert!(s <= r && r <= t && t <= d);
+            assert_eq!(*s, rec.start);
+            assert_eq!(*r, rec.reconfig_end);
+            assert_eq!(*d, rec.drain_end);
+            assert_eq!(d - s, rec.drain_end - rec.start);
+        }
+        let starts = h
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BlockStart { .. }))
+            .count();
+        assert_eq!(starts, 2);
+        let reconfigs = h
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ReconfigWindow { .. }))
+            .count();
+        assert_eq!(reconfigs, 2);
+    }
+
+    #[test]
+    fn disabled_space_check_stalls_exit_on_full_fifo() {
+        // Output FIFO smaller than a block and check-for-space off: the
+        // block is admitted anyway and the exit copy must stall (Fig. 9).
+        let mut h = Harness::new(vec![(8, 8, Box::new(PassthroughKernel))], 10);
+        h.gw.check_for_space = false;
+        h.tracer = Tracer::enabled(0);
+        let out_id = h.gw.stream(0).output;
+        h.fifos[out_id.0] = CFifo::new("small", 4);
+        h.fill_input(0, 8);
+        h.run(800);
+        assert_eq!(h.gw.stream(0).blocks_done, 0, "block cannot complete");
+        assert!(
+            h.tracer.stall_cycles(0, StallCause::ExitFifoFull) > 0,
+            "exit gateway must report head-of-line stall cycles"
         );
     }
 

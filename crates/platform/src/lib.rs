@@ -22,6 +22,7 @@ pub mod cfifo;
 pub mod gateway;
 pub mod processor;
 pub mod system;
+pub mod trace;
 pub mod types;
 
 pub use accel::{AccelId, AcceleratorTile};
@@ -29,4 +30,5 @@ pub use cfifo::{CFifo, FifoId};
 pub use gateway::{BlockRecord, GatewayPair, StreamConfig};
 pub use processor::{ProcessorTile, RateSource, SinkTask, SoftwareTask, StereoMatrixTask};
 pub use system::System;
+pub use trace::{chrome_trace_json, StallCause, TraceEvent, TraceNames, Tracer};
 pub use types::{DownsampleKernel, PassthroughKernel, Sample, ScaleKernel, StreamKernel};

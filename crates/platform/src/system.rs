@@ -9,6 +9,7 @@ use crate::accel::{AccelId, AcceleratorTile};
 use crate::cfifo::{CFifo, FifoId};
 use crate::gateway::GatewayPair;
 use crate::processor::ProcessorTile;
+use crate::trace::{self, TraceEvent, TraceNames, Tracer};
 use crate::types::Sample;
 use streamgate_ring::DualRing;
 
@@ -24,6 +25,9 @@ pub struct System {
     pub gateways: Vec<GatewayPair>,
     /// Processor tiles.
     pub processors: Vec<ProcessorTile>,
+    /// Event sink shared by all components (disabled by default; see
+    /// [`System::enable_tracing`]).
+    pub tracer: Tracer,
     cycle: u64,
 }
 
@@ -36,8 +40,16 @@ impl System {
             accels: Vec::new(),
             gateways: Vec::new(),
             processors: Vec::new(),
+            tracer: Tracer::disabled(),
             cycle: 0,
         }
+    }
+
+    /// Turn on event recording. `sample_interval` is the period, in cycles,
+    /// of FIFO-occupancy and ring-counter samples (0 records only spans,
+    /// stalls and high-water marks). Call before running the simulation.
+    pub fn enable_tracing(&mut self, sample_interval: u64) {
+        self.tracer = Tracer::enabled(sample_interval);
     }
 
     /// Current cycle.
@@ -58,7 +70,8 @@ impl System {
     }
 
     /// Add a gateway pair; returns its index.
-    pub fn add_gateway(&mut self, g: GatewayPair) -> usize {
+    pub fn add_gateway(&mut self, mut g: GatewayPair) -> usize {
+        g.trace_id = self.gateways.len() as u32;
         self.gateways.push(g);
         self.gateways.len() - 1
     }
@@ -76,13 +89,53 @@ impl System {
             p.step(&mut self.fifos, now);
         }
         for g in &mut self.gateways {
-            g.step(&mut self.ring, &mut self.fifos, &mut self.accels, now);
+            g.step(
+                &mut self.ring,
+                &mut self.fifos,
+                &mut self.accels,
+                &mut self.tracer,
+                now,
+            );
         }
         for a in &mut self.accels {
             a.step(&mut self.ring, now);
         }
         self.ring.step();
+        // System-level observation (accelerator activity, FIFO levels, ring
+        // counters) — one branch per cycle when tracing is off.
+        if self.tracer.is_enabled() {
+            self.observe(now);
+        }
         self.cycle += 1;
+    }
+
+    /// Record system-wide observations for cycle `now` (tracing enabled).
+    fn observe(&mut self, now: u64) {
+        for (i, a) in self.accels.iter().enumerate() {
+            self.tracer.accel_activity(i, !a.is_drained(now), now);
+        }
+        for (i, f) in self.fifos.iter().enumerate() {
+            self.tracer.fifo_high_water(i, f.high_water(), now);
+        }
+        let interval = self.tracer.sample_interval();
+        if interval > 0 && now.is_multiple_of(interval) {
+            for (i, f) in self.fifos.iter().enumerate() {
+                let level = f.len() as u32;
+                self.tracer.emit(|| TraceEvent::FifoLevel {
+                    fifo: i as u32,
+                    cycle: now,
+                    level,
+                });
+            }
+            let (data, credit) = (&self.ring.stats[0], &self.ring.stats[1]);
+            let (dd, ds, cd) = (data.delivered, data.injection_stalls, credit.delivered);
+            self.tracer.emit(|| TraceEvent::RingCounters {
+                cycle: now,
+                data_delivered: dd,
+                data_stalls: ds,
+                credit_delivered: cd,
+            });
+        }
     }
 
     /// Run for `cycles` cycles.
@@ -110,6 +163,34 @@ impl System {
             return 0.0;
         }
         self.accels[a.0].busy_cycles as f64 / self.cycle as f64
+    }
+
+    /// Close all open trace windows at the current cycle. Call after a run,
+    /// before reading the complete event log.
+    pub fn finish_trace(&mut self) {
+        self.tracer.finish(self.cycle);
+    }
+
+    /// Entity names for labelling trace exports, mirroring this system's
+    /// component indices.
+    pub fn trace_names(&self) -> TraceNames {
+        TraceNames {
+            gateways: self.gateways.iter().map(|g| g.name.clone()).collect(),
+            streams: self
+                .gateways
+                .iter()
+                .map(|g| (0..g.num_streams()).map(|i| g.stream(i).name.clone()).collect())
+                .collect(),
+            accels: self.accels.iter().map(|a| a.name.clone()).collect(),
+            fifos: self.fifos.iter().map(|f| f.name.clone()).collect(),
+        }
+    }
+
+    /// Finish the trace and render it in Chrome trace-event JSON
+    /// (`chrome://tracing` / Perfetto). Empty log when tracing is disabled.
+    pub fn chrome_trace_json(&mut self) -> String {
+        self.finish_trace();
+        trace::chrome_trace_json(self.tracer.events(), &self.trace_names())
     }
 }
 
@@ -185,6 +266,36 @@ mod tests {
         let hit = sys.run_until(100_000, |s| s.gateways[0].stream(0).blocks_done >= 1);
         assert!(hit);
         assert!(sys.cycle() < 100_000);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        // Tracing is pure observation: block schedules must be identical
+        // with and without it.
+        let (mut plain, ..) = build();
+        let (mut traced, ..) = build();
+        traced.enable_tracing(64);
+        plain.run(6000);
+        traced.run(6000);
+        assert_eq!(plain.gateways[0].blocks.len(), traced.gateways[0].blocks.len());
+        for (x, y) in plain.gateways[0].blocks.iter().zip(&traced.gateways[0].blocks) {
+            assert_eq!((x.start, x.stream_end, x.drain_end), (y.start, y.stream_end, y.drain_end));
+        }
+        assert!(plain.tracer.is_empty());
+        assert!(!traced.tracer.is_empty());
+    }
+
+    #[test]
+    fn chrome_export_contains_system_entities() {
+        let (mut sys, ..) = build();
+        sys.enable_tracing(128);
+        sys.run(6000);
+        let json = sys.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("gw"), "gateway process name present");
+        assert!(json.contains("s0"), "stream thread name present");
+        assert!(json.contains("acc"), "accelerator span present");
+        assert!(json.contains("\"ph\":\"C\""), "counter samples present");
     }
 
     #[test]

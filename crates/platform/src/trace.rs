@@ -1,0 +1,802 @@
+//! Event-tracing and metrics layer for the cycle-level simulator.
+//!
+//! The temporal analysis of the paper lives or dies by *measured* cycle
+//! counts: every block must finish within `τ̂_s = R_s + (η_s + 2)·max(ε,
+//! ρ_A, δ)` (Eq. 2) and every round within `γ_s = Σ τ̂_i` (Eq. 3–4).
+//! Instead of reverse-engineering those times from FIFO contents after a
+//! run, the simulator's components emit structured [`TraceEvent`]s into a
+//! [`Tracer`] as they execute:
+//!
+//! * the **gateway pair** emits block start/end, reconfiguration windows
+//!   (`R_s`), configuration-bus save/restore per accelerator, the entry-DMA
+//!   (`ε`) and exit-drain (`δ`) phases, and per-cause stall cycles;
+//! * the **system step loop** samples C-FIFO occupancy (including
+//!   high-water marks kept by [`crate::cfifo::CFifo`]), accelerator
+//!   activity windows, and dual-ring delivery/stall counters;
+//! * consumers (e.g. `streamgate-core`'s metrics/validation) read the
+//!   event log back and derive per-stream `τ` distributions, round times
+//!   and stall breakdowns.
+//!
+//! Tracing is strictly **opt-in**: a disabled tracer is a single `Option`
+//! check per emission site (the event constructor closures are never run),
+//! so `System::run` with tracing off costs the same as before the layer
+//! existed — `crates/bench/benches/bench_platform.rs` measures exactly
+//! that, and `trace_overhead_is_negligible` in this module enforces
+//! behavioural equality.
+//!
+//! [`chrome_trace_json`] renders an event log in the Chrome trace-event
+//! format, viewable in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use std::fmt;
+
+/// Why a component could not make progress this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Entry-gateway DMA had a sample ready but no hardware credit — the
+    /// accelerator chain is back-pressuring (§IV-B accelerator stall).
+    DmaNoCredit,
+    /// Exit gateway had a sample ready but the consumer C-FIFO was full.
+    /// Only reachable with the check-for-space admission disabled — this is
+    /// the head-of-line blocking of Fig. 9.
+    ExitFifoFull,
+    /// A stream had a full input block but admission was blocked by the
+    /// exit-side space check (§V-G): the consumer is slow, and the gateway
+    /// correctly refuses to occupy the chain.
+    CheckForSpace,
+}
+
+impl StallCause {
+    /// Stable display name (used in trace exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::DmaNoCredit => "dma-no-credit",
+            StallCause::ExitFifoFull => "exit-fifo-full",
+            StallCause::CheckForSpace => "check-for-space",
+        }
+    }
+
+    /// All causes, for iteration in breakdown reports.
+    pub const ALL: [StallCause; 3] = [
+        StallCause::DmaNoCredit,
+        StallCause::ExitFifoFull,
+        StallCause::CheckForSpace,
+    ];
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured event emitted by a simulator component.
+///
+/// All times are platform cycles. `gateway`, `stream`, `accel` and `fifo`
+/// are the indices used by [`crate::system::System`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A block of `stream` was admitted (all three admission checks passed).
+    BlockStart {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream index within the gateway.
+        stream: u32,
+        /// Admission cycle.
+        cycle: u64,
+    },
+    /// The configuration-bus window `R_s` charged before a block.
+    ReconfigWindow {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream index.
+        stream: u32,
+        /// Window start (== block admission cycle).
+        start: u64,
+        /// Window end (first cycle the DMA may run).
+        end: u64,
+    },
+    /// Kernel context of `stream` saved out of `accel` (configuration bus).
+    ConfigSave {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream whose context was saved.
+        stream: u32,
+        /// Accelerator the context left.
+        accel: u32,
+        /// Cycle of the save.
+        cycle: u64,
+        /// Context size in state words.
+        words: u32,
+    },
+    /// Kernel context of `stream` restored into `accel` (configuration bus).
+    ConfigRestore {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream whose context was restored.
+        stream: u32,
+        /// Accelerator the context entered.
+        accel: u32,
+        /// Cycle of the restore.
+        cycle: u64,
+        /// Context size in state words.
+        words: u32,
+    },
+    /// The entry-DMA phase: `samples` samples copied at ε cycles each
+    /// (stretched by any credit stalls, which are reported separately).
+    DmaPhase {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream index.
+        stream: u32,
+        /// First DMA cycle.
+        start: u64,
+        /// Cycle the last sample was sent.
+        end: u64,
+        /// Samples transferred (η_in).
+        samples: u32,
+    },
+    /// The pipeline-drain phase: last input sent → last output delivered.
+    DrainPhase {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream index.
+        stream: u32,
+        /// Drain start (== DMA phase end).
+        start: u64,
+        /// Cycle the pipeline was empty and the block completed.
+        end: u64,
+    },
+    /// A block completed; the authoritative record for bound conformance.
+    BlockEnd {
+        /// Gateway index.
+        gateway: u32,
+        /// Stream index.
+        stream: u32,
+        /// Admission cycle (reconfiguration start).
+        start: u64,
+        /// End of the reconfiguration window.
+        reconfig_end: u64,
+        /// Cycle the DMA sent the last input sample.
+        stream_end: u64,
+        /// Cycle the exit gateway saw the pipeline idle. The measured block
+        /// time `τ` is `drain_end - start`.
+        drain_end: u64,
+        /// Cycles the entry DMA stalled on missing credits in this block.
+        dma_stall: u64,
+        /// Cycles the exit copy stalled on a full consumer FIFO.
+        exit_stall: u64,
+    },
+    /// A maximal window of consecutive cycles stalled for one cause.
+    StallWindow {
+        /// Gateway index.
+        gateway: u32,
+        /// Why progress stopped.
+        cause: StallCause,
+        /// First stalled cycle.
+        start: u64,
+        /// Last stalled cycle (inclusive).
+        end: u64,
+    },
+    /// A window during which an accelerator held work (samples buffered,
+    /// in flight, or awaiting credits).
+    AccelActive {
+        /// Accelerator index.
+        accel: u32,
+        /// First active cycle.
+        start: u64,
+        /// Last active cycle (inclusive).
+        end: u64,
+    },
+    /// Sampled C-FIFO occupancy (every `sample_interval` cycles).
+    FifoLevel {
+        /// FIFO index.
+        fifo: u32,
+        /// Sample cycle.
+        cycle: u64,
+        /// Occupancy in samples.
+        level: u32,
+    },
+    /// A C-FIFO reached a new occupancy high-water mark.
+    FifoHighWater {
+        /// FIFO index.
+        fifo: u32,
+        /// Cycle of the new maximum.
+        cycle: u64,
+        /// The new high-water mark.
+        level: u32,
+    },
+    /// Sampled dual-ring counters (cumulative values at `cycle`).
+    RingCounters {
+        /// Sample cycle.
+        cycle: u64,
+        /// Data flits delivered so far.
+        data_delivered: u64,
+        /// Data-ring injection stalls so far.
+        data_stalls: u64,
+        /// Credit flits delivered so far.
+        credit_delivered: u64,
+    },
+}
+
+/// Internal state of an enabled tracer (boxed so a disabled [`Tracer`] is
+/// one word).
+#[derive(Debug, Default)]
+struct TraceData {
+    events: Vec<TraceEvent>,
+    /// Open coalescing windows for stall cycles: (gateway, cause, start,
+    /// last-seen cycle).
+    open_stalls: Vec<(u32, StallCause, u64, u64)>,
+    /// Total stalled cycles per (gateway, cause) — running counters that
+    /// are valid even while a window is still open.
+    stall_totals: Vec<((u32, StallCause), u64)>,
+    /// Open accelerator activity windows: (start, last-active cycle) per
+    /// accelerator.
+    accel_active: Vec<Option<(u64, u64)>>,
+    /// Last high-water mark already reported, per FIFO.
+    fifo_hwm_seen: Vec<u32>,
+    /// Period of `FifoLevel`/`RingCounters` samples in cycles.
+    sample_interval: u64,
+}
+
+/// The event sink threaded through the simulator.
+///
+/// Create with [`Tracer::disabled`] (the default, near-zero cost: one
+/// `Option` discriminant test per emission site) or [`Tracer::enabled`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    data: Option<Box<TraceData>>,
+}
+
+impl Tracer {
+    /// A no-op tracer: every emission is a single branch.
+    pub fn disabled() -> Self {
+        Tracer { data: None }
+    }
+
+    /// A recording tracer sampling FIFO/ring counters every
+    /// `sample_interval` cycles (0 disables periodic sampling; spans and
+    /// high-water events are always recorded).
+    pub fn enabled(sample_interval: u64) -> Self {
+        Tracer {
+            data: Some(Box::new(TraceData {
+                sample_interval,
+                ..TraceData::default()
+            })),
+        }
+    }
+
+    /// True when events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Period of FIFO/ring counter samples (0 when disabled).
+    pub fn sample_interval(&self) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.sample_interval)
+    }
+
+    /// Record an event. The closure only runs when tracing is enabled, so
+    /// callers pay nothing for constructing events on the disabled path.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(d) = &mut self.data {
+            d.events.push(f());
+        }
+    }
+
+    /// Record one stalled cycle, coalescing consecutive cycles with the
+    /// same (gateway, cause) into a single [`TraceEvent::StallWindow`].
+    #[inline]
+    pub fn stall_cycle(&mut self, gateway: u32, cause: StallCause, now: u64) {
+        let Some(d) = &mut self.data else { return };
+        match d
+            .stall_totals
+            .iter_mut()
+            .find(|((g, c), _)| *g == gateway && *c == cause)
+        {
+            Some((_, n)) => *n += 1,
+            None => d.stall_totals.push(((gateway, cause), 1)),
+        }
+        if let Some(w) = d
+            .open_stalls
+            .iter_mut()
+            .find(|(g, c, _, _)| *g == gateway && *c == cause)
+        {
+            if now <= w.3 + 1 {
+                w.3 = now;
+                return;
+            }
+            // Gap: close the old window, open a new one.
+            let closed = TraceEvent::StallWindow {
+                gateway,
+                cause,
+                start: w.2,
+                end: w.3,
+            };
+            w.2 = now;
+            w.3 = now;
+            d.events.push(closed);
+        } else {
+            d.open_stalls.push((gateway, cause, now, now));
+        }
+    }
+
+    /// Total stalled cycles recorded for a gateway and cause (valid while
+    /// windows are still open, unlike counting `StallWindow` events).
+    pub fn stall_cycles(&self, gateway: usize, cause: StallCause) -> u64 {
+        self.data.as_ref().map_or(0, |d| {
+            d.stall_totals
+                .iter()
+                .find(|((g, c), _)| *g as usize == gateway && *c == cause)
+                .map_or(0, |(_, n)| *n)
+        })
+    }
+
+    /// Mark accelerator `accel` active/inactive this cycle, coalescing
+    /// contiguous active cycles into [`TraceEvent::AccelActive`] windows.
+    /// Idle gaps up to the tracer's sample interval are merged into the
+    /// surrounding window — when ε dominates ρ_A the accelerator naturally
+    /// idles between samples, and per-sample windows would swamp the trace.
+    #[inline]
+    pub fn accel_activity(&mut self, accel: usize, active: bool, now: u64) {
+        let Some(d) = &mut self.data else { return };
+        if d.accel_active.len() <= accel {
+            d.accel_active.resize(accel + 1, None);
+        }
+        match (d.accel_active[accel], active) {
+            (None, true) => d.accel_active[accel] = Some((now, now)),
+            (Some((start, _)), true) => d.accel_active[accel] = Some((start, now)),
+            (Some((start, last)), false) => {
+                if now.saturating_sub(last) > d.sample_interval {
+                    d.accel_active[accel] = None;
+                    d.events.push(TraceEvent::AccelActive {
+                        accel: accel as u32,
+                        start,
+                        end: last,
+                    });
+                }
+            }
+            (None, false) => {}
+        }
+    }
+
+    /// Report a FIFO's current high-water mark; emits
+    /// [`TraceEvent::FifoHighWater`] only when it grew.
+    #[inline]
+    pub fn fifo_high_water(&mut self, fifo: usize, hwm: usize, now: u64) {
+        let Some(d) = &mut self.data else { return };
+        if d.fifo_hwm_seen.len() <= fifo {
+            d.fifo_hwm_seen.resize(fifo + 1, 0);
+        }
+        if hwm as u32 > d.fifo_hwm_seen[fifo] {
+            d.fifo_hwm_seen[fifo] = hwm as u32;
+            d.events.push(TraceEvent::FifoHighWater {
+                fifo: fifo as u32,
+                cycle: now,
+                level: hwm as u32,
+            });
+        }
+    }
+
+    /// Close all open coalescing windows (stalls, accelerator activity),
+    /// turning them into events. Call before reading a complete log.
+    pub fn finish(&mut self, _now: u64) {
+        let Some(d) = &mut self.data else { return };
+        for (gateway, cause, start, end) in d.open_stalls.drain(..) {
+            d.events.push(TraceEvent::StallWindow {
+                gateway,
+                cause,
+                start,
+                end,
+            });
+        }
+        for (accel, win) in d.accel_active.iter_mut().enumerate() {
+            if let Some((start, last)) = win.take() {
+                d.events.push(TraceEvent::AccelActive {
+                    accel: accel as u32,
+                    start,
+                    end: last,
+                });
+            }
+        }
+    }
+
+    /// The recorded event log (empty when disabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        self.data.as_ref().map_or(&[], |d| &d.events)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.data.as_ref().map_or(0, |d| d.events.len())
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Entity names used to label a Chrome trace export; indices parallel the
+/// `System` vectors. Missing names fall back to indices.
+#[derive(Clone, Debug, Default)]
+pub struct TraceNames {
+    /// Gateway names.
+    pub gateways: Vec<String>,
+    /// Stream names per gateway.
+    pub streams: Vec<Vec<String>>,
+    /// Accelerator names.
+    pub accels: Vec<String>,
+    /// FIFO names.
+    pub fifos: Vec<String>,
+}
+
+impl TraceNames {
+    fn gateway(&self, g: u32) -> String {
+        self.gateways
+            .get(g as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("gateway{g}"))
+    }
+
+    fn stream(&self, g: u32, s: u32) -> String {
+        self.streams
+            .get(g as usize)
+            .and_then(|v| v.get(s as usize))
+            .cloned()
+            .unwrap_or_else(|| format!("stream{s}"))
+    }
+
+    fn accel(&self, a: u32) -> String {
+        self.accels
+            .get(a as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("accel{a}"))
+    }
+
+    fn fifo(&self, f: u32) -> String {
+        self.fifos
+            .get(f as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("fifo{f}"))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Process-id blocks used in the Chrome export: gateways are pids
+/// `0..1000`, accelerators live in pid 1000, counters in pid 2000.
+const PID_ACCELS: u32 = 1000;
+const PID_COUNTERS: u32 = 2000;
+
+/// Thread ids within a gateway pid: streams use their index; stall tracks
+/// sit above them.
+const TID_STALL_BASE: u32 = 900;
+
+/// Render an event log in the Chrome trace-event JSON format
+/// (`chrome://tracing` / Perfetto). One platform cycle maps to one
+/// microsecond of trace time.
+///
+/// Layout: each gateway is a process whose threads are its streams (block
+/// spans split into reconfigure / dma / drain slices) plus one synthetic
+/// thread per stall cause; accelerators share a process of activity spans;
+/// FIFO occupancy and ring statistics are counter tracks.
+pub fn chrome_trace_json(events: &[TraceEvent], names: &TraceNames) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+
+    // Metadata: process and thread names for every entity that appears.
+    let mut seen_gw: Vec<u32> = Vec::new();
+    let mut seen_streams: Vec<(u32, u32)> = Vec::new();
+    let mut seen_accel = false;
+    for e in events {
+        let (g, s) = match *e {
+            TraceEvent::BlockStart {
+                gateway, stream, ..
+            }
+            | TraceEvent::ReconfigWindow {
+                gateway, stream, ..
+            }
+            | TraceEvent::DmaPhase {
+                gateway, stream, ..
+            }
+            | TraceEvent::DrainPhase {
+                gateway, stream, ..
+            }
+            | TraceEvent::BlockEnd {
+                gateway, stream, ..
+            }
+            | TraceEvent::ConfigSave {
+                gateway, stream, ..
+            }
+            | TraceEvent::ConfigRestore {
+                gateway, stream, ..
+            } => (Some(gateway), Some(stream)),
+            TraceEvent::StallWindow { gateway, .. } => (Some(gateway), None),
+            TraceEvent::AccelActive { .. } => {
+                seen_accel = true;
+                (None, None)
+            }
+            _ => (None, None),
+        };
+        if let Some(g) = g {
+            if !seen_gw.contains(&g) {
+                seen_gw.push(g);
+            }
+            if let Some(s) = s {
+                if !seen_streams.contains(&(g, s)) {
+                    seen_streams.push((g, s));
+                }
+            }
+        }
+    }
+    for &g in &seen_gw {
+        push(&mut out, &mut first, format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{g},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&names.gateway(g))
+        ));
+        for cause in StallCause::ALL {
+            push(&mut out, &mut first, format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{g},\"tid\":{},\"args\":{{\"name\":\"stall:{}\"}}}}",
+                TID_STALL_BASE + cause as u32,
+                cause.name()
+            ));
+        }
+    }
+    for &(g, s) in &seen_streams {
+        push(&mut out, &mut first, format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{g},\"tid\":{s},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&names.stream(g, s))
+        ));
+    }
+    if seen_accel {
+        push(&mut out, &mut first, format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{PID_ACCELS},\"args\":{{\"name\":\"accelerators\"}}}}"
+        ));
+    }
+
+    for e in events {
+        match *e {
+            TraceEvent::ReconfigWindow {
+                gateway,
+                stream,
+                start,
+                end,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"reconfig\",\"name\":\"R_s\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{start},\"dur\":{}}}",
+                end.saturating_sub(start)
+            )),
+            TraceEvent::DmaPhase {
+                gateway,
+                stream,
+                start,
+                end,
+                samples,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"dma\",\"name\":\"dma ε-phase\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{start},\"dur\":{},\"args\":{{\"samples\":{samples}}}}}",
+                end.saturating_sub(start)
+            )),
+            TraceEvent::DrainPhase {
+                gateway,
+                stream,
+                start,
+                end,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"drain\",\"name\":\"drain δ-phase\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{start},\"dur\":{}}}",
+                end.saturating_sub(start)
+            )),
+            TraceEvent::BlockEnd {
+                gateway,
+                stream,
+                start,
+                drain_end,
+                dma_stall,
+                exit_stall,
+                ..
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"block\",\"name\":\"block {}\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{start},\"dur\":{},\"args\":{{\"tau\":{},\"dma_stall\":{dma_stall},\"exit_stall\":{exit_stall}}}}}",
+                json_escape(&names.stream(gateway, stream)),
+                drain_end.saturating_sub(start),
+                drain_end.saturating_sub(start)
+            )),
+            TraceEvent::ConfigSave {
+                gateway,
+                stream,
+                accel,
+                cycle,
+                words,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"i\",\"cat\":\"configbus\",\"name\":\"save {}→{}\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{cycle},\"s\":\"p\",\"args\":{{\"words\":{words}}}}}",
+                json_escape(&names.stream(gateway, stream)),
+                json_escape(&names.accel(accel))
+            )),
+            TraceEvent::ConfigRestore {
+                gateway,
+                stream,
+                accel,
+                cycle,
+                words,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"i\",\"cat\":\"configbus\",\"name\":\"restore {}→{}\",\"pid\":{gateway},\"tid\":{stream},\"ts\":{cycle},\"s\":\"p\",\"args\":{{\"words\":{words}}}}}",
+                json_escape(&names.stream(gateway, stream)),
+                json_escape(&names.accel(accel))
+            )),
+            TraceEvent::StallWindow {
+                gateway,
+                cause,
+                start,
+                end,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"stall\",\"name\":\"{}\",\"pid\":{gateway},\"tid\":{},\"ts\":{start},\"dur\":{}}}",
+                cause.name(),
+                TID_STALL_BASE + cause as u32,
+                end - start + 1
+            )),
+            TraceEvent::AccelActive { accel, start, end } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"X\",\"cat\":\"accel\",\"name\":\"{}\",\"pid\":{PID_ACCELS},\"tid\":{accel},\"ts\":{start},\"dur\":{}}}",
+                json_escape(&names.accel(accel)),
+                end - start + 1
+            )),
+            TraceEvent::FifoLevel { fifo, cycle, level } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"C\",\"name\":\"fifo {}\",\"pid\":{PID_COUNTERS},\"ts\":{cycle},\"args\":{{\"level\":{level}}}}}",
+                json_escape(&names.fifo(fifo))
+            )),
+            TraceEvent::FifoHighWater { fifo, cycle, level } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"C\",\"name\":\"hwm {}\",\"pid\":{PID_COUNTERS},\"ts\":{cycle},\"args\":{{\"high_water\":{level}}}}}",
+                json_escape(&names.fifo(fifo))
+            )),
+            TraceEvent::RingCounters {
+                cycle,
+                data_delivered,
+                data_stalls,
+                credit_delivered,
+            } => push(&mut out, &mut first, format!(
+                "{{\"ph\":\"C\",\"name\":\"ring\",\"pid\":{PID_COUNTERS},\"ts\":{cycle},\"args\":{{\"data_delivered\":{data_delivered},\"data_stalls\":{data_stalls},\"credit_delivered\":{credit_delivered}}}}}"
+            )),
+            // BlockStart carries no duration of its own: the block span is
+            // drawn by BlockEnd. Kept in the log for streaming consumers.
+            TraceEvent::BlockStart { .. } => {}
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(|| panic!("constructor must not run when disabled"));
+        t.stall_cycle(0, StallCause::DmaNoCredit, 5);
+        t.accel_activity(0, true, 1);
+        t.fifo_high_water(0, 10, 2);
+        t.finish(100);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.stall_cycles(0, StallCause::DmaNoCredit), 0);
+    }
+
+    #[test]
+    fn stall_windows_coalesce() {
+        let mut t = Tracer::enabled(0);
+        for now in 10..15 {
+            t.stall_cycle(0, StallCause::DmaNoCredit, now);
+        }
+        // Gap, then another window of a different cause interleaved.
+        for now in 20..22 {
+            t.stall_cycle(0, StallCause::DmaNoCredit, now);
+            t.stall_cycle(0, StallCause::ExitFifoFull, now);
+        }
+        t.finish(30);
+        let windows: Vec<_> = t
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::StallWindow {
+                    cause, start, end, ..
+                } => Some((cause, start, end)),
+                _ => None,
+            })
+            .collect();
+        assert!(windows.contains(&(StallCause::DmaNoCredit, 10, 14)));
+        assert!(windows.contains(&(StallCause::DmaNoCredit, 20, 21)));
+        assert!(windows.contains(&(StallCause::ExitFifoFull, 20, 21)));
+        assert_eq!(t.stall_cycles(0, StallCause::DmaNoCredit), 7);
+        assert_eq!(t.stall_cycles(0, StallCause::ExitFifoFull), 2);
+    }
+
+    #[test]
+    fn accel_windows_coalesce() {
+        let mut t = Tracer::enabled(0);
+        for now in 0..50u64 {
+            t.accel_activity(0, (5..10).contains(&now) || (20..23).contains(&now), now);
+        }
+        t.finish(50);
+        let spans: Vec<_> = t
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::AccelActive { start, end, .. } => Some((start, end)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec![(5, 9), (20, 22)]);
+    }
+
+    #[test]
+    fn high_water_only_on_increase() {
+        let mut t = Tracer::enabled(0);
+        t.fifo_high_water(2, 4, 1);
+        t.fifo_high_water(2, 4, 2);
+        t.fifo_high_water(2, 9, 3);
+        t.fifo_high_water(2, 8, 4);
+        let marks: Vec<_> = t
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::FifoHighWater { cycle, level, .. } => Some((cycle, level)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(marks, vec![(1, 4), (3, 9)]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| TraceEvent::BlockStart {
+            gateway: 0,
+            stream: 1,
+            cycle: 5,
+        });
+        t.emit(|| TraceEvent::BlockEnd {
+            gateway: 0,
+            stream: 1,
+            start: 5,
+            reconfig_end: 15,
+            stream_end: 40,
+            drain_end: 44,
+            dma_stall: 2,
+            exit_stall: 0,
+        });
+        t.stall_cycle(0, StallCause::DmaNoCredit, 20);
+        t.finish(50);
+        let names = TraceNames {
+            gateways: vec!["gw".into()],
+            streams: vec![vec!["s0".into(), "s\"quoted\"".into()]],
+            ..TraceNames::default()
+        };
+        let json = chrome_trace_json(t.events(), &names);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("dma-no-credit"));
+        assert!(json.contains("s\\\"quoted\\\""));
+        // Balanced braces — cheap structural sanity check on the JSON.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -43,7 +43,7 @@ proptest! {
                 verify_csdf_refines_sdf(&prob, s, &etas, 10, 1, 2);
             prop_assert_eq!(&outcome, &RefinementOutcome::Refines,
                 "stream {} of {:?}", s, etas);
-            prop_assert!(csdf_t.len() > 0);
+            prop_assert!(!csdf_t.is_empty());
         }
     }
 }

@@ -11,6 +11,7 @@ use streamgate::platform::{
 
 fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64) {
     let mut sys = System::new(4);
+    sys.enable_tracing(0); // measurement comes from the tracer's event log
     let i0 = sys.add_fifo(CFifo::new("i0", 4096));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
     let acc = sys.add_accel({

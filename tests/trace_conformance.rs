@@ -1,0 +1,184 @@
+//! Bound-conformance through the observability layer ONLY: every measured
+//! quantity in this test comes from the tracer's event log (via
+//! `core::metrics`), never from simulator internals.
+//!
+//! * Eq. 2: every completed block of every stream satisfies τ ≤ τ̂ (plus
+//!   the constant ring-transport margin);
+//! * Eq. 4: on a saturated harness every measured round fits within γ; on
+//!   the paced PAL decoder the round *service demand* fits within γ and the
+//!   round wall time within max(γ, η/μ) — Eq. 5's feasibility condition.
+
+use streamgate::core::{
+    build_pal_system, system_metrics, GatewayParams, PalSystemConfig, SharingProblem, StreamSpec,
+};
+use streamgate::ilp::rat;
+use streamgate::platform::{
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StallCause, StreamConfig, System,
+};
+
+/// Ring-transport margin: the last samples of a block cross the ring after
+/// the DMA queued them; the paper folds this constant into ε/δ.
+const RING_MARGIN: u64 = 16;
+
+/// The two-stream saturated harness of `core::validate`: two passthrough
+/// streams over one shared accelerator, inputs prefilled.
+fn two_stream_harness(etas: [usize; 2], reconfig: u64, epsilon: u64) -> (System, SharingProblem) {
+    let mut sys = System::new(4);
+    sys.enable_tracing(0);
+    let i0 = sys.add_fifo(CFifo::new("i0", 4096));
+    let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
+    let i1 = sys.add_fifo(CFifo::new("i1", 4096));
+    let o1 = sys.add_fifo(CFifo::new("o1", 1 << 20));
+    let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+    let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
+    gw.add_stream(StreamConfig::new(
+        "s0",
+        i0,
+        o0,
+        etas[0],
+        etas[0],
+        reconfig,
+        vec![Box::new(PassthroughKernel)],
+    ));
+    gw.add_stream(StreamConfig::new(
+        "s1",
+        i1,
+        o1,
+        etas[1],
+        etas[1],
+        reconfig,
+        vec![Box::new(PassthroughKernel)],
+    ));
+    sys.add_gateway(gw);
+    for k in 0..4096 {
+        sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+        sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
+    }
+    let prob = SharingProblem {
+        params: GatewayParams {
+            epsilon,
+            rho_a: 1,
+            delta: 1,
+        },
+        streams: vec![
+            StreamSpec {
+                name: "s0".into(),
+                mu: rat(1, 1000),
+                reconfig,
+            },
+            StreamSpec {
+                name: "s1".into(),
+                mu: rat(1, 1000),
+                reconfig,
+            },
+        ],
+    };
+    (sys, prob)
+}
+
+#[test]
+fn two_stream_blocks_and_rounds_within_bounds() {
+    let etas = [32u64, 16u64];
+    let (mut sys, prob) = two_stream_harness([32, 16], 50, 5);
+    sys.run(60_000);
+
+    let metrics = system_metrics(&sys, 0);
+    // Per-block τ conformance, every block of every stream, tracer-only.
+    for (s, m) in metrics.streams.iter().enumerate() {
+        assert!(m.blocks() >= 3, "stream {s}: only {} blocks", m.blocks());
+        let tau_hat = prob.tau_hat(s, etas[s]);
+        for (k, &tau) in m.taus.iter().enumerate() {
+            assert!(
+                tau <= tau_hat + RING_MARGIN,
+                "stream {s} block {k}: τ {tau} > τ̂ {tau_hat} (+{RING_MARGIN})"
+            );
+        }
+    }
+    // Round conformance (Eq. 4): saturated streams → every window of one
+    // block per stream completes within γ plus the per-block ring margin.
+    let gamma = prob.gamma(&etas);
+    let rounds = metrics.round_times();
+    assert!(!rounds.is_empty(), "no full round completed");
+    for (k, &r) in rounds.iter().enumerate() {
+        assert!(
+            r <= gamma + 2 * RING_MARGIN,
+            "round {k}: {r} > γ {gamma} (+{})",
+            2 * RING_MARGIN
+        );
+    }
+    // Saturated inputs and huge outputs: admission never waited for space.
+    assert_eq!(metrics.stall_cycles(StallCause::CheckForSpace), 0);
+    assert_eq!(metrics.stall_cycles(StallCause::ExitFifoFull), 0);
+}
+
+#[test]
+fn pal_decoder_conforms_via_tracer_metrics() {
+    let cfg = PalSystemConfig::scaled_default();
+    let prob = cfg.sharing_problem();
+    let mut pal = build_pal_system(&cfg);
+    pal.system.enable_tracing(0);
+    pal.system.run(300_000);
+
+    let metrics = system_metrics(&pal.system, pal.gateway);
+    let n = metrics.num_streams;
+    assert_eq!(n, 4);
+
+    // Eq. 2 on every block of all four PAL streams.
+    for (s, m) in metrics.streams.iter().enumerate() {
+        assert!(m.blocks() >= 3, "stream {s}: only {} blocks", m.blocks());
+        let tau_hat = prob.tau_hat(s, cfg.etas[s]);
+        for (k, &tau) in m.taus.iter().enumerate() {
+            assert!(
+                tau <= tau_hat + RING_MARGIN,
+                "stream {s} block {k}: τ {tau} > τ̂ {tau_hat}"
+            );
+        }
+    }
+
+    let gamma = prob.gamma(&cfg.etas);
+
+    // Eq. 4 on the paced decoder: each round's *service demand* — the sum
+    // of its member block times; the gateway serves one block per stream
+    // per round — fits within γ. (Wall time additionally contains waiting
+    // for the paced source, checked against η/μ below.)
+    for w in metrics.blocks.windows(n) {
+        let mut streams_seen: Vec<usize> = w.iter().map(|b| b.stream).collect();
+        streams_seen.sort_unstable();
+        assert_eq!(
+            streams_seen,
+            vec![0, 1, 2, 3],
+            "round-robin must serve each stream once per round"
+        );
+        let demand: u64 = w.iter().map(|b| b.tau()).sum();
+        assert!(
+            demand <= gamma + (n as u64) * RING_MARGIN,
+            "round service demand {demand} > γ {gamma}"
+        );
+    }
+
+    // Eq. 5 feasibility: round wall time is bounded by the block period
+    // η_s/μ_s of the slowest-filling stream (the source paces admissions),
+    // which feasibility guarantees is ≥ γ.
+    let period = cfg
+        .etas
+        .iter()
+        .zip(&prob.streams)
+        .map(|(&eta, s)| (eta as f64 / s.mu.to_f64()).ceil() as u64)
+        .max()
+        .unwrap();
+    assert!(period >= gamma, "Eq. 5: block period must dominate γ");
+    let max_round = metrics.max_round_time().expect("at least one round");
+    assert!(
+        max_round <= period + (n as u64) * RING_MARGIN,
+        "round wall time {max_round} > block period {period}"
+    );
+
+    // The PAL operating point leaves headroom: no stall of any cause.
+    for cause in StallCause::ALL {
+        assert_eq!(
+            metrics.stall_cycles(cause),
+            0,
+            "unexpected {cause} stall cycles at the PAL operating point"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal re-implementation of the subset of the
+//! [criterion](https://crates.io/crates/criterion) API used by this
+//! workspace's benches. The build environment has no network access, so the
+//! real crate cannot be fetched.
+//!
+//! Each benchmark runs a short warm-up followed by a fixed measurement
+//! budget and prints mean time per iteration (plus throughput when set).
+//! There is no statistical analysis, plotting, or baseline storage; the
+//! point is that `cargo bench` runs and reports comparable numbers, and
+//! that bench code keeps compiling.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimiser from deleting the
+/// computation under measurement.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Work-per-iteration declaration used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly within the measurement budget and record the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call (also primes caches/allocations).
+        black_box(f());
+        let budget = self.measurement;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MB/s)", n as f64 / mean_ns * 1e3)
+        }
+        None => String::new(),
+    };
+    if mean_ns >= 1e6 {
+        println!("{name:<50} {:>12.3} ms/iter{rate}", mean_ns / 1e6);
+    } else if mean_ns >= 1e3 {
+        println!("{name:<50} {:>12.3} µs/iter{rate}", mean_ns / 1e3);
+    } else {
+        println!("{name:<50} {mean_ns:>12.1} ns/iter{rate}");
+    }
+}
+
+/// Benchmark runner.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: CI runs every bench binary; keep them quick.
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        report(name, b.mean_ns, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            let bench_requested = std::env::args().any(|a| a == "--bench");
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode && !bench_requested {
+                return; // compile/run check only
+            }
+            $( $group(); )+
+        }
+    };
+}
