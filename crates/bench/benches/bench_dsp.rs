@@ -80,5 +80,10 @@ fn bench_full_chain(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_cordic, bench_stream_kernels, bench_full_chain);
+criterion_group!(
+    benches,
+    bench_cordic,
+    bench_stream_kernels,
+    bench_full_chain
+);
 criterion_main!(benches);

@@ -15,7 +15,11 @@ fn pal_problem() -> SharingProblem {
 
 fn synthetic(n: usize) -> SharingProblem {
     SharingProblem {
-        params: GatewayParams { epsilon: 10, rho_a: 1, delta: 1 },
+        params: GatewayParams {
+            epsilon: 10,
+            rho_a: 1,
+            delta: 1,
+        },
         streams: (0..n)
             .map(|i| StreamSpec {
                 name: format!("s{i}"),

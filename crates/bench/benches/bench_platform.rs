@@ -17,7 +17,12 @@ fn bench_ring(c: &mut Criterion) {
             b.iter(|| {
                 let mut ring: DualRing<(f64, f64)> = DualRing::new(n);
                 for k in 0..64u64 {
-                    ring.send_data((k % n as u64) as usize, ((k + 1) % n as u64) as usize, 0, (k as f64, 0.0));
+                    ring.send_data(
+                        (k % n as u64) as usize,
+                        ((k + 1) % n as u64) as usize,
+                        0,
+                        (k as f64, 0.0),
+                    );
                 }
                 for _ in 0..1000 {
                     ring.step();
@@ -37,8 +42,24 @@ fn two_stream_system(eta: usize) -> System {
     let o1 = sys.add_fifo(CFifo::new("o1", 1 << 20));
     let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
     let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, 3, 1);
-    gw.add_stream(StreamConfig::new("s0", i0, o0, eta, eta, 100, vec![Box::new(PassthroughKernel)]));
-    gw.add_stream(StreamConfig::new("s1", i1, o1, eta, eta, 100, vec![Box::new(PassthroughKernel)]));
+    gw.add_stream(StreamConfig::new(
+        "s0",
+        i0,
+        o0,
+        eta,
+        eta,
+        100,
+        vec![Box::new(PassthroughKernel)],
+    ));
+    gw.add_stream(StreamConfig::new(
+        "s1",
+        i1,
+        o1,
+        eta,
+        eta,
+        100,
+        vec![Box::new(PassthroughKernel)],
+    ));
     sys.add_gateway(gw);
     for k in 0..8192 {
         sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
@@ -52,13 +73,17 @@ fn bench_system(c: &mut Criterion) {
     grp.sample_size(20);
     for eta in [16usize, 64] {
         grp.throughput(Throughput::Elements(50_000));
-        grp.bench_with_input(BenchmarkId::new("gateway-50k-cycles", eta), &eta, |b, &eta| {
-            b.iter(|| {
-                let mut sys = two_stream_system(eta);
-                sys.run(50_000);
-                sys.gateways[0].blocks.len()
-            })
-        });
+        grp.bench_with_input(
+            BenchmarkId::new("gateway-50k-cycles", eta),
+            &eta,
+            |b, &eta| {
+                b.iter(|| {
+                    let mut sys = two_stream_system(eta);
+                    sys.run(50_000);
+                    sys.gateways[0].blocks.len()
+                })
+            },
+        );
     }
     grp.bench_function("pal-system-100k-cycles", |b| {
         b.iter(|| {

@@ -10,10 +10,22 @@ use streamgate_ilp::rat;
 
 fn main() {
     let prob = SharingProblem {
-        params: GatewayParams { epsilon: 3, rho_a: 1, delta: 1 },
+        params: GatewayParams {
+            epsilon: 3,
+            rho_a: 1,
+            delta: 1,
+        },
         streams: vec![
-            StreamSpec { name: "a".into(), mu: rat(1, 40), reconfig: 20 },
-            StreamSpec { name: "b".into(), mu: rat(1, 80), reconfig: 20 },
+            StreamSpec {
+                name: "a".into(),
+                mu: rat(1, 40),
+                reconfig: 20,
+            },
+            StreamSpec {
+                name: "b".into(),
+                mu: rat(1, 80),
+                reconfig: 20,
+            },
         ],
     };
     println!("two streams over one chain; sweep η of stream a, measure how much");

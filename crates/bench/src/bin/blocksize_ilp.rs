@@ -4,9 +4,7 @@
 
 use streamgate_bench::print_table;
 use streamgate_core::params::PAL_CLOCK_HZ;
-use streamgate_core::{
-    solve_blocksizes_fixpoint, solve_blocksizes_ilp, SharingProblem,
-};
+use streamgate_core::{solve_blocksizes_fixpoint, solve_blocksizes_ilp, SharingProblem};
 
 fn main() {
     let prob = SharingProblem::pal_decoder(PAL_CLOCK_HZ);
@@ -15,7 +13,10 @@ fn main() {
         PAL_CLOCK_HZ
     );
     println!("ε = 15, ρ_A = 1, δ = 1, R_s = 4100, c1 = {}", prob.c1());
-    println!("chain utilisation: {:.2} %", prob.utilisation().to_f64() * 100.0);
+    println!(
+        "chain utilisation: {:.2} %",
+        prob.utilisation().to_f64() * 100.0
+    );
 
     let ilp = solve_blocksizes_ilp(&prob).expect("feasible");
     let fix = solve_blocksizes_fixpoint(&prob).expect("feasible");
@@ -33,17 +34,34 @@ fn main() {
                 format!("{}", s.mu),
                 eta.to_string(),
                 p.to_string(),
-                if eta == p { "exact".into() } else { "DIFF".into() },
+                if eta == p {
+                    "exact".into()
+                } else {
+                    "DIFF".into()
+                },
             ]
         })
         .collect();
     print_table(
         "Algorithm 1: minimum block sizes",
-        &["stream", "μ (samples/cycle)", "η (ours)", "η (paper)", "match"],
+        &[
+            "stream",
+            "μ (samples/cycle)",
+            "η (ours)",
+            "η (paper)",
+            "match",
+        ],
         &rows,
     );
-    println!("\nround time γ = {} cycles ({:.2} ms)", ilp.gamma, ilp.gamma as f64 / PAL_CLOCK_HZ as f64 * 1e3);
-    println!("8:1 block ratio (down-sampling): {}", ilp.etas[0] == 8 * ilp.etas[2]);
+    println!(
+        "\nround time γ = {} cycles ({:.2} ms)",
+        ilp.gamma,
+        ilp.gamma as f64 / PAL_CLOCK_HZ as f64 * 1e3
+    );
+    println!(
+        "8:1 block ratio (down-sampling): {}",
+        ilp.etas[0] == 8 * ilp.etas[2]
+    );
 
     // Time split within one round (cf. the paper's 5 % / 95 % sentence).
     let reconfig: u64 = prob.c1();
@@ -59,6 +77,9 @@ fn main() {
     );
 
     // Solver statistics.
-    println!("\nILP: exact rational branch-and-bound over {} integer vars", prob.streams.len());
+    println!(
+        "\nILP: exact rational branch-and-bound over {} integer vars",
+        prob.streams.len()
+    );
     println!("fixpoint: Kleene iteration on the monotone rounding operator");
 }

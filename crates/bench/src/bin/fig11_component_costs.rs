@@ -43,6 +43,9 @@ fn main() {
     println!("\nparametric FIR cost (taps sweep, ablation):");
     for taps in [9u64, 17, 33, 65, 129] {
         let r = cost_of(&Component::FirDownsampler { taps });
-        println!("  {taps:>4} taps: {:>6} slices {:>6} LUTs", r.slices, r.luts);
+        println!(
+            "  {taps:>4} taps: {:>6} slices {:>6} LUTs",
+            r.slices, r.luts
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! Pass `--trace out.json` to export the schedule as a Chrome trace (one
 //! thread per CSDF actor, one span per firing, labelled by phase).
 
-use streamgate_bench::{trace_arg, write_trace};
+use streamgate_bench::{parse_args, write_trace};
 use streamgate_core::{fig6_schedule, Fig5Params};
 use streamgate_dataflow::Gantt;
 
@@ -35,6 +35,7 @@ fn gantt_chrome_json(gantt: &Gantt) -> String {
 }
 
 fn main() {
+    let args = parse_args();
     // Small, legible parameters (the paper's figure is also schematic):
     // η = 6, ε = 3, ρ_A = 1, δ = 1, R = 12.
     let p = Fig5Params {
@@ -52,7 +53,10 @@ fn main() {
     };
     let (model, gantt) = fig6_schedule(&p, 2);
     println!("Fig. 6: self-timed schedule of the Fig. 5 CSDF model");
-    println!("η = {}, ε = {}, ρ_A = {}, δ = {}, R_s = {}\n", p.eta, p.epsilon, p.rho_a, p.delta, p.reconfig);
+    println!(
+        "η = {}, ε = {}, ρ_A = {}, δ = {}, R_s = {}\n",
+        p.eta, p.epsilon, p.rho_a, p.delta, p.reconfig
+    );
     print!("{}", gantt.render_ascii(100));
 
     // The block-time bound of Eq. 2 on the measured schedule.
@@ -61,8 +65,16 @@ fn main() {
     let g0 = &gantt.rows[model.v_g0.index()].segments;
     let g1 = &gantt.rows[model.v_g1.index()].segments;
     let tau = g1[p.eta - 1].end - g0[0].start;
-    println!("\nblock 1: vG0 starts at {}, last vG1 output at {} → τ = {}", g0[0].start, g1[p.eta - 1].end, tau);
-    println!("Eq. 2 bound: τ̂ = R + (η+2)·max(ε,ρ_A,δ) = {tau_hat}  →  τ ≤ τ̂: {}", tau <= tau_hat);
+    println!(
+        "\nblock 1: vG0 starts at {}, last vG1 output at {} → τ = {}",
+        g0[0].start,
+        g1[p.eta - 1].end,
+        tau
+    );
+    println!(
+        "Eq. 2 bound: τ̂ = R + (η+2)·max(ε,ρ_A,δ) = {tau_hat}  →  τ ≤ τ̂: {}",
+        tau <= tau_hat
+    );
 
     // And the paper's structure: reconfiguration, η transfers, pipeline drain.
     println!(
@@ -71,7 +83,7 @@ fn main() {
          through vA and vG1 before the next block may start."
     );
 
-    if let Some(path) = trace_arg() {
+    if let Some(path) = args.trace {
         write_trace(&path, &gantt_chrome_json(&gantt));
     }
 }

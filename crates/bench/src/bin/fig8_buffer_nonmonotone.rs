@@ -12,13 +12,17 @@ fn main() {
         .map(|(eta, a)| {
             vec![
                 eta.to_string(),
-                a.map(|a| a.to_string()).unwrap_or_else(|| "infeasible".into()),
+                a.map(|a| a.to_string())
+                    .unwrap_or_else(|| "infeasible".into()),
             ]
         })
         .collect();
     print_table("Fig. 8b: minimum α vs block size η", &["η", "min α"], &rows);
 
-    let feasible: Vec<(u64, u64)> = sweep.iter().filter_map(|(e, a)| a.map(|a| (*e, a))).collect();
+    let feasible: Vec<(u64, u64)> = sweep
+        .iter()
+        .filter_map(|(e, a)| a.map(|a| (*e, a)))
+        .collect();
     let crossovers: Vec<String> = feasible
         .windows(2)
         .filter(|w| w[0].1 > w[1].1)

@@ -10,15 +10,17 @@
 //! shows the stall cycles appear, and vanish when the check is on).
 //!
 //! Pass `--trace out.json` to export the check-disabled platform run as a
-//! Chrome trace.
+//! Chrome trace, `--cycles <n>` to change the platform-run length, and
+//! `--mode exhaustive|event` to select the simulation engine.
 
-use streamgate_bench::{print_table, trace_arg, write_trace};
+use std::collections::VecDeque;
+use streamgate_bench::{parse_args, print_table, write_trace};
 use streamgate_core::system_metrics;
 use streamgate_dataflow::{check_refinement, ArrivalTrace, RefinementOutcome};
 use streamgate_platform::{
-    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StallCause, StreamConfig, System,
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StallCause, StepMode, StreamConfig,
+    System,
 };
-use std::collections::VecDeque;
 
 fn run_shared(slow_cost: u64, horizon: u64) -> ArrivalTrace {
     let mut fifo: VecDeque<(usize, u64)> = VecDeque::new();
@@ -52,8 +54,9 @@ fn dedicated(n: usize) -> ArrivalTrace {
 /// consumer). With the §V-G check-for-space admission test the block never
 /// starts; without it the block wedges in the shared (hardware) FIFO and
 /// head-of-line-blocks stream 0 — exactly Fig. 9 on real machinery.
-fn run_platform(check_for_space: bool) -> (System, u64, u64) {
+fn run_platform(check_for_space: bool, mode: StepMode, cycles: u64) -> (System, u64, u64) {
     let mut sys = System::new(4);
+    sys.step_mode = mode;
     sys.enable_tracing(0);
     let i0 = sys.add_fifo(CFifo::new("i0", 4096));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 16));
@@ -78,13 +81,15 @@ fn run_platform(check_for_space: bool) -> (System, u64, u64) {
         sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
         sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
     }
-    sys.run(20_000);
+    sys.run(cycles);
     let stalls = sys.tracer.stall_cycles(0, StallCause::ExitFifoFull);
     let s0_blocks = system_metrics(&sys, 0).streams[0].blocks() as u64;
     (sys, stalls, s0_blocks)
 }
 
 fn main() {
+    let args = parse_args();
+    let cycles = args.cycles.unwrap_or(20_000);
     println!("Fig. 9: two producer/consumer pairs over ONE FIFO; stream 1's");
     println!("consumer is slow; stream 0's tokens queue behind its tokens.\n");
     let mut rows = Vec::new();
@@ -123,14 +128,26 @@ fn main() {
     );
 
     // --- the same effect on the cycle-level platform -----------------------
-    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false);
-    let (_good_sys, good_stalls, good_s0) = run_platform(true);
+    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false, args.step_mode, cycles);
+    let (_good_sys, good_stalls, good_s0) = run_platform(true, args.step_mode, cycles);
     print_table(
         "platform: exit-gateway space check on/off (tracer stall cycles)",
-        &["check-for-space", "exit-fifo-full stall cycles", "s0 blocks done"],
         &[
-            vec!["disabled".into(), bad_stalls.to_string(), bad_s0.to_string()],
-            vec!["enabled".into(), good_stalls.to_string(), good_s0.to_string()],
+            "check-for-space",
+            "exit-fifo-full stall cycles",
+            "s0 blocks done",
+        ],
+        &[
+            vec![
+                "disabled".into(),
+                bad_stalls.to_string(),
+                bad_s0.to_string(),
+            ],
+            vec![
+                "enabled".into(),
+                good_stalls.to_string(),
+                good_s0.to_string(),
+            ],
         ],
     );
     assert!(bad_stalls > 0 && good_stalls == 0 && good_s0 > bad_s0);
@@ -140,7 +157,7 @@ fn main() {
          starves; enabling the check removes every such stall cycle."
     );
 
-    if let Some(path) = trace_arg() {
+    if let Some(path) = args.trace {
         write_trace(&path, &bad_sys.chrome_trace_json());
     }
 }

@@ -7,69 +7,144 @@
 //! export a Chrome-trace-format timeline (block phases per stream,
 //! reconfiguration windows, DMA/drain phases, stalls, FIFO levels) viewable
 //! in <https://ui.perfetto.dev> or `chrome://tracing`.
+//!
+//! Pass `--cycles <n>` for a shorter smoke run, `--mode exhaustive|event`
+//! to select the simulation engine, and `--bench-json <path>` to time BOTH
+//! engines over the same cycle budget and write the measured throughput
+//! and speedup as machine-readable JSON.
 
-use streamgate_bench::{print_table, trace_arg, write_trace};
-use streamgate_core::{build_pal_system, solve_blocksizes_checked, system_metrics, PalSystemConfig};
+use std::time::Instant;
+use streamgate_bench::{parse_args, print_table, write_trace};
+use streamgate_core::{
+    build_pal_system, solve_blocksizes_checked, system_metrics, PalSystem, PalSystemConfig,
+};
 use streamgate_dsp::{decode_stereo, rms_error, snr_db, tone_power, PalStereoSource};
-use streamgate_platform::{AccelId, StallCause};
+use streamgate_platform::{AccelId, StallCause, StepMode};
+
+/// Build the PAL platform, run it for `cycles` under `mode`, and return the
+/// finished system together with the wall-clock seconds the run took.
+fn simulate(cfg: &PalSystemConfig, cycles: u64, mode: StepMode, tracing: bool) -> (PalSystem, f64) {
+    let mut pal = build_pal_system(cfg);
+    pal.system.step_mode = mode;
+    if tracing {
+        // ~1000 FIFO/ring counter samples over the run; spans are exact.
+        pal.system.enable_tracing((cycles / 1000).max(1));
+    }
+    let t0 = Instant::now();
+    pal.system.run(cycles);
+    (pal, t0.elapsed().as_secs_f64())
+}
+
+fn mode_json(wall: f64, cycles: u64, stats: streamgate_platform::EngineStats) -> String {
+    format!(
+        "{{\"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"full_steps\": {}, \"ring_only_cycles\": {}, \"skipped_cycles\": {}}}",
+        wall,
+        cycles as f64 / wall.max(1e-9),
+        stats.full_steps,
+        stats.ring_only_cycles,
+        stats.skipped_cycles,
+    )
+}
 
 fn main() {
-    let trace_path = trace_arg();
+    let args = parse_args();
     let cfg = PalSystemConfig::scaled_default();
     let prob = cfg.sharing_problem();
-    println!("laptop-scale PAL config: audio {} Hz, baseband {} Hz, clock {} Hz",
-        cfg.pal.audio_rate(), cfg.pal.fs, cfg.clock_hz);
-    println!("utilisation {:.2} % (paper's operating point: 95.4 %)",
-        prob.utilisation().to_f64() * 100.0);
+    println!(
+        "laptop-scale PAL config: audio {} Hz, baseband {} Hz, clock {} Hz",
+        cfg.pal.audio_rate(),
+        cfg.pal.fs,
+        cfg.clock_hz
+    );
+    println!(
+        "utilisation {:.2} % (paper's operating point: 95.4 %)",
+        prob.utilisation().to_f64() * 100.0
+    );
     let minimum = solve_blocksizes_checked(&prob).expect("feasible");
-    println!("minimum η = {:?}; configured η = {:?}", minimum.etas, cfg.etas);
+    println!(
+        "minimum η = {:?}; configured η = {:?}",
+        minimum.etas, cfg.etas
+    );
 
-    let mut pal = build_pal_system(&cfg);
-    let cycles = cfg.clock_hz; // one second of platform time
-    if trace_path.is_some() {
-        // ~1000 FIFO/ring counter samples over the run; spans are exact.
-        pal.system.enable_tracing(cycles / 1000);
-    }
-    println!("\nsimulating {cycles} cycles (1 s) …");
-    pal.system.run(cycles);
+    let cycles = args.cycles.unwrap_or(cfg.clock_hz);
+    let seconds = cycles as f64 / cfg.clock_hz as f64;
+    println!(
+        "\nsimulating {cycles} cycles ({seconds:.3} s of stream time, engine: {}) …",
+        args.step_mode.name()
+    );
+    let (mut pal, wall) = simulate(&cfg, cycles, args.step_mode, args.trace.is_some());
+    println!(
+        "wall-clock {:.2} s → {:.1} Mcycles/s",
+        wall,
+        cycles as f64 / wall.max(1e-9) / 1e6
+    );
     let (left, right) = pal.take_audio();
 
     // --- real-time verification -------------------------------------------
     let fs_audio = cfg.pal.audio_rate();
-    let achieved = left.len() as f64 / (cycles as f64 / cfg.clock_hz as f64);
-    println!("\nreal-time: decoded {} stereo samples in 1 s (need {} minus pipeline fill)",
-        left.len(), fs_audio);
-    let ok_rt = (left.len() as f64) >= 0.95 * fs_audio;
-    println!("audio rate achieved: {achieved:.0} S/s → {}", if ok_rt { "REAL-TIME MET" } else { "UNDERRUN" });
+    let achieved = left.len() as f64 / seconds;
+    let expected = fs_audio * seconds;
+    println!(
+        "\nreal-time: decoded {} stereo samples in {seconds:.3} s (need {:.0} minus pipeline fill)",
+        left.len(),
+        expected
+    );
+    // On a full one-second run the pipeline-fill transient is negligible and
+    // we demand 95 % of the nominal audio rate; on short smoke runs the fill
+    // dominates, so only require that the decode is at least half-rate.
+    let rt_factor = if cycles >= cfg.clock_hz { 0.95 } else { 0.5 };
+    let ok_rt = (left.len() as f64) >= rt_factor * expected;
+    println!(
+        "audio rate achieved: {achieved:.0} S/s → {}",
+        if ok_rt { "REAL-TIME MET" } else { "UNDERRUN" }
+    );
 
     // --- fidelity: platform vs reference chain -----------------------------
     let (f_l, f_r) = cfg.tones;
     let skip = 64;
-    let l = &left[skip..];
-    let r = &right[skip..];
-    print_table(
-        "channel separation (Goertzel power)",
-        &["channel", "own tone", "other tone", "SNR dB"],
-        &[
-            vec!["L (400 Hz)".into(),
-                 format!("{:.4}", tone_power(l, f_l, fs_audio)),
-                 format!("{:.6}", tone_power(l, f_r, fs_audio)),
-                 format!("{:.1}", snr_db(l, f_l, fs_audio))],
-            vec!["R (700 Hz)".into(),
-                 format!("{:.4}", tone_power(r, f_r, fs_audio)),
-                 format!("{:.6}", tone_power(r, f_l, fs_audio)),
-                 format!("{:.1}", snr_db(r, f_r, fs_audio))],
-        ],
-    );
+    if left.len() > 2 * skip {
+        let l = &left[skip..];
+        let r = &right[skip..];
+        print_table(
+            "channel separation (Goertzel power)",
+            &["channel", "own tone", "other tone", "SNR dB"],
+            &[
+                vec![
+                    "L (400 Hz)".into(),
+                    format!("{:.4}", tone_power(l, f_l, fs_audio)),
+                    format!("{:.6}", tone_power(l, f_r, fs_audio)),
+                    format!("{:.1}", snr_db(l, f_l, fs_audio)),
+                ],
+                vec![
+                    "R (700 Hz)".into(),
+                    format!("{:.4}", tone_power(r, f_r, fs_audio)),
+                    format!("{:.6}", tone_power(r, f_l, fs_audio)),
+                    format!("{:.1}", snr_db(r, f_r, fs_audio)),
+                ],
+            ],
+        );
 
-    // Reference chain (no platform, same kernels).
-    let mut src = PalStereoSource::new(cfg.pal);
-    let n_ref = (cfg.pal.fs * 0.25) as usize;
-    let baseband = src.tone_block(n_ref, f_l, f_r);
-    let (ref_l, ref_r) = decode_stereo(&cfg.pal, &baseband, cfg.fir_taps);
-    let n = l.len().min(ref_l.len()) - skip;
-    println!("\nplatform vs reference chain RMS error (same kernels, {} samples):", n);
-    println!("  L: {:.6}   R: {:.6}", rms_error(&l[..n], &ref_l[skip..skip + n]), rms_error(&r[..n], &ref_r[skip..skip + n]));
+        // Reference chain (no platform, same kernels).
+        let mut src = PalStereoSource::new(cfg.pal);
+        let n_ref = (cfg.pal.fs * 0.25) as usize;
+        let baseband = src.tone_block(n_ref, f_l, f_r);
+        let (ref_l, ref_r) = decode_stereo(&cfg.pal, &baseband, cfg.fir_taps);
+        let n = l.len().min(ref_l.len()) - skip;
+        println!(
+            "\nplatform vs reference chain RMS error (same kernels, {} samples):",
+            n
+        );
+        println!(
+            "  L: {:.6}   R: {:.6}",
+            rms_error(&l[..n], &ref_l[skip..skip + n]),
+            rms_error(&r[..n], &ref_r[skip..skip + n])
+        );
+    } else {
+        println!(
+            "\n(run too short for the fidelity comparison — need > {} samples)",
+            2 * skip
+        );
+    }
 
     // --- sharing statistics -------------------------------------------------
     let gw = &pal.system.gateways[0];
@@ -78,13 +153,34 @@ fn main() {
         "gateway / accelerator statistics",
         &["metric", "value"],
         &[
-            vec!["blocks ch1-front".into(), gw.stream(0).blocks_done.to_string()],
-            vec!["blocks ch1-back".into(), gw.stream(2).blocks_done.to_string()],
-            vec!["reconfig % of time".into(), format!("{:.1}", 100.0 * gw.reconfig_cycles_total as f64 / total)],
-            vec!["DMA busy % of time".into(), format!("{:.1}", 100.0 * gw.dma_busy_cycles as f64 / total)],
-            vec!["gateway idle %".into(), format!("{:.1}", 100.0 * gw.idle_cycles as f64 / total)],
-            vec!["CORDIC utilisation %".into(), format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(0)))],
-            vec!["FIR+D utilisation %".into(), format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(1)))],
+            vec![
+                "blocks ch1-front".into(),
+                gw.stream(0).blocks_done.to_string(),
+            ],
+            vec![
+                "blocks ch1-back".into(),
+                gw.stream(2).blocks_done.to_string(),
+            ],
+            vec![
+                "reconfig % of time".into(),
+                format!("{:.1}", 100.0 * gw.reconfig_cycles_total as f64 / total),
+            ],
+            vec![
+                "DMA busy % of time".into(),
+                format!("{:.1}", 100.0 * gw.dma_busy_cycles as f64 / total),
+            ],
+            vec![
+                "gateway idle %".into(),
+                format!("{:.1}", 100.0 * gw.idle_cycles as f64 / total),
+            ],
+            vec![
+                "CORDIC utilisation %".into(),
+                format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(0))),
+            ],
+            vec![
+                "FIR+D utilisation %".into(),
+                format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(1))),
+            ],
         ],
     );
     println!(
@@ -93,7 +189,7 @@ fn main() {
          utilization by a factor of four\")."
     );
 
-    if let Some(path) = trace_path {
+    if let Some(path) = &args.trace {
         // Tracer-derived per-stream metrics and stall breakdown.
         let metrics = system_metrics(&pal.system, 0);
         let rows: Vec<Vec<String>> = metrics
@@ -120,8 +216,49 @@ fn main() {
             .iter()
             .map(|&c| vec![c.to_string(), metrics.stall_cycles(c).to_string()])
             .collect();
-        print_table("tracer: gateway stall breakdown", &["cause", "cycles"], &stall_rows);
-        write_trace(&path, &pal.system.chrome_trace_json());
+        print_table(
+            "tracer: gateway stall breakdown",
+            &["cause", "cycles"],
+            &stall_rows,
+        );
+        write_trace(path, &pal.system.chrome_trace_json());
     }
+
+    // --- engine benchmark: event-driven vs exhaustive ----------------------
+    if let Some(path) = &args.bench_json {
+        // Fresh untraced runs of both engines over the same budget, so the
+        // timing comparison is not skewed by the tracer or by cache warm-up
+        // from the report run above.
+        println!("\ntiming both engines over {cycles} cycles …");
+        let (pal_ev, wall_event) = simulate(&cfg, cycles, StepMode::EventDriven, false);
+        let (pal_ex, wall_exh) = simulate(&cfg, cycles, StepMode::Exhaustive, false);
+        let speedup = wall_exh / wall_event.max(1e-9);
+        let ev = pal_ev.system.engine_stats;
+        println!(
+            "  event-driven: {:.2} s ({:.1} Mcycles/s; {} full steps, {} ring-only, {} skipped)",
+            wall_event,
+            cycles as f64 / wall_event.max(1e-9) / 1e6,
+            ev.full_steps,
+            ev.ring_only_cycles,
+            ev.skipped_cycles
+        );
+        println!(
+            "  exhaustive:   {:.2} s ({:.1} Mcycles/s)",
+            wall_exh,
+            cycles as f64 / wall_exh.max(1e-9) / 1e6
+        );
+        println!("  speedup: {speedup:.2}×");
+        let json = format!(
+            "{{\n  \"bench\": \"pal_system_sim\",\n  \"cycles\": {cycles},\n  \"modes\": {{\n    \"event\": {},\n    \"exhaustive\": {}\n  }},\n  \"speedup\": {speedup:.3}\n}}\n",
+            mode_json(wall_event, cycles, ev),
+            mode_json(wall_exh, cycles, pal_ex.system.engine_stats),
+        );
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("benchmark results written to {path}");
+    }
+
     assert!(ok_rt, "real-time constraint violated");
 }

@@ -31,12 +31,22 @@ fn main() {
                     format!("{latency_ms:.3}"),
                 ]);
             }
-            Err(e) => rows.push(vec![r_s.to_string(), format!("{e}"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                r_s.to_string(),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     print_table(
         "minimum block sizes vs reconfiguration cost",
-        &["R_s (cycles)", "η (4 streams)", "γ (cycles)", "round latency (ms)"],
+        &[
+            "R_s (cycles)",
+            "η (4 streams)",
+            "γ (cycles)",
+            "round latency (ms)",
+        ],
         &rows,
     );
     println!(

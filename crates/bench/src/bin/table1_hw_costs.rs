@@ -10,12 +10,29 @@ use streamgate_hwcost::{
 
 fn main() {
     // Per-component costs (top half of Table I).
-    let rows = [("Entry- + Exit-gateway", cost_of(&Component::GatewayPair), (3788u64, 4445u64)),
-        ("LPF + down-sampler (F+D)", cost_of(&fir_ref()), (6512, 10837)),
-        ("CORDIC (C)", cost_of(&cordic_ref()), (1714, 1882))];
+    let rows = [
+        (
+            "Entry- + Exit-gateway",
+            cost_of(&Component::GatewayPair),
+            (3788u64, 4445u64),
+        ),
+        (
+            "LPF + down-sampler (F+D)",
+            cost_of(&fir_ref()),
+            (6512, 10837),
+        ),
+        ("CORDIC (C)", cost_of(&cordic_ref()), (1714, 1882)),
+    ];
     print_table(
         "Table I (top): component costs",
-        &["component", "slices", "LUTs", "paper slices", "paper LUTs", "Δ"],
+        &[
+            "component",
+            "slices",
+            "LUTs",
+            "paper slices",
+            "paper LUTs",
+            "Δ",
+        ],
         &rows
             .iter()
             .map(|(n, c, (ps, pl))| {
@@ -37,9 +54,21 @@ fn main() {
         "Table I (bottom): non-shared vs shared",
         &["design", "slices", "LUTs"],
         &[
-            vec!["4×(F+D) + 4×C".into(), r.non_shared.slices.to_string(), r.non_shared.luts.to_string()],
-            vec!["gateways + (F+D) + C".into(), r.shared.slices.to_string(), r.shared.luts.to_string()],
-            vec!["savings".into(), r.saved.slices.to_string(), r.saved.luts.to_string()],
+            vec![
+                "4×(F+D) + 4×C".into(),
+                r.non_shared.slices.to_string(),
+                r.non_shared.luts.to_string(),
+            ],
+            vec![
+                "gateways + (F+D) + C".into(),
+                r.shared.slices.to_string(),
+                r.shared.luts.to_string(),
+            ],
+            vec![
+                "savings".into(),
+                r.saved.slices.to_string(),
+                r.saved.luts.to_string(),
+            ],
             vec![
                 "savings %".into(),
                 format!("{:.1}%", r.percent.0),

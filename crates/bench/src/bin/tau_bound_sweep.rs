@@ -4,17 +4,26 @@
 //!
 //! `cargo run --release -p streamgate-bench --bin tau_bound_sweep`
 //!
-//! Pass `--trace out.json` to export the last case's run as a Chrome trace.
+//! Pass `--trace out.json` to export the last case's run as a Chrome trace,
+//! `--seed <n>` to re-randomise the sweep, and `--mode exhaustive|event`
+//! to select the simulation engine.
 
-use streamgate_bench::{print_table, trace_arg, write_trace};
+use streamgate_bench::{parse_args, print_table, write_trace};
 use streamgate_core::{measure_block_times, GatewayParams, SharingProblem, StreamSpec};
 use streamgate_ilp::rat;
 use streamgate_platform::{
-    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StepMode, StreamConfig, System,
 };
 
-fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f64, System) {
+fn run_case(
+    eta: usize,
+    epsilon: u64,
+    rho_a: u64,
+    reconfig: u64,
+    mode: StepMode,
+) -> (u64, u64, f64, System) {
     let mut sys = System::new(4);
+    sys.step_mode = mode;
     sys.enable_tracing(0); // measurement comes from the tracer's event log
     let i0 = sys.add_fifo(CFifo::new("i0", 8192));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
@@ -25,7 +34,12 @@ fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f
     });
     let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, epsilon, 1);
     gw.add_stream(StreamConfig::new(
-        "s0", i0, o0, eta, eta, reconfig,
+        "s0",
+        i0,
+        o0,
+        eta,
+        eta,
+        reconfig,
         vec![Box::new(PassthroughKernel)],
     ));
     sys.add_gateway(gw);
@@ -33,8 +47,16 @@ fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f
         sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
     }
     let prob = SharingProblem {
-        params: GatewayParams { epsilon, rho_a, delta: 1 },
-        streams: vec![StreamSpec { name: "s0".into(), mu: rat(1, 1_000_000), reconfig }],
+        params: GatewayParams {
+            epsilon,
+            rho_a,
+            delta: 1,
+        },
+        streams: vec![StreamSpec {
+            name: "s0".into(),
+            mu: rat(1, 1_000_000),
+            reconfig,
+        }],
     };
     sys.run(((reconfig + (eta as u64 + 2) * prob.params.c0()) * 6).max(20_000));
     let times = measure_block_times(&sys, 0);
@@ -44,14 +66,21 @@ fn run_case(eta: usize, epsilon: u64, rho_a: u64, reconfig: u64) -> (u64, u64, f
 }
 
 fn main() {
-    let trace_path = trace_arg();
+    let args = parse_args();
+    let trace_path = args.trace;
     println!("Eq. 2 validity sweep: measured max block time vs τ̂ on the platform");
-    println!("(margin: ring transport of the last samples, constant ≈ 8 cycles)\n");
+    println!(
+        "(engine: {}; margin: ring transport of the last samples, ≈ 8 cycles)\n",
+        args.step_mode.name()
+    );
     let mut rows = Vec::new();
     let mut worst_ratio = 0.0f64;
-    let mut seed = 0xC0FFEEu64;
+    let mut seed = args.seed.unwrap_or(0xC0FFEE).max(1); // xorshift must not start at 0
     let mut rng = move || {
-        seed ^= seed << 13; seed ^= seed >> 7; seed ^= seed << 17; seed
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
     };
     let mut last_sys = None;
     for case in 0..18 {
@@ -59,14 +88,19 @@ fn main() {
         let epsilon = 1 + rng() % 16;
         let rho_a = 1 + rng() % 8;
         let reconfig = rng() % 500;
-        let (measured, tau_hat, ratio, sys) = run_case(eta, epsilon, rho_a, reconfig);
+        let (measured, tau_hat, ratio, sys) =
+            run_case(eta, epsilon, rho_a, reconfig, args.step_mode);
         last_sys = Some(sys);
         worst_ratio = worst_ratio.max(ratio);
         let ok = measured <= tau_hat + 8;
         rows.push(vec![
-            case.to_string(), eta.to_string(), epsilon.to_string(),
-            rho_a.to_string(), reconfig.to_string(),
-            measured.to_string(), tau_hat.to_string(),
+            case.to_string(),
+            eta.to_string(),
+            epsilon.to_string(),
+            rho_a.to_string(),
+            reconfig.to_string(),
+            measured.to_string(),
+            tau_hat.to_string(),
             format!("{:.3}", ratio),
             if ok { "ok".into() } else { "VIOLATED".into() },
         ]);
@@ -74,7 +108,9 @@ fn main() {
     }
     print_table(
         "randomised τ̂ validation",
-        &["case", "η", "ε", "ρ_A", "R", "measured", "τ̂", "ratio", "check"],
+        &[
+            "case", "η", "ε", "ρ_A", "R", "measured", "τ̂", "ratio", "check",
+        ],
         &rows,
     );
     println!("\nworst measured/τ̂ ratio: {worst_ratio:.3} (≤ 1 + margin ⇒ bound valid;");

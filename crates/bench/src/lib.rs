@@ -20,6 +20,88 @@
 
 #![warn(missing_docs)]
 
+use streamgate_platform::StepMode;
+
+/// Command-line options shared by the experiment binaries.
+///
+/// Every harness accepts the same flags, parsed once by [`parse_args`]:
+///
+/// * `--trace <path>` — export a Chrome-trace JSON timeline of the run;
+/// * `--cycles <n>` — override the simulated-cycle budget (shorter smoke
+///   runs in CI, longer soaks locally);
+/// * `--seed <n>` — override the xorshift seed of randomised sweeps;
+/// * `--mode exhaustive|event` — select the simulation engine
+///   ([`StepMode`]); the default is the event-driven engine;
+/// * `--bench-json <path>` — write machine-readable timing results.
+///
+/// Flags an individual binary does not use are accepted and ignored, so CI
+/// can pass a uniform flag set to every harness.
+#[derive(Debug, Default)]
+pub struct BenchArgs {
+    /// Chrome-trace output path (`--trace`).
+    pub trace: Option<String>,
+    /// Simulated-cycle budget override (`--cycles`).
+    pub cycles: Option<u64>,
+    /// RNG seed override for randomised sweeps (`--seed`).
+    pub seed: Option<u64>,
+    /// Simulation engine to run (`--mode exhaustive|event`).
+    pub step_mode: StepMode,
+    /// Machine-readable benchmark output path (`--bench-json`).
+    pub bench_json: Option<String>,
+}
+
+/// Parse the shared experiment flags from `std::env::args()`.
+///
+/// Exits with status 2 and a usage message on malformed or unknown flags.
+pub fn parse_args() -> BenchArgs {
+    parse_arg_list(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        eprintln!(
+            "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
+             [--mode exhaustive|event] [--bench-json <path>]"
+        );
+        std::process::exit(2);
+    })
+}
+
+fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, String> {
+    let mut out = BenchArgs::default();
+    let take = |args: &mut I, flag: &str, inline: Option<&str>| -> Result<String, String> {
+        match inline {
+            Some(v) => Ok(v.to_string()),
+            None => args
+                .next()
+                .ok_or_else(|| format!("{flag} requires a value")),
+        }
+    };
+    while let Some(a) = args.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (a, None),
+        };
+        let inline = inline.as_deref();
+        match flag.as_str() {
+            "--trace" => out.trace = Some(take(&mut args, "--trace", inline)?),
+            "--bench-json" => out.bench_json = Some(take(&mut args, "--bench-json", inline)?),
+            "--cycles" => {
+                let v = take(&mut args, "--cycles", inline)?;
+                out.cycles = Some(v.parse().map_err(|_| format!("bad --cycles value {v:?}"))?);
+            }
+            "--seed" => {
+                let v = take(&mut args, "--seed", inline)?;
+                out.seed = Some(v.parse().map_err(|_| format!("bad --seed value {v:?}"))?);
+            }
+            "--mode" => {
+                let v = take(&mut args, "--mode", inline)?;
+                out.step_mode = StepMode::parse(&v)
+                    .ok_or_else(|| format!("bad --mode value {v:?} (exhaustive|event)"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
 /// Print a two-column table with a title.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -48,26 +130,6 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect();
         println!("{}", line.join("  "));
     }
-}
-
-/// Parse a `--trace <path>` (or `--trace=<path>`) flag from the process
-/// arguments. Returns the output path when present.
-pub fn trace_arg() -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace" {
-            match args.next() {
-                Some(p) => return Some(p),
-                None => {
-                    eprintln!("--trace requires an output path, e.g. --trace out.json");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(p) = a.strip_prefix("--trace=") {
-            return Some(p.to_string());
-        }
-    }
-    None
 }
 
 /// Write a Chrome trace JSON string to `path` and print how to view it.
@@ -100,6 +162,45 @@ mod tests {
         assert_eq!(delta_pct(100.0, 100.0), "+0.0%");
         assert_eq!(delta_pct(100.0, 90.0), "-10.0%");
         assert_eq!(delta_pct(0.0, 5.0), "-");
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        parse_arg_list(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn arg_parsing_accepts_all_flags() {
+        let a = parse(&[
+            "--trace",
+            "t.json",
+            "--cycles=5000",
+            "--seed",
+            "7",
+            "--mode",
+            "exhaustive",
+            "--bench-json=b.json",
+        ])
+        .unwrap();
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.cycles, Some(5000));
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.step_mode, StepMode::Exhaustive);
+        assert_eq!(a.bench_json.as_deref(), Some("b.json"));
+    }
+
+    #[test]
+    fn arg_parsing_defaults_to_event_mode() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.step_mode, StepMode::EventDriven);
+        assert!(a.trace.is_none() && a.cycles.is_none() && a.seed.is_none());
+    }
+
+    #[test]
+    fn arg_parsing_rejects_bad_input() {
+        assert!(parse(&["--mode", "warp"]).is_err());
+        assert!(parse(&["--cycles", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
     }
 
     #[test]

@@ -201,17 +201,12 @@ mod tests {
     fn csdf_refines_sdf_abstraction() {
         let prob = two_stream_prob();
         let etas = [4, 2];
-        let (outcome, csdf_t, sdf_t) =
-            verify_csdf_refines_sdf(&prob, 0, &etas, 5, 1, 4);
+        let (outcome, csdf_t, sdf_t) = verify_csdf_refines_sdf(&prob, 0, &etas, 5, 1, 4);
         assert_eq!(outcome, RefinementOutcome::Refines, "Fig. 2 chain broken");
         assert_eq!(csdf_t.len(), 16);
         // And the gap is real: some token arrives strictly earlier in CSDF.
         assert!(
-            csdf_t
-                .times
-                .iter()
-                .zip(&sdf_t.times)
-                .any(|(c, s)| c < s),
+            csdf_t.times.iter().zip(&sdf_t.times).any(|(c, s)| c < s),
             "abstraction should be strictly pessimistic somewhere"
         );
     }

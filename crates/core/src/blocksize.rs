@@ -20,9 +20,7 @@
 //! Agreement of the two is asserted in tests and in experiment E5.
 
 use crate::params::SharingProblem;
-use streamgate_ilp::{
-    solve_ilp, IlpOptions, IlpStatus, LinExpr, Problem, Rational, Sense,
-};
+use streamgate_ilp::{solve_ilp, IlpOptions, IlpStatus, LinExpr, Problem, Rational, Sense};
 
 /// Result of a block-size computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -254,7 +252,9 @@ mod tests {
 
     #[test]
     fn faster_clock_shrinks_blocks() {
-        let slow = solve_blocksizes_checked(&SharingProblem::pal_decoder(crate::params::PAL_CLOCK_HZ)).unwrap();
+        let slow =
+            solve_blocksizes_checked(&SharingProblem::pal_decoder(crate::params::PAL_CLOCK_HZ))
+                .unwrap();
         let fast = solve_blocksizes_checked(&SharingProblem::pal_decoder(400_000_000)).unwrap();
         assert!(fast.etas.iter().sum::<u64>() < slow.etas.iter().sum::<u64>());
         // At 50 MHz the blocks are dramatically smaller.

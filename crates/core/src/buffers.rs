@@ -221,13 +221,8 @@ mod tests {
             .filter_map(|(e, a)| a.map(|a| (*e, a)))
             .collect();
         assert!(feasible.len() >= 4, "sweep too thin: {sweep:?}");
-        let nonmono = feasible
-            .windows(2)
-            .any(|w| w[0].1 > w[1].1);
-        assert!(
-            nonmono,
-            "expected a non-monotone step in {feasible:?}"
-        );
+        let nonmono = feasible.windows(2).any(|w| w[0].1 > w[1].1);
+        assert!(nonmono, "expected a non-monotone step in {feasible:?}");
         // And capacity is bounded below by η everywhere.
         for (eta, a) in &feasible {
             assert!(a >= eta);

@@ -95,7 +95,9 @@ impl BuiltSystem {
 
     /// Completed blocks of a stream.
     pub fn blocks_done(&self, stream: usize) -> u64 {
-        self.system.gateways[self.gateway].stream(stream).blocks_done
+        self.system.gateways[self.gateway]
+            .stream(stream)
+            .blocks_done
     }
 }
 
@@ -104,7 +106,10 @@ impl BuiltSystem {
 /// Ring layout: station 0 is the entry gateway, stations `1..=k` the chain
 /// accelerators, station `k+1` the exit gateway.
 pub fn build_shared_system(spec: SystemSpec) -> BuiltSystem {
-    assert!(!spec.chain.is_empty(), "chain needs at least one accelerator");
+    assert!(
+        !spec.chain.is_empty(),
+        "chain needs at least one accelerator"
+    );
     assert!(!spec.streams.is_empty(), "need at least one stream");
     let k = spec.chain.len();
     let entry_node = 0usize;
@@ -150,13 +155,7 @@ pub fn build_shared_system(spec: SystemSpec) -> BuiltSystem {
         inputs.push(input);
         outputs.push(output);
         gw.add_stream(StreamConfig::new(
-            s.name,
-            input,
-            output,
-            s.eta_in,
-            s.eta_out,
-            s.reconfig,
-            s.kernels,
+            s.name, input, output, s.eta_in, s.eta_out, s.reconfig, s.kernels,
         ));
     }
     let gateway = sys.add_gateway(gw);

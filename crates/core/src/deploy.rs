@@ -23,7 +23,7 @@ use crate::params::SharingProblem;
 use streamgate_dsp::{Complex, Decimator, FmDemodulator, Mixer, PalConfig, PalStereoSource};
 use streamgate_platform::{
     AcceleratorTile, CFifo, FifoId, GatewayPair, ProcessorTile, Sample, SoftwareTask,
-    StereoMatrixTask, StreamConfig, StreamKernel, System,
+    StereoMatrixTask, StreamConfig, StreamKernel, System, TaskWake,
 };
 
 /// CORDIC tile operated as channel mixer (front-half streams).
@@ -63,9 +63,7 @@ pub struct DecimatorKernel(pub Decimator);
 
 impl StreamKernel for DecimatorKernel {
     fn process(&mut self, s: Sample) -> Option<Sample> {
-        self.0
-            .process(Complex::new(s.0, s.1))
-            .map(|o| (o.re, o.im))
+        self.0.process(Complex::new(s.0, s.1)).map(|o| (o.re, o.im))
     }
     fn state_words(&self) -> usize {
         self.0.save_state().size_samples() * 2 + 1
@@ -151,6 +149,21 @@ impl SoftwareTask for FrontEndTask {
     }
     fn name(&self) -> &str {
         "pal-front-end"
+    }
+    fn wake(&self, _fifos: &[CFifo], _now: u64) -> TaskWake {
+        // Bresenham pacing: ticks where `acc + num < den` only advance the
+        // accumulator. The number of such quiet ticks before the next
+        // sample is produced is ceil((den - acc) / num) - 1.
+        let quiet = (self.den - self.acc).div_ceil(self.num).saturating_sub(1);
+        TaskWake::AfterTicks(quiet)
+    }
+    fn skip_ticks(&mut self, n: u64) -> u64 {
+        // Replay `n` accumulator-only ticks; none of them produce (the
+        // engine never skips past the wake report above), so none count
+        // as useful work (`tick` returns false for them).
+        self.acc += n * self.num;
+        debug_assert!(self.acc < self.den, "skipped past a production tick");
+        0
     }
 }
 

@@ -27,9 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod abstraction;
-pub mod chain;
 pub mod blocksize;
 pub mod buffers;
+pub mod chain;
 pub mod deploy;
 pub mod metrics;
 pub mod model;
@@ -37,15 +37,15 @@ pub mod params;
 pub mod validate;
 
 pub use abstraction::{sdf_abstraction, verify_csdf_refines_sdf, SdfAbstraction};
-pub use chain::{build_shared_system, AccelDef, BuiltSystem, StreamDef, SystemSpec};
 pub use blocksize::{
     solve_blocksizes_checked, solve_blocksizes_fixpoint, solve_blocksizes_ilp, BlockSizeError,
     BlockSizes,
 };
 pub use buffers::{fig8_example, minimum_stream_buffers, sufficient_stream_buffers, StreamBuffers};
+pub use chain::{build_shared_system, AccelDef, BuiltSystem, StreamDef, SystemSpec};
 pub use deploy::{build_pal_system, PalSystem, PalSystemConfig};
-pub use model::{fig5_csdf, fig6_schedule, Fig5Model, Fig5Params};
 pub use metrics::{gateway_metrics, BlockMeasurement, GatewayMetrics, StreamMetrics};
+pub use model::{fig5_csdf, fig6_schedule, Fig5Model, Fig5Params};
 pub use params::{GatewayParams, SharingProblem, StreamSpec};
 pub use validate::{
     max_round_time, measure_block_times, system_metrics, validate_tau_bound, TauValidation,

@@ -113,7 +113,14 @@ pub fn fig5_csdf(p: &Fig5Params) -> Fig5Model {
     g.add_edge("b", v_p, vec![1], v_g0, eta_then_zero.clone(), 0);
     // Input-buffer space: v_G0 → v_P, α0 initial (space released as the
     // first phase claims the block).
-    g.add_edge("b_space", v_g0, eta_then_zero.clone(), v_p, vec![1], p.alpha0);
+    g.add_edge(
+        "b_space",
+        v_g0,
+        eta_then_zero.clone(),
+        v_p,
+        vec![1],
+        p.alpha0,
+    );
     // Data: v_G0 → v_A, one sample per phase; NI back edge with α1 = depth.
     g.add_edge("g0_a", v_g0, ones.clone(), v_a, vec![1], 0);
     g.add_edge("a_g0_space", v_a, vec![1], v_g0, ones.clone(), p.ni_depth);

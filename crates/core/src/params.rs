@@ -58,7 +58,12 @@ pub struct StreamSpec {
 
 impl StreamSpec {
     /// Build a spec from a sample rate in Hz and a clock in Hz.
-    pub fn from_rates(name: impl Into<String>, samples_per_s: u64, clock_hz: u64, reconfig: u64) -> Self {
+    pub fn from_rates(
+        name: impl Into<String>,
+        samples_per_s: u64,
+        clock_hz: u64,
+        reconfig: u64,
+    ) -> Self {
         StreamSpec {
             name: name.into(),
             mu: Rational::new(samples_per_s as i128, clock_hz as i128),
@@ -120,9 +125,10 @@ impl SharingProblem {
     /// Throughput check (Eq. 5): `η_s / γ_s ≥ μ_s` for every stream.
     pub fn satisfies_throughput(&self, etas: &[u64]) -> bool {
         let gamma = Rational::from_int(self.gamma(etas) as i128);
-        self.streams.iter().zip(etas).all(|(s, &eta)| {
-            Rational::from_int(eta as i128) >= s.mu * gamma
-        })
+        self.streams
+            .iter()
+            .zip(etas)
+            .all(|(s, &eta)| Rational::from_int(eta as i128) >= s.mu * gamma)
     }
 
     /// The paper's PAL stereo decoder stream set (§VI-A): four streams over

@@ -254,7 +254,12 @@ mod tests {
     use streamgate_ilp::rat;
 
     /// Producer(ρ=2) -> Consumer(ρ=3), single channel.
-    fn simple_chain() -> (CsdfGraph, crate::graph::ActorId, crate::graph::ActorId, EdgeId) {
+    fn simple_chain() -> (
+        CsdfGraph,
+        crate::graph::ActorId,
+        crate::graph::ActorId,
+        EdgeId,
+    ) {
         let mut g = CsdfGraph::new();
         let a = g.add_sdf_actor("A", 2);
         let b = g.add_sdf_actor("B", 3);
@@ -290,10 +295,7 @@ mod tests {
         };
         assert!(!feasible(&p, &[1]).unwrap());
         assert!(feasible(&p, &[2]).unwrap());
-        assert_eq!(
-            min_buffer_for_period(&p, 0, &[0], 64).unwrap(),
-            Some(2)
-        );
+        assert_eq!(min_buffer_for_period(&p, 0, &[0], 64).unwrap(), Some(2));
     }
 
     #[test]

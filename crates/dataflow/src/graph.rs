@@ -126,7 +126,11 @@ impl fmt::Display for GraphError {
             } => write!(
                 f,
                 "edge {edge}: {} rate list has {actual} entries, actor has {expected} phases",
-                if *production { "production" } else { "consumption" }
+                if *production {
+                    "production"
+                } else {
+                    "consumption"
+                }
             ),
             GraphError::EmptyActor(name) => write!(f, "actor {name} has no phases"),
             GraphError::DeadEdge(name) => write!(f, "edge {name} has all-zero rates on one side"),
@@ -158,7 +162,10 @@ impl CsdfGraph {
     /// Panics if `durations` is empty.
     pub fn add_actor(&mut self, name: impl Into<String>, durations: Vec<Time>) -> ActorId {
         let name = name.into();
-        assert!(!durations.is_empty(), "actor {name} must have at least one phase");
+        assert!(
+            !durations.is_empty(),
+            "actor {name} must have at least one phase"
+        );
         let id = ActorId(self.actors.len());
         self.actors.push(Actor { name, durations });
         id
@@ -264,10 +271,7 @@ impl CsdfGraph {
 
     /// Look up an actor by name (first match).
     pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
-        self.actors
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActorId)
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
     }
 
     /// Look up an edge by name (first match).
@@ -388,7 +392,10 @@ mod tests {
         let a = g.add_sdf_actor("A", 1);
         let b = g.add_sdf_actor("B", 1);
         g.add_edge("dead", a, vec![0], b, vec![1], 0);
-        assert_eq!(g.validate().unwrap_err(), GraphError::DeadEdge("dead".into()));
+        assert_eq!(
+            g.validate().unwrap_err(),
+            GraphError::DeadEdge("dead".into())
+        );
     }
 
     #[test]

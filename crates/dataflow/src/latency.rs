@@ -75,10 +75,7 @@ mod tests {
 
     fn traced(g: &CsdfGraph, iters: u64) -> SimTrace {
         let r = crate::repetition::repetition_vector(g).unwrap();
-        let targets: Vec<u64> = g
-            .actor_ids()
-            .map(|a| iters * r.firings_of(g, a))
-            .collect();
+        let targets: Vec<u64> = g.actor_ids().map(|a| iters * r.firings_of(g, a)).collect();
         simulate_with(
             g,
             &SimOptions {

@@ -444,7 +444,10 @@ mod tests {
     fn simplest_in_basics() {
         assert_eq!(simplest_in(rat(0, 1), rat(1, 1)), rat(1, 1));
         assert_eq!(simplest_in(rat(1, 3), rat(1, 2)), rat(1, 2));
-        assert_eq!(simplest_in(rat(5, 2), rat(11, 4)), rat(11, 4).min(rat(8, 3)));
+        assert_eq!(
+            simplest_in(rat(5, 2), rat(11, 4)),
+            rat(11, 4).min(rat(8, 3))
+        );
         // interval (2.5, 2.75]: simplest is 8/3? No: 2.6=13/5, 2.75=11/4, 8/3≈2.667.
         // denominators: 11/4 (4), 8/3 (3) => 8/3 is simpler and inside.
         assert_eq!(simplest_in(rat(5, 2), rat(11, 4)), rat(8, 3));
@@ -457,7 +460,9 @@ mod tests {
         // Deterministic pseudo-random small strongly-connected graphs.
         let mut seed = 0x12345678u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u64
         };
         for case in 0..25 {
@@ -484,7 +489,10 @@ mod tests {
                 Ok(None) => {}
                 Err(McmError::ZeroDelayCycle) => {
                     let t = crate::simulate::simulate(&g, 5).unwrap();
-                    assert!(t.deadlocked, "case {case}: MCM says deadlock, sim disagrees");
+                    assert!(
+                        t.deadlocked,
+                        "case {case}: MCM says deadlock, sim disagrees"
+                    );
                 }
                 Err(e) => panic!("case {case}: {e}"),
             }

@@ -191,10 +191,7 @@ mod tests {
             ArrivalTrace::new(vec![1, 2]),
             ArrivalTrace::new(vec![9, 10]),
         ];
-        let abs = vec![
-            ArrivalTrace::new(vec![1, 2]),
-            ArrivalTrace::new(vec![3, 4]),
-        ];
+        let abs = vec![ArrivalTrace::new(vec![1, 2]), ArrivalTrace::new(vec![3, 4])];
         let err = check_refinement_multi(&imp, &abs).unwrap_err();
         assert_eq!(err.0, 1);
     }

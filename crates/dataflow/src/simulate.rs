@@ -102,10 +102,7 @@ pub struct SimOptions {
 ///
 /// The per-actor firing targets are `iterations × repetition-firings`.
 /// Returns an error if the graph is malformed or inconsistent.
-pub fn simulate(
-    g: &CsdfGraph,
-    iterations: u64,
-) -> Result<SimTrace, crate::graph::GraphError> {
+pub fn simulate(g: &CsdfGraph, iterations: u64) -> Result<SimTrace, crate::graph::GraphError> {
     let r = repetition_vector(g)?;
     let targets: Vec<u64> = g
         .actor_ids()
@@ -406,6 +403,9 @@ mod tests {
         };
         let t = simulate_with(&g, &opts);
         let total: usize = t.firings.iter().map(|f| f.len()).sum();
-        assert!(total <= 55, "runaway zero-duration source not capped: {total}");
+        assert!(
+            total <= 55,
+            "runaway zero-duration source not capped: {total}"
+        );
     }
 }

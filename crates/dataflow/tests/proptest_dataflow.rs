@@ -33,23 +33,18 @@ fn two_actor_cycle() -> impl Strategy<Value = (CsdfGraph, u64)> {
 /// A random source -> chain -> sink SDF graph with unit rates and a
 /// back-pressure edge bounding the source.
 fn random_chain() -> impl Strategy<Value = CsdfGraph> {
-    (
-        2usize..=5,
-        proptest::collection::vec(1u64..=9, 5),
-        2u64..=6,
-    )
-        .prop_map(|(n, durs, cap)| {
-            let mut g = CsdfGraph::new();
-            let actors: Vec<_> = (0..n)
-                .map(|i| g.add_sdf_actor(format!("a{i}"), durs[i % durs.len()]))
-                .collect();
-            for i in 0..n - 1 {
-                g.add_sdf_edge(format!("e{i}"), actors[i], 1, actors[i + 1], 1, 0);
-            }
-            // Bound the whole chain so traces stay finite-memory.
-            g.add_sdf_edge("bp", actors[n - 1], 1, actors[0], 1, cap);
-            g
-        })
+    (2usize..=5, proptest::collection::vec(1u64..=9, 5), 2u64..=6).prop_map(|(n, durs, cap)| {
+        let mut g = CsdfGraph::new();
+        let actors: Vec<_> = (0..n)
+            .map(|i| g.add_sdf_actor(format!("a{i}"), durs[i % durs.len()]))
+            .collect();
+        for i in 0..n - 1 {
+            g.add_sdf_edge(format!("e{i}"), actors[i], 1, actors[i + 1], 1, 0);
+        }
+        // Bound the whole chain so traces stay finite-memory.
+        g.add_sdf_edge("bp", actors[n - 1], 1, actors[0], 1, cap);
+        g
+    })
 }
 
 proptest! {

@@ -74,7 +74,9 @@ mod tests {
     use std::f64::consts::TAU;
 
     fn tone(n: usize, f: f64, fs: f64, amp: f64) -> Vec<f64> {
-        (0..n).map(|k| amp * (TAU * f * k as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|k| amp * (TAU * f * k as f64 / fs).sin())
+            .collect()
     }
 
     #[test]

@@ -289,7 +289,10 @@ mod tests {
             i = ni;
             q = nq;
         }
-        assert!((i - 0.9).abs() < 1e-4 && (q - 0.1).abs() < 1e-4, "({i},{q})");
+        assert!(
+            (i - 0.9).abs() < 1e-4 && (q - 0.1).abs() < 1e-4,
+            "({i},{q})"
+        );
     }
 
     #[test]

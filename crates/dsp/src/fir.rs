@@ -228,7 +228,11 @@ mod tests {
                 stop_power += b.norm_sqr();
             }
         }
-        assert!(pass_power / stop_power > 1e4, "ratio {}", pass_power / stop_power);
+        assert!(
+            pass_power / stop_power > 1e4,
+            "ratio {}",
+            pass_power / stop_power
+        );
     }
 
     #[test]
@@ -261,7 +265,10 @@ mod tests {
 /// (Hz, at sample rate `fs`), by spectral subtraction of two low-pass
 /// prototypes. Unit mid-band gain.
 pub fn design_bandpass(taps: usize, f_lo: f64, f_hi: f64, fs: f64, window: Window) -> Vec<f64> {
-    assert!(f_lo > 0.0 && f_hi > f_lo && f_hi < fs / 2.0, "bad band edges");
+    assert!(
+        f_lo > 0.0 && f_hi > f_lo && f_hi < fs / 2.0,
+        "bad band edges"
+    );
     let hi = design_lowpass(taps, f_hi, fs, window);
     let lo = design_lowpass(taps, f_lo, fs, window);
     let mut h: Vec<f64> = hi.iter().zip(&lo).map(|(a, b)| a - b).collect();

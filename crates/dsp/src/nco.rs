@@ -59,11 +59,9 @@ impl Mixer {
     pub fn process(&mut self, s: Complex) -> Complex {
         let phase = self.nco.next_phase();
         const S: f64 = (1 << 24) as f64;
-        let (i, q) = self.cordic.rotate_fixed(
-            (s.re * S).round() as i32,
-            (s.im * S).round() as i32,
-            phase,
-        );
+        let (i, q) =
+            self.cordic
+                .rotate_fixed((s.re * S).round() as i32, (s.im * S).round() as i32, phase);
         Complex::new(i as f64 / S, q as f64 / S)
     }
 

@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn table1_reference_values() {
-        assert_eq!(cost_of(&Component::GatewayPair), ResourceCost::new(3788, 4445));
+        assert_eq!(
+            cost_of(&Component::GatewayPair),
+            ResourceCost::new(3788, 4445)
+        );
         assert_eq!(cost_of(&fir_ref()), ResourceCost::new(6512, 10837));
         assert_eq!(cost_of(&cordic_ref()), ResourceCost::new(1714, 1882));
     }

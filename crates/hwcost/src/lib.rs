@@ -19,5 +19,7 @@ pub mod memory;
 pub mod savings;
 
 pub use components::{cost_of, Component, ResourceCost, CORDIC_ITERATIONS_REF, FIR_TAPS_REF};
-pub use memory::{buffer_memory, memory_nonmonotone_cost, MemoryCost, BITS_PER_SAMPLE, BRAM36_BITS};
+pub use memory::{
+    buffer_memory, memory_nonmonotone_cost, MemoryCost, BITS_PER_SAMPLE, BRAM36_BITS,
+};
 pub use savings::{break_even_streams, sharing_report, Inventory, SavingsReport};

@@ -123,10 +123,11 @@ mod tests {
 
     #[test]
     fn inventory_totals() {
-        let inv = Inventory::new()
-            .with(fir_ref(), 2)
-            .with(cordic_ref(), 1);
-        assert_eq!(inv.total(), ResourceCost::new(2 * 6512 + 1714, 2 * 10837 + 1882));
+        let inv = Inventory::new().with(fir_ref(), 2).with(cordic_ref(), 1);
+        assert_eq!(
+            inv.total(),
+            ResourceCost::new(2 * 6512 + 1714, 2 * 10837 + 1882)
+        );
         assert_eq!(inv.items().len(), 2);
     }
 

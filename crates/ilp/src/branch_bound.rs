@@ -314,7 +314,10 @@ mod tests {
             LinExpr::var(x).scaled(rat(6, 1)) + LinExpr::var(y).scaled(rat(4, 1)),
             rat(24, 1),
         );
-        p.le(LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)), rat(6, 1));
+        p.le(
+            LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)),
+            rat(6, 1),
+        );
         p.set_objective(
             Sense::Maximize,
             LinExpr::var(x).scaled(rat(5, 1)) + LinExpr::var(y).scaled(rat(4, 1)),
@@ -397,7 +400,10 @@ mod tests {
             rat(40, 1),
         );
         p.le(LinExpr::var(x) + LinExpr::var(y), rat(12, 1));
-        p.set_objective(Sense::Minimize, LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)));
+        p.set_objective(
+            Sense::Minimize,
+            LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)),
+        );
         let s = solve_ilp(&p, IlpOptions::default());
         assert_eq!(s.status, IlpStatus::Optimal);
         assert!(p.check_feasible(&s.values).is_none());
@@ -410,7 +416,10 @@ mod tests {
         let y = p.add_int_var("y");
         // A feasible but fractional-LP problem; with max_nodes=1 the root is
         // explored, branches queued but never solved.
-        p.ge(LinExpr::var(x).scaled(rat(2, 1)) + LinExpr::var(y).scaled(rat(2, 1)), rat(3, 1));
+        p.ge(
+            LinExpr::var(x).scaled(rat(2, 1)) + LinExpr::var(y).scaled(rat(2, 1)),
+            rat(3, 1),
+        );
         p.set_objective(Sense::Minimize, LinExpr::var(x) + LinExpr::var(y));
         let s = solve_ilp(&p, IlpOptions { max_nodes: 1 });
         assert_eq!(s.status, IlpStatus::NodeLimit);

@@ -308,7 +308,10 @@ impl Problem {
     /// Post a constraint.
     pub fn add_constraint(&mut self, c: Constraint) {
         for v in c.expr.terms.keys() {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
         }
         self.constraints.push(c);
     }
@@ -358,7 +361,10 @@ impl Problem {
         for (i, info) in self.vars.iter().enumerate() {
             let v = values[i];
             if v < info.lower {
-                return Some(format!("{} = {} below lower bound {}", info.name, v, info.lower));
+                return Some(format!(
+                    "{} = {} below lower bound {}",
+                    info.name, v, info.lower
+                ));
             }
             if let Some(u) = info.upper {
                 if v > u {
@@ -409,7 +415,8 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var("x");
         let y = p.add_var("y");
-        let e = (LinExpr::var(x) + LinExpr::var(y).scaled(rat(3, 1))) - LinExpr::constant(rat(5, 1));
+        let e =
+            (LinExpr::var(x) + LinExpr::var(y).scaled(rat(3, 1))) - LinExpr::constant(rat(5, 1));
         assert_eq!(e.coeff(x), Rational::ONE);
         assert_eq!(e.coeff(y), rat(3, 1));
         assert_eq!(e.constant, rat(-5, 1));
@@ -434,7 +441,10 @@ mod tests {
         p.ge(LinExpr::var(x), rat(2, 1));
         assert!(p.check_feasible(&[rat(3, 1)]).is_none());
         assert!(p.check_feasible(&[rat(1, 1)]).is_some());
-        assert!(p.check_feasible(&[rat(5, 2)]).is_some(), "non-integer rejected");
+        assert!(
+            p.check_feasible(&[rat(5, 2)]).is_some(),
+            "non-integer rejected"
+        );
     }
 
     #[test]

@@ -130,9 +130,7 @@ impl Tableau {
                     match &best {
                         None => best = Some((ratio, r)),
                         Some((br, brow)) => {
-                            if ratio < *br
-                                || (ratio == *br && self.basis[r] < self.basis[*brow])
-                            {
+                            if ratio < *br || (ratio == *br && self.basis[r] < self.basis[*brow]) {
                                 best = Some((ratio, r));
                             }
                         }
@@ -373,8 +371,14 @@ mod tests {
         let mut p = Problem::new();
         let x = p.add_var("x");
         let y = p.add_var("y");
-        p.ge(LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)), rat(4, 1));
-        p.ge(LinExpr::var(x).scaled(rat(3, 1)) + LinExpr::var(y), rat(6, 1));
+        p.ge(
+            LinExpr::var(x) + LinExpr::var(y).scaled(rat(2, 1)),
+            rat(4, 1),
+        );
+        p.ge(
+            LinExpr::var(x).scaled(rat(3, 1)) + LinExpr::var(y),
+            rat(6, 1),
+        );
         p.set_objective(Sense::Minimize, LinExpr::var(x) + LinExpr::var(y));
         let s = solve_lp(&p);
         assert_eq!(s.status, LpStatus::Optimal);
@@ -485,12 +489,14 @@ mod tests {
         let x2 = p.add_var("x2");
         let x3 = p.add_var("x3");
         p.le(
-            LinExpr::var(x1).scaled(rat(1, 4)) - LinExpr::var(x2).scaled(rat(8, 1))
+            LinExpr::var(x1).scaled(rat(1, 4))
+                - LinExpr::var(x2).scaled(rat(8, 1))
                 - LinExpr::var(x3),
             Rational::ZERO,
         );
         p.le(
-            LinExpr::var(x1).scaled(rat(1, 2)) - LinExpr::var(x2).scaled(rat(12, 1))
+            LinExpr::var(x1).scaled(rat(1, 2))
+                - LinExpr::var(x2).scaled(rat(12, 1))
                 - LinExpr::var(x3).scaled(rat(1, 2)),
             Rational::ZERO,
         );

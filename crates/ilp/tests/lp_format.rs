@@ -5,11 +5,19 @@
 use streamgate_ilp::{rat, solve_ilp, solve_lp, IlpOptions, LinExpr, LpStatus, Problem, Sense};
 
 /// Balanced transportation problem: supplies s_i, demands d_j, costs c_ij.
-fn transportation(s: &[i128], d: &[i128], c: &[&[i128]]) -> (Problem, Vec<Vec<streamgate_ilp::Var>>) {
+fn transportation(
+    s: &[i128],
+    d: &[i128],
+    c: &[&[i128]],
+) -> (Problem, Vec<Vec<streamgate_ilp::Var>>) {
     assert_eq!(s.iter().sum::<i128>(), d.iter().sum::<i128>());
     let mut p = Problem::new();
     let x: Vec<Vec<_>> = (0..s.len())
-        .map(|i| (0..d.len()).map(|j| p.add_var(format!("x{i}{j}"))).collect())
+        .map(|i| {
+            (0..d.len())
+                .map(|j| p.add_var(format!("x{i}{j}")))
+                .collect()
+        })
         .collect();
     for (i, &si) in s.iter().enumerate() {
         let mut e = LinExpr::zero();
@@ -42,11 +50,7 @@ fn transportation_3x3_known_optimum() {
     // costs [[2, 3, 1], [5, 4, 8]].
     // Cheap route analysis: x02=15 (cost 1), x00=5? Let the solver decide;
     // verify against brute-force over a coarse grid of basic solutions.
-    let (p, x) = transportation(
-        &[20, 30],
-        &[10, 25, 15],
-        &[&[2, 3, 1], &[5, 4, 8]],
-    );
+    let (p, x) = transportation(&[20, 30], &[10, 25, 15], &[&[2, 3, 1], &[5, 4, 8]]);
     let s = solve_lp(&p);
     assert_eq!(s.status, LpStatus::Optimal);
     assert!(p.check_feasible(&s.values).is_none());
@@ -93,7 +97,11 @@ fn larger_dense_lp_terminates() {
     let s: Vec<i128> = vec![10, 20, 30, 40, 50, 60];
     let d: Vec<i128> = vec![60, 50, 40, 30, 20, 10];
     let costs: Vec<Vec<i128>> = (0..6)
-        .map(|i| (0..6).map(|j| ((i * 7 + j * 11) % 13 + 1) as i128).collect())
+        .map(|i| {
+            (0..6)
+                .map(|j| ((i * 7 + j * 11) % 13 + 1) as i128)
+                .collect()
+        })
         .collect();
     let cost_refs: Vec<&[i128]> = costs.iter().map(|r| r.as_slice()).collect();
     let (p, _) = transportation(&s, &d, &cost_refs);

@@ -69,10 +69,7 @@ proptest! {
 /// Positive costs and `>=` rows keep the problem bounded.
 fn random_min_problem() -> impl Strategy<Value = (Problem, Vec<Vec<i128>>, Vec<i128>)> {
     (1usize..=3, 1usize..=4).prop_flat_map(|(nvars, nrows)| {
-        let coeffs = proptest::collection::vec(
-            proptest::collection::vec(0i128..=5, nvars),
-            nrows,
-        );
+        let coeffs = proptest::collection::vec(proptest::collection::vec(0i128..=5, nvars), nrows);
         let rhs = proptest::collection::vec(0i128..=20, nrows);
         let costs = proptest::collection::vec(1i128..=9, nvars);
         (coeffs, rhs, costs).prop_map(move |(a, b, c)| {

@@ -73,7 +73,11 @@ impl AcceleratorTile {
 
     /// Install a stream's kernel context (configuration-bus restore).
     pub fn install_kernel(&mut self, k: Box<dyn StreamKernel>) {
-        assert!(self.kernel.is_none(), "kernel already installed on {}", self.name);
+        assert!(
+            self.kernel.is_none(),
+            "kernel already installed on {}",
+            self.name
+        );
         self.kernel = Some(k);
     }
 
@@ -129,6 +133,62 @@ impl AcceleratorTile {
             // Output becomes available when the firing completes; we hold it
             // in pending_out and the forward happens on/after busy_until.
             self.pending_out = Some(out);
+        }
+    }
+
+    /// Quiescence horizon: the earliest cycle `>= next` at which stepping
+    /// this tile could do anything beyond bookkeeping that
+    /// [`AcceleratorTile::skip`] replays, assuming no external input
+    /// arrives in between (`next` is the next cycle the system would
+    /// execute). `u64::MAX` means "externally driven": only a delivered
+    /// flit (data or credit) can make this tile act, and in-flight flits
+    /// keep the *ring's* horizon short.
+    pub fn horizon(&self, next: u64) -> u64 {
+        if self.pending_out.is_some() {
+            // A finished sample is waiting to be forwarded: the forward is
+            // attempted at the top of every step (even mid-firing) and
+            // succeeds as soon as a downstream credit is in — which may be
+            // right away, or any cycle a lingering credit flit is polled
+            // in. Step every cycle, exactly like the exhaustive mode.
+            return next;
+        }
+        if next < self.busy_until {
+            // Mid-firing: the accelerator only counts busy cycles until
+            // `busy_until`, when it may consume the next buffered sample
+            // or becomes drained (which a waiting gateway must observe).
+            return self.busy_until;
+        }
+        if self.kernel.is_some() && !self.rx.is_empty() {
+            return next; // a buffered sample can be consumed right away
+        }
+        u64::MAX
+    }
+
+    /// Cycle at which this tile, absent further input, flips from active
+    /// to drained: the in-flight firing ends at `busy_until` and nothing
+    /// is left to consume or forward. Returns `u64::MAX` when no such
+    /// flip is ahead (work still buffered, or the flip is already in the
+    /// past at `next`). Pure time passage is invisible to [`horizon`],
+    /// so a tracing engine uses this to schedule an observation at the
+    /// exact cycle the drain transition becomes visible.
+    ///
+    /// [`horizon`]: AcceleratorTile::horizon
+    pub fn drain_cycle(&self, next: u64) -> u64 {
+        if self.rx.is_empty() && self.pending_out.is_none() && self.busy_until >= next {
+            self.busy_until
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Account for the skipped cycles `[from, to)` — the bulk equivalent
+    /// of the busy-wait arm of [`AcceleratorTile::step`]. The caller
+    /// guarantees `to` does not exceed the tile's [`horizon`].
+    ///
+    /// [`horizon`]: AcceleratorTile::horizon
+    pub fn skip(&mut self, from: u64, to: u64) {
+        if from < self.busy_until {
+            self.busy_cycles += to.min(self.busy_until) - from;
         }
     }
 

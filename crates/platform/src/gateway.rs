@@ -238,6 +238,26 @@ impl GatewayPair {
         self.state == GwState::Idle
     }
 
+    /// Round-robin admission scan with the paper's three checks. Returns
+    /// the first admissible stream (if any) and whether some stream with
+    /// a full input block was held back *solely* by the §V-G
+    /// check-for-space test — waiting attributable to the admission test.
+    fn admission_scan(&self, fifos: &[CFifo]) -> (Option<usize>, bool) {
+        let n = self.streams.len();
+        let mut space_blocked = false;
+        for k in 0..n {
+            let idx = (self.rr_next + k) % n;
+            let s = &self.streams[idx];
+            let enough_in = fifos[s.input.0].len() >= s.eta_in;
+            let enough_out = !self.check_for_space || fifos[s.output.0].space() >= s.eta_out;
+            if enough_in && enough_out {
+                return (Some(idx), space_blocked);
+            }
+            space_blocked |= enough_in && !enough_out;
+        }
+        (None, space_blocked)
+    }
+
     /// One clock cycle of the gateway controller. Structured events (block
     /// phases, stalls) are emitted into `tracer`; pass a disabled tracer for
     /// an untraced run (one branch per emission site).
@@ -283,24 +303,7 @@ impl GatewayPair {
         self.dma_tx.poll_credits(ring);
         match self.state {
             GwState::Idle => {
-                // Round-robin admission scan with the paper's three checks.
-                let n = self.streams.len();
-                let mut picked = None;
-                let mut space_blocked = false;
-                for k in 0..n {
-                    let idx = (self.rr_next + k) % n;
-                    let s = &self.streams[idx];
-                    let enough_in = fifos[s.input.0].len() >= s.eta_in;
-                    let enough_out =
-                        !self.check_for_space || fifos[s.output.0].space() >= s.eta_out;
-                    if enough_in && enough_out {
-                        picked = Some(idx);
-                        break;
-                    }
-                    // Input ready but held back solely by the space check:
-                    // that waiting is attributable to the admission test.
-                    space_blocked |= enough_in && !enough_out;
-                }
+                let (picked, space_blocked) = self.admission_scan(fifos);
                 match picked {
                     None => {
                         self.idle_cycles += 1;
@@ -456,6 +459,95 @@ impl GatewayPair {
             }
         }
     }
+
+    /// Quiescence horizon: the earliest cycle `>= next` at which stepping
+    /// this gateway pair could do anything beyond the bookkeeping that
+    /// [`GatewayPair::skip`] replays, assuming no flit arrives in between
+    /// (`next` is the next cycle the system would execute). `u64::MAX`
+    /// means externally driven: only ring deliveries — which keep the
+    /// *ring's* horizon short — can make it act.
+    pub fn horizon(&self, fifos: &[CFifo], accels: &[AcceleratorTile], next: u64) -> u64 {
+        // Exit side: a buffered sample is copied out at `exit_next` (or
+        // stalls per-cycle on a full FIFO, which also needs stepping).
+        let mut h = u64::MAX;
+        if let Some(active) = self.active {
+            if self.block_received < self.streams[active].eta_out && !self.exit_rx.is_empty() {
+                h = self.exit_next.max(next);
+            }
+        }
+        // Entry side, by state.
+        let eh = match self.state {
+            GwState::Idle => {
+                let (picked, _) = self.admission_scan(fifos);
+                if picked.is_some() {
+                    next // a block can be admitted right away
+                } else {
+                    // No admissible stream: only a producer/consumer (which
+                    // forces its own step) can change the scan's outcome.
+                    u64::MAX
+                }
+            }
+            GwState::Reconfig { until } => until.max(next),
+            GwState::Streaming { sent, next_send } => {
+                let active = self.active.expect("streaming implies active");
+                if sent == self.streams[active].eta_in {
+                    next // transition to Draining
+                } else {
+                    // Next DMA send at `next_send`; if it then stalls on
+                    // credits the horizon collapses to per-cycle stepping,
+                    // keeping stall accounting exact.
+                    next_send.max(next)
+                }
+            }
+            GwState::Draining => {
+                let active = self.active.expect("draining implies active");
+                let drained = self.block_received == self.streams[active].eta_out
+                    && self.chain.iter().all(|a| accels[a.0].is_drained(next))
+                    && self.exit_rx.is_empty();
+                if drained {
+                    next // block completes
+                } else if self.block_received == self.streams[active].eta_out
+                    && self.exit_rx.is_empty()
+                {
+                    // Exit work is done: completion waits only on the
+                    // chain's in-flight firings, which end by pure time
+                    // passage — invisible to the accelerators' own
+                    // horizons, so the *gateway* must pin the flip cycle
+                    // or a skip would overshoot it.
+                    let mut flip = next;
+                    for a in &self.chain {
+                        let acc = &accels[a.0];
+                        if !acc.is_drained(next) {
+                            flip = flip.max(acc.drain_cycle(next));
+                        }
+                    }
+                    flip
+                } else {
+                    // Completion is driven by accelerator/ring progress,
+                    // each of which bounds the global horizon itself.
+                    u64::MAX
+                }
+            }
+        };
+        h.min(eh)
+    }
+
+    /// Account for the skipped cycles `[from, to)` — the bulk equivalent
+    /// of stepping through them, valid because the caller guarantees `to`
+    /// does not exceed the pair's [`GatewayPair::horizon`]. Only the
+    /// `Idle` state accrues anything per cycle (idle time, and
+    /// check-for-space stall attribution).
+    pub fn skip(&mut self, fifos: &[CFifo], tracer: &mut Tracer, from: u64, to: u64) {
+        debug_assert!(to > from);
+        if self.state == GwState::Idle {
+            let (picked, space_blocked) = self.admission_scan(fifos);
+            debug_assert!(picked.is_none(), "skipped over an admissible cycle");
+            self.idle_cycles += to - from;
+            if space_blocked {
+                tracer.stall_span(self.trace_id, StallCause::CheckForSpace, from, to);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -480,10 +572,14 @@ mod tests {
             let mut fifos = Vec::new();
             let accel = AcceleratorTile::new("acc", 1, 0, 100, 2, 101, 2, 1);
             let mut gw = GatewayPair::new(
-                "gw", 0, 2,
+                "gw",
+                0,
+                2,
                 vec![AccelId(0)],
-                1, 100, // first accel link
-                1, 101, // last accel link
+                1,
+                100, // first accel link
+                1,
+                101, // last accel link
                 2,
                 3, // ε
                 1, // δ

@@ -28,7 +28,9 @@ pub mod types;
 pub use accel::{AccelId, AcceleratorTile};
 pub use cfifo::{CFifo, FifoId};
 pub use gateway::{BlockRecord, GatewayPair, StreamConfig};
-pub use processor::{ProcessorTile, RateSource, SinkTask, SoftwareTask, StereoMatrixTask};
-pub use system::System;
+pub use processor::{
+    ProcessorTile, RateSource, SinkTask, SoftwareTask, StereoMatrixTask, TaskWake,
+};
+pub use system::{EngineStats, StepMode, System};
 pub use trace::{chrome_trace_json, StallCause, TraceEvent, TraceNames, Tracer};
 pub use types::{DownsampleKernel, PassthroughKernel, Sample, ScaleKernel, StreamKernel};

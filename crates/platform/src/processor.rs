@@ -15,6 +15,28 @@ use crate::cfifo::CFifo;
 use crate::types::Sample;
 use streamgate_ring::NodeId;
 
+/// How soon a task needs its scheduled processor slots, as reported by
+/// [`SoftwareTask::wake`] — the task-level quiescence contract of the
+/// event-driven engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskWake {
+    /// The task may act (or change internal state) on its very next
+    /// scheduled tick. The conservative default: such slots are never
+    /// skipped.
+    Now,
+    /// The task will not act and will not change internal state on any
+    /// scheduled tick before absolute cycle `t`; skipped ticks need no
+    /// replay.
+    AtCycle(u64),
+    /// The next `n` scheduled ticks only perform internal bookkeeping
+    /// that [`SoftwareTask::skip_ticks`] can replay in bulk; the
+    /// `n + 1`-th tick may act.
+    AfterTicks(u64),
+    /// Only a change in the task's input FIFOs (made by some other
+    /// component, which itself forces a step) can make the task act.
+    External,
+}
+
 /// One unit of software work per processor cycle.
 pub trait SoftwareTask: Send {
     /// Execute one cycle; returns `true` if useful work was done (for
@@ -23,6 +45,20 @@ pub trait SoftwareTask: Send {
     /// Task name for reports.
     fn name(&self) -> &str {
         "task"
+    }
+    /// Quiescence report for the event-driven engine: how soon this task
+    /// needs its scheduled slots, given the current FIFO state and cycle.
+    /// The default, [`TaskWake::Now`], is always safe — it simply keeps
+    /// the engine stepping through this task's slots cycle by cycle.
+    fn wake(&self, _fifos: &[CFifo], _now: u64) -> TaskWake {
+        TaskWake::Now
+    }
+    /// Replay `n` scheduled ticks that [`SoftwareTask::wake`] declared
+    /// skippable, in bulk; returns how many of them count as useful work
+    /// (the sum of what [`SoftwareTask::tick`] would have returned).
+    /// `n` never exceeds what the last `wake` report allows.
+    fn skip_ticks(&mut self, _n: u64) -> u64 {
+        0
     }
 }
 
@@ -94,7 +130,10 @@ impl ProcessorTile {
         if self.tasks[idx].tick(fifos, now) {
             self.busy_cycles += 1;
         }
-        self.pos_in_period = (self.pos_in_period + 1) % self.period;
+        self.pos_in_period += 1;
+        if self.pos_in_period == self.period {
+            self.pos_in_period = 0;
+        }
     }
 
     /// Fraction of cycles spent on useful work.
@@ -103,6 +142,144 @@ impl ProcessorTile {
             0.0
         } else {
             self.busy_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Period offset of the first cycle of task `i`'s budget window.
+    fn window_start(&self, i: usize) -> u64 {
+        self.budgets[..i].iter().sum()
+    }
+
+    /// Earliest cycle `>= max(t, next)` that is one of task `i`'s
+    /// scheduled slots, where `next` is the next cycle the processor
+    /// would step (its TDM position is `pos_in_period` at `next`).
+    fn next_slot_cycle(&self, i: usize, t: u64, next: u64) -> u64 {
+        let t = t.max(next);
+        if t == u64::MAX {
+            return u64::MAX;
+        }
+        let b = self.budgets[i];
+        if b == self.period {
+            return t; // the task owns every cycle
+        }
+        let w = self.window_start(i);
+        // Hot path: `t == next` needs no division — `pos_in_period` is
+        // already reduced mod `period`.
+        let off = if t == next {
+            self.pos_in_period
+        } else {
+            let o = self.pos_in_period + (t - next) % self.period;
+            if o >= self.period {
+                o - self.period
+            } else {
+                o
+            }
+        };
+        if off >= w && off < w + b {
+            t
+        } else {
+            let d = w + self.period - off;
+            let d = if d >= self.period { d - self.period } else { d };
+            t.saturating_add(d)
+        }
+    }
+
+    /// Cycle of the `n`-th scheduled slot (1-based) of task `i` at or
+    /// after `next`. Slots come in bursts of `budgets[i]` consecutive
+    /// cycles once per period.
+    fn nth_slot_cycle(&self, i: usize, n: u64, next: u64) -> u64 {
+        debug_assert!(n >= 1);
+        let b = self.budgets[i];
+        if b == self.period {
+            return next.saturating_add(n - 1); // every cycle is a slot
+        }
+        let w = self.window_start(i);
+        let c1 = self.next_slot_cycle(i, next, next);
+        let off = (self.pos_in_period + (c1 - next) % self.period) % self.period;
+        let into_burst = off - w;
+        let left_in_burst = b - into_burst;
+        if n <= left_in_burst {
+            return c1 + (n - 1);
+        }
+        let rest = n - left_in_burst;
+        let bursts_ahead = (rest - 1) / b + 1;
+        let idx_in_burst = (rest - 1) % b;
+        (c1 - into_burst)
+            .saturating_add(self.period.saturating_mul(bursts_ahead))
+            .saturating_add(idx_in_burst)
+    }
+
+    /// Number of task `i` slots among the cycles `[from, to)`, where the
+    /// processor's TDM position is `pos_in_period` at `from`.
+    fn ticks_in_range(&self, i: usize, from: u64, to: u64) -> u64 {
+        let b = self.budgets[i];
+        let k = to - from;
+        if b == self.period {
+            return k; // every cycle is a slot
+        }
+        let w = self.window_start(i);
+        let mut count = (k / self.period) * b;
+        let rem = k % self.period;
+        // Offsets visited by the partial period, shifted so task i's
+        // window starts at 0: s, s+1, …, s+rem-1 (mod period); count how
+        // many fall in [0, b). rem < period, so the range wraps at most
+        // once.
+        let s = (self.pos_in_period + self.period - w) % self.period;
+        if s < b {
+            count += rem.min(b - s);
+        }
+        let to_wrap = self.period - s;
+        if rem > to_wrap {
+            count += (rem - to_wrap).min(b);
+        }
+        count
+    }
+
+    /// Quiescence horizon: the earliest cycle `>= next` at which stepping
+    /// this tile might do more than bookkeeping that
+    /// [`ProcessorTile::skip`] replays — the first scheduled slot where
+    /// some task, per its [`SoftwareTask::wake`] report, may act.
+    /// `u64::MAX` means every task is waiting on external FIFO input.
+    pub fn horizon(&self, fifos: &[CFifo], next: u64) -> u64 {
+        if self.tasks.is_empty() {
+            return u64::MAX;
+        }
+        let mut h = u64::MAX;
+        for i in 0..self.tasks.len() {
+            let c = match self.tasks[i].wake(fifos, next) {
+                TaskWake::Now => self.next_slot_cycle(i, next, next),
+                TaskWake::AtCycle(t) => self.next_slot_cycle(i, t, next),
+                TaskWake::AfterTicks(q) => self.nth_slot_cycle(i, q.saturating_add(1), next),
+                TaskWake::External => u64::MAX,
+            };
+            h = h.min(c);
+            if h == next {
+                break;
+            }
+        }
+        h
+    }
+
+    /// Account for the skipped cycles `[from, to)` in bulk: advance the
+    /// TDM position and cycle counters, and let each task replay its
+    /// skipped slots via [`SoftwareTask::skip_ticks`]. The caller
+    /// guarantees `to` does not exceed the tile's
+    /// [`ProcessorTile::horizon`].
+    pub fn skip(&mut self, from: u64, to: u64) {
+        debug_assert!(to > from);
+        let k = to - from;
+        self.total_cycles += k;
+        if self.tasks.is_empty() {
+            return;
+        }
+        for i in 0..self.tasks.len() {
+            let n = self.ticks_in_range(i, from, to);
+            if n > 0 {
+                self.busy_cycles += self.tasks[i].skip_ticks(n);
+            }
+        }
+        if self.period > 1 {
+            self.pos_in_period = (self.pos_in_period + k % self.period) % self.period;
         }
     }
 }
@@ -124,11 +301,7 @@ pub struct RateSource {
 
 impl RateSource {
     /// New source into `fifo` producing every `interval` cycles.
-    pub fn new(
-        fifo: usize,
-        interval: u64,
-        gen: Box<dyn FnMut(u64) -> Sample + Send>,
-    ) -> Self {
+    pub fn new(fifo: usize, interval: u64, gen: Box<dyn FnMut(u64) -> Sample + Send>) -> Self {
         assert!(interval >= 1);
         RateSource {
             fifo,
@@ -160,6 +333,11 @@ impl SoftwareTask for RateSource {
     }
     fn name(&self) -> &str {
         "rate-source"
+    }
+    fn wake(&self, _fifos: &[CFifo], _now: u64) -> TaskWake {
+        // Hard-rate producer: acts exactly at its release time whatever
+        // the FIFO state (a full FIFO is an overrun, not a wait).
+        TaskWake::AtCycle(self.next)
     }
 }
 
@@ -205,6 +383,13 @@ impl SoftwareTask for SinkTask {
     }
     fn name(&self) -> &str {
         "sink"
+    }
+    fn wake(&self, fifos: &[CFifo], _now: u64) -> TaskWake {
+        if fifos[self.fifo].is_empty() {
+            TaskWake::External
+        } else {
+            TaskWake::AtCycle(self.next)
+        }
     }
 }
 
@@ -268,6 +453,28 @@ impl SoftwareTask for StereoMatrixTask {
     fn name(&self) -> &str {
         "stereo-matrix"
     }
+    fn wake(&self, fifos: &[CFifo], _now: u64) -> TaskWake {
+        if self.cooldown > 0 {
+            // The next `cooldown` ticks only burn the compute budget.
+            return TaskWake::AfterTicks(self.cooldown);
+        }
+        let ready = !fifos[self.mono_in].is_empty()
+            && !fifos[self.right_in].is_empty()
+            && fifos[self.left_out].space() >= 1
+            && fifos[self.right_out].space() >= 1;
+        if ready {
+            TaskWake::Now
+        } else {
+            TaskWake::External
+        }
+    }
+    fn skip_ticks(&mut self, n: u64) -> u64 {
+        // Cooldown ticks count as busy compute; anything beyond them was
+        // an idle wait for inputs (only reachable via `External`).
+        let burned = n.min(self.cooldown);
+        self.cooldown -= burned;
+        burned
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +502,130 @@ mod tests {
         // Inspect budgets via downcast-free maths: period = 4, 400 cycles ->
         // task 0 ran 300 times. (Verified through the scheduler position.)
         assert_eq!(p.period, 4);
+    }
+
+    /// Brute-force reference for the TDM slot arithmetic: walk the
+    /// schedule cycle by cycle from `next` (position `pos`).
+    fn slots_by_walking(p: &ProcessorTile, i: usize, next: u64, horizon: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut pos = p.pos_in_period;
+        for c in next..horizon {
+            if p.task_at(pos) == i {
+                out.push(c);
+            }
+            pos = (pos + 1) % p.period;
+        }
+        out
+    }
+
+    #[test]
+    fn slot_arithmetic_matches_brute_force() {
+        struct Idle;
+        impl SoftwareTask for Idle {
+            fn tick(&mut self, _f: &mut [CFifo], _now: u64) -> bool {
+                false
+            }
+        }
+        let mut p = ProcessorTile::new("pt", 0);
+        p.add_task(Box::new(Idle), 3);
+        p.add_task(Box::new(Idle), 1);
+        p.add_task(Box::new(Idle), 2);
+        assert_eq!(p.period, 6);
+        for pos in 0..6 {
+            p.pos_in_period = pos;
+            let next = 100;
+            for i in 0..3 {
+                let walked = slots_by_walking(&p, i, next, next + 40);
+                // next_slot_cycle with varying release times t.
+                for t in next..next + 20 {
+                    let expect = *walked.iter().find(|&&c| c >= t).unwrap();
+                    assert_eq!(
+                        p.next_slot_cycle(i, t, next),
+                        expect,
+                        "task {i} pos {pos} t {t}"
+                    );
+                }
+                // nth_slot_cycle against the walked list.
+                for n in 1..=walked.len().min(12) {
+                    assert_eq!(
+                        p.nth_slot_cycle(i, n as u64, next),
+                        walked[n - 1],
+                        "task {i} pos {pos} n {n}"
+                    );
+                }
+                // ticks_in_range over every span.
+                for to in next..next + 30 {
+                    let expect = walked.iter().filter(|&&c| c < to).count() as u64;
+                    assert_eq!(
+                        p.ticks_in_range(i, next, to),
+                        expect,
+                        "task {i} pos {pos} to {to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_matches_stepping_for_scheduler_state() {
+        // A cooling-down matrix task must reach the same scheduler state,
+        // counters and subsequent behaviour whether stepped or skipped.
+        let mk = || {
+            let mut fifos = vec![
+                CFifo::new("mono", 10),
+                CFifo::new("right", 10),
+                CFifo::new("l", 10),
+                CFifo::new("r", 10),
+            ];
+            for k in 0..4 {
+                fifos[0].try_push((0.5 + k as f64, 0.0), 0);
+                fifos[1].try_push((0.2, 0.0), 0);
+            }
+            let mut p = ProcessorTile::new("pt", 0);
+            p.add_task(Box::new(StereoMatrixTask::new(0, 1, 2, 3, 9)), 1);
+            // Fire the matrix once so it enters its 8-cycle cooldown.
+            p.step(&mut fifos, 0);
+            (p, fifos)
+        };
+        let (mut stepped, mut fifos_a) = mk();
+        let (mut skipped, mut fifos_b) = mk();
+        let h = skipped.horizon(&fifos_b, 1);
+        assert_eq!(h, 9, "8 cooldown ticks are skippable; the 9th may fire");
+        for now in 1..9 {
+            stepped.step(&mut fifos_a, now);
+        }
+        skipped.skip(1, 9);
+        assert_eq!(stepped.busy_cycles, skipped.busy_cycles);
+        assert_eq!(stepped.total_cycles, skipped.total_cycles);
+        assert_eq!(stepped.pos_in_period, skipped.pos_in_period);
+        // Both fire again at cycle 9 with identical outputs.
+        stepped.step(&mut fifos_a, 9);
+        skipped.step(&mut fifos_b, 9);
+        assert_eq!(fifos_a[2].len(), 2);
+        assert_eq!(fifos_b[2].len(), 2);
+        assert_eq!(fifos_a[2].pop(), fifos_b[2].pop());
+        assert_eq!(fifos_a[2].pop(), fifos_b[2].pop());
+    }
+
+    #[test]
+    fn horizon_respects_rate_source_release() {
+        let fifos = vec![CFifo::new("f", 1000)];
+        let mut p = ProcessorTile::new("pt", 0);
+        p.add_task(
+            Box::new(RateSource::new(0, 10, Box::new(|k| (k as f64, 0.0)))),
+            1,
+        );
+        let mut fifos = fifos;
+        p.step(&mut fifos, 0); // produce at 0; next release at 10
+        assert_eq!(p.horizon(&fifos, 1), 10);
+        // Empty sink on the same tile stays externally driven.
+        p.add_task(Box::new(SinkTask::new(0, 1)), 1);
+        // Sink has input -> wakes at its next slot.
+        let h = p.horizon(&fifos, 1);
+        assert!(
+            h <= 2,
+            "sink with input must wake within its next slot, got {h}"
+        );
     }
 
     #[test]

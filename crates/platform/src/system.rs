@@ -1,9 +1,27 @@
-//! Whole-system composition: ring + tiles, stepped cycle by cycle.
+//! Whole-system composition: ring + tiles, advanced by the simulation
+//! engine.
 //!
 //! [`System`] owns the dual ring, the C-FIFOs, the accelerator tiles, the
-//! gateway pairs and the processor tiles, and advances everything in lock
-//! step. The step order within a cycle — processors, gateways, accelerators,
-//! then the ring — is fixed and documented so runs are deterministic.
+//! gateway pairs and the processor tiles. The step order within a cycle —
+//! processors, gateways, accelerators, then the ring — is fixed and
+//! documented so runs are deterministic.
+//!
+//! Two [`StepMode`]s drive the clock:
+//!
+//! * [`StepMode::Exhaustive`] — the lock-step reference: every component
+//!   is stepped every cycle.
+//! * [`StepMode::EventDriven`] (the default) — after each real step the
+//!   engine asks every component for its *quiescence horizon* (the
+//!   earliest future cycle at which it could do more than skip-replayable
+//!   bookkeeping, absent external input) and jumps the clock straight to
+//!   the minimum, replaying the skipped interval's accounting in bulk
+//!   (`skip` on each component). When only the *ring* blocks a jump
+//!   (flits in flight while every tile is quiescent) the ring is advanced
+//!   alone — cheap ring-only steps plus bulk rotations — until the next
+//!   delivery wakes a tile. Whenever a tile reports "now" the engine
+//!   degenerates to single-cycle stepping, so the two modes are
+//!   cycle-exact equivalents: identical block schedules, FIFO contents,
+//!   counters and trace logs.
 
 use crate::accel::{AccelId, AcceleratorTile};
 use crate::cfifo::{CFifo, FifoId};
@@ -12,6 +30,49 @@ use crate::processor::ProcessorTile;
 use crate::trace::{self, TraceEvent, TraceNames, Tracer};
 use crate::types::Sample;
 use streamgate_ring::DualRing;
+
+/// How [`System::run`] advances the clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// Step every component every cycle (the lock-step reference mode).
+    Exhaustive,
+    /// Jump over provably-quiescent intervals (cycle-exact, much faster
+    /// on workloads with idle or rate-limited phases).
+    #[default]
+    EventDriven,
+}
+
+impl StepMode {
+    /// Parse a mode name as used by the bench CLI flags.
+    pub fn parse(s: &str) -> Option<StepMode> {
+        match s {
+            "exhaustive" => Some(StepMode::Exhaustive),
+            "event" | "event-driven" => Some(StepMode::EventDriven),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (`exhaustive` / `event`).
+    pub fn name(self) -> &'static str {
+        match self {
+            StepMode::Exhaustive => "exhaustive",
+            StepMode::EventDriven => "event",
+        }
+    }
+}
+
+/// How the event-driven engine spent the simulated cycles (all three
+/// counters sum to the cycles run). Useful for validating that a workload
+/// actually benefits from time-skipping and for benchmark reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cycles executed as full lock-step system steps.
+    pub full_steps: u64,
+    /// Cycles where only the ring was advanced (every tile quiescent).
+    pub ring_only_cycles: u64,
+    /// Cycles jumped over entirely (bulk bookkeeping, no stepping).
+    pub skipped_cycles: u64,
+}
 
 /// A complete simulated MPSoC.
 pub struct System {
@@ -28,6 +89,21 @@ pub struct System {
     /// Event sink shared by all components (disabled by default; see
     /// [`System::enable_tracing`]).
     pub tracer: Tracer,
+    /// Clock-advance strategy used by [`System::run`] /
+    /// [`System::run_until`] ([`StepMode::EventDriven`] by default;
+    /// [`System::step`] is always one exhaustive cycle).
+    pub step_mode: StepMode,
+    /// How the engine spent the simulated cycles so far.
+    pub engine_stats: EngineStats,
+    /// Last observed per-accelerator activity status (for change-driven
+    /// trace emission).
+    accel_active_seen: Vec<bool>,
+    /// Per-tile horizon scratch for the event-driven engine, filled by
+    /// `tile_horizons` and consumed by `selective_step` (kept on the
+    /// system to avoid per-iteration allocation).
+    h_proc: Vec<u64>,
+    h_gw: Vec<u64>,
+    h_acc: Vec<u64>,
     cycle: u64,
 }
 
@@ -41,6 +117,12 @@ impl System {
             gateways: Vec::new(),
             processors: Vec::new(),
             tracer: Tracer::disabled(),
+            step_mode: StepMode::default(),
+            engine_stats: EngineStats::default(),
+            accel_active_seen: Vec::new(),
+            h_proc: Vec::new(),
+            h_gw: Vec::new(),
+            h_acc: Vec::new(),
             cycle: 0,
         }
     }
@@ -85,6 +167,7 @@ impl System {
     /// Advance one clock cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
+        self.engine_stats.full_steps += 1;
         for p in &mut self.processors {
             p.step(&mut self.fifos, now);
         }
@@ -110,49 +193,347 @@ impl System {
     }
 
     /// Record system-wide observations for cycle `now` (tracing enabled).
+    /// Change-driven: accelerator activity and high-water marks are
+    /// emitted only when they actually changed, which also makes skipped
+    /// intervals (where state is provably frozen) observation-free.
     fn observe(&mut self, now: u64) {
-        for (i, a) in self.accels.iter().enumerate() {
-            self.tracer.accel_activity(i, !a.is_drained(now), now);
+        if self.accel_active_seen.len() < self.accels.len() {
+            self.accel_active_seen.resize(self.accels.len(), false);
+        }
+        for i in 0..self.accels.len() {
+            let active = !self.accels[i].is_drained(now);
+            if active != self.accel_active_seen[i] {
+                self.accel_active_seen[i] = active;
+                self.tracer.accel_edge(i, active, now);
+            }
         }
         for (i, f) in self.fifos.iter().enumerate() {
             self.tracer.fifo_high_water(i, f.high_water(), now);
         }
         let interval = self.tracer.sample_interval();
         if interval > 0 && now.is_multiple_of(interval) {
-            for (i, f) in self.fifos.iter().enumerate() {
-                let level = f.len() as u32;
-                self.tracer.emit(|| TraceEvent::FifoLevel {
-                    fifo: i as u32,
-                    cycle: now,
-                    level,
-                });
-            }
-            let (data, credit) = (&self.ring.stats[0], &self.ring.stats[1]);
-            let (dd, ds, cd) = (data.delivered, data.injection_stalls, credit.delivered);
-            self.tracer.emit(|| TraceEvent::RingCounters {
-                cycle: now,
-                data_delivered: dd,
-                data_stalls: ds,
-                credit_delivered: cd,
-            });
+            self.sample_counters(now);
         }
     }
 
-    /// Run for `cycles` cycles.
+    /// Emit one periodic `FifoLevel`-per-FIFO + `RingCounters` sample for
+    /// cycle `now`.
+    fn sample_counters(&mut self, now: u64) {
+        for (i, f) in self.fifos.iter().enumerate() {
+            let level = f.len() as u32;
+            self.tracer.emit(|| TraceEvent::FifoLevel {
+                fifo: i as u32,
+                cycle: now,
+                level,
+            });
+        }
+        let (data, credit) = (&self.ring.stats[0], &self.ring.stats[1]);
+        let (dd, ds, cd) = (data.delivered, data.injection_stalls, credit.delivered);
+        self.tracer.emit(|| TraceEvent::RingCounters {
+            cycle: now,
+            data_delivered: dd,
+            data_stalls: ds,
+            credit_delivered: cd,
+        });
+    }
+
+    /// Minimum quiescence horizon over the *tiles* (processors, gateways,
+    /// accelerators — everything except the ring): the earliest cycle
+    /// `>= self.cycle` at which stepping one of them could do more than
+    /// skip-replayable bookkeeping, absent external input.
+    fn component_horizon(&self) -> u64 {
+        let next = self.cycle;
+        let mut h = u64::MAX;
+        for p in &self.processors {
+            h = h.min(p.horizon(&self.fifos, next));
+            if h == next {
+                return next;
+            }
+        }
+        for g in &self.gateways {
+            h = h.min(g.horizon(&self.fifos, &self.accels, next));
+            if h == next {
+                return next;
+            }
+        }
+        let tracing = self.tracer.is_enabled();
+        for (k, a) in self.accels.iter().enumerate() {
+            let mut v = a.horizon(next);
+            // When tracing, a pending active→drained flip (pure time
+            // passage, invisible to `horizon`) must be stepped so the
+            // observation lands on the exact transition cycle.
+            if tracing && self.accel_active_seen.get(k).copied().unwrap_or(false) {
+                v = v.min(a.drain_cycle(next));
+            }
+            h = h.min(v);
+            if h == next {
+                return next;
+            }
+        }
+        h
+    }
+
+    /// Fill the per-tile horizon scratch (`h_proc`/`h_gw`/`h_acc`) at the
+    /// current cycle and return the minimum. Unlike
+    /// [`System::component_horizon`] every tile is evaluated, because
+    /// [`System::selective_step`] needs each individual value. Tile
+    /// horizons are *stable across skips*: a skipped interval is
+    /// quiescent by construction, so the values stay valid until the next
+    /// executed cycle.
+    fn tile_horizons(&mut self) -> u64 {
+        let next = self.cycle;
+        let mut h = u64::MAX;
+        self.h_proc.clear();
+        for p in &self.processors {
+            let v = p.horizon(&self.fifos, next);
+            self.h_proc.push(v);
+            h = h.min(v);
+        }
+        self.h_gw.clear();
+        for g in &self.gateways {
+            let v = g.horizon(&self.fifos, &self.accels, next);
+            self.h_gw.push(v);
+            h = h.min(v);
+        }
+        self.h_acc.clear();
+        let tracing = self.tracer.is_enabled();
+        for (k, a) in self.accels.iter().enumerate() {
+            let mut v = a.horizon(next);
+            // Drain flips happen by pure time passage and are invisible
+            // to `horizon`; when tracing they are observation events and
+            // the flip cycle must be stepped (see `observe`).
+            if tracing && self.accel_active_seen.get(k).copied().unwrap_or(false) {
+                v = v.min(a.drain_cycle(next));
+            }
+            self.h_acc.push(v);
+            h = h.min(v);
+        }
+        h
+    }
+
+    /// Execute one cycle stepping only the tiles that can act, replaying
+    /// the rest with their 1-cycle `skip` (identical bookkeeping, far
+    /// cheaper). Valid only right after [`System::tile_horizons`] (plus
+    /// any skip, which preserves the values): a tile steps when its
+    /// horizon has arrived or a ring delivery awaits it; everything else
+    /// is provably idle this cycle.
+    ///
+    /// Same-cycle couplings that exist in the exhaustive order are
+    /// preserved conservatively: a tile that steps may write a shared
+    /// C-FIFO read later in the same cycle, so once any processor or
+    /// gateway steps, every later processor/gateway steps too
+    /// (`cascade`). Accelerators talk only through the ring (one-cycle
+    /// latency) — a gateway's same-cycle kernel swap targets a drained
+    /// accelerator whose step would be a no-op — so each accelerator is
+    /// decided independently.
+    fn selective_step(&mut self) {
+        let now = self.cycle;
+        self.engine_stats.full_steps += 1;
+        let mut cascade = false;
+        for i in 0..self.processors.len() {
+            if cascade || self.h_proc[i] <= now {
+                self.processors[i].step(&mut self.fifos, now);
+                cascade = true;
+            } else {
+                self.processors[i].skip(now, now + 1);
+            }
+        }
+        for j in 0..self.gateways.len() {
+            let must = cascade
+                || self.h_gw[j] <= now
+                || self.ring.rx_pending(self.gateways[j].exit_node) > 0
+                || self.ring.rx_pending(self.gateways[j].entry_node) > 0;
+            if must {
+                let g = &mut self.gateways[j];
+                g.step(
+                    &mut self.ring,
+                    &mut self.fifos,
+                    &mut self.accels,
+                    &mut self.tracer,
+                    now,
+                );
+                cascade = true;
+            } else {
+                self.gateways[j].skip(&self.fifos, &mut self.tracer, now, now + 1);
+            }
+        }
+        for k in 0..self.accels.len() {
+            if self.h_acc[k] <= now || self.ring.rx_pending(self.accels[k].node) > 0 {
+                self.accels[k].step(&mut self.ring, now);
+            } else {
+                self.accels[k].skip(now, now + 1);
+            }
+        }
+        self.ring.step();
+        if self.tracer.is_enabled() {
+            self.observe(now);
+        }
+        self.cycle = now + 1;
+    }
+
+    /// Minimum quiescence horizon over all components including the ring.
+    /// Equal to `self.cycle` whenever any component reports "now" — then
+    /// the engine falls back to single-cycle stepping.
+    fn horizon(&self) -> u64 {
+        let next = self.cycle;
+        let h = next.saturating_add(self.ring.idle_steps());
+        if h == next {
+            return next;
+        }
+        h.min(self.component_horizon())
+    }
+
+    /// Jump the clock from `self.cycle` to `target`, replaying the
+    /// skipped interval's bookkeeping in bulk on every component. Valid
+    /// only for `target <= self.horizon()`: the interval is provably
+    /// quiescent, so counters, stall attribution and periodic trace
+    /// samples come out exactly as if each cycle had been stepped.
+    fn skip_to(&mut self, target: u64) {
+        let from = self.cycle;
+        debug_assert!(target > from);
+        self.engine_stats.skipped_cycles += target - from;
+        for p in &mut self.processors {
+            p.skip(from, target);
+        }
+        for g in &mut self.gateways {
+            g.skip(&self.fifos, &mut self.tracer, from, target);
+        }
+        for a in &mut self.accels {
+            a.skip(from, target);
+        }
+        self.ring.skip(target - from);
+        // Periodic counter samples falling inside the skipped interval:
+        // state is frozen, so they sample current values.
+        self.sample_range(from, target);
+        self.cycle = target;
+    }
+
+    /// Emit the periodic counter samples for every sample point in
+    /// `[from, to)`. Exact whenever FIFO contents and ring counters hold
+    /// their cycle-`from` values across the interval (frozen tiles; ring
+    /// at most rotating in-flight flits).
+    fn sample_range(&mut self, from: u64, to: u64) {
+        let interval = self.tracer.sample_interval();
+        if interval == 0 {
+            return;
+        }
+        let mut m = from.next_multiple_of(interval);
+        while m < to {
+            self.sample_counters(m);
+            m += interval;
+        }
+    }
+
+    /// Fast-forward an interval during which only the *ring* has work:
+    /// every tile is quiescent until `target`, so instead of full-system
+    /// steps the ring alone is stepped (or bulk-rotated over pure-transit
+    /// stretches) and the tiles' bookkeeping is replayed chunk-wise —
+    /// exactly what their per-cycle steps would have done. Stops early at
+    /// the first delivery (a flit landing in an RX queue), since the
+    /// owning tile must be stepped from the next cycle on to poll it.
+    fn ring_forward(&mut self, target: u64) {
+        let from = self.cycle;
+        let mut t = from;
+        let traced = self.tracer.is_enabled();
+        while t < target && !self.ring.any_data_rx_pending() {
+            let idle = self.ring.idle_steps();
+            if idle == u64::MAX {
+                break; // ring drained entirely; the outer loop skips on
+            }
+            let t2 = if idle == 0 {
+                self.ring.step();
+                t + 1
+            } else {
+                let k = idle.min(target - t);
+                self.ring.skip(k);
+                t + k
+            };
+            if traced {
+                // Chunk-wise gateway accounting and counter samples keep
+                // the event log in the exhaustive order (a stall window
+                // closing at the chunk's first cycle precedes the chunk's
+                // periodic samples). Processor/accelerator skips emit no
+                // events and are replayed in bulk below.
+                for g in &mut self.gateways {
+                    g.skip(&self.fifos, &mut self.tracer, t, t2);
+                }
+                self.sample_range(t, t2);
+            }
+            t = t2;
+        }
+        if t > from {
+            self.engine_stats.ring_only_cycles += t - from;
+            for p in &mut self.processors {
+                p.skip(from, t);
+            }
+            if !traced {
+                for g in &mut self.gateways {
+                    g.skip(&self.fifos, &mut self.tracer, from, t);
+                }
+            }
+            for a in &mut self.accels {
+                a.skip(from, t);
+            }
+        }
+        self.cycle = t;
+    }
+
+    /// Run for `cycles` cycles in the configured [`StepMode`].
     pub fn run(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.cycle.saturating_add(cycles);
+        match self.step_mode {
+            StepMode::Exhaustive => {
+                while self.cycle < end {
+                    self.step();
+                }
+            }
+            StepMode::EventDriven => {
+                while self.cycle < end {
+                    let hc = self.tile_horizons();
+                    let hr = self.cycle.saturating_add(self.ring.idle_steps());
+                    let h = hc.min(hr).min(end);
+                    if h > self.cycle {
+                        self.skip_to(h);
+                    } else if hc > self.cycle {
+                        // Only the ring is busy: advance it alone.
+                        self.ring_forward(hc.min(end));
+                    }
+                    if self.cycle >= end {
+                        break;
+                    }
+                    // The per-tile horizons survive the jump (the skipped
+                    // interval is quiescent), so the selective step can
+                    // trust them at the new cycle.
+                    self.selective_step();
+                }
+            }
         }
     }
 
     /// Run until `pred(self)` holds or `max_cycles` elapse; returns `true`
     /// if the predicate fired.
+    ///
+    /// The predicate is evaluated before every *executed* cycle. In
+    /// event-driven mode state is frozen across skipped intervals, so a
+    /// predicate over system state fires at the same cycle in both modes;
+    /// a predicate reading [`System::cycle`] itself may observe the clock
+    /// jumping over its trigger value.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&System) -> bool) -> bool {
-        for _ in 0..max_cycles {
+        let end = self.cycle.saturating_add(max_cycles);
+        while self.cycle < end {
             if pred(self) {
                 return true;
             }
             self.step();
+            if self.step_mode == StepMode::EventDriven && self.cycle < end {
+                let h = self.horizon().min(end);
+                // Skip only while the predicate stays false: state is
+                // frozen over the interval, so checking it once suffices
+                // and the stop cycle matches the exhaustive mode's.
+                if h > self.cycle && !pred(self) {
+                    self.skip_to(h);
+                }
+            }
         }
         pred(self)
     }
@@ -179,7 +560,11 @@ impl System {
             streams: self
                 .gateways
                 .iter()
-                .map(|g| (0..g.num_streams()).map(|i| g.stream(i).name.clone()).collect())
+                .map(|g| {
+                    (0..g.num_streams())
+                        .map(|i| g.stream(i).name.clone())
+                        .collect()
+                })
                 .collect(),
             accels: self.accels.iter().map(|a| a.name.clone()).collect(),
             fifos: self.fifos.iter().map(|f| f.name.clone()).collect(),
@@ -234,7 +619,11 @@ mod tests {
         let (mut sys, _in, out) = build();
         sys.run(6000);
         let g = &sys.gateways[0];
-        assert!(g.stream(0).blocks_done >= 2, "blocks {}", g.stream(0).blocks_done);
+        assert!(
+            g.stream(0).blocks_done >= 2,
+            "blocks {}",
+            g.stream(0).blocks_done
+        );
         // Output samples reached the sink (fifo drained by the sink task).
         assert!(sys.fifos[out.0].popped > 0 || sys.fifos[out.0].len() > 0);
     }
@@ -277,9 +666,19 @@ mod tests {
         traced.enable_tracing(64);
         plain.run(6000);
         traced.run(6000);
-        assert_eq!(plain.gateways[0].blocks.len(), traced.gateways[0].blocks.len());
-        for (x, y) in plain.gateways[0].blocks.iter().zip(&traced.gateways[0].blocks) {
-            assert_eq!((x.start, x.stream_end, x.drain_end), (y.start, y.stream_end, y.drain_end));
+        assert_eq!(
+            plain.gateways[0].blocks.len(),
+            traced.gateways[0].blocks.len()
+        );
+        for (x, y) in plain.gateways[0]
+            .blocks
+            .iter()
+            .zip(&traced.gateways[0].blocks)
+        {
+            assert_eq!(
+                (x.start, x.stream_end, x.drain_end),
+                (y.start, y.stream_end, y.drain_end)
+            );
         }
         assert!(plain.tracer.is_empty());
         assert!(!traced.tracer.is_empty());

@@ -218,6 +218,17 @@ pub enum TraceEvent {
     },
 }
 
+/// A coalescing accelerator-activity window. While `open`, the
+/// accelerator is still active and `end` is meaningless; once the falling
+/// edge is reported, `end` holds the last active cycle and the window
+/// stays buffered in case a quick reactivation merges into it.
+#[derive(Clone, Copy, Debug)]
+struct AccelWindow {
+    start: u64,
+    end: u64,
+    open: bool,
+}
+
 /// Internal state of an enabled tracer (boxed so a disabled [`Tracer`] is
 /// one word).
 #[derive(Debug, Default)]
@@ -229,9 +240,8 @@ struct TraceData {
     /// Total stalled cycles per (gateway, cause) — running counters that
     /// are valid even while a window is still open.
     stall_totals: Vec<((u32, StallCause), u64)>,
-    /// Open accelerator activity windows: (start, last-active cycle) per
-    /// accelerator.
-    accel_active: Vec<Option<(u64, u64)>>,
+    /// Buffered accelerator activity windows, per accelerator.
+    accel_active: Vec<Option<AccelWindow>>,
     /// Last high-water mark already reported, per FIFO.
     fifo_hwm_seen: Vec<u32>,
     /// Period of `FifoLevel`/`RingCounters` samples in cycles.
@@ -289,22 +299,35 @@ impl Tracer {
     /// same (gateway, cause) into a single [`TraceEvent::StallWindow`].
     #[inline]
     pub fn stall_cycle(&mut self, gateway: u32, cause: StallCause, now: u64) {
+        self.stall_span(gateway, cause, now, now + 1);
+    }
+
+    /// Record `to - from` stalled cycles covering the half-open interval
+    /// `[from, to)` in one call — the bulk form of
+    /// [`Tracer::stall_cycle`], used by the event-driven engine when a
+    /// whole skipped interval is known to stall for one cause. Produces a
+    /// log identical to calling `stall_cycle` for every cycle in the span.
+    #[inline]
+    pub fn stall_span(&mut self, gateway: u32, cause: StallCause, from: u64, to: u64) {
         let Some(d) = &mut self.data else { return };
+        if to <= from {
+            return;
+        }
         match d
             .stall_totals
             .iter_mut()
             .find(|((g, c), _)| *g == gateway && *c == cause)
         {
-            Some((_, n)) => *n += 1,
-            None => d.stall_totals.push(((gateway, cause), 1)),
+            Some((_, n)) => *n += to - from,
+            None => d.stall_totals.push(((gateway, cause), to - from)),
         }
         if let Some(w) = d
             .open_stalls
             .iter_mut()
             .find(|(g, c, _, _)| *g == gateway && *c == cause)
         {
-            if now <= w.3 + 1 {
-                w.3 = now;
+            if from <= w.3 + 1 {
+                w.3 = to - 1;
                 return;
             }
             // Gap: close the old window, open a new one.
@@ -314,11 +337,11 @@ impl Tracer {
                 start: w.2,
                 end: w.3,
             };
-            w.2 = now;
-            w.3 = now;
+            w.2 = from;
+            w.3 = to - 1;
             d.events.push(closed);
         } else {
-            d.open_stalls.push((gateway, cause, now, now));
+            d.open_stalls.push((gateway, cause, from, to - 1));
         }
     }
 
@@ -333,29 +356,53 @@ impl Tracer {
         })
     }
 
-    /// Mark accelerator `accel` active/inactive this cycle, coalescing
-    /// contiguous active cycles into [`TraceEvent::AccelActive`] windows.
-    /// Idle gaps up to the tracer's sample interval are merged into the
-    /// surrounding window — when ε dominates ρ_A the accelerator naturally
-    /// idles between samples, and per-sample windows would swamp the trace.
+    /// Report a *change* in accelerator `accel`'s activity status at cycle
+    /// `now` (change-driven: callers must invoke this only on edges, not
+    /// every cycle). Contiguous active cycles coalesce into
+    /// [`TraceEvent::AccelActive`] windows; idle gaps up to the tracer's
+    /// sample interval are merged into the surrounding window — when ε
+    /// dominates ρ_A the accelerator naturally idles between samples, and
+    /// per-sample windows would swamp the trace.
+    ///
+    /// A rising edge (`active == true`) means the accelerator became active
+    /// at `now`; a falling edge means its last active cycle was `now - 1`.
     #[inline]
-    pub fn accel_activity(&mut self, accel: usize, active: bool, now: u64) {
+    pub fn accel_edge(&mut self, accel: usize, active: bool, now: u64) {
         let Some(d) = &mut self.data else { return };
         if d.accel_active.len() <= accel {
             d.accel_active.resize(accel + 1, None);
         }
-        match (d.accel_active[accel], active) {
-            (None, true) => d.accel_active[accel] = Some((now, now)),
-            (Some((start, _)), true) => d.accel_active[accel] = Some((start, now)),
-            (Some((start, last)), false) => {
-                if now.saturating_sub(last) > d.sample_interval {
-                    d.accel_active[accel] = None;
-                    d.events.push(TraceEvent::AccelActive {
+        let slot = &mut d.accel_active[accel];
+        match (slot.as_mut(), active) {
+            (None, true) => {
+                *slot = Some(AccelWindow {
+                    start: now,
+                    end: now,
+                    open: true,
+                });
+            }
+            (Some(w), true) => {
+                debug_assert!(!w.open, "rising edge on an already-open window");
+                if now - w.end <= d.sample_interval + 1 {
+                    w.open = true; // gap short enough: merge
+                } else {
+                    let ev = TraceEvent::AccelActive {
                         accel: accel as u32,
-                        start,
-                        end: last,
-                    });
+                        start: w.start,
+                        end: w.end,
+                    };
+                    *w = AccelWindow {
+                        start: now,
+                        end: now,
+                        open: true,
+                    };
+                    d.events.push(ev);
                 }
+            }
+            (Some(w), false) => {
+                debug_assert!(w.open, "falling edge on a closed window");
+                w.open = false;
+                w.end = now - 1;
             }
             (None, false) => {}
         }
@@ -380,8 +427,10 @@ impl Tracer {
     }
 
     /// Close all open coalescing windows (stalls, accelerator activity),
-    /// turning them into events. Call before reading a complete log.
-    pub fn finish(&mut self, _now: u64) {
+    /// turning them into events. `now` is the first *unsimulated* cycle:
+    /// a window still open at finish time ends at `now - 1`. Call before
+    /// reading a complete log.
+    pub fn finish(&mut self, now: u64) {
         let Some(d) = &mut self.data else { return };
         for (gateway, cause, start, end) in d.open_stalls.drain(..) {
             d.events.push(TraceEvent::StallWindow {
@@ -392,11 +441,12 @@ impl Tracer {
             });
         }
         for (accel, win) in d.accel_active.iter_mut().enumerate() {
-            if let Some((start, last)) = win.take() {
+            if let Some(w) = win.take() {
+                let end = if w.open { now.saturating_sub(1) } else { w.end };
                 d.events.push(TraceEvent::AccelActive {
                     accel: accel as u32,
-                    start,
-                    end: last,
+                    start: w.start,
+                    end,
                 });
             }
         }
@@ -551,10 +601,14 @@ pub fn chrome_trace_json(events: &[TraceEvent], names: &TraceNames) -> String {
         }
     }
     for &g in &seen_gw {
-        push(&mut out, &mut first, format!(
+        push(
+            &mut out,
+            &mut first,
+            format!(
             "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{g},\"args\":{{\"name\":\"{}\"}}}}",
             json_escape(&names.gateway(g))
-        ));
+        ),
+        );
         for cause in StallCause::ALL {
             push(&mut out, &mut first, format!(
                 "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{g},\"tid\":{},\"args\":{{\"name\":\"stall:{}\"}}}}",
@@ -691,7 +745,8 @@ mod tests {
         let mut t = Tracer::disabled();
         t.emit(|| panic!("constructor must not run when disabled"));
         t.stall_cycle(0, StallCause::DmaNoCredit, 5);
-        t.accel_activity(0, true, 1);
+        t.stall_span(0, StallCause::DmaNoCredit, 6, 9);
+        t.accel_edge(0, true, 1);
         t.fifo_high_water(0, 10, 2);
         t.finish(100);
         assert!(!t.is_enabled());
@@ -728,22 +783,83 @@ mod tests {
         assert_eq!(t.stall_cycles(0, StallCause::ExitFifoFull), 2);
     }
 
-    #[test]
-    fn accel_windows_coalesce() {
-        let mut t = Tracer::enabled(0);
-        for now in 0..50u64 {
-            t.accel_activity(0, (5..10).contains(&now) || (20..23).contains(&now), now);
-        }
-        t.finish(50);
-        let spans: Vec<_> = t
-            .events()
+    fn accel_spans(t: &Tracer) -> Vec<(u64, u64)> {
+        t.events()
             .iter()
             .filter_map(|e| match *e {
                 TraceEvent::AccelActive { start, end, .. } => Some((start, end)),
                 _ => None,
             })
-            .collect();
-        assert_eq!(spans, vec![(5, 9), (20, 22)]);
+            .collect()
+    }
+
+    /// Drive `accel_edge` the way `System::observe` does: from a per-cycle
+    /// activity signal, reporting only changes.
+    fn drive_edges(t: &mut Tracer, active_at: impl Fn(u64) -> bool, cycles: u64) {
+        let mut prev = false;
+        for now in 0..cycles {
+            let a = active_at(now);
+            if a != prev {
+                t.accel_edge(0, a, now);
+                prev = a;
+            }
+        }
+    }
+
+    #[test]
+    fn accel_windows_coalesce() {
+        let mut t = Tracer::enabled(0);
+        drive_edges(
+            &mut t,
+            |now| (5..10).contains(&now) || (20..23).contains(&now),
+            50,
+        );
+        t.finish(50);
+        assert_eq!(accel_spans(&t), vec![(5, 9), (20, 22)]);
+    }
+
+    #[test]
+    fn accel_windows_merge_short_gaps() {
+        // With a sample interval of 8, an idle gap of ≤ 8 cycles merges
+        // into the surrounding window; a longer one splits it.
+        let mut t = Tracer::enabled(8);
+        drive_edges(
+            &mut t,
+            |now| (0..4).contains(&now) || (10..12).contains(&now) || (40..42).contains(&now),
+            60,
+        );
+        t.finish(60);
+        assert_eq!(accel_spans(&t), vec![(0, 11), (40, 41)]);
+    }
+
+    #[test]
+    fn accel_window_open_at_finish_ends_at_last_cycle() {
+        let mut t = Tracer::enabled(0);
+        t.accel_edge(0, true, 12);
+        t.finish(30); // still active: last simulated cycle is 29
+        assert_eq!(accel_spans(&t), vec![(12, 29)]);
+    }
+
+    #[test]
+    fn stall_span_matches_per_cycle_calls() {
+        let mut bulk = Tracer::enabled(0);
+        let mut percycle = Tracer::enabled(0);
+        bulk.stall_span(1, StallCause::CheckForSpace, 10, 15);
+        bulk.stall_span(1, StallCause::CheckForSpace, 15, 18); // contiguous: extends
+        bulk.stall_span(1, StallCause::CheckForSpace, 25, 27); // gap: new window
+        for now in 10..18 {
+            percycle.stall_cycle(1, StallCause::CheckForSpace, now);
+        }
+        for now in 25..27 {
+            percycle.stall_cycle(1, StallCause::CheckForSpace, now);
+        }
+        bulk.finish(30);
+        percycle.finish(30);
+        assert_eq!(bulk.events(), percycle.events());
+        assert_eq!(
+            bulk.stall_cycles(1, StallCause::CheckForSpace),
+            percycle.stall_cycles(1, StallCause::CheckForSpace)
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl StreamKernel for DownsampleKernel {
         self.acc.1 += s.1;
         self.count += 1;
         if self.count == self.factor {
-            let out = (self.acc.0 / self.factor as f64, self.acc.1 / self.factor as f64);
+            let out = (
+                self.acc.0 / self.factor as f64,
+                self.acc.1 / self.factor as f64,
+            );
             self.count = 0;
             self.acc = (0.0, 0.0);
             Some(out)

@@ -2,9 +2,7 @@
 //! G2/G3) share one dual ring: flows must not interfere beyond ring
 //! bandwidth, and stream demultiplexing must never mix samples up.
 
-use streamgate_platform::{
-    AcceleratorTile, CFifo, GatewayPair, ScaleKernel, StreamConfig, System,
-};
+use streamgate_platform::{AcceleratorTile, CFifo, GatewayPair, ScaleKernel, StreamConfig, System};
 
 /// Ring stations: 0 entryA, 1 accA, 2 exitA, 3 entryB, 4 accB, 5 exitB.
 fn build() -> (System, [usize; 2]) {
@@ -17,12 +15,22 @@ fn build() -> (System, [usize; 2]) {
     let acc_b = sys.add_accel(AcceleratorTile::new("accB", 4, 3, 20, 5, 21, 2, 1));
     let mut gw_a = GatewayPair::new("gwA", 0, 2, vec![acc_a], 1, 10, 1, 11, 2, 2, 1);
     gw_a.add_stream(StreamConfig::new(
-        "sA", ia, oa, 16, 16, 30,
+        "sA",
+        ia,
+        oa,
+        16,
+        16,
+        30,
         vec![Box::new(ScaleKernel::new(10.0))],
     ));
     let mut gw_b = GatewayPair::new("gwB", 3, 5, vec![acc_b], 4, 20, 4, 21, 2, 2, 1);
     gw_b.add_stream(StreamConfig::new(
-        "sB", ib, ob, 8, 8, 30,
+        "sB",
+        ib,
+        ob,
+        8,
+        8,
+        30,
         vec![Box::new(ScaleKernel::new(100.0))],
     ));
     let a = sys.add_gateway(gw_a);
@@ -44,10 +52,18 @@ fn concurrent_gateways_do_not_cross_talk() {
     let oa = sys.gateways[a].stream(0).output;
     let ob = sys.gateways[b].stream(0).output;
     for k in 0..64 {
-        assert_eq!(sys.fifos[oa.0].pop(), Some((k as f64 * 10.0, 0.0)), "gwA token {k}");
+        assert_eq!(
+            sys.fifos[oa.0].pop(),
+            Some((k as f64 * 10.0, 0.0)),
+            "gwA token {k}"
+        );
     }
     for k in 0..64 {
-        assert_eq!(sys.fifos[ob.0].pop(), Some((k as f64 * 100.0, 0.0)), "gwB token {k}");
+        assert_eq!(
+            sys.fifos[ob.0].pop(),
+            Some((k as f64 * 100.0, 0.0)),
+            "gwB token {k}"
+        );
     }
 }
 

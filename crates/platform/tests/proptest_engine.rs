@@ -1,0 +1,275 @@
+//! Engine-equivalence property: on randomized small topologies the
+//! event-driven engine must be *bit-identical* to the exhaustive
+//! lock-step reference — same block schedules, FIFO contents, counters,
+//! ring statistics and trace event logs.
+//!
+//! The generated platforms deliberately cover the engine's tricky spots:
+//! non-adjacent ring links (multi-hop flit transit that the ring-only
+//! fast-forward must replay exactly), one or two accelerators per chain
+//! (credit-inert forwarding), one or two gateway pairs (same-cycle FIFO
+//! coupling between tiles under selective stepping), multiple streams per
+//! gateway (round-robin reconfiguration), and TDM processors with
+//! non-trivial budgets (bulk slot replay).
+
+use proptest::prelude::*;
+use streamgate_platform::{
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, ProcessorTile, RateSource, ScaleKernel,
+    SinkTask, StepMode, StreamConfig, StreamKernel, System,
+};
+
+#[derive(Clone, Debug)]
+struct Topo {
+    two_gateways: bool,
+    chain_len: usize, // accelerators in gateway A's chain (1 or 2)
+    streams_a: usize, // streams multiplexed over gateway A (1..=3)
+    epsilon: u64,     // DMA cycles per sample
+    delta: u64,       // exit-copy cycles per sample
+    rho: u64,         // accelerator cycles per sample
+    reconfig: u64,    // R_s
+    eta: usize,       // block size
+    in_cap: usize,
+    out_cap: usize,
+    src_interval: u64,
+    sink_interval: u64,
+    sink_budget: u64,
+    cycles: u64,
+}
+
+fn topo_strategy() -> impl Strategy<Value = Topo> {
+    (
+        (0u64..2, 1usize..3, 1usize..4),
+        (1u64..8, 1u64..3, 1u64..6, 0u64..200),
+        (2usize..24, 16usize..96, 64usize..512),
+        (1u64..40, 1u64..16, 1u64..3, 4_000u64..12_000),
+    )
+        .prop_map(
+            |(
+                (two_gw, chain_len, streams_a),
+                (epsilon, delta, rho, reconfig),
+                (eta, in_cap, out_cap),
+                (src_interval, sink_interval, sink_budget, cycles),
+            )| Topo {
+                two_gateways: two_gw == 1,
+                chain_len,
+                streams_a,
+                epsilon,
+                delta,
+                rho,
+                reconfig,
+                eta,
+                in_cap: in_cap.max(eta),
+                out_cap: out_cap.max(2 * eta),
+                src_interval,
+                sink_interval,
+                sink_budget,
+                cycles,
+            },
+        )
+}
+
+/// Kernel chain for one stream of gateway A (one kernel per chain stage).
+fn kernels(chain_len: usize, gain: f64) -> Vec<Box<dyn StreamKernel>> {
+    let mut v: Vec<Box<dyn StreamKernel>> = vec![Box::new(ScaleKernel::new(gain))];
+    if chain_len == 2 {
+        v.push(Box::new(PassthroughKernel));
+    }
+    v
+}
+
+/// Ring stations (n = 10): 0 FE processor, 1 gwA entry, 3 accel A0
+/// (upstream node 1 — two hops, deliberately *not* ring-adjacent),
+/// 4 accel A1 (optional), 6 gwA exit, 2 gwB entry (optional), 5 accel B0
+/// (three hops from its upstream), 8 gwB exit, 9 consumer processor.
+fn build(t: &Topo) -> System {
+    let mut sys = System::new(10);
+
+    // --- gateway A: FIFOs, chain, streams ---
+    let mut ins_a = Vec::new();
+    let mut outs_a = Vec::new();
+    for s in 0..t.streams_a {
+        ins_a.push(sys.add_fifo(CFifo::new(format!("inA{s}"), t.in_cap)));
+        outs_a.push(sys.add_fifo(CFifo::new(format!("outA{s}"), t.out_cap)));
+    }
+    let (first_node, last_node, last_stream) = if t.chain_len == 2 {
+        (3, 4, 12)
+    } else {
+        (3, 3, 11)
+    };
+    let a0 = sys.add_accel(AcceleratorTile::new(
+        "A0",
+        3,
+        1,
+        10,
+        if t.chain_len == 2 { 4 } else { 6 },
+        11,
+        2,
+        t.rho,
+    ));
+    let mut chain = vec![a0];
+    if t.chain_len == 2 {
+        chain.push(sys.add_accel(AcceleratorTile::new("A1", 4, 3, 11, 6, 12, 2, t.rho)));
+    }
+    let mut gw_a = GatewayPair::new(
+        "gwA",
+        1,
+        6,
+        chain,
+        first_node,
+        10,
+        last_node,
+        last_stream,
+        2,
+        t.epsilon,
+        t.delta,
+    );
+    for s in 0..t.streams_a {
+        gw_a.add_stream(StreamConfig::new(
+            format!("sA{s}"),
+            ins_a[s],
+            outs_a[s],
+            t.eta,
+            t.eta,
+            t.reconfig,
+            kernels(t.chain_len, 2.0 + s as f64),
+        ));
+    }
+    sys.add_gateway(gw_a);
+
+    // --- optional gateway B with its own accelerator ---
+    let mut io_b = None;
+    if t.two_gateways {
+        let ib = sys.add_fifo(CFifo::new("inB", t.in_cap));
+        let ob = sys.add_fifo(CFifo::new("outB", t.out_cap));
+        let b0 = sys.add_accel(AcceleratorTile::new("B0", 5, 2, 20, 8, 21, 2, t.rho));
+        let mut gw_b = GatewayPair::new("gwB", 2, 8, vec![b0], 5, 20, 5, 21, 2, t.epsilon, t.delta);
+        gw_b.add_stream(StreamConfig::new(
+            "sB",
+            ib,
+            ob,
+            t.eta,
+            t.eta,
+            t.reconfig,
+            vec![Box::new(ScaleKernel::new(7.0))],
+        ));
+        sys.add_gateway(gw_b);
+        io_b = Some((ib, ob));
+    }
+
+    // --- front-end processor: one rate source per input ---
+    let mut fe = ProcessorTile::new("FE", 0);
+    for (s, f) in ins_a.iter().enumerate() {
+        let base = s as f64;
+        fe.add_task(
+            Box::new(RateSource::new(
+                f.0,
+                t.src_interval,
+                Box::new(move |i| (base + i as f64, 0.25)),
+            )),
+            1 + (s as u64 % 2),
+        );
+    }
+    if let Some((ib, _)) = io_b {
+        fe.add_task(
+            Box::new(RateSource::new(
+                ib.0,
+                t.src_interval + 1,
+                Box::new(|i| (-(i as f64), 0.5)),
+            )),
+            1,
+        );
+    }
+    sys.add_processor(fe);
+
+    // --- consumer processor: one sink per output (TDM budgets) ---
+    let mut consumer = ProcessorTile::new("consumer", 9);
+    for f in &outs_a {
+        consumer.add_task(Box::new(SinkTask::new(f.0, t.sink_interval)), t.sink_budget);
+    }
+    if let Some((_, ob)) = io_b {
+        consumer.add_task(Box::new(SinkTask::new(ob.0, t.sink_interval)), 1);
+    }
+    sys.add_processor(consumer);
+
+    sys
+}
+
+/// Run to completion in `mode` and flush the trace.
+fn run(t: &Topo, mode: StepMode) -> System {
+    let mut sys = build(t);
+    sys.step_mode = mode;
+    sys.enable_tracing(64);
+    sys.run(t.cycles);
+    let now = sys.cycle();
+    sys.tracer.finish(now);
+    sys
+}
+
+fn assert_identical(mut ex: System, mut ev: System) -> Result<(), TestCaseError> {
+    prop_assert_eq!(ex.cycle(), ev.cycle());
+    for (i, (a, b)) in ex.fifos.iter_mut().zip(ev.fifos.iter_mut()).enumerate() {
+        prop_assert_eq!(a.pushed, b.pushed, "fifo {} pushed", i);
+        prop_assert_eq!(a.popped, b.popped, "fifo {} popped", i);
+        prop_assert_eq!(a.high_water(), b.high_water(), "fifo {} high-water", i);
+        prop_assert_eq!(a.len(), b.len(), "fifo {} level", i);
+        // Residual contents, sample by sample.
+        while let (Some(x), Some(y)) = (a.peek().copied(), b.peek().copied()) {
+            prop_assert_eq!(x, y, "fifo {} contents", i);
+            a.pop();
+            b.pop();
+        }
+    }
+    for (i, (a, b)) in ex.gateways.iter().zip(ev.gateways.iter()).enumerate() {
+        prop_assert_eq!(
+            format!("{:?}", a.blocks),
+            format!("{:?}", b.blocks),
+            "gateway {} block records",
+            i
+        );
+        prop_assert_eq!(
+            a.dma_busy_cycles,
+            b.dma_busy_cycles,
+            "gateway {} dma busy",
+            i
+        );
+        prop_assert_eq!(a.idle_cycles, b.idle_cycles, "gateway {} idle", i);
+        prop_assert_eq!(
+            a.reconfig_cycles_total,
+            b.reconfig_cycles_total,
+            "gateway {} reconfig",
+            i
+        );
+    }
+    for (i, (a, b)) in ex.accels.iter().zip(ev.accels.iter()).enumerate() {
+        prop_assert_eq!(a.busy_cycles, b.busy_cycles, "accel {} busy", i);
+        prop_assert_eq!(a.samples_in, b.samples_in, "accel {} in", i);
+        prop_assert_eq!(a.samples_out, b.samples_out, "accel {} out", i);
+    }
+    for (i, (a, b)) in ex.processors.iter().zip(ev.processors.iter()).enumerate() {
+        prop_assert_eq!(a.busy_cycles, b.busy_cycles, "processor {} busy", i);
+        prop_assert_eq!(a.total_cycles, b.total_cycles, "processor {} total", i);
+    }
+    for r in 0..2 {
+        let (a, b) = (&ex.ring.stats[r], &ev.ring.stats[r]);
+        prop_assert_eq!(a.delivered, b.delivered, "ring {} delivered", r);
+        prop_assert_eq!(a.total_latency, b.total_latency, "ring {} latency", r);
+        prop_assert_eq!(a.max_latency, b.max_latency, "ring {} max latency", r);
+        prop_assert_eq!(a.injection_stalls, b.injection_stalls, "ring {} stalls", r);
+    }
+    let (ea, eb) = (ex.tracer.events(), ev.tracer.events());
+    if let Some(d) = ea.iter().zip(eb.iter()).position(|(x, y)| x != y) {
+        prop_assert_eq!(&ea[d], &eb[d], "first trace divergence at index {}", d);
+    }
+    prop_assert_eq!(ea.len(), eb.len(), "trace event counts");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn event_driven_is_bit_identical_to_exhaustive(t in topo_strategy()) {
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run(&t, StepMode::EventDriven);
+        assert_identical(ex, ev)?;
+    }
+}

@@ -60,6 +60,13 @@ pub struct DualRing<P> {
     /// boundedness is enforced end-to-end by credits).
     data_rx: Vec<VecDeque<DataFlit<P>>>,
     credit_rx: Vec<VecDeque<CreditFlit>>,
+    /// Total flits across all TX queues (both rings) — lets
+    /// [`DualRing::idle_steps`] answer without scanning every queue.
+    tx_occupancy: usize,
+    /// Total delivered-but-unread *data* flits across all stations.
+    data_rx_occupancy: usize,
+    /// Occupied slots across both rings.
+    slots_occupied: usize,
     /// Statistics (index 0 = data ring, 1 = credit ring).
     pub stats: [RingStats; 2],
 }
@@ -77,6 +84,9 @@ impl<P: Clone> DualRing<P> {
             credit_tx: (0..n).map(|_| VecDeque::new()).collect(),
             data_rx: (0..n).map(|_| VecDeque::new()).collect(),
             credit_rx: (0..n).map(|_| VecDeque::new()).collect(),
+            tx_occupancy: 0,
+            data_rx_occupancy: 0,
+            slots_occupied: 0,
             stats: [RingStats::default(), RingStats::default()],
         }
     }
@@ -102,6 +112,7 @@ impl<P: Clone> DualRing<P> {
             payload,
             injected_at: self.cycle,
         });
+        self.tx_occupancy += 1;
     }
 
     /// Queue a credit transfer on the credit ring.
@@ -114,6 +125,7 @@ impl<P: Clone> DualRing<P> {
             amount,
             injected_at: self.cycle,
         });
+        self.tx_occupancy += 1;
     }
 
     /// Pending TX occupancy of a station (posted writes not yet accepted).
@@ -123,7 +135,11 @@ impl<P: Clone> DualRing<P> {
 
     /// Pop one delivered data flit at a station, if any.
     pub fn recv_data(&mut self, node: NodeId) -> Option<DataFlit<P>> {
-        self.data_rx[node].pop_front()
+        let f = self.data_rx[node].pop_front();
+        if f.is_some() {
+            self.data_rx_occupancy -= 1;
+        }
+        f
     }
 
     /// Pop one delivered credit flit at a station, if any.
@@ -137,6 +153,7 @@ impl<P: Clone> DualRing<P> {
     /// queue was drained first).
     pub fn requeue_data(&mut self, node: NodeId, flit: DataFlit<P>) {
         self.data_rx[node].push_back(flit);
+        self.data_rx_occupancy += 1;
     }
 
     /// Put a delivered credit flit back (see [`DualRing::requeue_data`]).
@@ -163,6 +180,8 @@ impl<P: Clone> DualRing<P> {
             if self.data_slots[i].is_none() {
                 if let Some(f) = self.data_tx[i].pop_front() {
                     self.data_slots[i] = Some(f);
+                    self.tx_occupancy -= 1;
+                    self.slots_occupied += 1;
                 }
             } else if !self.data_tx[i].is_empty() {
                 self.stats[0].injection_stalls += 1;
@@ -179,6 +198,8 @@ impl<P: Clone> DualRing<P> {
                     self.stats[0].total_latency += lat;
                     self.stats[0].max_latency = self.stats[0].max_latency.max(lat);
                     self.data_rx[i].push_back(f);
+                    self.data_rx_occupancy += 1;
+                    self.slots_occupied -= 1;
                 }
             }
         }
@@ -188,6 +209,8 @@ impl<P: Clone> DualRing<P> {
             if self.credit_slots[i].is_none() {
                 if let Some(c) = self.credit_tx[i].pop_front() {
                     self.credit_slots[i] = Some(c);
+                    self.tx_occupancy -= 1;
+                    self.slots_occupied += 1;
                 }
             } else if !self.credit_tx[i].is_empty() {
                 self.stats[1].injection_stalls += 1;
@@ -203,9 +226,91 @@ impl<P: Clone> DualRing<P> {
                     self.stats[1].total_latency += lat;
                     self.stats[1].max_latency = self.stats[1].max_latency.max(lat);
                     self.credit_rx[i].push_back(c);
+                    self.slots_occupied -= 1;
                 }
             }
         }
+    }
+
+    /// Number of upcoming [`DualRing::step`]s that are *pure rotations*:
+    /// no injection, ejection or stall accounting can occur during them.
+    ///
+    /// * `0` — the very next step may do work (a TX queue holds a posted
+    ///   write, or a delivered *data* flit sits unread in an RX queue and
+    ///   the owning tile must be given a chance to poll it);
+    /// * `k` — the next `k` steps only move occupied slots along the ring
+    ///   (the nearest in-flight flit is `k + 1` hops from its destination);
+    /// * `u64::MAX` — nothing is in flight and the ring is externally
+    ///   driven.
+    ///
+    /// Delivered-but-unread **credits** deliberately do not hold the
+    /// horizon at 0: a credit only raises a counter when its owner next
+    /// polls, and every tile polls on each of its own decision cycles, so
+    /// a lingering credit never requires a timely step. (Credit flits *in
+    /// flight* are still tracked — their ejection cycle is never skipped,
+    /// keeping delivery statistics exact.)
+    ///
+    /// This is the ring's quiescence horizon for the event-driven engine:
+    /// the caller may replace up to `idle_steps()` consecutive [`step`]
+    /// calls with one [`DualRing::skip`].
+    ///
+    /// [`step`]: DualRing::step
+    pub fn idle_steps(&self) -> u64 {
+        if self.tx_occupancy > 0 || self.data_rx_occupancy > 0 {
+            return 0;
+        }
+        if self.slots_occupied == 0 {
+            return u64::MAX; // empty ring
+        }
+        let mut min_hops = u64::MAX;
+        for (i, s) in self.data_slots.iter().enumerate() {
+            if let Some(f) = s {
+                // f.dst and i are both < n: a conditional subtraction is
+                // the modulo (this is hot — no division).
+                let d = f.dst + self.n - i;
+                let d = if d >= self.n { d - self.n } else { d };
+                min_hops = min_hops.min(d as u64);
+            }
+        }
+        for (i, s) in self.credit_slots.iter().enumerate() {
+            if let Some(c) = s {
+                let d = i + self.n - c.dst;
+                let d = if d >= self.n { d - self.n } else { d };
+                min_hops = min_hops.min(d as u64);
+            }
+        }
+        // A slot flit is never at its destination between steps (it
+        // would have been ejected), so min_hops ≥ 1; the step that
+        // ejects it is step number `min_hops` from now.
+        min_hops.saturating_sub(1)
+    }
+
+    /// True if any station holds a delivered-but-unread *data* flit.
+    /// While this holds, the owning tile must be stepped so it can poll
+    /// its NI queue; the engine's ring-only fast-forward stops at the
+    /// first cycle this becomes true. (Unread credits are inert — see
+    /// [`DualRing::idle_steps`].)
+    pub fn any_data_rx_pending(&self) -> bool {
+        self.data_rx_occupancy > 0
+    }
+
+    /// Advance time by `k` cycles in one go, where all `k` skipped steps
+    /// are pure rotations (the caller must ensure `k <= idle_steps()`).
+    /// Equivalent to `k` calls to [`DualRing::step`]: the clock advances
+    /// and occupied slots rotate, but nothing is injected or ejected.
+    pub fn skip(&mut self, k: u64) {
+        debug_assert!(k <= self.idle_steps(), "ring skip past its horizon");
+        self.cycle += k;
+        if self.slots_occupied == 0 {
+            return; // nothing in flight: only the clock moves
+        }
+        let n = self.n as u64;
+        let r = (if k < n { k } else { k % n }) as usize;
+        if r == 0 {
+            return;
+        }
+        self.data_slots.rotate_right(r);
+        self.credit_slots.rotate_left(r);
     }
 
     /// Hop distance from `src` to `dst` along the data ring direction.
@@ -263,7 +368,11 @@ mod tests {
         // because the credit ring runs the opposite way.
         assert_eq!(ring.data_distance(0, 1), 1);
         assert_eq!(ring.credit_distance(1, 0), 1);
-        assert_eq!(ring.credit_distance(0, 1), 5, "with the data direction it would be 5");
+        assert_eq!(
+            ring.credit_distance(0, 1),
+            5,
+            "with the data direction it would be 5"
+        );
         ring.send_credit(1, 0, 0, 4);
         let mut cycles = 0;
         loop {
@@ -345,6 +454,98 @@ mod tests {
     fn self_send_rejected() {
         let mut ring: DualRing<u64> = DualRing::new(4);
         ring.send_data(1, 1, 0, 0);
+    }
+
+    #[test]
+    fn idle_steps_reports_queue_and_flight_state() {
+        let mut ring: DualRing<u64> = DualRing::new(6);
+        assert_eq!(ring.idle_steps(), u64::MAX, "empty ring is quiescent");
+        ring.send_data(0, 3, 0, 7);
+        assert_eq!(ring.idle_steps(), 0, "pending TX forces a step");
+        ring.step(); // injected; flit now 1 hop past station 0, 2 hops to go
+        assert_eq!(
+            ring.idle_steps(),
+            1,
+            "one pure-rotation step before ejection"
+        );
+        ring.skip(1);
+        ring.step(); // ejection step
+        assert_eq!(ring.rx_pending(3), 1);
+        assert_eq!(ring.idle_steps(), 0, "unread RX forces steps");
+        let f = ring.recv_data(3).expect("delivered");
+        assert_eq!(f.payload, 7);
+        assert_eq!(ring.idle_steps(), u64::MAX);
+    }
+
+    #[test]
+    fn delivered_credit_is_inert_but_transit_is_not() {
+        let mut ring: DualRing<u64> = DualRing::new(6);
+        ring.send_credit(3, 0, 0, 1); // 3 hops against the data direction
+        assert_eq!(ring.idle_steps(), 0, "pending credit TX forces a step");
+        ring.step(); // injected; 2 hops to go
+        assert_eq!(ring.idle_steps(), 1, "credit transit still tracked");
+        ring.skip(1);
+        ring.step(); // ejection
+        assert!(!ring.any_data_rx_pending());
+        assert_eq!(
+            ring.idle_steps(),
+            u64::MAX,
+            "a delivered credit is absorbed whenever its owner next polls"
+        );
+        let c = ring.recv_credit(0).expect("credit delivered");
+        assert_eq!(c.amount, 1);
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_stepping() {
+        // Two identical rings with flits in flight: one steps cycle by
+        // cycle, the other skips through its idle window. Delivery cycle,
+        // latency stats and payloads must match exactly.
+        let build = || {
+            let mut r: DualRing<u64> = DualRing::new(8);
+            r.send_data(1, 6, 0, 42); // 5 hops
+            r.send_credit(6, 1, 0, 3); // 5 hops the other way
+            r.step(); // inject both
+            r
+        };
+        let mut stepped = build();
+        let mut skipped = build();
+        let idle = skipped.idle_steps();
+        assert!(idle > 0);
+        for _ in 0..idle {
+            stepped.step();
+        }
+        skipped.skip(idle);
+        assert_eq!(stepped.cycle(), skipped.cycle());
+        // The next real step ejects in both.
+        stepped.step();
+        skipped.step();
+        assert_eq!(stepped.cycle(), skipped.cycle());
+        for r in [&mut stepped, &mut skipped] {
+            let f = r.recv_data(6).expect("data delivered");
+            assert_eq!(f.payload, 42);
+            let c = r.recv_credit(1).expect("credit delivered");
+            assert_eq!(c.amount, 3);
+        }
+        assert_eq!(stepped.stats[0].max_latency, skipped.stats[0].max_latency);
+        assert_eq!(stepped.stats[1].max_latency, skipped.stats[1].max_latency);
+        assert_eq!(stepped.stats[0].max_latency, 5, "latency == hop distance");
+    }
+
+    #[test]
+    fn skip_on_empty_ring_just_advances_clock() {
+        // An empty ring can absorb arbitrarily large skips; a flit injected
+        // afterwards behaves exactly as on a freshly stepped ring.
+        let mut r: DualRing<u64> = DualRing::new(4);
+        r.skip(1_000_000);
+        assert_eq!(r.cycle(), 1_000_000);
+        r.send_data(0, 3, 0, 9);
+        for _ in 0..3 {
+            r.step();
+        }
+        let f = r.recv_data(3).expect("delivered");
+        assert_eq!(f.payload, 9);
+        assert_eq!(r.stats[0].max_latency, 3, "latency unaffected by the skip");
     }
 
     #[test]

@@ -12,8 +12,17 @@ use streamgate::core::{fig8_example, solve_blocksizes_checked, SharingProblem};
 fn main() {
     // 1. The paper's PAL operating point.
     println!("== PAL decoder block sizes vs clock ==");
-    println!("{:>12}  {:>10}  {:>28}", "clock (Hz)", "util %", "η (front ×2, back ×2)");
-    for clock in [96_000_000u64, 97_000_000, 99_857_500, 110_000_000, 150_000_000] {
+    println!(
+        "{:>12}  {:>10}  {:>28}",
+        "clock (Hz)", "util %", "η (front ×2, back ×2)"
+    );
+    for clock in [
+        96_000_000u64,
+        97_000_000,
+        99_857_500,
+        110_000_000,
+        150_000_000,
+    ] {
         let prob = SharingProblem::pal_decoder(clock);
         match solve_blocksizes_checked(&prob) {
             Ok(sol) => println!(
@@ -22,7 +31,10 @@ fn main() {
                 prob.utilisation().to_f64() * 100.0,
                 format!("{:?}", sol.etas)
             ),
-            Err(e) => println!("{clock:>12}  {:>10.2}  {e}", prob.utilisation().to_f64() * 100.0),
+            Err(e) => println!(
+                "{clock:>12}  {:>10.2}  {e}",
+                prob.utilisation().to_f64() * 100.0
+            ),
         }
     }
     println!(

@@ -81,7 +81,10 @@ fn main() {
         problem.utilisation().to_f64() * 100.0
     );
     let sol = solve_blocksizes_checked(&problem).expect("feasible");
-    println!("Algorithm 1 block sizes: {:?} (γ = {} cycles)\n", sol.etas, sol.gamma);
+    println!(
+        "Algorithm 1 block sizes: {:?} (γ = {} cycles)\n",
+        sol.etas, sol.gamma
+    );
 
     // Round block sizes up to the decimation granularity.
     let eta_a = sol.etas[0].div_ceil(4) * 4;
@@ -158,26 +161,41 @@ fn main() {
 
     let fs_out_a = fs_a / 4.0;
     let fs_out_b = fs_b / 4.0;
-    println!("radio A: {} blocks, {} output samples ({:.2} s of audio)",
-        b.blocks_done(0), out_a.len(), out_a.len() as f64 / fs_out_a);
-    println!("radio B: {} blocks, {} output samples ({:.2} s of audio)",
-        b.blocks_done(1), out_b.len(), out_b.len() as f64 / fs_out_b);
+    println!(
+        "radio A: {} blocks, {} output samples ({:.2} s of audio)",
+        b.blocks_done(0),
+        out_a.len(),
+        out_a.len() as f64 / fs_out_a
+    );
+    println!(
+        "radio B: {} blocks, {} output samples ({:.2} s of audio)",
+        b.blocks_done(1),
+        out_b.len(),
+        out_b.len() as f64 / fs_out_b
+    );
 
     use streamgate::dsp::{snr_db, tone_power};
     let skip = 40;
-    println!("\nradio A 600 Hz tone power {:.3}, SNR {:.1} dB",
+    println!(
+        "\nradio A 600 Hz tone power {:.3}, SNR {:.1} dB",
         tone_power(&out_a[skip..], 600.0, fs_out_a),
-        snr_db(&out_a[skip..], 600.0, fs_out_a));
-    println!("radio B 150 Hz tone power {:.3}, SNR {:.1} dB",
+        snr_db(&out_a[skip..], 600.0, fs_out_a)
+    );
+    println!(
+        "radio B 150 Hz tone power {:.3}, SNR {:.1} dB",
         tone_power(&out_b[skip..], 150.0, fs_out_b),
-        snr_db(&out_b[skip..], 150.0, fs_out_b));
+        snr_db(&out_b[skip..], 150.0, fs_out_b)
+    );
 
     // Real-time check for both applications.
     let need_a = (horizon as f64 / clock as f64) * fs_out_a;
     let need_b = (horizon as f64 / clock as f64) * fs_out_b;
     println!(
         "\nreal-time: A {}/{:.0}, B {}/{:.0} → {}",
-        out_a.len(), need_a, out_b.len(), need_b,
+        out_a.len(),
+        need_a,
+        out_b.len(),
+        need_b,
         if out_a.len() as f64 >= 0.9 * need_a && out_b.len() as f64 >= 0.9 * need_b {
             "BOTH RADIOS MET"
         } else {

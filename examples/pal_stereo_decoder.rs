@@ -48,7 +48,11 @@ fn main() {
         "audio rate: achieved {:.6} samples/cycle, required {:.6} → {}",
         achieved,
         required,
-        if achieved >= 0.95 * required { "REAL-TIME MET" } else { "UNDERRUN" }
+        if achieved >= 0.95 * required {
+            "REAL-TIME MET"
+        } else {
+            "UNDERRUN"
+        }
     );
 
     // Audio correctness: the left tone lands in L, the right tone in R.
@@ -89,7 +93,10 @@ fn main() {
     for (i, name) in ["CORDIC", "FIR+D"].iter().enumerate() {
         println!(
             "  {name} utilisation: {:.1} % (serves all 4 streams)",
-            100.0 * pal.system.accel_utilisation(streamgate::platform::AccelId(i))
+            100.0
+                * pal
+                    .system
+                    .accel_utilisation(streamgate::platform::AccelId(i))
         );
     }
 }

@@ -35,7 +35,10 @@ fn main() {
         ],
     };
 
-    println!("chain utilisation: {:.1} %", problem.utilisation().to_f64() * 100.0);
+    println!(
+        "chain utilisation: {:.1} %",
+        problem.utilisation().to_f64() * 100.0
+    );
     assert!(problem.is_feasible(), "no block size can meet these rates");
 
     // Algorithm 1: minimum block sizes (ILP + independent fixpoint solver).

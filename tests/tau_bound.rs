@@ -76,5 +76,8 @@ proptest! {
 fn bound_is_tight_when_epsilon_dominates() {
     let (measured, tau_hat) = run_case(30, 10, 1, 200);
     // Within 10 % of the bound — Eq. 2 is not vacuous.
-    assert!(measured as f64 > 0.9 * tau_hat as f64, "{measured} vs {tau_hat}");
+    assert!(
+        measured as f64 > 0.9 * tau_hat as f64,
+        "{measured} vs {tau_hat}"
+    );
 }
