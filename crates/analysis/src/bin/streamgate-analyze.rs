@@ -1,0 +1,88 @@
+//! `streamgate-analyze` — run the static deployment analyzer from the
+//! command line.
+//!
+//! ```text
+//! streamgate-analyze [--json] [--spec FILE | PRESET]
+//!
+//! PRESET: pal (default) | fig6 | fig9-safe | fig9-broken
+//! ```
+//!
+//! Prints the analysis report as text (or machine-readable JSON with
+//! `--json`) and exits non-zero when any rule reports an Error.
+
+use std::process::ExitCode;
+use streamgate_analysis::{analyze, DeploySpec};
+
+const USAGE: &str = "usage: streamgate-analyze [--json] [--spec FILE | PRESET]\n\
+                     presets: pal (default), fig6, fig9-safe, fig9-broken";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut spec_file: Option<String> = None;
+    let mut preset: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--spec" => match args.next() {
+                Some(f) => spec_file = Some(f),
+                None => {
+                    eprintln!("--spec needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && preset.is_none() => {
+                preset = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let spec = if let Some(file) = spec_file {
+        let text = match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match DeploySpec::from_json_text(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match preset.as_deref().unwrap_or("pal") {
+            "pal" => DeploySpec::pal_scaled(),
+            "fig6" => DeploySpec::fig6(),
+            "fig9-safe" => DeploySpec::fig9(true),
+            "fig9-broken" => DeploySpec::fig9(false),
+            other => {
+                eprintln!("unknown preset `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = analyze(&spec);
+    if json {
+        println!("{}", report.to_json_text());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

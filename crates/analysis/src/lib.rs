@@ -1,0 +1,35 @@
+//! Static deployment analyzer for the shared-accelerator platform.
+//!
+//! This crate inspects a *deployment description* — which real-time streams
+//! share which accelerator chain, with what block sizes, buffer capacities,
+//! TDM slot tables and network-interface depths — and verifies, **without
+//! executing a single simulated cycle**, the properties the paper proves
+//! about the gateway architecture:
+//!
+//! | rule | checks | paper reference |
+//! |------|--------|-----------------|
+//! | A1   | CSDF liveness / deadlock-freedom of the per-stream model | Fig. 5 |
+//! | A2   | FIFO / C-FIFO capacity sufficiency, non-monotone trap | Fig. 8, §V-E |
+//! | A3   | per-stream throughput feasibility `η_s/γ ≥ μ_s` | Eq. 5–9 |
+//! | A4   | TDM slot-table feasibility, replication-interval consistency | §III |
+//! | A5   | head-of-line blocking without the check-for-space test | Fig. 9, §V-G |
+//! | A6   | ring credit sufficiency (NI depth vs credit window) | §IV |
+//!
+//! The outcome is a [`Report`] of structured [`Diagnostic`]s (rule id,
+//! severity, location, message) that renders as text or machine-readable
+//! JSON. A deployment is *accepted* when no diagnostic reaches
+//! [`Severity::Error`]; the differential tests in `tests/` validate that
+//! verdict against both cycle-level simulation engines — accepted
+//! configurations meet their τ̂/γ bounds, rejected ones demonstrably
+//! deadlock, wedge or miss their throughput.
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod json;
+pub mod rules;
+pub mod spec;
+
+pub use diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
+pub use json::Json;
+pub use rules::{analyze, analyze_with, AnalysisOptions};
+pub use spec::{ChainStage, DeploySpec, ProcessorDeploy, StreamDeploy, TaskDeploy};

@@ -1,0 +1,849 @@
+//! The analysis rules A1–A6 and the [`analyze`] entry point.
+//!
+//! Every rule checks a compile-time property the paper derives for the
+//! gateway architecture (see DESIGN.md §8 for the rule ↔ equation/figure
+//! map). None of them executes a simulated platform cycle: A1 runs the
+//! *analytical* self-timed execution of the per-stream CSDF model (the
+//! `dataflow` machinery of Fig. 5), everything else is arithmetic over the
+//! deployment description.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
+use crate::spec::DeploySpec;
+use streamgate_core::{fig5_csdf, minimum_stream_buffers, Fig5Params, SharingProblem};
+use streamgate_ilp::Rational;
+
+/// Largest block size for which the exact MCM-based minimum-buffer search
+/// (and with it the Fig. 8 non-monotonicity probe) still runs in
+/// micro/milliseconds; beyond it A2 falls back to the analytic floors.
+const EXACT_BUFFER_ETA_LIMIT: u64 = 64;
+
+/// Tuning knobs for [`analyze_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisOptions {
+    /// Run the exact MCM-based minimum-buffer search and the Fig. 8
+    /// non-monotonicity probe (rule A2). The search is exhaustive over the
+    /// capacity box, which costs seconds per stream in unoptimised builds —
+    /// batch consumers (the differential harness analyses hundreds of
+    /// deployments) turn it off. All findings it produces are *Warnings*,
+    /// so disabling it never changes the accept/reject verdict.
+    pub exact_buffers: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            exact_buffers: true,
+        }
+    }
+}
+
+/// Run every rule over `spec` with default options and collect the findings
+/// into a [`Report`].
+pub fn analyze(spec: &DeploySpec) -> Report {
+    analyze_with(spec, &AnalysisOptions::default())
+}
+
+/// Run every rule over `spec` and collect the findings into a [`Report`].
+pub fn analyze_with(spec: &DeploySpec, opts: &AnalysisOptions) -> Report {
+    let prob = spec.sharing_problem();
+    let etas = spec.etas();
+    let c0 = spec.c0();
+    let gamma = if spec.streams.is_empty() {
+        0
+    } else {
+        prob.gamma(&etas)
+    };
+    let util = prob.utilisation();
+
+    let mut diags = Vec::new();
+    let structurally_ok = check_structure(spec, &mut diags);
+    let throughput_ok = check_throughput(spec, &prob, &etas, gamma, &util, &mut diags);
+    check_buffers(spec, &prob, &etas, gamma, throughput_ok, opts, &mut diags);
+    check_tdm(spec, &mut diags);
+    check_space_check(spec, &mut diags);
+    check_credits(spec, c0, &mut diags);
+    check_liveness(spec, &prob, &etas, structurally_ok, &mut diags);
+
+    // Deterministic order: by rule, most severe first, then insertion order.
+    diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
+
+    let bounds = spec
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let tau_hat = prob.tau_hat(i, etas[i]);
+            StreamBounds {
+                stream: s.name.clone(),
+                eta_in: s.eta_in,
+                tau_hat,
+                omega_hat: gamma - tau_hat,
+                mu: (s.mu.numer(), s.mu.denom()),
+            }
+        })
+        .collect();
+
+    Report {
+        deployment: spec.name.clone(),
+        diagnostics: diags,
+        gamma,
+        utilisation: (util.numer(), util.denom()),
+        bounds,
+    }
+}
+
+fn stream_loc(spec: &DeploySpec, index: usize) -> Location {
+    Location::Stream {
+        index,
+        name: spec.streams[index].name.clone(),
+    }
+}
+
+/// Structural sanity: block sizes and rates that the rest of the analysis
+/// (and the Fig. 5 model construction) relies on. Returns a per-stream
+/// "sound enough to model" flag.
+fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> {
+    let mut ok = vec![true; spec.streams.len()];
+    if spec.chain.is_empty() {
+        diags.push(Diagnostic {
+            rule: RuleId::A1Liveness,
+            severity: Severity::Error,
+            location: Location::Deployment,
+            message: "the accelerator chain is empty: there is nothing to share".into(),
+        });
+        ok.iter_mut().for_each(|v| *v = false);
+    }
+    if spec.streams.is_empty() {
+        diags.push(Diagnostic {
+            rule: RuleId::A1Liveness,
+            severity: Severity::Warning,
+            location: Location::Deployment,
+            message: "no streams are deployed on the chain".into(),
+        });
+    }
+    for (i, s) in spec.streams.iter().enumerate() {
+        if s.eta_in == 0 || s.eta_out == 0 {
+            diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "block sizes must be positive (eta_in = {}, eta_out = {})",
+                    s.eta_in, s.eta_out
+                ),
+            });
+            ok[i] = false;
+            continue;
+        }
+        if s.eta_out > s.eta_in {
+            diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Warning,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "eta_out {} > eta_in {}: interpolating chains are outside the \
+                     analysed model; bounds assume eta_out <= eta_in",
+                    s.eta_out, s.eta_in
+                ),
+            });
+        } else if s.eta_in % s.eta_out != 0 {
+            diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Warning,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "eta_in {} is not an integer multiple of eta_out {}: the chain's \
+                     decimation factor is fractional per block",
+                    s.eta_in, s.eta_out
+                ),
+            });
+        }
+        if !s.mu.is_positive() {
+            diags.push(Diagnostic {
+                rule: RuleId::A3Throughput,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!("required throughput mu = {} must be positive", s.mu),
+            });
+            ok[i] = false;
+        }
+    }
+    ok
+}
+
+/// A3 — Eq. 5–9: aggregate utilisation and the per-stream throughput
+/// constraint `η_s/γ ≥ μ_s`. Returns a per-stream pass flag.
+fn check_throughput(
+    spec: &DeploySpec,
+    prob: &SharingProblem,
+    etas: &[u64],
+    gamma: u64,
+    util: &Rational,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<bool> {
+    let mut ok = vec![true; spec.streams.len()];
+    if spec.streams.is_empty() {
+        return ok;
+    }
+    if spec.streams.iter().any(|s| !s.mu.is_positive()) {
+        // Structural error already reported; utilisation is meaningless.
+        ok.iter_mut().for_each(|v| *v = false);
+        return ok;
+    }
+    if *util >= Rational::ONE {
+        diags.push(Diagnostic {
+            rule: RuleId::A3Throughput,
+            severity: Severity::Error,
+            location: Location::Deployment,
+            message: format!(
+                "aggregate chain utilisation c0*sum(mu) = {}/{} >= 1: every sample \
+                 occupies the chain for c0 = {} cycles, so NO block sizes can meet \
+                 the required rates (Eq. 8)",
+                util.numer(),
+                util.denom(),
+                prob.params.c0()
+            ),
+        });
+        ok.iter_mut().for_each(|v| *v = false);
+        return ok;
+    }
+    let gamma_r = Rational::from_int(gamma as i128);
+    for (i, s) in spec.streams.iter().enumerate() {
+        let need = s.mu * gamma_r; // minimum η for this γ (Eq. 5)
+        if Rational::from_int(etas[i] as i128) < need {
+            let need_eta = need.ceil();
+            diags.push(Diagnostic {
+                rule: RuleId::A3Throughput,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "throughput infeasible (Eq. 5): eta/gamma = {}/{gamma} < mu = {}; \
+                     with this round the stream needs eta >= {need_eta} (or smaller \
+                     blocks elsewhere to shrink gamma)",
+                    etas[i], s.mu
+                ),
+            });
+            ok[i] = false;
+        }
+    }
+    if ok.iter().all(|&v| v) {
+        // Report the Algorithm 1 minimum for context: how much slack the
+        // configured block sizes leave.
+        if let Ok(min) = streamgate_core::solve_blocksizes_checked(prob) {
+            diags.push(Diagnostic {
+                rule: RuleId::A3Throughput,
+                severity: Severity::Info,
+                location: Location::Deployment,
+                message: format!(
+                    "Eq. 5 holds for every stream; Algorithm 1 minimum block sizes \
+                     {:?} (gamma = {}), configured {:?} (gamma = {gamma})",
+                    min.etas, min.gamma, etas
+                ),
+            });
+        }
+    }
+    ok
+}
+
+/// A2 — buffer capacity sufficiency (Fig. 8): hard floors (a C-FIFO must
+/// hold one whole block for the gateway to ever admit it), round-length
+/// influx, the exact minimum capacities where affordable, and the
+/// non-monotone trap probe.
+fn check_buffers(
+    spec: &DeploySpec,
+    prob: &SharingProblem,
+    etas: &[u64],
+    gamma: u64,
+    throughput_ok: Vec<bool>,
+    opts: &AnalysisOptions,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let gamma_r = Rational::from_int(gamma as i128);
+    for (i, s) in spec.streams.iter().enumerate() {
+        if s.eta_in == 0 || s.eta_out == 0 {
+            continue; // structural error already reported
+        }
+        if s.input_capacity < s.eta_in {
+            diags.push(Diagnostic {
+                rule: RuleId::A2BufferCapacity,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "input capacity {} < eta_in {}: a full block never fits, the \
+                     gateway can never admit this stream (deadlock)",
+                    s.input_capacity, s.eta_in
+                ),
+            });
+            continue;
+        }
+        if s.output_capacity < s.eta_out && spec.check_for_space {
+            diags.push(Diagnostic {
+                rule: RuleId::A2BufferCapacity,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "output capacity {} < eta_out {}: the check-for-space admission \
+                     test can never pass, the block is never admitted (deadlock)",
+                    s.output_capacity, s.eta_out
+                ),
+            });
+            continue;
+        }
+        if !s.mu.is_positive() || !throughput_ok[i] {
+            continue; // no meaningful throughput-driven sizing
+        }
+        // Influx during one worst-case round: the producer keeps writing at
+        // μ while the round (γ cycles) serves every stream once.
+        let influx = (s.mu * gamma_r).ceil().max(0) as u64;
+        let sustained_in = s.eta_in + influx;
+        if s.input_capacity < sustained_in {
+            diags.push(Diagnostic {
+                rule: RuleId::A2BufferCapacity,
+                severity: Severity::Warning,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "input capacity {} < eta_in + ceil(mu*gamma) = {} + {influx}: a \
+                     hard producer can overflow (lose samples) while a worst-case \
+                     round of gamma = {gamma} cycles is in progress",
+                    s.input_capacity, s.eta_in
+                ),
+            });
+        }
+        // Exact minimum capacities + Fig. 8 probe (affordable block sizes
+        // only: the joint MCM search grows with eta^2).
+        if opts.exact_buffers && s.eta_in <= EXACT_BUFFER_ETA_LIMIT && s.eta_in == s.eta_out {
+            let rho_p = (s.mu.recip().floor().max(1)) as u64;
+            // The search cost grows with the cap, and we only need to decide
+            // "configured < minimum": anything beyond ~4 blocks of slack is
+            // sufficient in every regime the model covers (double-buffering
+            // plus pipeline fill), so cap the search there.
+            let cap_limit = 8 * s.eta_in + 64;
+            let min_now = minimum_stream_buffers(prob, i, etas, rho_p, 1, cap_limit);
+            if let Some(min) = min_now {
+                if s.output_capacity < min.alpha3 {
+                    diags.push(Diagnostic {
+                        rule: RuleId::A2BufferCapacity,
+                        severity: Severity::Warning,
+                        location: stream_loc(spec, i),
+                        message: format!(
+                            "output capacity {} is below the computed minimum alpha3 = \
+                             {} for eta = {}: the consumer-side buffer throttles the \
+                             stream below mu under worst-case phasing",
+                            s.output_capacity, min.alpha3, s.eta_in
+                        ),
+                    });
+                }
+                // Fig. 8 non-monotone trap: would a LARGER block size need
+                // LESS buffer? Probe a few bigger etas.
+                let eta = etas[i];
+                let candidates = [
+                    eta + 1,
+                    eta + eta.div_ceil(4),
+                    eta + eta.div_ceil(2),
+                    2 * eta,
+                ];
+                let mut best: Option<(u64, u64)> = None;
+                for &cand in &candidates {
+                    if cand <= eta || cand > 2 * EXACT_BUFFER_ETA_LIMIT {
+                        continue;
+                    }
+                    let mut alt = etas.to_vec();
+                    alt[i] = cand;
+                    if let Some(m) = minimum_stream_buffers(prob, i, &alt, rho_p, 1, cap_limit) {
+                        if m.alpha3 < min.alpha3 && best.map(|(_, a)| m.alpha3 < a).unwrap_or(true)
+                        {
+                            best = Some((cand, m.alpha3));
+                        }
+                    }
+                }
+                if let Some((cand, alpha3)) = best {
+                    diags.push(Diagnostic {
+                        rule: RuleId::A2BufferCapacity,
+                        severity: Severity::Warning,
+                        location: stream_loc(spec, i),
+                        message: format!(
+                            "non-monotone buffer sizing (Fig. 8): a LARGER block size \
+                             eta = {cand} needs only alpha3 = {alpha3} < {} required \
+                             at the configured eta = {eta} — growing the block would \
+                             shrink the buffer",
+                            min.alpha3
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A4 — TDM slot tables: replication-interval consistency (declared period
+/// vs Σ budgets) and per-task rate feasibility (`budget/period ≥ 1/interval`).
+fn check_tdm(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
+    for (pi, p) in spec.processors.iter().enumerate() {
+        let loc = |task: Option<String>| Location::Processor {
+            index: pi,
+            name: p.name.clone(),
+            task,
+        };
+        if p.tasks.is_empty() {
+            continue;
+        }
+        if p.tasks.iter().any(|t| t.budget == 0) {
+            diags.push(Diagnostic {
+                rule: RuleId::A4TdmSchedule,
+                severity: Severity::Error,
+                location: loc(None),
+                message: "every TDM task needs a positive slot budget".into(),
+            });
+            continue;
+        }
+        let period: u64 = p.tasks.iter().map(|t| t.budget).sum();
+        if let Some(declared) = p.declared_period {
+            if declared != period {
+                diags.push(Diagnostic {
+                    rule: RuleId::A4TdmSchedule,
+                    severity: Severity::Error,
+                    location: loc(None),
+                    message: format!(
+                        "replication-interval mismatch: declared period {declared} but \
+                         the slot table sums to {period} (the tile replicates every \
+                         sum-of-budgets cycles)"
+                    ),
+                });
+            }
+        }
+        for t in &p.tasks {
+            let Some(interval) = t.required_interval else {
+                continue;
+            };
+            if interval == 0 {
+                diags.push(Diagnostic {
+                    rule: RuleId::A4TdmSchedule,
+                    severity: Severity::Error,
+                    location: loc(Some(t.name.clone())),
+                    message: "required interval must be positive".into(),
+                });
+                continue;
+            }
+            // Sustainable rate is budget/period ticks per cycle; the task
+            // needs 1/interval.
+            if t.budget * interval < period {
+                diags.push(Diagnostic {
+                    rule: RuleId::A4TdmSchedule,
+                    severity: Severity::Error,
+                    location: loc(Some(t.name.clone())),
+                    message: format!(
+                        "slot table infeasible: task needs one tick per {interval} \
+                         cycles but gets only {}/{period} of the tile — sustained \
+                         rate falls short by a factor of {:.2}",
+                        t.budget,
+                        period as f64 / (t.budget * interval) as f64
+                    ),
+                });
+            } else if t.budget * interval == period {
+                diags.push(Diagnostic {
+                    rule: RuleId::A4TdmSchedule,
+                    severity: Severity::Warning,
+                    location: loc(Some(t.name.clone())),
+                    message: format!(
+                        "slot table exactly at capacity: budget {} over period \
+                         {period} leaves zero slack for a task with interval \
+                         {interval} — any added work on this tile misses deadlines",
+                        t.budget
+                    ),
+                });
+            }
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::A4TdmSchedule,
+            severity: Severity::Info,
+            location: loc(None),
+            message: format!(
+                "TDM slot table: {} task(s), replication interval {period} cycles",
+                p.tasks.len()
+            ),
+        });
+    }
+}
+
+/// A5 — Fig. 9: sharing the chain without the check-for-space admission
+/// test exposes every stream to head-of-line blocking by any one consumer.
+fn check_space_check(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
+    if spec.check_for_space {
+        diags.push(Diagnostic {
+            rule: RuleId::A5SpaceCheck,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: "check-for-space admission test enabled: a block only enters \
+                      the chain when its whole output fits (Fig. 9 hazard excluded)"
+                .into(),
+        });
+        return;
+    }
+    let mut wedged = false;
+    for (i, s) in spec.streams.iter().enumerate() {
+        if s.output_capacity < s.eta_out {
+            wedged = true;
+            diags.push(Diagnostic {
+                rule: RuleId::A5SpaceCheck,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "check-for-space disabled and output capacity {} < eta_out {}: \
+                     the admitted block can NEVER drain, the exit gateway stalls and \
+                     head-of-line-blocks the shared chain forever (Fig. 9)",
+                    s.output_capacity, s.eta_out
+                ),
+            });
+        }
+    }
+    if !wedged && !spec.streams.is_empty() {
+        diags.push(Diagnostic {
+            rule: RuleId::A5SpaceCheck,
+            severity: Severity::Warning,
+            location: Location::Deployment,
+            message: format!(
+                "check-for-space admission test disabled: {} stream(s) share the \
+                 chain with no guarantee their consumers keep up; a temporarily slow \
+                 consumer head-of-line-blocks every other stream and voids the \
+                 tau-hat/gamma bounds (Fig. 9, §V-G)",
+                spec.streams.len()
+            ),
+        });
+    }
+}
+
+/// A6 — ring credits: the NI depth is the credit window; the chain's
+/// per-sample pace relies on it covering the data+credit round trip.
+fn check_credits(spec: &DeploySpec, c0: u64, diags: &mut Vec<Diagnostic>) {
+    if spec.ni_depth == 0 {
+        diags.push(Diagnostic {
+            rule: RuleId::A6CreditWindow,
+            severity: Severity::Error,
+            location: Location::Deployment,
+            message: "NI depth 0: the credit-based flow control starts with zero \
+                      credits, no sample can ever be transferred (deadlock)"
+                .into(),
+        });
+        return;
+    }
+    // Adjacent ring stations: one data hop forward, one credit hop back —
+    // a round trip of 2 cycles that the credit window must cover to sustain
+    // the c0 pace.
+    let window = spec.ni_depth as u64 * c0.max(1);
+    if window < 2 {
+        diags.push(Diagnostic {
+            rule: RuleId::A6CreditWindow,
+            severity: Severity::Warning,
+            location: Location::Deployment,
+            message: format!(
+                "NI depth {} with c0 = {c0}: credit window {window} cycles is below \
+                 the 2-cycle data+credit round trip of adjacent ring stations — the \
+                 DMA stalls on credits and the effective per-sample pace exceeds c0, \
+                 stretching blocks beyond tau-hat (the paper uses depth 2)",
+                spec.ni_depth
+            ),
+        });
+    } else {
+        diags.push(Diagnostic {
+            rule: RuleId::A6CreditWindow,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "NI depth {} sustains the c0 = {c0} pace (credit window {window} \
+                 cycles >= 2-cycle ring round trip)",
+                spec.ni_depth
+            ),
+        });
+    }
+}
+
+/// A1 — liveness of the per-stream Fig. 5 CSDF model, checked with the
+/// `dataflow` machinery: consistency (repetition vector) and deadlock-free
+/// self-timed execution of two blocks.
+fn check_liveness(
+    spec: &DeploySpec,
+    prob: &SharingProblem,
+    etas: &[u64],
+    structurally_ok: Vec<bool>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, s) in spec.streams.iter().enumerate() {
+        if !structurally_ok[i] {
+            continue;
+        }
+        // In the Fig. 5 model everything is counted in *input* samples;
+        // scale the output capacity up-front (conservatively, floor).
+        let alpha3_scaled = if s.eta_out <= s.eta_in {
+            s.output_capacity * (s.eta_in / s.eta_out)
+        } else {
+            s.output_capacity
+        };
+        if s.input_capacity < s.eta_in || alpha3_scaled < s.eta_in {
+            diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "the Fig. 5 model deadlocks: a buffer cannot hold one whole block \
+                     (alpha0 = {}, alpha3 = {alpha3_scaled} input-samples, eta = {})",
+                    s.input_capacity, s.eta_in
+                ),
+            });
+            continue;
+        }
+        let tau_hat = prob.tau_hat(i, etas[i]);
+        let omega = prob.gamma(etas) - tau_hat;
+        let rho_p = if s.mu.is_positive() {
+            (s.mu.recip().floor().max(1)) as u64
+        } else {
+            1
+        };
+        let p = Fig5Params {
+            eta: s.eta_in as usize,
+            epsilon: spec.epsilon,
+            rho_a: spec.rho_a(),
+            delta: spec.delta,
+            reconfig: s.reconfig,
+            omega,
+            rho_p,
+            rho_c: 1,
+            alpha0: s.input_capacity,
+            alpha3: alpha3_scaled,
+            ni_depth: spec.ni_depth as u64,
+        };
+        let model = fig5_csdf(&p);
+        match streamgate_dataflow::simulate(&model.graph, 2) {
+            Err(e) => diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: format!("the Fig. 5 CSDF model is inconsistent: {e:?}"),
+            }),
+            Ok(trace) if trace.deadlocked => diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Error,
+                location: stream_loc(spec, i),
+                message: "self-timed execution of the Fig. 5 model deadlocks before \
+                          completing two blocks"
+                    .into(),
+            }),
+            Ok(trace) => diags.push(Diagnostic {
+                rule: RuleId::A1Liveness,
+                severity: Severity::Info,
+                location: stream_loc(spec, i),
+                message: format!(
+                    "per-stream CSDF model is consistent and live: two blocks \
+                     ({} consumer firings) complete by t = {}",
+                    trace.firing_count(model.v_c),
+                    trace.end_time
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChainStage, ProcessorDeploy, StreamDeploy, TaskDeploy};
+
+    fn small_spec() -> DeploySpec {
+        DeploySpec {
+            name: "t".into(),
+            chain: vec![ChainStage {
+                name: "acc".into(),
+                rho: 1,
+            }],
+            epsilon: 4,
+            delta: 1,
+            ni_depth: 2,
+            check_for_space: true,
+            streams: vec![StreamDeploy {
+                name: "s0".into(),
+                mu: Rational::new(1, 40),
+                eta_in: 8,
+                eta_out: 8,
+                reconfig: 20,
+                input_capacity: 32,
+                output_capacity: 32,
+            }],
+            processors: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_spec_is_accepted_with_bounds() {
+        let r = analyze(&small_spec());
+        assert!(r.is_accepted(), "{}", r.render_text());
+        assert!(r.has(RuleId::A1Liveness, Severity::Info));
+        assert!(r.has(RuleId::A3Throughput, Severity::Info));
+        assert_eq!(r.bounds.len(), 1);
+        // τ̂ = 20 + 10·4 = 60, γ = τ̂ (single stream), Ω̂ = 0.
+        assert_eq!(r.bounds[0].tau_hat, 60);
+        assert_eq!(r.gamma, 60);
+        assert_eq!(r.bounds[0].omega_hat, 0);
+    }
+
+    #[test]
+    fn undersized_input_is_a2_error() {
+        let mut s = small_spec();
+        s.streams[0].input_capacity = 7;
+        let r = analyze(&s);
+        assert!(!r.is_accepted());
+        assert!(r.has(RuleId::A2BufferCapacity, Severity::Error));
+        // The model-level rule agrees: the Fig. 5 graph deadlocks.
+        assert!(r.has(RuleId::A1Liveness, Severity::Error));
+    }
+
+    #[test]
+    fn undersized_output_with_check_is_a2_error() {
+        let mut s = small_spec();
+        s.streams[0].output_capacity = 4;
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A2BufferCapacity, Severity::Error));
+    }
+
+    #[test]
+    fn oversubscribed_utilisation_is_a3_error() {
+        let mut s = small_spec();
+        s.streams[0].mu = Rational::new(1, 3); // c0 = 4 > 3 cycles/sample
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A3Throughput, Severity::Error));
+        assert!(!r.is_accepted());
+    }
+
+    #[test]
+    fn eta_below_eq5_minimum_is_a3_error() {
+        let mut s = small_spec();
+        // γ(η=2) = 20 + 4·4 = 36; μ·γ = 36/20 > 2 = η → infeasible.
+        s.streams[0].eta_in = 2;
+        s.streams[0].eta_out = 2;
+        s.streams[0].mu = Rational::new(1, 10);
+        let r = analyze(&s);
+        assert!(
+            r.has(RuleId::A3Throughput, Severity::Error),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn missing_space_check_warns_and_errors_on_undersized_output() {
+        let mut s = small_spec();
+        s.check_for_space = false;
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A5SpaceCheck, Severity::Warning));
+        assert!(r.is_accepted());
+        s.streams[0].output_capacity = 4;
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A5SpaceCheck, Severity::Error));
+    }
+
+    #[test]
+    fn tdm_rules_fire() {
+        let mut s = small_spec();
+        s.processors = vec![ProcessorDeploy {
+            name: "FE".into(),
+            declared_period: Some(5),
+            tasks: vec![
+                TaskDeploy {
+                    name: "src".into(),
+                    budget: 1,
+                    required_interval: Some(3),
+                },
+                TaskDeploy {
+                    name: "other".into(),
+                    budget: 3,
+                    required_interval: None,
+                },
+            ],
+        }];
+        let r = analyze(&s);
+        // Declared period 5 ≠ Σ budgets 4 → Error; src needs 1/3 > 1/4 → Error.
+        let a4_errors: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::A4TdmSchedule && d.severity == Severity::Error)
+            .collect();
+        assert_eq!(a4_errors.len(), 2, "{}", r.render_text());
+    }
+
+    #[test]
+    fn ni_depth_rules_fire() {
+        let mut s = small_spec();
+        s.ni_depth = 0;
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A6CreditWindow, Severity::Error));
+        s.ni_depth = 1;
+        s.epsilon = 1;
+        s.chain[0].rho = 1;
+        s.delta = 1;
+        s.streams[0].mu = Rational::new(1, 40);
+        let r = analyze(&s);
+        assert!(
+            r.has(RuleId::A6CreditWindow, Severity::Warning),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn fig8_nonmonotone_trap_warns() {
+        // The Fig. 8 regime: μ = 1/8, c0 = 5, R = 6. η = 6 is the smallest
+        // Eq. 5-feasible block size (tight → double-buffered α₃), while
+        // larger blocks have slack and need less (the crossover of §V-E).
+        let s = DeploySpec {
+            name: "fig8".into(),
+            chain: vec![ChainStage {
+                name: "acc".into(),
+                rho: 5,
+            }],
+            epsilon: 5,
+            delta: 1,
+            ni_depth: 2,
+            check_for_space: true,
+            streams: vec![StreamDeploy {
+                name: "s".into(),
+                mu: Rational::new(1, 8),
+                eta_in: 6,
+                eta_out: 6,
+                reconfig: 6,
+                input_capacity: 64,
+                output_capacity: 64,
+            }],
+            processors: vec![],
+        };
+        let r = analyze(&s);
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.rule == RuleId::A2BufferCapacity && d.message.contains("non-monotone")),
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn fig9_presets_match_expectations() {
+        // Skip the exact buffer search here: the findings asserted below are
+        // all capacity-floor / space-check results, which don't need it.
+        let fast = AnalysisOptions {
+            exact_buffers: false,
+        };
+        let good = analyze_with(&DeploySpec::fig9(true), &fast);
+        // s1's 4-slot output cannot hold η_out = 16 → A2 Error even with
+        // the check (the block is simply never admitted).
+        assert!(good.has(RuleId::A2BufferCapacity, Severity::Error));
+        let bad = analyze_with(&DeploySpec::fig9(false), &fast);
+        assert!(bad.has(RuleId::A5SpaceCheck, Severity::Error));
+    }
+
+    #[test]
+    fn fig6_and_pal_presets_are_accepted() {
+        let r = analyze(&DeploySpec::fig6());
+        assert!(r.is_accepted(), "{}", r.render_text());
+        let r = analyze(&DeploySpec::pal_scaled());
+        assert!(r.is_accepted(), "{}", r.render_text());
+        assert_eq!(r.bounds.len(), 4);
+    }
+}

@@ -1,0 +1,560 @@
+//! The analyzable deployment description.
+//!
+//! [`DeploySpec`] is the static input of the analyzer: everything the rules
+//! need to verify a gateway deployment *before* it runs — chain timing
+//! (ε, ρ per stage, δ), NI depth, the check-for-space switch, per-stream
+//! block sizes / rates / FIFO capacities, and the TDM slot tables of the
+//! processor tiles. It deliberately mirrors [`streamgate_core::SystemSpec`]
+//! (the run-time chain description of §IV-B) plus the analysis-only fields
+//! that a support library knows but the built platform no longer exposes
+//! (required rates μ_s, declared TDM periods).
+
+use crate::json::{self, Json};
+use streamgate_core::{GatewayParams, SharingProblem, StreamSpec};
+use streamgate_ilp::Rational;
+
+/// One accelerator stage of the shared chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStage {
+    /// Diagnostic name.
+    pub name: String,
+    /// Worst-case processing time per sample (ρ of this stage, cycles).
+    pub rho: u64,
+}
+
+/// One stream multiplexed over the gateway pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamDeploy {
+    /// Diagnostic name.
+    pub name: String,
+    /// Required throughput μ_s at the chain input, samples/cycle.
+    pub mu: Rational,
+    /// Block size η_s in input samples.
+    pub eta_in: u64,
+    /// Block size at the exit gateway in output samples (η_in divided by
+    /// the chain's decimation factor; equal to η_in for rate-preserving
+    /// chains).
+    pub eta_out: u64,
+    /// Reconfiguration time R_s per block, cycles.
+    pub reconfig: u64,
+    /// Input C-FIFO capacity α₀, samples.
+    pub input_capacity: u64,
+    /// Output C-FIFO capacity α₃, samples.
+    pub output_capacity: u64,
+}
+
+/// One software task in a processor tile's TDM slot table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskDeploy {
+    /// Diagnostic name.
+    pub name: String,
+    /// TDM budget: consecutive slots per replication interval.
+    pub budget: u64,
+    /// Hard production/consumption period of the task in cycles (a rate
+    /// source that must emit one sample every `n` cycles), when it has one.
+    pub required_interval: Option<u64>,
+}
+
+/// One processor tile with its TDM slot table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessorDeploy {
+    /// Diagnostic name.
+    pub name: String,
+    /// The replication interval the deployment *intends*; the actual
+    /// interval is the sum of budgets, and a mismatch is flagged (A4).
+    pub declared_period: Option<u64>,
+    /// Tasks in slot order.
+    pub tasks: Vec<TaskDeploy>,
+}
+
+/// A complete static deployment description — the analyzer input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeploySpec {
+    /// Deployment name (reported in diagnostics).
+    pub name: String,
+    /// The shared accelerator chain, in order.
+    pub chain: Vec<ChainStage>,
+    /// Entry-gateway DMA time per sample, ε (cycles).
+    pub epsilon: u64,
+    /// Exit-gateway copy time per sample, δ (cycles).
+    pub delta: u64,
+    /// Network-interface buffer depth (initial credits; 2 in the paper).
+    pub ni_depth: u32,
+    /// Whether the entry gateway performs the §V-G check-for-space
+    /// admission test (Fig. 9).
+    pub check_for_space: bool,
+    /// The streams multiplexed over the chain.
+    pub streams: Vec<StreamDeploy>,
+    /// Processor tiles feeding/draining the streams.
+    pub processors: Vec<ProcessorDeploy>,
+}
+
+impl DeploySpec {
+    /// Worst-case per-sample accelerator time over the chain,
+    /// ρ_A = max stage ρ.
+    pub fn rho_a(&self) -> u64 {
+        self.chain.iter().map(|s| s.rho).max().unwrap_or(0)
+    }
+
+    /// `c0 = max(ε, ρ_A, δ)` (Eq. 8).
+    pub fn c0(&self) -> u64 {
+        self.gateway_params().c0()
+    }
+
+    /// The chain timing parameters.
+    pub fn gateway_params(&self) -> GatewayParams {
+        GatewayParams {
+            epsilon: self.epsilon,
+            rho_a: self.rho_a(),
+            delta: self.delta,
+        }
+    }
+
+    /// The Eq. 5–9 sharing problem this deployment instantiates.
+    pub fn sharing_problem(&self) -> SharingProblem {
+        SharingProblem {
+            params: self.gateway_params(),
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamSpec {
+                    name: s.name.clone(),
+                    mu: s.mu,
+                    reconfig: s.reconfig,
+                })
+                .collect(),
+        }
+    }
+
+    /// The configured block sizes, in stream order.
+    pub fn etas(&self) -> Vec<u64> {
+        self.streams.iter().map(|s| s.eta_in).collect()
+    }
+
+    /// Serialise to a JSON tree (machine-readable spec interchange).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "chain",
+                Json::Array(
+                    self.chain
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("name", Json::Str(c.name.clone())),
+                                ("rho", Json::Int(c.rho as i128)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("epsilon", Json::Int(self.epsilon as i128)),
+            ("delta", Json::Int(self.delta as i128)),
+            ("ni_depth", Json::Int(self.ni_depth as i128)),
+            ("check_for_space", Json::Bool(self.check_for_space)),
+            (
+                "streams",
+                Json::Array(
+                    self.streams
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                (
+                                    "mu",
+                                    Json::Array(vec![
+                                        Json::Int(s.mu.numer()),
+                                        Json::Int(s.mu.denom()),
+                                    ]),
+                                ),
+                                ("eta_in", Json::Int(s.eta_in as i128)),
+                                ("eta_out", Json::Int(s.eta_out as i128)),
+                                ("reconfig", Json::Int(s.reconfig as i128)),
+                                ("input_capacity", Json::Int(s.input_capacity as i128)),
+                                ("output_capacity", Json::Int(s.output_capacity as i128)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "processors",
+                Json::Array(
+                    self.processors
+                        .iter()
+                        .map(|p| {
+                            let mut pairs = vec![("name", Json::Str(p.name.clone()))];
+                            if let Some(d) = p.declared_period {
+                                pairs.push(("declared_period", Json::Int(d as i128)));
+                            }
+                            pairs.push((
+                                "tasks",
+                                Json::Array(
+                                    p.tasks
+                                        .iter()
+                                        .map(|t| {
+                                            let mut tp = vec![
+                                                ("name", Json::Str(t.name.clone())),
+                                                ("budget", Json::Int(t.budget as i128)),
+                                            ];
+                                            if let Some(i) = t.required_interval {
+                                                tp.push((
+                                                    "required_interval",
+                                                    Json::Int(i as i128),
+                                                ));
+                                            }
+                                            Json::obj(tp)
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                            Json::obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialise to compact JSON text.
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_text()
+    }
+
+    /// Parse a spec from the JSON produced by [`DeploySpec::to_json_text`].
+    pub fn from_json_text(text: &str) -> Result<DeploySpec, String> {
+        let v = json::parse(text)?;
+        let str_field = |v: &Json, k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {k:?}"))
+        };
+        let u64_field = |v: &Json, k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {k:?}"))
+        };
+        let chain = v
+            .get("chain")
+            .and_then(Json::as_array)
+            .ok_or("missing chain")?
+            .iter()
+            .map(|c| {
+                Ok(ChainStage {
+                    name: str_field(c, "name")?,
+                    rho: u64_field(c, "rho")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let streams = v
+            .get("streams")
+            .and_then(Json::as_array)
+            .ok_or("missing streams")?
+            .iter()
+            .map(|s| {
+                let mu = s
+                    .get("mu")
+                    .and_then(Json::as_array)
+                    .filter(|a| a.len() == 2)
+                    .ok_or("stream without mu [num, den]")?;
+                let num = mu[0].as_int().ok_or("bad mu numerator")?;
+                let den = mu[1].as_int().ok_or("bad mu denominator")?;
+                if den == 0 {
+                    return Err("mu denominator is zero".to_string());
+                }
+                Ok(StreamDeploy {
+                    name: str_field(s, "name")?,
+                    mu: Rational::new(num, den),
+                    eta_in: u64_field(s, "eta_in")?,
+                    eta_out: u64_field(s, "eta_out")?,
+                    reconfig: u64_field(s, "reconfig")?,
+                    input_capacity: u64_field(s, "input_capacity")?,
+                    output_capacity: u64_field(s, "output_capacity")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let processors = match v.get("processors").and_then(Json::as_array) {
+            None => Vec::new(),
+            Some(ps) => ps
+                .iter()
+                .map(|p| {
+                    let tasks = p
+                        .get("tasks")
+                        .and_then(Json::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|t| {
+                            Ok(TaskDeploy {
+                                name: str_field(t, "name")?,
+                                budget: u64_field(t, "budget")?,
+                                required_interval: t
+                                    .get("required_interval")
+                                    .and_then(Json::as_u64),
+                            })
+                        })
+                        .collect::<Result<_, String>>()?;
+                    Ok(ProcessorDeploy {
+                        name: str_field(p, "name")?,
+                        declared_period: p.get("declared_period").and_then(Json::as_u64),
+                        tasks,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        Ok(DeploySpec {
+            name: str_field(&v, "name")?,
+            chain,
+            epsilon: u64_field(&v, "epsilon")?,
+            delta: u64_field(&v, "delta")?,
+            ni_depth: u64_field(&v, "ni_depth")? as u32,
+            check_for_space: v
+                .get("check_for_space")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            streams,
+            processors,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Presets matching the repository's experiment harnesses.
+// ---------------------------------------------------------------------------
+
+impl DeploySpec {
+    /// The Fig. 6 schedule demo of `fig6_schedule`: one stream, η = 6,
+    /// ε = 3, ρ_A = 1, δ = 1, R = 12, α₀ = α₃ = 12, with a rate-matched μ
+    /// exactly at the Eq. 5 boundary (η/γ = 6/36 = 1/6 samples/cycle).
+    pub fn fig6() -> DeploySpec {
+        DeploySpec {
+            name: "fig6-schedule".into(),
+            chain: vec![ChainStage {
+                name: "vA".into(),
+                rho: 1,
+            }],
+            epsilon: 3,
+            delta: 1,
+            ni_depth: 2,
+            check_for_space: true,
+            streams: vec![StreamDeploy {
+                name: "s".into(),
+                mu: Rational::new(1, 6),
+                eta_in: 6,
+                eta_out: 6,
+                reconfig: 12,
+                input_capacity: 12,
+                output_capacity: 12,
+            }],
+            processors: vec![],
+        }
+    }
+
+    /// The Fig. 9 counter-example platform of `fig9_shared_fifo`: two
+    /// η = 16 streams over one accelerator; stream 1's output FIFO holds
+    /// only 4 samples and is never drained. With `check_for_space` the
+    /// block is (safely) never admitted; without it the block wedges the
+    /// shared chain and head-of-line-blocks stream 0.
+    pub fn fig9(check_for_space: bool) -> DeploySpec {
+        let stream = |name: &str, out_cap: u64| StreamDeploy {
+            name: name.into(),
+            mu: Rational::new(1, 8),
+            eta_in: 16,
+            eta_out: 16,
+            reconfig: 10,
+            input_capacity: 4096,
+            output_capacity: out_cap,
+        };
+        DeploySpec {
+            name: if check_for_space {
+                "fig9-space-check-enabled".into()
+            } else {
+                "fig9-space-check-disabled".into()
+            },
+            chain: vec![ChainStage {
+                name: "acc".into(),
+                rho: 1,
+            }],
+            epsilon: 2,
+            delta: 1,
+            ni_depth: 2,
+            check_for_space,
+            streams: vec![stream("s0", 1 << 16), stream("s1", 4)],
+            processors: vec![],
+        }
+    }
+
+    /// The laptop-scale PAL stereo decoder deployment of
+    /// [`streamgate_core::PalSystemConfig::scaled_default`] /
+    /// `pal_system_sim` — four streams over {CORDIC, FIR+8:1}, built
+    /// exactly as `build_pal_system` wires it.
+    pub fn pal_scaled() -> DeploySpec {
+        DeploySpec::from_pal(&streamgate_core::PalSystemConfig::scaled_default())
+    }
+
+    /// A PAL deployment spec matching what
+    /// [`streamgate_core::build_pal_system`] would wire for `cfg`.
+    pub fn from_pal(cfg: &streamgate_core::PalSystemConfig) -> DeploySpec {
+        let prob = cfg.sharing_problem();
+        let cap_front = (cfg.etas[0] * 4).max(64);
+        let cap_back = (cfg.etas[2] * 4).max(64);
+        let caps_in = [cap_front, cap_front, cap_back * 2, cap_back * 2];
+        // Front halves feed the back halves' input FIFOs; back halves feed
+        // the audio FIFOs.
+        let caps_out = [cap_back * 2, cap_back * 2, cap_back * 2, cap_back * 2];
+        let streams = prob
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StreamDeploy {
+                name: s.name.clone(),
+                mu: s.mu,
+                eta_in: cfg.etas[i],
+                eta_out: cfg.etas[i] / 8,
+                reconfig: s.reconfig,
+                input_capacity: caps_in[i],
+                output_capacity: caps_out[i],
+            })
+            .collect();
+        // The front end must emit one baseband sample every clock/fs
+        // cycles; it owns its tile (period = its own budget).
+        let fe_interval = (cfg.clock_hz as f64 / cfg.pal.fs) as u64;
+        DeploySpec {
+            name: "pal-decoder".into(),
+            chain: vec![
+                ChainStage {
+                    name: "CORDIC".into(),
+                    rho: 1,
+                },
+                ChainStage {
+                    name: "FIR+D".into(),
+                    rho: 1,
+                },
+            ],
+            epsilon: cfg.epsilon,
+            delta: cfg.delta,
+            ni_depth: 2,
+            check_for_space: true,
+            streams,
+            processors: vec![
+                ProcessorDeploy {
+                    name: "FE".into(),
+                    declared_period: Some(1),
+                    tasks: vec![TaskDeploy {
+                        name: "pal-front-end".into(),
+                        budget: 1,
+                        required_interval: Some(fe_interval.max(1)),
+                    }],
+                },
+                ProcessorDeploy {
+                    name: "consumer".into(),
+                    declared_period: Some(1),
+                    tasks: vec![TaskDeploy {
+                        name: "stereo-matrix".into(),
+                        budget: 1,
+                        required_interval: None,
+                    }],
+                },
+            ],
+        }
+    }
+
+    /// Build the cycle-level platform this spec describes (passthrough
+    /// kernels, one per chain stage) — the simulation twin the differential
+    /// tests validate analyzer verdicts against. Processor tiles are *not*
+    /// built; validation harnesses pre-fill the input FIFOs instead.
+    pub fn build_platform(&self) -> streamgate_core::BuiltSystem {
+        use streamgate_core::{AccelDef, StreamDef, SystemSpec};
+        use streamgate_platform::PassthroughKernel;
+        let spec = SystemSpec {
+            chain: self
+                .chain
+                .iter()
+                .map(|c| AccelDef::new(c.name.clone(), c.rho))
+                .collect(),
+            epsilon: self.epsilon,
+            delta: self.delta,
+            ni_depth: self.ni_depth,
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamDef {
+                    name: s.name.clone(),
+                    eta_in: s.eta_in as usize,
+                    eta_out: s.eta_out as usize,
+                    reconfig: s.reconfig,
+                    kernels: self
+                        .chain
+                        .iter()
+                        .map(|_| {
+                            Box::new(PassthroughKernel)
+                                as Box<dyn streamgate_platform::StreamKernel>
+                        })
+                        .collect(),
+                    input_capacity: s.input_capacity as usize,
+                    output_capacity: s.output_capacity as usize,
+                })
+                .collect(),
+        };
+        let mut built = streamgate_core::build_shared_system(spec);
+        built.system.gateways[built.gateway].check_for_space = self.check_for_space;
+        built
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_roundtrip() {
+        for spec in [
+            DeploySpec::fig6(),
+            DeploySpec::fig9(false),
+            DeploySpec::pal_scaled(),
+        ] {
+            let text = spec.to_json_text();
+            let back = DeploySpec::from_json_text(&text).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json_text(), text);
+        }
+    }
+
+    #[test]
+    fn pal_spec_matches_sharing_problem() {
+        let cfg = streamgate_core::PalSystemConfig::scaled_default();
+        let spec = DeploySpec::from_pal(&cfg);
+        let prob = spec.sharing_problem();
+        let reference = cfg.sharing_problem();
+        assert_eq!(prob.params, reference.params);
+        assert_eq!(prob.streams.len(), 4);
+        for (a, b) in prob.streams.iter().zip(&reference.streams) {
+            assert_eq!(a.mu, b.mu);
+            assert_eq!(a.reconfig, b.reconfig);
+        }
+        assert_eq!(spec.etas(), cfg.etas.to_vec());
+    }
+
+    #[test]
+    fn c0_is_chain_maximum() {
+        let mut s = DeploySpec::fig6();
+        assert_eq!(s.c0(), 3);
+        s.chain.push(ChainStage {
+            name: "slow".into(),
+            rho: 9,
+        });
+        assert_eq!(s.c0(), 9);
+        assert_eq!(s.rho_a(), 9);
+    }
+
+    #[test]
+    fn build_platform_wires_streams_and_space_check() {
+        let mut spec = DeploySpec::fig9(false);
+        spec.streams[1].output_capacity = 64; // buildable but still unchecked
+        let built = spec.build_platform();
+        assert!(!built.system.gateways[built.gateway].check_for_space);
+        assert_eq!(built.inputs.len(), 2);
+        assert_eq!(built.system.accels.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared machinery for the analysis integration tests: a seeded random
+//! deployment generator and a saturated-run simulation harness that mirrors
+//! the analyzed spec exactly (same chain, block sizes, capacities and
+//! admission policy — `DeploySpec::build_platform` is the single source of
+//! wiring truth for both the analyzer's view and the simulated platform).
+//!
+//! Each integration-test binary compiles this module independently and uses
+//! a different subset of it, so the per-binary dead-code lint is off.
+#![allow(dead_code)]
+
+use streamgate_analysis::{AnalysisOptions, ChainStage, DeploySpec, StreamDeploy};
+use streamgate_core::BuiltSystem;
+use streamgate_ilp::Rational;
+use streamgate_platform::StepMode;
+
+/// Deterministic xorshift64 RNG (same family the sweep binaries use).
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Analyzer options for batch runs: the exact minimum-buffer search (a
+/// Warnings-only refinement) costs seconds per stream in debug builds, and
+/// disabling it never changes the accept/reject verdict.
+pub fn fast_options() -> AnalysisOptions {
+    AnalysisOptions {
+        exact_buffers: false,
+    }
+}
+
+/// A random deployment engineered to be *accepted*: throughput at half the
+/// Eq. 5 limit, capacities with whole-block floors and room for six blocks.
+/// Everything else (chain depth, per-stage ρ, ε, δ, R_s, block sizes,
+/// stream count) is drawn freely.
+pub fn random_clean_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
+    let chain_len = rng.range(1, 3);
+    let chain: Vec<ChainStage> = (0..chain_len)
+        .map(|i| ChainStage {
+            name: format!("A{i}"),
+            rho: rng.range(1, 6),
+        })
+        .collect();
+    let epsilon = rng.range(1, 8);
+    let delta = rng.range(1, 2);
+    let ni_depth = rng.range(2, 3) as u32;
+    let n_streams = rng.range(1, 3);
+    let etas: Vec<u64> = (0..n_streams).map(|_| rng.range(4, 24)).collect();
+    let reconfigs: Vec<u64> = (0..n_streams).map(|_| rng.range(0, 100)).collect();
+
+    let rho_a = chain.iter().map(|s| s.rho).max().unwrap();
+    let c0 = epsilon.max(rho_a).max(delta);
+    let gamma: u64 = etas
+        .iter()
+        .zip(&reconfigs)
+        .map(|(&eta, &r)| r + (eta + 2) * c0)
+        .sum();
+
+    let streams = etas
+        .iter()
+        .zip(&reconfigs)
+        .enumerate()
+        .map(|(i, (&eta, &r))| StreamDeploy {
+            name: format!("s{i}"),
+            // Half the Eq. 5 limit η/γ: always feasible, never marginal.
+            mu: Rational::new(eta as i128, 2 * gamma as i128),
+            eta_in: eta,
+            eta_out: eta,
+            reconfig: r,
+            input_capacity: 6 * eta,
+            output_capacity: 8 * eta,
+        })
+        .collect();
+
+    DeploySpec {
+        name: format!("rand-{tag}"),
+        chain,
+        epsilon,
+        delta,
+        ni_depth,
+        check_for_space: true,
+        streams,
+        processors: vec![],
+    }
+}
+
+/// Build the spec's platform, prefill every input FIFO to capacity (the
+/// saturated regime the round/τ̂ analysis describes — outputs are never
+/// drained, which the generous output capacities absorb), and run it.
+pub fn run_saturated(spec: &DeploySpec, mode: StepMode, cycles: u64) -> BuiltSystem {
+    let mut b = spec.build_platform();
+    b.system.step_mode = mode;
+    b.system.enable_tracing(0);
+    for (i, s) in spec.streams.iter().enumerate() {
+        for k in 0..s.input_capacity {
+            if !b.push_input(i, (k as f64, 0.5)) {
+                break;
+            }
+        }
+    }
+    b.system.run(cycles);
+    b
+}
+
+/// Cycle budget that lets a clean saturated run complete its six prefilled
+/// blocks per stream with slack.
+pub fn clean_cycles(spec: &DeploySpec) -> u64 {
+    let gamma = spec.sharing_problem().gamma(&spec.etas());
+    8 * gamma + 4_000
+}
+
+/// Per-block measurement margin: Eq. 2's `(η+2)·c0` models the paper's
+/// three-stage pipeline (entry, one accelerator, exit); a k-stage chain
+/// fills `k−1` further stages, and the ring adds constant per-block
+/// transport (hops + NI handshakes), independent of η.
+pub fn tau_margin(spec: &DeploySpec) -> u64 {
+    let k = spec.chain.len() as u64;
+    (k - 1) * spec.c0() + 16 + 8 * k
+}
+
+/// Round margin: every block of the round carries the per-block margin.
+pub fn round_margin(spec: &DeploySpec) -> u64 {
+    tau_margin(spec) * spec.streams.len() as u64 + 16
+}

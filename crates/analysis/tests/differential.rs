@@ -1,0 +1,231 @@
+//! Differential testing: the static analyzer's verdicts cross-validated
+//! against BOTH cycle-level simulation engines.
+//!
+//! The soundness contract under test:
+//!
+//! * **accepted** (no Error diagnostics) random deployments, simulated in
+//!   the saturated regime the analysis describes, meet their τ̂ (Eq. 2) and
+//!   γ (Eq. 4) bounds and make progress on every stream — on the exhaustive
+//!   AND the event-driven engine, which must also agree with each other;
+//! * **Error-rejected** deployments demonstrably fail in simulation, in the
+//!   way the rule predicts: deadlock (A1/A2), throughput miss (A3), or a
+//!   wedged chain with head-of-line blocking (A5).
+//!
+//! 240 random topologies total: 120 clean + 4 × 30 fault-injected.
+
+mod common;
+
+use common::{
+    clean_cycles, fast_options, random_clean_spec, round_margin, run_saturated, tau_margin, Rng,
+};
+use streamgate_analysis::{analyze_with, RuleId, Severity};
+use streamgate_core::{max_round_time, system_metrics, validate_tau_bound};
+use streamgate_platform::StepMode;
+
+const ENGINES: [StepMode; 2] = [StepMode::Exhaustive, StepMode::EventDriven];
+
+#[test]
+fn accepted_topologies_meet_bounds_on_both_engines() {
+    let mut rng = Rng::new(0xD1FF_0001);
+    for case in 0..120 {
+        let spec = random_clean_spec(&mut rng, case);
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.is_accepted(),
+            "clean generator produced a rejected spec (case {case}):\n{}",
+            report.render_text()
+        );
+
+        let prob = spec.sharing_problem();
+        let etas = spec.etas();
+        let cycles = clean_cycles(&spec);
+        let mut blocks_by_engine = Vec::new();
+        for mode in ENGINES {
+            let b = run_saturated(&spec, mode, cycles);
+            // Progress: at least 3 of the 6 prefilled blocks per stream.
+            let blocks: Vec<u64> = (0..spec.streams.len()).map(|s| b.blocks_done(s)).collect();
+            for (s, &n) in blocks.iter().enumerate() {
+                assert!(
+                    n >= 3,
+                    "case {case} ({mode:?}): accepted but stream {s} completed only \
+                     {n} blocks in {cycles} cycles\n{}",
+                    report.render_text()
+                );
+            }
+            // Eq. 2: measured block times within τ̂ + ring margin.
+            for v in validate_tau_bound(&prob, &etas, &b.system, b.gateway, tau_margin(&spec)) {
+                assert!(
+                    v.ok,
+                    "case {case} ({mode:?}): stream {} measured τ {} exceeds τ̂ {} (+{})\n{}",
+                    v.stream,
+                    v.measured_max,
+                    v.tau_hat,
+                    v.margin,
+                    report.render_text()
+                );
+            }
+            // Eq. 4: measured rounds within γ + margin.
+            let gamma = report.gamma;
+            let metrics = system_metrics(&b.system, b.gateway);
+            if let Some(round) = max_round_time(&metrics) {
+                assert!(
+                    round <= gamma + round_margin(&spec),
+                    "case {case} ({mode:?}): round {round} exceeds γ {gamma} (+{})\n{}",
+                    round_margin(&spec),
+                    report.render_text()
+                );
+            }
+            blocks_by_engine.push(blocks);
+        }
+        assert_eq!(
+            blocks_by_engine[0], blocks_by_engine[1],
+            "case {case}: engines disagree on completed blocks"
+        );
+    }
+}
+
+#[test]
+fn undersized_input_rejections_deadlock_in_simulation() {
+    let mut rng = Rng::new(0xD1FF_0002);
+    for case in 0..30 {
+        let mut spec = random_clean_spec(&mut rng, case);
+        let victim = (rng.next() % spec.streams.len() as u64) as usize;
+        spec.streams[victim].input_capacity = spec.streams[victim].eta_in - 1;
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A2BufferCapacity, Severity::Error),
+            "case {case}: expected A2 Error\n{}",
+            report.render_text()
+        );
+        assert!(!report.is_accepted());
+
+        let cycles = clean_cycles(&spec);
+        for mode in ENGINES {
+            let b = run_saturated(&spec, mode, cycles);
+            assert_eq!(
+                b.blocks_done(victim),
+                0,
+                "case {case} ({mode:?}): a full block never fits stream {victim}'s \
+                 input FIFO, yet it completed blocks"
+            );
+        }
+    }
+}
+
+#[test]
+fn undersized_output_rejections_deadlock_in_simulation() {
+    let mut rng = Rng::new(0xD1FF_0003);
+    for case in 0..30 {
+        let mut spec = random_clean_spec(&mut rng, case);
+        let victim = (rng.next() % spec.streams.len() as u64) as usize;
+        spec.streams[victim].output_capacity = spec.streams[victim].eta_out - 1;
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A2BufferCapacity, Severity::Error),
+            "case {case}: expected A2 Error\n{}",
+            report.render_text()
+        );
+
+        let cycles = clean_cycles(&spec);
+        for mode in ENGINES {
+            let b = run_saturated(&spec, mode, cycles);
+            assert_eq!(
+                b.blocks_done(victim),
+                0,
+                "case {case} ({mode:?}): check-for-space can never admit stream \
+                 {victim}, yet it completed blocks"
+            );
+        }
+    }
+}
+
+#[test]
+fn infeasible_throughput_rejections_miss_rate_in_simulation() {
+    let mut rng = Rng::new(0xD1FF_0004);
+    for case in 0..30 {
+        let mut spec = random_clean_spec(&mut rng, case);
+        // Demand 1.5× the rate a true lower bound on the round time allows:
+        // the entry gateway serialises blocks, each costing at least
+        // R_i + (η_i − 1)·ε cycles, so no schedule can serve stream 0
+        // faster than η_0 per r_floor cycles.
+        let r_floor: u64 = spec
+            .streams
+            .iter()
+            .map(|s| s.reconfig + (s.eta_in - 1) * spec.epsilon)
+            .sum();
+        let eta0 = spec.streams[0].eta_in;
+        spec.streams[0].mu =
+            streamgate_ilp::Rational::new(3 * eta0 as i128, 2 * r_floor.max(1) as i128);
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A3Throughput, Severity::Error),
+            "case {case}: expected A3 Error (mu = {}, r_floor = {r_floor})\n{}",
+            spec.streams[0].mu,
+            report.render_text()
+        );
+
+        let mu = spec.streams[0].mu;
+        let cycles = clean_cycles(&spec);
+        for mode in ENGINES {
+            let b = run_saturated(&spec, mode, cycles);
+            let metrics = system_metrics(&b.system, b.gateway);
+            let starts: Vec<u64> = metrics
+                .blocks
+                .iter()
+                .filter(|blk| blk.stream == 0)
+                .map(|blk| blk.start)
+                .collect();
+            if starts.len() < 2 {
+                // Not even two blocks in a generous budget — an even more
+                // decisive throughput failure.
+                continue;
+            }
+            let min_gap = starts.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+            // Sustained rate η/min_gap must fall short of μ:
+            // η · denom(μ) < min_gap · numer(μ).
+            assert!(
+                (eta0 as i128) * mu.denom() < (min_gap as i128) * mu.numer(),
+                "case {case} ({mode:?}): demanded μ = {mu} met by gap {min_gap} \
+                 (η = {eta0}) — analyzer rejection was wrong"
+            );
+        }
+    }
+}
+
+#[test]
+fn missing_space_check_rejections_wedge_in_simulation() {
+    let mut rng = Rng::new(0xD1FF_0005);
+    for case in 0..30 {
+        let mut spec = random_clean_spec(&mut rng, case);
+        spec.check_for_space = false;
+        spec.streams[0].output_capacity = spec.streams[0].eta_out - 1;
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A5SpaceCheck, Severity::Error),
+            "case {case}: expected A5 Error\n{}",
+            report.render_text()
+        );
+
+        let cycles = clean_cycles(&spec);
+        for mode in ENGINES {
+            let b = run_saturated(&spec, mode, cycles);
+            // The admitted block of stream 0 can never drain: no completion.
+            assert_eq!(
+                b.blocks_done(0),
+                0,
+                "case {case} ({mode:?}): wedged stream completed a block"
+            );
+            // Head-of-line blocking: every OTHER stream is starved far below
+            // its six available blocks (the shared chain is wedged from the
+            // first round on).
+            for s in 1..spec.streams.len() {
+                assert!(
+                    b.blocks_done(s) <= 2,
+                    "case {case} ({mode:?}): stream {s} completed {} blocks \
+                     despite the wedged chain — no head-of-line blocking?",
+                    b.blocks_done(s)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Negative-path tests: three hand-built faulty deployments, each pinned to
+//! the exact rule ID the analyzer must emit AND the matching failure the
+//! cycle-level simulator must exhibit. Where the differential harness
+//! randomises, these document the canonical failure modes one by one.
+
+mod common;
+
+use common::{fast_options, run_saturated};
+use streamgate_analysis::{analyze, analyze_with, ChainStage, DeploySpec, StreamDeploy};
+use streamgate_analysis::{RuleId, Severity};
+use streamgate_core::system_metrics;
+use streamgate_ilp::Rational;
+use streamgate_platform::StepMode;
+
+/// Two well-behaved streams over a one-accelerator chain — the baseline
+/// every fault below perturbs.
+fn baseline() -> DeploySpec {
+    DeploySpec {
+        name: "negative-baseline".into(),
+        chain: vec![ChainStage {
+            name: "acc".into(),
+            rho: 2,
+        }],
+        epsilon: 3,
+        delta: 1,
+        ni_depth: 2,
+        check_for_space: true,
+        streams: (0..2)
+            .map(|i| StreamDeploy {
+                name: format!("s{i}"),
+                mu: Rational::new(1, 40),
+                eta_in: 8,
+                eta_out: 8,
+                reconfig: 10,
+                input_capacity: 48,
+                output_capacity: 64,
+            })
+            .collect(),
+        processors: vec![],
+    }
+}
+
+#[test]
+fn baseline_is_accepted_and_runs() {
+    let spec = baseline();
+    let report = analyze(&spec);
+    assert!(report.is_accepted(), "{}", report.render_text());
+    let b = run_saturated(&spec, StepMode::EventDriven, 10_000);
+    assert!(b.blocks_done(0) >= 3 && b.blocks_done(1) >= 3);
+}
+
+/// Fault 1 — undersized buffer: stream 1's input C-FIFO is one sample short
+/// of a block. Expected: **A2 Error** (and the Fig. 5 model deadlocks, A1).
+/// Simulator: the gateway never admits the stream — zero blocks, while the
+/// healthy stream streams on.
+#[test]
+fn undersized_buffer_a2_error_matches_deadlock() {
+    let mut spec = baseline();
+    spec.streams[1].input_capacity = spec.streams[1].eta_in - 1;
+    let report = analyze(&spec);
+    assert!(report.has(RuleId::A2BufferCapacity, Severity::Error));
+    assert!(report.has(RuleId::A1Liveness, Severity::Error));
+    assert!(!report.is_accepted());
+
+    for mode in [StepMode::Exhaustive, StepMode::EventDriven] {
+        let b = run_saturated(&spec, mode, 10_000);
+        assert_eq!(b.blocks_done(1), 0, "{mode:?}: starved stream made a block");
+        assert!(
+            b.blocks_done(0) >= 3,
+            "{mode:?}: healthy stream must be unaffected"
+        );
+    }
+}
+
+/// Fault 2 — infeasible μ: stream 0 demands one sample per 8 cycles, but a
+/// single round of the two-stream schedule provably takes longer than the
+/// 64 cycles its block would need to arrive in. Expected: **A3 Error**.
+/// Simulator: the measured block-to-block gap sustains a rate below μ.
+#[test]
+fn infeasible_mu_a3_error_matches_throughput_miss() {
+    let mut spec = baseline();
+    spec.streams[0].mu = Rational::new(1, 8);
+    let report = analyze(&spec);
+    assert!(report.has(RuleId::A3Throughput, Severity::Error));
+    assert!(!report.is_accepted());
+
+    let eta = spec.streams[0].eta_in as i128;
+    let mu = spec.streams[0].mu;
+    for mode in [StepMode::Exhaustive, StepMode::EventDriven] {
+        let b = run_saturated(&spec, mode, 10_000);
+        let metrics = system_metrics(&b.system, b.gateway);
+        let starts: Vec<u64> = metrics
+            .blocks
+            .iter()
+            .filter(|blk| blk.stream == 0)
+            .map(|blk| blk.start)
+            .collect();
+        assert!(starts.len() >= 2, "{mode:?}: need two blocks to measure");
+        let min_gap = starts.windows(2).map(|w| w[1] - w[0]).min().unwrap() as i128;
+        assert!(
+            eta * mu.denom() < min_gap * mu.numer(),
+            "{mode:?}: η/gap = {eta}/{min_gap} sustains μ = {mu}"
+        );
+    }
+}
+
+/// Fault 3 — missing space check (Fig. 9): the exit gateway admits blocks
+/// without verifying output space, and stream 1's consumer FIFO cannot hold
+/// a block. Expected: **A5 Error**. Simulator: stream 1's block wedges in
+/// the shared chain and head-of-line-blocks stream 0 — which, with the
+/// check enabled (same capacities), is completely unaffected.
+#[test]
+fn missing_space_check_a5_error_matches_wedge() {
+    let mut wedged = baseline();
+    wedged.check_for_space = false;
+    wedged.streams[1].output_capacity = wedged.streams[1].eta_out - 1;
+    let report = analyze_with(&wedged, &fast_options());
+    assert!(report.has(RuleId::A5SpaceCheck, Severity::Error));
+    assert!(!report.is_accepted());
+
+    // Same capacities, admission test ON: rejected for stream 1 (A2) but
+    // stream 0 must be untouched — the check converts "everyone wedges"
+    // into "only the undersized stream is held back".
+    let mut checked = wedged.clone();
+    checked.check_for_space = true;
+    let checked_report = analyze_with(&checked, &fast_options());
+    assert!(checked_report.has(RuleId::A2BufferCapacity, Severity::Error));
+
+    for mode in [StepMode::Exhaustive, StepMode::EventDriven] {
+        let b = run_saturated(&wedged, mode, 10_000);
+        assert_eq!(b.blocks_done(1), 0, "{mode:?}: wedged stream completed");
+        assert!(
+            b.blocks_done(0) <= 1,
+            "{mode:?}: stream 0 did {} blocks through a wedged chain",
+            b.blocks_done(0)
+        );
+
+        let b = run_saturated(&checked, mode, 10_000);
+        assert_eq!(b.blocks_done(1), 0, "{mode:?}: undersized stream admitted");
+        assert!(
+            b.blocks_done(0) >= 3,
+            "{mode:?}: with the check, stream 0 must be unaffected (did {})",
+            b.blocks_done(0)
+        );
+    }
+}

@@ -36,6 +36,10 @@ fn gantt_chrome_json(gantt: &Gantt) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.analyze {
+        // The fig6 deployment preset mirrors the parameters below.
+        streamgate_bench::preflight_analyze(&streamgate_analysis::DeploySpec::fig6());
+    }
     // Small, legible parameters (the paper's figure is also schematic):
     // η = 6, ε = 3, ρ_A = 1, δ = 1, R = 12.
     let p = Fig5Params {

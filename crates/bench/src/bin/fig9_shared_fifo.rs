@@ -90,6 +90,29 @@ fn run_platform(check_for_space: bool, mode: StepMode, cycles: u64) -> (System, 
 fn main() {
     let args = parse_args();
     let cycles = args.cycles.unwrap_or(20_000);
+    if args.analyze {
+        // This harness EXISTS to demonstrate the failure the analyzer's A5
+        // rule predicts, so the pre-flight here is informational: print both
+        // variants' verdicts instead of refusing to run. The broken variant
+        // must be rejected, the safe one must reject only stream 1's
+        // undersized consumer FIFO (A2) — which is exactly the wedge the
+        // experiment needs.
+        for (label, spec) in [
+            (
+                "check-for-space disabled",
+                streamgate_analysis::DeploySpec::fig9(false),
+            ),
+            (
+                "check-for-space enabled",
+                streamgate_analysis::DeploySpec::fig9(true),
+            ),
+        ] {
+            let report = streamgate_analysis::analyze(&spec);
+            println!("== static analysis pre-flight: {label} ==");
+            print!("{}", report.render_text());
+            println!();
+        }
+    }
     println!("Fig. 9: two producer/consumer pairs over ONE FIFO; stream 1's");
     println!("consumer is slow; stream 0's tokens queue behind its tokens.\n");
     let mut rows = Vec::new();

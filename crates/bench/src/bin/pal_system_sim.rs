@@ -49,6 +49,9 @@ fn mode_json(wall: f64, cycles: u64, stats: streamgate_platform::EngineStats) ->
 fn main() {
     let args = parse_args();
     let cfg = PalSystemConfig::scaled_default();
+    if args.analyze {
+        streamgate_bench::preflight_analyze(&streamgate_analysis::DeploySpec::from_pal(&cfg));
+    }
     let prob = cfg.sharing_problem();
     println!(
         "laptop-scale PAL config: audio {} Hz, baseband {} Hz, clock {} Hz",

@@ -8,9 +8,10 @@
 //! `--seed <n>` to re-randomise the sweep, and `--mode exhaustive|event`
 //! to select the simulation engine.
 
+use streamgate_analysis::{ChainStage, DeploySpec, StreamDeploy};
 use streamgate_bench::{parse_args, print_table, write_trace};
 use streamgate_core::{measure_block_times, GatewayParams, SharingProblem, StreamSpec};
-use streamgate_ilp::rat;
+use streamgate_ilp::{rat, Rational};
 use streamgate_platform::{
     AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StepMode, StreamConfig, System,
 };
@@ -88,6 +89,46 @@ fn main() {
         let epsilon = 1 + rng() % 16;
         let rho_a = 1 + rng() % 8;
         let reconfig = rng() % 500;
+        if args.analyze {
+            // Pre-flight each randomised case: the deployment below mirrors
+            // run_case's platform exactly, so an analyzer rejection means
+            // the sweep would deadlock or stall rather than measure τ.
+            let spec = DeploySpec {
+                name: format!("tau-sweep-case-{case}"),
+                chain: vec![ChainStage {
+                    name: "acc".into(),
+                    rho: rho_a,
+                }],
+                epsilon,
+                delta: 1,
+                ni_depth: 2,
+                check_for_space: true,
+                streams: vec![StreamDeploy {
+                    name: "s0".into(),
+                    mu: Rational::new(1, 1_000_000),
+                    eta_in: eta as u64,
+                    eta_out: eta as u64,
+                    reconfig,
+                    input_capacity: 8192,
+                    output_capacity: 1 << 20,
+                }],
+                processors: vec![],
+            };
+            let report = streamgate_analysis::analyze(&spec);
+            println!(
+                "case {case}: pre-flight {} ({} diagnostics)",
+                if report.is_accepted() {
+                    "accepted"
+                } else {
+                    "REJECTED"
+                },
+                report.diagnostics.len()
+            );
+            if !report.is_accepted() {
+                print!("{}", report.render_text());
+                std::process::exit(1);
+            }
+        }
         let (measured, tau_hat, ratio, sys) =
             run_case(eta, epsilon, rho_a, reconfig, args.step_mode);
         last_sys = Some(sys);

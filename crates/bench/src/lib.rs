@@ -32,7 +32,10 @@ use streamgate_platform::StepMode;
 /// * `--seed <n>` — override the xorshift seed of randomised sweeps;
 /// * `--mode exhaustive|event` — select the simulation engine
 ///   ([`StepMode`]); the default is the event-driven engine;
-/// * `--bench-json <path>` — write machine-readable timing results.
+/// * `--bench-json <path>` — write machine-readable timing results;
+/// * `--analyze` — run the static deployment analyzer (`streamgate-analysis`)
+///   as a pre-flight over the configuration about to be simulated, print its
+///   report, and refuse to simulate a configuration it rejects.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -48,6 +51,8 @@ pub struct BenchArgs {
     pub step_mode: StepMode,
     /// Machine-readable benchmark output path (`--bench-json`).
     pub bench_json: Option<String>,
+    /// Run the static analyzer as a pre-flight check (`--analyze`).
+    pub analyze: bool,
 }
 
 /// Parse the shared experiment flags from `std::env::args()`.
@@ -58,7 +63,7 @@ pub fn parse_args() -> BenchArgs {
         eprintln!("{e}");
         eprintln!(
             "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
-             [--mode exhaustive|event] [--bench-json <path>]"
+             [--mode exhaustive|event] [--bench-json <path>] [--analyze]"
         );
         std::process::exit(2);
     })
@@ -96,10 +101,34 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
                 out.step_mode = StepMode::parse(&v)
                     .ok_or_else(|| format!("bad --mode value {v:?} (exhaustive|event)"))?;
             }
+            "--analyze" => {
+                if inline.is_some() {
+                    return Err("--analyze takes no value".into());
+                }
+                out.analyze = true;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(out)
+}
+
+/// Run the static deployment analyzer over `spec` as a pre-flight check,
+/// print its report, and exit with status 1 when the deployment is rejected
+/// (any rule at Error severity) — the simulation would deadlock, wedge or
+/// miss its throughput, so there is no point running it.
+pub fn preflight_analyze(spec: &streamgate_analysis::DeploySpec) {
+    let report = streamgate_analysis::analyze(spec);
+    println!("== static analysis pre-flight ==");
+    print!("{}", report.render_text());
+    println!();
+    if !report.is_accepted() {
+        eprintln!(
+            "pre-flight analysis rejected deployment '{}': refusing to simulate",
+            report.deployment
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Print a two-column table with a title.
@@ -179,6 +208,7 @@ mod tests {
             "--mode",
             "exhaustive",
             "--bench-json=b.json",
+            "--analyze",
         ])
         .unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
@@ -186,6 +216,7 @@ mod tests {
         assert_eq!(a.seed, Some(7));
         assert_eq!(a.step_mode, StepMode::Exhaustive);
         assert_eq!(a.bench_json.as_deref(), Some("b.json"));
+        assert!(a.analyze);
     }
 
     #[test]
@@ -193,6 +224,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.step_mode, StepMode::EventDriven);
         assert!(a.trace.is_none() && a.cycles.is_none() && a.seed.is_none());
+        assert!(!a.analyze);
     }
 
     #[test]
@@ -201,6 +233,7 @@ mod tests {
         assert!(parse(&["--cycles", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--analyze=yes"]).is_err());
     }
 
     #[test]

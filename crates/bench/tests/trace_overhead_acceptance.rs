@@ -1,0 +1,99 @@
+//! Acceptance check for the observability layer's overhead contract
+//! (DESIGN.md §5): tracing must be close to free. This is the asserting
+//! twin of the `trace-overhead` Criterion group in `bench_platform` —
+//! same workload, but with a pass/fail threshold suitable for CI.
+//!
+//! Ignored by default (timing tests are meaningless in debug builds and
+//! flaky on loaded machines); CI runs it explicitly in release:
+//!
+//! ```text
+//! cargo test -p streamgate-bench --release --test trace_overhead_acceptance -- --ignored
+//! ```
+
+use std::time::Instant;
+use streamgate_platform::{
+    AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+};
+
+const CYCLES: u64 = 50_000;
+const RUNS: usize = 9;
+/// Enabled-tracing cost may exceed the disabled cost by at most this
+/// factor. The measured ratio is ~1.0–1.1; the slack absorbs CI noise.
+const MAX_OVERHEAD: f64 = 1.35;
+
+/// The `bench_platform` two-stream workload: two streams multiplexed over
+/// one shared accelerator, saturated inputs, generous outputs.
+fn two_stream_system(eta: usize) -> System {
+    let mut sys = System::new(4);
+    let i0 = sys.add_fifo(CFifo::new("i0", 8192));
+    let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
+    let i1 = sys.add_fifo(CFifo::new("i1", 8192));
+    let o1 = sys.add_fifo(CFifo::new("o1", 1 << 20));
+    let acc = sys.add_accel(AcceleratorTile::new("acc", 1, 0, 10, 2, 11, 2, 1));
+    let mut gw = GatewayPair::new("gw", 0, 2, vec![acc], 1, 10, 1, 11, 2, 3, 1);
+    for (name, i, o) in [("s0", i0, o0), ("s1", i1, o1)] {
+        gw.add_stream(StreamConfig::new(
+            name,
+            i,
+            o,
+            eta,
+            eta,
+            100,
+            vec![Box::new(PassthroughKernel)],
+        ));
+    }
+    sys.add_gateway(gw);
+    for k in 0..8192 {
+        sys.fifos[i0.0].try_push((k as f64, 0.0), 0);
+        sys.fifos[i1.0].try_push((k as f64, 0.0), 0);
+    }
+    sys
+}
+
+fn time_run(tracing: bool) -> f64 {
+    let mut sys = two_stream_system(32);
+    if tracing {
+        sys.enable_tracing(1024);
+    }
+    let start = Instant::now();
+    sys.run(CYCLES);
+    let elapsed = start.elapsed().as_secs_f64();
+    // Keep the run observable so nothing is optimised away.
+    assert!(sys.gateways[0].blocks.len() > 10);
+    elapsed
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+#[test]
+#[ignore = "timing acceptance; run in release via CI"]
+fn tracing_overhead_within_acceptance_threshold() {
+    // Warm-up pass for each variant (primes caches and the allocator).
+    time_run(false);
+    time_run(true);
+
+    // Interleave the variants so drift (thermal, scheduler) hits both.
+    let mut disabled = Vec::with_capacity(RUNS);
+    let mut enabled = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        disabled.push(time_run(false));
+        enabled.push(time_run(true));
+    }
+    let (d, e) = (median(disabled), median(enabled));
+    let ratio = e / d;
+    println!(
+        "trace-overhead acceptance: disabled {:.3} ms, enabled {:.3} ms, ratio {:.3} (max {})",
+        d * 1e3,
+        e * 1e3,
+        ratio,
+        MAX_OVERHEAD
+    );
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "tracing overhead {ratio:.3}x exceeds the {MAX_OVERHEAD}x acceptance threshold \
+         (disabled median {d:.6}s, enabled median {e:.6}s)"
+    );
+}

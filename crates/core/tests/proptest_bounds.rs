@@ -108,8 +108,8 @@ proptest! {
         let sum: u64 = (0..p.streams.len()).map(|i| p.tau_hat(i, etas[i])).sum();
         prop_assert_eq!(gamma, sum);
         // And γ dominates every member bound (a round contains each block).
-        for i in 0..p.streams.len() {
-            prop_assert!(gamma >= p.tau_hat(i, etas[i]));
+        for (i, &eta) in etas.iter().enumerate() {
+            prop_assert!(gamma >= p.tau_hat(i, eta));
         }
         // c1 (Eq. 9) is the reconfiguration part of γ.
         let transfer: u64 = etas.iter().map(|&e| (e + 2) * p.params.c0()).sum();

@@ -463,7 +463,7 @@ mod tests {
             seed = seed
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            (seed >> 33) as u64
+            seed >> 33
         };
         for case in 0..25 {
             let n = 2 + (rng() % 3) as usize;

@@ -231,14 +231,14 @@ mod tests {
         let p = g.add_sdf_actor("vP", 2);
         // vG0: ηs phases (first has reconfig), transfers 1 token per phase.
         let mut g0_dur = vec![100u64];
-        g0_dur.extend(std::iter::repeat(1).take(eta - 1));
+        g0_dur.extend(std::iter::repeat_n(1, eta - 1));
         let g0 = g.add_actor("vG0", g0_dur);
         let a = g.add_sdf_actor("vA", 1);
         let g1 = g.add_actor("vG1", vec![1; eta]);
         let c = g.add_sdf_actor("vC", 3);
         // vP produces 1 token/firing; vG0 consumes ηs in its first phase.
         let mut cons = vec![eta as u64];
-        cons.extend(std::iter::repeat(0).take(eta - 1));
+        cons.extend(std::iter::repeat_n(0, eta - 1));
         g.add_edge("p_g0", p, vec![1], g0, cons, 0);
         g.add_edge("g0_a", g0, vec![1; eta], a, vec![1], 0);
         g.add_edge("a_g1", a, vec![1], g1, vec![1; eta], 0);

@@ -407,7 +407,7 @@ mod tests {
         assert_eq!(e.coeff(y), rat(2, 1));
         // cancelling a term removes it
         e.add_term(y, rat(-2, 1));
-        assert!(e.terms.get(&y).is_none());
+        assert!(!e.terms.contains_key(&y));
     }
 
     #[test]

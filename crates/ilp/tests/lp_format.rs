@@ -21,15 +21,15 @@ fn transportation(
         .collect();
     for (i, &si) in s.iter().enumerate() {
         let mut e = LinExpr::zero();
-        for j in 0..d.len() {
-            e.add_term(x[i][j], rat(1, 1));
+        for &v in &x[i] {
+            e.add_term(v, rat(1, 1));
         }
         p.eq(e, rat(si, 1));
     }
     for (j, &dj) in d.iter().enumerate() {
         let mut e = LinExpr::zero();
-        for i in 0..s.len() {
-            e.add_term(x[i][j], rat(1, 1));
+        for row in &x {
+            e.add_term(row[j], rat(1, 1));
         }
         p.eq(e, rat(dj, 1));
     }
@@ -66,7 +66,7 @@ fn transportation_3x3_known_optimum() {
     for x00 in 0..=10i128 {
         for x01 in 0..=20 - x00 {
             let x02 = 20 - x00 - x01;
-            if x02 < 0 || x02 > 15 {
+            if !(0..=15).contains(&x02) {
                 continue;
             }
             let x10 = 10 - x00;

@@ -625,7 +625,7 @@ mod tests {
             g.stream(0).blocks_done
         );
         // Output samples reached the sink (fifo drained by the sink task).
-        assert!(sys.fifos[out.0].popped > 0 || sys.fifos[out.0].len() > 0);
+        assert!(sys.fifos[out.0].popped > 0 || !sys.fifos[out.0].is_empty());
     }
 
     #[test]

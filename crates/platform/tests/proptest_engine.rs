@@ -5,13 +5,20 @@
 //!
 //! The generated platforms deliberately cover the engine's tricky spots:
 //! non-adjacent ring links (multi-hop flit transit that the ring-only
-//! fast-forward must replay exactly), one or two accelerators per chain
-//! (credit-inert forwarding), one or two gateway pairs (same-cycle FIFO
-//! coupling between tiles under selective stepping), multiple streams per
-//! gateway (round-robin reconfiguration), and TDM processors with
-//! non-trivial budgets (bulk slot replay).
+//! fast-forward must replay exactly), accelerator chains up to three deep
+//! (credit-inert forwarding), up to three concurrent gateway pairs
+//! (same-cycle FIFO coupling between tiles under selective stepping),
+//! multiple streams per gateway (round-robin reconfiguration), and TDM
+//! processors with non-trivial budgets (bulk slot replay).
+//!
+//! Draws are raw — capacities may be smaller than a block. The static
+//! analyzer is the validity oracle: each gateway pair is mapped onto a
+//! `DeploySpec` and structurally broken configurations (A1/A2/A5
+//! Errors) are skipped, so every case that runs can make progress.
 
 use proptest::prelude::*;
+use streamgate_analysis::{analyze_with, AnalysisOptions, ChainStage, DeploySpec, StreamDeploy};
+use streamgate_ilp::Rational;
 use streamgate_platform::{
     AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, ProcessorTile, RateSource, ScaleKernel,
     SinkTask, StepMode, StreamConfig, StreamKernel, System,
@@ -19,14 +26,13 @@ use streamgate_platform::{
 
 #[derive(Clone, Debug)]
 struct Topo {
-    two_gateways: bool,
-    chain_len: usize, // accelerators in gateway A's chain (1 or 2)
-    streams_a: usize, // streams multiplexed over gateway A (1..=3)
-    epsilon: u64,     // DMA cycles per sample
-    delta: u64,       // exit-copy cycles per sample
-    rho: u64,         // accelerator cycles per sample
-    reconfig: u64,    // R_s
-    eta: usize,       // block size
+    /// Per gateway pair: (accelerator-chain depth 1..=3, streams 1..=3).
+    gateways: Vec<(usize, usize)>,
+    epsilon: u64,  // DMA cycles per sample
+    delta: u64,    // exit-copy cycles per sample
+    rho: u64,      // accelerator cycles per sample
+    reconfig: u64, // R_s
+    eta: usize,    // block size
     in_cap: usize,
     out_cap: usize,
     src_interval: u64,
@@ -37,28 +43,26 @@ struct Topo {
 
 fn topo_strategy() -> impl Strategy<Value = Topo> {
     (
-        (0u64..2, 1usize..3, 1usize..4),
+        proptest::collection::vec((1usize..4, 1usize..4), 1..4),
         (1u64..8, 1u64..3, 1u64..6, 0u64..200),
-        (2usize..24, 16usize..96, 64usize..512),
+        (2usize..24, 2usize..96, 8usize..512),
         (1u64..40, 1u64..16, 1u64..3, 4_000u64..12_000),
     )
         .prop_map(
             |(
-                (two_gw, chain_len, streams_a),
+                gateways,
                 (epsilon, delta, rho, reconfig),
                 (eta, in_cap, out_cap),
                 (src_interval, sink_interval, sink_budget, cycles),
             )| Topo {
-                two_gateways: two_gw == 1,
-                chain_len,
-                streams_a,
+                gateways,
                 epsilon,
                 delta,
                 rho,
                 reconfig,
                 eta,
-                in_cap: in_cap.max(eta),
-                out_cap: out_cap.max(2 * eta),
+                in_cap,
+                out_cap,
                 src_interval,
                 sink_interval,
                 sink_budget,
@@ -67,126 +71,151 @@ fn topo_strategy() -> impl Strategy<Value = Topo> {
         )
 }
 
-/// Kernel chain for one stream of gateway A (one kernel per chain stage).
-fn kernels(chain_len: usize, gain: f64) -> Vec<Box<dyn StreamKernel>> {
+/// One analyzer deployment spec per gateway pair. μ is a token positive
+/// rate: the equivalence test makes no throughput claim, so the oracle
+/// gates on the structural rules (liveness, buffer sufficiency, space
+/// check) rather than Eq. 5 feasibility.
+fn oracle_specs(t: &Topo) -> Vec<DeploySpec> {
+    t.gateways
+        .iter()
+        .enumerate()
+        .map(|(g, &(depth, streams))| DeploySpec {
+            name: format!("gw{g}"),
+            chain: (0..depth)
+                .map(|j| ChainStage {
+                    name: format!("G{g}A{j}"),
+                    rho: t.rho,
+                })
+                .collect(),
+            epsilon: t.epsilon,
+            delta: t.delta,
+            ni_depth: 2,
+            check_for_space: true,
+            streams: (0..streams)
+                .map(|s| StreamDeploy {
+                    name: format!("g{g}s{s}"),
+                    mu: Rational::new(1, 1_000_000),
+                    eta_in: t.eta as u64,
+                    eta_out: t.eta as u64,
+                    reconfig: t.reconfig,
+                    input_capacity: t.in_cap as u64,
+                    output_capacity: t.out_cap as u64,
+                })
+                .collect(),
+            processors: vec![],
+        })
+        .collect()
+}
+
+fn accepted_by_analyzer(t: &Topo) -> bool {
+    let opts = AnalysisOptions {
+        exact_buffers: false,
+    };
+    oracle_specs(t)
+        .iter()
+        .all(|s| analyze_with(s, &opts).is_accepted())
+}
+
+/// Kernel chain for one stream (one kernel per chain stage).
+fn kernels(depth: usize, gain: f64) -> Vec<Box<dyn StreamKernel>> {
     let mut v: Vec<Box<dyn StreamKernel>> = vec![Box::new(ScaleKernel::new(gain))];
-    if chain_len == 2 {
+    for _ in 1..depth {
         v.push(Box::new(PassthroughKernel));
     }
     v
 }
 
-/// Ring stations (n = 10): 0 FE processor, 1 gwA entry, 3 accel A0
-/// (upstream node 1 — two hops, deliberately *not* ring-adjacent),
-/// 4 accel A1 (optional), 6 gwA exit, 2 gwB entry (optional), 5 accel B0
-/// (three hops from its upstream), 8 gwB exit, 9 consumer processor.
+/// Ring station layout, grouped by role so most gateway links span
+/// multiple hops: node 0 is the FE processor, nodes 1..=G the entry
+/// gateways, then every accelerator chain back to back, then the G exit
+/// gateways, and the last node the consumer processor. Within a chain
+/// the accelerators are ring-adjacent; entry→first-accel and
+/// last-accel→exit grow up to `G + Σdepth` hops apart.
 fn build(t: &Topo) -> System {
-    let mut sys = System::new(10);
+    let g = t.gateways.len();
+    let total_accels: usize = t.gateways.iter().map(|&(depth, _)| depth).sum();
+    let n = 2 + 2 * g + total_accels;
+    let mut sys = System::new(n);
 
-    // --- gateway A: FIFOs, chain, streams ---
-    let mut ins_a = Vec::new();
-    let mut outs_a = Vec::new();
-    for s in 0..t.streams_a {
-        ins_a.push(sys.add_fifo(CFifo::new(format!("inA{s}"), t.in_cap)));
-        outs_a.push(sys.add_fifo(CFifo::new(format!("outA{s}"), t.out_cap)));
-    }
-    let (first_node, last_node, last_stream) = if t.chain_len == 2 {
-        (3, 4, 12)
-    } else {
-        (3, 3, 11)
-    };
-    let a0 = sys.add_accel(AcceleratorTile::new(
-        "A0",
-        3,
-        1,
-        10,
-        if t.chain_len == 2 { 4 } else { 6 },
-        11,
-        2,
-        t.rho,
-    ));
-    let mut chain = vec![a0];
-    if t.chain_len == 2 {
-        chain.push(sys.add_accel(AcceleratorTile::new("A1", 4, 3, 11, 6, 12, 2, t.rho)));
-    }
-    let mut gw_a = GatewayPair::new(
-        "gwA",
-        1,
-        6,
-        chain,
-        first_node,
-        10,
-        last_node,
-        last_stream,
-        2,
-        t.epsilon,
-        t.delta,
-    );
-    for s in 0..t.streams_a {
-        gw_a.add_stream(StreamConfig::new(
-            format!("sA{s}"),
-            ins_a[s],
-            outs_a[s],
-            t.eta,
-            t.eta,
-            t.reconfig,
-            kernels(t.chain_len, 2.0 + s as f64),
-        ));
-    }
-    sys.add_gateway(gw_a);
+    let mut all_inputs = Vec::new(); // (fifo, source interval, TDM budget)
+    let mut all_outputs = Vec::new();
 
-    // --- optional gateway B with its own accelerator ---
-    let mut io_b = None;
-    if t.two_gateways {
-        let ib = sys.add_fifo(CFifo::new("inB", t.in_cap));
-        let ob = sys.add_fifo(CFifo::new("outB", t.out_cap));
-        let b0 = sys.add_accel(AcceleratorTile::new("B0", 5, 2, 20, 8, 21, 2, t.rho));
-        let mut gw_b = GatewayPair::new("gwB", 2, 8, vec![b0], 5, 20, 5, 21, 2, t.epsilon, t.delta);
-        gw_b.add_stream(StreamConfig::new(
-            "sB",
-            ib,
-            ob,
-            t.eta,
-            t.eta,
-            t.reconfig,
-            vec![Box::new(ScaleKernel::new(7.0))],
-        ));
-        sys.add_gateway(gw_b);
-        io_b = Some((ib, ob));
+    let mut accel_base = 1 + g;
+    let exit_base = 1 + g + total_accels;
+    for (gi, &(depth, streams)) in t.gateways.iter().enumerate() {
+        let entry = 1 + gi;
+        let exit = exit_base + gi;
+        // Ring stream ids, unique per gateway: link j carries the hop
+        // into chain stage j (j = depth is the exit hop).
+        let link = |j: usize| (10 * (gi + 1) + j) as u32;
+        let nodes: Vec<usize> = (0..depth).map(|j| accel_base + j).collect();
+        accel_base += depth;
+
+        let chain: Vec<_> = (0..depth)
+            .map(|j| {
+                sys.add_accel(AcceleratorTile::new(
+                    format!("G{gi}A{j}"),
+                    nodes[j],
+                    if j == 0 { entry } else { nodes[j - 1] },
+                    link(j),
+                    if j + 1 == depth { exit } else { nodes[j + 1] },
+                    link(j + 1),
+                    2,
+                    t.rho,
+                ))
+            })
+            .collect();
+        let mut gw = GatewayPair::new(
+            format!("gw{gi}"),
+            entry,
+            exit,
+            chain,
+            nodes[0],
+            link(0),
+            nodes[depth - 1],
+            link(depth),
+            2,
+            t.epsilon,
+            t.delta,
+        );
+        for s in 0..streams {
+            let input = sys.add_fifo(CFifo::new(format!("in{gi}_{s}"), t.in_cap));
+            let output = sys.add_fifo(CFifo::new(format!("out{gi}_{s}"), t.out_cap));
+            gw.add_stream(StreamConfig::new(
+                format!("g{gi}s{s}"),
+                input,
+                output,
+                t.eta,
+                t.eta,
+                t.reconfig,
+                kernels(depth, 2.0 + (gi * 3 + s) as f64),
+            ));
+            all_inputs.push((input, t.src_interval + gi as u64, 1 + (s as u64 % 2)));
+            all_outputs.push(output);
+        }
+        sys.add_gateway(gw);
     }
 
     // --- front-end processor: one rate source per input ---
     let mut fe = ProcessorTile::new("FE", 0);
-    for (s, f) in ins_a.iter().enumerate() {
-        let base = s as f64;
+    for (i, (f, interval, budget)) in all_inputs.iter().enumerate() {
+        let base = i as f64;
+        let fifo = f.0;
         fe.add_task(
             Box::new(RateSource::new(
-                f.0,
-                t.src_interval,
-                Box::new(move |i| (base + i as f64, 0.25)),
+                fifo,
+                *interval,
+                Box::new(move |k| (base + k as f64, 0.25)),
             )),
-            1 + (s as u64 % 2),
-        );
-    }
-    if let Some((ib, _)) = io_b {
-        fe.add_task(
-            Box::new(RateSource::new(
-                ib.0,
-                t.src_interval + 1,
-                Box::new(|i| (-(i as f64), 0.5)),
-            )),
-            1,
+            *budget,
         );
     }
     sys.add_processor(fe);
 
     // --- consumer processor: one sink per output (TDM budgets) ---
-    let mut consumer = ProcessorTile::new("consumer", 9);
-    for f in &outs_a {
+    let mut consumer = ProcessorTile::new("consumer", n - 1);
+    for f in &all_outputs {
         consumer.add_task(Box::new(SinkTask::new(f.0, t.sink_interval)), t.sink_budget);
-    }
-    if let Some((_, ob)) = io_b {
-        consumer.add_task(Box::new(SinkTask::new(ob.0, t.sink_interval)), 1);
     }
     sys.add_processor(consumer);
 
@@ -268,8 +297,41 @@ proptest! {
 
     #[test]
     fn event_driven_is_bit_identical_to_exhaustive(t in topo_strategy()) {
+        prop_assume!(accepted_by_analyzer(&t));
         let ex = run(&t, StepMode::Exhaustive);
         let ev = run(&t, StepMode::EventDriven);
         assert_identical(ex, ev)?;
+    }
+}
+
+/// The densest supported topology — three gateway pairs, each with a
+/// three-deep accelerator chain and three multiplexed streams — pinned as
+/// a deterministic regression alongside the random sweep.
+#[test]
+fn max_topology_three_gateways_three_deep_chains() {
+    let t = Topo {
+        gateways: vec![(3, 3); 3],
+        epsilon: 3,
+        delta: 1,
+        rho: 4,
+        reconfig: 25,
+        eta: 12,
+        in_cap: 48,
+        out_cap: 128,
+        src_interval: 5,
+        sink_interval: 3,
+        sink_budget: 2,
+        cycles: 20_000,
+    };
+    assert!(
+        accepted_by_analyzer(&t),
+        "max topology must pass the oracle"
+    );
+    let ex = run(&t, StepMode::Exhaustive);
+    let ev = run(&t, StepMode::EventDriven);
+    match assert_identical(ex, ev) {
+        Ok(()) => {}
+        Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
+        Err(TestCaseError::Reject) => unreachable!(),
     }
 }

@@ -24,6 +24,7 @@
 //! | [`dsp`] | CORDIC, FIR/decimator, FM demodulation, PAL stereo synthesis |
 //! | [`core`] | the paper's contribution: models, Algorithm 1, deployment |
 //! | [`hwcost`] | Virtex-6 resource model, sharing savings (Table I / Fig. 11) |
+//! | [`analysis`] | static deployment analyzer: rules A1–A6, `streamgate-analyze` |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use streamgate_analysis as analysis;
 pub use streamgate_core as core;
 pub use streamgate_dataflow as dataflow;
 pub use streamgate_dsp as dsp;
