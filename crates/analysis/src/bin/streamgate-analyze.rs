@@ -4,7 +4,7 @@
 //! ```text
 //! streamgate-analyze [--json] [--spec FILE | PRESET]
 //!
-//! PRESET: pal (default) | fig6 | fig9-safe | fig9-broken
+//! PRESET: pal (default) | pal2 | fig6 | fig9-safe | fig9-broken
 //! ```
 //!
 //! Prints the analysis report as text (or machine-readable JSON with
@@ -14,7 +14,7 @@ use std::process::ExitCode;
 use streamgate_analysis::{analyze, DeploySpec};
 
 const USAGE: &str = "usage: streamgate-analyze [--json] [--spec FILE | PRESET]\n\
-                     presets: pal (default), fig6, fig9-safe, fig9-broken";
+                     presets: pal (default), pal2, fig6, fig9-safe, fig9-broken";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -64,6 +64,7 @@ fn main() -> ExitCode {
     } else {
         match preset.as_deref().unwrap_or("pal") {
             "pal" => DeploySpec::pal_scaled(),
+            "pal2" => DeploySpec::pal2(),
             "fig6" => DeploySpec::fig6(),
             "fig9-safe" => DeploySpec::fig9(true),
             "fig9-broken" => DeploySpec::fig9(false),

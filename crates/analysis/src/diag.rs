@@ -1,7 +1,7 @@
 //! Structured diagnostics: rule identifiers, severities, and the report
 //! that [`crate::analyze`] produces.
 //!
-//! Every diagnostic carries a machine-readable rule ID (`A1`–`A6`), a
+//! Every diagnostic carries a machine-readable rule ID (`A1`–`A10`), a
 //! severity, a location inside the deployment (gateway / stream /
 //! processor), and a human message. Reports serialise to JSON (and parse
 //! back) so build pipelines can gate on them.
@@ -31,20 +31,36 @@ pub enum RuleId {
     /// A6 — ring-credit sufficiency: NI depth vs the credit window the
     /// chain pace requires.
     A6CreditWindow,
+    /// A7 — cross-gateway ring contention: per-hop injection load and
+    /// credit interference summed over all streams' block traffic.
+    A7RingContention,
+    /// A8 — system round feasibility: γ over *all* admitted streams
+    /// (Eq. 3–4) with per-stream throughput checks at system scope.
+    A8SystemRound,
+    /// A9 — TDM slot-table conflicts across gateways on the shared
+    /// configuration bus (overlap, orphaned slots, window overrun).
+    A9SlotConflict,
+    /// A10 — end-to-end latency composition through the Fig. 7
+    /// single-actor SDF abstraction.
+    A10EndToEndLatency,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::A1Liveness,
         RuleId::A2BufferCapacity,
         RuleId::A3Throughput,
         RuleId::A4TdmSchedule,
         RuleId::A5SpaceCheck,
         RuleId::A6CreditWindow,
+        RuleId::A7RingContention,
+        RuleId::A8SystemRound,
+        RuleId::A9SlotConflict,
+        RuleId::A10EndToEndLatency,
     ];
 
-    /// The short machine-readable code (`"A1"` … `"A6"`).
+    /// The short machine-readable code (`"A1"` … `"A10"`).
     pub fn code(&self) -> &'static str {
         match self {
             RuleId::A1Liveness => "A1",
@@ -53,6 +69,10 @@ impl RuleId {
             RuleId::A4TdmSchedule => "A4",
             RuleId::A5SpaceCheck => "A5",
             RuleId::A6CreditWindow => "A6",
+            RuleId::A7RingContention => "A7",
+            RuleId::A8SystemRound => "A8",
+            RuleId::A9SlotConflict => "A9",
+            RuleId::A10EndToEndLatency => "A10",
         }
     }
 
@@ -65,6 +85,10 @@ impl RuleId {
             RuleId::A4TdmSchedule => "TDM slot-table feasibility",
             RuleId::A5SpaceCheck => "check-for-space admission (Fig. 9)",
             RuleId::A6CreditWindow => "ring credit sufficiency",
+            RuleId::A7RingContention => "cross-gateway ring contention",
+            RuleId::A8SystemRound => "system round feasibility (Eq. 3-4)",
+            RuleId::A9SlotConflict => "configuration slot-table conflicts",
+            RuleId::A10EndToEndLatency => "end-to-end latency (Fig. 7 SDF)",
         }
     }
 
@@ -124,6 +148,13 @@ impl fmt::Display for Severity {
 pub enum Location {
     /// The deployment as a whole (gateway pair + chain).
     Deployment,
+    /// Gateway pair `index` (with its name) in a multi-gateway deployment.
+    Gateway {
+        /// Gateway index in spec order.
+        index: usize,
+        /// Gateway name.
+        name: String,
+    },
     /// Stream `index` (with its name).
     Stream {
         /// Stream index in spec order.
@@ -146,6 +177,7 @@ impl fmt::Display for Location {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Location::Deployment => f.write_str("deployment"),
+            Location::Gateway { index, name } => write!(f, "gateway[{index}] {name}"),
             Location::Stream { index, name } => write!(f, "stream[{index}] {name}"),
             Location::Processor { index, name, task } => match task {
                 Some(t) => write!(f, "processor[{index}] {name}/{t}"),
@@ -159,6 +191,11 @@ impl Location {
     fn to_json(&self) -> Json {
         match self {
             Location::Deployment => Json::obj(vec![("kind", Json::Str("deployment".into()))]),
+            Location::Gateway { index, name } => Json::obj(vec![
+                ("kind", Json::Str("gateway".into())),
+                ("index", Json::Int(*index as i128)),
+                ("name", Json::Str(name.clone())),
+            ]),
             Location::Stream { index, name } => Json::obj(vec![
                 ("kind", Json::Str("stream".into())),
                 ("index", Json::Int(*index as i128)),
@@ -197,6 +234,10 @@ impl Location {
         };
         match kind {
             "deployment" => Ok(Location::Deployment),
+            "gateway" => Ok(Location::Gateway {
+                index: index()?,
+                name: name()?,
+            }),
             "stream" => Ok(Location::Stream {
                 index: index()?,
                 name: name()?,
@@ -550,7 +591,8 @@ mod tests {
         for r in RuleId::ALL {
             assert_eq!(RuleId::from_code(r.code()), Some(r));
         }
-        assert_eq!(RuleId::from_code("A9"), None);
+        assert_eq!(RuleId::from_code("A11"), None);
+        assert_eq!(RuleId::from_code("A10"), Some(RuleId::A10EndToEndLatency));
     }
 
     #[test]

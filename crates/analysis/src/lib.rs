@@ -6,14 +6,26 @@
 //! executing a single simulated cycle**, the properties the paper proves
 //! about the gateway architecture:
 //!
-//! | rule | checks | paper reference |
-//! |------|--------|-----------------|
-//! | A1   | CSDF liveness / deadlock-freedom of the per-stream model | Fig. 5 |
-//! | A2   | FIFO / C-FIFO capacity sufficiency, non-monotone trap | Fig. 8, §V-E |
-//! | A3   | per-stream throughput feasibility `η_s/γ ≥ μ_s` | Eq. 5–9 |
-//! | A4   | TDM slot-table feasibility, replication-interval consistency | §III |
-//! | A5   | head-of-line blocking without the check-for-space test | Fig. 9, §V-G |
-//! | A6   | ring credit sufficiency (NI depth vs credit window) | §IV |
+//! | rule | scope | checks | paper reference |
+//! |------|-------|--------|-----------------|
+//! | A1   | per pair | CSDF liveness / deadlock-freedom of the per-stream model | Fig. 5 |
+//! | A2   | per pair | FIFO / C-FIFO capacity sufficiency, non-monotone trap | Fig. 8, §V-E |
+//! | A3   | per pair | per-stream throughput feasibility `η_s/γ ≥ μ_s` | Eq. 5–9 |
+//! | A4   | per pair | TDM slot-table feasibility and task-to-slot placement | §III |
+//! | A5   | per pair | head-of-line blocking without the check-for-space test | Fig. 9, §V-G |
+//! | A6   | per pair | ring credit sufficiency (NI depth vs credit window) | §IV |
+//! | A7   | system | cross-gateway ring contention, hop load and credit interference | §IV |
+//! | A8   | system | system round feasibility with cross-pair chain sharing | Eq. 3–4, Fig. 10 |
+//! | A9   | system | configuration-bus TDM slot-table conflicts across pairs | §III–IV |
+//! | A10  | system | end-to-end latency via the single-actor SDF abstraction | Fig. 7 |
+//!
+//! A [`DeploySpec`] comes in two shapes: the original *single-gateway*
+//! shape (one chain, one stream set) and the *multi-gateway* shape, where
+//! [`spec::GatewayDeploy`] sections place several gateway pairs on one
+//! ring, optionally sharing physical accelerator chains (the paper's
+//! Fig. 10 deployment — see [`DeploySpec::pal2`]). Rules A1–A6 run once
+//! per pair, exactly as they would on the equivalent single-gateway spec;
+//! A7–A10 see the whole system.
 //!
 //! The outcome is a [`Report`] of structured [`Diagnostic`]s (rule id,
 //! severity, location, message) that renders as text or machine-readable
@@ -32,4 +44,7 @@ pub mod spec;
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
 pub use json::Json;
 pub use rules::{analyze, analyze_with, AnalysisOptions};
-pub use spec::{ChainStage, DeploySpec, ProcessorDeploy, StreamDeploy, TaskDeploy};
+pub use spec::{
+    ChainStage, DeploySpec, GatewayDeploy, GatewayView, MultiBuiltSystem, ProcessorDeploy,
+    RingLayout, StreamDeploy, TaskDeploy, ToDeploySpec,
+};

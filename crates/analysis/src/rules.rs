@@ -1,4 +1,4 @@
-//! The analysis rules A1–A6 and the [`analyze`] entry point.
+//! The analysis rules A1–A10 and the [`analyze`] entry point.
 //!
 //! Every rule checks a compile-time property the paper derives for the
 //! gateway architecture (see DESIGN.md §8 for the rule ↔ equation/figure
@@ -6,9 +6,17 @@
 //! *analytical* self-timed execution of the per-stream CSDF model (the
 //! `dataflow` machinery of Fig. 5), everything else is arithmetic over the
 //! deployment description.
+//!
+//! Rules A1–A6 are *per gateway pair*: they run once per
+//! [`GatewayView`], so a multi-gateway spec gets each pair checked in
+//! isolation exactly as a PR-3 single-gateway spec would be. Rules A7–A10
+//! are *system scope*: ring contention across pairs (A7), the system round
+//! with cross-pair chain sharing (A8), configuration-bus slot tables (A9)
+//! and end-to-end latency through the Fig. 7 single-actor abstraction
+//! (A10).
 
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
-use crate::spec::DeploySpec;
+use crate::spec::{DeploySpec, GatewayView};
 use streamgate_core::{fig5_csdf, minimum_stream_buffers, Fig5Params, SharingProblem};
 use streamgate_ilp::Rational;
 
@@ -45,88 +53,152 @@ pub fn analyze(spec: &DeploySpec) -> Report {
 
 /// Run every rule over `spec` and collect the findings into a [`Report`].
 pub fn analyze_with(spec: &DeploySpec, opts: &AnalysisOptions) -> Report {
-    let prob = spec.sharing_problem();
-    let etas = spec.etas();
-    let c0 = spec.c0();
-    let gamma = if spec.streams.is_empty() {
-        0
-    } else {
-        prob.gamma(&etas)
-    };
-    let util = prob.utilisation();
-
+    let views = spec.gateway_views();
     let mut diags = Vec::new();
-    let structurally_ok = check_structure(spec, &mut diags);
-    let throughput_ok = check_throughput(spec, &prob, &etas, gamma, &util, &mut diags);
-    check_buffers(spec, &prob, &etas, gamma, throughput_ok, opts, &mut diags);
+
+    // Multi-gateway structural defects first: a malformed gateway section
+    // voids the per-pair interpretation below.
+    for (g, msg) in spec.gateway_structure_errors() {
+        diags.push(Diagnostic {
+            rule: RuleId::A1Liveness,
+            severity: Severity::Error,
+            location: Location::Gateway {
+                index: g,
+                name: spec
+                    .gateways
+                    .get(g)
+                    .map(|x| x.name.clone())
+                    .unwrap_or_default(),
+            },
+            message: format!("structurally invalid gateway section: {msg}"),
+        });
+    }
+
+    // Per-pair rules A1–A6, one pass per view, with globally offset stream
+    // indices so diagnostics and bounds use one flat numbering.
+    let mut util_max = Rational::from_int(0);
+    let mut offset = 0;
+    for v in &views {
+        let prob = v.sharing_problem();
+        let etas = v.etas();
+        let gamma = if v.streams.is_empty() {
+            0
+        } else {
+            prob.gamma(&etas)
+        };
+        let util = prob.utilisation();
+        if util > util_max {
+            util_max = util;
+        }
+        let structurally_ok = check_structure(spec, v, offset, &mut diags);
+        let throughput_ok =
+            check_throughput(spec, v, offset, &prob, &etas, gamma, &util, &mut diags);
+        check_buffers(
+            spec,
+            v,
+            offset,
+            &prob,
+            &etas,
+            gamma,
+            throughput_ok,
+            opts,
+            &mut diags,
+        );
+        check_space_check(spec, v, offset, &mut diags);
+        check_credits(spec, v, &mut diags);
+        check_liveness(spec, v, offset, &prob, &etas, structurally_ok, &mut diags);
+        offset += v.streams.len();
+    }
     check_tdm(spec, &mut diags);
-    check_space_check(spec, &mut diags);
-    check_credits(spec, c0, &mut diags);
-    check_liveness(spec, &prob, &etas, structurally_ok, &mut diags);
+
+    // System-scope rules A7–A10.
+    let gamma_sys = check_system_round(spec, &views, &mut diags);
+    check_ring(spec, &views, &mut diags);
+    check_config_bus(spec, &views, &mut diags);
+    check_latency(spec, &views, &gamma_sys, &mut diags);
 
     // Deterministic order: by rule, most severe first, then insertion order.
     diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
 
-    let bounds = spec
-        .streams
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let tau_hat = prob.tau_hat(i, etas[i]);
-            StreamBounds {
+    let mut bounds = Vec::new();
+    let mut gi = 0;
+    for v in &views {
+        let c0 = v.c0();
+        for s in v.streams {
+            let tau_hat = s.reconfig + (s.eta_in + 2) * c0;
+            bounds.push(StreamBounds {
                 stream: s.name.clone(),
                 eta_in: s.eta_in,
                 tau_hat,
-                omega_hat: gamma - tau_hat,
+                omega_hat: gamma_sys[gi].saturating_sub(tau_hat),
                 mu: (s.mu.numer(), s.mu.denom()),
-            }
-        })
-        .collect();
+            });
+            gi += 1;
+        }
+    }
 
     Report {
         deployment: spec.name.clone(),
         diagnostics: diags,
-        gamma,
-        utilisation: (util.numer(), util.denom()),
+        gamma: gamma_sys.iter().copied().max().unwrap_or(0),
+        utilisation: (util_max.numer(), util_max.denom()),
         bounds,
     }
 }
 
-fn stream_loc(spec: &DeploySpec, index: usize) -> Location {
+fn stream_loc(view: &GatewayView, offset: usize, local: usize) -> Location {
     Location::Stream {
-        index,
-        name: spec.streams[index].name.clone(),
+        index: offset + local,
+        name: view.streams[local].name.clone(),
+    }
+}
+
+/// Gateway-level findings land on the deployment in the single-gateway
+/// shape (the PR-3 wording) and on the named pair in the multi shape.
+fn gw_loc(spec: &DeploySpec, view: &GatewayView) -> Location {
+    if spec.is_multi() {
+        Location::Gateway {
+            index: view.index,
+            name: view.name.to_string(),
+        }
+    } else {
+        Location::Deployment
     }
 }
 
 /// Structural sanity: block sizes and rates that the rest of the analysis
 /// (and the Fig. 5 model construction) relies on. Returns a per-stream
 /// "sound enough to model" flag.
-fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> {
-    let mut ok = vec![true; spec.streams.len()];
-    if spec.chain.is_empty() {
+fn check_structure(
+    spec: &DeploySpec,
+    view: &GatewayView,
+    offset: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<bool> {
+    let mut ok = vec![true; view.streams.len()];
+    if view.chain.is_empty() {
         diags.push(Diagnostic {
             rule: RuleId::A1Liveness,
             severity: Severity::Error,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: "the accelerator chain is empty: there is nothing to share".into(),
         });
         ok.iter_mut().for_each(|v| *v = false);
     }
-    if spec.streams.is_empty() {
+    if view.streams.is_empty() {
         diags.push(Diagnostic {
             rule: RuleId::A1Liveness,
             severity: Severity::Warning,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: "no streams are deployed on the chain".into(),
         });
     }
-    for (i, s) in spec.streams.iter().enumerate() {
+    for (i, s) in view.streams.iter().enumerate() {
         if s.eta_in == 0 || s.eta_out == 0 {
             diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "block sizes must be positive (eta_in = {}, eta_out = {})",
                     s.eta_in, s.eta_out
@@ -139,7 +211,7 @@ fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> 
             diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Warning,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "eta_out {} > eta_in {}: interpolating chains are outside the \
                      analysed model; bounds assume eta_out <= eta_in",
@@ -150,7 +222,7 @@ fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> 
             diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Warning,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "eta_in {} is not an integer multiple of eta_out {}: the chain's \
                      decimation factor is fractional per block",
@@ -162,7 +234,7 @@ fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> 
             diags.push(Diagnostic {
                 rule: RuleId::A3Throughput,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!("required throughput mu = {} must be positive", s.mu),
             });
             ok[i] = false;
@@ -173,19 +245,22 @@ fn check_structure(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) -> Vec<bool> 
 
 /// A3 — Eq. 5–9: aggregate utilisation and the per-stream throughput
 /// constraint `η_s/γ ≥ μ_s`. Returns a per-stream pass flag.
+#[allow(clippy::too_many_arguments)]
 fn check_throughput(
     spec: &DeploySpec,
+    view: &GatewayView,
+    offset: usize,
     prob: &SharingProblem,
     etas: &[u64],
     gamma: u64,
     util: &Rational,
     diags: &mut Vec<Diagnostic>,
 ) -> Vec<bool> {
-    let mut ok = vec![true; spec.streams.len()];
-    if spec.streams.is_empty() {
+    let mut ok = vec![true; view.streams.len()];
+    if view.streams.is_empty() {
         return ok;
     }
-    if spec.streams.iter().any(|s| !s.mu.is_positive()) {
+    if view.streams.iter().any(|s| !s.mu.is_positive()) {
         // Structural error already reported; utilisation is meaningless.
         ok.iter_mut().for_each(|v| *v = false);
         return ok;
@@ -194,7 +269,7 @@ fn check_throughput(
         diags.push(Diagnostic {
             rule: RuleId::A3Throughput,
             severity: Severity::Error,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: format!(
                 "aggregate chain utilisation c0*sum(mu) = {}/{} >= 1: every sample \
                  occupies the chain for c0 = {} cycles, so NO block sizes can meet \
@@ -208,14 +283,14 @@ fn check_throughput(
         return ok;
     }
     let gamma_r = Rational::from_int(gamma as i128);
-    for (i, s) in spec.streams.iter().enumerate() {
+    for (i, s) in view.streams.iter().enumerate() {
         let need = s.mu * gamma_r; // minimum η for this γ (Eq. 5)
         if Rational::from_int(etas[i] as i128) < need {
             let need_eta = need.ceil();
             diags.push(Diagnostic {
                 rule: RuleId::A3Throughput,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "throughput infeasible (Eq. 5): eta/gamma = {}/{gamma} < mu = {}; \
                      with this round the stream needs eta >= {need_eta} (or smaller \
@@ -233,7 +308,7 @@ fn check_throughput(
             diags.push(Diagnostic {
                 rule: RuleId::A3Throughput,
                 severity: Severity::Info,
-                location: Location::Deployment,
+                location: gw_loc(spec, view),
                 message: format!(
                     "Eq. 5 holds for every stream; Algorithm 1 minimum block sizes \
                      {:?} (gamma = {}), configured {:?} (gamma = {gamma})",
@@ -249,8 +324,11 @@ fn check_throughput(
 /// hold one whole block for the gateway to ever admit it), round-length
 /// influx, the exact minimum capacities where affordable, and the
 /// non-monotone trap probe.
+#[allow(clippy::too_many_arguments)]
 fn check_buffers(
     spec: &DeploySpec,
+    view: &GatewayView,
+    offset: usize,
     prob: &SharingProblem,
     etas: &[u64],
     gamma: u64,
@@ -259,7 +337,7 @@ fn check_buffers(
     diags: &mut Vec<Diagnostic>,
 ) {
     let gamma_r = Rational::from_int(gamma as i128);
-    for (i, s) in spec.streams.iter().enumerate() {
+    for (i, s) in view.streams.iter().enumerate() {
         if s.eta_in == 0 || s.eta_out == 0 {
             continue; // structural error already reported
         }
@@ -267,7 +345,7 @@ fn check_buffers(
             diags.push(Diagnostic {
                 rule: RuleId::A2BufferCapacity,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "input capacity {} < eta_in {}: a full block never fits, the \
                      gateway can never admit this stream (deadlock)",
@@ -280,7 +358,7 @@ fn check_buffers(
             diags.push(Diagnostic {
                 rule: RuleId::A2BufferCapacity,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "output capacity {} < eta_out {}: the check-for-space admission \
                      test can never pass, the block is never admitted (deadlock)",
@@ -300,7 +378,7 @@ fn check_buffers(
             diags.push(Diagnostic {
                 rule: RuleId::A2BufferCapacity,
                 severity: Severity::Warning,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "input capacity {} < eta_in + ceil(mu*gamma) = {} + {influx}: a \
                      hard producer can overflow (lose samples) while a worst-case \
@@ -324,7 +402,7 @@ fn check_buffers(
                     diags.push(Diagnostic {
                         rule: RuleId::A2BufferCapacity,
                         severity: Severity::Warning,
-                        location: stream_loc(spec, i),
+                        location: stream_loc(view, offset, i),
                         message: format!(
                             "output capacity {} is below the computed minimum alpha3 = \
                              {} for eta = {}: the consumer-side buffer throttles the \
@@ -360,7 +438,7 @@ fn check_buffers(
                     diags.push(Diagnostic {
                         rule: RuleId::A2BufferCapacity,
                         severity: Severity::Warning,
-                        location: stream_loc(spec, i),
+                        location: stream_loc(view, offset, i),
                         message: format!(
                             "non-monotone buffer sizing (Fig. 8): a LARGER block size \
                              eta = {cand} needs only alpha3 = {alpha3} < {} required \
@@ -411,7 +489,19 @@ fn check_tdm(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
                 });
             }
         }
-        for t in &p.tasks {
+        // Actual task-to-slot assignment: windows are contiguous in
+        // declaration order, task i starting at the prefix sum of the
+        // earlier budgets (how ProcessorTile lays its table out).
+        let starts: Vec<u64> = p
+            .tasks
+            .iter()
+            .scan(0u64, |acc, t| {
+                let s = *acc;
+                *acc += t.budget;
+                Some(s)
+            })
+            .collect();
+        for (ti, t) in p.tasks.iter().enumerate() {
             let Some(interval) = t.required_interval else {
                 continue;
             };
@@ -451,14 +541,43 @@ fn check_tdm(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
                         t.budget
                     ),
                 });
+            } else {
+                // Average rate suffices — but the *placement* matters too:
+                // the task's window is contiguous, so consecutive run
+                // opportunities are up to period − budget + 1 cycles apart.
+                let gap = period - t.budget + 1;
+                if gap > interval {
+                    diags.push(Diagnostic {
+                        rule: RuleId::A4TdmSchedule,
+                        severity: Severity::Warning,
+                        location: loc(Some(t.name.clone())),
+                        message: format!(
+                            "slot placement bursty: the contiguous window \
+                             [{}, {}) leaves a worst-case inter-tick gap of \
+                             {gap} > required interval {interval} cycles — the \
+                             average rate suffices but the task must buffer \
+                             across the rest of the table",
+                            starts[ti],
+                            starts[ti] + t.budget
+                        ),
+                    });
+                }
             }
         }
+        let windows = p
+            .tasks
+            .iter()
+            .zip(&starts)
+            .map(|(t, w)| format!("{}@[{w}, {})", t.name, w + t.budget))
+            .collect::<Vec<_>>()
+            .join(", ");
         diags.push(Diagnostic {
             rule: RuleId::A4TdmSchedule,
             severity: Severity::Info,
             location: loc(None),
             message: format!(
-                "TDM slot table: {} task(s), replication interval {period} cycles",
+                "TDM slot table: {} task(s), replication interval {period} \
+                 cycles; windows {windows}",
                 p.tasks.len()
             ),
         });
@@ -467,12 +586,17 @@ fn check_tdm(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
 
 /// A5 — Fig. 9: sharing the chain without the check-for-space admission
 /// test exposes every stream to head-of-line blocking by any one consumer.
-fn check_space_check(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
+fn check_space_check(
+    spec: &DeploySpec,
+    view: &GatewayView,
+    offset: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
     if spec.check_for_space {
         diags.push(Diagnostic {
             rule: RuleId::A5SpaceCheck,
             severity: Severity::Info,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: "check-for-space admission test enabled: a block only enters \
                       the chain when its whole output fits (Fig. 9 hazard excluded)"
                 .into(),
@@ -480,13 +604,13 @@ fn check_space_check(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
         return;
     }
     let mut wedged = false;
-    for (i, s) in spec.streams.iter().enumerate() {
+    for (i, s) in view.streams.iter().enumerate() {
         if s.output_capacity < s.eta_out {
             wedged = true;
             diags.push(Diagnostic {
                 rule: RuleId::A5SpaceCheck,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "check-for-space disabled and output capacity {} < eta_out {}: \
                      the admitted block can NEVER drain, the exit gateway stalls and \
@@ -496,17 +620,17 @@ fn check_space_check(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
             });
         }
     }
-    if !wedged && !spec.streams.is_empty() {
+    if !wedged && !view.streams.is_empty() {
         diags.push(Diagnostic {
             rule: RuleId::A5SpaceCheck,
             severity: Severity::Warning,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: format!(
                 "check-for-space admission test disabled: {} stream(s) share the \
                  chain with no guarantee their consumers keep up; a temporarily slow \
                  consumer head-of-line-blocks every other stream and voids the \
                  tau-hat/gamma bounds (Fig. 9, §V-G)",
-                spec.streams.len()
+                view.streams.len()
             ),
         });
     }
@@ -514,32 +638,56 @@ fn check_space_check(spec: &DeploySpec, diags: &mut Vec<Diagnostic>) {
 
 /// A6 — ring credits: the NI depth is the credit window; the chain's
 /// per-sample pace relies on it covering the data+credit round trip.
-fn check_credits(spec: &DeploySpec, c0: u64, diags: &mut Vec<Diagnostic>) {
+fn check_credits(spec: &DeploySpec, view: &GatewayView, diags: &mut Vec<Diagnostic>) {
+    let c0 = view.c0();
     if spec.ni_depth == 0 {
         diags.push(Diagnostic {
             rule: RuleId::A6CreditWindow,
             severity: Severity::Error,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: "NI depth 0: the credit-based flow control starts with zero \
                       credits, no sample can ever be transferred (deadlock)"
                 .into(),
         });
         return;
     }
-    // Adjacent ring stations: one data hop forward, one credit hop back —
-    // a round trip of 2 cycles that the credit window must cover to sustain
-    // the c0 pace.
+    // Data flits travel src → dst on the data ring and credits return
+    // dst → src on the credit ring, so the round trip is twice the hop
+    // distance. In the single-gateway shape producer and consumer stations
+    // are adjacent (distance 1, the paper's 2-cycle round trip); on the
+    // multi-gateway ring the pair's longest segment sets the distance, and
+    // the credit window must cover it or the DMA stalls on credits and the
+    // effective per-sample pace provably exceeds c0 — stretching every
+    // block beyond τ̂, so the multi shape rejects outright.
+    let d_max = if spec.is_multi() {
+        let layout = spec.ring_layout();
+        layout
+            .segments(view.index)
+            .iter()
+            .map(|&(src, dst)| layout.data_hops(src, dst).len() as u64)
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    } else {
+        1
+    };
+    let round_trip = 2 * d_max;
     let window = spec.ni_depth as u64 * c0.max(1);
-    if window < 2 {
+    if window < round_trip {
         diags.push(Diagnostic {
             rule: RuleId::A6CreditWindow,
-            severity: Severity::Warning,
-            location: Location::Deployment,
+            severity: if spec.is_multi() {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            location: gw_loc(spec, view),
             message: format!(
                 "NI depth {} with c0 = {c0}: credit window {window} cycles is below \
-                 the 2-cycle data+credit round trip of adjacent ring stations — the \
-                 DMA stalls on credits and the effective per-sample pace exceeds c0, \
-                 stretching blocks beyond tau-hat (the paper uses depth 2)",
+                 the {round_trip}-cycle data+credit round trip of this pair's \
+                 longest ring segment ({d_max} hop(s)) — the DMA stalls on credits \
+                 and the effective per-sample pace exceeds c0, stretching blocks \
+                 beyond tau-hat (the paper uses depth 2 for adjacent stations)",
                 spec.ni_depth
             ),
         });
@@ -547,10 +695,10 @@ fn check_credits(spec: &DeploySpec, c0: u64, diags: &mut Vec<Diagnostic>) {
         diags.push(Diagnostic {
             rule: RuleId::A6CreditWindow,
             severity: Severity::Info,
-            location: Location::Deployment,
+            location: gw_loc(spec, view),
             message: format!(
                 "NI depth {} sustains the c0 = {c0} pace (credit window {window} \
-                 cycles >= 2-cycle ring round trip)",
+                 cycles >= {round_trip}-cycle ring round trip)",
                 spec.ni_depth
             ),
         });
@@ -562,12 +710,14 @@ fn check_credits(spec: &DeploySpec, c0: u64, diags: &mut Vec<Diagnostic>) {
 /// self-timed execution of two blocks.
 fn check_liveness(
     spec: &DeploySpec,
+    view: &GatewayView,
+    offset: usize,
     prob: &SharingProblem,
     etas: &[u64],
     structurally_ok: Vec<bool>,
     diags: &mut Vec<Diagnostic>,
 ) {
-    for (i, s) in spec.streams.iter().enumerate() {
+    for (i, s) in view.streams.iter().enumerate() {
         if !structurally_ok[i] {
             continue;
         }
@@ -582,7 +732,7 @@ fn check_liveness(
             diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "the Fig. 5 model deadlocks: a buffer cannot hold one whole block \
                      (alpha0 = {}, alpha3 = {alpha3_scaled} input-samples, eta = {})",
@@ -600,9 +750,9 @@ fn check_liveness(
         };
         let p = Fig5Params {
             eta: s.eta_in as usize,
-            epsilon: spec.epsilon,
-            rho_a: spec.rho_a(),
-            delta: spec.delta,
+            epsilon: view.params.epsilon,
+            rho_a: view.params.rho_a,
+            delta: view.params.delta,
             reconfig: s.reconfig,
             omega,
             rho_p,
@@ -616,13 +766,13 @@ fn check_liveness(
             Err(e) => diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!("the Fig. 5 CSDF model is inconsistent: {e:?}"),
             }),
             Ok(trace) if trace.deadlocked => diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Error,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: "self-timed execution of the Fig. 5 model deadlocks before \
                           completing two blocks"
                     .into(),
@@ -630,7 +780,7 @@ fn check_liveness(
             Ok(trace) => diags.push(Diagnostic {
                 rule: RuleId::A1Liveness,
                 severity: Severity::Info,
-                location: stream_loc(spec, i),
+                location: stream_loc(view, offset, i),
                 message: format!(
                     "per-stream CSDF model is consistent and live: two blocks \
                      ({} consumer firings) complete by t = {}",
@@ -638,6 +788,524 @@ fn check_liveness(
                     trace.end_time
                 ),
             }),
+        }
+    }
+}
+
+/// A8 — system round feasibility (Eq. 3–4 at system scope). Returns the
+/// per-stream system round bound `γ_s`, in the flat
+/// [`DeploySpec::all_streams`] order.
+///
+/// Within one gateway, γ is the familiar Σ τ̂ over its streams (Eq. 4).
+/// When several gateways *share one physical chain* (Fig. 10), a gateway's
+/// round additionally waits for the other pairs' claims. The kernel-
+/// presence mutex grants the chain to waiting pairs round-robin, so
+/// between the `n_g` claims of gateway `g`'s round (plus one for initial
+/// phasing), every co-owning gateway `h` interposes at most `n_g + 1`
+/// blocks — and at most `⌈(n_g + 1)/n_h⌉` of its own rounds. The
+/// interference bound takes the cheaper of the two; the *naive* γ = Σ over
+/// all group streams would be unsound, because a pair with fewer streams
+/// claims the chain more often per own-round than the longer pair does.
+fn check_system_round(
+    spec: &DeploySpec,
+    views: &[GatewayView],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<u64> {
+    // τ̂ per view per local stream (Eq. 2 with the view's own c0).
+    let taus: Vec<Vec<u64>> = views
+        .iter()
+        .map(|v| {
+            let c0 = v.c0();
+            v.streams
+                .iter()
+                .map(|s| s.reconfig + (s.eta_in + 2) * c0)
+                .collect()
+        })
+        .collect();
+
+    let mut gamma_sys = Vec::new();
+    let mut gamma_local = Vec::new();
+    for v in views {
+        let own: u64 = taus[v.index].iter().sum();
+        let n_g = v.streams.len() as u64;
+        let mut interference = 0u64;
+        for w in views {
+            if w.index == v.index || w.group != v.group || w.streams.is_empty() {
+                continue;
+            }
+            let claims = n_g + 1;
+            let max_t = *taus[w.index].iter().max().unwrap();
+            let sum_t: u64 = taus[w.index].iter().sum();
+            let n_h = w.streams.len() as u64;
+            interference += (claims * max_t).min(claims.div_ceil(n_h) * sum_t);
+        }
+        for _ in v.streams {
+            gamma_sys.push(own + interference);
+            gamma_local.push(own);
+        }
+    }
+
+    // Group utilisation: each admitted block claims the shared chain for
+    // τ̂ cycles per η samples, so Σ μ·τ̂/η over the group is the fraction
+    // of time the chain is claimed — above 1 no schedule exists.
+    let mut group_checked = Vec::new();
+    for v in views {
+        if v.group != v.index || group_checked.contains(&v.group) {
+            continue;
+        }
+        group_checked.push(v.group);
+        let members: Vec<_> = views.iter().filter(|w| w.group == v.group).collect();
+        if members.iter().all(|w| w.streams.is_empty())
+            || members
+                .iter()
+                .any(|w| w.streams.iter().any(|s| !s.mu.is_positive()))
+        {
+            continue;
+        }
+        let mut util = Rational::from_int(0);
+        for w in &members {
+            for (i, s) in w.streams.iter().enumerate() {
+                util += s.mu * Rational::new(taus[w.index][i] as i128, s.eta_in as i128);
+            }
+        }
+        let shared = members.len() > 1;
+        if util > Rational::ONE {
+            diags.push(Diagnostic {
+                rule: RuleId::A8SystemRound,
+                severity: Severity::Error,
+                location: gw_loc(spec, v),
+                message: format!(
+                    "chain over-committed: the group's blocks claim the shared \
+                     chain for sum(mu*tau-hat/eta) = {}/{} > 1 of the time — no \
+                     round-robin schedule can meet every rate (Eq. 3-4)",
+                    util.numer(),
+                    util.denom()
+                ),
+            });
+        } else if util == Rational::ONE && shared {
+            diags.push(Diagnostic {
+                rule: RuleId::A8SystemRound,
+                severity: Severity::Warning,
+                location: gw_loc(spec, v),
+                message: "chain claimed 100% of the time across the sharing \
+                          pairs: zero slack for reconfiguration phasing"
+                    .into(),
+            });
+        }
+    }
+
+    // Per-stream Eq. 5 at system scope — only where the *system* round is
+    // strictly longer than the pair-local one (A3 already checked η/γ ≥ μ
+    // for the local round).
+    for (gi, (v, s)) in views
+        .iter()
+        .flat_map(|v| v.streams.iter().map(move |s| (v, s)))
+        .enumerate()
+    {
+        if !s.mu.is_positive() || gamma_sys[gi] == gamma_local[gi] {
+            continue;
+        }
+        let lhs = Rational::new(s.eta_in as i128, gamma_sys[gi] as i128);
+        if lhs < s.mu {
+            diags.push(Diagnostic {
+                rule: RuleId::A8SystemRound,
+                severity: Severity::Error,
+                location: Location::Stream {
+                    index: gi,
+                    name: s.name.clone(),
+                },
+                message: format!(
+                    "throughput infeasible at system scope (Eq. 5): eta/gamma_s \
+                     = {}/{} < mu = {} once the co-owning pairs' claims on the \
+                     shared chain are charged to {}'s round",
+                    s.eta_in, gamma_sys[gi], s.mu, v.name
+                ),
+            });
+        }
+    }
+
+    if !gamma_sys.is_empty() {
+        diags.push(Diagnostic {
+            rule: RuleId::A8SystemRound,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "system round bounds: max gamma_s = {} cycles over {} stream(s) \
+                 on {} gateway pair(s)",
+                gamma_sys.iter().max().unwrap(),
+                gamma_sys.len(),
+                views.len()
+            ),
+        });
+    }
+    gamma_sys
+}
+
+/// A7 — cross-gateway ring contention on the [`DeploySpec::ring_layout`]
+/// placement. Every stream loads each data-ring hop its block path
+/// crosses, and mirrors one credit per data flit on the reverse-rotation
+/// credit ring. Hops before the first accelerator carry the full required
+/// rate μ; hops after it carry at least μ·η_out/η_in (the decimation may
+/// happen at any stage, so the post-accelerator floor is the provable
+/// minimum while μ stays the ceiling). Required load above one flit/cycle
+/// on any hop is a provable failure; a ceiling at or above one is a
+/// warning.
+fn check_ring(spec: &DeploySpec, views: &[GatewayView], diags: &mut Vec<Diagnostic>) {
+    if views.iter().all(|v| v.chain.is_empty())
+        || views.iter().any(|v| {
+            v.streams
+                .iter()
+                .any(|s| !s.mu.is_positive() || s.eta_in == 0)
+        })
+    {
+        return; // structural errors already reported
+    }
+    let layout = spec.ring_layout();
+    let zero = Rational::from_int(0);
+    let mut data_min = vec![zero; layout.nodes];
+    let mut data_max = vec![zero; layout.nodes];
+    let mut credit_min = vec![zero; layout.nodes];
+    let mut credit_max = vec![zero; layout.nodes];
+    // Which gateways cross each data hop (for diagnostics + NI check).
+    let mut hop_users: Vec<Vec<usize>> = vec![Vec::new(); layout.nodes];
+
+    for v in views {
+        let segs = layout.segments(v.index);
+        for s in v.streams {
+            let ratio = if s.eta_out >= s.eta_in {
+                Rational::ONE
+            } else {
+                Rational::new(s.eta_out as i128, s.eta_in as i128)
+            };
+            for (k, &(src, dst)) in segs.iter().enumerate() {
+                let wmin = if k == 0 { s.mu } else { s.mu * ratio };
+                for h in layout.data_hops(src, dst) {
+                    data_min[h] += wmin;
+                    data_max[h] += s.mu;
+                    if !hop_users[h].contains(&v.index) {
+                        hop_users[h].push(v.index);
+                    }
+                }
+                for h in layout.credit_hops(src, dst) {
+                    credit_min[h] += wmin;
+                    credit_max[h] += s.mu;
+                }
+            }
+        }
+    }
+
+    let mut worst = Rational::from_int(0);
+    let mut worst_hop = 0;
+    let mut failed = false;
+    for (ring, (min_loads, max_loads)) in [
+        ("data", (&data_min, &data_max)),
+        ("credit", (&credit_min, &credit_max)),
+    ] {
+        for h in 0..layout.nodes {
+            if max_loads[h] > worst {
+                worst = max_loads[h];
+                worst_hop = h;
+            }
+            if min_loads[h] > Rational::ONE {
+                failed = true;
+                diags.push(Diagnostic {
+                    rule: RuleId::A7RingContention,
+                    severity: Severity::Error,
+                    location: Location::Deployment,
+                    message: format!(
+                        "{ring}-ring hop {h} over-committed: required sustained \
+                         load {}/{} flits/cycle > 1 from gateway(s) {} — the hop \
+                         forwards one flit per cycle, so some stream must miss \
+                         its rate",
+                        min_loads[h].numer(),
+                        min_loads[h].denom(),
+                        hop_users[h]
+                            .iter()
+                            .map(|&g| views[g].name.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            } else if max_loads[h] >= Rational::ONE {
+                diags.push(Diagnostic {
+                    rule: RuleId::A7RingContention,
+                    severity: Severity::Warning,
+                    location: Location::Deployment,
+                    message: format!(
+                        "{ring}-ring hop {h} may saturate: load ceiling {}/{} \
+                         flits/cycle reaches the one-flit/cycle hop capacity \
+                         (the floor stays below 1, so feasibility depends on \
+                         where the chains decimate)",
+                        max_loads[h].numer(),
+                        max_loads[h].denom(),
+                    ),
+                });
+            }
+        }
+    }
+
+    // Credit-window interference: a pair's ni_depth credit window covers
+    // the 2-cycle adjacent-station round trip (A6), but every *other* pair
+    // whose traffic shares a hop of the path can delay each credit by a
+    // slot, shrinking the effective window.
+    for v in views {
+        if v.streams.is_empty() || v.chain.is_empty() {
+            continue;
+        }
+        let mut interferers: Vec<usize> = Vec::new();
+        let mut d_max = 1u64;
+        for &(src, dst) in &layout.segments(v.index) {
+            let hops = layout.data_hops(src, dst);
+            d_max = d_max.max(hops.len() as u64);
+            for h in hops {
+                for &u in &hop_users[h] {
+                    if u != v.index && !interferers.contains(&u) {
+                        interferers.push(u);
+                    }
+                }
+            }
+        }
+        if !interferers.is_empty()
+            && (spec.ni_depth as u64) * v.c0() < 2 * d_max + interferers.len() as u64
+        {
+            diags.push(Diagnostic {
+                rule: RuleId::A7RingContention,
+                severity: Severity::Warning,
+                location: gw_loc(spec, v),
+                message: format!(
+                    "credit window tight under contention: ni_depth {} x c0 {} \
+                     < {}-cycle round trip + {} interfering pair(s) — per-sample \
+                     pace can stretch beyond c0 while other streams cross this \
+                     pair's path",
+                    spec.ni_depth,
+                    v.c0(),
+                    2 * d_max,
+                    interferers.len()
+                ),
+            });
+        }
+    }
+
+    if !failed {
+        diags.push(Diagnostic {
+            rule: RuleId::A7RingContention,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "ring contention bounded: worst hop load ceiling {}/{} \
+                 flits/cycle (hop {worst_hop}) across {} station(s)",
+                worst.numer(),
+                worst.denom(),
+                layout.nodes
+            ),
+        });
+    }
+}
+
+/// A9 — configuration-bus TDM slot tables across gateways: every declared
+/// slot must fit the period, not overlap any other pair's slot, and be
+/// long enough for the pair's largest reconfiguration window R_s.
+fn check_config_bus(spec: &DeploySpec, views: &[GatewayView], diags: &mut Vec<Diagnostic>) {
+    let slots: Vec<(usize, u64, u64)> = views
+        .iter()
+        .filter_map(|v| v.config_slot.map(|(o, l)| (v.index, o, l)))
+        .collect();
+    let Some(period) = spec.config_bus_period else {
+        if !slots.is_empty() {
+            diags.push(Diagnostic {
+                rule: RuleId::A9SlotConflict,
+                severity: Severity::Warning,
+                location: Location::Deployment,
+                message: format!(
+                    "{} gateway(s) declare config_slot but the spec has no \
+                     config_bus_period: the slots cannot be placed in a TDM frame",
+                    slots.len()
+                ),
+            });
+        }
+        return;
+    };
+    if period == 0 {
+        diags.push(Diagnostic {
+            rule: RuleId::A9SlotConflict,
+            severity: Severity::Error,
+            location: Location::Deployment,
+            message: "config_bus_period must be positive".into(),
+        });
+        return;
+    }
+    let mut structurally_ok = true;
+    for &(g, off, len) in &slots {
+        let v = &views[g];
+        if len == 0 {
+            structurally_ok = false;
+            diags.push(Diagnostic {
+                rule: RuleId::A9SlotConflict,
+                severity: Severity::Error,
+                location: gw_loc(spec, v),
+                message: "config_slot length must be positive".into(),
+            });
+            continue;
+        }
+        if off + len > period {
+            structurally_ok = false;
+            diags.push(Diagnostic {
+                rule: RuleId::A9SlotConflict,
+                severity: Severity::Error,
+                location: gw_loc(spec, v),
+                message: format!(
+                    "config_slot [{off}, {}) exceeds the bus period {period}",
+                    off + len
+                ),
+            });
+            continue;
+        }
+        let max_r = v.streams.iter().map(|s| s.reconfig).max().unwrap_or(0);
+        if max_r > len {
+            diags.push(Diagnostic {
+                rule: RuleId::A9SlotConflict,
+                severity: Severity::Error,
+                location: gw_loc(spec, v),
+                message: format!(
+                    "reconfiguration window does not fit its bus slot: max R_s \
+                     = {max_r} > slot length {len} — every reconfiguration of \
+                     this pair overruns into the next pair's slot",
+                ),
+            });
+        }
+    }
+    if structurally_ok {
+        let mut sorted = slots.clone();
+        sorted.sort_by_key(|&(_, o, _)| o);
+        for pair in sorted.windows(2) {
+            let (ga, oa, la) = pair[0];
+            let (gb, ob, _) = pair[1];
+            if oa + la > ob {
+                diags.push(Diagnostic {
+                    rule: RuleId::A9SlotConflict,
+                    severity: Severity::Error,
+                    location: Location::Deployment,
+                    message: format!(
+                        "config slots overlap: {}'s [{oa}, {}) collides with \
+                         {}'s slot starting at {ob} — two gateways would drive \
+                         the shared configuration bus at once",
+                        views[ga].name,
+                        oa + la,
+                        views[gb].name
+                    ),
+                });
+            }
+        }
+    }
+    let holders: Vec<usize> = slots.iter().map(|&(g, _, _)| g).collect();
+    for v in views {
+        if !holders.contains(&v.index) && !v.streams.is_empty() {
+            diags.push(Diagnostic {
+                rule: RuleId::A9SlotConflict,
+                severity: Severity::Warning,
+                location: gw_loc(spec, v),
+                message: "no config_slot on the shared configuration bus: this \
+                          pair's reconfigurations are unscheduled and can \
+                          collide with any other pair's"
+                    .into(),
+            });
+        }
+    }
+    let covered: u64 = slots.iter().map(|&(_, _, l)| l).sum();
+    if structurally_ok && covered < period {
+        diags.push(Diagnostic {
+            rule: RuleId::A9SlotConflict,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "config bus: {} slot(s) cover {covered}/{period} cycles of the \
+                 TDM frame ({} orphaned)",
+                slots.len(),
+                period - covered
+            ),
+        });
+    } else if structurally_ok {
+        diags.push(Diagnostic {
+            rule: RuleId::A9SlotConflict,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "config bus: {} slot(s) fully tile the {period}-cycle TDM frame",
+                slots.len()
+            ),
+        });
+    }
+}
+
+/// A10 — end-to-end latency composition through the Fig. 7 single-actor
+/// SDF abstraction: a stream's block behaves like one actor that waits at
+/// most `Ω̂_s = γ_s − τ̂_s` and then executes in `τ̂_s`. The upper bound
+/// `⌈(η−1)/μ⌉ + γ_s` (accumulate a block at rate μ, then wait + execute)
+/// is conservative under the-earlier-the-better refinement: the platform
+/// can only produce samples *earlier* than the abstraction, never later.
+/// The lower bound `⌈(η−1)/μ⌉ + R + (η−1)·ε` holds even on an idle chain.
+fn check_latency(
+    _spec: &DeploySpec,
+    views: &[GatewayView],
+    gamma_sys: &[u64],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (gi, (v, s)) in views
+        .iter()
+        .flat_map(|v| v.streams.iter().map(move |s| (v, s)))
+        .enumerate()
+    {
+        let Some(budget) = s.max_latency else {
+            continue;
+        };
+        if !s.mu.is_positive() || s.eta_in == 0 {
+            continue; // structural errors already reported
+        }
+        let fill = (s.mu.recip() * Rational::from_int(s.eta_in as i128 - 1))
+            .ceil()
+            .max(0) as u64;
+        let lower = fill + s.reconfig + (s.eta_in - 1) * v.params.epsilon;
+        let upper = fill.saturating_add(gamma_sys[gi]);
+        let loc = Location::Stream {
+            index: gi,
+            name: s.name.clone(),
+        };
+        if lower > budget {
+            diags.push(Diagnostic {
+                rule: RuleId::A10EndToEndLatency,
+                severity: Severity::Error,
+                location: loc,
+                message: format!(
+                    "latency budget impossible: even on an idle chain the last \
+                     output sample needs >= {lower} cycles (fill {fill} + R {} \
+                     + DMA {}) > max_latency {budget}",
+                    s.reconfig,
+                    (s.eta_in - 1) * v.params.epsilon
+                ),
+            });
+        } else if upper > budget {
+            diags.push(Diagnostic {
+                rule: RuleId::A10EndToEndLatency,
+                severity: Severity::Warning,
+                location: loc,
+                message: format!(
+                    "latency budget not guaranteed: Fig. 7 worst case fill + \
+                     gamma_s = {fill} + {} = {upper} > max_latency {budget} \
+                     (admission can wait a whole round behind the other streams)",
+                    gamma_sys[gi]
+                ),
+            });
+        } else {
+            diags.push(Diagnostic {
+                rule: RuleId::A10EndToEndLatency,
+                severity: Severity::Info,
+                location: loc,
+                message: format!(
+                    "latency guaranteed: fill + gamma_s = {fill} + {} = {upper} \
+                     <= max_latency {budget} cycles (Fig. 7 single-actor bound)",
+                    gamma_sys[gi]
+                ),
+            });
         }
     }
 }
@@ -666,8 +1334,11 @@ mod tests {
                 reconfig: 20,
                 input_capacity: 32,
                 output_capacity: 32,
+                max_latency: None,
             }],
             processors: vec![],
+            gateways: vec![],
+            config_bus_period: None,
         }
     }
 
@@ -810,8 +1481,11 @@ mod tests {
                 reconfig: 6,
                 input_capacity: 64,
                 output_capacity: 64,
+                max_latency: None,
             }],
             processors: vec![],
+            gateways: vec![],
+            config_bus_period: None,
         };
         let r = analyze(&s);
         assert!(
@@ -845,5 +1519,254 @@ mod tests {
         let r = analyze(&DeploySpec::pal_scaled());
         assert!(r.is_accepted(), "{}", r.render_text());
         assert_eq!(r.bounds.len(), 4);
+    }
+    /// Satellite: A4 models the FE processor's *actual* task-to-slot
+    /// assignment. Pinned regression for the PAL preset's slot table.
+    #[test]
+    fn pal_fe_slot_windows_pinned() {
+        let r = analyze(&DeploySpec::pal_scaled());
+        let info = r
+            .diagnostics
+            .iter()
+            .find(|d| {
+                d.rule == RuleId::A4TdmSchedule
+                    && matches!(&d.location, Location::Processor { index: 0, .. })
+            })
+            .expect("FE processor A4 finding");
+        assert_eq!(info.severity, Severity::Info);
+        assert_eq!(
+            info.message,
+            "TDM slot table: 1 task(s), replication interval 1 cycles; \
+             windows pal-front-end@[0, 1)"
+        );
+    }
+
+    #[test]
+    fn tdm_bursty_window_warns() {
+        // src: budget 2 of period 5, interval 3. Average rate 2/5 > 1/3 is
+        // fine, but the contiguous window leaves a 5−2+1 = 4-cycle gap.
+        let mut s = small_spec();
+        s.processors = vec![ProcessorDeploy {
+            name: "FE".into(),
+            declared_period: Some(5),
+            tasks: vec![
+                TaskDeploy {
+                    name: "src".into(),
+                    budget: 2,
+                    required_interval: Some(3),
+                },
+                TaskDeploy {
+                    name: "other".into(),
+                    budget: 3,
+                    required_interval: None,
+                },
+            ],
+        }];
+        let r = analyze(&s);
+        let warn = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::A4TdmSchedule && d.severity == Severity::Warning)
+            .expect("bursty placement warning");
+        assert!(
+            warn.message.contains("slot placement bursty"),
+            "{}",
+            warn.message
+        );
+        assert!(warn.message.contains("gap of 4 > required interval 3"));
+        // No A4 error: the schedule is feasible on average.
+        assert!(!r.has(RuleId::A4TdmSchedule, Severity::Error));
+    }
+
+    /// Two single-stream pairs on their own chains but one ring, each
+    /// pushing μ = 2/3 flits/cycle through the shared middle hops: every
+    /// pair is locally feasible (c0 = 1, η/γ = 8/11 ≥ 2/3) yet hop 1
+    /// carries 4/3 > 1 — only the system-scope A7 can see it.
+    fn contended_ring_spec(mu: Rational) -> DeploySpec {
+        let gw = |n: usize| crate::spec::GatewayDeploy {
+            name: format!("gw{n}"),
+            chain: vec![ChainStage {
+                name: format!("acc{n}"),
+                rho: 1,
+            }],
+            shares_chain_with: None,
+            streams: vec![StreamDeploy {
+                name: format!("s{n}"),
+                mu,
+                eta_in: 8,
+                eta_out: 8,
+                reconfig: 1,
+                input_capacity: 64,
+                output_capacity: 64,
+                max_latency: None,
+            }],
+            config_slot: None,
+        };
+        DeploySpec {
+            name: "contended".into(),
+            chain: vec![],
+            epsilon: 1,
+            delta: 1,
+            // Deep enough for the 2-hop segments of the 6-station ring
+            // (layout-aware A6) plus one interferer.
+            ni_depth: 6,
+            check_for_space: true,
+            streams: vec![],
+            processors: vec![],
+            gateways: vec![gw(0), gw(1)],
+            config_bus_period: None,
+        }
+    }
+
+    #[test]
+    fn ring_overcommit_is_a7_error() {
+        let r = analyze(&contended_ring_spec(Rational::new(2, 3)));
+        let err = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::A7RingContention && d.severity == Severity::Error)
+            .expect("A7 error");
+        assert!(err.message.contains("over-committed"), "{}", err.message);
+        assert!(err.message.contains("gw0") && err.message.contains("gw1"));
+        assert!(!r.is_accepted());
+        // Each pair in isolation is clean: no A3 errors.
+        assert!(!r.has(RuleId::A3Throughput, Severity::Error));
+    }
+
+    #[test]
+    fn ring_at_capacity_is_a7_warning_and_low_load_is_info() {
+        // μ = 1/2 each: shared-hop ceiling exactly 1 → Warning, not Error.
+        let r = analyze(&contended_ring_spec(Rational::new(1, 2)));
+        assert!(r.has(RuleId::A7RingContention, Severity::Warning));
+        assert!(!r.has(RuleId::A7RingContention, Severity::Error));
+        // μ = 1/8 each: comfortably below capacity → Info only.
+        let r = analyze(&contended_ring_spec(Rational::new(1, 8)));
+        assert!(r.has(RuleId::A7RingContention, Severity::Info));
+        assert!(!r.has(RuleId::A7RingContention, Severity::Warning));
+        assert!(r.is_accepted(), "{}", r.render_text());
+    }
+
+    /// Two pairs sharing ONE physical chain, each locally feasible, but
+    /// the chain is claimed 2·(μ·τ̂/η) = 11/8 > 1 of the time.
+    fn shared_chain_spec(mu: Rational) -> DeploySpec {
+        let mut s = contended_ring_spec(mu);
+        s.name = "shared".into();
+        s.gateways[1].chain = vec![];
+        s.gateways[1].shares_chain_with = Some(0);
+        s
+    }
+
+    #[test]
+    fn shared_chain_overcommit_is_a8_error() {
+        let r = analyze(&shared_chain_spec(Rational::new(1, 2)));
+        let err = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::A8SystemRound && d.severity == Severity::Error)
+            .expect("A8 error");
+        assert!(err.message.contains("over-committed"), "{}", err.message);
+        assert!(!r.is_accepted());
+        assert!(!r.has(RuleId::A3Throughput, Severity::Error));
+    }
+
+    #[test]
+    fn shared_chain_interference_stretches_gamma_and_bounds() {
+        // μ = 1/3: group utilisation 2·(1/3 · 11/8) = 11/12 is fine, but
+        // γ_s grows from the pair-local 11 to 11 + min(2·11, 2·11) = 33,
+        // and 8/33 < 1/3 → the system-scope Eq. 5 rejects what A3
+        // accepted locally.
+        let r = analyze(&shared_chain_spec(Rational::new(1, 3)));
+        assert_eq!(r.gamma, 33, "{}", r.render_text());
+        assert_eq!(r.bounds[0].tau_hat, 11);
+        assert_eq!(r.bounds[0].omega_hat, 33 - 11);
+        assert!(r.has(RuleId::A8SystemRound, Severity::Error));
+        assert!(!r.has(RuleId::A3Throughput, Severity::Error));
+        // Slow the streams down: interference still shapes Ω̂ but Eq. 5
+        // holds and the deployment is accepted.
+        let r = analyze(&shared_chain_spec(Rational::new(1, 40)));
+        assert!(r.is_accepted(), "{}", r.render_text());
+        assert_eq!(r.gamma, 33);
+    }
+
+    #[test]
+    fn config_bus_conflicts_are_a9_errors() {
+        let mut s = DeploySpec::pal2();
+        // Overlap: back slot starts inside the front slot.
+        s.gateways[1].config_slot = Some((100, 200));
+        let r = analyze(&s);
+        let err = r
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == RuleId::A9SlotConflict && d.severity == Severity::Error)
+            .expect("A9 overlap error");
+        assert!(err.message.contains("overlap"), "{}", err.message);
+        assert!(!r.is_accepted());
+
+        // Slot too short for the pair's reconfiguration window R = 200.
+        let mut s = DeploySpec::pal2();
+        s.gateways[0].config_slot = Some((0, 100));
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A9SlotConflict, Severity::Error));
+
+        // Slot past the end of the TDM frame.
+        let mut s = DeploySpec::pal2();
+        s.gateways[1].config_slot = Some((300, 200));
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A9SlotConflict, Severity::Error));
+
+        // Slots without a period: warning, not error.
+        let mut s = DeploySpec::pal2();
+        s.config_bus_period = None;
+        let r = analyze(&s);
+        assert!(r.has(RuleId::A9SlotConflict, Severity::Warning));
+        assert!(!r.has(RuleId::A9SlotConflict, Severity::Error));
+    }
+
+    #[test]
+    fn latency_budgets_split_into_a10_severities() {
+        // pal2 front streams: lower bound 32400, upper bound 42275 cycles.
+        let mut s = DeploySpec::pal2();
+        s.gateways[0].streams[0].max_latency = Some(30_000); // < lower
+        s.gateways[0].streams[1].max_latency = Some(35_000); // between
+        let r = analyze(&s);
+        let a10 = |name: &str| {
+            r.diagnostics
+                .iter()
+                .find(|d| {
+                    d.rule == RuleId::A10EndToEndLatency
+                        && matches!(&d.location, Location::Stream { name: n, .. } if n == name)
+                })
+                .unwrap()
+                .severity
+        };
+        assert_eq!(a10("ch1-front"), Severity::Error);
+        assert_eq!(a10("ch2-front"), Severity::Warning);
+        assert_eq!(a10("ch1-back"), Severity::Info);
+        assert!(!r.is_accepted());
+    }
+
+    /// The Fig. 10 deployment: 4 logical accelerator uses on 2 physical
+    /// accelerators, one ring — must be accepted end to end.
+    #[test]
+    fn pal2_preset_is_accepted() {
+        let r = analyze(&DeploySpec::pal2());
+        assert!(r.is_accepted(), "{}", r.render_text());
+        assert_eq!(r.bounds.len(), 4);
+        assert_eq!(r.gamma, 19_660);
+        for rule in [
+            RuleId::A7RingContention,
+            RuleId::A8SystemRound,
+            RuleId::A9SlotConflict,
+            RuleId::A10EndToEndLatency,
+        ] {
+            assert!(r.has(rule, Severity::Info), "missing {rule:?} info");
+        }
+        // Both pairs get their own A3/A6 findings under their own name.
+        let gw_findings = r
+            .diagnostics
+            .iter()
+            .filter(|d| matches!(&d.location, Location::Gateway { .. }))
+            .count();
+        assert!(gw_findings >= 4, "{}", r.render_text());
     }
 }

@@ -41,6 +41,9 @@ pub struct StreamDeploy {
     pub input_capacity: u64,
     /// Output C-FIFO capacity α₃, samples.
     pub output_capacity: u64,
+    /// End-to-end latency budget (first input sample to last output
+    /// sample of a block), cycles — checked by rule A10 when set.
+    pub max_latency: Option<u64>,
 }
 
 /// One software task in a processor tile's TDM slot table.
@@ -67,12 +70,42 @@ pub struct ProcessorDeploy {
     pub tasks: Vec<TaskDeploy>,
 }
 
+/// One gateway pair of a multi-gateway deployment (Fig. 1 system scope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GatewayDeploy {
+    /// Diagnostic name.
+    pub name: String,
+    /// The accelerator chain this pair drives, in order. Must be empty
+    /// when [`GatewayDeploy::shares_chain_with`] is set (the chain is the
+    /// referenced pair's).
+    pub chain: Vec<ChainStage>,
+    /// When set, this pair owns no chain: it claims the physical chain of
+    /// the referenced *earlier* gateway block by block (Fig. 10 — more
+    /// logical uses than physical accelerators).
+    pub shares_chain_with: Option<usize>,
+    /// Streams multiplexed over this pair.
+    pub streams: Vec<StreamDeploy>,
+    /// Reconfiguration slot `(offset, length)` on the shared
+    /// configuration bus, within [`DeploySpec::config_bus_period`] —
+    /// checked by rule A9 when set.
+    pub config_slot: Option<(u64, u64)>,
+}
+
 /// A complete static deployment description — the analyzer input.
+///
+/// Two shapes share this type:
+///
+/// * **single-gateway** (the PR-3 format): [`DeploySpec::gateways`] is
+///   empty and the top-level [`DeploySpec::chain`] / [`DeploySpec::streams`]
+///   describe the one pair;
+/// * **multi-gateway**: [`DeploySpec::gateways`] is non-empty and fully
+///   describes every pair; the top-level `chain`/`streams` must then be
+///   empty. [`DeploySpec::gateway_views`] presents both shapes uniformly.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeploySpec {
     /// Deployment name (reported in diagnostics).
     pub name: String,
-    /// The shared accelerator chain, in order.
+    /// The shared accelerator chain, in order (single-gateway shape).
     pub chain: Vec<ChainStage>,
     /// Entry-gateway DMA time per sample, ε (cycles).
     pub epsilon: u64,
@@ -83,10 +116,170 @@ pub struct DeploySpec {
     /// Whether the entry gateway performs the §V-G check-for-space
     /// admission test (Fig. 9).
     pub check_for_space: bool,
-    /// The streams multiplexed over the chain.
+    /// The streams multiplexed over the chain (single-gateway shape).
     pub streams: Vec<StreamDeploy>,
     /// Processor tiles feeding/draining the streams.
     pub processors: Vec<ProcessorDeploy>,
+    /// Gateway pairs of a multi-gateway deployment (empty in the
+    /// single-gateway shape).
+    pub gateways: Vec<GatewayDeploy>,
+    /// Replication period of the shared configuration bus's TDM table,
+    /// cycles — the frame the per-gateway [`GatewayDeploy::config_slot`]s
+    /// live in (rule A9).
+    pub config_bus_period: Option<u64>,
+}
+
+/// A uniform per-gateway view over both [`DeploySpec`] shapes: rules that
+/// check one pair at a time iterate views and never care which shape the
+/// spec came in.
+#[derive(Clone, Debug)]
+pub struct GatewayView<'a> {
+    /// Gateway index within the deployment (0 in the single-gateway shape).
+    pub index: usize,
+    /// Diagnostic name.
+    pub name: &'a str,
+    /// The physical chain this pair drives (resolved through sharing).
+    pub chain: &'a [ChainStage],
+    /// Index of the gateway owning the physical chain — pairs with equal
+    /// `group` share one chain and serialise their blocks (Fig. 10).
+    pub group: usize,
+    /// Streams multiplexed over this pair.
+    pub streams: &'a [StreamDeploy],
+    /// Configuration-bus slot, when declared.
+    pub config_slot: Option<(u64, u64)>,
+    /// Chain timing parameters (ε, this chain's ρ_A, δ).
+    pub params: GatewayParams,
+}
+
+impl GatewayView<'_> {
+    /// `c0 = max(ε, ρ_A, δ)` (Eq. 8) of this pair's chain.
+    pub fn c0(&self) -> u64 {
+        self.params.c0()
+    }
+
+    /// The Eq. 5–9 sharing problem of this pair in isolation.
+    pub fn sharing_problem(&self) -> SharingProblem {
+        SharingProblem {
+            params: self.params,
+            streams: self
+                .streams
+                .iter()
+                .map(|s| StreamSpec {
+                    name: s.name.clone(),
+                    mu: s.mu,
+                    reconfig: s.reconfig,
+                })
+                .collect(),
+        }
+    }
+
+    /// The configured block sizes, in stream order.
+    pub fn etas(&self) -> Vec<u64> {
+        self.streams.iter().map(|s| s.eta_in).collect()
+    }
+}
+
+/// The deterministic ring placement of a multi-gateway deployment — the
+/// single wiring truth shared by [`DeploySpec::build_multi_platform`] and
+/// rule A7's path arithmetic.
+///
+/// Stations are interleaved the way Fig. 1 draws the system: all entry
+/// gateways first (`0..G`), then every owned chain's accelerators back to
+/// back, then the exit gateways — so distinct pairs' ring paths overlap
+/// and contention is real rather than laid out away. Data flits travel in
+/// increasing-station direction; *hop `i`* names the data-ring edge from
+/// station `i` to `i + 1` (mod `nodes`). Credits travel the opposite
+/// rotation; *credit hop `i`* names the edge from station `i` to `i − 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingLayout {
+    /// Total ring stations.
+    pub nodes: usize,
+    /// Entry station per gateway.
+    pub entries: Vec<usize>,
+    /// Exit station per gateway.
+    pub exits: Vec<usize>,
+    /// Accelerator stations per gateway (pairs sharing a chain alias the
+    /// same stations).
+    pub chain_nodes: Vec<Vec<usize>>,
+    /// Entry-DMA stream id per gateway (`2·g`).
+    pub in_links: Vec<u32>,
+    /// Exit stream id per gateway (`2·g + 1`).
+    pub out_links: Vec<u32>,
+    /// Inter-accelerator stream ids per gateway. Fixed per chain *group*
+    /// (hop `j` of the chain owned by gateway `X` is
+    /// `1_000_000 + 1000·X + j`): a shared chain's interior links are
+    /// never retargeted, only its boundary links are.
+    pub mid_links: Vec<Vec<u32>>,
+}
+
+impl RingLayout {
+    /// The data-ring segments `(src, dst)` gateway `g`'s block traffic
+    /// crosses: entry → first accelerator, accelerator → accelerator,
+    /// last accelerator → exit.
+    pub fn segments(&self, g: usize) -> Vec<(usize, usize)> {
+        let ch = &self.chain_nodes[g];
+        let mut v = Vec::new();
+        if ch.is_empty() {
+            return v;
+        }
+        v.push((self.entries[g], ch[0]));
+        for w in ch.windows(2) {
+            v.push((w[0], w[1]));
+        }
+        v.push((ch[ch.len() - 1], self.exits[g]));
+        v
+    }
+
+    /// The data-ring hops crossed by segment `(src, dst)`.
+    pub fn data_hops(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut hops = Vec::new();
+        let mut i = src;
+        while i != dst {
+            hops.push(i);
+            i = (i + 1) % self.nodes;
+        }
+        hops
+    }
+
+    /// The credit-ring hops crossed by the credit flow mirroring data
+    /// segment `(src, dst)`: one credit travels `dst → src` against the
+    /// data rotation for every data flit delivered.
+    pub fn credit_hops(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut hops = Vec::new();
+        let mut i = dst;
+        while i != src {
+            hops.push(i);
+            i = (i + self.nodes - 1) % self.nodes;
+        }
+        hops
+    }
+}
+
+/// A built multi-gateway platform with handles to its observation points
+/// (the system-scope analogue of [`streamgate_core::BuiltSystem`]).
+pub struct MultiBuiltSystem {
+    /// The simulated MPSoC.
+    pub system: streamgate_platform::System,
+    /// Per-spec-gateway index into `system.gateways`.
+    pub gateways: Vec<usize>,
+    /// Input C-FIFO handles: `inputs[g][s]` for gateway `g`, local stream `s`.
+    pub inputs: Vec<Vec<streamgate_platform::FifoId>>,
+    /// Output C-FIFO handles, mirrored.
+    pub outputs: Vec<Vec<streamgate_platform::FifoId>>,
+}
+
+/// Builders that can export the [`DeploySpec`] describing what they wire,
+/// so deployments constructed in code get the same static analysis as
+/// hand-written specs (and the analyzer never drifts from the builder).
+pub trait ToDeploySpec {
+    /// The analyzable deployment spec matching this builder's wiring.
+    fn to_deploy_spec(&self) -> DeploySpec;
+}
+
+impl ToDeploySpec for streamgate_core::PalSystemConfig {
+    fn to_deploy_spec(&self) -> DeploySpec {
+        DeploySpec::from_pal(self)
+    }
 }
 
 impl DeploySpec {
@@ -94,6 +287,142 @@ impl DeploySpec {
     /// ρ_A = max stage ρ.
     pub fn rho_a(&self) -> u64 {
         self.chain.iter().map(|s| s.rho).max().unwrap_or(0)
+    }
+
+    /// Whether this spec uses the multi-gateway shape.
+    pub fn is_multi(&self) -> bool {
+        !self.gateways.is_empty()
+    }
+
+    /// The chain group gateway `i` belongs to: the referenced owner for a
+    /// valid `shares_chain_with`, itself otherwise (structural defects are
+    /// reported by [`DeploySpec::gateway_structure_errors`], not here).
+    fn resolve_group(&self, i: usize) -> usize {
+        match self.gateways[i].shares_chain_with {
+            Some(o) if o < i && self.gateways[o].shares_chain_with.is_none() => o,
+            _ => i,
+        }
+    }
+
+    /// Uniform per-gateway views over both shapes. A single-gateway spec
+    /// yields exactly one view built from the top-level fields.
+    pub fn gateway_views(&self) -> Vec<GatewayView<'_>> {
+        if self.gateways.is_empty() {
+            return vec![GatewayView {
+                index: 0,
+                name: &self.name,
+                chain: &self.chain,
+                group: 0,
+                streams: &self.streams,
+                config_slot: None,
+                params: self.gateway_params(),
+            }];
+        }
+        self.gateways
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let group = self.resolve_group(i);
+                let chain = &self.gateways[group].chain[..];
+                GatewayView {
+                    index: i,
+                    name: &g.name,
+                    chain,
+                    group,
+                    streams: &g.streams,
+                    config_slot: g.config_slot,
+                    params: GatewayParams {
+                        epsilon: self.epsilon,
+                        rho_a: chain.iter().map(|s| s.rho).max().unwrap_or(0),
+                        delta: self.delta,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Flat `(gateway index, stream)` enumeration across all pairs, in
+    /// gateway-then-stream order — the global stream indexing used by
+    /// diagnostics and [`crate::Report`] bounds.
+    pub fn all_streams(&self) -> Vec<(usize, &StreamDeploy)> {
+        if self.gateways.is_empty() {
+            return self.streams.iter().map(|s| (0, s)).collect();
+        }
+        self.gateways
+            .iter()
+            .enumerate()
+            .flat_map(|(i, g)| g.streams.iter().map(move |s| (i, s)))
+            .collect()
+    }
+
+    /// Structural defects of the multi-gateway section, as `(gateway
+    /// index, message)` pairs — empty for well-formed specs (and always
+    /// empty for the single-gateway shape).
+    pub fn gateway_structure_errors(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (i, g) in self.gateways.iter().enumerate() {
+            match g.shares_chain_with {
+                Some(o) if o >= i => out.push((
+                    i,
+                    format!("shares_chain_with {o} must reference an earlier gateway"),
+                )),
+                Some(o) if !g.chain.is_empty() => out.push((
+                    i,
+                    format!("declares its own chain yet shares_chain_with {o}"),
+                )),
+                Some(o) if self.gateways[o].shares_chain_with.is_some() => out.push((
+                    i,
+                    format!("shares_chain_with {o}, which does not own a chain"),
+                )),
+                None if g.chain.is_empty() => {
+                    out.push((i, "has neither a chain nor shares_chain_with".into()))
+                }
+                _ => {}
+            }
+        }
+        if !self.gateways.is_empty() && (!self.chain.is_empty() || !self.streams.is_empty()) {
+            out.push((
+                0,
+                "multi-gateway specs must leave the top-level chain/streams empty".into(),
+            ));
+        }
+        out
+    }
+
+    /// The deterministic ring placement of this deployment (any shape).
+    pub fn ring_layout(&self) -> RingLayout {
+        let views = self.gateway_views();
+        let g = views.len();
+        let mut next = g;
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); g];
+        for v in &views {
+            if v.group == v.index {
+                owned[v.index] = (next..next + v.chain.len()).collect();
+                next += v.chain.len();
+            }
+        }
+        let chain_nodes: Vec<Vec<usize>> = views.iter().map(|v| owned[v.group].clone()).collect();
+        let mid_links = views
+            .iter()
+            .map(|v| {
+                assert!(
+                    v.chain.len() <= 1000,
+                    "chain too long for the link-id scheme"
+                );
+                (0..v.chain.len().saturating_sub(1))
+                    .map(|j| (1_000_000 + 1000 * v.group + j) as u32)
+                    .collect()
+            })
+            .collect();
+        RingLayout {
+            nodes: next + g,
+            entries: (0..g).collect(),
+            exits: (0..g).map(|i| next + i).collect(),
+            chain_nodes,
+            in_links: (0..g).map(|i| 2 * i as u32).collect(),
+            out_links: (0..g).map(|i| 2 * i as u32 + 1).collect(),
+            mid_links,
+        }
     }
 
     /// `c0 = max(ε, ρ_A, δ)` (Eq. 8).
@@ -132,52 +461,19 @@ impl DeploySpec {
     }
 
     /// Serialise to a JSON tree (machine-readable spec interchange).
+    ///
+    /// Multi-gateway-only keys (`gateways`, `config_bus_period`, per-stream
+    /// `max_latency`) are omitted when empty/unset, so single-gateway specs
+    /// re-emit byte-identically to the PR-3 format.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut top = vec![
             ("name", Json::Str(self.name.clone())),
-            (
-                "chain",
-                Json::Array(
-                    self.chain
-                        .iter()
-                        .map(|c| {
-                            Json::obj(vec![
-                                ("name", Json::Str(c.name.clone())),
-                                ("rho", Json::Int(c.rho as i128)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("chain", chain_to_json(&self.chain)),
             ("epsilon", Json::Int(self.epsilon as i128)),
             ("delta", Json::Int(self.delta as i128)),
             ("ni_depth", Json::Int(self.ni_depth as i128)),
             ("check_for_space", Json::Bool(self.check_for_space)),
-            (
-                "streams",
-                Json::Array(
-                    self.streams
-                        .iter()
-                        .map(|s| {
-                            Json::obj(vec![
-                                ("name", Json::Str(s.name.clone())),
-                                (
-                                    "mu",
-                                    Json::Array(vec![
-                                        Json::Int(s.mu.numer()),
-                                        Json::Int(s.mu.denom()),
-                                    ]),
-                                ),
-                                ("eta_in", Json::Int(s.eta_in as i128)),
-                                ("eta_out", Json::Int(s.eta_out as i128)),
-                                ("reconfig", Json::Int(s.reconfig as i128)),
-                                ("input_capacity", Json::Int(s.input_capacity as i128)),
-                                ("output_capacity", Json::Int(s.output_capacity as i128)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("streams", streams_to_json(&self.streams)),
             (
                 "processors",
                 Json::Array(
@@ -214,7 +510,41 @@ impl DeploySpec {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if !self.gateways.is_empty() {
+            top.push((
+                "gateways",
+                Json::Array(
+                    self.gateways
+                        .iter()
+                        .map(|g| {
+                            let mut pairs = vec![
+                                ("name", Json::Str(g.name.clone())),
+                                ("chain", chain_to_json(&g.chain)),
+                            ];
+                            if let Some(o) = g.shares_chain_with {
+                                pairs.push(("shares_chain_with", Json::Int(o as i128)));
+                            }
+                            pairs.push(("streams", streams_to_json(&g.streams)));
+                            if let Some((off, len)) = g.config_slot {
+                                pairs.push((
+                                    "config_slot",
+                                    Json::Array(vec![
+                                        Json::Int(off as i128),
+                                        Json::Int(len as i128),
+                                    ]),
+                                ));
+                            }
+                            Json::obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(p) = self.config_bus_period {
+            top.push(("config_bus_period", Json::Int(p as i128)));
+        }
+        Json::obj(top)
     }
 
     /// Serialise to compact JSON text.
@@ -222,59 +552,12 @@ impl DeploySpec {
         self.to_json().to_text()
     }
 
-    /// Parse a spec from the JSON produced by [`DeploySpec::to_json_text`].
+    /// Parse a spec from the JSON produced by [`DeploySpec::to_json_text`]
+    /// (either shape; PR-3 single-gateway documents still parse).
     pub fn from_json_text(text: &str) -> Result<DeploySpec, String> {
         let v = json::parse(text)?;
-        let str_field = |v: &Json, k: &str| -> Result<String, String> {
-            v.get(k)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("missing string field {k:?}"))
-        };
-        let u64_field = |v: &Json, k: &str| -> Result<u64, String> {
-            v.get(k)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("missing integer field {k:?}"))
-        };
-        let chain = v
-            .get("chain")
-            .and_then(Json::as_array)
-            .ok_or("missing chain")?
-            .iter()
-            .map(|c| {
-                Ok(ChainStage {
-                    name: str_field(c, "name")?,
-                    rho: u64_field(c, "rho")?,
-                })
-            })
-            .collect::<Result<_, String>>()?;
-        let streams = v
-            .get("streams")
-            .and_then(Json::as_array)
-            .ok_or("missing streams")?
-            .iter()
-            .map(|s| {
-                let mu = s
-                    .get("mu")
-                    .and_then(Json::as_array)
-                    .filter(|a| a.len() == 2)
-                    .ok_or("stream without mu [num, den]")?;
-                let num = mu[0].as_int().ok_or("bad mu numerator")?;
-                let den = mu[1].as_int().ok_or("bad mu denominator")?;
-                if den == 0 {
-                    return Err("mu denominator is zero".to_string());
-                }
-                Ok(StreamDeploy {
-                    name: str_field(s, "name")?,
-                    mu: Rational::new(num, den),
-                    eta_in: u64_field(s, "eta_in")?,
-                    eta_out: u64_field(s, "eta_out")?,
-                    reconfig: u64_field(s, "reconfig")?,
-                    input_capacity: u64_field(s, "input_capacity")?,
-                    output_capacity: u64_field(s, "output_capacity")?,
-                })
-            })
-            .collect::<Result<_, String>>()?;
+        let chain = chain_from_json(v.get("chain").ok_or("missing chain")?)?;
+        let streams = streams_from_json(v.get("streams").ok_or("missing streams")?)?;
         let processors = match v.get("processors").and_then(Json::as_array) {
             None => Vec::new(),
             Some(ps) => ps
@@ -287,8 +570,8 @@ impl DeploySpec {
                         .iter()
                         .map(|t| {
                             Ok(TaskDeploy {
-                                name: str_field(t, "name")?,
-                                budget: u64_field(t, "budget")?,
+                                name: j_str(t, "name")?,
+                                budget: j_u64(t, "budget")?,
                                 required_interval: t
                                     .get("required_interval")
                                     .and_then(Json::as_u64),
@@ -296,27 +579,153 @@ impl DeploySpec {
                         })
                         .collect::<Result<_, String>>()?;
                     Ok(ProcessorDeploy {
-                        name: str_field(p, "name")?,
+                        name: j_str(p, "name")?,
                         declared_period: p.get("declared_period").and_then(Json::as_u64),
                         tasks,
                     })
                 })
                 .collect::<Result<_, String>>()?,
         };
+        let gateways = match v.get("gateways").and_then(Json::as_array) {
+            None => Vec::new(),
+            Some(gs) => gs
+                .iter()
+                .map(|g| {
+                    let config_slot = match g.get("config_slot").and_then(Json::as_array) {
+                        None => None,
+                        Some(a) if a.len() == 2 => {
+                            let off = a[0].as_u64().ok_or("bad config_slot offset")?;
+                            let len = a[1].as_u64().ok_or("bad config_slot length")?;
+                            Some((off, len))
+                        }
+                        Some(_) => return Err("config_slot must be [offset, length]".into()),
+                    };
+                    Ok(GatewayDeploy {
+                        name: j_str(g, "name")?,
+                        chain: chain_from_json(g.get("chain").ok_or("gateway without chain")?)?,
+                        shares_chain_with: g
+                            .get("shares_chain_with")
+                            .and_then(Json::as_u64)
+                            .map(|o| o as usize),
+                        streams: streams_from_json(
+                            g.get("streams").ok_or("gateway without streams")?,
+                        )?,
+                        config_slot,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         Ok(DeploySpec {
-            name: str_field(&v, "name")?,
+            name: j_str(&v, "name")?,
             chain,
-            epsilon: u64_field(&v, "epsilon")?,
-            delta: u64_field(&v, "delta")?,
-            ni_depth: u64_field(&v, "ni_depth")? as u32,
+            epsilon: j_u64(&v, "epsilon")?,
+            delta: j_u64(&v, "delta")?,
+            ni_depth: j_u64(&v, "ni_depth")? as u32,
             check_for_space: v
                 .get("check_for_space")
                 .and_then(Json::as_bool)
                 .unwrap_or(true),
             streams,
             processors,
+            gateways,
+            config_bus_period: v.get("config_bus_period").and_then(Json::as_u64),
         })
     }
+}
+
+fn j_str(v: &Json, k: &str) -> Result<String, String> {
+    v.get(k)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {k:?}"))
+}
+
+fn j_u64(v: &Json, k: &str) -> Result<u64, String> {
+    v.get(k)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field {k:?}"))
+}
+
+fn chain_to_json(chain: &[ChainStage]) -> Json {
+    Json::Array(
+        chain
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("name", Json::Str(c.name.clone())),
+                    ("rho", Json::Int(c.rho as i128)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn streams_to_json(streams: &[StreamDeploy]) -> Json {
+    Json::Array(
+        streams
+            .iter()
+            .map(|s| {
+                let mut pairs = vec![
+                    ("name", Json::Str(s.name.clone())),
+                    (
+                        "mu",
+                        Json::Array(vec![Json::Int(s.mu.numer()), Json::Int(s.mu.denom())]),
+                    ),
+                    ("eta_in", Json::Int(s.eta_in as i128)),
+                    ("eta_out", Json::Int(s.eta_out as i128)),
+                    ("reconfig", Json::Int(s.reconfig as i128)),
+                    ("input_capacity", Json::Int(s.input_capacity as i128)),
+                    ("output_capacity", Json::Int(s.output_capacity as i128)),
+                ];
+                if let Some(l) = s.max_latency {
+                    pairs.push(("max_latency", Json::Int(l as i128)));
+                }
+                Json::obj(pairs)
+            })
+            .collect(),
+    )
+}
+
+fn chain_from_json(v: &Json) -> Result<Vec<ChainStage>, String> {
+    v.as_array()
+        .ok_or("chain must be an array")?
+        .iter()
+        .map(|c| {
+            Ok(ChainStage {
+                name: j_str(c, "name")?,
+                rho: j_u64(c, "rho")?,
+            })
+        })
+        .collect()
+}
+
+fn streams_from_json(v: &Json) -> Result<Vec<StreamDeploy>, String> {
+    v.as_array()
+        .ok_or("streams must be an array")?
+        .iter()
+        .map(|s| {
+            let mu = s
+                .get("mu")
+                .and_then(Json::as_array)
+                .filter(|a| a.len() == 2)
+                .ok_or("stream without mu [num, den]")?;
+            let num = mu[0].as_int().ok_or("bad mu numerator")?;
+            let den = mu[1].as_int().ok_or("bad mu denominator")?;
+            if den == 0 {
+                return Err("mu denominator is zero".to_string());
+            }
+            Ok(StreamDeploy {
+                name: j_str(s, "name")?,
+                mu: Rational::new(num, den),
+                eta_in: j_u64(s, "eta_in")?,
+                eta_out: j_u64(s, "eta_out")?,
+                reconfig: j_u64(s, "reconfig")?,
+                input_capacity: j_u64(s, "input_capacity")?,
+                output_capacity: j_u64(s, "output_capacity")?,
+                max_latency: s.get("max_latency").and_then(Json::as_u64),
+            })
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -346,8 +755,11 @@ impl DeploySpec {
                 reconfig: 12,
                 input_capacity: 12,
                 output_capacity: 12,
+                max_latency: None,
             }],
             processors: vec![],
+            gateways: vec![],
+            config_bus_period: None,
         }
     }
 
@@ -365,6 +777,7 @@ impl DeploySpec {
             reconfig: 10,
             input_capacity: 4096,
             output_capacity: out_cap,
+            max_latency: None,
         };
         DeploySpec {
             name: if check_for_space {
@@ -382,6 +795,8 @@ impl DeploySpec {
             check_for_space,
             streams: vec![stream("s0", 1 << 16), stream("s1", 4)],
             processors: vec![],
+            gateways: vec![],
+            config_bus_period: None,
         }
     }
 
@@ -415,6 +830,7 @@ impl DeploySpec {
                 reconfig: s.reconfig,
                 input_capacity: caps_in[i],
                 output_capacity: caps_out[i],
+                max_latency: None,
             })
             .collect();
         // The front end must emit one baseband sample every clock/fs
@@ -457,6 +873,82 @@ impl DeploySpec {
                     }],
                 },
             ],
+            gateways: vec![],
+            config_bus_period: None,
+        }
+    }
+
+    /// The Fig. 10 evaluation deployment at the laptop scale of
+    /// [`DeploySpec::pal_scaled`]: **two** gateway pairs on one shared ring
+    /// — the front pair drives the CORDIC, the back pair the 8:1 FIR/LPF
+    /// decimator — carrying the PAL decoder's four *logical* accelerator
+    /// uses on two *physical* accelerators. Config-bus slots and per-stream
+    /// latency budgets are set so rules A9/A10 have material to check; the
+    /// deployment is feasible and must be accepted.
+    pub fn pal2() -> DeploySpec {
+        let cfg = streamgate_core::PalSystemConfig::scaled_default();
+        let prob = cfg.sharing_problem();
+        let stream = |i: usize, decimation: u64, max_latency: u64| StreamDeploy {
+            name: prob.streams[i].name.clone(),
+            mu: prob.streams[i].mu,
+            eta_in: cfg.etas[i],
+            eta_out: cfg.etas[i] / decimation,
+            reconfig: cfg.reconfig,
+            input_capacity: cfg.etas[i] * 4,
+            output_capacity: (cfg.etas[i] / decimation * 4).max(64),
+            max_latency: Some(max_latency),
+        };
+        DeploySpec {
+            name: "pal2-decoder".into(),
+            chain: vec![],
+            epsilon: cfg.epsilon,
+            delta: cfg.delta,
+            ni_depth: 2,
+            check_for_space: true,
+            streams: vec![],
+            processors: vec![
+                ProcessorDeploy {
+                    name: "FE".into(),
+                    declared_period: Some(1),
+                    tasks: vec![TaskDeploy {
+                        name: "pal-front-end".into(),
+                        budget: 1,
+                        required_interval: Some(((cfg.clock_hz as f64 / cfg.pal.fs) as u64).max(1)),
+                    }],
+                },
+                ProcessorDeploy {
+                    name: "consumer".into(),
+                    declared_period: Some(1),
+                    tasks: vec![TaskDeploy {
+                        name: "stereo-matrix".into(),
+                        budget: 1,
+                        required_interval: None,
+                    }],
+                },
+            ],
+            gateways: vec![
+                GatewayDeploy {
+                    name: "gw-front".into(),
+                    chain: vec![ChainStage {
+                        name: "CORDIC".into(),
+                        rho: 1,
+                    }],
+                    shares_chain_with: None,
+                    streams: vec![stream(0, 1, 60_000), stream(1, 1, 60_000)],
+                    config_slot: Some((0, cfg.reconfig)),
+                },
+                GatewayDeploy {
+                    name: "gw-back".into(),
+                    chain: vec![ChainStage {
+                        name: "FIR+D".into(),
+                        rho: 1,
+                    }],
+                    shares_chain_with: None,
+                    streams: vec![stream(2, 8, 40_000), stream(3, 8, 40_000)],
+                    config_slot: Some((cfg.reconfig, cfg.reconfig)),
+                },
+            ],
+            config_bus_period: Some(2 * cfg.reconfig),
         }
     }
 
@@ -501,6 +993,127 @@ impl DeploySpec {
         built.system.gateways[built.gateway].check_for_space = self.check_for_space;
         built
     }
+
+    /// Build the cycle-level platform of a **multi-gateway** spec on the
+    /// [`DeploySpec::ring_layout`] placement: one accelerator tile set per
+    /// owned chain, one [`streamgate_platform::GatewayPair`] per gateway
+    /// (with `shared_chain` set on every pair of a multi-pair group), and
+    /// passthrough kernels throughout — the simulation twin the
+    /// differential tests validate system-scope verdicts against.
+    ///
+    /// Panics on single-gateway specs (use [`DeploySpec::build_platform`])
+    /// and on structurally invalid gateway sections.
+    pub fn build_multi_platform(&self) -> MultiBuiltSystem {
+        use streamgate_platform::{
+            AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
+        };
+        assert!(
+            self.is_multi(),
+            "single-gateway specs build via build_platform"
+        );
+        assert!(
+            self.gateway_structure_errors().is_empty(),
+            "structurally invalid multi-gateway spec: {:?}",
+            self.gateway_structure_errors()
+        );
+        let layout = self.ring_layout();
+        let views = self.gateway_views();
+        let mut sys = System::new(layout.nodes);
+        // One tile set per owned chain, initially wired to the owner pair —
+        // a shared group's first claim retargets the boundary links anyway.
+        let mut accel_ids: Vec<Vec<streamgate_platform::AccelId>> = vec![Vec::new(); views.len()];
+        for v in &views {
+            if v.group != v.index {
+                continue;
+            }
+            let nodes = &layout.chain_nodes[v.index];
+            let k = v.chain.len();
+            accel_ids[v.index] = (0..k)
+                .map(|j| {
+                    let (upstream, rx) = if j == 0 {
+                        (layout.entries[v.index], layout.in_links[v.index])
+                    } else {
+                        (nodes[j - 1], layout.mid_links[v.index][j - 1])
+                    };
+                    let (downstream, tx) = if j + 1 == k {
+                        (layout.exits[v.index], layout.out_links[v.index])
+                    } else {
+                        (nodes[j + 1], layout.mid_links[v.index][j])
+                    };
+                    sys.add_accel(AcceleratorTile::new(
+                        format!("{}:{}", v.name, v.chain[j].name),
+                        nodes[j],
+                        upstream,
+                        rx,
+                        downstream,
+                        tx,
+                        self.ni_depth,
+                        v.chain[j].rho,
+                    ))
+                })
+                .collect();
+        }
+        let mut gateways = Vec::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for v in &views {
+            let nodes = &layout.chain_nodes[v.index];
+            let shared = views.iter().filter(|w| w.group == v.group).count() > 1;
+            let mut gw = GatewayPair::new(
+                v.name,
+                layout.entries[v.index],
+                layout.exits[v.index],
+                accel_ids[v.group].clone(),
+                nodes[0],
+                layout.in_links[v.index],
+                nodes[nodes.len() - 1],
+                layout.out_links[v.index],
+                self.ni_depth,
+                self.epsilon,
+                self.delta,
+            );
+            gw.shared_chain = shared;
+            gw.check_for_space = self.check_for_space;
+            let mut ins = Vec::new();
+            let mut outs = Vec::new();
+            for s in v.streams {
+                let i = sys.add_fifo(CFifo::new(
+                    format!("{}:{}:in", v.name, s.name),
+                    s.input_capacity as usize,
+                ));
+                let o = sys.add_fifo(CFifo::new(
+                    format!("{}:{}:out", v.name, s.name),
+                    s.output_capacity as usize,
+                ));
+                gw.add_stream(StreamConfig::new(
+                    s.name.clone(),
+                    i,
+                    o,
+                    s.eta_in as usize,
+                    s.eta_out as usize,
+                    s.reconfig,
+                    v.chain
+                        .iter()
+                        .map(|_| {
+                            Box::new(PassthroughKernel)
+                                as Box<dyn streamgate_platform::StreamKernel>
+                        })
+                        .collect(),
+                ));
+                ins.push(i);
+                outs.push(o);
+            }
+            gateways.push(sys.add_gateway(gw));
+            inputs.push(ins);
+            outputs.push(outs);
+        }
+        MultiBuiltSystem {
+            system: sys,
+            gateways,
+            inputs,
+            outputs,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -513,12 +1126,137 @@ mod tests {
             DeploySpec::fig6(),
             DeploySpec::fig9(false),
             DeploySpec::pal_scaled(),
+            DeploySpec::pal2(),
         ] {
             let text = spec.to_json_text();
             let back = DeploySpec::from_json_text(&text).unwrap();
             assert_eq!(back, spec);
             assert_eq!(back.to_json_text(), text);
         }
+    }
+
+    #[test]
+    fn single_gateway_json_has_no_multi_keys() {
+        // PR-3 consumers must keep seeing byte-identical documents.
+        for spec in [DeploySpec::fig6(), DeploySpec::pal_scaled()] {
+            let text = spec.to_json_text();
+            for key in ["gateways", "config_bus_period", "max_latency"] {
+                assert!(!text.contains(key), "legacy JSON grew a {key:?} key");
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_views_cover_both_shapes() {
+        let single = DeploySpec::fig6();
+        let views = single.gateway_views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].group, 0);
+        assert_eq!(views[0].streams.len(), 1);
+        assert_eq!(views[0].c0(), 3);
+        assert!(!single.is_multi());
+
+        let multi = DeploySpec::pal2();
+        assert!(multi.is_multi());
+        assert!(multi.gateway_structure_errors().is_empty());
+        let views = multi.gateway_views();
+        assert_eq!(views.len(), 2);
+        assert_eq!((views[0].group, views[1].group), (0, 1));
+        assert_eq!(views[0].chain[0].name, "CORDIC");
+        assert_eq!(views[1].chain[0].name, "FIR+D");
+        assert_eq!(multi.all_streams().len(), 4);
+        assert_eq!(multi.all_streams()[2].0, 1);
+    }
+
+    #[test]
+    fn shared_group_resolves_to_owner_chain() {
+        let mut spec = DeploySpec::pal2();
+        spec.gateways[1].chain = vec![];
+        spec.gateways[1].shares_chain_with = Some(0);
+        assert!(spec.gateway_structure_errors().is_empty());
+        let views = spec.gateway_views();
+        assert_eq!(views[1].group, 0);
+        assert_eq!(views[1].chain[0].name, "CORDIC");
+        // Both pairs see the same physical stations.
+        let layout = spec.ring_layout();
+        assert_eq!(layout.chain_nodes[0], layout.chain_nodes[1]);
+
+        // Dangling and forward references are reported, not resolved.
+        spec.gateways[1].shares_chain_with = Some(5);
+        assert!(!spec.gateway_structure_errors().is_empty());
+    }
+
+    #[test]
+    fn ring_layout_interleaves_and_tracks_paths() {
+        let layout = DeploySpec::pal2().ring_layout();
+        // entries 0..2, accels 2..4, exits 4..6.
+        assert_eq!(layout.nodes, 6);
+        assert_eq!(layout.entries, vec![0, 1]);
+        assert_eq!(layout.chain_nodes, vec![vec![2], vec![3]]);
+        assert_eq!(layout.exits, vec![4, 5]);
+        assert_eq!(layout.segments(0), vec![(0, 2), (2, 4)]);
+        assert_eq!(layout.segments(1), vec![(1, 3), (3, 5)]);
+        // Interleaving makes the two pairs' data paths overlap (hop 1).
+        assert_eq!(layout.data_hops(0, 2), vec![0, 1]);
+        assert_eq!(layout.data_hops(1, 3), vec![1, 2]);
+        // Credits cross the same stations in the opposite rotation.
+        assert_eq!(layout.credit_hops(0, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn build_multi_platform_wires_pal2() {
+        let spec = DeploySpec::pal2();
+        let built = spec.build_multi_platform();
+        assert_eq!(built.gateways.len(), 2);
+        assert_eq!(built.system.accels.len(), 2);
+        for (g, v) in spec.gateway_views().iter().enumerate() {
+            let gw = &built.system.gateways[built.gateways[g]];
+            // Own chains, no sharing: the claim/release protocol stays off.
+            assert!(!gw.shared_chain);
+            assert_eq!(gw.num_streams(), v.streams.len());
+            for (s, sd) in v.streams.iter().enumerate() {
+                let sc = gw.stream(s);
+                assert_eq!(sc.eta_in as u64, sd.eta_in);
+                assert_eq!(sc.eta_out as u64, sd.eta_out);
+                assert_eq!(sc.reconfig_cycles, sd.reconfig);
+                assert_eq!(
+                    built.system.fifos[built.inputs[g][s].0].capacity() as u64,
+                    sd.input_capacity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_deploy_spec_round_trips_through_platform() {
+        use super::ToDeploySpec;
+        let cfg = streamgate_core::PalSystemConfig::scaled_default();
+        let spec = cfg.to_deploy_spec();
+        let built = spec.build_platform();
+        let gw = &built.system.gateways[built.gateway];
+        // spec → platform: every wired quantity matches the exported spec.
+        assert_eq!(built.system.accels.len(), spec.chain.len());
+        assert_eq!(gw.num_streams(), spec.streams.len());
+        for (i, sd) in spec.streams.iter().enumerate() {
+            let sc = gw.stream(i);
+            assert_eq!(sc.eta_in as u64, sd.eta_in);
+            assert_eq!(sc.eta_out as u64, sd.eta_out);
+            assert_eq!(sc.reconfig_cycles, sd.reconfig);
+            assert_eq!(
+                built.system.fifos[sc.input.0].capacity() as u64,
+                sd.input_capacity
+            );
+            assert_eq!(
+                built.system.fifos[sc.output.0].capacity() as u64,
+                sd.output_capacity
+            );
+        }
+        // platform → spec: re-exporting yields the same document.
+        assert_eq!(cfg.to_deploy_spec(), spec);
+        assert_eq!(
+            DeploySpec::from_json_text(&spec.to_json_text()).unwrap(),
+            spec
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! a different subset of it, so the per-binary dead-code lint is off.
 #![allow(dead_code)]
 
-use streamgate_analysis::{AnalysisOptions, ChainStage, DeploySpec, StreamDeploy};
+use streamgate_analysis::{
+    AnalysisOptions, ChainStage, DeploySpec, GatewayDeploy, MultiBuiltSystem, StreamDeploy,
+};
 use streamgate_core::BuiltSystem;
 use streamgate_ilp::Rational;
 use streamgate_platform::StepMode;
@@ -83,6 +85,7 @@ pub fn random_clean_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
             reconfig: r,
             input_capacity: 6 * eta,
             output_capacity: 8 * eta,
+            max_latency: None,
         })
         .collect();
 
@@ -95,7 +98,183 @@ pub fn random_clean_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
         check_for_space: true,
         streams,
         processors: vec![],
+        gateways: vec![],
+        config_bus_period: None,
     }
+}
+
+/// A random *multi-gateway* deployment engineered to be accepted: 2–3
+/// gateway pairs on one ring, each owning a chain or sharing an earlier
+/// pair's (Fig. 10 style), with rates at half the *system-scope* Eq. 5
+/// limit (the pair-local limit would be unsound for shared chains) and a
+/// conflict-free configuration-bus slot table.
+pub fn random_multi_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
+    let n_gw = rng.range(2, 3) as usize;
+    let epsilon = rng.range(1, 6);
+    let delta = rng.range(1, 2);
+    let ni_depth = rng.range(2, 3) as u32;
+
+    let mut gateways: Vec<GatewayDeploy> = Vec::new();
+    for g in 0..n_gw {
+        // Half the pairs after the first share gateway 0's chain.
+        let shares = g > 0 && rng.next().is_multiple_of(2) && !gateways[0].chain.is_empty();
+        let chain: Vec<ChainStage> = if shares {
+            vec![]
+        } else {
+            (0..rng.range(1, 2))
+                .map(|i| ChainStage {
+                    name: format!("g{g}A{i}"),
+                    rho: rng.range(1, 5),
+                })
+                .collect()
+        };
+        let n_streams = rng.range(1, 2);
+        let streams = (0..n_streams)
+            .map(|s| StreamDeploy {
+                name: format!("g{g}s{s}"),
+                mu: Rational::new(0, 1), // placeholder until γ_s is known
+                eta_in: 0,
+                eta_out: 0,
+                reconfig: rng.range(0, 60),
+                input_capacity: 0,
+                output_capacity: 0,
+                max_latency: None,
+            })
+            .collect();
+        gateways.push(GatewayDeploy {
+            name: format!("gw{g}"),
+            chain,
+            shares_chain_with: if shares { Some(0) } else { None },
+            streams,
+            config_slot: None,
+        });
+    }
+    // Block sizes, then rates at half the system-scope limit η/(2·G·γ_s):
+    // the G in the denominator also caps the summed ring-hop load at 1/2.
+    for gw in gateways.iter_mut() {
+        for st in gw.streams.iter_mut() {
+            let eta = rng.range(4, 24);
+            st.eta_in = eta;
+            st.eta_out = eta;
+            st.input_capacity = 6 * eta;
+            st.output_capacity = 8 * eta;
+        }
+    }
+    let mut spec = DeploySpec {
+        name: format!("multi-{tag}"),
+        chain: vec![],
+        epsilon,
+        delta,
+        ni_depth,
+        check_for_space: true,
+        streams: vec![],
+        processors: vec![],
+        gateways,
+        config_bus_period: None,
+    };
+    // The credit window ni_depth·c0 must cover each pair's 2·distance ring
+    // round trip (layout-aware A6) — size the NI for the worst pair, plus
+    // one slot of slack for cross-pair credit contention.
+    let layout = spec.ring_layout();
+    let needed = (0..n_gw)
+        .map(|g| {
+            let owner = spec.gateways[g].shares_chain_with.unwrap_or(g);
+            let rho_a = spec.gateways[owner]
+                .chain
+                .iter()
+                .map(|st| st.rho)
+                .max()
+                .unwrap_or(0);
+            let c0 = epsilon.max(rho_a).max(delta);
+            let d_max = layout
+                .segments(g)
+                .iter()
+                .map(|&(src, dst)| layout.data_hops(src, dst).len() as u64)
+                .max()
+                .unwrap_or(1);
+            (2 * d_max).div_ceil(c0) + 1
+        })
+        .max()
+        .unwrap();
+    spec.ni_depth = spec.ni_depth.max(needed as u32);
+    let gamma_sys = system_round_bounds(&spec);
+    for (g, gw) in spec.gateways.iter_mut().enumerate() {
+        for s in gw.streams.iter_mut() {
+            s.mu = Rational::new(s.eta_in as i128, (2 * n_gw as u64 * gamma_sys[g]) as i128);
+        }
+    }
+    // Latency budgets on half the streams, at twice the Fig. 7 upper bound
+    // (fill + γ_s) so the clean generator stays clean while A10 runs.
+    for (gw, &gamma_g) in spec.gateways.iter_mut().zip(&gamma_sys) {
+        for st in gw.streams.iter_mut() {
+            if rng.next().is_multiple_of(2) {
+                continue;
+            }
+            let num = (st.eta_in as i128 - 1) * st.mu.denom();
+            let fill = ((num + st.mu.numer() - 1) / st.mu.numer()) as u64;
+            st.max_latency = Some(2 * (fill + gamma_g));
+        }
+    }
+    // Contiguous config-bus slots sized to each pair's largest R_s.
+    let mut off = 0;
+    for gw in spec.gateways.iter_mut() {
+        let len = gw
+            .streams
+            .iter()
+            .map(|s| s.reconfig)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        gw.config_slot = Some((off, len));
+        off += len;
+    }
+    spec.config_bus_period = Some(off);
+    spec
+}
+
+/// The analyzer's A8 system round bound γ_g per gateway (identical
+/// arithmetic to `check_system_round`, reproduced here so the generator
+/// can place rates safely *below* it).
+fn system_round_bounds(spec: &DeploySpec) -> Vec<u64> {
+    let group: Vec<usize> = (0..spec.gateways.len())
+        .map(|g| spec.gateways[g].shares_chain_with.unwrap_or(g))
+        .collect();
+    let c0: Vec<u64> = (0..spec.gateways.len())
+        .map(|g| {
+            let owner = &spec.gateways[group[g]];
+            let rho_a = owner.chain.iter().map(|st| st.rho).max().unwrap_or(0);
+            spec.epsilon.max(rho_a).max(spec.delta)
+        })
+        .collect();
+    let taus: Vec<Vec<u64>> = spec
+        .gateways
+        .iter()
+        .enumerate()
+        .map(|(g, gw)| {
+            gw.streams
+                .iter()
+                .map(|s| s.reconfig + (s.eta_in + 2) * c0[g])
+                .collect()
+        })
+        .collect();
+    (0..spec.gateways.len())
+        .map(|g| {
+            let own: u64 = taus[g].iter().sum();
+            let n_g = spec.gateways[g].streams.len() as u64;
+            let mut interference = 0;
+            for h in 0..spec.gateways.len() {
+                if h == g || group[h] != group[g] || taus[h].is_empty() {
+                    continue;
+                }
+                let claims = n_g + 1;
+                let max_t = *taus[h].iter().max().unwrap();
+                let sum_t: u64 = taus[h].iter().sum();
+                let n_h = taus[h].len() as u64;
+                interference += (claims * max_t).min(claims.div_ceil(n_h) * sum_t);
+            }
+            own + interference
+        })
+        .collect()
 }
 
 /// Build the spec's platform, prefill every input FIFO to capacity (the
@@ -121,6 +300,46 @@ pub fn run_saturated(spec: &DeploySpec, mode: StepMode, cycles: u64) -> BuiltSys
 pub fn clean_cycles(spec: &DeploySpec) -> u64 {
     let gamma = spec.sharing_problem().gamma(&spec.etas());
     8 * gamma + 4_000
+}
+
+/// Multi-gateway sibling of [`run_saturated`]: build the whole-system
+/// platform, prefill every input C-FIFO on every pair, and run it.
+pub fn run_saturated_multi(spec: &DeploySpec, mode: StepMode, cycles: u64) -> MultiBuiltSystem {
+    let mut b = spec.build_multi_platform();
+    b.system.step_mode = mode;
+    b.system.enable_tracing(0);
+    for (g, gw) in spec.gateways.iter().enumerate() {
+        for (s, st) in gw.streams.iter().enumerate() {
+            let fifo = b.inputs[g][s];
+            for k in 0..st.input_capacity {
+                if !b.system.fifos[fifo.0].try_push((k as f64, 0.5), 0) {
+                    break;
+                }
+            }
+        }
+    }
+    b.system.run(cycles);
+    b
+}
+
+/// Cycle budget for a clean saturated multi-gateway run: eight of the
+/// slowest pair's system rounds (which already include cross-pair chain
+/// interference), plus slack.
+pub fn multi_clean_cycles(spec: &DeploySpec) -> u64 {
+    8 * system_round_bounds(spec).iter().max().copied().unwrap_or(0) + 4_000
+}
+
+/// Per-block measurement margin for one pair of a multi-gateway system:
+/// the single-gateway margin shape, on the view's chain, plus the longer
+/// ring (every pair's entry/exit sits on the same loop).
+pub fn multi_tau_margin(spec: &DeploySpec, view_chain_len: u64, c0: u64) -> u64 {
+    let ring = 2 * spec.gateways.len() as u64
+        + spec
+            .gateways
+            .iter()
+            .map(|g| g.chain.len() as u64)
+            .sum::<u64>();
+    view_chain_len.saturating_sub(1) * c0 + 16 + 8 * view_chain_len + 2 * ring
 }
 
 /// Per-block measurement margin: Eq. 2's `(η+2)·c0` models the paper's

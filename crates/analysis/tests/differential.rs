@@ -11,12 +11,15 @@
 //!   way the rule predicts: deadlock (A1/A2), throughput miss (A3), or a
 //!   wedged chain with head-of-line blocking (A5).
 //!
-//! 240 random topologies total: 120 clean + 4 × 30 fault-injected.
+//! 460 random topologies total: 120 clean single-gateway + 4 × 30
+//! fault-injected single-gateway, plus 140 clean multi-gateway + 2 × 40
+//! fault-injected multi-gateway whole-system deployments.
 
 mod common;
 
 use common::{
-    clean_cycles, fast_options, random_clean_spec, round_margin, run_saturated, tau_margin, Rng,
+    clean_cycles, fast_options, multi_clean_cycles, multi_tau_margin, random_clean_spec,
+    random_multi_spec, round_margin, run_saturated, run_saturated_multi, tau_margin, Rng,
 };
 use streamgate_analysis::{analyze_with, RuleId, Severity};
 use streamgate_core::{max_round_time, system_metrics, validate_tau_bound};
@@ -227,5 +230,181 @@ fn missing_space_check_rejections_wedge_in_simulation() {
                 );
             }
         }
+    }
+}
+
+/// Multi-gateway soundness, clean side: 140 random whole-system topologies
+/// (2–3 pairs, mixed owned/shared chains, config-bus slots, latency
+/// budgets on half the streams) must be accepted — and then every pair on
+/// both engines makes progress, meets Eq. 2 per block, and keeps its
+/// measured rounds within the *system* round bound γ_g (which charges
+/// cross-pair claims on shared chains).
+#[test]
+fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
+    let mut rng = Rng::new(0xD1FF_0006);
+    for case in 0..140 {
+        let spec = random_multi_spec(&mut rng, case);
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.is_accepted(),
+            "clean multi generator produced a rejected spec (case {case}):\n{}",
+            report.render_text()
+        );
+
+        let views = spec.gateway_views();
+        let cycles = multi_clean_cycles(&spec);
+        let mut blocks_by_engine = Vec::new();
+        for mode in ENGINES {
+            let b = run_saturated_multi(&spec, mode, cycles);
+            let mut blocks = Vec::new();
+            let mut flat = 0;
+            for v in &views {
+                let gw = b.gateways[v.index];
+                for s in 0..v.streams.len() {
+                    let n = b.system.gateways[gw].stream(s).blocks_done;
+                    assert!(
+                        n >= 3,
+                        "case {case} ({mode:?}): accepted but {}:{} completed only \
+                         {n} blocks in {cycles} cycles\n{}",
+                        v.name,
+                        v.streams[s].name,
+                        report.render_text()
+                    );
+                    blocks.push(n);
+                }
+                // Eq. 2 per pair: measured block times within τ̂ + margin.
+                let prob = v.sharing_problem();
+                let etas = v.etas();
+                let margin = multi_tau_margin(&spec, v.chain.len() as u64, v.c0());
+                for val in validate_tau_bound(&prob, &etas, &b.system, gw, margin) {
+                    assert!(
+                        val.ok,
+                        "case {case} ({mode:?}): {} stream {} measured τ {} exceeds \
+                         τ̂ {} (+{})\n{}",
+                        v.name,
+                        val.stream,
+                        val.measured_max,
+                        val.tau_hat,
+                        val.margin,
+                        report.render_text()
+                    );
+                }
+                // Eq. 3–4 at system scope: measured rounds within γ_g. The
+                // report's bounds carry γ_g = τ̂ + Ω̂ per stream.
+                let gamma_g = report.bounds[flat].tau_hat + report.bounds[flat].omega_hat;
+                let metrics = system_metrics(&b.system, gw);
+                if let Some(round) = max_round_time(&metrics) {
+                    let margin = margin * v.streams.len() as u64 + 16;
+                    assert!(
+                        round <= gamma_g + margin,
+                        "case {case} ({mode:?}): {} round {round} exceeds system \
+                         γ_g {gamma_g} (+{margin})\n{}",
+                        v.name,
+                        report.render_text()
+                    );
+                }
+                flat += v.streams.len();
+            }
+            blocks_by_engine.push(blocks);
+        }
+        assert_eq!(
+            blocks_by_engine[0], blocks_by_engine[1],
+            "case {case}: engines disagree on completed blocks"
+        );
+    }
+}
+
+/// Multi-gateway fault injection: an undersized input C-FIFO on one pair
+/// is rejected (A2 at that pair's view) and that stream never completes a
+/// block on either engine — while the *other pairs* keep streaming.
+#[test]
+fn multi_gateway_undersized_input_rejections_deadlock_in_simulation() {
+    let mut rng = Rng::new(0xD1FF_0007);
+    for case in 0..40 {
+        let mut spec = random_multi_spec(&mut rng, case);
+        let vg = (rng.next() % spec.gateways.len() as u64) as usize;
+        let vs = (rng.next() % spec.gateways[vg].streams.len() as u64) as usize;
+        let victim = &mut spec.gateways[vg].streams[vs];
+        victim.input_capacity = victim.eta_in - 1;
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A2BufferCapacity, Severity::Error),
+            "case {case}: expected A2 Error\n{}",
+            report.render_text()
+        );
+        assert!(!report.is_accepted());
+
+        let cycles = multi_clean_cycles(&spec);
+        for mode in ENGINES {
+            let b = run_saturated_multi(&spec, mode, cycles);
+            assert_eq!(
+                b.system.gateways[b.gateways[vg]].stream(vs).blocks_done,
+                0,
+                "case {case} ({mode:?}): a full block never fits the victim's \
+                 input FIFO, yet it completed blocks"
+            );
+            for (g, gw) in spec.gateways.iter().enumerate() {
+                if g == vg {
+                    continue;
+                }
+                for s in 0..gw.streams.len() {
+                    assert!(
+                        b.system.gateways[b.gateways[g]].stream(s).blocks_done >= 3,
+                        "case {case} ({mode:?}): healthy pair {} starved by the \
+                         victim's local fault",
+                        gw.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Multi-gateway fault injection, system-scope rule: force every pair onto
+/// ONE shared chain and scale rates to the *pair-local* Eq. 5 limit — each
+/// pair in isolation is feasible, but the chain as a whole is claimed more
+/// than 100% of the time. Only A8 can reject this; the pinned simulation
+/// counterpart lives in `negative_paths.rs`.
+#[test]
+fn multi_gateway_shared_overcommit_is_rejected_by_a8() {
+    let mut rng = Rng::new(0xD1FF_0008);
+    for case in 0..40 {
+        let mut spec = random_multi_spec(&mut rng, case);
+        // Everyone shares gateway 0's chain.
+        for g in 1..spec.gateways.len() {
+            spec.gateways[g].chain = vec![];
+            spec.gateways[g].shares_chain_with = Some(0);
+        }
+        // Rate each stream at ~90% of its PAIR-LOCAL η/γ limit: locally
+        // clean (A3 passes), globally over-committed (Σ μ·τ̂/η > 1 as soon
+        // as two or more pairs claim one chain at near-full local rate).
+        let c0 = {
+            let rho = spec.gateways[0].chain.iter().map(|s| s.rho).max().unwrap();
+            spec.epsilon.max(rho).max(spec.delta)
+        };
+        for gw in spec.gateways.iter_mut() {
+            let gamma_local: u64 = gw
+                .streams
+                .iter()
+                .map(|s| s.reconfig + (s.eta_in + 2) * c0)
+                .sum();
+            for s in gw.streams.iter_mut() {
+                s.mu =
+                    streamgate_ilp::Rational::new(9 * s.eta_in as i128, 10 * gamma_local as i128);
+                s.max_latency = None;
+            }
+        }
+        let report = analyze_with(&spec, &fast_options());
+        assert!(
+            report.has(RuleId::A8SystemRound, Severity::Error),
+            "case {case}: expected A8 Error\n{}",
+            report.render_text()
+        );
+        assert!(!report.is_accepted());
+        assert!(
+            !report.has(RuleId::A3Throughput, Severity::Error),
+            "case {case}: the fault must be invisible to the pair-local A3\n{}",
+            report.render_text()
+        );
     }
 }

@@ -82,9 +82,12 @@ fn spec_of(raw: &RawDeploy) -> DeploySpec {
                 } else {
                     raw.out_cap_factor * eta
                 },
+                max_latency: None,
             })
             .collect(),
         processors: vec![],
+        gateways: vec![],
+        config_bus_period: None,
     }
 }
 
@@ -153,6 +156,57 @@ proptest! {
                     "accepted, but stream {} τ {} > τ̂ {} (+{}) ({:?})\n{}",
                     v.stream, v.measured_max, v.tau_hat, v.margin, mode, report.render_text()
                 );
+            }
+            per_engine.push(blocks);
+        }
+        prop_assert_eq!(&per_engine[0], &per_engine[1], "engines disagree");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whole-system variant of the oracle: a seeded multi-gateway topology
+    /// with one stream's rate scaled by a free factor — ×1 keeps the
+    /// generator's half-limit placement, larger factors push past the
+    /// system-scope Eq. 5 / ring-capacity limits and get rejected. Whatever
+    /// the analyzer accepts must survive saturated simulation on both
+    /// engines, pairs progressing and engines agreeing.
+    #[test]
+    fn analyzer_accepted_multi_deployments_survive_simulation(
+        seed in 1u64..u64::MAX,
+        victim_pick in 0usize..16,
+        mu_scale in 1i128..12,
+    ) {
+        let mut rng = common::Rng::new(seed);
+        let mut spec = common::random_multi_spec(&mut rng, 0);
+        let g = victim_pick % spec.gateways.len();
+        let s = victim_pick % spec.gateways[g].streams.len();
+        let mu = spec.gateways[g].streams[s].mu;
+        spec.gateways[g].streams[s].mu =
+            Rational::new(mu.numer() * mu_scale, mu.denom());
+        // The generator's latency budgets assume the original fill time;
+        // drop the scaled stream's budget so A10 reflects the new rate.
+        spec.gateways[g].streams[s].max_latency = None;
+
+        let report = analyze_with(&spec, &fast_options());
+        prop_assume!(report.is_accepted());
+
+        let cycles = common::multi_clean_cycles(&spec);
+        let mut per_engine = Vec::new();
+        for mode in [StepMode::Exhaustive, StepMode::EventDriven] {
+            let b = common::run_saturated_multi(&spec, mode, cycles);
+            let mut blocks = Vec::new();
+            for (g, gw) in spec.gateways.iter().enumerate() {
+                for s in 0..gw.streams.len() {
+                    let n = b.system.gateways[b.gateways[g]].stream(s).blocks_done;
+                    prop_assert!(
+                        n >= 3,
+                        "accepted, but {}:{} did {} blocks ({:?})\n{}",
+                        gw.name, gw.streams[s].name, n, mode, report.render_text()
+                    );
+                    blocks.push(n);
+                }
             }
             per_engine.push(blocks);
         }

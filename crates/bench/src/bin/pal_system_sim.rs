@@ -50,7 +50,8 @@ fn main() {
     let args = parse_args();
     let cfg = PalSystemConfig::scaled_default();
     if args.analyze {
-        streamgate_bench::preflight_analyze(&streamgate_analysis::DeploySpec::from_pal(&cfg));
+        use streamgate_analysis::ToDeploySpec;
+        streamgate_bench::preflight_analyze(&cfg.to_deploy_spec());
     }
     let prob = cfg.sharing_problem();
     println!(

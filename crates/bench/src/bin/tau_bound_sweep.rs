@@ -111,8 +111,11 @@ fn main() {
                     reconfig,
                     input_capacity: 8192,
                     output_capacity: 1 << 20,
+                    max_latency: None,
                 }],
                 processors: vec![],
+                gateways: vec![],
+                config_bus_period: None,
             };
             let report = streamgate_analysis::analyze(&spec);
             println!(

@@ -97,6 +97,43 @@ impl AcceleratorTile {
         self.rx.is_empty() && self.pending_out.is_none() && now >= self.busy_until
     }
 
+    /// Rewire the receive-side NI endpoint to a new upstream link
+    /// (chain-sharing claim by an entry gateway). Only legal while the
+    /// tile is quiescent and unconfigured — the old buffer must be empty,
+    /// so nothing is discarded.
+    pub fn retarget_rx(&mut self, now: u64, upstream: NodeId, rx_stream: u32, ni_depth: u32) {
+        assert!(
+            self.kernel.is_none() && self.is_drained(now),
+            "rx retarget of busy accelerator {}",
+            self.name
+        );
+        self.rx = CreditRx::new(self.node, upstream, rx_stream, ni_depth);
+    }
+
+    /// Rewire the send-side NI endpoint to a new downstream link
+    /// (chain-sharing claim by an entry gateway), granting the fresh
+    /// link's full `ni_depth` credit window.
+    ///
+    /// Only legal while the tile is quiescent, unconfigured and — credit
+    /// conservation, enforced here under the platform's uniform NI depth —
+    /// every credit of the *old* link is back home: a rebuild with old
+    /// credits still in flight would let them be absorbed into a later
+    /// incarnation of the same link and overflow its receive buffer.
+    pub fn retarget_tx(&mut self, now: u64, downstream: NodeId, tx_stream: u32, ni_depth: u32) {
+        assert!(
+            self.kernel.is_none() && self.is_drained(now),
+            "tx retarget of busy accelerator {}",
+            self.name
+        );
+        assert_eq!(
+            self.tx.credits(),
+            ni_depth,
+            "tx retarget of {} with credits in flight",
+            self.name
+        );
+        self.tx = CreditTx::new(self.node, downstream, tx_stream, ni_depth);
+    }
+
     /// Advance one cycle: poll the NI, process, forward.
     pub fn step(&mut self, ring: &mut DualRing<Sample>, now: u64) {
         self.rx.poll_data(ring);

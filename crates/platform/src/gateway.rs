@@ -134,6 +134,18 @@ pub struct GatewayPair {
     /// Index used to label this gateway's trace events (set by
     /// [`crate::system::System::add_gateway`]).
     pub trace_id: u32,
+    /// This pair shares its accelerator chain with other gateway pairs
+    /// (paper Fig. 10: more logical uses than physical accelerators).
+    /// Kernel presence is the mutex: a block is admitted only when every
+    /// chain accelerator is unconfigured and drained; the claim rewires
+    /// the chain's boundary NI endpoints onto this pair's links, and the
+    /// release (block completion) waits until every credit of the exit
+    /// link is back home before removing the kernels, so rewiring
+    /// conserves credits exactly.
+    pub shared_chain: bool,
+    /// NI buffer depth of the chain links (needed to rebuild boundary
+    /// endpoints on a shared-chain claim).
+    ni_depth: u32,
     streams: Vec<StreamConfig>,
     active: Option<usize>,
     rr_next: usize,
@@ -191,6 +203,8 @@ impl GatewayPair {
             reconfig_on_same_stream: true,
             check_for_space: true,
             trace_id: 0,
+            shared_chain: false,
+            ni_depth,
             streams: Vec::new(),
             active: None,
             rr_next: 0,
@@ -236,6 +250,15 @@ impl GatewayPair {
     /// True if no block is in flight.
     pub fn is_idle(&self) -> bool {
         self.state == GwState::Idle
+    }
+
+    /// True when every chain accelerator is unconfigured and drained: a
+    /// shared chain in this state is free to be claimed (kernel presence
+    /// is the inter-gateway mutex).
+    fn chain_free(&self, accels: &[AcceleratorTile], now: u64) -> bool {
+        self.chain
+            .iter()
+            .all(|a| !accels[a.0].has_kernel() && accels[a.0].is_drained(now))
     }
 
     /// Round-robin admission scan with the paper's three checks. Returns
@@ -303,7 +326,14 @@ impl GatewayPair {
         self.dma_tx.poll_credits(ring);
         match self.state {
             GwState::Idle => {
-                let (picked, space_blocked) = self.admission_scan(fifos);
+                let (mut picked, space_blocked) = self.admission_scan(fifos);
+                if self.shared_chain && picked.is_some() && !self.chain_free(accels, now) {
+                    // Another pair owns the chain: wait. The horizon keeps
+                    // this gateway stepping per-cycle (an admissible stream
+                    // is pending), so the claim lands on the exact cycle
+                    // the chain is released — in both engines.
+                    picked = None;
+                }
                 match picked {
                     None => {
                         self.idle_cycles += 1;
@@ -332,6 +362,30 @@ impl GatewayPair {
                                         words,
                                     });
                                 }
+                            }
+                            if self.shared_chain {
+                                // Claim: rewire the chain's boundary NI
+                                // endpoints onto this pair's links. Safe —
+                                // the chain is free (asserted in the
+                                // retarget methods) and the previous
+                                // owner's release waited for the exit
+                                // link's credits to come home.
+                                let first = self.chain[0].0;
+                                let last = self.chain[self.chain.len() - 1].0;
+                                let rx_stream = self.dma_tx.stream;
+                                let tx_stream = self.exit_rx.stream;
+                                accels[first].retarget_rx(
+                                    now,
+                                    self.entry_node,
+                                    rx_stream,
+                                    self.ni_depth,
+                                );
+                                accels[last].retarget_tx(
+                                    now,
+                                    self.exit_node,
+                                    tx_stream,
+                                    self.ni_depth,
+                                );
                             }
                             for (slot, acc) in self.chain.iter().enumerate() {
                                 let k = self.streams[idx].kernels[slot]
@@ -422,9 +476,18 @@ impl GatewayPair {
             }
             GwState::Draining => {
                 let active = self.active.expect("draining implies active");
+                let last = self.chain[self.chain.len() - 1].0;
+                if self.shared_chain {
+                    // The release must wait for the exit link's credits to
+                    // come home (rewiring conservation), and an idle
+                    // accelerator only polls on its own decision cycles —
+                    // so the owner polls for it.
+                    accels[last].tx.poll_credits(ring);
+                }
                 let drained = self.block_received == self.streams[active].eta_out
                     && self.chain.iter().all(|a| accels[a.0].is_drained(now))
-                    && self.exit_rx.is_empty();
+                    && self.exit_rx.is_empty()
+                    && (!self.shared_chain || accels[last].tx.credits() == self.ni_depth);
                 if drained {
                     self.streams[active].blocks_done += 1;
                     let record = BlockRecord {
@@ -454,6 +517,27 @@ impl GatewayPair {
                         exit_stall: record.exit_stall,
                     });
                     self.rr_next = (active + 1) % self.streams.len();
+                    if self.shared_chain {
+                        // Release: save the kernels back and free the
+                        // chain for the next claimant. The next block —
+                        // whoever admits it — always reinstalls and pays
+                        // its full R, matching the analysis.
+                        for (slot, acc) in self.chain.iter().enumerate() {
+                            let words = accels[acc.0].kernel_state_words() as u32;
+                            let k = accels[acc.0]
+                                .remove_kernel()
+                                .expect("chain owner had kernels installed");
+                            self.streams[active].kernels[slot] = Some(k);
+                            tracer.emit(|| TraceEvent::ConfigSave {
+                                gateway: gw,
+                                stream: active as u32,
+                                accel: acc.0 as u32,
+                                cycle: now,
+                                words,
+                            });
+                        }
+                        self.active = None;
+                    }
                     self.state = GwState::Idle;
                 }
             }
@@ -505,7 +589,10 @@ impl GatewayPair {
                     && self.chain.iter().all(|a| accels[a.0].is_drained(next))
                     && self.exit_rx.is_empty();
                 if drained {
-                    next // block completes
+                    // Block completes — or, on a shared chain, the owner
+                    // polls the exit link's credits home per-cycle before
+                    // releasing; both require stepping now.
+                    next
                 } else if self.block_received == self.streams[active].eta_out
                     && self.exit_rx.is_empty()
                 {

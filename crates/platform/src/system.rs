@@ -237,46 +237,9 @@ impl System {
         });
     }
 
-    /// Minimum quiescence horizon over the *tiles* (processors, gateways,
-    /// accelerators — everything except the ring): the earliest cycle
-    /// `>= self.cycle` at which stepping one of them could do more than
-    /// skip-replayable bookkeeping, absent external input.
-    fn component_horizon(&self) -> u64 {
-        let next = self.cycle;
-        let mut h = u64::MAX;
-        for p in &self.processors {
-            h = h.min(p.horizon(&self.fifos, next));
-            if h == next {
-                return next;
-            }
-        }
-        for g in &self.gateways {
-            h = h.min(g.horizon(&self.fifos, &self.accels, next));
-            if h == next {
-                return next;
-            }
-        }
-        let tracing = self.tracer.is_enabled();
-        for (k, a) in self.accels.iter().enumerate() {
-            let mut v = a.horizon(next);
-            // When tracing, a pending active→drained flip (pure time
-            // passage, invisible to `horizon`) must be stepped so the
-            // observation lands on the exact transition cycle.
-            if tracing && self.accel_active_seen.get(k).copied().unwrap_or(false) {
-                v = v.min(a.drain_cycle(next));
-            }
-            h = h.min(v);
-            if h == next {
-                return next;
-            }
-        }
-        h
-    }
-
     /// Fill the per-tile horizon scratch (`h_proc`/`h_gw`/`h_acc`) at the
-    /// current cycle and return the minimum. Unlike
-    /// [`System::component_horizon`] every tile is evaluated, because
-    /// [`System::selective_step`] needs each individual value. Tile
+    /// current cycle and return the minimum. Every tile is evaluated,
+    /// because [`System::selective_step`] needs each individual value. Tile
     /// horizons are *stable across skips*: a skipped interval is
     /// quiescent by construction, so the values stay valid until the next
     /// executed cycle.
@@ -371,23 +334,12 @@ impl System {
         self.cycle = now + 1;
     }
 
-    /// Minimum quiescence horizon over all components including the ring.
-    /// Equal to `self.cycle` whenever any component reports "now" — then
-    /// the engine falls back to single-cycle stepping.
-    fn horizon(&self) -> u64 {
-        let next = self.cycle;
-        let h = next.saturating_add(self.ring.idle_steps());
-        if h == next {
-            return next;
-        }
-        h.min(self.component_horizon())
-    }
-
     /// Jump the clock from `self.cycle` to `target`, replaying the
     /// skipped interval's bookkeeping in bulk on every component. Valid
-    /// only for `target <= self.horizon()`: the interval is provably
-    /// quiescent, so counters, stall attribution and periodic trace
-    /// samples come out exactly as if each cycle had been stepped.
+    /// only when `target` does not exceed the minimum of the tile and
+    /// ring horizons: the interval is provably quiescent, so counters,
+    /// stall attribution and periodic trace samples come out exactly as
+    /// if each cycle had been stepped.
     fn skip_to(&mut self, target: u64) {
         let from = self.cycle;
         debug_assert!(target > from);
@@ -520,18 +472,36 @@ impl System {
     /// jumping over its trigger value.
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&System) -> bool) -> bool {
         let end = self.cycle.saturating_add(max_cycles);
-        while self.cycle < end {
-            if pred(self) {
-                return true;
+        match self.step_mode {
+            StepMode::Exhaustive => {
+                while self.cycle < end {
+                    if pred(self) {
+                        return true;
+                    }
+                    self.step();
+                }
             }
-            self.step();
-            if self.step_mode == StepMode::EventDriven && self.cycle < end {
-                let h = self.horizon().min(end);
-                // Skip only while the predicate stays false: state is
-                // frozen over the interval, so checking it once suffices
-                // and the stop cycle matches the exhaustive mode's.
-                if h > self.cycle && !pred(self) {
-                    self.skip_to(h);
+            StepMode::EventDriven => {
+                // The same selective-step loop as [`System::run`], with the
+                // predicate evaluated once per executed cycle. Checking it
+                // only there is exact: tile state is frozen across skipped
+                // intervals, so the predicate cannot flip inside one.
+                while self.cycle < end {
+                    if pred(self) {
+                        return true;
+                    }
+                    let hc = self.tile_horizons();
+                    let hr = self.cycle.saturating_add(self.ring.idle_steps());
+                    let h = hc.min(hr).min(end);
+                    if h > self.cycle {
+                        self.skip_to(h);
+                    } else if hc > self.cycle {
+                        self.ring_forward(hc.min(end));
+                    }
+                    if self.cycle >= end {
+                        break;
+                    }
+                    self.selective_step();
                 }
             }
         }
@@ -655,6 +625,33 @@ mod tests {
         let hit = sys.run_until(100_000, |s| s.gateways[0].stream(0).blocks_done >= 1);
         assert!(hit);
         assert!(sys.cycle() < 100_000);
+    }
+
+    #[test]
+    fn run_until_selective_loop_matches_exhaustive() {
+        // The event-driven run_until must stop at the exact cycle the
+        // exhaustive reference does, for predicates firing at different
+        // points of the block schedule.
+        for target in [1u64, 2, 3] {
+            let (mut ev, ..) = build();
+            let (mut ex, ..) = build();
+            ev.step_mode = StepMode::EventDriven;
+            ex.step_mode = StepMode::Exhaustive;
+            let p = move |s: &System| s.gateways[0].stream(0).blocks_done >= target;
+            let hit_ev = ev.run_until(100_000, p);
+            let hit_ex = ex.run_until(100_000, p);
+            assert_eq!(hit_ev, hit_ex, "verdicts differ for target {target}");
+            assert_eq!(
+                ev.cycle(),
+                ex.cycle(),
+                "stop cycle differs for target {target}"
+            );
+            assert_eq!(ev.gateways[0].blocks.len(), ex.gateways[0].blocks.len());
+            assert!(
+                ev.engine_stats.skipped_cycles > 0,
+                "selective loop never skipped — the port regressed to lock-step"
+            );
+        }
     }
 
     #[test]

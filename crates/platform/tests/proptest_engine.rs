@@ -100,9 +100,12 @@ fn oracle_specs(t: &Topo) -> Vec<DeploySpec> {
                     reconfig: t.reconfig,
                     input_capacity: t.in_cap as u64,
                     output_capacity: t.out_cap as u64,
+                    max_latency: None,
                 })
                 .collect(),
             processors: vec![],
+            gateways: vec![],
+            config_bus_period: None,
         })
         .collect()
 }

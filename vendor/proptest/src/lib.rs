@@ -248,7 +248,7 @@ tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     pub struct SizeRange {
         min: usize,
         max: usize,
