@@ -2,24 +2,28 @@
 //! command line.
 //!
 //! ```text
-//! streamgate-analyze [--json] [--spec FILE | PRESET]
+//! streamgate-analyze [--json] [--profile FILE] [--spec FILE | PRESET]
 //!
 //! PRESET: pal (default) | pal2 | fig6 | fig9-safe | fig9-broken
 //! ```
 //!
 //! Prints the analysis report as text (or machine-readable JSON with
-//! `--json`) and exits non-zero when any rule reports an Error.
+//! `--json`) and exits non-zero when any rule reports an Error. With
+//! `--profile`, a measured `RunProfile` JSON (written by the simulator
+//! binaries' own `--profile` flag) feeds measured per-hop burstiness back
+//! into rule A7 and measured arrival jitter into rule A10.
 
 use std::process::ExitCode;
-use streamgate_analysis::{analyze, DeploySpec};
+use streamgate_analysis::{analyze_profiled, parse_profile, AnalysisOptions, DeploySpec};
 
-const USAGE: &str = "usage: streamgate-analyze [--json] [--spec FILE | PRESET]\n\
+const USAGE: &str = "usage: streamgate-analyze [--json] [--profile FILE] [--spec FILE | PRESET]\n\
                      presets: pal (default), pal2, fig6, fig9-safe, fig9-broken";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut spec_file: Option<String> = None;
     let mut preset: Option<String> = None;
+    let mut profile_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,6 +33,13 @@ fn main() -> ExitCode {
                 Some(f) => spec_file = Some(f),
                 None => {
                     eprintln!("--spec needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--profile" => match args.next() {
+                Some(f) => profile_file = Some(f),
+                None => {
+                    eprintln!("--profile needs a file argument\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -75,7 +86,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = analyze(&spec);
+    let profile = match profile_file {
+        Some(file) => {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_profile(&text) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!("cannot parse profile {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    let report = analyze_profiled(&spec, &AnalysisOptions::default(), profile.as_ref());
     if json {
         println!("{}", report.to_json_text());
     } else {

@@ -34,15 +34,27 @@
 //! verdict against both cycle-level simulation engines — accepted
 //! configurations meet their τ̂/γ bounds, rejected ones demonstrably
 //! deadlock, wedge or miss their throughput.
+//!
+//! The [`profile`] module closes the loop the other way: a measured
+//! `RunProfile` from a profiled simulation run feeds measured per-hop
+//! burstiness back into A7 (differential check: every measured arrival
+//! curve must be dominated by the predicted [`profile::RingEnvelope`]) and
+//! measured arrival jitter into A10, via [`analyze_profiled`]; and
+//! [`monitor_for`] arms an online monitor with the analyzer's bounds.
 #![deny(missing_docs)]
 
 pub mod diag;
 pub mod json;
+pub mod profile;
 pub mod rules;
 pub mod spec;
 
 pub use diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
 pub use json::Json;
+pub use profile::{
+    analyze_profiled, monitor_for, multi_tau_margin, parse_profile, round_margin, tau_margin,
+    RingEnvelope,
+};
 pub use rules::{analyze, analyze_with, AnalysisOptions};
 pub use spec::{
     ChainStage, DeploySpec, GatewayDeploy, GatewayView, MultiBuiltSystem, ProcessorDeploy,

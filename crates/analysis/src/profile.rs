@@ -1,0 +1,666 @@
+//! Measured-profile feedback into the static analyzer.
+//!
+//! `streamgate-core`'s [`RunProfile`] records what a profiled simulation
+//! run *actually did* — empirical per-hop arrival curves, per-stream τ
+//! distributions, input burstiness, round samples. This module closes the
+//! loop:
+//!
+//! * [`parse_profile`] reads the profile's deterministic JSON back;
+//! * [`RingEnvelope`] computes the analyzer's *predicted* per-hop arrival
+//!   curve from the spec alone — the curve every measured hop curve must
+//!   stay under if rule A7's reasoning is sound;
+//! * [`analyze_profiled`] runs the normal analysis and then folds the
+//!   measurements in: measured hop curves escaping the predicted envelope
+//!   (or a physically impossible > 1 flit/cycle sustained hop load) are
+//!   **A7 Errors**; measured input burstiness refines the A10 latency
+//!   picture (Info/Warning — measurements of one run never *prove* a
+//!   bound, so they are never allowed to accept a deployment the static
+//!   rules rejected, and a measured-arrival refinement tightening a bound
+//!   is advisory);
+//! * [`monitor_for`] arms a `streamgate-core` online [`Monitor`] with the
+//!   analyzer's τ̂/γ bounds plus the measurement margins
+//!   ([`tau_margin`]/[`multi_tau_margin`]/[`round_margin`]) that separate
+//!   the paper's model quantities from simulator-observable timestamps.
+//!
+//! The differential tests run this over every accepted random
+//! multi-gateway topology on both engines: predicted curves must dominate
+//! measured ones everywhere, and the monitor must stay silent.
+
+use crate::diag::{Diagnostic, Location, Report, RuleId, Severity};
+use crate::json::Json;
+use crate::rules::{analyze_with, AnalysisOptions};
+use crate::spec::DeploySpec;
+use streamgate_core::monitor::{Monitor, MonitorConfig};
+use streamgate_core::profile::{
+    ArrivalProfile, EmpiricalCurve, FifoProfile, GatewayProfile, HopProfile, RunProfile,
+    StallProfile, StreamProfile,
+};
+use streamgate_platform::System;
+
+// ---------------------------------------------------------------------------
+// Measurement margins (promoted from the differential-test harness so the
+// analyzer, the online monitor and the tests all use one calibration).
+// ---------------------------------------------------------------------------
+
+/// Per-block measurement margin for a single-gateway deployment: Eq. 2's
+/// `(η+2)·c0` models the paper's three-stage pipeline (entry, one
+/// accelerator, exit); a k-stage chain fills `k−1` further stages, and the
+/// ring adds constant per-block transport (hops + NI handshakes),
+/// independent of η.
+pub fn tau_margin(spec: &DeploySpec) -> u64 {
+    let k = spec.chain.len() as u64;
+    k.saturating_sub(1) * spec.c0() + 16 + 8 * k
+}
+
+/// Per-block measurement margin for one pair of a multi-gateway system:
+/// the single-gateway margin shape on the view's chain, plus the longer
+/// ring (every pair's entry/exit sits on the same loop).
+pub fn multi_tau_margin(spec: &DeploySpec, view_chain_len: u64, c0: u64) -> u64 {
+    let ring = 2 * spec.gateways.len() as u64
+        + spec
+            .gateways
+            .iter()
+            .map(|g| g.chain.len() as u64)
+            .sum::<u64>();
+    view_chain_len.saturating_sub(1) * c0 + 16 + 8 * view_chain_len + 2 * ring
+}
+
+/// Round measurement margin: every block of the round carries the
+/// per-block margin.
+pub fn round_margin(spec: &DeploySpec) -> u64 {
+    tau_margin(spec) * spec.streams.len() as u64 + 16
+}
+
+// ---------------------------------------------------------------------------
+// Profile JSON parsing.
+// ---------------------------------------------------------------------------
+
+fn req<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+fn req_u64(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    req(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not an unsigned integer"))
+}
+
+fn req_usize(v: &Json, key: &str, ctx: &str) -> Result<usize, String> {
+    Ok(req_u64(v, key, ctx)? as usize)
+}
+
+fn req_str(v: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    Ok(req(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a string"))?
+        .to_string())
+}
+
+fn u64_list(v: &Json, key: &str, ctx: &str) -> Result<Vec<u64>, String> {
+    req(v, key, ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("{ctx}: `{key}` holds a non-integer"))
+        })
+        .collect()
+}
+
+/// Curves share the profile-wide window list and serialise only their
+/// max/min count arrays.
+fn parse_curve(v: &Json, windows: &[u64], ctx: &str) -> Result<EmpiricalCurve, String> {
+    let max_count = u64_list(v, "max", ctx)?;
+    let min_count = u64_list(v, "min", ctx)?;
+    if max_count.len() != windows.len() || min_count.len() != windows.len() {
+        return Err(format!(
+            "{ctx}: curve length does not match the window list"
+        ));
+    }
+    Ok(EmpiricalCurve {
+        windows: windows.to_vec(),
+        max_count,
+        min_count,
+    })
+}
+
+fn parse_hops(v: &Json, key: &str, windows: &[u64]) -> Result<Vec<HopProfile>, String> {
+    req(v, key, "profile")?
+        .as_array()
+        .ok_or_else(|| format!("profile: `{key}` is not an array"))?
+        .iter()
+        .map(|h| {
+            Ok(HopProfile {
+                hop: req_usize(h, "hop", key)?,
+                flits: req_u64(h, "flits", key)?,
+                curve: parse_curve(h, windows, key)?,
+            })
+        })
+        .collect()
+}
+
+/// Parse a [`RunProfile`] from the deterministic JSON
+/// `streamgate_core::profile::RunProfile::to_json_text` emits.
+pub fn parse_profile(text: &str) -> Result<RunProfile, String> {
+    let v = crate::json::parse(text)?;
+    let windows = u64_list(&v, "windows", "profile")?;
+    let streams = req(&v, "streams", "profile")?
+        .as_array()
+        .ok_or("profile: `streams` is not an array")?
+        .iter()
+        .map(|s| {
+            let arrival = match req(s, "arrival", "stream")? {
+                Json::Null => None,
+                a => Some(ArrivalProfile {
+                    samples: req_u64(a, "samples", "arrival")?,
+                    max_fill: req_usize(a, "max_fill", "arrival")?,
+                    curve: parse_curve(a, &windows, "arrival")?,
+                }),
+            };
+            Ok(StreamProfile {
+                gateway: req_usize(s, "gateway", "stream")?,
+                stream: req_usize(s, "stream", "stream")?,
+                gateway_name: req_str(s, "gateway_name", "stream")?,
+                name: req_str(s, "name", "stream")?,
+                blocks: req_u64(s, "blocks", "stream")?,
+                tau_min: req_u64(s, "tau_min", "stream")?,
+                tau_max: req_u64(s, "tau_max", "stream")?,
+                tau_sum: req_u64(s, "tau_sum", "stream")?,
+                tau_hist: u64_list(s, "tau_hist", "stream")?,
+                completions: parse_curve(req(s, "completions", "stream")?, &windows, "stream")?,
+                arrival,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let gateways = req(&v, "gateways", "profile")?
+        .as_array()
+        .ok_or("profile: `gateways` is not an array")?
+        .iter()
+        .map(|g| {
+            let stalls = req(g, "stalls", "gateway")?
+                .as_array()
+                .ok_or("gateway: `stalls` is not an array")?
+                .iter()
+                .map(|st| {
+                    Ok(StallProfile {
+                        cause: req_str(st, "cause", "stall")?,
+                        windows: req_u64(st, "windows", "stall")?,
+                        cycles: req_u64(st, "cycles", "stall")?,
+                        hist: u64_list(st, "hist", "stall")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(GatewayProfile {
+                gateway: req_usize(g, "gateway", "gateway")?,
+                name: req_str(g, "name", "gateway")?,
+                round_count: req_u64(g, "round_count", "gateway")?,
+                round_max: req_u64(g, "round_max", "gateway")?,
+                rounds: u64_list(g, "rounds", "gateway")?,
+                stalls,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let fifos = req(&v, "fifos", "profile")?
+        .as_array()
+        .ok_or("profile: `fifos` is not an array")?
+        .iter()
+        .map(|f| {
+            Ok(FifoProfile {
+                index: req_usize(f, "index", "fifo")?,
+                name: req_str(f, "name", "fifo")?,
+                capacity: req_usize(f, "capacity", "fifo")?,
+                high_water: req_usize(f, "high_water", "fifo")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunProfile {
+        deployment: req_str(&v, "deployment", "profile")?,
+        mode: req_str(&v, "mode", "profile")?,
+        cycles: req_u64(&v, "cycles", "profile")?,
+        ring_nodes: req_usize(&v, "ring_nodes", "profile")?,
+        data_hops: parse_hops(&v, "data_hops", &windows)?,
+        credit_hops: parse_hops(&v, "credit_hops", &windows)?,
+        windows,
+        streams,
+        gateways,
+        fifos,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The predicted per-hop arrival-curve envelope.
+// ---------------------------------------------------------------------------
+
+/// One gateway's contribution to a hop it crosses: at most `flits` flits
+/// per block, block bursts spaced at least `spacing` cycles apart, plus a
+/// window-independent `slack` (credit-ring initial stock).
+#[derive(Clone, Copy, Debug)]
+struct HopTerm {
+    flits: u64,
+    spacing: u64,
+    slack: u64,
+}
+
+/// The analyzer-predicted arrival-curve envelope per ring hop, derived
+/// from the spec alone (no measurements): gateway `g`'s blocks put at most
+/// `max_s max(η_in, η_out)` flits per block on any hop of its path, block
+/// bursts are spaced at least `min_s (η_in − 1)·ε + min_s R_s` apart
+/// (blocks on one chain are serial: a block's flits are all issued within
+/// its τ window, and the next block reconfigures before its first flit),
+/// and a window of Δ cycles can intersect at most
+/// `⌊(Δ + 2·nodes)/spacing⌋ + 2` bursts — the `2·nodes` absorbs ring
+/// transit spreading a burst's crossings around its issue window. Credit
+/// hops mirror the data terms (one credit per data flit) with
+/// `ni_depth·(chain_len + 1)` slack for the initial credit stock of the
+/// chain's links. Every bound is additionally capped by the physical
+/// one-flit-per-hop-per-cycle limit.
+#[derive(Clone, Debug)]
+pub struct RingEnvelope {
+    /// Ring stations (hop indexing context).
+    nodes: usize,
+    data_terms: Vec<Vec<HopTerm>>,
+    credit_terms: Vec<Vec<HopTerm>>,
+}
+
+impl RingEnvelope {
+    /// Build the envelope for a spec's ring layout.
+    pub fn of(spec: &DeploySpec) -> RingEnvelope {
+        let layout = spec.ring_layout();
+        let n = layout.nodes;
+        let mut data_terms: Vec<Vec<HopTerm>> = vec![Vec::new(); n];
+        let mut credit_terms: Vec<Vec<HopTerm>> = vec![Vec::new(); n];
+        for v in spec.gateway_views() {
+            if v.streams.is_empty() || v.chain.is_empty() {
+                continue;
+            }
+            let flits = v
+                .streams
+                .iter()
+                .map(|s| s.eta_in.max(s.eta_out))
+                .max()
+                .unwrap_or(0);
+            let spacing = (v
+                .streams
+                .iter()
+                .map(|s| s.eta_in.saturating_sub(1) * spec.epsilon)
+                .min()
+                .unwrap_or(0)
+                + v.streams.iter().map(|s| s.reconfig).min().unwrap_or(0))
+            .max(1);
+            let credit_slack = spec.ni_depth as u64 * (v.chain.len() as u64 + 1);
+            let mut data_hops: Vec<usize> = Vec::new();
+            let mut credit_hops: Vec<usize> = Vec::new();
+            for &(src, dst) in &layout.segments(v.index) {
+                data_hops.extend(layout.data_hops(src, dst));
+                credit_hops.extend(layout.credit_hops(src, dst));
+            }
+            data_hops.sort_unstable();
+            data_hops.dedup();
+            credit_hops.sort_unstable();
+            credit_hops.dedup();
+            for h in data_hops {
+                data_terms[h].push(HopTerm {
+                    flits,
+                    spacing,
+                    slack: 0,
+                });
+            }
+            for h in credit_hops {
+                credit_terms[h].push(HopTerm {
+                    flits,
+                    spacing,
+                    slack: credit_slack,
+                });
+            }
+        }
+        RingEnvelope {
+            nodes: n,
+            data_terms,
+            credit_terms,
+        }
+    }
+
+    fn bound(&self, terms: &[HopTerm], delta: u64) -> u64 {
+        let sum: u64 = terms
+            .iter()
+            .map(|t| {
+                let bursts = (delta + 2 * self.nodes as u64) / t.spacing + 2;
+                t.flits * bursts + t.slack
+            })
+            .sum();
+        sum.min(delta)
+    }
+
+    /// Predicted max flits crossing data hop `hop` in any `delta`-cycle
+    /// window (0 for hops no gateway path crosses — nothing may cross).
+    pub fn data_bound(&self, hop: usize, delta: u64) -> u64 {
+        self.data_terms.get(hop).map_or(0, |t| self.bound(t, delta))
+    }
+
+    /// Predicted max flits crossing credit hop `hop` in any `delta`-cycle
+    /// window.
+    pub fn credit_bound(&self, hop: usize, delta: u64) -> u64 {
+        self.credit_terms
+            .get(hop)
+            .map_or(0, |t| self.bound(t, delta))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// analyze_profiled: the normal rules plus measurement feedback.
+// ---------------------------------------------------------------------------
+
+/// Check every measured hop curve of `kind` against the envelope,
+/// appending A7 diagnostics.
+fn check_hop_domination(
+    profile: &RunProfile,
+    hops: &[HopProfile],
+    kind: &str,
+    bound: impl Fn(usize, u64) -> u64,
+    diags: &mut Vec<Diagnostic>,
+) -> (bool, u64, usize) {
+    let mut dominated = true;
+    let mut worst_flits = 0u64;
+    let mut worst_hop = 0usize;
+    for h in hops {
+        if h.flits > worst_flits {
+            worst_flits = h.flits;
+            worst_hop = h.hop;
+        }
+        if h.flits > profile.cycles {
+            dominated = false;
+            diags.push(Diagnostic {
+                rule: RuleId::A7RingContention,
+                severity: Severity::Error,
+                location: Location::Deployment,
+                message: format!(
+                    "measured {kind} hop {} carried {} flits in {} cycles — over the \
+                     physical one-flit-per-cycle limit (profiler or model defect)",
+                    h.hop, h.flits, profile.cycles
+                ),
+            });
+        }
+        for (i, &w) in h.curve.windows.iter().enumerate() {
+            let measured = h.curve.max_count[i];
+            let predicted = bound(h.hop, w);
+            if measured > predicted {
+                dominated = false;
+                diags.push(Diagnostic {
+                    rule: RuleId::A7RingContention,
+                    severity: Severity::Error,
+                    location: Location::Deployment,
+                    message: format!(
+                        "measured {kind} arrival curve escapes the predicted envelope at \
+                         hop {}: {} flits observed in a {}-cycle window > predicted {}",
+                        h.hop, measured, w, predicted
+                    ),
+                });
+                break; // one witness per hop keeps the report readable
+            }
+        }
+    }
+    (dominated, worst_flits, worst_hop)
+}
+
+/// Fold a measured [`RunProfile`] into an analysis run.
+///
+/// Runs the normal [`analyze_with`] rules, then — when a profile is given —
+/// appends measurement-feedback diagnostics:
+///
+/// * **A7**: when the profile's ring layout matches the spec's, every
+///   measured per-hop arrival curve (data and credit) must be dominated by
+///   the [`RingEnvelope`] prediction at every window size; an escape is an
+///   Error (the static contention reasoning missed real traffic). A
+///   layout mismatch (the profile came from a differently-shaped build,
+///   e.g. the PAL deployment whose processor tiles share the ring)
+///   degrades to an aggregate Info note.
+/// * **A10**: measured input arrival curves refine the latency picture.
+///   The analytic Fig. 7 fill time assumes arrivals at exactly μ; the
+///   measured burst witness (the smallest window in which a whole block's
+///   η_in samples actually arrived) bounds the *observed* fill, giving a
+///   measured-informed end-to-end figure reported as Info — or a Warning
+///   when the measured figure exceeds a declared latency budget the
+///   analytic bound met (jittery arrivals eroding the margin).
+///
+/// Measurements never *remove* diagnostics: one run cannot prove a bound.
+pub fn analyze_profiled(
+    spec: &DeploySpec,
+    opts: &AnalysisOptions,
+    profile: Option<&RunProfile>,
+) -> Report {
+    let mut report = analyze_with(spec, opts);
+    let Some(p) = profile else {
+        return report;
+    };
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let layout = spec.ring_layout();
+
+    if p.ring_nodes == layout.nodes {
+        let env = RingEnvelope::of(spec);
+        let (d_ok, d_flits, d_hop) = check_hop_domination(
+            p,
+            &p.data_hops,
+            "data",
+            |h, w| env.data_bound(h, w),
+            &mut diags,
+        );
+        let (c_ok, ..) = check_hop_domination(
+            p,
+            &p.credit_hops,
+            "credit",
+            |h, w| env.credit_bound(h, w),
+            &mut diags,
+        );
+        if d_ok && c_ok {
+            diags.push(Diagnostic {
+                rule: RuleId::A7RingContention,
+                severity: Severity::Info,
+                location: Location::Deployment,
+                message: format!(
+                    "profile `{}` ({} mode, {} cycles): every measured data/credit hop \
+                     curve is dominated by the predicted envelope across {} window sizes; \
+                     busiest data hop {} carried {} flits",
+                    p.deployment,
+                    p.mode,
+                    p.cycles,
+                    p.windows.len(),
+                    d_hop,
+                    d_flits
+                ),
+            });
+        }
+    } else {
+        let total: u64 = p.data_hops.iter().map(|h| h.flits).sum();
+        diags.push(Diagnostic {
+            rule: RuleId::A7RingContention,
+            severity: Severity::Info,
+            location: Location::Deployment,
+            message: format!(
+                "profile `{}` ring layout ({} stations) differs from the analyzed layout \
+                 ({} stations) — hop-level feedback skipped; aggregate measured data \
+                 traffic {} hop-crossings over {} cycles",
+                p.deployment, p.ring_nodes, layout.nodes, total, p.cycles
+            ),
+        });
+    }
+
+    // A10: measured arrival jitter per stream, matched by (gateway, local
+    // stream) indices with a name cross-check.
+    let views = spec.gateway_views();
+    let mut flat = 0usize;
+    let mut flat_of = Vec::new(); // (gateway, stream) -> flat index
+    for v in &views {
+        for s in 0..v.streams.len() {
+            flat_of.push(((v.index, s), flat));
+            flat += 1;
+        }
+    }
+    for sp in &p.streams {
+        let Some(&(_, fi)) = flat_of.iter().find(|&&(k, _)| k == (sp.gateway, sp.stream)) else {
+            continue;
+        };
+        let (Some(view), Some(bounds)) = (views.get(sp.gateway), report.bounds.get(fi)) else {
+            continue;
+        };
+        let st = &view.streams[sp.stream];
+        if st.name != sp.name {
+            continue;
+        }
+        let Some(arr) = &sp.arrival else { continue };
+        // The smallest measured window holding a whole input block.
+        let witness = arr
+            .curve
+            .windows
+            .iter()
+            .zip(&arr.curve.max_count)
+            .find(|&(_, &c)| c >= st.eta_in)
+            .map(|(&w, _)| w);
+        let gamma_g = bounds.tau_hat + bounds.omega_hat;
+        let loc = Location::Stream {
+            index: fi,
+            name: st.name.clone(),
+        };
+        match witness {
+            Some(w) => {
+                let measured_upper = w + gamma_g;
+                let (severity, verdict) = match st.max_latency {
+                    Some(budget) if measured_upper > budget => (
+                        Severity::Warning,
+                        format!("exceeds the declared budget {budget}"),
+                    ),
+                    Some(budget) => (
+                        Severity::Info,
+                        format!("within the declared budget {budget}"),
+                    ),
+                    None => (Severity::Info, "no budget declared".to_string()),
+                };
+                diags.push(Diagnostic {
+                    rule: RuleId::A10EndToEndLatency,
+                    severity,
+                    location: loc,
+                    message: format!(
+                        "measured arrivals fill a block (eta_in = {}) within {w} cycles; \
+                         measured-informed end-to-end figure {w} + gamma {gamma_g} = \
+                         {measured_upper} — {verdict} (measured tau in [{}, {}] over {} \
+                         blocks vs tau_hat = {})",
+                        st.eta_in, sp.tau_min, sp.tau_max, sp.blocks, bounds.tau_hat
+                    ),
+                });
+            }
+            None => {
+                diags.push(Diagnostic {
+                    rule: RuleId::A10EndToEndLatency,
+                    severity: Severity::Info,
+                    location: loc,
+                    message: format!(
+                        "measured arrivals never filled a whole block (eta_in = {}) in \
+                         any window — {} samples arrived over the run; fill-time \
+                         refinement not applicable",
+                        st.eta_in, arr.samples
+                    ),
+                });
+            }
+        }
+    }
+
+    report.diagnostics.extend(diags);
+    report
+        .diagnostics
+        .sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Arming the online monitor with analyzer bounds.
+// ---------------------------------------------------------------------------
+
+/// Build an online [`Monitor`] for a system built from `spec`, armed with
+/// the analyzer's per-stream τ̂ and per-gateway γ bounds widened by the
+/// measurement margins (the spec's gateway indices must match the
+/// system's, which [`DeploySpec::build_platform`] and
+/// [`DeploySpec::build_multi_platform`] guarantee).
+pub fn monitor_for(spec: &DeploySpec, report: &Report, system: &System) -> Monitor {
+    let mut cfg = MonitorConfig::from_system(system);
+    let views = spec.gateway_views();
+    let mut flat = 0usize;
+    for v in &views {
+        let margin = if spec.is_multi() {
+            multi_tau_margin(spec, v.chain.len() as u64, v.c0())
+        } else {
+            tau_margin(spec)
+        };
+        let n = v.streams.len() as u64;
+        let mut gamma_g = None;
+        for (s, st) in v.streams.iter().enumerate() {
+            if let Some(b) = report.bounds.get(flat) {
+                if b.stream == st.name {
+                    gamma_g = Some(b.tau_hat + b.omega_hat);
+                    if let Some(sc) = cfg
+                        .gateways
+                        .get_mut(v.index)
+                        .and_then(|g| g.streams.get_mut(s))
+                    {
+                        sc.tau_bound = Some(b.tau_hat + margin);
+                    }
+                }
+            }
+            flat += 1;
+        }
+        if let (Some(g), Some(gc)) = (gamma_g, cfg.gateways.get_mut(v.index)) {
+            gc.round_bound = Some(g + margin * n + 16);
+        }
+    }
+    Monitor::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_caps_at_one_flit_per_cycle() {
+        let spec = DeploySpec::fig6();
+        let env = RingEnvelope::of(&spec);
+        let layout = spec.ring_layout();
+        for h in 0..layout.nodes {
+            assert!(env.data_bound(h, 1) <= 1);
+            assert!(env.data_bound(h, 4) <= 4);
+            assert!(env.credit_bound(h, 1) <= 1);
+        }
+    }
+
+    #[test]
+    fn envelope_zero_on_uncrossed_hops() {
+        // fig6: 3 stations (entry 0, accel 1, exit 2); data crosses hops 0
+        // and 1 only, credits cross hops 2 and 1 only.
+        let spec = DeploySpec::fig6();
+        let env = RingEnvelope::of(&spec);
+        assert!(env.data_bound(0, 1_000) > 0);
+        assert!(env.data_bound(1, 1_000) > 0);
+        assert_eq!(env.data_bound(2, 1_000), 0);
+        assert_eq!(env.credit_bound(0, 1_000), 0);
+        assert!(env.credit_bound(1, 1_000) > 0);
+        assert!(env.credit_bound(2, 1_000) > 0);
+    }
+
+    #[test]
+    fn margins_positive_and_ring_aware() {
+        let spec = DeploySpec::fig6();
+        assert!(tau_margin(&spec) > 0);
+        assert!(round_margin(&spec) > tau_margin(&spec));
+        let multi = DeploySpec::pal2();
+        let v0 = multi.gateway_views()[0].clone();
+        let m = multi_tau_margin(&multi, v0.chain.len() as u64, v0.c0());
+        assert!(m > tau_margin(&spec), "multi margin covers the longer ring");
+    }
+
+    #[test]
+    fn analyze_profiled_without_profile_matches_plain() {
+        let spec = DeploySpec::fig6();
+        let opts = AnalysisOptions::default();
+        let plain = analyze_with(&spec, &opts);
+        let profiled = analyze_profiled(&spec, &opts, None);
+        assert_eq!(plain, profiled);
+    }
+}

@@ -283,7 +283,9 @@ fn system_round_bounds(spec: &DeploySpec) -> Vec<u64> {
 pub fn run_saturated(spec: &DeploySpec, mode: StepMode, cycles: u64) -> BuiltSystem {
     let mut b = spec.build_platform();
     b.system.step_mode = mode;
-    b.system.enable_tracing(0);
+    // Full profiling, so differential tests can also collect a measured
+    // `RunProfile` and feed it back through the analyzer.
+    b.system.enable_profiling(0);
     for (i, s) in spec.streams.iter().enumerate() {
         for k in 0..s.input_capacity {
             if !b.push_input(i, (k as f64, 0.5)) {
@@ -307,7 +309,10 @@ pub fn clean_cycles(spec: &DeploySpec) -> u64 {
 pub fn run_saturated_multi(spec: &DeploySpec, mode: StepMode, cycles: u64) -> MultiBuiltSystem {
     let mut b = spec.build_multi_platform();
     b.system.step_mode = mode;
-    b.system.enable_tracing(0);
+    // Full profiling (tracer + ring delivery log + FIFO push logs), so the
+    // differential tests can also collect a measured `RunProfile` and feed
+    // it back through the analyzer.
+    b.system.enable_profiling(0);
     for (g, gw) in spec.gateways.iter().enumerate() {
         for (s, st) in gw.streams.iter().enumerate() {
             let fifo = b.inputs[g][s];
@@ -329,29 +334,9 @@ pub fn multi_clean_cycles(spec: &DeploySpec) -> u64 {
     8 * system_round_bounds(spec).iter().max().copied().unwrap_or(0) + 4_000
 }
 
-/// Per-block measurement margin for one pair of a multi-gateway system:
-/// the single-gateway margin shape, on the view's chain, plus the longer
-/// ring (every pair's entry/exit sits on the same loop).
-pub fn multi_tau_margin(spec: &DeploySpec, view_chain_len: u64, c0: u64) -> u64 {
-    let ring = 2 * spec.gateways.len() as u64
-        + spec
-            .gateways
-            .iter()
-            .map(|g| g.chain.len() as u64)
-            .sum::<u64>();
-    view_chain_len.saturating_sub(1) * c0 + 16 + 8 * view_chain_len + 2 * ring
-}
-
-/// Per-block measurement margin: Eq. 2's `(η+2)·c0` models the paper's
-/// three-stage pipeline (entry, one accelerator, exit); a k-stage chain
-/// fills `k−1` further stages, and the ring adds constant per-block
-/// transport (hops + NI handshakes), independent of η.
-pub fn tau_margin(spec: &DeploySpec) -> u64 {
-    let k = spec.chain.len() as u64;
-    (k - 1) * spec.c0() + 16 + 8 * k
-}
-
-/// Round margin: every block of the round carries the per-block margin.
-pub fn round_margin(spec: &DeploySpec) -> u64 {
-    tau_margin(spec) * spec.streams.len() as u64 + 16
-}
+// The measurement margins the assertions below widen the analytic bounds
+// by are now part of the analyzer's public API (the online monitor uses
+// the same calibration) — re-exported here so every differential test
+// keeps reading from one definition.
+#[allow(unused_imports)] // each test binary uses a different subset
+pub use streamgate_analysis::{multi_tau_margin, round_margin, tau_margin};

@@ -21,8 +21,8 @@ use common::{
     clean_cycles, fast_options, multi_clean_cycles, multi_tau_margin, random_clean_spec,
     random_multi_spec, round_margin, run_saturated, run_saturated_multi, tau_margin, Rng,
 };
-use streamgate_analysis::{analyze_with, RuleId, Severity};
-use streamgate_core::{max_round_time, system_metrics, validate_tau_bound};
+use streamgate_analysis::{analyze_profiled, analyze_with, monitor_for, RuleId, Severity};
+use streamgate_core::{collect_profile, max_round_time, system_metrics, validate_tau_bound};
 use streamgate_platform::StepMode;
 
 const ENGINES: [StepMode; 2] = [StepMode::Exhaustive, StepMode::EventDriven];
@@ -43,8 +43,9 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
         let etas = spec.etas();
         let cycles = clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
+        let mut profiles = Vec::new();
         for mode in ENGINES {
-            let b = run_saturated(&spec, mode, cycles);
+            let mut b = run_saturated(&spec, mode, cycles);
             // Progress: at least 3 of the 6 prefilled blocks per stream.
             let blocks: Vec<u64> = (0..spec.streams.len()).map(|s| b.blocks_done(s)).collect();
             for (s, &n) in blocks.iter().enumerate() {
@@ -79,10 +80,44 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
                 );
             }
             blocks_by_engine.push(blocks);
+
+            // Measured-profile feedback: every empirical per-hop arrival
+            // curve must be dominated by the analyzer's predicted envelope
+            // (an escape is an A7 Error, flipping the verdict).
+            let profile = collect_profile(&mut b.system, &spec.name);
+            let report_p = analyze_profiled(&spec, &fast_options(), Some(&profile));
+            assert!(
+                report_p.is_accepted(),
+                "case {case} ({mode:?}): measured profile rejected by the \
+                 analyzer (predicted curve fails to dominate):\n{}",
+                report_p.render_text()
+            );
+
+            // Online monitoring: the Eq. 2 / Eq. 3-4 / buffer / Fig. 9
+            // checks, armed with the analyzer's bounds, must stay silent
+            // over the whole trace of a clean accepted run.
+            let mut monitor = monitor_for(&spec, &report, &b.system);
+            monitor.poll(&b.system.tracer);
+            assert!(
+                monitor.is_clean(),
+                "case {case} ({mode:?}): online monitor flagged violations \
+                 on an accepted clean run: {:?}",
+                monitor.violations()
+            );
+            profiles.push(profile);
         }
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
             "case {case}: engines disagree on completed blocks"
+        );
+        // The two engines must have produced bit-identical measurements;
+        // only the `mode` tag may differ.
+        let mut p_ev = profiles.pop().unwrap();
+        let p_ex = profiles.pop().unwrap();
+        p_ev.mode = p_ex.mode.clone();
+        assert_eq!(
+            p_ex, p_ev,
+            "case {case}: engines disagree on the measured profile"
         );
     }
 }
@@ -254,8 +289,9 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
         let views = spec.gateway_views();
         let cycles = multi_clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
+        let mut profiles = Vec::new();
         for mode in ENGINES {
-            let b = run_saturated_multi(&spec, mode, cycles);
+            let mut b = run_saturated_multi(&spec, mode, cycles);
             let mut blocks = Vec::new();
             let mut flat = 0;
             for v in &views {
@@ -306,10 +342,44 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
                 flat += v.streams.len();
             }
             blocks_by_engine.push(blocks);
+
+            // Measured-profile feedback: every empirical per-hop arrival
+            // curve must be dominated by the analyzer's predicted envelope
+            // (an escape is an A7 Error, flipping the verdict).
+            let profile = collect_profile(&mut b.system, &spec.name);
+            let report_p = analyze_profiled(&spec, &fast_options(), Some(&profile));
+            assert!(
+                report_p.is_accepted(),
+                "case {case} ({mode:?}): measured profile rejected by the \
+                 analyzer (predicted curve fails to dominate):\n{}",
+                report_p.render_text()
+            );
+
+            // Online monitoring: the Eq. 2 / Eq. 3-4 / buffer / Fig. 9
+            // checks, armed with the analyzer's bounds, must stay silent
+            // over the whole trace of a clean accepted run.
+            let mut monitor = monitor_for(&spec, &report, &b.system);
+            monitor.poll(&b.system.tracer);
+            assert!(
+                monitor.is_clean(),
+                "case {case} ({mode:?}): online monitor flagged violations \
+                 on an accepted clean run: {:?}",
+                monitor.violations()
+            );
+            profiles.push(profile);
         }
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
             "case {case}: engines disagree on completed blocks"
+        );
+        // The two engines must have produced bit-identical measurements;
+        // only the `mode` tag may differ.
+        let mut p_ev = profiles.pop().unwrap();
+        let p_ex = profiles.pop().unwrap();
+        p_ev.mode = p_ex.mode.clone();
+        assert_eq!(
+            p_ex, p_ev,
+            "case {case}: engines disagree on the measured profile"
         );
     }
 }

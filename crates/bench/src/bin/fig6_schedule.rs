@@ -3,7 +3,10 @@
 //! `cargo run -p streamgate-bench --bin fig6_schedule`
 //!
 //! Pass `--trace out.json` to export the schedule as a Chrome trace (one
-//! thread per CSDF actor, one span per firing, labelled by phase).
+//! thread per CSDF actor, one span per firing, labelled by phase), and
+//! `--profile out.json` to additionally run the equivalent platform
+//! deployment (the `fig6` analyzer preset) with profiling enabled and
+//! write its measured `RunProfile` JSON.
 
 use streamgate_bench::{parse_args, write_trace};
 use streamgate_core::{fig6_schedule, Fig5Params};
@@ -89,5 +92,22 @@ fn main() {
 
     if let Some(path) = args.trace {
         write_trace(&path, &gantt_chrome_json(&gantt));
+    }
+
+    if let Some(path) = args.profile {
+        // The Gantt above is a model-level schedule; the measured profile
+        // comes from the equivalent cycle-level platform deployment.
+        let spec = streamgate_analysis::DeploySpec::fig6();
+        let mut built = spec.build_platform();
+        built.system.step_mode = args.step_mode;
+        built.system.enable_profiling(0);
+        for f in &built.inputs {
+            let cap = built.system.fifos[f.0].capacity();
+            for k in 0..cap {
+                built.system.fifos[f.0].try_push((k as f64, 0.5), 0);
+            }
+        }
+        built.system.run(args.cycles.unwrap_or(20_000));
+        streamgate_bench::write_profile(&path, &mut built.system, &spec.name);
     }
 }

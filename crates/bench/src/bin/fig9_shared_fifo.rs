@@ -10,8 +10,9 @@
 //! shows the stall cycles appear, and vanish when the check is on).
 //!
 //! Pass `--trace out.json` to export the check-disabled platform run as a
-//! Chrome trace, `--cycles <n>` to change the platform-run length, and
-//! `--mode exhaustive|event` to select the simulation engine.
+//! Chrome trace, `--profile out.json` to write that run's measured
+//! `RunProfile` JSON, `--cycles <n>` to change the platform-run length,
+//! and `--mode exhaustive|event` to select the simulation engine.
 
 use std::collections::VecDeque;
 use streamgate_bench::{parse_args, print_table, write_trace};
@@ -54,10 +55,19 @@ fn dedicated(n: usize) -> ArrivalTrace {
 /// consumer). With the §V-G check-for-space admission test the block never
 /// starts; without it the block wedges in the shared (hardware) FIFO and
 /// head-of-line-blocks stream 0 — exactly Fig. 9 on real machinery.
-fn run_platform(check_for_space: bool, mode: StepMode, cycles: u64) -> (System, u64, u64) {
+fn run_platform(
+    check_for_space: bool,
+    mode: StepMode,
+    cycles: u64,
+    profiled: bool,
+) -> (System, u64, u64) {
     let mut sys = System::new(4);
     sys.step_mode = mode;
-    sys.enable_tracing(0);
+    if profiled {
+        sys.enable_profiling(0);
+    } else {
+        sys.enable_tracing(0);
+    }
     let i0 = sys.add_fifo(CFifo::new("i0", 4096));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 16));
     let i1 = sys.add_fifo(CFifo::new("i1", 4096));
@@ -151,8 +161,9 @@ fn main() {
     );
 
     // --- the same effect on the cycle-level platform -----------------------
-    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false, args.step_mode, cycles);
-    let (_good_sys, good_stalls, good_s0) = run_platform(true, args.step_mode, cycles);
+    let profiled = args.profile.is_some();
+    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false, args.step_mode, cycles, profiled);
+    let (_good_sys, good_stalls, good_s0) = run_platform(true, args.step_mode, cycles, profiled);
     print_table(
         "platform: exit-gateway space check on/off (tracer stall cycles)",
         &[
@@ -182,5 +193,8 @@ fn main() {
 
     if let Some(path) = args.trace {
         write_trace(&path, &bad_sys.chrome_trace_json());
+    }
+    if let Some(path) = args.profile {
+        streamgate_bench::write_profile(&path, &mut bad_sys, "fig9-broken");
     }
 }

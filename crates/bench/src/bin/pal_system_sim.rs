@@ -9,9 +9,11 @@
 //! in <https://ui.perfetto.dev> or `chrome://tracing`.
 //!
 //! Pass `--cycles <n>` for a shorter smoke run, `--mode exhaustive|event`
-//! to select the simulation engine, and `--bench-json <path>` to time BOTH
-//! engines over the same cycle budget and write the measured throughput
-//! and speedup as machine-readable JSON.
+//! to select the simulation engine, `--profile <path>` to write the run's
+//! measured `RunProfile` JSON (empirical arrival/service curves, stall and
+//! τ distributions — feed it to `streamgate-analyze --profile`), and
+//! `--bench-json <path>` to time BOTH engines over the same cycle budget
+//! and write the measured throughput and speedup as machine-readable JSON.
 
 use std::time::Instant;
 use streamgate_bench::{parse_args, print_table, write_trace};
@@ -23,10 +25,19 @@ use streamgate_platform::{AccelId, StallCause, StepMode};
 
 /// Build the PAL platform, run it for `cycles` under `mode`, and return the
 /// finished system together with the wall-clock seconds the run took.
-fn simulate(cfg: &PalSystemConfig, cycles: u64, mode: StepMode, tracing: bool) -> (PalSystem, f64) {
+fn simulate(
+    cfg: &PalSystemConfig,
+    cycles: u64,
+    mode: StepMode,
+    tracing: bool,
+    profiling: bool,
+) -> (PalSystem, f64) {
     let mut pal = build_pal_system(cfg);
     pal.system.step_mode = mode;
-    if tracing {
+    if profiling {
+        // Full observability: tracer + ring delivery log + FIFO traces.
+        pal.system.enable_profiling((cycles / 1000).max(1));
+    } else if tracing {
         // ~1000 FIFO/ring counter samples over the run; spans are exact.
         pal.system.enable_tracing((cycles / 1000).max(1));
     }
@@ -76,7 +87,13 @@ fn main() {
         "\nsimulating {cycles} cycles ({seconds:.3} s of stream time, engine: {}) …",
         args.step_mode.name()
     );
-    let (mut pal, wall) = simulate(&cfg, cycles, args.step_mode, args.trace.is_some());
+    let (mut pal, wall) = simulate(
+        &cfg,
+        cycles,
+        args.step_mode,
+        args.trace.is_some(),
+        args.profile.is_some(),
+    );
     println!(
         "wall-clock {:.2} s → {:.1} Mcycles/s",
         wall,
@@ -193,6 +210,10 @@ fn main() {
          utilization by a factor of four\")."
     );
 
+    if let Some(path) = &args.profile {
+        streamgate_bench::write_profile(path, &mut pal.system, "pal");
+    }
+
     if let Some(path) = &args.trace {
         // Tracer-derived per-stream metrics and stall breakdown.
         let metrics = system_metrics(&pal.system, 0);
@@ -234,8 +255,8 @@ fn main() {
         // timing comparison is not skewed by the tracer or by cache warm-up
         // from the report run above.
         println!("\ntiming both engines over {cycles} cycles …");
-        let (pal_ev, wall_event) = simulate(&cfg, cycles, StepMode::EventDriven, false);
-        let (pal_ex, wall_exh) = simulate(&cfg, cycles, StepMode::Exhaustive, false);
+        let (pal_ev, wall_event) = simulate(&cfg, cycles, StepMode::EventDriven, false, false);
+        let (pal_ex, wall_exh) = simulate(&cfg, cycles, StepMode::Exhaustive, false, false);
         let speedup = wall_exh / wall_event.max(1e-9);
         let ev = pal_ev.system.engine_stats;
         println!(

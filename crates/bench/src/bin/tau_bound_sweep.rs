@@ -5,8 +5,9 @@
 //! `cargo run --release -p streamgate-bench --bin tau_bound_sweep`
 //!
 //! Pass `--trace out.json` to export the last case's run as a Chrome trace,
-//! `--seed <n>` to re-randomise the sweep, and `--mode exhaustive|event`
-//! to select the simulation engine.
+//! `--profile out.json` to write the last case's measured `RunProfile`
+//! JSON, `--seed <n>` to re-randomise the sweep, and
+//! `--mode exhaustive|event` to select the simulation engine.
 
 use streamgate_analysis::{ChainStage, DeploySpec, StreamDeploy};
 use streamgate_bench::{parse_args, print_table, write_trace};
@@ -22,10 +23,15 @@ fn run_case(
     rho_a: u64,
     reconfig: u64,
     mode: StepMode,
+    profiled: bool,
 ) -> (u64, u64, f64, System) {
     let mut sys = System::new(4);
     sys.step_mode = mode;
-    sys.enable_tracing(0); // measurement comes from the tracer's event log
+    if profiled {
+        sys.enable_profiling(0); // tracer + ring delivery log + FIFO traces
+    } else {
+        sys.enable_tracing(0); // measurement comes from the tracer's event log
+    }
     let i0 = sys.add_fifo(CFifo::new("i0", 8192));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 20));
     let acc = sys.add_accel({
@@ -132,8 +138,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        let (measured, tau_hat, ratio, sys) =
-            run_case(eta, epsilon, rho_a, reconfig, args.step_mode);
+        let (measured, tau_hat, ratio, sys) = run_case(
+            eta,
+            epsilon,
+            rho_a,
+            reconfig,
+            args.step_mode,
+            args.profile.is_some(),
+        );
         last_sys = Some(sys);
         worst_ratio = worst_ratio.max(ratio);
         let ok = measured <= tau_hat + 8;
@@ -159,7 +171,12 @@ fn main() {
     );
     println!("\nworst measured/τ̂ ratio: {worst_ratio:.3} (≤ 1 + margin ⇒ bound valid;");
     println!("close to 1 ⇒ bound tight, not vacuous)");
-    if let (Some(path), Some(mut sys)) = (trace_path, last_sys) {
-        write_trace(&path, &sys.chrome_trace_json());
+    if let Some(mut sys) = last_sys {
+        if let Some(path) = trace_path {
+            write_trace(&path, &sys.chrome_trace_json());
+        }
+        if let Some(path) = args.profile {
+            streamgate_bench::write_profile(&path, &mut sys, "tau-sweep");
+        }
     }
 }

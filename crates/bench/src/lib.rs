@@ -35,7 +35,11 @@ use streamgate_platform::StepMode;
 /// * `--bench-json <path>` — write machine-readable timing results;
 /// * `--analyze` — run the static deployment analyzer (`streamgate-analysis`)
 ///   as a pre-flight over the configuration about to be simulated, print its
-///   report, and refuse to simulate a configuration it rejects.
+///   report, and refuse to simulate a configuration it rejects;
+/// * `--profile <path>` — enable run profiling and write the measured
+///   `RunProfile` (empirical arrival/service curves, τ/round/stall
+///   distributions, buffer high-water marks) as deterministic JSON, ready
+///   for `streamgate-analyze --profile`.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -53,6 +57,8 @@ pub struct BenchArgs {
     pub bench_json: Option<String>,
     /// Run the static analyzer as a pre-flight check (`--analyze`).
     pub analyze: bool,
+    /// Measured-profile JSON output path (`--profile`).
+    pub profile: Option<String>,
 }
 
 /// Parse the shared experiment flags from `std::env::args()`.
@@ -63,7 +69,8 @@ pub fn parse_args() -> BenchArgs {
         eprintln!("{e}");
         eprintln!(
             "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
-             [--mode exhaustive|event] [--bench-json <path>] [--analyze]"
+             [--mode exhaustive|event] [--bench-json <path>] [--analyze] \
+             [--profile <path>]"
         );
         std::process::exit(2);
     })
@@ -88,6 +95,7 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
         match flag.as_str() {
             "--trace" => out.trace = Some(take(&mut args, "--trace", inline)?),
             "--bench-json" => out.bench_json = Some(take(&mut args, "--bench-json", inline)?),
+            "--profile" => out.profile = Some(take(&mut args, "--profile", inline)?),
             "--cycles" => {
                 let v = take(&mut args, "--cycles", inline)?;
                 out.cycles = Some(v.parse().map_err(|_| format!("bad --cycles value {v:?}"))?);
@@ -128,6 +136,23 @@ pub fn preflight_analyze(spec: &streamgate_analysis::DeploySpec) {
             report.deployment
         );
         std::process::exit(1);
+    }
+}
+
+/// Collect the measured [`streamgate_core::RunProfile`] of a finished
+/// profiled run and write its deterministic JSON to `path` (the system
+/// must have been prepared with `System::enable_profiling`).
+pub fn write_profile(path: &str, system: &mut streamgate_platform::System, deployment: &str) {
+    let profile = streamgate_core::collect_profile(system, deployment);
+    match std::fs::write(path, profile.to_json_text()) {
+        Ok(()) => println!(
+            "\nprofile written to {path} — feed it back with \
+             `streamgate-analyze --profile {path}`"
+        ),
+        Err(e) => {
+            eprintln!("failed to write profile {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -209,6 +234,7 @@ mod tests {
             "exhaustive",
             "--bench-json=b.json",
             "--analyze",
+            "--profile=p.json",
         ])
         .unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
@@ -217,6 +243,7 @@ mod tests {
         assert_eq!(a.step_mode, StepMode::Exhaustive);
         assert_eq!(a.bench_json.as_deref(), Some("b.json"));
         assert!(a.analyze);
+        assert_eq!(a.profile.as_deref(), Some("p.json"));
     }
 
     #[test]
@@ -233,6 +260,7 @@ mod tests {
         assert!(parse(&["--cycles", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--profile"]).is_err());
         assert!(parse(&["--analyze=yes"]).is_err());
     }
 

@@ -17,9 +17,19 @@ use streamgate_platform::{
 
 const CYCLES: u64 = 50_000;
 const RUNS: usize = 9;
-/// Enabled-tracing cost may exceed the disabled cost by at most this
-/// factor. The measured ratio is ~1.0–1.1; the slack absorbs CI noise.
+/// Enabled-tracing (or full-profiling) cost may exceed the disabled cost
+/// by at most this factor. The measured ratio is ~1.0–1.1; the slack
+/// absorbs CI noise.
 const MAX_OVERHEAD: f64 = 1.35;
+
+/// What a timed run switches on.
+#[derive(Clone, Copy, PartialEq)]
+enum Observe {
+    Off,
+    Trace,
+    /// Tracer + ring delivery log + per-FIFO push logs (`enable_profiling`).
+    Profile,
+}
 
 /// The `bench_platform` two-stream workload: two streams multiplexed over
 /// one shared accelerator, saturated inputs, generous outputs.
@@ -50,10 +60,12 @@ fn two_stream_system(eta: usize) -> System {
     sys
 }
 
-fn time_run(tracing: bool) -> f64 {
+fn time_run(observe: Observe) -> f64 {
     let mut sys = two_stream_system(32);
-    if tracing {
-        sys.enable_tracing(1024);
+    match observe {
+        Observe::Off => {}
+        Observe::Trace => sys.enable_tracing(1024),
+        Observe::Profile => sys.enable_profiling(1024),
     }
     let start = Instant::now();
     sys.run(CYCLES);
@@ -68,24 +80,22 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
-#[test]
-#[ignore = "timing acceptance; run in release via CI"]
-fn tracing_overhead_within_acceptance_threshold() {
+fn assert_overhead(label: &str, variant: Observe) {
     // Warm-up pass for each variant (primes caches and the allocator).
-    time_run(false);
-    time_run(true);
+    time_run(Observe::Off);
+    time_run(variant);
 
     // Interleave the variants so drift (thermal, scheduler) hits both.
     let mut disabled = Vec::with_capacity(RUNS);
     let mut enabled = Vec::with_capacity(RUNS);
     for _ in 0..RUNS {
-        disabled.push(time_run(false));
-        enabled.push(time_run(true));
+        disabled.push(time_run(Observe::Off));
+        enabled.push(time_run(variant));
     }
     let (d, e) = (median(disabled), median(enabled));
     let ratio = e / d;
     println!(
-        "trace-overhead acceptance: disabled {:.3} ms, enabled {:.3} ms, ratio {:.3} (max {})",
+        "{label} acceptance: disabled {:.3} ms, enabled {:.3} ms, ratio {:.3} (max {})",
         d * 1e3,
         e * 1e3,
         ratio,
@@ -93,7 +103,22 @@ fn tracing_overhead_within_acceptance_threshold() {
     );
     assert!(
         ratio <= MAX_OVERHEAD,
-        "tracing overhead {ratio:.3}x exceeds the {MAX_OVERHEAD}x acceptance threshold \
+        "{label} overhead {ratio:.3}x exceeds the {MAX_OVERHEAD}x acceptance threshold \
          (disabled median {d:.6}s, enabled median {e:.6}s)"
     );
+}
+
+#[test]
+#[ignore = "timing acceptance; run in release via CI"]
+fn tracing_overhead_within_acceptance_threshold() {
+    assert_overhead("trace-overhead", Observe::Trace);
+}
+
+/// Full profiling (tracing + ring delivery log + per-FIFO push logs) must
+/// fit the same budget: the extra logs are append-only `Vec` pushes on
+/// paths that already branch on the tracer.
+#[test]
+#[ignore = "timing acceptance; run in release via CI"]
+fn profiling_overhead_within_acceptance_threshold() {
+    assert_overhead("profile-overhead", Observe::Profile);
 }

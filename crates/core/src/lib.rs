@@ -20,6 +20,11 @@
 //!   (Fig. 10) on the cycle-level platform, with the real DSP kernels;
 //! * [`metrics`] — per-stream metrics (τ distributions, round times, stall
 //!   breakdowns) folded from the platform tracer's event log;
+//! * [`profile`] — empirical arrival/service curves, τ/round/stall
+//!   distributions and buffer margins aggregated into a serializable
+//!   [`RunProfile`] (the measured counterpart of the analyzer's bounds);
+//! * [`monitor`] — online checking of Eq. 2/Eq. 3–4/buffer-capacity/Fig. 9
+//!   invariants against the live trace, with structured violations;
 //! * [`validate`] — bound validation: measured block times vs `τ̂`/`γ̂`,
 //!   the-earlier-the-better refinement of simulated traces — all measured
 //!   through the tracer.
@@ -33,7 +38,9 @@ pub mod chain;
 pub mod deploy;
 pub mod metrics;
 pub mod model;
+pub mod monitor;
 pub mod params;
+pub mod profile;
 pub mod validate;
 
 pub use abstraction::{sdf_abstraction, verify_csdf_refines_sdf, SdfAbstraction};
@@ -46,7 +53,14 @@ pub use chain::{build_shared_system, AccelDef, BuiltSystem, StreamDef, SystemSpe
 pub use deploy::{build_pal_system, PalSystem, PalSystemConfig};
 pub use metrics::{gateway_metrics, BlockMeasurement, GatewayMetrics, StreamMetrics};
 pub use model::{fig5_csdf, fig6_schedule, Fig5Model, Fig5Params};
+pub use monitor::{
+    GatewayMonitorConfig, Monitor, MonitorConfig, StreamMonitorConfig, Violation, ViolationKind,
+};
 pub use params::{GatewayParams, SharingProblem, StreamSpec};
+pub use profile::{
+    collect_profile, log2_histogram, log_windows, ArrivalProfile, EmpiricalCurve, FifoProfile,
+    GatewayProfile, HopProfile, RunProfile, StallProfile, StreamProfile,
+};
 pub use validate::{
     max_round_time, measure_block_times, system_metrics, validate_tau_bound, TauValidation,
 };

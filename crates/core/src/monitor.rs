@@ -1,0 +1,522 @@
+//! Online bound monitoring: a streaming consumer of the platform tracer's
+//! event log that checks the paper's invariants *while the run executes*
+//! and reports structured violations with cycle/gateway/stream context.
+//!
+//! Checked invariants:
+//!
+//! * **Eq. 2** — every completed block's measured `τ` stays within the
+//!   configured per-stream bound (`τ̂` plus a measurement margin);
+//! * **Eq. 3–4** — every measured round (a contiguous window of one block
+//!   per sharing stream) stays within the configured per-gateway bound
+//!   (`γ` plus margin);
+//! * **buffer capacity** — no C-FIFO occupancy sample ever exceeds the
+//!   FIFO's declared capacity;
+//! * **Fig. 9** — the exit C-FIFO never back-pressures a block already
+//!   occupying the chain (an `exit-fifo-full` stall is head-of-line
+//!   blocking, exactly what the §V-G check-for-space admission test
+//!   exists to prevent; `check-for-space` stalls, by contrast, are the
+//!   admission test working and are *not* violations).
+//!
+//! The monitor is poll-driven: call [`Monitor::poll`] between simulation
+//! steps (or inside a `System::run_until` predicate) and it consumes the
+//! events appended since the last poll. A wedged run never *closes* its
+//! stall window into an event, so the monitor additionally inspects the
+//! tracer's still-open windows (`Tracer::open_stalls`) — that is what lets
+//! it flag a Fig. 9 wedge long before the run ends.
+//!
+//! Bounds are optional: [`MonitorConfig::from_system`] builds a
+//! bounds-free config (capacity and Fig. 9 checks only) from a built
+//! system; `streamgate-analysis` attaches analyzer-derived τ̂/γ bounds.
+
+use std::fmt;
+use streamgate_platform::{StallCause, System, TraceEvent, Tracer};
+
+/// Default maximum idle gap, in cycles, between consecutive blocks of a
+/// round window for the round-time check to apply. Saturated gateways
+/// admit back to back; once the input side idles (sources pacing, inputs
+/// drained) a "round" spanning the gap measures the workload, not the
+/// gateway, and Eq. 4 says nothing about it.
+pub const DEFAULT_ROUND_GAP: u64 = 8;
+
+/// Per-stream monitoring configuration.
+#[derive(Clone, Debug)]
+pub struct StreamMonitorConfig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Upper bound on measured block time τ (Eq. 2), when known.
+    pub tau_bound: Option<u64>,
+}
+
+/// Per-gateway monitoring configuration.
+#[derive(Clone, Debug)]
+pub struct GatewayMonitorConfig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Whether this gateway runs the check-for-space admission test.
+    pub check_for_space: bool,
+    /// Upper bound on measured round time (Eq. 3–4), when known.
+    pub round_bound: Option<u64>,
+    /// Streams multiplexed by the gateway, in stream order.
+    pub streams: Vec<StreamMonitorConfig>,
+}
+
+/// Per-FIFO monitoring configuration.
+#[derive(Clone, Debug)]
+pub struct FifoMonitorConfig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Declared capacity in samples.
+    pub capacity: usize,
+}
+
+/// Everything a [`Monitor`] needs to know about the system under watch.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Gateways, indexed as in the system.
+    pub gateways: Vec<GatewayMonitorConfig>,
+    /// C-FIFOs, indexed as in the system.
+    pub fifos: Vec<FifoMonitorConfig>,
+    /// Maximum inter-block gap for round windows ([`DEFAULT_ROUND_GAP`]).
+    pub round_gap: u64,
+}
+
+impl MonitorConfig {
+    /// A bounds-free configuration mirroring a built system: capacity and
+    /// Fig. 9 invariants are checked; τ/round bounds stay unset until a
+    /// caller (e.g. the analyzer) fills them in.
+    pub fn from_system(system: &System) -> MonitorConfig {
+        MonitorConfig {
+            gateways: system
+                .gateways
+                .iter()
+                .map(|g| GatewayMonitorConfig {
+                    name: g.name.clone(),
+                    check_for_space: g.check_for_space,
+                    round_bound: None,
+                    streams: (0..g.num_streams())
+                        .map(|s| StreamMonitorConfig {
+                            name: g.stream(s).name.clone(),
+                            tau_bound: None,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            fifos: system
+                .fifos
+                .iter()
+                .map(|f| FifoMonitorConfig {
+                    name: f.name.clone(),
+                    capacity: f.capacity(),
+                })
+                .collect(),
+            round_gap: DEFAULT_ROUND_GAP,
+        }
+    }
+}
+
+/// Which invariant a [`Violation`] breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A block exceeded its τ bound (Eq. 2).
+    TauExceeded,
+    /// A round exceeded its γ bound (Eq. 3–4).
+    RoundExceeded,
+    /// A C-FIFO occupancy sample exceeded the FIFO's capacity.
+    BufferOverflow,
+    /// An exit C-FIFO back-pressured a block occupying the chain — the
+    /// Fig. 9 head-of-line blocking the check-for-space test prevents.
+    HeadOfLineBlocking,
+}
+
+impl ViolationKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::TauExceeded => "tau-exceeded",
+            ViolationKind::RoundExceeded => "round-exceeded",
+            ViolationKind::BufferOverflow => "buffer-overflow",
+            ViolationKind::HeadOfLineBlocking => "head-of-line-blocking",
+        }
+    }
+}
+
+/// One detected invariant violation, with full context.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The cycle the violation is anchored to (block completion, round
+    /// completion, overflow sample, or first stalled cycle).
+    pub cycle: u64,
+    /// Gateway index, when the violation has one.
+    pub gateway: Option<usize>,
+    /// Gateway diagnostic name (empty when not applicable).
+    pub gateway_name: String,
+    /// Stream index within the gateway, when attributable.
+    pub stream: Option<usize>,
+    /// Stream diagnostic name (empty when not attributable).
+    pub stream_name: String,
+    /// FIFO index, for capacity violations.
+    pub fifo: Option<usize>,
+    /// Human-readable description with the measured and bounding values.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] cycle {}", self.kind.name(), self.cycle)?;
+        if !self.gateway_name.is_empty() {
+            write!(f, " gateway `{}`", self.gateway_name)?;
+        }
+        if !self.stream_name.is_empty() {
+            write!(f, " stream `{}`", self.stream_name)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The streaming bound monitor. See the module docs for the invariants.
+#[derive(Debug)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    /// Next unconsumed index into the tracer's event log.
+    cursor: usize,
+    /// Per gateway: the admitted-but-uncompleted block `(stream, start)`.
+    active: Vec<Option<(usize, u64)>>,
+    /// Per gateway: `(start, drain_end)` of the most recent completed
+    /// blocks (kept at round-window width).
+    recent: Vec<Vec<(u64, u64)>>,
+    /// `(gateway, window start)` of exit-full stalls already reported, so
+    /// an open window seen by several polls (and its eventual closing
+    /// event) yields exactly one violation.
+    reported_wedges: Vec<(u32, u64)>,
+    violations: Vec<Violation>,
+}
+
+impl Monitor {
+    /// New monitor over a configuration.
+    pub fn new(cfg: MonitorConfig) -> Monitor {
+        let n = cfg.gateways.len();
+        Monitor {
+            cfg,
+            cursor: 0,
+            active: vec![None; n],
+            recent: vec![Vec::new(); n],
+            reported_wedges: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// The configuration under watch.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// All violations detected so far, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no violation has been detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Consume the trace events appended since the last poll (plus the
+    /// tracer's still-open stall windows) and run every check. Returns the
+    /// number of violations detected by *this* poll — so
+    /// `monitor.poll(&s.tracer) > 0` is a ready-made `run_until`
+    /// predicate that stops a run at the first violation.
+    pub fn poll(&mut self, tracer: &Tracer) -> usize {
+        let before = self.violations.len();
+        let events = tracer.events();
+        while self.cursor < events.len() {
+            let e = events[self.cursor];
+            self.cursor += 1;
+            match e {
+                TraceEvent::BlockStart {
+                    gateway,
+                    stream,
+                    cycle,
+                } => {
+                    if let Some(a) = self.active.get_mut(gateway as usize) {
+                        *a = Some((stream as usize, cycle));
+                    }
+                }
+                TraceEvent::BlockEnd {
+                    gateway,
+                    stream,
+                    start,
+                    drain_end,
+                    ..
+                } => self.on_block_end(gateway as usize, stream as usize, start, drain_end),
+                TraceEvent::FifoLevel { fifo, cycle, level }
+                | TraceEvent::FifoHighWater { fifo, cycle, level } => {
+                    self.check_fifo(fifo as usize, cycle, level as usize);
+                }
+                TraceEvent::StallWindow {
+                    gateway,
+                    cause: StallCause::ExitFifoFull,
+                    start,
+                    ..
+                } => self.report_wedge(gateway, start),
+                _ => {}
+            }
+        }
+        for &(gateway, cause, start, _) in tracer.open_stalls() {
+            if cause == StallCause::ExitFifoFull {
+                self.report_wedge(gateway, start);
+            }
+        }
+        self.violations.len() - before
+    }
+
+    fn gateway_name(&self, g: usize) -> String {
+        self.cfg
+            .gateways
+            .get(g)
+            .map_or_else(String::new, |c| c.name.clone())
+    }
+
+    fn stream_name(&self, g: usize, s: usize) -> String {
+        self.cfg
+            .gateways
+            .get(g)
+            .and_then(|c| c.streams.get(s))
+            .map_or_else(String::new, |c| c.name.clone())
+    }
+
+    fn on_block_end(&mut self, g: usize, s: usize, start: u64, drain_end: u64) {
+        let tau = drain_end - start;
+        let (tau_bound, round_bound, n_streams) = match self.cfg.gateways.get(g) {
+            Some(c) => (
+                c.streams.get(s).and_then(|st| st.tau_bound),
+                c.round_bound,
+                c.streams.len(),
+            ),
+            None => (None, None, 0),
+        };
+        if let Some(bound) = tau_bound {
+            if tau > bound {
+                self.violations.push(Violation {
+                    kind: ViolationKind::TauExceeded,
+                    cycle: drain_end,
+                    gateway: Some(g),
+                    gateway_name: self.gateway_name(g),
+                    stream: Some(s),
+                    stream_name: self.stream_name(g, s),
+                    fifo: None,
+                    message: format!(
+                        "block admitted at cycle {start} took τ = {tau} > bound {bound} (Eq. 2)"
+                    ),
+                });
+            }
+        }
+        if let Some(r) = self.recent.get_mut(g) {
+            r.push((start, drain_end));
+            if n_streams > 0 && r.len() > n_streams {
+                r.remove(0);
+            }
+            if n_streams > 0 && r.len() == n_streams {
+                let contiguous = r
+                    .windows(2)
+                    .all(|w| w[1].0.saturating_sub(w[0].1) <= self.cfg.round_gap);
+                let round = r[n_streams - 1].1 - r[0].0;
+                let first = r[0].0;
+                if contiguous {
+                    if let Some(bound) = round_bound {
+                        if round > bound {
+                            self.violations.push(Violation {
+                                kind: ViolationKind::RoundExceeded,
+                                cycle: drain_end,
+                                gateway: Some(g),
+                                gateway_name: self.gateway_name(g),
+                                stream: None,
+                                stream_name: String::new(),
+                                fifo: None,
+                                message: format!(
+                                    "round starting at cycle {first} took {round} > bound \
+                                     {bound} (Eq. 3-4)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(a) = self.active.get_mut(g) {
+            *a = None;
+        }
+    }
+
+    fn check_fifo(&mut self, fifo: usize, cycle: u64, level: usize) {
+        let Some(cfg) = self.cfg.fifos.get(fifo) else {
+            return;
+        };
+        if level > cfg.capacity {
+            self.violations.push(Violation {
+                kind: ViolationKind::BufferOverflow,
+                cycle,
+                gateway: None,
+                gateway_name: String::new(),
+                stream: None,
+                stream_name: String::new(),
+                fifo: Some(fifo),
+                message: format!(
+                    "C-FIFO `{}` occupancy {level} exceeds capacity {}",
+                    cfg.name, cfg.capacity
+                ),
+            });
+        }
+    }
+
+    fn report_wedge(&mut self, gateway: u32, start: u64) {
+        if self.reported_wedges.contains(&(gateway, start)) {
+            return;
+        }
+        self.reported_wedges.push((gateway, start));
+        let g = gateway as usize;
+        let active = self.active.get(g).copied().flatten();
+        let (stream, stream_name) = match active {
+            Some((s, _)) => (Some(s), self.stream_name(g, s)),
+            None => (None, String::new()),
+        };
+        let cfs = self.cfg.gateways.get(g).is_some_and(|c| c.check_for_space);
+        self.violations.push(Violation {
+            kind: ViolationKind::HeadOfLineBlocking,
+            cycle: start,
+            gateway: Some(g),
+            gateway_name: self.gateway_name(g),
+            stream,
+            stream_name,
+            fifo: None,
+            message: format!(
+                "exit C-FIFO full while the chain holds a block (stalled since cycle \
+                 {start}) — Fig. 9 head-of-line blocking; check-for-space admission is {}",
+                if cfs { "enabled" } else { "disabled" }
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_one_gateway(tau_bound: Option<u64>, round_bound: Option<u64>) -> MonitorConfig {
+        MonitorConfig {
+            gateways: vec![GatewayMonitorConfig {
+                name: "gw".into(),
+                check_for_space: false,
+                round_bound,
+                streams: vec![
+                    StreamMonitorConfig {
+                        name: "s0".into(),
+                        tau_bound,
+                    },
+                    StreamMonitorConfig {
+                        name: "s1".into(),
+                        tau_bound,
+                    },
+                ],
+            }],
+            fifos: vec![FifoMonitorConfig {
+                name: "out".into(),
+                capacity: 4,
+            }],
+            round_gap: DEFAULT_ROUND_GAP,
+        }
+    }
+
+    fn block_end(stream: u32, start: u64, drain_end: u64) -> TraceEvent {
+        TraceEvent::BlockEnd {
+            gateway: 0,
+            stream,
+            start,
+            reconfig_end: start,
+            stream_end: drain_end,
+            drain_end,
+            dma_stall: 0,
+            exit_stall: 0,
+        }
+    }
+
+    #[test]
+    fn tau_violation_detected_with_context() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| block_end(0, 0, 50));
+        t.emit(|| block_end(1, 52, 200));
+        let mut m = Monitor::new(cfg_one_gateway(Some(100), None));
+        assert_eq!(m.poll(&t), 1);
+        let v = &m.violations()[0];
+        assert_eq!(v.kind, ViolationKind::TauExceeded);
+        assert_eq!(v.cycle, 200);
+        assert_eq!(v.stream, Some(1));
+        assert_eq!(v.stream_name, "s1");
+        assert_eq!(m.poll(&t), 0, "already-consumed events not re-checked");
+    }
+
+    #[test]
+    fn round_check_skips_gapped_windows() {
+        let mut t = Tracer::enabled(0);
+        // Contiguous round of 2 blocks: 0..90 → round 90, bound 80 → flag.
+        t.emit(|| block_end(0, 0, 40));
+        t.emit(|| block_end(1, 44, 90));
+        // Gapped window: next block starts 1000 cycles later → no check.
+        t.emit(|| block_end(0, 1090, 1130));
+        let mut m = Monitor::new(cfg_one_gateway(None, Some(80)));
+        assert_eq!(m.poll(&t), 1);
+        assert_eq!(m.violations()[0].kind, ViolationKind::RoundExceeded);
+        assert_eq!(m.violations()[0].cycle, 90);
+    }
+
+    #[test]
+    fn open_exit_stall_flagged_once_with_stream() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| TraceEvent::BlockStart {
+            gateway: 0,
+            stream: 1,
+            cycle: 10,
+        });
+        for now in 30..40 {
+            t.stall_cycle(0, StallCause::ExitFifoFull, now);
+        }
+        let mut m = Monitor::new(cfg_one_gateway(None, None));
+        assert_eq!(m.poll(&t), 1, "open window detected mid-run");
+        let v = &m.violations()[0];
+        assert_eq!(v.kind, ViolationKind::HeadOfLineBlocking);
+        assert_eq!(v.cycle, 30);
+        assert_eq!(v.stream, Some(1));
+        // The window keeps growing, then closes at finish: still one report.
+        for now in 40..60 {
+            t.stall_cycle(0, StallCause::ExitFifoFull, now);
+        }
+        assert_eq!(m.poll(&t), 0);
+        t.finish(60);
+        assert_eq!(m.poll(&t), 0);
+        // Check-for-space stalls are the admission test working, never a
+        // violation.
+        let mut t2 = Tracer::enabled(0);
+        t2.stall_cycle(0, StallCause::CheckForSpace, 5);
+        t2.finish(10);
+        let mut m2 = Monitor::new(cfg_one_gateway(None, None));
+        assert_eq!(m2.poll(&t2), 0);
+        assert!(m2.is_clean());
+    }
+
+    #[test]
+    fn buffer_overflow_detected() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| TraceEvent::FifoLevel {
+            fifo: 0,
+            cycle: 7,
+            level: 5,
+        });
+        let mut m = Monitor::new(cfg_one_gateway(None, None));
+        assert_eq!(m.poll(&t), 1);
+        let v = &m.violations()[0];
+        assert_eq!(v.kind, ViolationKind::BufferOverflow);
+        assert_eq!(v.fifo, Some(0));
+        assert!(v.to_string().contains("capacity 4"), "{v}");
+    }
+}

@@ -1,0 +1,678 @@
+//! Trace-derived run profiles: empirical arrival/service curves, τ
+//! distributions, round samples, stall histograms and buffer high-water
+//! marks, folded from one profiled simulation run.
+//!
+//! The static analyzer reasons in *bounds* (τ̂ of Eq. 2, γ of Eq. 3–4, the
+//! A7 ring-contention envelope); this module measures what the simulator
+//! *actually did*, in the same vocabulary network calculus uses:
+//!
+//! * an **empirical arrival curve** of an event source is, per window size
+//!   `w`, the maximum (and minimum) number of events observed in any
+//!   sliding window of `w` cycles — computed over a log-spaced set of
+//!   window sizes ([`log_windows`]) so curves stay small at any run length;
+//! * per data-/credit-ring **hop**, the curve of flits crossing that hop
+//!   (reconstructed exactly from the ring's delivery log — see
+//!   [`crate::profile::collect_profile`]);
+//! * per **stream**, the observed τ distribution, a block-completion
+//!   service curve, and the input C-FIFO's push arrival curve;
+//! * per **gateway**, round-time samples (Eq. 4's measured side) and
+//!   per-cause stall-window histograms;
+//! * per **C-FIFO**, capacity and high-water mark.
+//!
+//! Everything aggregates into a [`RunProfile`] with a deterministic JSON
+//! encoding ([`RunProfile::to_json_text`]) — byte-identical for identical
+//! runs, and identical between the `Exhaustive` and `EventDriven` engines
+//! up to the `mode` field, because every profiled source is append-only at
+//! sites the event-driven engine's skips never touch.
+//!
+//! The analyzer side (`streamgate-analysis`) parses this JSON back and
+//! feeds measured burstiness into rules A7/A10.
+
+use crate::metrics::gateway_metrics;
+use streamgate_platform::{StallCause, System, TraceEvent};
+
+/// Round-time samples kept verbatim per gateway (the count and maximum are
+/// always exact; the sample list is truncated at this many entries so
+/// profiles of long runs stay small).
+pub const MAX_ROUND_SAMPLES: usize = 4096;
+
+/// The log-spaced window sizes used for empirical curves over an
+/// observation interval of `len` cycles: powers of two `1, 2, 4, …` below
+/// `len`, plus `len` itself (so the last entry always covers the whole
+/// run and the curve's last max count is the total event count).
+pub fn log_windows(len: u64) -> Vec<u64> {
+    let len = len.max(1);
+    let mut v = Vec::new();
+    let mut w = 1u64;
+    while w < len {
+        v.push(w);
+        w = w.saturating_mul(2);
+    }
+    v.push(len);
+    v
+}
+
+/// Counts per power-of-two bucket: bucket `b` counts values `v` with
+/// `floor(log2(max(v, 1))) == b` (so 0 and 1 share bucket 0). Trailing
+/// empty buckets are trimmed.
+pub fn log2_histogram(values: impl IntoIterator<Item = u64>) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for v in values {
+        let b = v.max(1).ilog2() as usize;
+        if hist.len() <= b {
+            hist.resize(b + 1, 0);
+        }
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// An empirical arrival/service curve: for each window size `windows[i]`,
+/// the maximum ([`EmpiricalCurve::max_count`]) and minimum
+/// ([`EmpiricalCurve::min_count`]) number of events falling in any sliding
+/// window of that many cycles. Max counts are taken over *all* window
+/// placements (equivalently, windows anchored at an event — where the
+/// maximum is attained); min counts only over windows fully inside the
+/// observation interval, since a truncated window would report a
+/// spuriously low count. Both are non-decreasing in the window size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmpiricalCurve {
+    /// Window sizes, cycles (shared across a profile; see [`log_windows`]).
+    pub windows: Vec<u64>,
+    /// Max events in any window of the matching size.
+    pub max_count: Vec<u64>,
+    /// Min events in any fully-contained window of the matching size.
+    pub min_count: Vec<u64>,
+}
+
+impl EmpiricalCurve {
+    /// Fold a sorted event-timestamp list observed over the cycles
+    /// `[0, len)` into a curve over the given window sizes.
+    ///
+    /// Windows are half-open: a window of size `w` starting at `t` counts
+    /// events with timestamps in `[t, t + w)`.
+    pub fn from_events(events: &[u64], len: u64, windows: &[u64]) -> EmpiricalCurve {
+        debug_assert!(events.windows(2).all(|p| p[0] <= p[1]), "events not sorted");
+        let len = len.max(1);
+        let n = events.len();
+        let mut max_count = Vec::with_capacity(windows.len());
+        let mut min_count = Vec::with_capacity(windows.len());
+        for &w in windows {
+            // Max: slide a window anchored at each event (two-pointer).
+            let mut best = 0u64;
+            let mut j = 0usize;
+            for i in 0..n {
+                while j < n && events[j] < events[i].saturating_add(w) {
+                    j += 1;
+                }
+                best = best.max((j - i) as u64);
+            }
+            max_count.push(best);
+            // Min: the count over [t, t+w) can only *decrease* as t passes
+            // an event, so every minimal plateau starts at t = 0 or at
+            // t = e + 1 for some event e; probing those (plus the last
+            // valid start) finds the true minimum.
+            if w >= len {
+                min_count.push(n as u64);
+                continue;
+            }
+            let last_start = len - w;
+            let count_at = |t: u64| -> u64 {
+                let lo = events.partition_point(|&e| e < t);
+                let hi = events.partition_point(|&e| e < t + w);
+                (hi - lo) as u64
+            };
+            let mut m = count_at(0).min(count_at(last_start));
+            for &e in events {
+                let t = e + 1;
+                if t <= last_start {
+                    m = m.min(count_at(t));
+                }
+            }
+            min_count.push(m);
+        }
+        EmpiricalCurve {
+            windows: windows.to_vec(),
+            max_count,
+            min_count,
+        }
+    }
+
+    /// Max count at the largest window ≤ the whole observation (the total
+    /// event count when built by [`EmpiricalCurve::from_events`]).
+    pub fn total(&self) -> u64 {
+        self.max_count.last().copied().unwrap_or(0)
+    }
+}
+
+/// Measured flit traffic over one ring hop (data or credit direction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopProfile {
+    /// Hop index: data hop `i` is the edge station `i → i+1` (mod nodes);
+    /// credit hop `i` is the edge `i → i−1`.
+    pub hop: usize,
+    /// Total flits that crossed the hop.
+    pub flits: u64,
+    /// Empirical arrival curve of hop crossings.
+    pub curve: EmpiricalCurve,
+}
+
+/// Measured push traffic into a stream's input C-FIFO.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrivalProfile {
+    /// Total samples pushed.
+    pub samples: u64,
+    /// High-water occupancy of the FIFO.
+    pub max_fill: usize,
+    /// Empirical arrival curve of pushes.
+    pub curve: EmpiricalCurve,
+}
+
+/// Measured behaviour of one stream (Eq. 2's observable side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamProfile {
+    /// Gateway index in the system.
+    pub gateway: usize,
+    /// Stream index within the gateway.
+    pub stream: usize,
+    /// Gateway diagnostic name.
+    pub gateway_name: String,
+    /// Stream diagnostic name.
+    pub name: String,
+    /// Completed blocks.
+    pub blocks: u64,
+    /// Minimum observed block time τ (0 when no block completed).
+    pub tau_min: u64,
+    /// Maximum observed block time τ.
+    pub tau_max: u64,
+    /// Sum of observed block times (mean = `tau_sum / blocks`).
+    pub tau_sum: u64,
+    /// τ distribution as a power-of-two histogram ([`log2_histogram`]).
+    pub tau_hist: Vec<u64>,
+    /// Service curve of block completions (drain-end cycles).
+    pub completions: EmpiricalCurve,
+    /// Input-FIFO arrival profile (present when the FIFO was traced).
+    pub arrival: Option<ArrivalProfile>,
+}
+
+/// Stall-window statistics for one cause at one gateway.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StallProfile {
+    /// Stable cause name (`StallCause::name`).
+    pub cause: String,
+    /// Number of maximal stall windows.
+    pub windows: u64,
+    /// Total stalled cycles (includes a window still open at run end).
+    pub cycles: u64,
+    /// Window-length distribution ([`log2_histogram`]).
+    pub hist: Vec<u64>,
+}
+
+/// Measured behaviour of one gateway pair (Eq. 3–4's observable side).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GatewayProfile {
+    /// Gateway index in the system.
+    pub gateway: usize,
+    /// Diagnostic name.
+    pub name: String,
+    /// Total measured rounds (windows of one block per stream).
+    pub round_count: u64,
+    /// Maximum measured round time (0 when no full round completed).
+    pub round_max: u64,
+    /// Round-time samples, truncated at [`MAX_ROUND_SAMPLES`].
+    pub rounds: Vec<u64>,
+    /// Per-cause stall statistics, in [`StallCause::ALL`] order.
+    pub stalls: Vec<StallProfile>,
+}
+
+/// Capacity margin of one C-FIFO.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FifoProfile {
+    /// FIFO index in the system.
+    pub index: usize,
+    /// Diagnostic name.
+    pub name: String,
+    /// Capacity in samples.
+    pub capacity: usize,
+    /// High-water occupancy.
+    pub high_water: usize,
+}
+
+/// Everything measured in one profiled run, serializable as deterministic
+/// JSON. Collect with [`collect_profile`] after a run on a system that had
+/// `System::enable_profiling` on from the start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Deployment name (matched against the analyzed spec).
+    pub deployment: String,
+    /// Engine that produced the run (`exhaustive` / `event`) — the only
+    /// field that may differ between the two cycle-exact engines.
+    pub mode: String,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Ring stations (hop indexing context for the hop profiles).
+    pub ring_nodes: usize,
+    /// Shared window sizes of every curve in the profile.
+    pub windows: Vec<u64>,
+    /// Per-hop data-ring traffic, one entry per station.
+    pub data_hops: Vec<HopProfile>,
+    /// Per-hop credit-ring traffic, one entry per station.
+    pub credit_hops: Vec<HopProfile>,
+    /// Per-stream measurements, gateway-then-stream order.
+    pub streams: Vec<StreamProfile>,
+    /// Per-gateway measurements.
+    pub gateways: Vec<GatewayProfile>,
+    /// Per-FIFO capacity margins.
+    pub fifos: Vec<FifoProfile>,
+}
+
+/// Fold a finished profiled run into a [`RunProfile`].
+///
+/// Closes open trace windows (`System::finish_trace`) and reconstructs
+/// exact per-hop crossing times from the ring's delivery log: a data flit
+/// delivered at cycle `T` from `src` to `dst` (distance `d`) crossed data
+/// hop `(src + k) mod n` during cycle `T − d + 1 + k` for `k = 0..d−1`,
+/// because the ring moves one hop per cycle and delivery latency equals
+/// hop distance; credits mirror this against the rotation.
+///
+/// # Panics
+///
+/// Panics when the system was not profiled (no tracer or no ring delivery
+/// log): the profile would silently be empty, which always indicates a
+/// harness that forgot `System::enable_profiling`.
+pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
+    assert!(
+        system.tracer.is_enabled() && system.ring.delivery_log().is_some(),
+        "collect_profile needs a profiled run — call System::enable_profiling before running"
+    );
+    system.finish_trace();
+    // Observable cycles are 0..=cycles (pushes at construction time land at
+    // cycle 0; the ring's last delivery lands at the final cycle value).
+    let span = system.cycle() + 1;
+    let windows = log_windows(span);
+    let n = system.ring.num_nodes();
+
+    // Per-hop crossing cycles, reconstructed from the delivery log.
+    let log = system.ring.delivery_log().unwrap();
+    let mut data_cross: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for d in &log.data {
+        let dist = (d.dst + n - d.src) % n;
+        for k in 0..dist {
+            data_cross[(d.src + k) % n].push(d.cycle + 1 + k as u64 - dist as u64);
+        }
+    }
+    let mut credit_cross: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for d in &log.credit {
+        let dist = (d.src + n - d.dst) % n;
+        for k in 0..dist {
+            credit_cross[(d.src + n - k) % n].push(d.cycle + 1 + k as u64 - dist as u64);
+        }
+    }
+    let hop_profiles = |cross: Vec<Vec<u64>>| -> Vec<HopProfile> {
+        cross
+            .into_iter()
+            .enumerate()
+            .map(|(hop, mut cycles)| {
+                cycles.sort_unstable();
+                HopProfile {
+                    hop,
+                    flits: cycles.len() as u64,
+                    curve: EmpiricalCurve::from_events(&cycles, span, &windows),
+                }
+            })
+            .collect()
+    };
+    let data_hops = hop_profiles(data_cross);
+    let credit_hops = hop_profiles(credit_cross);
+
+    // Stall windows per (gateway, cause), from the (now closed) event log.
+    let n_gw = system.gateways.len();
+    let mut stall_lens: Vec<[Vec<u64>; 3]> = (0..n_gw).map(|_| Default::default()).collect();
+    for e in system.tracer.events() {
+        if let TraceEvent::StallWindow {
+            gateway,
+            cause,
+            start,
+            end,
+        } = *e
+        {
+            let ci = StallCause::ALL.iter().position(|&c| c == cause).unwrap();
+            if let Some(row) = stall_lens.get_mut(gateway as usize) {
+                row[ci].push(end - start + 1);
+            }
+        }
+    }
+
+    let mut streams = Vec::new();
+    let mut gateways = Vec::new();
+    for (g, gw_stalls) in stall_lens.iter().enumerate() {
+        let gw = &system.gateways[g];
+        let nst = gw.num_streams();
+        let m = gateway_metrics(&system.tracer, g, nst);
+        for s in 0..nst {
+            let cfg = gw.stream(s);
+            let sm = &m.streams[s];
+            let completions: Vec<u64> = m
+                .blocks
+                .iter()
+                .filter(|b| b.stream == s)
+                .map(|b| b.drain_end)
+                .collect();
+            let fifo = &system.fifos[cfg.input.0];
+            let arrival = fifo.trace_enabled().then(|| ArrivalProfile {
+                samples: fifo.trace().len() as u64,
+                max_fill: fifo.high_water(),
+                curve: EmpiricalCurve::from_events(fifo.trace(), span, &windows),
+            });
+            streams.push(StreamProfile {
+                gateway: g,
+                stream: s,
+                gateway_name: gw.name.clone(),
+                name: cfg.name.clone(),
+                blocks: sm.blocks() as u64,
+                tau_min: sm.tau_min(),
+                tau_max: sm.tau_max(),
+                tau_sum: sm.taus.iter().sum(),
+                tau_hist: log2_histogram(sm.taus.iter().copied()),
+                completions: EmpiricalCurve::from_events(&completions, span, &windows),
+                arrival,
+            });
+        }
+        let rounds_all = m.round_times();
+        let stalls = StallCause::ALL
+            .iter()
+            .enumerate()
+            .map(|(ci, &cause)| {
+                let lens = &gw_stalls[ci];
+                StallProfile {
+                    cause: cause.name().to_string(),
+                    windows: lens.len() as u64,
+                    cycles: system.tracer.stall_cycles(g, cause),
+                    hist: log2_histogram(lens.iter().copied()),
+                }
+            })
+            .collect();
+        gateways.push(GatewayProfile {
+            gateway: g,
+            name: gw.name.clone(),
+            round_count: rounds_all.len() as u64,
+            round_max: rounds_all.iter().copied().max().unwrap_or(0),
+            rounds: rounds_all.into_iter().take(MAX_ROUND_SAMPLES).collect(),
+            stalls,
+        });
+    }
+
+    let fifos = system
+        .fifos
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FifoProfile {
+            index: i,
+            name: f.name.clone(),
+            capacity: f.capacity(),
+            high_water: f.high_water(),
+        })
+        .collect();
+
+    RunProfile {
+        deployment: deployment.to_string(),
+        mode: system.step_mode.name().to_string(),
+        cycles: system.cycle(),
+        ring_nodes: n,
+        windows,
+        data_hops,
+        credit_hops,
+        streams,
+        gateways,
+        fifos,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic JSON encoding (no external dependencies; key order fixed).
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn nums(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn curve_fields(c: &EmpiricalCurve) -> String {
+    // Window sizes are shared profile-wide and not repeated per curve.
+    format!(
+        "\"max\":{},\"min\":{}",
+        nums(&c.max_count),
+        nums(&c.min_count)
+    )
+}
+
+impl RunProfile {
+    /// Render as deterministic compact JSON (stable key order, no floats).
+    pub fn to_json_text(&self) -> String {
+        let hops = |hs: &[HopProfile]| -> String {
+            let items: Vec<String> = hs
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"hop\":{},\"flits\":{},{}}}",
+                        h.hop,
+                        h.flits,
+                        curve_fields(&h.curve)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let streams: Vec<String> = self
+            .streams
+            .iter()
+            .map(|s| {
+                let arrival = match &s.arrival {
+                    None => "null".to_string(),
+                    Some(a) => format!(
+                        "{{\"samples\":{},\"max_fill\":{},{}}}",
+                        a.samples,
+                        a.max_fill,
+                        curve_fields(&a.curve)
+                    ),
+                };
+                format!(
+                    "{{\"gateway\":{},\"stream\":{},\"gateway_name\":\"{}\",\"name\":\"{}\",\
+                     \"blocks\":{},\"tau_min\":{},\"tau_max\":{},\"tau_sum\":{},\
+                     \"tau_hist\":{},\"completions\":{{{}}},\"arrival\":{}}}",
+                    s.gateway,
+                    s.stream,
+                    esc(&s.gateway_name),
+                    esc(&s.name),
+                    s.blocks,
+                    s.tau_min,
+                    s.tau_max,
+                    s.tau_sum,
+                    nums(&s.tau_hist),
+                    curve_fields(&s.completions),
+                    arrival
+                )
+            })
+            .collect();
+        let gateways: Vec<String> = self
+            .gateways
+            .iter()
+            .map(|g| {
+                let stalls: Vec<String> = g
+                    .stalls
+                    .iter()
+                    .map(|st| {
+                        format!(
+                            "{{\"cause\":\"{}\",\"windows\":{},\"cycles\":{},\"hist\":{}}}",
+                            esc(&st.cause),
+                            st.windows,
+                            st.cycles,
+                            nums(&st.hist)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"gateway\":{},\"name\":\"{}\",\"round_count\":{},\"round_max\":{},\
+                     \"rounds\":{},\"stalls\":[{}]}}",
+                    g.gateway,
+                    esc(&g.name),
+                    g.round_count,
+                    g.round_max,
+                    nums(&g.rounds),
+                    stalls.join(",")
+                )
+            })
+            .collect();
+        let fifos: Vec<String> = self
+            .fifos
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"index\":{},\"name\":\"{}\",\"capacity\":{},\"high_water\":{}}}",
+                    f.index,
+                    esc(&f.name),
+                    f.capacity,
+                    f.high_water
+                )
+            })
+            .collect();
+        format!(
+            "{{\"deployment\":\"{}\",\"mode\":\"{}\",\"cycles\":{},\"ring_nodes\":{},\
+             \"windows\":{},\"data_hops\":{},\"credit_hops\":{},\"streams\":[{}],\
+             \"gateways\":[{}],\"fifos\":[{}]}}",
+            esc(&self.deployment),
+            esc(&self.mode),
+            self.cycles,
+            self.ring_nodes,
+            nums(&self.windows),
+            hops(&self.data_hops),
+            hops(&self.credit_hops),
+            streams.join(","),
+            gateways.join(","),
+            fifos.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{build_shared_system, AccelDef, StreamDef, SystemSpec};
+    use streamgate_platform::PassthroughKernel;
+
+    #[test]
+    fn log_windows_cover_span() {
+        assert_eq!(log_windows(1), vec![1]);
+        assert_eq!(log_windows(8), vec![1, 2, 4, 8]);
+        assert_eq!(log_windows(10), vec![1, 2, 4, 8, 10]);
+        assert_eq!(log_windows(0), vec![1]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(log2_histogram([0, 1, 1, 2, 3, 4, 7, 8]), vec![3, 2, 2, 1]);
+        assert_eq!(log2_histogram([]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn curve_counts_hand_example() {
+        // Events at 0, 1, 2, 10 over the cycles [0, 11).
+        let c = EmpiricalCurve::from_events(&[0, 1, 2, 10], 11, &[1, 2, 4, 8, 11]);
+        assert_eq!(c.max_count, vec![1, 2, 3, 3, 4]);
+        // w=1: windows like [3,4) are empty; w=8: the emptiest full window
+        // is [3,11), holding only event 10; w=11: the single full window
+        // holds everything.
+        assert_eq!(c.min_count, vec![0, 0, 0, 1, 4]);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn curve_monotone_and_subadditive() {
+        let events = [3, 4, 5, 9, 21, 22, 40, 41, 42, 43, 90];
+        let windows = log_windows(100);
+        let c = EmpiricalCurve::from_events(&events, 100, &windows);
+        for i in 1..windows.len() {
+            assert!(c.max_count[i] >= c.max_count[i - 1], "max not monotone");
+            assert!(c.min_count[i] >= c.min_count[i - 1], "min not monotone");
+        }
+        // Adjacent log-spaced entries double the window: max(2w) ≤ 2·max(w).
+        for i in 1..windows.len() {
+            if windows[i] == 2 * windows[i - 1] {
+                assert!(c.max_count[i] <= 2 * c.max_count[i - 1], "not subadditive");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_profile_end_to_end() {
+        let spec = SystemSpec {
+            chain: vec![AccelDef::new("A", 2)],
+            epsilon: 2,
+            delta: 1,
+            ni_depth: 2,
+            streams: vec![StreamDef {
+                name: "s0".into(),
+                eta_in: 8,
+                eta_out: 8,
+                reconfig: 10,
+                kernels: vec![Box::new(PassthroughKernel)],
+                input_capacity: 64,
+                output_capacity: 64,
+            }],
+        };
+        let mut b = build_shared_system(spec);
+        b.system.enable_profiling(0);
+        for k in 0..32 {
+            b.push_input(0, (k as f64, 0.0));
+        }
+        b.system.run(4000);
+        let p = collect_profile(&mut b.system, "unit");
+        assert_eq!(p.deployment, "unit");
+        assert_eq!(p.ring_nodes, 3);
+        assert_eq!(p.data_hops.len(), 3);
+        assert_eq!(p.credit_hops.len(), 3);
+        assert_eq!(p.streams.len(), 1);
+        let s = &p.streams[0];
+        assert!(s.blocks >= 3, "blocks {}", s.blocks);
+        assert!(s.tau_max >= s.tau_min && s.tau_min > 0);
+        let a = s.arrival.as_ref().expect("input fifo traced");
+        assert_eq!(a.samples, 32);
+        // Data flits crossed every hop of the 3-node loop (entry→accel→exit
+        // wraps nothing, but credits travel the other way over the rest).
+        assert!(p.data_hops.iter().any(|h| h.flits > 0));
+        assert!(p.credit_hops.iter().any(|h| h.flits > 0));
+        // Hop totals equal the curve totals.
+        for h in p.data_hops.iter().chain(&p.credit_hops) {
+            assert_eq!(h.flits, h.curve.total());
+        }
+        // JSON round stability: same run → same text.
+        let t1 = p.to_json_text();
+        assert!(t1.contains("\"deployment\":\"unit\""));
+        assert!(t1.contains("\"data_hops\""));
+        assert_eq!(t1, p.clone().to_json_text());
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_profiling")]
+    fn unprofiled_system_rejected() {
+        let mut sys = System::new(3);
+        sys.enable_tracing(0); // tracing alone is not profiling
+        let _ = collect_profile(&mut sys, "x");
+    }
+}

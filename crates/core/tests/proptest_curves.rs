@@ -1,0 +1,94 @@
+//! Property tests for the empirical arrival/service curves of the
+//! profiling subsystem: over random event traces, the sliding-window
+//! max/min counters must behave like arrival curves — monotone in the
+//! window size, subadditive-consistent across the log-spaced window list,
+//! and exact at the extremes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use streamgate_core::{log2_histogram, log_windows, EmpiricalCurve};
+
+/// A random event trace inside a random observation interval: cycle
+/// values in `[0, len)`, unsorted and possibly duplicated (several flits
+/// can cross one hop... no — at most one per cycle per hop, but streams'
+/// *completions* can coincide at gateway granularity), plus the interval
+/// length itself.
+fn trace() -> impl Strategy<Value = (Vec<u64>, u64)> {
+    (1u64..5_000).prop_flat_map(|len| (vec(0..len, 0..200), Just(len)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Both counters are monotone in the window size: a wider window can
+    /// only see more events at its peak and at its trough.
+    #[test]
+    fn curves_monotone_in_window_size((mut events, len) in trace()) {
+        events.sort_unstable();
+        let windows = log_windows(len);
+        let c = EmpiricalCurve::from_events(&events, len, &windows);
+        for i in 1..windows.len() {
+            prop_assert!(c.max_count[i] >= c.max_count[i - 1]);
+            prop_assert!(c.min_count[i] >= c.min_count[i - 1]);
+        }
+    }
+
+    /// Subadditive consistency on the log-spaced list: a `2w` window is
+    /// two `w` windows, so its peak count is at most twice theirs (the
+    /// defining property of an arrival curve, checkable without computing
+    /// every window size).
+    #[test]
+    fn max_curve_subadditive_on_doubling((mut events, len) in trace()) {
+        events.sort_unstable();
+        let windows = log_windows(len);
+        let c = EmpiricalCurve::from_events(&events, len, &windows);
+        for i in 1..windows.len() {
+            if windows[i] == 2 * windows[i - 1] {
+                prop_assert!(c.max_count[i] <= 2 * c.max_count[i - 1]);
+            }
+        }
+    }
+
+    /// Exactness at the extremes: the window spanning the whole interval
+    /// counts every event (max == min == total), the min never exceeds
+    /// the max anywhere, and a 1-cycle window's peak is the highest
+    /// per-cycle multiplicity in the trace.
+    #[test]
+    fn curve_extremes_are_exact((mut events, len) in trace()) {
+        events.sort_unstable();
+        let windows = log_windows(len);
+        let c = EmpiricalCurve::from_events(&events, len, &windows);
+        let n = events.len() as u64;
+        prop_assert_eq!(c.total(), n);
+        prop_assert_eq!(*c.min_count.last().unwrap(), n);
+        for i in 0..windows.len() {
+            prop_assert!(c.min_count[i] <= c.max_count[i]);
+        }
+        let peak1 = events
+            .chunk_by(|a, b| a == b)
+            .map(|run| run.len() as u64)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(c.max_count[0], peak1);
+    }
+
+    /// The log-spaced window list always covers the interval: it starts
+    /// at 1, ends exactly at `len`, and is strictly increasing.
+    #[test]
+    fn log_windows_cover_any_span(len in 1u64..1_000_000) {
+        let w = log_windows(len);
+        prop_assert_eq!(w[0], 1);
+        prop_assert_eq!(*w.last().unwrap(), len);
+        for i in 1..w.len() {
+            prop_assert!(w[i] > w[i - 1]);
+        }
+    }
+
+    /// The log₂ histogram conserves mass: bucket counts sum to the number
+    /// of values binned.
+    #[test]
+    fn log2_histogram_conserves_mass(values in vec(0u64..1_000_000, 0..200)) {
+        let h = log2_histogram(values.iter().copied());
+        prop_assert_eq!(h.iter().sum::<u64>(), values.len() as u64);
+    }
+}

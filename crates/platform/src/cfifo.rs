@@ -62,6 +62,12 @@ impl CFifo {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Whether push-timestamp tracing is on (an empty trace from a traced
+    /// FIFO means "no pushes", not "not measured").
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
     /// Highest occupancy ever reached.
     pub fn high_water(&self) -> usize {
         self.hwm

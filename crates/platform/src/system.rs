@@ -134,6 +134,27 @@ impl System {
         self.tracer = Tracer::enabled(sample_interval);
     }
 
+    /// Turn on profiling: structured tracing (as
+    /// [`System::enable_tracing`]) plus the ring's per-delivery log and
+    /// push-timestamp traces on every already-added C-FIFO — the raw
+    /// material a `streamgate_core::profile::RunProfile` is folded from
+    /// after the run. Call after construction, before the first
+    /// [`System::step`].
+    ///
+    /// Every source is either event-exact or append-only at ejection/push
+    /// sites that the event-driven engine's ring skips never touch, so
+    /// profiled data is bit-identical between [`StepMode::Exhaustive`] and
+    /// [`StepMode::EventDriven`] — the same contract the tracer upholds.
+    pub fn enable_profiling(&mut self, sample_interval: u64) {
+        self.enable_tracing(sample_interval);
+        self.ring.enable_delivery_log();
+        for f in &mut self.fifos {
+            if !f.trace_enabled() {
+                f.enable_trace();
+            }
+        }
+    }
+
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle

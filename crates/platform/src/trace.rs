@@ -452,6 +452,15 @@ impl Tracer {
         }
     }
 
+    /// Stall windows still being coalesced, as `(gateway, cause, start,
+    /// last-seen cycle)` tuples. A stall that persists to the end of a run
+    /// (e.g. a head-of-line wedge) never closes into a
+    /// [`TraceEvent::StallWindow`] until [`Tracer::finish`], so online
+    /// monitors must inspect these to flag it *during* the run.
+    pub fn open_stalls(&self) -> &[(u32, StallCause, u64, u64)] {
+        self.data.as_ref().map_or(&[], |d| &d.open_stalls)
+    }
+
     /// The recorded event log (empty when disabled).
     pub fn events(&self) -> &[TraceEvent] {
         self.data.as_ref().map_or(&[], |d| &d.events)

@@ -23,5 +23,5 @@ pub mod network;
 pub mod ni;
 
 pub use flit::{CreditFlit, DataFlit, NodeId};
-pub use network::{DualRing, RingStats};
+pub use network::{Delivery, DeliveryLog, DualRing, RingStats};
 pub use ni::{CreditRx, CreditTx};

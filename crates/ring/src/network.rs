@@ -43,6 +43,38 @@ impl RingStats {
     }
 }
 
+/// One delivered flit, as recorded by the optional [`DeliveryLog`].
+///
+/// With the inject→rotate→eject step order a flit's delivery latency equals
+/// its hop distance, so the record reconstructs the full path: a data flit
+/// delivered at `cycle` crossed hop `(src + k) mod n` (the edge from that
+/// station to its successor) during cycle `cycle − d + 1 + k` for
+/// `k = 0..d−1`, where `d` is the data-ring hop distance; credit flits
+/// mirror this against the rotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Cycle the flit was ejected at its destination.
+    pub cycle: u64,
+    /// Source station.
+    pub src: NodeId,
+    /// Destination station.
+    pub dst: NodeId,
+    /// Stream / link identifier carried by the flit.
+    pub stream: u32,
+}
+
+/// Append-only log of every delivered flit on both rings, kept only when a
+/// profiler asked for it ([`DualRing::enable_delivery_log`]). [`DualRing::skip`]
+/// never ejects, so the log is bit-identical between the exhaustive and the
+/// event-driven engines by construction.
+#[derive(Clone, Debug, Default)]
+pub struct DeliveryLog {
+    /// Data-ring deliveries, in ejection order.
+    pub data: Vec<Delivery>,
+    /// Credit-ring deliveries, in ejection order.
+    pub credit: Vec<Delivery>,
+}
+
 /// The dual-ring interconnect with `n` stations.
 #[derive(Clone, Debug)]
 pub struct DualRing<P> {
@@ -69,6 +101,8 @@ pub struct DualRing<P> {
     slots_occupied: usize,
     /// Statistics (index 0 = data ring, 1 = credit ring).
     pub stats: [RingStats; 2],
+    /// Per-delivery log, kept only while profiling.
+    delivery_log: Option<Box<DeliveryLog>>,
 }
 
 impl<P: Clone> DualRing<P> {
@@ -88,12 +122,27 @@ impl<P: Clone> DualRing<P> {
             data_rx_occupancy: 0,
             slots_occupied: 0,
             stats: [RingStats::default(), RingStats::default()],
+            delivery_log: None,
         }
     }
 
     /// Number of stations.
     pub fn num_nodes(&self) -> usize {
         self.n
+    }
+
+    /// Start recording every delivered flit (both rings) into a
+    /// [`DeliveryLog`]. Costs one `Vec` push per delivery; leave disabled
+    /// (the default) outside profiled runs.
+    pub fn enable_delivery_log(&mut self) {
+        if self.delivery_log.is_none() {
+            self.delivery_log = Some(Box::default());
+        }
+    }
+
+    /// The delivery log, when [`DualRing::enable_delivery_log`] was called.
+    pub fn delivery_log(&self) -> Option<&DeliveryLog> {
+        self.delivery_log.as_deref()
     }
 
     /// Current cycle.
@@ -197,6 +246,14 @@ impl<P: Clone> DualRing<P> {
                     self.stats[0].delivered += 1;
                     self.stats[0].total_latency += lat;
                     self.stats[0].max_latency = self.stats[0].max_latency.max(lat);
+                    if let Some(log) = self.delivery_log.as_deref_mut() {
+                        log.data.push(Delivery {
+                            cycle: self.cycle,
+                            src: f.src,
+                            dst: f.dst,
+                            stream: f.stream,
+                        });
+                    }
                     self.data_rx[i].push_back(f);
                     self.data_rx_occupancy += 1;
                     self.slots_occupied -= 1;
@@ -225,6 +282,14 @@ impl<P: Clone> DualRing<P> {
                     self.stats[1].delivered += 1;
                     self.stats[1].total_latency += lat;
                     self.stats[1].max_latency = self.stats[1].max_latency.max(lat);
+                    if let Some(log) = self.delivery_log.as_deref_mut() {
+                        log.credit.push(Delivery {
+                            cycle: self.cycle,
+                            src: c.src,
+                            dst: c.dst,
+                            stream: c.stream,
+                        });
+                    }
                     self.credit_rx[i].push_back(c);
                     self.slots_occupied -= 1;
                 }
@@ -546,6 +611,43 @@ mod tests {
         let f = r.recv_data(3).expect("delivered");
         assert_eq!(f.payload, 9);
         assert_eq!(r.stats[0].max_latency, 3, "latency unaffected by the skip");
+    }
+
+    #[test]
+    fn delivery_log_records_both_rings_and_survives_skips() {
+        let mut ring: DualRing<u64> = DualRing::new(6);
+        assert!(ring.delivery_log().is_none(), "off by default");
+        ring.enable_delivery_log();
+        ring.send_data(0, 3, 7, 1); // 3 hops
+        ring.send_credit(3, 0, 9, 2); // 3 hops the other way
+        ring.step(); // inject both
+        let idle = ring.idle_steps();
+        assert!(idle > 0);
+        ring.skip(idle); // pure rotations: nothing may be logged
+        assert!(ring.delivery_log().unwrap().data.is_empty());
+        ring.step(); // ejection
+        let log = ring.delivery_log().unwrap();
+        assert_eq!(
+            log.data,
+            vec![Delivery {
+                cycle: 3,
+                src: 0,
+                dst: 3,
+                stream: 7,
+            }]
+        );
+        assert_eq!(
+            log.credit,
+            vec![Delivery {
+                cycle: 3,
+                src: 3,
+                dst: 0,
+                stream: 9,
+            }]
+        );
+        // Delivery cycle minus hop distance reconstructs the path start.
+        let d = ring.data_distance(log.data[0].src, log.data[0].dst) as u64;
+        assert_eq!(log.data[0].cycle - d + 1, 1, "first hop crossed at cycle 1");
     }
 
     #[test]
