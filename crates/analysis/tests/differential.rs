@@ -44,6 +44,7 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
         let cycles = clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
         let mut profiles = Vec::new();
+        let mut traces = Vec::new();
         for mode in ENGINES {
             let mut b = run_saturated(&spec, mode, cycles);
             // Progress: at least 3 of the 6 prefilled blocks per stream.
@@ -105,6 +106,12 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
                 monitor.violations()
             );
             profiles.push(profile);
+
+            // Keep the full structured event stream for cross-engine
+            // comparison (flushing open stall windows first so both
+            // engines are finalized identically).
+            b.system.finish_trace();
+            traces.push(b.system.tracer.events().to_vec());
         }
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
@@ -118,6 +125,21 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
         assert_eq!(
             p_ex, p_ev,
             "case {case}: engines disagree on the measured profile"
+        );
+        // ... and bit-identical trace-event streams, event by event.
+        let t_ev = traces.pop().unwrap();
+        let t_ex = traces.pop().unwrap();
+        if let Some(d) = t_ex.iter().zip(t_ev.iter()).position(|(x, y)| x != y) {
+            panic!(
+                "case {case}: trace streams diverge at event {d}: \
+                 exhaustive {:?} vs event {:?}",
+                t_ex[d], t_ev[d]
+            );
+        }
+        assert_eq!(
+            t_ex.len(),
+            t_ev.len(),
+            "case {case}: engines disagree on trace event count"
         );
     }
 }
@@ -290,6 +312,7 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
         let cycles = multi_clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
         let mut profiles = Vec::new();
+        let mut traces = Vec::new();
         for mode in ENGINES {
             let mut b = run_saturated_multi(&spec, mode, cycles);
             let mut blocks = Vec::new();
@@ -367,6 +390,12 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
                 monitor.violations()
             );
             profiles.push(profile);
+
+            // Keep the full structured event stream for cross-engine
+            // comparison (flushing open stall windows first so both
+            // engines are finalized identically).
+            b.system.finish_trace();
+            traces.push(b.system.tracer.events().to_vec());
         }
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
@@ -380,6 +409,21 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
         assert_eq!(
             p_ex, p_ev,
             "case {case}: engines disagree on the measured profile"
+        );
+        // ... and bit-identical trace-event streams, event by event.
+        let t_ev = traces.pop().unwrap();
+        let t_ex = traces.pop().unwrap();
+        if let Some(d) = t_ex.iter().zip(t_ev.iter()).position(|(x, y)| x != y) {
+            panic!(
+                "case {case}: trace streams diverge at event {d}: \
+                 exhaustive {:?} vs event {:?}",
+                t_ex[d], t_ev[d]
+            );
+        }
+        assert_eq!(
+            t_ex.len(),
+            t_ev.len(),
+            "case {case}: engines disagree on trace event count"
         );
     }
 }

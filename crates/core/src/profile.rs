@@ -31,10 +31,55 @@
 use crate::metrics::gateway_metrics;
 use streamgate_platform::{StallCause, System, TraceEvent};
 
-/// Round-time samples kept verbatim per gateway (the count and maximum are
-/// always exact; the sample list is truncated at this many entries so
-/// profiles of long runs stay small).
+/// Round-time samples kept per gateway (the count and maximum are always
+/// exact; past this many entries the sample list becomes a uniform
+/// reservoir over the whole run — see [`reservoir_sample`] — so profiles
+/// of long runs stay small without biasing toward the warm-up rounds).
 pub const MAX_ROUND_SAMPLES: usize = 4096;
+
+/// Deterministic uniform reservoir of at most `k` values (Vitter's
+/// Algorithm R over a fixed-seed splitmix64 stream). With `n ≤ k` the
+/// input is returned verbatim; past that every element of the stream has
+/// equal probability `k/n` of being retained. The random stream depends
+/// only on `seed`, so identical inputs — e.g. the same round-time list
+/// measured by the exhaustive and the event-driven engine — always yield
+/// the identical sample set.
+pub fn reservoir_sample(values: Vec<u64>, k: usize, seed: u64) -> Vec<u64> {
+    if values.len() <= k {
+        return values;
+    }
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = || -> u64 {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut res: Vec<u64> = values[..k].to_vec();
+    for (i, &v) in values.iter().enumerate().skip(k) {
+        let j = (next() % (i as u64 + 1)) as usize;
+        if j < k {
+            res[j] = v;
+        }
+    }
+    res
+}
+
+/// Curve over a possibly window-bounded event trace. With nothing dropped
+/// this is the exact curve over the whole observation; when the source
+/// shed its oldest entries the curve covers the retained trailing window
+/// (shifted to its own origin) — max counts stay exact over that window
+/// and never over-report, which keeps the analyzer's dominance checks
+/// (predicted envelope ≥ measured) sound.
+fn windowed_curve(events: &[u64], dropped: u64, span: u64, windows: &[u64]) -> EmpiricalCurve {
+    if dropped == 0 {
+        return EmpiricalCurve::from_events(events, span, windows);
+    }
+    let origin = events.first().copied().unwrap_or(span);
+    let shifted: Vec<u64> = events.iter().map(|e| e - origin).collect();
+    EmpiricalCurve::from_events(&shifted, span.saturating_sub(origin).max(1), windows)
+}
 
 /// The log-spaced window sizes used for empirical curves over an
 /// observation interval of `len` cycles: powers of two `1, 2, 4, …` below
@@ -151,7 +196,8 @@ pub struct HopProfile {
     /// Hop index: data hop `i` is the edge station `i → i+1` (mod nodes);
     /// credit hop `i` is the edge `i → i−1`.
     pub hop: usize,
-    /// Total flits that crossed the hop.
+    /// Flits that crossed the hop (within the delivery log's retained
+    /// window — exact unless the run outgrew the log's bound).
     pub flits: u64,
     /// Empirical arrival curve of hop crossings.
     pub curve: EmpiricalCurve,
@@ -219,7 +265,8 @@ pub struct GatewayProfile {
     pub round_count: u64,
     /// Maximum measured round time (0 when no full round completed).
     pub round_max: u64,
-    /// Round-time samples, truncated at [`MAX_ROUND_SAMPLES`].
+    /// Round-time samples: verbatim up to [`MAX_ROUND_SAMPLES`], a
+    /// deterministic uniform reservoir over the whole run past that.
     pub rounds: Vec<u64>,
     /// Per-cause stall statistics, in [`StallCause::ALL`] order.
     pub stalls: Vec<StallProfile>,
@@ -308,7 +355,7 @@ pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
             credit_cross[(d.src + n - k) % n].push(d.cycle + 1 + k as u64 - dist as u64);
         }
     }
-    let hop_profiles = |cross: Vec<Vec<u64>>| -> Vec<HopProfile> {
+    let hop_profiles = |cross: Vec<Vec<u64>>, dropped: u64| -> Vec<HopProfile> {
         cross
             .into_iter()
             .enumerate()
@@ -317,13 +364,13 @@ pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
                 HopProfile {
                     hop,
                     flits: cycles.len() as u64,
-                    curve: EmpiricalCurve::from_events(&cycles, span, &windows),
+                    curve: windowed_curve(&cycles, dropped, span, &windows),
                 }
             })
             .collect()
     };
-    let data_hops = hop_profiles(data_cross);
-    let credit_hops = hop_profiles(credit_cross);
+    let data_hops = hop_profiles(data_cross, log.data_dropped);
+    let credit_hops = hop_profiles(credit_cross, log.credit_dropped);
 
     // Stall windows per (gateway, cause), from the (now closed) event log.
     let n_gw = system.gateways.len();
@@ -360,9 +407,9 @@ pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
                 .collect();
             let fifo = &system.fifos[cfg.input.0];
             let arrival = fifo.trace_enabled().then(|| ArrivalProfile {
-                samples: fifo.trace().len() as u64,
+                samples: fifo.trace().len() as u64 + fifo.trace_dropped(),
                 max_fill: fifo.high_water(),
-                curve: EmpiricalCurve::from_events(fifo.trace(), span, &windows),
+                curve: windowed_curve(fifo.trace(), fifo.trace_dropped(), span, &windows),
             });
             streams.push(StreamProfile {
                 gateway: g,
@@ -397,7 +444,7 @@ pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
             name: gw.name.clone(),
             round_count: rounds_all.len() as u64,
             round_max: rounds_all.iter().copied().max().unwrap_or(0),
-            rounds: rounds_all.into_iter().take(MAX_ROUND_SAMPLES).collect(),
+            rounds: reservoir_sample(rounds_all, MAX_ROUND_SAMPLES, g as u64),
             stalls,
         });
     }
@@ -674,5 +721,44 @@ mod tests {
         let mut sys = System::new(3);
         sys.enable_tracing(0); // tracing alone is not profiling
         let _ = collect_profile(&mut sys, "x");
+    }
+
+    #[test]
+    fn reservoir_passes_small_inputs_through() {
+        let v = vec![5, 9, 1];
+        assert_eq!(reservoir_sample(v.clone(), 4096, 0), v);
+        assert_eq!(reservoir_sample(v.clone(), 3, 7), v);
+        assert_eq!(reservoir_sample(Vec::new(), 16, 0), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_uniform_ish() {
+        let input: Vec<u64> = (0..100_000).collect();
+        let a = reservoir_sample(input.clone(), 4096, 1);
+        let b = reservoir_sample(input.clone(), 4096, 1);
+        assert_eq!(a, b, "same seed, same input, same reservoir");
+        assert_eq!(a.len(), 4096);
+        // A different seed picks a different sample set.
+        let c = reservoir_sample(input.clone(), 4096, 2);
+        assert_ne!(a, c);
+        // Uniformity sanity: the mean of a uniform sample of 0..100_000
+        // is ~50_000; a first-4096 truncation would give ~2_048.
+        let mean = a.iter().sum::<u64>() / a.len() as u64;
+        assert!(
+            (25_000..75_000).contains(&mean),
+            "reservoir mean {mean} is not remotely uniform"
+        );
+    }
+
+    #[test]
+    fn windowed_curve_shifts_to_retained_origin() {
+        let windows = [1, 2, 4, 8];
+        // Nothing dropped: identical to the plain curve.
+        let a = windowed_curve(&[1, 2, 3], 0, 8, &windows);
+        assert_eq!(a, EmpiricalCurve::from_events(&[1, 2, 3], 8, &windows));
+        // With drops, the curve covers the retained window only: events
+        // shifted so the earliest retained event is the origin.
+        let b = windowed_curve(&[100, 101, 102], 5, 200, &windows);
+        assert_eq!(b, EmpiricalCurve::from_events(&[0, 1, 2], 100, &windows));
     }
 }

@@ -92,21 +92,16 @@ impl Cordic {
             y = ny;
             z += half_pi;
         }
-        for i in 0..self.iterations {
+        // Branchless micro-rotations: `m` is an all-ones mask when z < 0,
+        // and `(v ^ m) - m` conditionally negates in two's complement, so
+        // each iteration computes exactly the same values as the branching
+        // form without a data-dependent branch.
+        for (i, &at) in self.atan_table.iter().enumerate() {
             let (dx, dy) = (x >> i, y >> i);
-            if z >= 0 {
-                let nx = x - dy;
-                let ny = y + dx;
-                x = nx;
-                y = ny;
-                z -= self.atan_table[i];
-            } else {
-                let nx = x + dy;
-                let ny = y - dx;
-                x = nx;
-                y = ny;
-                z += self.atan_table[i];
-            }
+            let m = z >> 63;
+            x -= (dy ^ m) - m;
+            y += (dx ^ m) - m;
+            z -= (at ^ m) - m;
         }
         // Gain compensation in Q30.
         let x = (x * self.gain_recip_q30) >> 30;
@@ -135,21 +130,14 @@ impl Cordic {
                 z = -half_pi;
             }
         }
-        for i in 0..self.iterations {
+        // Branchless: mask is all-ones when y <= 0, conditionally negating
+        // the deltas — identical arithmetic to the branching form.
+        for (i, &at) in self.atan_table.iter().enumerate() {
             let (dx, dy) = (x >> i, y >> i);
-            if y > 0 {
-                let nx = x + dy;
-                let ny = y - dx;
-                x = nx;
-                y = ny;
-                z += self.atan_table[i];
-            } else {
-                let nx = x - dy;
-                let ny = y + dx;
-                x = nx;
-                y = ny;
-                z -= self.atan_table[i];
-            }
+            let m = ((y <= 0) as i64).wrapping_neg();
+            x += (dy ^ m) - m;
+            y -= (dx ^ m) - m;
+            z += (at ^ m) - m;
         }
         let mag = (x * self.gain_recip_q30) >> 30;
         (mag as i32, wrap_angle(z))

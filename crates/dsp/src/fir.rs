@@ -103,15 +103,30 @@ impl FirFilter {
     }
 
     /// Push one sample, get the filtered output.
+    ///
+    /// The circular convolution is split at the write position into two
+    /// contiguous slices so the inner loops are modulo-free and the
+    /// compiler can vectorise them; the accumulation order (tap index
+    /// ascending) is unchanged, so results stay bit-identical to the
+    /// naive form.
     pub fn process(&mut self, s: Complex) -> Complex {
         self.delay[self.pos] = s;
         let n = self.taps.len();
         let mut acc = Complex::ZERO;
-        for (k, &c) in self.taps.iter().enumerate() {
-            let idx = (self.pos + n - k) % n;
-            acc += self.delay[idx] * c;
+        // taps[k] pairs with delay[(pos + n - k) % n]:
+        //   k in 0..=pos   -> delay[pos - k]      (d_lo reversed)
+        //   k in pos+1..n  -> delay[pos + n - k]  (d_hi reversed)
+        let (d_lo, d_hi) = self.delay.split_at(self.pos + 1);
+        for (&c, &d) in self.taps.iter().zip(d_lo.iter().rev()) {
+            acc += d * c;
         }
-        self.pos = (self.pos + 1) % n;
+        for (&c, &d) in self.taps[self.pos + 1..].iter().zip(d_hi.iter().rev()) {
+            acc += d * c;
+        }
+        self.pos += 1;
+        if self.pos == n {
+            self.pos = 0;
+        }
         acc
     }
 

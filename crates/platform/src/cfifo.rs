@@ -32,12 +32,21 @@ pub struct CFifo {
     pub popped: u64,
     /// Timestamps of pushes (kept only when tracing is on).
     trace: Option<Vec<u64>>,
+    /// Oldest push timestamps discarded once the trace outgrows its
+    /// retention window (see [`CFifo::TRACE_WINDOW`]).
+    trace_dropped: u64,
     /// Maximum occupancy ever reached (always maintained — one compare per
     /// push — so the observability layer can report buffer sizing margins).
     hwm: usize,
 }
 
 impl CFifo {
+    /// Retention window of the push-timestamp trace: at least this many of
+    /// the most recent pushes are kept (at most twice as many — eviction is
+    /// amortised by draining half the buffer at once). Long profiled runs
+    /// stay bounded; [`CFifo::trace_dropped`] reports what was shed.
+    pub const TRACE_WINDOW: usize = 1 << 16;
+
     /// New FIFO with `capacity` locations.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be positive");
@@ -48,6 +57,7 @@ impl CFifo {
             pushed: 0,
             popped: 0,
             trace: None,
+            trace_dropped: 0,
             hwm: 0,
         }
     }
@@ -57,7 +67,8 @@ impl CFifo {
         self.trace = Some(Vec::new());
     }
 
-    /// Recorded push timestamps (empty if tracing is off).
+    /// Recorded push timestamps (empty if tracing is off). When the run
+    /// outgrew [`CFifo::TRACE_WINDOW`], this is the trailing window only.
     pub fn trace(&self) -> &[u64] {
         self.trace.as_deref().unwrap_or(&[])
     }
@@ -66,6 +77,11 @@ impl CFifo {
     /// FIFO means "no pushes", not "not measured").
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Push timestamps discarded from the front of the trace window.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
     }
 
     /// Highest occupancy ever reached.
@@ -103,6 +119,10 @@ impl CFifo {
         self.pushed += 1;
         self.hwm = self.hwm.max(self.buf.len());
         if let Some(t) = &mut self.trace {
+            if t.len() >= 2 * Self::TRACE_WINDOW {
+                t.drain(..Self::TRACE_WINDOW);
+                self.trace_dropped += Self::TRACE_WINDOW as u64;
+            }
             t.push(now);
         }
         true
@@ -154,6 +174,24 @@ mod tests {
         f.pop();
         f.try_push((0.0, 0.0), 15);
         assert_eq!(f.trace(), &[10, 12, 15]);
+    }
+
+    #[test]
+    fn trace_window_bounds_retention() {
+        let mut f = CFifo::new("t", 4);
+        f.enable_trace();
+        let n = 2 * CFifo::TRACE_WINDOW + 10;
+        for t in 0..n {
+            assert!(f.try_push((0.0, 0.0), t as u64));
+            f.pop();
+        }
+        // One eviction of TRACE_WINDOW happened at the 2×WINDOW mark.
+        assert_eq!(f.trace_dropped(), CFifo::TRACE_WINDOW as u64);
+        assert_eq!(f.trace().len(), CFifo::TRACE_WINDOW + 10);
+        // The retained window is the most recent pushes, still in order.
+        assert_eq!(f.trace()[0], CFifo::TRACE_WINDOW as u64);
+        assert_eq!(*f.trace().last().unwrap(), n as u64 - 1);
+        assert_eq!(f.pushed, n as u64, "exact totals are never windowed");
     }
 
     #[test]

@@ -252,6 +252,15 @@ impl GatewayPair {
         self.state == GwState::Idle
     }
 
+    /// True while [`GatewayPair::horizon`] reads accelerator state (the
+    /// `Draining` arm). In every other state the horizon is a function of
+    /// the pair's own state and the C-FIFOs alone, so an engine batching
+    /// accelerator-only cycles need not refresh it when an accelerator
+    /// steps.
+    pub fn horizon_tracks_accels(&self) -> bool {
+        self.state == GwState::Draining
+    }
+
     /// True when every chain accelerator is unconfigured and drained: a
     /// shared chain in this state is free to be claimed (kernel presence
     /// is the inter-gateway mutex).

@@ -98,13 +98,53 @@ pub struct System {
     /// Last observed per-accelerator activity status (for change-driven
     /// trace emission).
     accel_active_seen: Vec<bool>,
-    /// Per-tile horizon scratch for the event-driven engine, filled by
-    /// `tile_horizons` and consumed by `selective_step` (kept on the
-    /// system to avoid per-iteration allocation).
-    h_proc: Vec<u64>,
-    h_gw: Vec<u64>,
-    h_acc: Vec<u64>,
     cycle: u64,
+}
+
+/// Flattened hot state of the event-driven engine, rebuilt at the start of
+/// every run (construction is O(tiles) and the vectors are reused across
+/// iterations).
+///
+/// All per-tile quiescence horizons live in one struct-of-arrays `u64`
+/// vector (`h`, laid out processors | gateways | accelerators), so the
+/// global horizon is a single branch-free fold and per-kind dispatch is
+/// an index-range check instead of an enum match. `acct` tracks, per
+/// tile, the first cycle whose skip bookkeeping has *not* yet been
+/// replayed: the engine defers `skip` calls and flushes them in bulk
+/// right before a tile steps (and at run exit), which is exact because
+/// every tile's bulk `skip(from, to)` is defined to equal the composition
+/// of its single-cycle skips.
+#[derive(Default)]
+struct EngineHot {
+    /// Cached per-tile horizons: `h[0..gw_base]` processors,
+    /// `h[gw_base..acc_base]` gateways, `h[acc_base..]` accelerators.
+    h: Vec<u64>,
+    /// Per-tile bookkeeping watermark (same layout as `h`): cycles in
+    /// `[acct[t], now)` still need their skip replayed on tile `t`.
+    acct: Vec<u64>,
+    gw_base: usize,
+    acc_base: usize,
+    /// (entry, exit) ring nodes per gateway, for delivery-wake checks.
+    gw_nodes: Vec<(usize, usize)>,
+    /// Accelerator index → gateways whose chain contains it (their drain
+    /// horizons depend on this accelerator's state).
+    owners: Vec<Vec<usize>>,
+    /// Scratch: accelerators stepped in the current span cycle.
+    stepped: Vec<usize>,
+}
+
+impl EngineHot {
+    /// Minimum cached horizon over processors and gateways only.
+    fn pg_min(&self) -> u64 {
+        self.h[..self.acc_base]
+            .iter()
+            .fold(u64::MAX, |m, &v| m.min(v))
+    }
+
+    /// Minimum cached horizon over every tile.
+    fn tile_min(&self) -> u64 {
+        self.h.iter().fold(u64::MAX, |m, &v| m.min(v))
+    }
 }
 
 impl System {
@@ -120,9 +160,6 @@ impl System {
             step_mode: StepMode::default(),
             engine_stats: EngineStats::default(),
             accel_active_seen: Vec::new(),
-            h_proc: Vec::new(),
-            h_gw: Vec::new(),
-            h_acc: Vec::new(),
             cycle: 0,
         }
     }
@@ -258,73 +295,150 @@ impl System {
         });
     }
 
-    /// Fill the per-tile horizon scratch (`h_proc`/`h_gw`/`h_acc`) at the
-    /// current cycle and return the minimum. Every tile is evaluated,
-    /// because [`System::selective_step`] needs each individual value. Tile
-    /// horizons are *stable across skips*: a skipped interval is
-    /// quiescent by construction, so the values stay valid until the next
-    /// executed cycle.
-    fn tile_horizons(&mut self) -> u64 {
-        let next = self.cycle;
-        let mut h = u64::MAX;
-        self.h_proc.clear();
-        for p in &self.processors {
-            let v = p.horizon(&self.fifos, next);
-            self.h_proc.push(v);
-            h = h.min(v);
-        }
-        self.h_gw.clear();
-        for g in &self.gateways {
-            let v = g.horizon(&self.fifos, &self.accels, next);
-            self.h_gw.push(v);
-            h = h.min(v);
-        }
-        self.h_acc.clear();
-        let tracing = self.tracer.is_enabled();
-        for (k, a) in self.accels.iter().enumerate() {
-            let mut v = a.horizon(next);
-            // Drain flips happen by pure time passage and are invisible
-            // to `horizon`; when tracing they are observation events and
-            // the flip cycle must be stepped (see `observe`).
-            if tracing && self.accel_active_seen.get(k).copied().unwrap_or(false) {
-                v = v.min(a.drain_cycle(next));
-            }
-            self.h_acc.push(v);
-            h = h.min(v);
-        }
-        h
+    /// Recompute the cached horizon of processor `i` for the current cycle.
+    fn recompute_proc(&self, hot: &mut EngineHot, i: usize) {
+        hot.h[i] = self.processors[i].horizon(&self.fifos, self.cycle);
     }
 
-    /// Execute one cycle stepping only the tiles that can act, replaying
-    /// the rest with their 1-cycle `skip` (identical bookkeeping, far
-    /// cheaper). Valid only right after [`System::tile_horizons`] (plus
-    /// any skip, which preserves the values): a tile steps when its
-    /// horizon has arrived or a ring delivery awaits it; everything else
-    /// is provably idle this cycle.
-    ///
-    /// Same-cycle couplings that exist in the exhaustive order are
-    /// preserved conservatively: a tile that steps may write a shared
-    /// C-FIFO read later in the same cycle, so once any processor or
-    /// gateway steps, every later processor/gateway steps too
-    /// (`cascade`). Accelerators talk only through the ring (one-cycle
-    /// latency) — a gateway's same-cycle kernel swap targets a drained
-    /// accelerator whose step would be a no-op — so each accelerator is
-    /// decided independently.
-    fn selective_step(&mut self) {
-        let now = self.cycle;
-        self.engine_stats.full_steps += 1;
-        let mut cascade = false;
-        for i in 0..self.processors.len() {
-            if cascade || self.h_proc[i] <= now {
-                self.processors[i].step(&mut self.fifos, now);
-                cascade = true;
-            } else {
-                self.processors[i].skip(now, now + 1);
+    /// Recompute the cached horizon of gateway `j` for the current cycle.
+    fn recompute_gw(&self, hot: &mut EngineHot, j: usize) {
+        hot.h[hot.gw_base + j] = self.gateways[j].horizon(&self.fifos, &self.accels, self.cycle);
+    }
+
+    /// Recompute the cached horizon of accelerator `k` for the current
+    /// cycle, including the drain-flip pin: drain flips happen by pure
+    /// time passage and are invisible to `horizon`; when tracing they are
+    /// observation events and the flip cycle must be stepped (see
+    /// [`System::observe`]).
+    fn recompute_acc(&self, hot: &mut EngineHot, k: usize) {
+        let next = self.cycle;
+        let a = &self.accels[k];
+        let mut v = a.horizon(next);
+        if self.tracer.is_enabled() && self.accel_active_seen.get(k).copied().unwrap_or(false) {
+            v = v.min(a.drain_cycle(next));
+        }
+        hot.h[hot.acc_base + k] = v;
+    }
+
+    /// Build the event engine's flattened hot state at the current cycle:
+    /// static node/ownership maps plus a fresh horizon for every tile.
+    fn hot_init(&self) -> EngineHot {
+        let (np, ng, na) = (
+            self.processors.len(),
+            self.gateways.len(),
+            self.accels.len(),
+        );
+        let mut hot = EngineHot {
+            h: vec![u64::MAX; np + ng + na],
+            acct: vec![self.cycle; np + ng + na],
+            gw_base: np,
+            acc_base: np + ng,
+            gw_nodes: self
+                .gateways
+                .iter()
+                .map(|g| (g.entry_node, g.exit_node))
+                .collect(),
+            owners: vec![Vec::new(); na],
+            stepped: Vec::with_capacity(na),
+        };
+        for (j, g) in self.gateways.iter().enumerate() {
+            for &a in &g.chain {
+                hot.owners[a.0].push(j);
             }
         }
+        for i in 0..np {
+            self.recompute_proc(&mut hot, i);
+        }
+        for j in 0..ng {
+            self.recompute_gw(&mut hot, j);
+        }
+        for k in 0..na {
+            self.recompute_acc(&mut hot, k);
+        }
+        hot
+    }
+
+    /// Replay deferred processor bookkeeping up to `to` (exclusive).
+    /// Processor skips are independent of FIFO state, so they can be
+    /// deferred arbitrarily and replayed in bulk.
+    fn flush_procs(&mut self, hot: &mut EngineHot, to: u64) {
+        for i in 0..self.processors.len() {
+            if hot.acct[i] < to {
+                self.processors[i].skip(hot.acct[i], to);
+                hot.acct[i] = to;
+            }
+        }
+    }
+
+    /// Replay deferred gateway bookkeeping up to `to` (exclusive). Exact
+    /// only while the C-FIFOs still hold the deferred interval's state:
+    /// gateway stall attribution reads them, so this must run before any
+    /// processor or gateway steps again (the engine flushes at the top of
+    /// every `pg_cycle`, and per cycle/chunk when tracing so stall events
+    /// keep the exhaustive order).
+    fn flush_gws(&mut self, hot: &mut EngineHot, to: u64) {
         for j in 0..self.gateways.len() {
+            let t = hot.gw_base + j;
+            if hot.acct[t] < to {
+                self.gateways[j].skip(&self.fifos, &mut self.tracer, hot.acct[t], to);
+                hot.acct[t] = to;
+            }
+        }
+    }
+
+    /// Replay deferred accelerator bookkeeping up to `to` (exclusive).
+    fn flush_accels(&mut self, hot: &mut EngineHot, to: u64) {
+        for k in 0..self.accels.len() {
+            let t = hot.acc_base + k;
+            if hot.acct[t] < to {
+                self.accels[k].skip(hot.acct[t], to);
+                hot.acct[t] = to;
+            }
+        }
+    }
+
+    /// Replay all deferred bookkeeping up to `to` (exclusive), in the
+    /// exhaustive component order.
+    fn flush_all(&mut self, hot: &mut EngineHot, to: u64) {
+        self.flush_procs(hot, to);
+        self.flush_gws(hot, to);
+        self.flush_accels(hot, to);
+    }
+
+    /// Execute one cycle on the processor/gateway path: step exactly the
+    /// tiles that can act, account the rest. The cycle-exactness argument
+    /// is the same as the original selective step: a tile steps when its
+    /// cached horizon has arrived or a ring delivery awaits it, and once
+    /// any processor or gateway steps, every later processor/gateway
+    /// steps too (`cascade`) because it may read a C-FIFO the earlier
+    /// tile wrote this same cycle. Accelerators talk only through the
+    /// ring (one-cycle latency), so each is decided independently.
+    ///
+    /// Since this is the only place C-FIFOs or chain configurations can
+    /// change, every cached horizon is refreshed afterwards.
+    fn pg_cycle(&mut self, hot: &mut EngineHot) {
+        let now = self.cycle;
+        self.engine_stats.full_steps += 1;
+        // Deferred gateway accounting must be replayed against the
+        // interval's frozen FIFO state, before this cycle's steps mutate
+        // it.
+        self.flush_gws(hot, now);
+        let mut cascade = false;
+        for i in 0..self.processors.len() {
+            if cascade || hot.h[i] <= now {
+                if hot.acct[i] < now {
+                    self.processors[i].skip(hot.acct[i], now);
+                }
+                self.processors[i].step(&mut self.fifos, now);
+                hot.acct[i] = now + 1;
+                cascade = true;
+            }
+            // Non-stepping processors stay deferred (FIFO-independent).
+        }
+        for j in 0..self.gateways.len() {
+            let t = hot.gw_base + j;
             let must = cascade
-                || self.h_gw[j] <= now
+                || hot.h[t] <= now
                 || self.ring.rx_pending(self.gateways[j].exit_node) > 0
                 || self.ring.rx_pending(self.gateways[j].entry_node) > 0;
             if must {
@@ -338,14 +452,21 @@ impl System {
                 );
                 cascade = true;
             } else {
+                // Account immediately at the exhaustive loop position:
+                // the admission scan sees the FIFOs exactly as the
+                // lock-step reference would (post earlier steppers).
                 self.gateways[j].skip(&self.fifos, &mut self.tracer, now, now + 1);
             }
+            hot.acct[t] = now + 1;
         }
         for k in 0..self.accels.len() {
-            if self.h_acc[k] <= now || self.ring.rx_pending(self.accels[k].node) > 0 {
+            let t = hot.acc_base + k;
+            if hot.h[t] <= now || self.ring.rx_pending(self.accels[k].node) > 0 {
+                if hot.acct[t] < now {
+                    self.accels[k].skip(hot.acct[t], now);
+                }
                 self.accels[k].step(&mut self.ring, now);
-            } else {
-                self.accels[k].skip(now, now + 1);
+                hot.acct[t] = now + 1;
             }
         }
         self.ring.step();
@@ -353,31 +474,153 @@ impl System {
             self.observe(now);
         }
         self.cycle = now + 1;
+        // Processor horizons are computed from `pos_in_period`, which is
+        // only meaningful when the tile's accounting is current — replay
+        // any deferred slots before refreshing.
+        self.flush_procs(hot, self.cycle);
+        for i in 0..self.processors.len() {
+            self.recompute_proc(hot, i);
+        }
+        for j in 0..self.gateways.len() {
+            self.recompute_gw(hot, j);
+        }
+        for k in 0..self.accels.len() {
+            self.recompute_acc(hot, k);
+        }
     }
 
-    /// Jump the clock from `self.cycle` to `target`, replaying the
-    /// skipped interval's bookkeeping in bulk on every component. Valid
-    /// only when `target` does not exceed the minimum of the tile and
-    /// ring horizons: the interval is provably quiescent, so counters,
-    /// stall attribution and periodic trace samples come out exactly as
-    /// if each cycle had been stepped.
-    fn skip_to(&mut self, target: u64) {
+    /// Replay a batched span of adjacent-hop deliveries: while every
+    /// processor and gateway is provably quiescent and no flit waits at a
+    /// gateway node, only the acting accelerators and the ring are
+    /// stepped — the k flits of a multi-hop cascade are delivered in one
+    /// replayed span instead of one full-system wakeup per cycle.
+    /// Accelerators never touch C-FIFOs, so processor/gateway horizons
+    /// stay valid throughout; a stepped accelerator invalidates only its
+    /// own horizon and those of the gateways whose chain contains it
+    /// (which can pull the span end in, e.g. when a drain completes).
+    /// The span ends at the earliest processor/gateway horizon, or as
+    /// soon as a delivery lands at a node no accelerator polls. Returns
+    /// `true` if the clock advanced.
+    fn accel_span(&mut self, hot: &mut EngineHot, end: u64) -> bool {
+        let start = self.cycle;
+        let mut span_end = hot.pg_min().min(end);
+        let traced = self.tracer.is_enabled();
+        while self.cycle < span_end {
+            let now = self.cycle;
+            if self.ring.any_data_rx_pending()
+                && hot
+                    .gw_nodes
+                    .iter()
+                    .any(|&(e, x)| self.ring.rx_pending(e) > 0 || self.ring.rx_pending(x) > 0)
+            {
+                break; // delivery for a gateway: pg path must run next
+            }
+            let mut acted = false;
+            for k in 0..self.accels.len() {
+                let t = hot.acc_base + k;
+                if hot.h[t] <= now || self.ring.rx_pending(self.accels[k].node) > 0 {
+                    if hot.acct[t] < now {
+                        self.accels[k].skip(hot.acct[t], now);
+                    }
+                    self.accels[k].step(&mut self.ring, now);
+                    hot.acct[t] = now + 1;
+                    hot.stepped.push(k);
+                    acted = true;
+                }
+            }
+            if acted {
+                if traced {
+                    // Per-cycle gateway accounting keeps stall events in
+                    // the exhaustive order relative to observations.
+                    self.flush_gws(hot, now + 1);
+                }
+                self.ring.step();
+                self.engine_stats.full_steps += 1;
+                if traced {
+                    self.observe(now);
+                }
+                self.cycle = now + 1;
+                for si in 0..hot.stepped.len() {
+                    let k = hot.stepped[si];
+                    self.recompute_acc(hot, k);
+                    for oi in 0..hot.owners[k].len() {
+                        let j = hot.owners[k][oi];
+                        // A stepped accelerator can only move a gateway
+                        // horizon through the `Draining` arm (the one
+                        // state where the horizon reads accel state) —
+                        // everywhere else the cached value stays exact.
+                        if self.gateways[j].horizon_tracks_accels() {
+                            self.recompute_gw(hot, j);
+                            span_end = span_end.min(hot.h[hot.gw_base + j]);
+                        }
+                    }
+                }
+                hot.stepped.clear();
+                if traced {
+                    // Observation state (activity edges) may have moved
+                    // drain-flip pins; keep every accel horizon exact.
+                    for k in 0..self.accels.len() {
+                        self.recompute_acc(hot, k);
+                    }
+                }
+            } else if self.ring.any_data_rx_pending() {
+                break; // flit parked at a node nobody here polls
+            } else {
+                let idle = self.ring.idle_steps();
+                if idle == 0 {
+                    // Backlogged injection or imminent ejection: the ring
+                    // must step this cycle, alone.
+                    if traced {
+                        self.flush_gws(hot, now + 1);
+                    }
+                    self.ring.step();
+                    self.engine_stats.ring_only_cycles += 1;
+                    self.cycle = now + 1;
+                    if traced {
+                        self.sample_range(now, now + 1);
+                    }
+                } else {
+                    // Nothing acts until the next accel horizon, the span
+                    // end, or the ring's next non-trivial cycle: jump.
+                    let next_acc = hot.h[hot.acc_base..]
+                        .iter()
+                        .fold(u64::MAX, |m, &v| m.min(v));
+                    let to = span_end.min(next_acc).min(now.saturating_add(idle));
+                    let k = to - now;
+                    self.ring.skip(k);
+                    if idle == u64::MAX {
+                        self.engine_stats.skipped_cycles += k;
+                    } else {
+                        self.engine_stats.ring_only_cycles += k;
+                    }
+                    self.cycle = to;
+                    if traced {
+                        self.flush_gws(hot, to);
+                        self.sample_range(now, to);
+                    }
+                }
+            }
+        }
+        self.cycle > start
+    }
+
+    /// Jump the clock from `self.cycle` to `target`. Valid only when
+    /// `target` does not exceed the minimum of the tile and ring
+    /// horizons: the interval is provably quiescent, so counters, stall
+    /// attribution and periodic trace samples come out exactly as if each
+    /// cycle had been stepped. Untraced tile bookkeeping is deferred to
+    /// the next flush point.
+    fn event_skip_to(&mut self, hot: &mut EngineHot, target: u64) {
         let from = self.cycle;
         debug_assert!(target > from);
         self.engine_stats.skipped_cycles += target - from;
-        for p in &mut self.processors {
-            p.skip(from, target);
-        }
-        for g in &mut self.gateways {
-            g.skip(&self.fifos, &mut self.tracer, from, target);
-        }
-        for a in &mut self.accels {
-            a.skip(from, target);
-        }
         self.ring.skip(target - from);
-        // Periodic counter samples falling inside the skipped interval:
-        // state is frozen, so they sample current values.
-        self.sample_range(from, target);
+        if self.tracer.is_enabled() {
+            // Stall-window events for the interval precede its periodic
+            // counter samples, as in the exhaustive order.
+            self.flush_gws(hot, target);
+            self.sample_range(from, target);
+        }
         self.cycle = target;
     }
 
@@ -400,11 +643,12 @@ impl System {
     /// Fast-forward an interval during which only the *ring* has work:
     /// every tile is quiescent until `target`, so instead of full-system
     /// steps the ring alone is stepped (or bulk-rotated over pure-transit
-    /// stretches) and the tiles' bookkeeping is replayed chunk-wise —
-    /// exactly what their per-cycle steps would have done. Stops early at
-    /// the first delivery (a flit landing in an RX queue), since the
-    /// owning tile must be stepped from the next cycle on to poll it.
-    fn ring_forward(&mut self, target: u64) {
+    /// stretches). Stops early at the first delivery (a flit landing in
+    /// an RX queue), since the owning tile must be stepped from the next
+    /// cycle on to poll it. Untraced tile bookkeeping is deferred; when
+    /// tracing, gateways are accounted chunk-wise so stall events keep
+    /// the exhaustive order relative to periodic samples.
+    fn event_ring_forward(&mut self, hot: &mut EngineHot, target: u64) {
         let from = self.cycle;
         let mut t = from;
         let traced = self.tracer.is_enabled();
@@ -422,33 +666,59 @@ impl System {
                 t + k
             };
             if traced {
-                // Chunk-wise gateway accounting and counter samples keep
-                // the event log in the exhaustive order (a stall window
-                // closing at the chunk's first cycle precedes the chunk's
-                // periodic samples). Processor/accelerator skips emit no
-                // events and are replayed in bulk below.
-                for g in &mut self.gateways {
-                    g.skip(&self.fifos, &mut self.tracer, t, t2);
-                }
+                self.flush_gws(hot, t2);
                 self.sample_range(t, t2);
             }
             t = t2;
         }
-        if t > from {
-            self.engine_stats.ring_only_cycles += t - from;
-            for p in &mut self.processors {
-                p.skip(from, t);
-            }
-            if !traced {
-                for g in &mut self.gateways {
-                    g.skip(&self.fifos, &mut self.tracer, from, t);
+        self.engine_stats.ring_only_cycles += t - from;
+        self.cycle = t;
+    }
+
+    /// The event-driven engine: one loop serving both [`System::run`]
+    /// (`pred == None`) and [`System::run_until`]. Each iteration jumps
+    /// over the provably-quiescent interval (if any), then executes
+    /// either a batched accelerator span or a single processor/gateway
+    /// cycle. With a predicate, spans are disabled and all deferred
+    /// bookkeeping is flushed before every evaluation, so the predicate
+    /// observes exactly the lock-step per-cycle state.
+    fn event_run(&mut self, end: u64, mut pred: Option<&mut dyn FnMut(&System) -> bool>) -> bool {
+        let mut hot = self.hot_init();
+        while self.cycle < end {
+            if let Some(p) = pred.as_deref_mut() {
+                self.flush_all(&mut hot, self.cycle);
+                if p(self) {
+                    return true;
                 }
             }
-            for a in &mut self.accels {
-                a.skip(from, t);
+            let hc = hot.tile_min();
+            let hr = self.cycle.saturating_add(self.ring.idle_steps());
+            let h = hc.min(hr).min(end);
+            if h > self.cycle {
+                self.event_skip_to(&mut hot, h);
+            } else if hc > self.cycle {
+                // Only the ring is busy: advance it alone.
+                self.event_ring_forward(&mut hot, hc.min(end));
             }
+            if self.cycle >= end {
+                break;
+            }
+            let now = self.cycle;
+            let pg_due = hot.pg_min() <= now
+                || hot
+                    .gw_nodes
+                    .iter()
+                    .any(|&(e, x)| self.ring.rx_pending(e) > 0 || self.ring.rx_pending(x) > 0);
+            if !pg_due && pred.is_none() && self.accel_span(&mut hot, end) {
+                continue;
+            }
+            self.pg_cycle(&mut hot);
         }
-        self.cycle = t;
+        self.flush_all(&mut hot, self.cycle);
+        match pred {
+            Some(p) => p(self),
+            None => false,
+        }
     }
 
     /// Run for `cycles` cycles in the configured [`StepMode`].
@@ -461,24 +731,7 @@ impl System {
                 }
             }
             StepMode::EventDriven => {
-                while self.cycle < end {
-                    let hc = self.tile_horizons();
-                    let hr = self.cycle.saturating_add(self.ring.idle_steps());
-                    let h = hc.min(hr).min(end);
-                    if h > self.cycle {
-                        self.skip_to(h);
-                    } else if hc > self.cycle {
-                        // Only the ring is busy: advance it alone.
-                        self.ring_forward(hc.min(end));
-                    }
-                    if self.cycle >= end {
-                        break;
-                    }
-                    // The per-tile horizons survive the jump (the skipped
-                    // interval is quiescent), so the selective step can
-                    // trust them at the new cycle.
-                    self.selective_step();
-                }
+                self.event_run(end, None);
             }
         }
     }
@@ -501,32 +754,10 @@ impl System {
                     }
                     self.step();
                 }
+                pred(self)
             }
-            StepMode::EventDriven => {
-                // The same selective-step loop as [`System::run`], with the
-                // predicate evaluated once per executed cycle. Checking it
-                // only there is exact: tile state is frozen across skipped
-                // intervals, so the predicate cannot flip inside one.
-                while self.cycle < end {
-                    if pred(self) {
-                        return true;
-                    }
-                    let hc = self.tile_horizons();
-                    let hr = self.cycle.saturating_add(self.ring.idle_steps());
-                    let h = hc.min(hr).min(end);
-                    if h > self.cycle {
-                        self.skip_to(h);
-                    } else if hc > self.cycle {
-                        self.ring_forward(hc.min(end));
-                    }
-                    if self.cycle >= end {
-                        break;
-                    }
-                    self.selective_step();
-                }
-            }
+            StepMode::EventDriven => self.event_run(end, Some(&mut pred)),
         }
-        pred(self)
     }
 
     /// Utilisation of an accelerator (busy cycles / elapsed).

@@ -35,6 +35,7 @@ struct Topo {
     eta: usize,    // block size
     in_cap: usize,
     out_cap: usize,
+    ni_depth: usize,
     src_interval: u64,
     sink_interval: u64,
     sink_budget: u64,
@@ -45,14 +46,14 @@ fn topo_strategy() -> impl Strategy<Value = Topo> {
     (
         proptest::collection::vec((1usize..4, 1usize..4), 1..4),
         (1u64..8, 1u64..3, 1u64..6, 0u64..200),
-        (2usize..24, 2usize..96, 8usize..512),
+        (2usize..24, 2usize..96, 8usize..512, 1usize..5),
         (1u64..40, 1u64..16, 1u64..3, 4_000u64..12_000),
     )
         .prop_map(
             |(
                 gateways,
                 (epsilon, delta, rho, reconfig),
-                (eta, in_cap, out_cap),
+                (eta, in_cap, out_cap, ni_depth),
                 (src_interval, sink_interval, sink_budget, cycles),
             )| Topo {
                 gateways,
@@ -63,6 +64,43 @@ fn topo_strategy() -> impl Strategy<Value = Topo> {
                 eta,
                 in_cap,
                 out_cap,
+                ni_depth,
+                src_interval,
+                sink_interval,
+                sink_budget,
+                cycles,
+            },
+        )
+}
+
+/// Strategy biased toward the batched-delivery hot spots: deep NI queues
+/// (deliveries cluster before the gateway polls), hot DMA (ε ∈ {1, 2}
+/// injects back-to-back multi-hop bursts), long accelerator service times
+/// (ρ up to 15 keeps spans busy so reconfiguration windows land mid-span),
+/// small blocks with short R_s (frequent stream switches).
+fn burst_strategy() -> impl Strategy<Value = Topo> {
+    (
+        proptest::collection::vec((1usize..4, 2usize..4), 1..3),
+        (1u64..3, 1u64..3, 4u64..16, 1u64..40),
+        (4usize..12, 8usize..64, 16usize..256, 2usize..9),
+        (1u64..6, 1u64..8, 1u64..3, 6_000u64..16_000),
+    )
+        .prop_map(
+            |(
+                gateways,
+                (epsilon, delta, rho, reconfig),
+                (eta, in_cap, out_cap, ni_depth),
+                (src_interval, sink_interval, sink_budget, cycles),
+            )| Topo {
+                gateways,
+                epsilon,
+                delta,
+                rho,
+                reconfig,
+                eta,
+                in_cap,
+                out_cap,
+                ni_depth,
                 src_interval,
                 sink_interval,
                 sink_budget,
@@ -89,7 +127,7 @@ fn oracle_specs(t: &Topo) -> Vec<DeploySpec> {
                 .collect(),
             epsilon: t.epsilon,
             delta: t.delta,
-            ni_depth: 2,
+            ni_depth: t.ni_depth as u32,
             check_for_space: true,
             streams: (0..streams)
                 .map(|s| StreamDeploy {
@@ -163,7 +201,7 @@ fn build(t: &Topo) -> System {
                     link(j),
                     if j + 1 == depth { exit } else { nodes[j + 1] },
                     link(j + 1),
-                    2,
+                    t.ni_depth as u32,
                     t.rho,
                 ))
             })
@@ -177,7 +215,7 @@ fn build(t: &Topo) -> System {
             link(0),
             nodes[depth - 1],
             link(depth),
-            2,
+            t.ni_depth as u32,
             t.epsilon,
             t.delta,
         );
@@ -225,12 +263,45 @@ fn build(t: &Topo) -> System {
     sys
 }
 
-/// Run to completion in `mode` and flush the trace.
-fn run(t: &Topo, mode: StepMode) -> System {
+/// Run to completion in `mode`; with `traced` the tracer records every
+/// edge (forcing the engine's per-cycle observation path inside spans),
+/// without it the untraced span fast path runs.
+fn run_with(t: &Topo, mode: StepMode, traced: bool) -> System {
     let mut sys = build(t);
     sys.step_mode = mode;
-    sys.enable_tracing(64);
+    if traced {
+        sys.enable_tracing(64);
+    }
     sys.run(t.cycles);
+    let now = sys.cycle();
+    sys.tracer.finish(now);
+    sys
+}
+
+/// Run to completion in `mode` and flush the trace.
+fn run(t: &Topo, mode: StepMode) -> System {
+    run_with(t, mode, true)
+}
+
+/// Run the event engine in `chunks` arbitrary-length legs (stops land in
+/// the middle of delivery bursts and accelerator busy spans) and check the
+/// result is still bit-identical to one uninterrupted exhaustive run.
+fn run_event_chunked(t: &Topo, chunks: u64) -> System {
+    let mut sys = build(t);
+    sys.step_mode = StepMode::EventDriven;
+    sys.enable_tracing(64);
+    let per = (t.cycles / chunks).max(1);
+    // Deliberately ragged leg lengths so stop cycles hit different phases
+    // of the DMA/accelerator pipelines each leg.
+    let mut target = 0;
+    for k in 0..chunks {
+        target += per + k % 3;
+        sys.run(target.min(t.cycles).saturating_sub(sys.cycle()));
+    }
+    if sys.cycle() < t.cycles {
+        let left = t.cycles - sys.cycle();
+        sys.run(left);
+    }
     let now = sys.cycle();
     sys.tracer.finish(now);
     sys
@@ -307,6 +378,138 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batched-delivery path under stress: deep NI queues, ε = 1..2
+    /// multi-hop bursts, reconfiguration windows opening while an
+    /// accelerator span is in flight.
+    #[test]
+    fn batched_bursts_bit_identical(t in burst_strategy()) {
+        prop_assume!(accepted_by_analyzer(&t));
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run(&t, StepMode::EventDriven);
+        assert_identical(ex, ev)?;
+    }
+
+    /// Without a tracer the engine replays spans through the untraced
+    /// fast path (no per-cycle observation) — it must land on exactly the
+    /// same architectural state.
+    #[test]
+    fn untraced_spans_bit_identical(t in burst_strategy()) {
+        prop_assume!(accepted_by_analyzer(&t));
+        let ex = run_with(&t, StepMode::Exhaustive, false);
+        let ev = run_with(&t, StepMode::EventDriven, false);
+        assert_identical(ex, ev)?;
+    }
+
+    /// Stopping and resuming the event engine mid-burst must not disturb
+    /// equivalence: every `run()` boundary forces a flush of lazily
+    /// accounted state, and the resumed run rebuilds its horizons from it.
+    #[test]
+    fn chunked_event_runs_bit_identical(t in burst_strategy(), chunks in 2u64..9) {
+        prop_assume!(accepted_by_analyzer(&t));
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run_event_chunked(&t, chunks);
+        assert_identical(ex, ev)?;
+    }
+}
+
+/// Named pinned configurations for the engine's historical failure modes.
+/// Each is a deterministic instance of the random families above, kept as
+/// a regression even while the property passes.
+mod pinned {
+    use super::*;
+
+    fn check(t: &Topo) {
+        assert!(accepted_by_analyzer(t), "pinned topology must pass oracle");
+        let ex = run(t, StepMode::Exhaustive);
+        let ev = run(t, StepMode::EventDriven);
+        match assert_identical(ex, ev) {
+            Ok(()) => {}
+            Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
+            Err(TestCaseError::Reject) => unreachable!(),
+        }
+    }
+
+    /// ε = 1 with 8-deep NI queues: the gateway injects a flit every
+    /// cycle, so multi-hop deliveries arrive back to back and pile up in
+    /// the accelerator NI before it polls. Exercises the span walker's
+    /// rx-pending wake on every cycle of the burst.
+    #[test]
+    fn deep_ni_back_to_back_bursts() {
+        check(&Topo {
+            gateways: vec![(3, 2), (2, 3)],
+            epsilon: 1,
+            delta: 1,
+            rho: 1,
+            reconfig: 9,
+            eta: 8,
+            in_cap: 32,
+            out_cap: 128,
+            ni_depth: 8,
+            src_interval: 1,
+            sink_interval: 2,
+            sink_budget: 1,
+            cycles: 12_000,
+        });
+    }
+
+    /// Long accelerator service (ρ = 13) with a short reconfiguration
+    /// window: drain-flip pinning happens while the span walker holds a
+    /// cached gateway horizon. Exercises the Draining-only horizon
+    /// refresh rule.
+    #[test]
+    fn reconfig_window_lands_mid_span() {
+        check(&Topo {
+            gateways: vec![(2, 3)],
+            epsilon: 2,
+            delta: 1,
+            rho: 13,
+            reconfig: 7,
+            eta: 4,
+            in_cap: 24,
+            out_cap: 64,
+            ni_depth: 4,
+            src_interval: 2,
+            sink_interval: 1,
+            sink_budget: 2,
+            cycles: 14_000,
+        });
+    }
+
+    /// Ragged stop cycles against a hot pipeline: lazily-flushed
+    /// processor TDM positions must survive a `run()` boundary placed
+    /// inside a delivery burst (the engine's historical stop-cycle
+    /// divergence).
+    #[test]
+    fn mid_burst_stop_and_resume() {
+        let t = Topo {
+            gateways: vec![(3, 3)],
+            epsilon: 1,
+            delta: 2,
+            rho: 5,
+            reconfig: 11,
+            eta: 6,
+            in_cap: 48,
+            out_cap: 96,
+            ni_depth: 6,
+            src_interval: 1,
+            sink_interval: 3,
+            sink_budget: 2,
+            cycles: 10_007, // prime: legs land on unaligned cycles
+        };
+        assert!(accepted_by_analyzer(&t), "pinned topology must pass oracle");
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run_event_chunked(&t, 7);
+        match assert_identical(ex, ev) {
+            Ok(()) => {}
+            Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
+            Err(TestCaseError::Reject) => unreachable!(),
+        }
+    }
+}
+
 /// The densest supported topology — three gateway pairs, each with a
 /// three-deep accelerator chain and three multiplexed streams — pinned as
 /// a deterministic regression alongside the random sweep.
@@ -321,6 +524,7 @@ fn max_topology_three_gateways_three_deep_chains() {
         eta: 12,
         in_cap: 48,
         out_cap: 128,
+        ni_depth: 2,
         src_interval: 5,
         sink_interval: 3,
         sink_budget: 2,

@@ -17,7 +17,8 @@
 //! inject into the (now possibly empty) local slot.
 
 use crate::flit::{CreditFlit, DataFlit, NodeId};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Statistics collected per ring.
 #[derive(Clone, Debug, Default)]
@@ -63,28 +64,86 @@ pub struct Delivery {
     pub stream: u32,
 }
 
-/// Append-only log of every delivered flit on both rings, kept only when a
-/// profiler asked for it ([`DualRing::enable_delivery_log`]). [`DualRing::skip`]
-/// never ejects, so the log is bit-identical between the exhaustive and the
+/// Log of delivered flits on both rings, kept only when a profiler asked
+/// for it ([`DualRing::enable_delivery_log`]). [`DualRing::skip`] never
+/// ejects, so the log is bit-identical between the exhaustive and the
 /// event-driven engines by construction.
+///
+/// Each direction retains a bounded trailing window (at least
+/// [`DeliveryLog::WINDOW`] records, at most twice that — eviction drains
+/// half the buffer at once, amortised O(1) per delivery); the
+/// `*_dropped` counters report how many of the oldest records were shed,
+/// so profiles of arbitrarily long runs stay bounded without silently
+/// pretending to be complete.
 #[derive(Clone, Debug, Default)]
 pub struct DeliveryLog {
-    /// Data-ring deliveries, in ejection order.
+    /// Data-ring deliveries, in ejection order (trailing window).
     pub data: Vec<Delivery>,
-    /// Credit-ring deliveries, in ejection order.
+    /// Credit-ring deliveries, in ejection order (trailing window).
     pub credit: Vec<Delivery>,
+    /// Oldest data-ring records evicted from the window.
+    pub data_dropped: u64,
+    /// Oldest credit-ring records evicted from the window.
+    pub credit_dropped: u64,
+}
+
+impl DeliveryLog {
+    /// Minimum number of most-recent records retained per ring direction.
+    pub const WINDOW: usize = 1 << 20;
+
+    fn record(list: &mut Vec<Delivery>, dropped: &mut u64, d: Delivery) {
+        if list.len() >= 2 * Self::WINDOW {
+            list.drain(..Self::WINDOW);
+            *dropped += Self::WINDOW as u64;
+        }
+        list.push(d);
+    }
+
+    /// Append a data-ring delivery, evicting the oldest window if full.
+    pub fn record_data(&mut self, d: Delivery) {
+        Self::record(&mut self.data, &mut self.data_dropped, d);
+    }
+
+    /// Append a credit-ring delivery, evicting the oldest window if full.
+    pub fn record_credit(&mut self, d: Delivery) {
+        Self::record(&mut self.credit, &mut self.credit_dropped, d);
+    }
 }
 
 /// The dual-ring interconnect with `n` stations.
+///
+/// # Representation (batched-span support)
+///
+/// Slot registers are stored in fixed backing vectors that never move;
+/// rotation is a per-ring offset (`data_rot` / `credit_rot`) bumped each
+/// step, so [`DualRing::skip`] is O(1) regardless of the span length. Every
+/// in-flight flit's ejection cycle is known exactly at injection time
+/// (latency == hop distance), so each ring keeps a min-heap of scheduled
+/// `(ejection cycle, destination)` pairs: [`DualRing::idle_steps`] answers
+/// in O(1) and [`DualRing::step`] ejects by direct slot addressing instead
+/// of scanning all stations — O(actual events), the property the platform's
+/// span-replay engine relies on to deliver k adjacent-hop flits without k
+/// full ring scans.
 #[derive(Clone, Debug)]
 pub struct DualRing<P> {
     n: usize,
     cycle: u64,
-    /// Data ring slots: `data_slots[i]` sits at station `i` this cycle and
-    /// moves to `i+1 mod n` next cycle.
+    /// Data ring slot registers. The slot currently sitting at station `i`
+    /// is `data_slots[(i + n - data_rot) % n]`; advancing the ring is
+    /// `data_rot += 1` (mod n) instead of a memmove.
     data_slots: Vec<Option<DataFlit<P>>>,
-    /// Credit ring slots, rotating the opposite way.
+    /// Credit ring slot registers, rotating the opposite way: station `i`
+    /// maps to `credit_slots[(i + credit_rot) % n]`.
     credit_slots: Vec<Option<CreditFlit>>,
+    /// Rotation offsets (always `< n`).
+    data_rot: usize,
+    credit_rot: usize,
+    /// Scheduled ejections per ring: `(cycle, destination station)` for
+    /// every in-flight flit. `Reverse` turns `BinaryHeap` into a min-heap;
+    /// the `(cycle, dst)` order makes same-cycle ejections pop in station
+    /// order, matching the historical full-scan order exactly.
+    data_eject: BinaryHeap<Reverse<(u64, usize)>>,
+    credit_eject: BinaryHeap<Reverse<(u64, usize)>>,
     /// Per-station transmit queues.
     data_tx: Vec<VecDeque<DataFlit<P>>>,
     credit_tx: Vec<VecDeque<CreditFlit>>,
@@ -92,13 +151,12 @@ pub struct DualRing<P> {
     /// boundedness is enforced end-to-end by credits).
     data_rx: Vec<VecDeque<DataFlit<P>>>,
     credit_rx: Vec<VecDeque<CreditFlit>>,
-    /// Total flits across all TX queues (both rings) — lets
+    /// Flits across data / credit TX queues — lets the injection phase and
     /// [`DualRing::idle_steps`] answer without scanning every queue.
-    tx_occupancy: usize,
+    data_tx_occupancy: usize,
+    credit_tx_occupancy: usize,
     /// Total delivered-but-unread *data* flits across all stations.
     data_rx_occupancy: usize,
-    /// Occupied slots across both rings.
-    slots_occupied: usize,
     /// Statistics (index 0 = data ring, 1 = credit ring).
     pub stats: [RingStats; 2],
     /// Per-delivery log, kept only while profiling.
@@ -114,15 +172,41 @@ impl<P: Clone> DualRing<P> {
             cycle: 0,
             data_slots: vec![None; n],
             credit_slots: vec![None; n],
+            data_rot: 0,
+            credit_rot: 0,
+            data_eject: BinaryHeap::new(),
+            credit_eject: BinaryHeap::new(),
             data_tx: (0..n).map(|_| VecDeque::new()).collect(),
             credit_tx: (0..n).map(|_| VecDeque::new()).collect(),
             data_rx: (0..n).map(|_| VecDeque::new()).collect(),
             credit_rx: (0..n).map(|_| VecDeque::new()).collect(),
-            tx_occupancy: 0,
+            data_tx_occupancy: 0,
+            credit_tx_occupancy: 0,
             data_rx_occupancy: 0,
-            slots_occupied: 0,
             stats: [RingStats::default(), RingStats::default()],
             delivery_log: None,
+        }
+    }
+
+    /// Backing index of the data-ring slot currently at station `i`.
+    #[inline]
+    fn data_phys(&self, i: usize) -> usize {
+        let k = i + self.n - self.data_rot;
+        if k >= self.n {
+            k - self.n
+        } else {
+            k
+        }
+    }
+
+    /// Backing index of the credit-ring slot currently at station `i`.
+    #[inline]
+    fn credit_phys(&self, i: usize) -> usize {
+        let k = i + self.credit_rot;
+        if k >= self.n {
+            k - self.n
+        } else {
+            k
         }
     }
 
@@ -161,7 +245,7 @@ impl<P: Clone> DualRing<P> {
             payload,
             injected_at: self.cycle,
         });
-        self.tx_occupancy += 1;
+        self.data_tx_occupancy += 1;
     }
 
     /// Queue a credit transfer on the credit ring.
@@ -174,7 +258,7 @@ impl<P: Clone> DualRing<P> {
             amount,
             injected_at: self.cycle,
         });
-        self.tx_occupancy += 1;
+        self.credit_tx_occupancy += 1;
     }
 
     /// Pending TX occupancy of a station (posted writes not yet accepted).
@@ -221,79 +305,111 @@ impl<P: Clone> DualRing<P> {
     /// register if it is empty, (2) all slots shift one hop, (3) the slot
     /// arriving at its destination is ejected (guaranteed acceptance). With
     /// this order a flit's delivery latency equals its hop distance.
+    ///
+    /// Injection scans run only while a TX queue is non-empty, the shift is
+    /// an O(1) offset bump, and ejection addresses the arriving slot
+    /// directly from the scheduled-ejection heap — a step with no pending
+    /// work touches no per-station state at all.
     pub fn step(&mut self) {
         self.cycle += 1;
 
         // --- data ring ---
-        for i in 0..self.n {
-            if self.data_slots[i].is_none() {
-                if let Some(f) = self.data_tx[i].pop_front() {
-                    self.data_slots[i] = Some(f);
-                    self.tx_occupancy -= 1;
-                    self.slots_occupied += 1;
+        if self.data_tx_occupancy > 0 {
+            for i in 0..self.n {
+                if self.data_tx[i].is_empty() {
+                    continue;
                 }
-            } else if !self.data_tx[i].is_empty() {
-                self.stats[0].injection_stalls += 1;
+                let p = self.data_phys(i);
+                if self.data_slots[p].is_none() {
+                    let f = self.data_tx[i].pop_front().unwrap();
+                    // Latency == hop distance: the ejection cycle is fixed
+                    // at injection time. This very step performs the first
+                    // hop, so a 1-hop flit ejects at `self.cycle`.
+                    let dist = (f.dst + self.n - i) % self.n;
+                    self.data_eject
+                        .push(Reverse((self.cycle + dist as u64 - 1, f.dst)));
+                    self.data_slots[p] = Some(f);
+                    self.data_tx_occupancy -= 1;
+                } else {
+                    self.stats[0].injection_stalls += 1;
+                }
             }
         }
         // Shift forward: slot at station i moves to station i+1.
-        self.data_slots.rotate_right(1);
-        for i in 0..self.n {
-            if let Some(f) = &self.data_slots[i] {
-                if f.dst == i {
-                    let f = self.data_slots[i].take().unwrap();
-                    let lat = self.cycle - f.injected_at;
-                    self.stats[0].delivered += 1;
-                    self.stats[0].total_latency += lat;
-                    self.stats[0].max_latency = self.stats[0].max_latency.max(lat);
-                    if let Some(log) = self.delivery_log.as_deref_mut() {
-                        log.data.push(Delivery {
-                            cycle: self.cycle,
-                            src: f.src,
-                            dst: f.dst,
-                            stream: f.stream,
-                        });
-                    }
-                    self.data_rx[i].push_back(f);
-                    self.data_rx_occupancy += 1;
-                    self.slots_occupied -= 1;
-                }
+        self.data_rot += 1;
+        if self.data_rot == self.n {
+            self.data_rot = 0;
+        }
+        while let Some(&Reverse((c, dst))) = self.data_eject.peek() {
+            if c != self.cycle {
+                debug_assert!(c > self.cycle, "missed a scheduled ejection");
+                break;
             }
+            self.data_eject.pop();
+            let p = self.data_phys(dst);
+            let f = self.data_slots[p].take().expect("scheduled flit in slot");
+            debug_assert_eq!(f.dst, dst);
+            let lat = self.cycle - f.injected_at;
+            self.stats[0].delivered += 1;
+            self.stats[0].total_latency += lat;
+            self.stats[0].max_latency = self.stats[0].max_latency.max(lat);
+            if let Some(log) = self.delivery_log.as_deref_mut() {
+                log.record_data(Delivery {
+                    cycle: self.cycle,
+                    src: f.src,
+                    dst: f.dst,
+                    stream: f.stream,
+                });
+            }
+            self.data_rx[dst].push_back(f);
+            self.data_rx_occupancy += 1;
         }
 
         // --- credit ring (opposite direction) ---
-        for i in 0..self.n {
-            if self.credit_slots[i].is_none() {
-                if let Some(c) = self.credit_tx[i].pop_front() {
-                    self.credit_slots[i] = Some(c);
-                    self.tx_occupancy -= 1;
-                    self.slots_occupied += 1;
+        if self.credit_tx_occupancy > 0 {
+            for i in 0..self.n {
+                if self.credit_tx[i].is_empty() {
+                    continue;
                 }
-            } else if !self.credit_tx[i].is_empty() {
-                self.stats[1].injection_stalls += 1;
+                let p = self.credit_phys(i);
+                if self.credit_slots[p].is_none() {
+                    let c = self.credit_tx[i].pop_front().unwrap();
+                    let dist = (i + self.n - c.dst) % self.n;
+                    self.credit_eject
+                        .push(Reverse((self.cycle + dist as u64 - 1, c.dst)));
+                    self.credit_slots[p] = Some(c);
+                    self.credit_tx_occupancy -= 1;
+                } else {
+                    self.stats[1].injection_stalls += 1;
+                }
             }
         }
-        self.credit_slots.rotate_left(1);
-        for i in 0..self.n {
-            if let Some(c) = &self.credit_slots[i] {
-                if c.dst == i {
-                    let c = self.credit_slots[i].take().unwrap();
-                    let lat = self.cycle - c.injected_at;
-                    self.stats[1].delivered += 1;
-                    self.stats[1].total_latency += lat;
-                    self.stats[1].max_latency = self.stats[1].max_latency.max(lat);
-                    if let Some(log) = self.delivery_log.as_deref_mut() {
-                        log.credit.push(Delivery {
-                            cycle: self.cycle,
-                            src: c.src,
-                            dst: c.dst,
-                            stream: c.stream,
-                        });
-                    }
-                    self.credit_rx[i].push_back(c);
-                    self.slots_occupied -= 1;
-                }
+        self.credit_rot += 1;
+        if self.credit_rot == self.n {
+            self.credit_rot = 0;
+        }
+        while let Some(&Reverse((c, dst))) = self.credit_eject.peek() {
+            if c != self.cycle {
+                debug_assert!(c > self.cycle, "missed a scheduled ejection");
+                break;
             }
+            self.credit_eject.pop();
+            let p = self.credit_phys(dst);
+            let c = self.credit_slots[p].take().expect("scheduled flit in slot");
+            debug_assert_eq!(c.dst, dst);
+            let lat = self.cycle - c.injected_at;
+            self.stats[1].delivered += 1;
+            self.stats[1].total_latency += lat;
+            self.stats[1].max_latency = self.stats[1].max_latency.max(lat);
+            if let Some(log) = self.delivery_log.as_deref_mut() {
+                log.record_credit(Delivery {
+                    cycle: self.cycle,
+                    src: c.src,
+                    dst: c.dst,
+                    stream: c.stream,
+                });
+            }
+            self.credit_rx[dst].push_back(c);
         }
     }
 
@@ -321,33 +437,22 @@ impl<P: Clone> DualRing<P> {
     ///
     /// [`step`]: DualRing::step
     pub fn idle_steps(&self) -> u64 {
-        if self.tx_occupancy > 0 || self.data_rx_occupancy > 0 {
+        if self.data_tx_occupancy > 0 || self.credit_tx_occupancy > 0 || self.data_rx_occupancy > 0
+        {
             return 0;
         }
-        if self.slots_occupied == 0 {
-            return u64::MAX; // empty ring
-        }
-        let mut min_hops = u64::MAX;
-        for (i, s) in self.data_slots.iter().enumerate() {
-            if let Some(f) = s {
-                // f.dst and i are both < n: a conditional subtraction is
-                // the modulo (this is hot — no division).
-                let d = f.dst + self.n - i;
-                let d = if d >= self.n { d - self.n } else { d };
-                min_hops = min_hops.min(d as u64);
-            }
-        }
-        for (i, s) in self.credit_slots.iter().enumerate() {
-            if let Some(c) = s {
-                let d = i + self.n - c.dst;
-                let d = if d >= self.n { d - self.n } else { d };
-                min_hops = min_hops.min(d as u64);
-            }
-        }
-        // A slot flit is never at its destination between steps (it
-        // would have been ejected), so min_hops ≥ 1; the step that
-        // ejects it is step number `min_hops` from now.
-        min_hops.saturating_sub(1)
+        // Every in-flight flit's ejection cycle is scheduled, so the
+        // nearest one answers in O(1): the ejecting step is the one that
+        // advances the clock to that cycle; everything before it is a pure
+        // rotation.
+        let next = match (self.data_eject.peek(), self.credit_eject.peek()) {
+            (None, None) => return u64::MAX, // empty ring
+            (Some(&Reverse((d, _))), None) => d,
+            (None, Some(&Reverse((c, _)))) => c,
+            (Some(&Reverse((d, _))), Some(&Reverse((c, _)))) => d.min(c),
+        };
+        debug_assert!(next > self.cycle, "scheduled ejection in the past");
+        next - self.cycle - 1
     }
 
     /// True if any station holds a delivered-but-unread *data* flit.
@@ -366,16 +471,16 @@ impl<P: Clone> DualRing<P> {
     pub fn skip(&mut self, k: u64) {
         debug_assert!(k <= self.idle_steps(), "ring skip past its horizon");
         self.cycle += k;
-        if self.slots_occupied == 0 {
-            return; // nothing in flight: only the clock moves
-        }
         let n = self.n as u64;
         let r = (if k < n { k } else { k % n }) as usize;
-        if r == 0 {
-            return;
+        self.data_rot += r;
+        if self.data_rot >= self.n {
+            self.data_rot -= self.n;
         }
-        self.data_slots.rotate_right(r);
-        self.credit_slots.rotate_left(r);
+        self.credit_rot += r;
+        if self.credit_rot >= self.n {
+            self.credit_rot -= self.n;
+        }
     }
 
     /// Hop distance from `src` to `dst` along the data ring direction.
@@ -611,6 +716,28 @@ mod tests {
         let f = r.recv_data(3).expect("delivered");
         assert_eq!(f.payload, 9);
         assert_eq!(r.stats[0].max_latency, 3, "latency unaffected by the skip");
+    }
+
+    #[test]
+    fn delivery_log_window_evicts_oldest() {
+        let mut log = DeliveryLog::default();
+        let n = 2 * DeliveryLog::WINDOW + 5;
+        for k in 0..n {
+            log.record_data(Delivery {
+                cycle: k as u64,
+                src: 0,
+                dst: 1,
+                stream: 0,
+            });
+        }
+        assert_eq!(log.data_dropped, DeliveryLog::WINDOW as u64);
+        assert_eq!(log.data.len(), DeliveryLog::WINDOW + 5);
+        // Trailing window: oldest retained record follows the evicted ones.
+        assert_eq!(log.data[0].cycle, DeliveryLog::WINDOW as u64);
+        assert_eq!(log.data.last().unwrap().cycle, n as u64 - 1);
+        // The credit side is independent and untouched.
+        assert_eq!(log.credit_dropped, 0);
+        assert!(log.credit.is_empty());
     }
 
     #[test]

@@ -5,16 +5,29 @@
 //! fetched; this shim keeps the property tests runnable. Differences from
 //! upstream:
 //!
-//! * no shrinking — a failing case reports its case index (the RNG is
-//!   seeded deterministically from the test name, so failures reproduce);
+//! * shrinking operates on the *choice sequence* (the raw RNG draws of the
+//!   failing case) rather than on value trees — smaller draws mean values
+//!   closer to their range starts and shorter collections, so minimization
+//!   works through `prop_map`/`prop_flat_map` without strategies having to
+//!   know how to shrink their outputs;
+//! * a failing test prints a replayable seed: set `PROPTEST_REPLAY` to the
+//!   printed `test_name:choices` string to re-run exactly the minimized
+//!   counterexample;
 //! * strategies are plain generators (`Strategy::generate`), not
 //!   value trees;
 //! * only the combinators the workspace uses exist: integer ranges,
 //!   tuples, `Just`, `prop_map`, `prop_flat_map`, `collection::vec`.
 
-/// Deterministic 64-bit RNG (splitmix64).
+/// Deterministic 64-bit RNG (splitmix64), optionally recording its draws or
+/// replaying a previously recorded choice sequence.
 pub struct TestRng {
     state: u64,
+    /// Replay buffer and cursor; when the buffer is exhausted the RNG
+    /// yields zeros (the minimal draw) so shrunk sequences that need more
+    /// draws than were recorded stay deterministic.
+    replay: Option<(Vec<u64>, usize)>,
+    /// Recording buffer for the draws of the current case.
+    record: Option<Vec<u64>>,
 }
 
 impl TestRng {
@@ -22,6 +35,8 @@ impl TestRng {
     pub fn new(seed: u64) -> Self {
         TestRng {
             state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            replay: None,
+            record: None,
         }
     }
 
@@ -35,13 +50,42 @@ impl TestRng {
         TestRng::new(h)
     }
 
+    /// An RNG that replays `choices` verbatim, then yields zeros.
+    pub fn from_choices(choices: Vec<u64>) -> Self {
+        TestRng {
+            state: 0,
+            replay: Some((choices, 0)),
+            record: None,
+        }
+    }
+
+    /// Start recording draws (used by the runner around each case).
+    pub fn begin_record(&mut self) {
+        self.record = Some(Vec::new());
+    }
+
+    /// Stop recording and return the recorded choice sequence.
+    pub fn end_record(&mut self) -> Vec<u64> {
+        self.record.take().unwrap_or_default()
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let v = if let Some((seq, idx)) = &mut self.replay {
+            let v = seq.get(*idx).copied().unwrap_or(0);
+            *idx += 1;
+            v
+        } else {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        if let Some(rec) = &mut self.record {
+            rec.push(v);
+        }
+        v
     }
 
     /// Uniform value in `[0, n)`; `n` must be positive.
@@ -306,6 +350,138 @@ pub mod collection {
     }
 }
 
+/// Encode a choice sequence as the compact text form printed in failure
+/// messages (lowercase hex, `.`-separated).
+pub fn encode_choices(seq: &[u64]) -> String {
+    seq.iter()
+        .map(|v| format!("{v:x}"))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Decode the text form produced by [`encode_choices`].
+pub fn decode_choices(s: &str) -> Option<Vec<u64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split('.')
+        .map(|p| u64::from_str_radix(p, 16).ok())
+        .collect()
+}
+
+/// If `PROPTEST_REPLAY` is set and names this test (`name:choices`, where
+/// `name` may be the bare test name or any suffix of the full module path),
+/// return the choice sequence to replay.
+pub fn replay_request(full_name: &str) -> Option<Vec<u64>> {
+    let var = std::env::var("PROPTEST_REPLAY").ok()?;
+    let (name, choices) = var.split_once(':')?;
+    let matches = full_name == name
+        || (full_name.ends_with(name) && full_name[..full_name.len() - name.len()].ends_with("::"));
+    if !matches {
+        return None;
+    }
+    decode_choices(choices)
+}
+
+/// Outcome of [`shrink_case`].
+pub struct Shrunk {
+    /// The minimized choice sequence (still failing).
+    pub choices: Vec<u64>,
+    /// Failure message produced by the minimized sequence.
+    pub message: String,
+    /// Number of candidate executions spent shrinking.
+    pub runs: u32,
+}
+
+/// Minimize a failing choice sequence.
+///
+/// Candidates replace draws with smaller values (chunk zeroing first, then
+/// per-draw binary reduction); a candidate is kept only if re-running the
+/// case with it still *fails* (rejections don't count). The result is a
+/// local minimum: no single remaining draw can be zeroed, halved, or
+/// decremented without the failure disappearing. Execution count is
+/// bounded so pathological cases terminate.
+pub fn shrink_case<F>(seq: Vec<u64>, message: String, mut run: F) -> Shrunk
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    const MAX_RUNS: u32 = 1024;
+    let mut runs = 0u32;
+    let mut fails = |cand: &[u64], runs: &mut u32| -> Option<String> {
+        if *runs >= MAX_RUNS {
+            return None;
+        }
+        *runs += 1;
+        let mut rng = TestRng::from_choices(cand.to_vec());
+        match run(&mut rng) {
+            Err(TestCaseError::Fail(m)) => Some(m),
+            _ => None,
+        }
+    };
+    let mut best = seq;
+    let mut best_msg = message;
+    loop {
+        let mut improved = false;
+        // Pass 1: zero whole chunks, largest first — collapses topology
+        // sizes and cycle counts in few executions.
+        let mut chunk = best.len().max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let end = (start + chunk).min(best.len());
+                if best[start..end].iter().any(|&v| v != 0) {
+                    let mut cand = best.clone();
+                    cand[start..end].fill(0);
+                    if let Some(m) = fails(&cand, &mut runs) {
+                        best = cand;
+                        best_msg = m;
+                        improved = true;
+                    }
+                }
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Pass 2: shrink each surviving draw numerically (halve, then
+        // decrement) so in-range values move toward their range starts.
+        for i in 0..best.len() {
+            while best[i] != 0 && runs < MAX_RUNS {
+                let v = best[i];
+                let mut done = true;
+                for cand_v in [v / 2, v - 1] {
+                    let mut cand = best.clone();
+                    cand[i] = cand_v;
+                    if let Some(m) = fails(&cand, &mut runs) {
+                        best = cand;
+                        best_msg = m;
+                        improved = true;
+                        done = false;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        // Drop trailing zeros — replay-exhausted draws are zero anyway.
+        while best.last() == Some(&0) {
+            best.pop();
+        }
+        if !improved || runs >= MAX_RUNS {
+            break;
+        }
+    }
+    Shrunk {
+        choices: best,
+        message: best_msg,
+        runs,
+    }
+}
+
 /// Everything a test file needs.
 pub mod prelude {
     pub use crate::{
@@ -385,21 +561,173 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            let run_one = |rng: &mut $crate::TestRng|
+                -> ::std::result::Result<(), $crate::TestCaseError> {
+                $(let $pat = $crate::Strategy::generate(&($strat), rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            };
+            if let ::std::option::Option::Some(choices) = $crate::replay_request(full_name) {
+                let mut rng = $crate::TestRng::from_choices(choices);
+                match run_one(&mut rng) {
+                    ::std::result::Result::Ok(()) => return,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        panic!("proptest {} replay: inputs rejected by prop_assume", stringify!($name))
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} replay failed: {}", stringify!($name), msg)
+                    }
+                }
+            }
+            let mut rng = $crate::TestRng::from_name(full_name);
             for case in 0..config.cases {
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
+                rng.begin_record();
+                let outcome = run_one(&mut rng);
+                let choices = rng.end_record();
                 match outcome {
                     ::std::result::Result::Ok(()) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("proptest {} failed at case {}: {}", stringify!($name), case, msg)
+                        let shrunk = $crate::shrink_case(choices, msg, run_one);
+                        panic!(
+                            "proptest {name} failed at case {case}, minimized in {runs} shrink runs: {msg}\n\
+                             replay with: PROPTEST_REPLAY='{full}:{seed}' cargo test {name}",
+                            name = stringify!($name),
+                            case = case,
+                            runs = shrunk.runs,
+                            msg = shrunk.message,
+                            full = full_name,
+                            seed = $crate::encode_choices(&shrunk.choices),
+                        )
                     }
                 }
             }
         }
     )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_encoding_roundtrips() {
+        for seq in [vec![], vec![0], vec![1, 0xdead_beef, u64::MAX]] {
+            assert_eq!(decode_choices(&encode_choices(&seq)).unwrap(), seq);
+        }
+        assert!(decode_choices("xyz").is_none());
+    }
+
+    #[test]
+    fn replay_rng_yields_choices_then_zeros() {
+        let mut rng = TestRng::from_choices(vec![7, 9]);
+        assert_eq!(rng.next_u64(), 7);
+        assert_eq!(rng.next_u64(), 9);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn recording_captures_draws() {
+        let mut rng = TestRng::new(42);
+        rng.begin_record();
+        let a = rng.next_u64();
+        let b = rng.below(100);
+        let rec = rng.end_record();
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec[0], a);
+        assert_eq!(rec[1] % 100, b);
+    }
+
+    #[test]
+    fn shrink_finds_minimal_integer_counterexample() {
+        // Property: x < 500 over x in 0..=10_000. Minimal counterexample
+        // is x == 500; shrinking the raw draw must land exactly there.
+        let strat = 0u64..=10_000;
+        let run = |rng: &mut TestRng| -> Result<(), TestCaseError> {
+            let x = strat.generate(rng);
+            if x >= 500 {
+                return Err(TestCaseError::Fail(format!("x = {x}")));
+            }
+            Ok(())
+        };
+        // Find a failing draw the same way the runner does.
+        let mut rng = TestRng::new(1);
+        let (choices, msg) = loop {
+            rng.begin_record();
+            let out = run(&mut rng);
+            let rec = rng.end_record();
+            if let Err(TestCaseError::Fail(m)) = out {
+                break (rec, m);
+            }
+        };
+        let shrunk = shrink_case(choices, msg, run);
+        let mut replay = TestRng::from_choices(shrunk.choices.clone());
+        assert_eq!(strat.generate(&mut replay), 500, "minimal counterexample");
+        assert_eq!(shrunk.message, "x = 500");
+    }
+
+    #[test]
+    fn shrink_minimizes_vec_length_and_elements() {
+        // Property: the sum of the vec is < 10. A minimal counterexample
+        // is a single element of value 10 (lengths shrink toward the
+        // minimum, elements toward zero).
+        let strat = collection::vec(0u64..=1000, 1..=8);
+        let run = |rng: &mut TestRng| -> Result<(), TestCaseError> {
+            let v = strat.generate(rng);
+            if v.iter().sum::<u64>() >= 10 {
+                return Err(TestCaseError::Fail(format!("{v:?}")));
+            }
+            Ok(())
+        };
+        let mut rng = TestRng::new(2);
+        let (choices, msg) = loop {
+            rng.begin_record();
+            let out = run(&mut rng);
+            let rec = rng.end_record();
+            if let Err(TestCaseError::Fail(m)) = out {
+                break (rec, m);
+            }
+        };
+        let shrunk = shrink_case(choices, msg, run);
+        let mut replay = TestRng::from_choices(shrunk.choices.clone());
+        let v = strat.generate(&mut replay);
+        assert_eq!(v.len(), 1, "length must shrink to the minimum: {v:?}");
+        assert_eq!(v[0], 10, "element must shrink to the boundary: {v:?}");
+    }
+
+    #[test]
+    fn shrink_works_through_prop_map() {
+        // Values only reachable through a map: shrinking operates on the
+        // underlying draws, so the mapped minimum (40 = 4 * 10) is found.
+        let strat = (0u64..=100).prop_map(|x| x * 4);
+        let run = |rng: &mut TestRng| -> Result<(), TestCaseError> {
+            let x = strat.generate(rng);
+            if x >= 40 {
+                return Err(TestCaseError::Fail(format!("x = {x}")));
+            }
+            Ok(())
+        };
+        let mut rng = TestRng::new(3);
+        let (choices, msg) = loop {
+            rng.begin_record();
+            let out = run(&mut rng);
+            let rec = rng.end_record();
+            if let Err(TestCaseError::Fail(m)) = out {
+                break (rec, m);
+            }
+        };
+        let shrunk = shrink_case(choices, msg, run);
+        let mut replay = TestRng::from_choices(shrunk.choices.clone());
+        assert_eq!(strat.generate(&mut replay), 40);
+    }
+
+    #[test]
+    fn replay_request_matches_name_forms() {
+        // No env var set in unit tests: only exercise the parser via the
+        // name-matching logic through decode; full match is covered by the
+        // integration path. Guard that absent env yields None.
+        assert!(replay_request("some::module::test_name").is_none());
+    }
 }
