@@ -232,28 +232,44 @@ pub fn parse_profile(text: &str) -> Result<RunProfile, String> {
 // The predicted per-hop arrival-curve envelope.
 // ---------------------------------------------------------------------------
 
-/// One gateway's contribution to a hop it crosses: at most `flits` flits
-/// per block, block bursts spaced at least `spacing` cycles apart, plus a
+/// One chain segment's contribution to a hop it crosses: at most `flits`
+/// flits per block burst, flits within a burst at least `pace` cycles
+/// apart, block bursts spaced at least `spacing` cycles apart, plus a
 /// window-independent `slack` (credit-ring initial stock).
 #[derive(Clone, Copy, Debug)]
 struct HopTerm {
     flits: u64,
     spacing: u64,
+    pace: u64,
     slack: u64,
 }
 
 /// The analyzer-predicted arrival-curve envelope per ring hop, derived
-/// from the spec alone (no measurements): gateway `g`'s blocks put at most
-/// `max_s max(η_in, η_out)` flits per block on any hop of its path, block
-/// bursts are spaced at least `min_s (η_in − 1)·ε + min_s R_s` apart
-/// (blocks on one chain are serial: a block's flits are all issued within
-/// its τ window, and the next block reconfigures before its first flit),
-/// and a window of Δ cycles can intersect at most
-/// `⌊(Δ + 2·nodes)/spacing⌋ + 2` bursts — the `2·nodes` absorbs ring
-/// transit spreading a burst's crossings around its issue window. Credit
-/// hops mirror the data terms (one credit per data flit) with
-/// `ni_depth·(chain_len + 1)` slack for the initial credit stock of the
-/// chain's links. Every bound is additionally capped by the physical
+/// from the spec alone (no measurements). Each hop collects one term per
+/// chain *segment* crossing it, and each term models that segment's own
+/// pacing rather than a per-gateway maximum:
+///
+/// * **flits per burst** — what the segment actually carries per block:
+///   η_in on the entry segment, η_out on the last-accelerator→exit
+///   segment, `max(η_in, η_out)` on interior segments (the decimation or
+///   expansion stage is not pinned down by the spec);
+/// * **intra-burst pace** — consecutive flits on a segment are at least
+///   `pace` cycles apart: ε on the entry segment (the DMA is ε-paced),
+///   `max(ρ, 1)` of the forwarding stage on later segments (a stage
+///   consumes — and therefore forwards — at most once per `max(ρ, 1)`
+///   cycles). Credit hops mirror one credit per data flit at the pace of
+///   the *receiving* side: `max(ρ, 1)` of the consuming stage, `max(δ, 1)`
+///   for the exit gateway's copies. A Δ-cycle window therefore sees at
+///   most `(Δ + 2·nodes)/pace + 1` flits of one burst, the `2·nodes`
+///   absorbing injection jitter from slot contention;
+/// * **burst spacing** — block bursts are at least
+///   `min_s (η_in − 1)·ε + min_s R_s` apart (blocks on one chain are
+///   serial and reconfigure in between), so a Δ-window intersects at most
+///   `⌊(Δ + 2·nodes)/spacing⌋ + 2` bursts;
+/// * **slack** — credit terms add `ni_depth·(chain_len + 1)` for the
+///   chain links' initial credit stock.
+///
+/// Every bound is additionally capped by the physical
 /// one-flit-per-hop-per-cycle limit.
 #[derive(Clone, Debug)]
 pub struct RingEnvelope {
@@ -274,12 +290,8 @@ impl RingEnvelope {
             if v.streams.is_empty() || v.chain.is_empty() {
                 continue;
             }
-            let flits = v
-                .streams
-                .iter()
-                .map(|s| s.eta_in.max(s.eta_out))
-                .max()
-                .unwrap_or(0);
+            let eta_in = v.streams.iter().map(|s| s.eta_in).max().unwrap_or(0);
+            let eta_out = v.streams.iter().map(|s| s.eta_out).max().unwrap_or(0);
             let spacing = (v
                 .streams
                 .iter()
@@ -289,29 +301,42 @@ impl RingEnvelope {
                 + v.streams.iter().map(|s| s.reconfig).min().unwrap_or(0))
             .max(1);
             let credit_slack = spec.ni_depth as u64 * (v.chain.len() as u64 + 1);
-            let mut data_hops: Vec<usize> = Vec::new();
-            let mut credit_hops: Vec<usize> = Vec::new();
-            for &(src, dst) in &layout.segments(v.index) {
-                data_hops.extend(layout.data_hops(src, dst));
-                credit_hops.extend(layout.credit_hops(src, dst));
-            }
-            data_hops.sort_unstable();
-            data_hops.dedup();
-            credit_hops.sort_unstable();
-            credit_hops.dedup();
-            for h in data_hops {
-                data_terms[h].push(HopTerm {
-                    flits,
-                    spacing,
-                    slack: 0,
-                });
-            }
-            for h in credit_hops {
-                credit_terms[h].push(HopTerm {
-                    flits,
-                    spacing,
-                    slack: credit_slack,
-                });
+            let segs = layout.segments(v.index);
+            let last = segs.len() - 1;
+            for (k, &(src, dst)) in segs.iter().enumerate() {
+                let flits = if k == 0 {
+                    eta_in
+                } else if k == last {
+                    eta_out
+                } else {
+                    eta_in.max(eta_out)
+                };
+                let data_pace = if k == 0 {
+                    spec.epsilon.max(1)
+                } else {
+                    v.chain[k - 1].rho.max(1)
+                };
+                let credit_pace = if k == last {
+                    spec.delta.max(1)
+                } else {
+                    v.chain[k].rho.max(1)
+                };
+                for h in layout.data_hops(src, dst) {
+                    data_terms[h].push(HopTerm {
+                        flits,
+                        spacing,
+                        pace: data_pace,
+                        slack: 0,
+                    });
+                }
+                for h in layout.credit_hops(src, dst) {
+                    credit_terms[h].push(HopTerm {
+                        flits,
+                        spacing,
+                        pace: credit_pace,
+                        slack: credit_slack,
+                    });
+                }
             }
         }
         RingEnvelope {
@@ -322,11 +347,13 @@ impl RingEnvelope {
     }
 
     fn bound(&self, terms: &[HopTerm], delta: u64) -> u64 {
+        let jitter = 2 * self.nodes as u64;
         let sum: u64 = terms
             .iter()
             .map(|t| {
-                let bursts = (delta + 2 * self.nodes as u64) / t.spacing + 2;
-                t.flits * bursts + t.slack
+                let bursts = (delta + jitter) / t.spacing + 2;
+                let per_burst = t.flits.min((delta + jitter) / t.pace + 1);
+                per_burst * bursts + t.slack
             })
             .sum();
         sum.min(delta)
@@ -642,6 +669,29 @@ mod tests {
         assert_eq!(env.credit_bound(0, 1_000), 0);
         assert!(env.credit_bound(1, 1_000) > 0);
         assert!(env.credit_bound(2, 1_000) > 0);
+    }
+
+    #[test]
+    fn envelope_pacing_tightens_mid_windows() {
+        // pal-scaled: entry hop 0 is fed by the ε-paced DMA (ε = 15), so a
+        // mid-size window must be bounded well below both the physical cap
+        // and the block size — the old per-gateway-max model saturated at
+        // the Δ cap here.
+        let spec = DeploySpec::pal_scaled();
+        assert!(spec.epsilon >= 8, "test premise: a coarse DMA pace");
+        let env = RingEnvelope::of(&spec);
+        let b = env.data_bound(0, 1_000);
+        assert!(b > 0);
+        assert!(
+            b < 500,
+            "ε-paced entry hop should admit ≪ Δ flits per window, got {b}"
+        );
+        // The exit segment carries η_out (8:1 decimated), so its hop's
+        // per-burst budget is smaller than the entry segment's η_in.
+        let layout = spec.ring_layout();
+        let exit_hop = layout.chain_nodes[0][1]; // last accel → exit
+        let big = 1 << 22;
+        assert!(env.data_bound(exit_hop, big) < env.data_bound(0, big));
     }
 
     #[test]

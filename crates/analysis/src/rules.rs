@@ -1339,6 +1339,7 @@ mod tests {
             processors: vec![],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         }
     }
 
@@ -1486,6 +1487,7 @@ mod tests {
             processors: vec![],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         };
         let r = analyze(&s);
         assert!(
@@ -1615,6 +1617,7 @@ mod tests {
             processors: vec![],
             gateways: vec![gw(0), gw(1)],
             config_bus_period: None,
+            station_map: None,
         }
     }
 

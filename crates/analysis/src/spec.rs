@@ -91,6 +91,26 @@ pub struct GatewayDeploy {
     pub config_slot: Option<(u64, u64)>,
 }
 
+/// A user-chosen ring placement overriding the default interleaved
+/// [`DeploySpec::ring_layout`]: the total station count plus, per gateway,
+/// its entry station, exit station, and chain stations in chain order.
+/// Gateways sharing a chain must list identical chain stations (they alias
+/// the same physical tiles). Link-id assignment is not part of the map —
+/// it stays the deterministic scheme of [`RingLayout`], which never
+/// depends on where stations sit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StationMap {
+    /// Total ring stations (may exceed the number of placed tiles; spare
+    /// stations are plain forwarding hops).
+    pub nodes: usize,
+    /// Entry station per gateway, in gateway order.
+    pub entries: Vec<usize>,
+    /// Exit station per gateway, in gateway order.
+    pub exits: Vec<usize>,
+    /// Accelerator stations per gateway, in chain order.
+    pub chain_nodes: Vec<Vec<usize>>,
+}
+
 /// A complete static deployment description — the analyzer input.
 ///
 /// Two shapes share this type:
@@ -127,6 +147,9 @@ pub struct DeploySpec {
     /// cycles — the frame the per-gateway [`GatewayDeploy::config_slot`]s
     /// live in (rule A9).
     pub config_bus_period: Option<u64>,
+    /// User-chosen ring placement; `None` selects the default interleaved
+    /// layout. Validated by [`DeploySpec::gateway_structure_errors`].
+    pub station_map: Option<StationMap>,
 }
 
 /// A uniform per-gateway view over both [`DeploySpec`] shapes: rules that
@@ -386,23 +409,79 @@ impl DeploySpec {
                 "multi-gateway specs must leave the top-level chain/streams empty".into(),
             ));
         }
+        if let Some(m) = &self.station_map {
+            self.station_map_errors(m, &mut out);
+        }
         out
     }
 
-    /// The deterministic ring placement of this deployment (any shape).
+    /// Validate a user [`StationMap`] against this spec's gateway shapes,
+    /// appending `(gateway index, message)` defects to `out`.
+    fn station_map_errors(&self, m: &StationMap, out: &mut Vec<(usize, String)>) {
+        let views = self.gateway_views();
+        let g = views.len();
+        if m.entries.len() != g || m.exits.len() != g || m.chain_nodes.len() != g {
+            out.push((
+                0,
+                format!(
+                    "station_map shape mismatch: {} gateways but {} entries, \
+                     {} exits, {} chain lists",
+                    g,
+                    m.entries.len(),
+                    m.exits.len(),
+                    m.chain_nodes.len()
+                ),
+            ));
+            return;
+        }
+        let mut used: Vec<usize> = Vec::new();
+        for v in &views {
+            if m.chain_nodes[v.index].len() != v.chain.len() {
+                out.push((
+                    v.index,
+                    format!(
+                        "station_map lists {} chain stations for a {}-stage chain",
+                        m.chain_nodes[v.index].len(),
+                        v.chain.len()
+                    ),
+                ));
+                continue;
+            }
+            if v.group != v.index && m.chain_nodes[v.index] != m.chain_nodes[v.group] {
+                out.push((
+                    v.index,
+                    format!(
+                        "station_map must alias the shared chain's stations of gateway {}",
+                        v.group
+                    ),
+                ));
+            }
+            let mut placed = vec![m.entries[v.index], m.exits[v.index]];
+            if v.group == v.index {
+                placed.extend(&m.chain_nodes[v.index]);
+            }
+            for &s in &placed {
+                if s >= m.nodes {
+                    out.push((
+                        v.index,
+                        format!("station_map places station {s} outside 0..{}", m.nodes),
+                    ));
+                } else if used.contains(&s) {
+                    out.push((v.index, format!("station_map reuses station {s}")));
+                } else {
+                    used.push(s);
+                }
+            }
+        }
+    }
+
+    /// The ring placement of this deployment (any shape): the user
+    /// [`DeploySpec::station_map`] when one is set and well-formed, the
+    /// deterministic interleaved placement otherwise.
     pub fn ring_layout(&self) -> RingLayout {
         let views = self.gateway_views();
         let g = views.len();
-        let mut next = g;
-        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); g];
-        for v in &views {
-            if v.group == v.index {
-                owned[v.index] = (next..next + v.chain.len()).collect();
-                next += v.chain.len();
-            }
-        }
-        let chain_nodes: Vec<Vec<usize>> = views.iter().map(|v| owned[v.group].clone()).collect();
-        let mid_links = views
+        let mid_links: Vec<Vec<u32>> = views
             .iter()
             .map(|v| {
                 assert!(
@@ -414,13 +493,45 @@ impl DeploySpec {
                     .collect()
             })
             .collect();
+        let in_links: Vec<u32> = (0..g).map(|i| 2 * i as u32).collect();
+        let out_links: Vec<u32> = (0..g).map(|i| 2 * i as u32 + 1).collect();
+        if let Some(m) = &self.station_map {
+            let mut errs = Vec::new();
+            self.station_map_errors(m, &mut errs);
+            if errs.is_empty() {
+                // The group's owner places the chain; sharers alias it
+                // (validation already forced the lists equal).
+                let chain_nodes = views
+                    .iter()
+                    .map(|v| m.chain_nodes[v.group].clone())
+                    .collect();
+                return RingLayout {
+                    nodes: m.nodes,
+                    entries: m.entries.clone(),
+                    exits: m.exits.clone(),
+                    chain_nodes,
+                    in_links,
+                    out_links,
+                    mid_links,
+                };
+            }
+        }
+        let mut next = g;
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); g];
+        for v in &views {
+            if v.group == v.index {
+                owned[v.index] = (next..next + v.chain.len()).collect();
+                next += v.chain.len();
+            }
+        }
+        let chain_nodes: Vec<Vec<usize>> = views.iter().map(|v| owned[v.group].clone()).collect();
         RingLayout {
             nodes: next + g,
             entries: (0..g).collect(),
             exits: (0..g).map(|i| next + i).collect(),
             chain_nodes,
-            in_links: (0..g).map(|i| 2 * i as u32).collect(),
-            out_links: (0..g).map(|i| 2 * i as u32 + 1).collect(),
+            in_links,
+            out_links,
             mid_links,
         }
     }
@@ -544,6 +655,21 @@ impl DeploySpec {
         if let Some(p) = self.config_bus_period {
             top.push(("config_bus_period", Json::Int(p as i128)));
         }
+        if let Some(m) = &self.station_map {
+            let arr = |v: &[usize]| Json::Array(v.iter().map(|&s| Json::Int(s as i128)).collect());
+            top.push((
+                "station_map",
+                Json::obj(vec![
+                    ("nodes", Json::Int(m.nodes as i128)),
+                    ("entries", arr(&m.entries)),
+                    ("exits", arr(&m.exits)),
+                    (
+                        "chain_nodes",
+                        Json::Array(m.chain_nodes.iter().map(|c| arr(c)).collect()),
+                    ),
+                ]),
+            ));
+        }
         Json::obj(top)
     }
 
@@ -615,6 +741,37 @@ impl DeploySpec {
                 })
                 .collect::<Result<_, String>>()?,
         };
+        let station_map = match v.get("station_map") {
+            None => None,
+            Some(m) => {
+                let list = |k: &str| -> Result<Vec<usize>, String> {
+                    m.get(k)
+                        .and_then(Json::as_array)
+                        .ok_or_else(|| format!("station_map without {k} array"))?
+                        .iter()
+                        .map(|s| s.as_u64().map(|x| x as usize).ok_or("bad station".into()))
+                        .collect()
+                };
+                Some(StationMap {
+                    nodes: j_u64(m, "nodes")? as usize,
+                    entries: list("entries")?,
+                    exits: list("exits")?,
+                    chain_nodes: m
+                        .get("chain_nodes")
+                        .and_then(Json::as_array)
+                        .ok_or("station_map without chain_nodes array")?
+                        .iter()
+                        .map(|c| {
+                            c.as_array()
+                                .ok_or("chain_nodes entry must be an array")?
+                                .iter()
+                                .map(|s| s.as_u64().map(|x| x as usize).ok_or("bad station".into()))
+                                .collect()
+                        })
+                        .collect::<Result<_, String>>()?,
+                })
+            }
+        };
         Ok(DeploySpec {
             name: j_str(&v, "name")?,
             chain,
@@ -629,6 +786,7 @@ impl DeploySpec {
             processors,
             gateways,
             config_bus_period: v.get("config_bus_period").and_then(Json::as_u64),
+            station_map,
         })
     }
 }
@@ -760,6 +918,7 @@ impl DeploySpec {
             processors: vec![],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         }
     }
 
@@ -797,6 +956,7 @@ impl DeploySpec {
             processors: vec![],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         }
     }
 
@@ -875,6 +1035,7 @@ impl DeploySpec {
             ],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         }
     }
 
@@ -949,6 +1110,7 @@ impl DeploySpec {
                 },
             ],
             config_bus_period: Some(2 * cfg.reconfig),
+            station_map: None,
         }
     }
 
@@ -1184,6 +1346,101 @@ mod tests {
         // Dangling and forward references are reported, not resolved.
         spec.gateways[1].shares_chain_with = Some(5);
         assert!(!spec.gateway_structure_errors().is_empty());
+    }
+
+    /// pal2 with the two pairs' stations deliberately scrambled (and two
+    /// spare forwarding stations), so paths wrap and cross differently
+    /// from the interleaved default.
+    fn pal2_mapped() -> DeploySpec {
+        let mut spec = DeploySpec::pal2();
+        spec.station_map = Some(StationMap {
+            nodes: 8,
+            entries: vec![5, 0],
+            exits: vec![1, 3],
+            chain_nodes: vec![vec![6], vec![2]],
+        });
+        spec
+    }
+
+    #[test]
+    fn station_map_roundtrips_and_overrides_layout() {
+        let spec = pal2_mapped();
+        assert!(spec.gateway_structure_errors().is_empty());
+        let text = spec.to_json_text();
+        let back = DeploySpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_text(), text);
+
+        let layout = spec.ring_layout();
+        assert_eq!(layout.nodes, 8);
+        assert_eq!(layout.entries, vec![5, 0]);
+        assert_eq!(layout.chain_nodes, vec![vec![6], vec![2]]);
+        assert_eq!(layout.exits, vec![1, 3]);
+        // Gateway 0's entry segment wraps 5 → 6; its exit segment 6 → 1
+        // crosses the spare station 7 and both of gateway 1's end stations.
+        assert_eq!(layout.segments(0), vec![(5, 6), (6, 1)]);
+        assert_eq!(layout.data_hops(6, 1), vec![6, 7, 0]);
+        // Link ids stay the placement-independent scheme.
+        assert_eq!(layout.in_links, vec![0, 2]);
+        assert_eq!(layout.out_links, vec![1, 3]);
+    }
+
+    #[test]
+    fn station_map_defects_reported_not_built() {
+        // Station reuse across pairs.
+        let mut spec = pal2_mapped();
+        spec.station_map.as_mut().unwrap().entries[1] = 5;
+        assert!(!spec.gateway_structure_errors().is_empty());
+        // An invalid map never silently half-applies: the layout falls
+        // back to the interleaved placement.
+        assert_eq!(spec.ring_layout(), DeploySpec::pal2().ring_layout());
+
+        // Station outside the ring.
+        let mut spec = pal2_mapped();
+        spec.station_map.as_mut().unwrap().chain_nodes[0] = vec![8];
+        assert!(!spec.gateway_structure_errors().is_empty());
+
+        // Chain-station count must match the chain.
+        let mut spec = pal2_mapped();
+        spec.station_map.as_mut().unwrap().chain_nodes[1] = vec![2, 4];
+        assert!(!spec.gateway_structure_errors().is_empty());
+
+        // A sharer must alias the owner's chain stations.
+        let mut spec = pal2_mapped();
+        spec.gateways[1].chain = vec![];
+        spec.gateways[1].shares_chain_with = Some(0);
+        spec.station_map.as_mut().unwrap().chain_nodes = vec![vec![6], vec![2]];
+        assert!(!spec.gateway_structure_errors().is_empty());
+        spec.station_map.as_mut().unwrap().chain_nodes = vec![vec![6], vec![6]];
+        assert!(spec.gateway_structure_errors().is_empty());
+        let layout = spec.ring_layout();
+        assert_eq!(layout.chain_nodes[0], layout.chain_nodes[1]);
+    }
+
+    #[test]
+    fn station_mapped_platform_matches_interleaved_behaviour() {
+        // The placement moves stations, not semantics: the same deployment
+        // built on the scrambled map must move exactly the same samples.
+        let run = |spec: &DeploySpec| {
+            let mut built = spec.build_multi_platform();
+            for (g, v) in spec.gateway_views().iter().enumerate() {
+                for (s, st) in v.streams.iter().enumerate() {
+                    for k in 0..st.eta_in {
+                        let f = built.inputs[g][s];
+                        built.system.fifos[f.0].try_push((k as f64, 0.0), 0);
+                    }
+                }
+            }
+            built.system.run(200_000);
+            let popped: Vec<u64> = built
+                .outputs
+                .iter()
+                .flatten()
+                .map(|o| built.system.fifos[o.0].pushed)
+                .collect();
+            popped
+        };
+        assert_eq!(run(&DeploySpec::pal2()), run(&pal2_mapped()));
     }
 
     #[test]

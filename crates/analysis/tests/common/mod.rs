@@ -100,6 +100,7 @@ pub fn random_clean_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
         processors: vec![],
         gateways: vec![],
         config_bus_period: None,
+        station_map: None,
     }
 }
 
@@ -171,6 +172,7 @@ pub fn random_multi_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
         processors: vec![],
         gateways,
         config_bus_period: None,
+        station_map: None,
     };
     // The credit window ni_depth·c0 must cover each pair's 2·distance ring
     // round trip (layout-aware A6) — size the NI for the worst pair, plus

@@ -43,6 +43,7 @@ fn baseline() -> DeploySpec {
         processors: vec![],
         gateways: vec![],
         config_bus_period: None,
+        station_map: None,
     }
 }
 
@@ -185,6 +186,7 @@ fn multi_baseline() -> DeploySpec {
         processors: vec![],
         gateways: vec![gw(0, Rational::new(1, 20)), gw(1, Rational::new(1, 20))],
         config_bus_period: None,
+        station_map: None,
     }
 }
 

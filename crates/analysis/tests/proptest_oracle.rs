@@ -88,6 +88,7 @@ fn spec_of(raw: &RawDeploy) -> DeploySpec {
         processors: vec![],
         gateways: vec![],
         config_bus_period: None,
+        station_map: None,
     }
 }
 

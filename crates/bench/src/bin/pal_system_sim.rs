@@ -46,6 +46,49 @@ fn simulate(
     (pal, t0.elapsed().as_secs_f64())
 }
 
+/// Per-phase cycle accounting of one finished system: how each tile class
+/// spent the budget (gateway idle/reconfig/DMA, accelerator busy, processor
+/// busy) plus the engine's own cycle classes. The exhaustive and event
+/// engines must agree on every tile-level figure — only the engine stats
+/// (how the clock was advanced) may differ.
+fn accounting_json(sys: &streamgate_platform::System) -> String {
+    let gws: Vec<String> = sys
+        .gateways
+        .iter()
+        .map(|g| {
+            format!(
+                "{{\"idle_cycles\": {}, \"reconfig_cycles\": {}, \"dma_busy_cycles\": {}}}",
+                g.idle_cycles, g.reconfig_cycles_total, g.dma_busy_cycles
+            )
+        })
+        .collect();
+    let accs: Vec<String> = sys
+        .accels
+        .iter()
+        .map(|a| {
+            format!(
+                "{{\"busy_cycles\": {}, \"samples_in\": {}, \"samples_out\": {}}}",
+                a.busy_cycles, a.samples_in, a.samples_out
+            )
+        })
+        .collect();
+    let procs: Vec<String> = sys
+        .processors
+        .iter()
+        .map(|p| format!("{{\"busy_cycles\": {}}}", p.busy_cycles))
+        .collect();
+    let e = sys.engine_stats;
+    format!(
+        "{{\n      \"engine\": {{\"full_steps\": {}, \"ring_only_cycles\": {}, \"skipped_cycles\": {}}},\n      \"gateways\": [{}],\n      \"accelerators\": [{}],\n      \"processors\": [{}]\n    }}",
+        e.full_steps,
+        e.ring_only_cycles,
+        e.skipped_cycles,
+        gws.join(", "),
+        accs.join(", "),
+        procs.join(", "),
+    )
+}
+
 fn mode_json(wall: f64, cycles: u64, stats: streamgate_platform::EngineStats) -> String {
     format!(
         "{{\"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.0}, \"full_steps\": {}, \"ring_only_cycles\": {}, \"skipped_cycles\": {}}}",
@@ -283,6 +326,43 @@ fn main() {
             std::process::exit(1);
         }
         println!("benchmark results written to {path}");
+
+        if let Some(acct_path) = &args.accounting_json {
+            let se = &pal_ev.system;
+            let sx = &pal_ex.system;
+            let identical = se.gateways.iter().zip(&sx.gateways).all(|(a, b)| {
+                a.idle_cycles == b.idle_cycles
+                    && a.reconfig_cycles_total == b.reconfig_cycles_total
+                    && a.dma_busy_cycles == b.dma_busy_cycles
+            }) && se.accels.iter().zip(&sx.accels).all(|(a, b)| {
+                a.busy_cycles == b.busy_cycles
+                    && a.samples_in == b.samples_in
+                    && a.samples_out == b.samples_out
+            }) && se
+                .processors
+                .iter()
+                .zip(&sx.processors)
+                .all(|(a, b)| a.busy_cycles == b.busy_cycles);
+            let acct = format!(
+                "{{\n  \"bench\": \"pal_system_sim\",\n  \"cycles\": {cycles},\n  \"engines\": {{\n    \"event\": {},\n    \"exhaustive\": {}\n  }},\n  \"tile_accounting_identical\": {identical}\n}}\n",
+                accounting_json(se),
+                accounting_json(sx),
+            );
+            if let Err(e) = std::fs::write(acct_path, &acct) {
+                eprintln!("failed to write {acct_path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "per-phase cycle accounting written to {acct_path} (tile counters identical: {identical})"
+            );
+            assert!(
+                identical,
+                "exhaustive and event engines disagree on tile-level cycle accounting"
+            );
+        }
+    } else if args.accounting_json.is_some() {
+        eprintln!("--accounting-json requires --bench-json (it compares both engine runs)");
+        std::process::exit(2);
     }
 
     assert!(ok_rt, "real-time constraint violated");

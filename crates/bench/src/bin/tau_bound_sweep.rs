@@ -122,6 +122,7 @@ fn main() {
                 processors: vec![],
                 gateways: vec![],
                 config_bus_period: None,
+                station_map: None,
             };
             let report = streamgate_analysis::analyze(&spec);
             println!(

@@ -39,7 +39,10 @@ use streamgate_platform::StepMode;
 /// * `--profile <path>` — enable run profiling and write the measured
 ///   `RunProfile` (empirical arrival/service curves, τ/round/stall
 ///   distributions, buffer high-water marks) as deterministic JSON, ready
-///   for `streamgate-analyze --profile`.
+///   for `streamgate-analyze --profile`;
+/// * `--accounting-json <path>` — write the exhaustive-vs-event per-phase
+///   cycle accounting (gateway idle/reconfig/DMA, accelerator busy,
+///   processor busy) from the benchmark runs as machine-readable JSON.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -59,6 +62,8 @@ pub struct BenchArgs {
     pub analyze: bool,
     /// Measured-profile JSON output path (`--profile`).
     pub profile: Option<String>,
+    /// Per-phase cycle-accounting JSON output path (`--accounting-json`).
+    pub accounting_json: Option<String>,
 }
 
 /// Parse the shared experiment flags from `std::env::args()`.
@@ -70,7 +75,7 @@ pub fn parse_args() -> BenchArgs {
         eprintln!(
             "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
              [--mode exhaustive|event] [--bench-json <path>] [--analyze] \
-             [--profile <path>]"
+             [--profile <path>] [--accounting-json <path>]"
         );
         std::process::exit(2);
     })
@@ -96,6 +101,9 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
             "--trace" => out.trace = Some(take(&mut args, "--trace", inline)?),
             "--bench-json" => out.bench_json = Some(take(&mut args, "--bench-json", inline)?),
             "--profile" => out.profile = Some(take(&mut args, "--profile", inline)?),
+            "--accounting-json" => {
+                out.accounting_json = Some(take(&mut args, "--accounting-json", inline)?)
+            }
             "--cycles" => {
                 let v = take(&mut args, "--cycles", inline)?;
                 out.cycles = Some(v.parse().map_err(|_| format!("bad --cycles value {v:?}"))?);
@@ -235,6 +243,7 @@ mod tests {
             "--bench-json=b.json",
             "--analyze",
             "--profile=p.json",
+            "--accounting-json=a.json",
         ])
         .unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
@@ -244,6 +253,7 @@ mod tests {
         assert_eq!(a.bench_json.as_deref(), Some("b.json"));
         assert!(a.analyze);
         assert_eq!(a.profile.as_deref(), Some("p.json"));
+        assert_eq!(a.accounting_json.as_deref(), Some("a.json"));
     }
 
     #[test]
@@ -261,6 +271,7 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--profile"]).is_err());
+        assert!(parse(&["--accounting-json"]).is_err());
         assert!(parse(&["--analyze=yes"]).is_err());
     }
 

@@ -165,6 +165,12 @@ impl SoftwareTask for FrontEndTask {
         debug_assert!(self.acc < self.den, "skipped past a production tick");
         0
     }
+    fn watched_fifos(&self) -> Option<Vec<usize>> {
+        Some(Vec::new()) // pacing is FIFO-independent (a full FIFO overruns)
+    }
+    fn touched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![self.out1, self.out2])
+    }
 }
 
 /// Configuration for [`build_pal_system`].

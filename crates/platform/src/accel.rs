@@ -31,6 +31,9 @@ pub struct AcceleratorTile {
     pub cycles_per_sample: u64,
     /// Busy until this cycle (exclusive).
     busy_until: u64,
+    /// Latest cycle fully accounted by closed-form cascade commits
+    /// (see [`AcceleratorTile::fused_covered`]).
+    fused_covered: u64,
     /// Output sample waiting for a credit.
     pending_out: Option<Sample>,
     /// Total busy cycles (for utilisation reports).
@@ -64,6 +67,7 @@ impl AcceleratorTile {
             kernel: None,
             cycles_per_sample,
             busy_until: 0,
+            fused_covered: 0,
             pending_out: None,
             busy_cycles: 0,
             samples_in: 0,
@@ -171,6 +175,145 @@ impl AcceleratorTile {
             // in pending_out and the forward happens on/after busy_until.
             self.pending_out = Some(out);
         }
+    }
+
+    /// Interval execution: perform every action [`AcceleratorTile::step`]
+    /// would take over the window `[from, to)` in closed form — consumes
+    /// every `cycles_per_sample`, each output forwarded on the following
+    /// cycle — committing ring traffic at the exact per-cycle timestamps
+    /// via the scheduled-send API. The caller (the span engine) guarantees
+    /// exclusive access to this tile's NI endpoints within the window and
+    /// that `ring.cycle() == from`.
+    ///
+    /// Returns `(covered, horizon)`: state and accounting are exactly what
+    /// `covered − from` per-cycle steps would have produced, and `horizon`
+    /// is the tile's next decision cycle (`≥ covered` unless the tile
+    /// degraded to per-cycle semantics on a credit stall, in which case
+    /// `horizon == covered` and the engine re-invokes next cycle, exactly
+    /// like the exhaustive polling loop).
+    pub fn run_span(&mut self, ring: &mut DualRing<Sample>, from: u64, to: u64) -> (u64, u64) {
+        debug_assert!(from < to);
+        debug_assert_eq!(ring.cycle(), from);
+        self.rx.poll_data(ring);
+        self.tx.poll_credits(ring);
+
+        // A sample finished before this window forwards at `from` (the
+        // attempt sits at the top of every per-cycle step).
+        let mut fired = false;
+        if self.pending_out.is_some() {
+            if self.tx.credits() == 0 {
+                // Blocked: this invocation is exactly the per-cycle step at
+                // `from` — busy accounting, then poll again next cycle.
+                if from < self.busy_until {
+                    self.busy_cycles += 1;
+                }
+                return (from + 1, from + 1);
+            }
+            let out = self.pending_out.take().expect("pending output");
+            let sent = self.tx.send_at(ring, out, from);
+            debug_assert!(sent);
+            self.samples_out += 1;
+            fired = true;
+        }
+
+        let mut t = from;
+        loop {
+            if self.kernel.is_none() || self.rx.is_empty() {
+                break;
+            }
+            // Next consume: first non-busy cycle at or after `t`.
+            let c = t.max(self.busy_until);
+            if c >= to {
+                break;
+            }
+            // Busy cycles between `t` and the consume accrue as the
+            // busy-wait arm of `step` would.
+            if t < self.busy_until {
+                self.busy_cycles += self.busy_until - t;
+            }
+            let s = self.rx.pop_at(ring, c).expect("non-empty rx");
+            self.samples_in += 1;
+            self.busy_until = c + self.cycles_per_sample;
+            self.busy_cycles += 1;
+            let kernel = self.kernel.as_mut().expect("kernel checked above");
+            if let Some(out) = kernel.process(s) {
+                // First forward attempt is the step after the consume. When
+                // that step falls outside this window (`c + 1 == to`, e.g.
+                // the end of the run), hold the output so the attempt is
+                // replayed per-cycle with fresh credit state.
+                if self.tx.credits() == 0 || c + 1 >= to {
+                    self.pending_out = Some(out);
+                    return (c + 1, c + 1);
+                }
+                let sent = self.tx.send_at(ring, out, c + 1);
+                debug_assert!(sent);
+                self.samples_out += 1;
+            }
+            t = c + 1;
+        }
+        // Claim only the cycles acted on. The trailing busy/idle tail is
+        // NOT covered: a sample can still arrive inside `[t, to)` (sent by
+        // a tile acting after this invocation), and per-cycle semantics
+        // consume it on its arrival cycle — the engine replays the tail's
+        // busy accounting through `skip` at the next invocation instead.
+        let covered = if t == from && fired {
+            // The entry forward was the only action; cycle `from` is
+            // committed, including its busy-wait accrual.
+            if from < self.busy_until {
+                self.busy_cycles += 1;
+            }
+            from + 1
+        } else {
+            t
+        };
+        (covered, self.horizon(covered))
+    }
+
+    /// Firing end of the in-flight (or last) firing — exclusive.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// Latest cycle through which closed-form cascade commits
+    /// ([`AcceleratorTile::fused_consume`]) have fully accounted this
+    /// tile: state, counters and committed ring traffic are exactly what
+    /// per-cycle stepping through that cycle would produce, so an engine
+    /// must clamp this tile's accounted-through marker here (invoking or
+    /// skip-replaying below it would double-count the fused firing).
+    pub fn fused_covered(&self) -> u64 {
+        self.fused_covered
+    }
+
+    /// Closed-form consume of a sample arriving at `arrival`, committed by
+    /// the entry gateway's cascade fusion: the per-cycle tile — idle, with
+    /// an installed kernel and an empty pipeline — polls the flit in at
+    /// `arrival` and consumes it that same cycle. Fires the kernel,
+    /// accounts the whole firing's busy window, and returns the kernel's
+    /// output (forwarded by the caller on cycle `arrival + 1`, exactly as
+    /// the per-cycle forward-first step order does).
+    pub fn fused_consume(&mut self, s: Sample, arrival: u64) -> Option<Sample> {
+        debug_assert!(self.rx.is_empty(), "fused consume past a buffered sample");
+        debug_assert!(
+            self.pending_out.is_none(),
+            "fused consume past a pending output"
+        );
+        debug_assert!(self.busy_until <= arrival, "fused consume mid-firing");
+        self.samples_in += 1;
+        self.busy_until = arrival + self.cycles_per_sample;
+        // Per-cycle accrual: +1 on the consume cycle, +1 per busy-wait
+        // cycle until `busy_until` — `ρ` total, or 1 for a 0-cycle kernel.
+        self.busy_cycles += self.cycles_per_sample.max(1);
+        self.fused_covered = self.fused_covered.max((arrival + 1).max(self.busy_until));
+        self.kernel
+            .as_mut()
+            .expect("fused consume without a kernel")
+            .process(s)
+    }
+
+    /// Bookkeeping for a forward committed in closed form by the cascade
+    /// (the credit take and wire accounting are the caller's).
+    pub fn fused_forward(&mut self) {
+        self.samples_out += 1;
     }
 
     /// Quiescence horizon: the earliest cycle `>= next` at which stepping

@@ -109,6 +109,14 @@ impl CFifo {
         self.capacity - self.buf.len()
     }
 
+    /// Mutation counter: bumps on every push *and* every pop. The span
+    /// engine snapshots this before invoking a tile and diffs afterwards
+    /// to find which FIFOs the tile touched (a push+pop pair can never
+    /// cancel — both raise the counter).
+    pub fn version(&self) -> u64 {
+        self.pushed + self.popped
+    }
+
     /// Push one sample at time `now`; `false` if full (caller must stall —
     /// this is the software flow-control condition).
     pub fn try_push(&mut self, s: Sample, now: u64) -> bool {

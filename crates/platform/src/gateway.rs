@@ -146,6 +146,17 @@ pub struct GatewayPair {
     /// NI buffer depth of the chain links (needed to rebuild boundary
     /// endpoints on a shared-chain claim).
     ni_depth: u32,
+    /// Cascade fusion enabled: every hop of this pair's geometry (entry →
+    /// chain → exit, data and credit rings) is distance-1 and its stations
+    /// are disjoint from every pair streaming over a different chain. Set
+    /// by the span engine before a span; with it, a DMA send can commit
+    /// its whole downstream cascade in closed form (`try_fused_send`).
+    pub fuse_ok: bool,
+    /// Samples ever fed into the chain (wire or fused), matched against
+    /// the first accelerator's consume counter: a difference means an
+    /// entry flit is still on the wire, and a fused commit must never
+    /// overtake it.
+    chain_fed: u64,
     streams: Vec<StreamConfig>,
     active: Option<usize>,
     rr_next: usize,
@@ -205,6 +216,8 @@ impl GatewayPair {
             trace_id: 0,
             shared_chain: false,
             ni_depth,
+            fuse_ok: false,
+            chain_fed: 0,
             streams: Vec::new(),
             active: None,
             rr_next: 0,
@@ -290,6 +303,175 @@ impl GatewayPair {
         (None, space_blocked)
     }
 
+    /// Commit an admission decision made at cycle `now`: configuration-bus
+    /// traffic (save/restore of kernel contexts), shared-chain claim, block
+    /// bookkeeping, and the transition into `Reconfig`. Shared between
+    /// [`GatewayPair::step`] and [`GatewayPair::run_span`].
+    fn admit_block(
+        &mut self,
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        idx: usize,
+        now: u64,
+    ) {
+        let gw = self.trace_id;
+        let switching = self.active != Some(idx);
+        let charge_reconfig = switching || self.reconfig_on_same_stream;
+        // Configuration bus: save the previous stream's kernel contexts,
+        // restore the next stream's.
+        if switching {
+            if let Some(prev) = self.active {
+                for (slot, acc) in self.chain.iter().enumerate() {
+                    let words = accels[acc.0].kernel_state_words() as u32;
+                    let k = accels[acc.0]
+                        .remove_kernel()
+                        .expect("active stream had kernels installed");
+                    self.streams[prev].kernels[slot] = Some(k);
+                    tracer.emit(|| TraceEvent::ConfigSave {
+                        gateway: gw,
+                        stream: prev as u32,
+                        accel: acc.0 as u32,
+                        cycle: now,
+                        words,
+                    });
+                }
+            }
+            if self.shared_chain {
+                // Claim: rewire the chain's boundary NI endpoints onto this
+                // pair's links. Safe — the chain is free (asserted in the
+                // retarget methods) and the previous owner's release waited
+                // for the exit link's credits to come home.
+                let first = self.chain[0].0;
+                let last = self.chain[self.chain.len() - 1].0;
+                let rx_stream = self.dma_tx.stream;
+                let tx_stream = self.exit_rx.stream;
+                accels[first].retarget_rx(now, self.entry_node, rx_stream, self.ni_depth);
+                accels[last].retarget_tx(now, self.exit_node, tx_stream, self.ni_depth);
+            }
+            for (slot, acc) in self.chain.iter().enumerate() {
+                let k = self.streams[idx].kernels[slot]
+                    .take()
+                    .expect("inactive stream owns its kernels");
+                let words = k.state_words() as u32;
+                accels[acc.0].install_kernel(k);
+                tracer.emit(|| TraceEvent::ConfigRestore {
+                    gateway: gw,
+                    stream: idx as u32,
+                    accel: acc.0 as u32,
+                    cycle: now,
+                    words,
+                });
+            }
+        }
+        self.active = Some(idx);
+        self.block_start = now;
+        self.block_received = 0;
+        self.block_dma_stall = 0;
+        self.block_exit_stall = 0;
+        let r = if charge_reconfig {
+            self.streams[idx].reconfig_cycles
+        } else {
+            0
+        };
+        self.reconfig_cycles_total += r;
+        self.block_reconfig_end = now + r;
+        tracer.emit(|| TraceEvent::BlockStart {
+            gateway: gw,
+            stream: idx as u32,
+            cycle: now,
+        });
+        if r > 0 {
+            tracer.emit(|| TraceEvent::ReconfigWindow {
+                gateway: gw,
+                stream: idx as u32,
+                start: now,
+                end: now + r,
+            });
+        }
+        self.state = GwState::Reconfig { until: now + r };
+    }
+
+    /// The `Draining` completion condition at cycle `now` (`last` is the
+    /// chain's final accelerator index). Uses *visible* credits — credits
+    /// that have come home by `now` — so it is exact even when the chain's
+    /// exit link committed future-scheduled sends in a span.
+    fn drained_at(&self, accels: &[AcceleratorTile], last: usize, now: u64) -> bool {
+        let active = self.active.expect("draining implies active");
+        self.block_received == self.streams[active].eta_out
+            // Anchor: never before the last exit copy's cycle
+            // (`exit_next − δ`). Vacuous per-cycle, where `exit_next` can
+            // never exceed `now + δ`; in the span engine it stops a
+            // delivery-driven re-invocation from completing a block before
+            // copies that were committed ahead of the clock.
+            && now + self.exit_cycles_per_sample >= self.exit_next
+            && self.chain.iter().all(|a| accels[a.0].is_drained(now))
+            && self.exit_rx.is_empty()
+            && (!self.shared_chain || accels[last].tx.credits_visible(now) == self.ni_depth)
+    }
+
+    /// Commit a block completion at cycle `now`: records, trace events,
+    /// round-robin advance, shared-chain release, and the transition back
+    /// to `Idle`. Shared between [`GatewayPair::step`] and
+    /// [`GatewayPair::run_span`].
+    fn complete_block(
+        &mut self,
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        active: usize,
+        now: u64,
+    ) {
+        let gw = self.trace_id;
+        self.streams[active].blocks_done += 1;
+        let record = BlockRecord {
+            stream: active,
+            start: self.block_start,
+            reconfig_end: self.block_reconfig_end,
+            stream_end: self.block_stream_end,
+            drain_end: now,
+            dma_stall: self.block_dma_stall,
+            exit_stall: self.block_exit_stall,
+        };
+        self.blocks.push(record);
+        tracer.emit(|| TraceEvent::DrainPhase {
+            gateway: gw,
+            stream: active as u32,
+            start: record.stream_end,
+            end: now,
+        });
+        tracer.emit(|| TraceEvent::BlockEnd {
+            gateway: gw,
+            stream: active as u32,
+            start: record.start,
+            reconfig_end: record.reconfig_end,
+            stream_end: record.stream_end,
+            drain_end: record.drain_end,
+            dma_stall: record.dma_stall,
+            exit_stall: record.exit_stall,
+        });
+        self.rr_next = (active + 1) % self.streams.len();
+        if self.shared_chain {
+            // Release: save the kernels back and free the chain for the
+            // next claimant. The next block — whoever admits it — always
+            // reinstalls and pays its full R, matching the analysis.
+            for (slot, acc) in self.chain.iter().enumerate() {
+                let words = accels[acc.0].kernel_state_words() as u32;
+                let k = accels[acc.0]
+                    .remove_kernel()
+                    .expect("chain owner had kernels installed");
+                self.streams[active].kernels[slot] = Some(k);
+                tracer.emit(|| TraceEvent::ConfigSave {
+                    gateway: gw,
+                    stream: active as u32,
+                    accel: acc.0 as u32,
+                    cycle: now,
+                    words,
+                });
+            }
+            self.active = None;
+        }
+        self.state = GwState::Idle;
+    }
+
     /// One clock cycle of the gateway controller. Structured events (block
     /// phases, stalls) are emitted into `tracer`; pass a disabled tracer for
     /// an untraced run (one branch per emission site).
@@ -350,94 +532,7 @@ impl GatewayPair {
                             tracer.stall_cycle(gw, StallCause::CheckForSpace, now);
                         }
                     }
-                    Some(idx) => {
-                        let switching = self.active != Some(idx);
-                        let charge_reconfig = switching || self.reconfig_on_same_stream;
-                        // Configuration bus: save the previous stream's
-                        // kernel contexts, restore the next stream's.
-                        if switching {
-                            if let Some(prev) = self.active {
-                                for (slot, acc) in self.chain.iter().enumerate() {
-                                    let words = accels[acc.0].kernel_state_words() as u32;
-                                    let k = accels[acc.0]
-                                        .remove_kernel()
-                                        .expect("active stream had kernels installed");
-                                    self.streams[prev].kernels[slot] = Some(k);
-                                    tracer.emit(|| TraceEvent::ConfigSave {
-                                        gateway: gw,
-                                        stream: prev as u32,
-                                        accel: acc.0 as u32,
-                                        cycle: now,
-                                        words,
-                                    });
-                                }
-                            }
-                            if self.shared_chain {
-                                // Claim: rewire the chain's boundary NI
-                                // endpoints onto this pair's links. Safe —
-                                // the chain is free (asserted in the
-                                // retarget methods) and the previous
-                                // owner's release waited for the exit
-                                // link's credits to come home.
-                                let first = self.chain[0].0;
-                                let last = self.chain[self.chain.len() - 1].0;
-                                let rx_stream = self.dma_tx.stream;
-                                let tx_stream = self.exit_rx.stream;
-                                accels[first].retarget_rx(
-                                    now,
-                                    self.entry_node,
-                                    rx_stream,
-                                    self.ni_depth,
-                                );
-                                accels[last].retarget_tx(
-                                    now,
-                                    self.exit_node,
-                                    tx_stream,
-                                    self.ni_depth,
-                                );
-                            }
-                            for (slot, acc) in self.chain.iter().enumerate() {
-                                let k = self.streams[idx].kernels[slot]
-                                    .take()
-                                    .expect("inactive stream owns its kernels");
-                                let words = k.state_words() as u32;
-                                accels[acc.0].install_kernel(k);
-                                tracer.emit(|| TraceEvent::ConfigRestore {
-                                    gateway: gw,
-                                    stream: idx as u32,
-                                    accel: acc.0 as u32,
-                                    cycle: now,
-                                    words,
-                                });
-                            }
-                        }
-                        self.active = Some(idx);
-                        self.block_start = now;
-                        self.block_received = 0;
-                        self.block_dma_stall = 0;
-                        self.block_exit_stall = 0;
-                        let r = if charge_reconfig {
-                            self.streams[idx].reconfig_cycles
-                        } else {
-                            0
-                        };
-                        self.reconfig_cycles_total += r;
-                        self.block_reconfig_end = now + r;
-                        tracer.emit(|| TraceEvent::BlockStart {
-                            gateway: gw,
-                            stream: idx as u32,
-                            cycle: now,
-                        });
-                        if r > 0 {
-                            tracer.emit(|| TraceEvent::ReconfigWindow {
-                                gateway: gw,
-                                stream: idx as u32,
-                                start: now,
-                                end: now + r,
-                            });
-                        }
-                        self.state = GwState::Reconfig { until: now + r };
-                    }
+                    Some(idx) => self.admit_block(accels, tracer, idx, now),
                 }
             }
             GwState::Reconfig { until } => {
@@ -470,6 +565,7 @@ impl GatewayPair {
                             .expect("admission guaranteed a full block");
                         let ok = self.dma_tx.try_send(ring, s);
                         debug_assert!(ok);
+                        self.chain_fed += 1;
                         self.dma_busy_cycles += self.dma_cycles_per_sample;
                         self.state = GwState::Streaming {
                             sent: sent + 1,
@@ -493,61 +589,9 @@ impl GatewayPair {
                     // so the owner polls for it.
                     accels[last].tx.poll_credits(ring);
                 }
-                let drained = self.block_received == self.streams[active].eta_out
-                    && self.chain.iter().all(|a| accels[a.0].is_drained(now))
-                    && self.exit_rx.is_empty()
-                    && (!self.shared_chain || accels[last].tx.credits() == self.ni_depth);
+                let drained = self.drained_at(accels, last, now);
                 if drained {
-                    self.streams[active].blocks_done += 1;
-                    let record = BlockRecord {
-                        stream: active,
-                        start: self.block_start,
-                        reconfig_end: self.block_reconfig_end,
-                        stream_end: self.block_stream_end,
-                        drain_end: now,
-                        dma_stall: self.block_dma_stall,
-                        exit_stall: self.block_exit_stall,
-                    };
-                    self.blocks.push(record);
-                    tracer.emit(|| TraceEvent::DrainPhase {
-                        gateway: gw,
-                        stream: active as u32,
-                        start: record.stream_end,
-                        end: now,
-                    });
-                    tracer.emit(|| TraceEvent::BlockEnd {
-                        gateway: gw,
-                        stream: active as u32,
-                        start: record.start,
-                        reconfig_end: record.reconfig_end,
-                        stream_end: record.stream_end,
-                        drain_end: record.drain_end,
-                        dma_stall: record.dma_stall,
-                        exit_stall: record.exit_stall,
-                    });
-                    self.rr_next = (active + 1) % self.streams.len();
-                    if self.shared_chain {
-                        // Release: save the kernels back and free the
-                        // chain for the next claimant. The next block —
-                        // whoever admits it — always reinstalls and pays
-                        // its full R, matching the analysis.
-                        for (slot, acc) in self.chain.iter().enumerate() {
-                            let words = accels[acc.0].kernel_state_words() as u32;
-                            let k = accels[acc.0]
-                                .remove_kernel()
-                                .expect("chain owner had kernels installed");
-                            self.streams[active].kernels[slot] = Some(k);
-                            tracer.emit(|| TraceEvent::ConfigSave {
-                                gateway: gw,
-                                stream: active as u32,
-                                accel: acc.0 as u32,
-                                cycle: now,
-                                words,
-                            });
-                        }
-                        self.active = None;
-                    }
-                    self.state = GwState::Idle;
+                    self.complete_block(accels, tracer, active, now);
                 }
             }
         }
@@ -584,7 +628,11 @@ impl GatewayPair {
             GwState::Streaming { sent, next_send } => {
                 let active = self.active.expect("streaming implies active");
                 if sent == self.streams[active].eta_in {
-                    next // transition to Draining
+                    // Transition to Draining, anchored one step after the
+                    // last send (`next` once the clock has passed it).
+                    (next_send + 1)
+                        .saturating_sub(self.dma_cycles_per_sample)
+                        .max(next)
                 } else {
                     // Next DMA send at `next_send`; if it then stalls on
                     // credits the horizon collapses to per-cycle stepping,
@@ -642,6 +690,413 @@ impl GatewayPair {
             if space_blocked {
                 tracer.stall_span(self.trace_id, StallCause::CheckForSpace, from, to);
             }
+        }
+    }
+
+    /// Bulk accounting for quiet cycles `[from, to)` in the span engine.
+    /// Unlike [`GatewayPair::skip`] this does not re-run the admission scan:
+    /// the span engine flushes lazily at the *wake* cycle, when a producer's
+    /// push may already be visible, so the scan could legitimately differ
+    /// from what it returned during the flushed cycles. Only `Idle` accrues
+    /// anything per cycle (untraced runs — the span engine's domain — have
+    /// no per-cycle stall attribution to replay).
+    pub fn skip_quiet(&mut self, from: u64, to: u64) {
+        debug_assert!(to > from);
+        if self.state == GwState::Idle {
+            self.idle_cycles += to - from;
+        }
+    }
+
+    /// FIFOs whose mutation *by another tile* can change this pair's
+    /// behaviour: stream inputs (admission scan, DMA source) and outputs
+    /// (admission space check, exit-copy space check).
+    pub fn watched_fifos(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = Vec::new();
+        for s in &self.streams {
+            v.push(s.input.0);
+            v.push(s.output.0);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// FIFOs this pair mutates: stream inputs (entry-DMA pops) and outputs
+    /// (exit-copy pushes).
+    pub fn touched_fifos(&self) -> Vec<usize> {
+        self.watched_fifos()
+    }
+
+    /// Advance this pair across `[from, to)` in closed form, committing the
+    /// same FIFO operations, ring traffic (as scheduled sends), counters and
+    /// trace timestamps that per-cycle stepping would. Returns
+    /// `(covered, horizon)`: cycles `[from, covered)` are fully accounted
+    /// for; the pair next needs attention at `horizon`.
+    ///
+    /// Exactness contract (guaranteed by the span engine): no other tile
+    /// acts and no ring flit is delivered within `[from, to)`, so C-FIFO
+    /// state, NI buffers and credit counters observed here are the values
+    /// per-cycle stepping would observe at every cycle of the window. The
+    /// span stops early — degrading to per-cycle semantics — at state
+    /// transitions, stalls, and after any cycle that mutated a FIFO some
+    /// other tile watches (`watched`), so cross-tile reactions happen on
+    /// their exact cycles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_span(
+        &mut self,
+        ring: &mut DualRing<Sample>,
+        fifos: &mut [CFifo],
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        from: u64,
+        to: u64,
+        hard_end: u64,
+        watched: &[bool],
+    ) -> (u64, u64) {
+        debug_assert!(from < to);
+        let gw = self.trace_id;
+        self.exit_rx.poll_data(ring);
+        self.dma_tx.poll_credits(ring);
+        match self.state {
+            GwState::Idle => {
+                let (mut picked, space_blocked) = self.admission_scan(fifos);
+                if self.shared_chain && picked.is_some() && !self.chain_free(accels, from) {
+                    picked = None;
+                }
+                match picked {
+                    None => {
+                        self.idle_cycles += 1;
+                        if space_blocked {
+                            tracer.stall_cycle(gw, StallCause::CheckForSpace, from);
+                        }
+                    }
+                    Some(idx) => self.admit_block(accels, tracer, idx, from),
+                }
+                (from + 1, self.horizon(fifos, accels, from + 1))
+            }
+            GwState::Reconfig { until } => {
+                if from >= until {
+                    self.block_dma_start = from;
+                    self.state = GwState::Streaming {
+                        sent: 0,
+                        next_send: from,
+                    };
+                }
+                (from + 1, self.horizon(fifos, accels, from + 1))
+            }
+            GwState::Streaming { .. } => {
+                self.stream_span(ring, fifos, accels, tracer, from, to, hard_end, watched)
+            }
+            GwState::Draining => self.drain_span(ring, fifos, accels, tracer, from, to, watched),
+        }
+    }
+
+    /// Commit the DMA send at `tau` *and its entire downstream cascade* in
+    /// closed form: each chain accelerator's consume, firing and forward,
+    /// every credit return, and the ring-transit statistics of every
+    /// interior hop — without waking a single accelerator. Only the final
+    /// exit-bound flit is physically scheduled, so the exit delivery wakes
+    /// the pair through the normal path. Returns `false` (committing
+    /// nothing) when any precondition fails; the caller then takes the
+    /// wire path, which is exact in every state.
+    ///
+    /// Exactness rests on distance-1 cell confinement: while
+    /// [`DualRing::multi_hop_quiet`] holds, every flit injects and ejects
+    /// within one ring step, occupying a single `(cycle, station)` cell —
+    /// phantom (fused) and real flits cannot contend, so the cascade's
+    /// per-cycle timeline is the deterministic pattern committed here:
+    /// accelerator `i` consumes at `tau + 1 + 2i` (its credit landing
+    /// upstream a cycle later) and forwards at `tau + 2 + 2i`. The
+    /// remaining gates pin down that per-cycle stepping really would
+    /// replay that pattern: every chain stage idle and empty by its
+    /// arrival cycle, no earlier entry/interior flit still on the wire
+    /// (consume counters match feed counters — a fused firing must never
+    /// overtake a wire sample into a stateful kernel), and every hop's
+    /// credit available at its spend cycle in closed form.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fused_send(
+        &mut self,
+        ring: &mut DualRing<Sample>,
+        fifos: &mut [CFifo],
+        accels: &mut [AcceleratorTile],
+        in_fifo: usize,
+        tau: u64,
+        hard_end: u64,
+    ) -> bool {
+        if self.chain.is_empty()
+            || !ring.multi_hop_quiet()
+            || !self.dma_tx.available_at(tau)
+            || accels[self.chain[0].0].samples_in != self.chain_fed
+        {
+            return false;
+        }
+        let len = self.chain.len();
+        let mut arrival = tau + 1;
+        for (i, a) in self.chain.iter().enumerate() {
+            let acc = &accels[a.0];
+            if !acc.has_kernel() || !acc.is_drained(arrival) {
+                return false;
+            }
+            // Every phantom event — consume and credit return at `arrival`,
+            // forward at `arrival + 1`, busy accrual through
+            // `arrival + rho - 1` — must fall on a cycle the run actually
+            // executes, else the run-end state would run ahead of the
+            // per-cycle reference.
+            if arrival + 2 > hard_end || arrival + acc.cycles_per_sample > hard_end {
+                return false;
+            }
+            if i + 1 < len && acc.samples_out != accels[self.chain[i + 1].0].samples_in {
+                return false;
+            }
+            if !acc.tx.available_at(arrival + 1) {
+                return false;
+            }
+            arrival += 2;
+        }
+
+        let now = ring.cycle();
+        let s = fifos[in_fifo]
+            .pop()
+            .expect("admission guaranteed a full block");
+        let took = self.dma_tx.fused_take(tau, now);
+        debug_assert!(took, "availability was checked above");
+        self.chain_fed += 1;
+        let mut payload = s;
+        let first_node = accels[self.chain[0].0].node;
+        let mut arrival = ring.fused_data_stats(self.entry_node, first_node, tau);
+        for (i, a) in self.chain.iter().enumerate() {
+            let node = accels[a.0].node;
+            let upstream = accels[a.0].rx.remote;
+            let out = accels[a.0].fused_consume(payload, arrival);
+            // The consume's credit leaves at `arrival`, landing one hop
+            // upstream the next cycle.
+            let credit_arrival = ring.fused_credit_stats(node, upstream, arrival);
+            if i == 0 {
+                self.dma_tx.fused_return(credit_arrival);
+            } else {
+                accels[self.chain[i - 1].0].tx.fused_return(credit_arrival);
+            }
+            let Some(out) = out else {
+                return true; // decimated: the cascade ends here
+            };
+            if i + 1 == len {
+                // Final hop into the exit gateway: a real scheduled send.
+                let sent = accels[a.0].tx.send_at(ring, out, arrival + 1);
+                debug_assert!(sent, "availability was checked above");
+                accels[a.0].fused_forward();
+            } else {
+                let next_node = accels[self.chain[i + 1].0].node;
+                let took = accels[a.0].tx.fused_take(arrival + 1, now);
+                debug_assert!(took, "availability was checked above");
+                accels[a.0].fused_forward();
+                arrival = ring.fused_data_stats(node, next_node, arrival + 1);
+                payload = out;
+            }
+        }
+        true
+    }
+
+    /// `Streaming` arm of [`GatewayPair::run_span`]: merge ε-paced DMA sends
+    /// and δ-paced exit copies in time order (a per-cycle step does the exit
+    /// copy before the entry action, so ties process the exit side first).
+    #[allow(clippy::too_many_arguments)]
+    fn stream_span(
+        &mut self,
+        ring: &mut DualRing<Sample>,
+        fifos: &mut [CFifo],
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        from: u64,
+        to: u64,
+        hard_end: u64,
+        watched: &[bool],
+    ) -> (u64, u64) {
+        let gw = self.trace_id;
+        let active = self.active.expect("streaming implies active");
+        let eta_in = self.streams[active].eta_in;
+        let eta_out = self.streams[active].eta_out;
+        let in_fifo = self.streams[active].input.0;
+        let out_fifo = self.streams[active].output.0;
+        let eps = self.dma_cycles_per_sample;
+        let GwState::Streaming {
+            mut sent,
+            mut next_send,
+        } = self.state
+        else {
+            unreachable!("stream_span requires Streaming state")
+        };
+        let mut t = from;
+        loop {
+            let e = if self.block_received < eta_out && !self.exit_rx.is_empty() {
+                self.exit_next.max(t)
+            } else {
+                u64::MAX
+            };
+            // The flip to Draining happens one per-cycle step after the
+            // last send — anchor it there, so a delivery-driven
+            // re-invocation at an earlier cycle (inside already-committed
+            // territory) cannot flip early.
+            let s_t = if sent == eta_in {
+                (next_send + 1).saturating_sub(eps).max(t)
+            } else {
+                next_send.max(t)
+            };
+            let tau = e.min(s_t);
+            if tau >= to {
+                break;
+            }
+            let mut mutated = false;
+            let mut stalled = false;
+            // Exit copy first — per-cycle step order within a cycle.
+            if e == tau {
+                if fifos[out_fifo].space() == 0 {
+                    assert!(
+                        !self.check_for_space,
+                        "exit gateway found no space — the check-for-space admission is broken"
+                    );
+                    self.block_exit_stall += 1;
+                    tracer.stall_cycle(gw, StallCause::ExitFifoFull, tau);
+                    stalled = true;
+                } else {
+                    let s = self.exit_rx.pop_at(ring, tau).expect("non-empty exit rx");
+                    let ok = fifos[out_fifo].try_push(s, tau);
+                    debug_assert!(ok, "space was checked above");
+                    self.block_received += 1;
+                    self.streams[active].samples_out += 1;
+                    self.exit_next = tau + self.exit_cycles_per_sample;
+                    mutated |= watched[out_fifo];
+                }
+            }
+            if s_t == tau {
+                if sent == eta_in {
+                    // The step after the last send flips to Draining.
+                    self.block_stream_end = tau;
+                    tracer.emit(|| TraceEvent::DmaPhase {
+                        gateway: gw,
+                        stream: active as u32,
+                        start: self.block_dma_start,
+                        end: tau,
+                        samples: eta_in as u32,
+                    });
+                    self.state = GwState::Draining;
+                    return (tau + 1, self.horizon(fifos, accels, tau + 1));
+                }
+                if self.fuse_ok && self.try_fused_send(ring, fifos, accels, in_fifo, tau, hard_end)
+                {
+                    // Whole cascade committed in closed form; only the
+                    // shared send bookkeeping remains.
+                } else {
+                    if self.dma_tx.credits() == 0 {
+                        // Back-pressure. The credit counter was polled at
+                        // `from` and this window's own sends can already
+                        // have turned into returning credits by `tau` — so
+                        // the stall may only be committed with a fresh
+                        // poll. At `tau > from` end the span instead; the
+                        // engine re-invokes with the ring synced to `tau`,
+                        // and if the counter is still 0 the stall commits
+                        // then, exactly per-cycle.
+                        if tau > from {
+                            self.state = GwState::Streaming { sent, next_send };
+                            return (tau, tau);
+                        }
+                        self.block_dma_stall += 1;
+                        tracer.stall_cycle(gw, StallCause::DmaNoCredit, tau);
+                        self.state = GwState::Streaming { sent, next_send };
+                        return (tau + 1, tau + 1);
+                    }
+                    let s = fifos[in_fifo]
+                        .pop()
+                        .expect("admission guaranteed a full block");
+                    let ok = self.dma_tx.send_at(ring, s, tau);
+                    debug_assert!(ok);
+                    self.chain_fed += 1;
+                }
+                self.dma_busy_cycles += eps;
+                sent += 1;
+                next_send = tau + eps;
+                mutated |= watched[in_fifo];
+            }
+            t = tau + 1;
+            if stalled {
+                self.state = GwState::Streaming { sent, next_send };
+                return (t, t);
+            }
+            if mutated {
+                self.state = GwState::Streaming { sent, next_send };
+                return (t, self.horizon(fifos, accels, t));
+            }
+        }
+        self.state = GwState::Streaming { sent, next_send };
+        (t.max(from), self.horizon(fifos, accels, t.max(from)))
+    }
+
+    /// `Draining` arm of [`GatewayPair::run_span`]: δ-paced exit copies with
+    /// the completion check replayed at every processed cycle (between copy
+    /// cycles the check provably fails — exit work is pending — so skipping
+    /// it is exact).
+    #[allow(clippy::too_many_arguments)]
+    fn drain_span(
+        &mut self,
+        ring: &mut DualRing<Sample>,
+        fifos: &mut [CFifo],
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        from: u64,
+        to: u64,
+        watched: &[bool],
+    ) -> (u64, u64) {
+        let gw = self.trace_id;
+        let active = self.active.expect("draining implies active");
+        let eta_out = self.streams[active].eta_out;
+        let out_fifo = self.streams[active].output.0;
+        let last = self.chain[self.chain.len() - 1].0;
+        let mut t = from;
+        loop {
+            if self.shared_chain {
+                accels[last].tx.poll_credits(ring);
+            }
+            let copy_due = self.block_received < eta_out && !self.exit_rx.is_empty();
+            let mut mutated = false;
+            if copy_due && self.exit_next <= t {
+                if fifos[out_fifo].space() == 0 {
+                    assert!(
+                        !self.check_for_space,
+                        "exit gateway found no space — the check-for-space admission is broken"
+                    );
+                    self.block_exit_stall += 1;
+                    tracer.stall_cycle(gw, StallCause::ExitFifoFull, t);
+                    return (t + 1, t + 1);
+                }
+                let s = self.exit_rx.pop_at(ring, t).expect("non-empty exit rx");
+                let ok = fifos[out_fifo].try_push(s, t);
+                debug_assert!(ok, "space was checked above");
+                self.block_received += 1;
+                self.streams[active].samples_out += 1;
+                self.exit_next = t + self.exit_cycles_per_sample;
+                mutated = watched[out_fifo];
+            }
+            // Completion check at cycle `t` (after the copy, matching the
+            // per-cycle order within a step).
+            if self.drained_at(accels, last, t) {
+                self.complete_block(accels, tracer, active, t);
+                return (t + 1, self.horizon(fifos, accels, t + 1));
+            }
+            if mutated {
+                return (t + 1, self.horizon(fifos, accels, t + 1));
+            }
+            // Next cycle worth processing: the next copy. While exit work
+            // is pending the completion check fails on every intermediate
+            // cycle, so those need no replay; once no copy fits the window,
+            // the horizon (flip pin / per-cycle collapse / external wait)
+            // takes over.
+            if self.block_received >= eta_out || self.exit_rx.is_empty() {
+                return (t + 1, self.horizon(fifos, accels, t + 1));
+            }
+            let nxt = self.exit_next.max(t + 1);
+            if nxt >= to {
+                return (t + 1, self.horizon(fifos, accels, t + 1));
+            }
+            t = nxt;
         }
     }
 }

@@ -60,6 +60,18 @@ pub trait SoftwareTask: Send {
     fn skip_ticks(&mut self, _n: u64) -> u64 {
         0
     }
+    /// FIFO indices whose state this task's [`SoftwareTask::wake`] report
+    /// depends on. `None` (the default) means "unknown" and the span
+    /// engine conservatively treats the task as watching every FIFO.
+    fn watched_fifos(&self) -> Option<Vec<usize>> {
+        None
+    }
+    /// FIFO indices this task's [`SoftwareTask::tick`] may mutate. `None`
+    /// (the default) means "unknown" — the span engine then diffs every
+    /// FIFO after this tile runs.
+    fn touched_fifos(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// A MicroBlaze-like processor tile running tasks under a budget scheduler.
@@ -282,6 +294,85 @@ impl ProcessorTile {
             self.pos_in_period = (self.pos_in_period + k % self.period) % self.period;
         }
     }
+
+    /// Union of the tasks' [`SoftwareTask::watched_fifos`] reports, or
+    /// `None` if any task's dependencies are unknown.
+    pub fn watched_fifos(&self) -> Option<Vec<usize>> {
+        let mut v = Vec::new();
+        for t in &self.tasks {
+            v.extend(t.watched_fifos()?);
+        }
+        v.sort_unstable();
+        v.dedup();
+        Some(v)
+    }
+
+    /// Union of the tasks' [`SoftwareTask::touched_fifos`] reports, or
+    /// `None` if any task's effects are unknown.
+    pub fn touched_fifos(&self) -> Option<Vec<usize>> {
+        let mut v = Vec::new();
+        for t in &self.tasks {
+            v.extend(t.touched_fifos()?);
+        }
+        v.sort_unstable();
+        v.dedup();
+        Some(v)
+    }
+
+    /// Sum of mutation counters over the FIFOs some *other* tile watches —
+    /// strictly increasing on any mutation of one of them.
+    fn watched_sum(fifos: &[CFifo], watched: &[bool]) -> u64 {
+        fifos
+            .iter()
+            .zip(watched)
+            .filter(|(_, &w)| w)
+            .map(|(f, _)| f.version())
+            .sum()
+    }
+
+    /// Interval execution for the span engine: run this tile's schedule
+    /// over `[from, to)`, stepping only the acting slots (skipped slots are
+    /// replayed in bulk exactly as the event engine's lazy flush would) and
+    /// stopping after the first cycle that mutates a FIFO watched by
+    /// another tile (`watched`, indexed by FIFO id) so that watcher can be
+    /// woken at per-cycle-identical times.
+    ///
+    /// Returns `(covered, horizon)`: scheduler position, counters and task
+    /// state are exactly what `covered − from` per-cycle steps would have
+    /// produced, and `horizon` is the first cycle `≥ covered` at which this
+    /// tile may act again.
+    pub fn run_span(
+        &mut self,
+        fifos: &mut [CFifo],
+        from: u64,
+        to: u64,
+        watched: &[bool],
+    ) -> (u64, u64) {
+        debug_assert!(from < to);
+        let mut t = from;
+        loop {
+            let h = self.horizon(fifos, t);
+            if h >= to {
+                if t < to {
+                    self.skip(t, to);
+                }
+                return (to, self.horizon(fifos, to));
+            }
+            if h > t {
+                self.skip(t, h);
+                t = h;
+            }
+            let before = Self::watched_sum(fifos, watched);
+            self.step(fifos, t);
+            t += 1;
+            if Self::watched_sum(fifos, watched) != before {
+                return (t, self.horizon(fifos, t));
+            }
+            if t >= to {
+                return (t, self.horizon(fifos, t));
+            }
+        }
+    }
 }
 
 /// Produces one sample into a FIFO every `interval` cycles, from a
@@ -339,6 +430,12 @@ impl SoftwareTask for RateSource {
         // the FIFO state (a full FIFO is an overrun, not a wait).
         TaskWake::AtCycle(self.next)
     }
+    fn watched_fifos(&self) -> Option<Vec<usize>> {
+        Some(Vec::new()) // release times are FIFO-independent
+    }
+    fn touched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![self.fifo])
+    }
 }
 
 /// Consumes samples from a FIFO at up to one per `interval` cycles,
@@ -390,6 +487,12 @@ impl SoftwareTask for SinkTask {
         } else {
             TaskWake::AtCycle(self.next)
         }
+    }
+    fn watched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![self.fifo])
+    }
+    fn touched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![self.fifo])
     }
 }
 
@@ -474,6 +577,22 @@ impl SoftwareTask for StereoMatrixTask {
         let burned = n.min(self.cooldown);
         self.cooldown -= burned;
         burned
+    }
+    fn watched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![
+            self.mono_in,
+            self.right_in,
+            self.left_out,
+            self.right_out,
+        ])
+    }
+    fn touched_fifos(&self) -> Option<Vec<usize>> {
+        Some(vec![
+            self.mono_in,
+            self.right_in,
+            self.left_out,
+            self.right_out,
+        ])
     }
 }
 

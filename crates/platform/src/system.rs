@@ -66,7 +66,9 @@ impl StepMode {
 /// actually benefits from time-skipping and for benchmark reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Cycles executed as full lock-step system steps.
+    /// Cycles on which at least one tile acted: full lock-step steps in
+    /// the per-cycle engine, tile-invocation cycles in the span engine
+    /// (which touches only the tiles actually due that cycle).
     pub full_steps: u64,
     /// Cycles where only the ring was advanced (every tile quiescent).
     pub ring_only_cycles: u64,
@@ -114,7 +116,6 @@ pub struct System {
 /// right before a tile steps (and at run exit), which is exact because
 /// every tile's bulk `skip(from, to)` is defined to equal the composition
 /// of its single-cycle skips.
-#[derive(Default)]
 struct EngineHot {
     /// Cached per-tile horizons: `h[0..gw_base]` processors,
     /// `h[gw_base..acc_base]` gateways, `h[acc_base..]` accelerators.
@@ -131,6 +132,24 @@ struct EngineHot {
     owners: Vec<Vec<usize>>,
     /// Scratch: accelerators stepped in the current span cycle.
     stepped: Vec<usize>,
+}
+
+/// Per-run wiring of the span engine: FIFO watcher lists, per-tile
+/// touched sets (flat tile indexing, as in [`EngineHot`]), and a version
+/// snapshot of every C-FIFO for O(1) mutation detection after a span.
+struct SpanWiring {
+    /// `mask[t][f]`: some tile *other than* `t` reacts to mutations of
+    /// FIFO `f` — tile `t`'s span must stop after mutating it so that
+    /// watcher can be woken at a per-cycle-identical time. A tile's own
+    /// watch never stops its span: its reaction is the span itself.
+    /// Accelerator rows are empty (they never touch C-FIFOs).
+    mask: Vec<Vec<bool>>,
+    /// FIFO index → flat tile indices watching it.
+    watchers: Vec<Vec<usize>>,
+    /// Flat tile index → FIFO indices it may mutate.
+    touched: Vec<Vec<usize>>,
+    /// Last observed [`CFifo::version`] per FIFO.
+    vers: Vec<u64>,
 }
 
 impl EngineHot {
@@ -721,6 +740,380 @@ impl System {
         }
     }
 
+    /// Build the span engine's FIFO wiring: which FIFOs each tile watches
+    /// (reacts to mutations of) and touches (may mutate), as flat watcher
+    /// lists plus a version snapshot for cheap mutation detection. A
+    /// processor task that cannot enumerate its FIFO accesses reports
+    /// `None` and is wired conservatively to every FIFO.
+    fn span_wiring(&self, hot: &EngineHot) -> SpanWiring {
+        let nf = self.fifos.len();
+        let all: Vec<usize> = (0..nf).collect();
+        let mut watchers: Vec<Vec<usize>> = vec![Vec::new(); nf];
+        let mut touched: Vec<Vec<usize>> = Vec::with_capacity(hot.h.len());
+        for (i, p) in self.processors.iter().enumerate() {
+            for &f in &p.watched_fifos().unwrap_or_else(|| all.clone()) {
+                watchers[f].push(i);
+            }
+            touched.push(p.touched_fifos().unwrap_or_else(|| all.clone()));
+        }
+        for (j, g) in self.gateways.iter().enumerate() {
+            for &f in &g.watched_fifos() {
+                watchers[f].push(hot.gw_base + j);
+            }
+            touched.push(g.touched_fifos());
+        }
+        for _ in &self.accels {
+            touched.push(Vec::new()); // accelerators never touch C-FIFOs
+        }
+        let mut mask: Vec<Vec<bool>> = Vec::with_capacity(hot.h.len());
+        for t in 0..hot.h.len() {
+            if t >= hot.acc_base {
+                mask.push(Vec::new());
+                continue;
+            }
+            let mut m = vec![false; nf];
+            for (f, ws) in watchers.iter().enumerate() {
+                m[f] = ws.iter().any(|&w| w != t);
+            }
+            mask.push(m);
+        }
+        SpanWiring {
+            mask,
+            watchers,
+            touched,
+            vers: self.fifos.iter().map(|f| f.version()).collect(),
+        }
+    }
+
+    /// Window bound for invoking processor `t` at `now`: the span may
+    /// commit actions in `[now, to)` because (a) no other tile acts before
+    /// its cached horizon and (b) no ring flit is delivered before
+    /// [`DualRing::next_delivery_bound`], so every FIFO a task reads keeps
+    /// exactly the value per-cycle stepping would observe throughout the
+    /// window. Processors need the full freeze: a task may sleep on any
+    /// FIFO's state (`TaskWake::External`), and a delivery can cascade into
+    /// a gateway mutating one mid-window otherwise.
+    fn span_window_proc(&self, hot: &EngineHot, t: usize, now: u64, end: u64) -> u64 {
+        let mut to = self.ring.next_delivery_bound().min(end);
+        for (u, &v) in hot.h.iter().enumerate() {
+            if u != t && v < to {
+                to = v;
+            }
+        }
+        to.max(now + 1)
+    }
+
+    /// Window bound for invoking a gateway at `now`: processor horizons
+    /// only. Processors are the only other mutators of the FIFOs a gateway
+    /// reads (other gateways touch disjoint FIFOs, accelerators touch
+    /// none), so FIFO contents and space are frozen up to `to`. Ring
+    /// deliveries inside the window need no bound: arrivals park at the NI
+    /// and replay action-anchored on re-invocation, credit arrivals only
+    /// add sending capacity (a send committed with credits > 0 is exact,
+    /// and the negative decisions — DMA-credit stalls and shared-chain
+    /// drain completion — are only ever committed on a fresh same-cycle
+    /// poll). Shared-chain bookkeeping read from other gateways is
+    /// immutable while a block is active: admission is per-cycle and gated
+    /// on the chain being free.
+    fn span_window_gw(&self, hot: &EngineHot, now: u64, end: u64) -> u64 {
+        let mut to = end;
+        for &v in &hot.h[..hot.gw_base] {
+            if v < to {
+                to = v;
+            }
+        }
+        to.max(now + 1)
+    }
+
+    /// After tile `t` ran a span ending at `cover`, wake the watchers of
+    /// every FIFO it mutated. The span contract stops a tile after the
+    /// first cycle that mutated a watched FIFO, so all watched mutations
+    /// happened at `cover - 1`; a watcher later in the flat order can
+    /// still react that same cycle (it steps after the mutator in
+    /// lock-step order), an earlier one reacts next cycle.
+    fn wake_watchers(&self, hot: &mut EngineHot, wiring: &mut SpanWiring, t: usize, cover: u64) {
+        let m = cover - 1;
+        for fi in 0..wiring.touched[t].len() {
+            let f = wiring.touched[t][fi];
+            let v = self.fifos[f].version();
+            if v == wiring.vers[f] {
+                continue;
+            }
+            wiring.vers[f] = v;
+            for wi in 0..wiring.watchers[f].len() {
+                let w = wiring.watchers[f][wi];
+                if w == t {
+                    continue;
+                }
+                let wake = if w > t { m } else { m + 1 };
+                // A gateway's committed-ahead actions are pop/push-paced and
+                // cannot be altered by a new push, so clamping its wake to
+                // its accounted cycle is exact; a processor's TDM schedule
+                // makes an early wake a bug, hence the assert.
+                debug_assert!(
+                    w >= hot.gw_base || wake >= hot.acct[w],
+                    "processor woken before its accounted cycle"
+                );
+                let wake = wake.max(hot.acct[w]);
+                if wake < hot.h[w] {
+                    hot.h[w] = wake;
+                }
+            }
+        }
+    }
+
+    /// Decide, once per [`System::span_run`] entry, which gateways may
+    /// commit closed-form cascades ([`GatewayPair::try_fused_send`]).
+    /// Fusion needs every hop of the chain walk — entry→first accel,
+    /// accel→accel, last accel→exit, and each credit return — at ring
+    /// distance 1 (a distance-1 flit injects and ejects inside a single
+    /// ring step, so phantom and real flits can never interact), the
+    /// delivery log off (fused hops bypass it), and the gateway's
+    /// stations disjoint from every pair streaming over a *different*
+    /// chain (pairs sharing the chain are serialized by the chain mutex
+    /// and the feed-equality gates).
+    fn set_fusion_eligibility(&mut self) {
+        let ng = self.gateways.len();
+        let log_off = self.ring.delivery_log().is_none();
+        let stations: Vec<Vec<usize>> = self
+            .gateways
+            .iter()
+            .map(|g| {
+                let mut s: Vec<usize> = g.chain.iter().map(|a| self.accels[a.0].node).collect();
+                s.push(g.entry_node);
+                s.push(g.exit_node);
+                s
+            })
+            .collect();
+        let flags: Vec<bool> = (0..ng)
+            .map(|j| {
+                let g = &self.gateways[j];
+                if !log_off || g.chain.is_empty() {
+                    return false;
+                }
+                let mut prev = g.entry_node;
+                let mut ok = true;
+                for a in &g.chain {
+                    let n = self.accels[a.0].node;
+                    ok &= self.ring.data_distance(prev, n) == 1
+                        && self.ring.credit_distance(n, prev) == 1;
+                    prev = n;
+                }
+                ok &= self.ring.data_distance(prev, g.exit_node) == 1
+                    && self.ring.credit_distance(g.exit_node, prev) == 1;
+                if !ok {
+                    return false;
+                }
+                (0..ng).all(|j2| {
+                    j2 == j
+                        || self.gateways[j2].chain == g.chain
+                        || !stations[j].iter().any(|n| stations[j2].contains(n))
+                })
+            })
+            .collect();
+        for (g, f) in self.gateways.iter_mut().zip(flags) {
+            g.fuse_ok = f;
+        }
+    }
+
+    /// The interval (span) engine: advance every tile across whole
+    /// quiescence-free windows with closed-form arithmetic instead of
+    /// per-cycle stepping, producing bit-identical counters, FIFO
+    /// high-water marks and ring statistics. Used for untraced
+    /// event-driven runs without a predicate; tracing and predicates
+    /// fall back to [`System::event_run`], whose per-cycle observation
+    /// points they need.
+    ///
+    /// Exactness rests on three rules:
+    /// 1. every window freezes the cross-tile state its tile actually
+    ///    reads — the full FIFO/ring freeze for processors
+    ///    ([`System::span_window_proc`]), processor horizons only for
+    ///    gateways ([`System::span_window_gw`]), nothing for accelerators
+    ///    — with every decision on possibly-stale ring state (credit
+    ///    stalls, drain completion) committed only on a fresh same-cycle
+    ///    poll;
+    /// 2. tiles due the same cycle are processed in the lock-step flat
+    ///    order (processors, gateways, accelerators), and a span stops
+    ///    after mutating a FIFO another tile watches, so same-cycle
+    ///    cascades replay exactly;
+    /// 3. a delivered-but-unread flit parks until the owning tile's
+    ///    accounted cycle — by then consuming it is schedule-anchored
+    ///    (`busy_until`, paced send/copy pointers), so late absorption is
+    ///    observationally identical to per-cycle polling.
+    fn span_run(&mut self, end: u64) {
+        let mut hot = self.hot_init();
+        let mut wiring = self.span_wiring(&hot);
+        let (np, ng, na) = (
+            self.processors.len(),
+            self.gateways.len(),
+            self.accels.len(),
+        );
+        self.set_fusion_eligibility();
+        while self.cycle < end {
+            let now = self.cycle;
+            // Fold delivery-wakes into the cached horizons: a gateway polls
+            // a delivered flit immediately; an accelerator that committed
+            // state ahead of the clock parks the flit until its accounted
+            // cycle (consumes stay anchored on `busy_until`, so the late
+            // poll is exact).
+            for j in 0..ng {
+                let (e, x) = hot.gw_nodes[j];
+                if self.ring.rx_pending(e) > 0 || self.ring.rx_pending(x) > 0 {
+                    let t = hot.gw_base + j;
+                    hot.h[t] = hot.h[t].min(now);
+                }
+            }
+            for k in 0..na {
+                if self.ring.rx_pending(self.accels[k].node) > 0 {
+                    let t = hot.acc_base + k;
+                    hot.h[t] = hot.h[t].min(hot.acct[t].max(now));
+                }
+            }
+            let mut acted = false;
+            for i in 0..np {
+                if hot.h[i] > now {
+                    continue;
+                }
+                if hot.acct[i] < now {
+                    self.processors[i].skip(hot.acct[i], now);
+                    hot.acct[i] = now;
+                }
+                let to = self.span_window_proc(&hot, i, now, end);
+                let (cov, h2) =
+                    self.processors[i].run_span(&mut self.fifos, now, to, &wiring.mask[i]);
+                hot.acct[i] = hot.acct[i].max(cov);
+                hot.h[i] = h2;
+                self.wake_watchers(&mut hot, &mut wiring, i, cov);
+                acted = true;
+            }
+            for j in 0..ng {
+                let t = hot.gw_base + j;
+                if hot.h[t] > now {
+                    continue;
+                }
+                if hot.acct[t] < now {
+                    self.gateways[j].skip_quiet(hot.acct[t], now);
+                    hot.acct[t] = now;
+                }
+                let to = self.span_window_gw(&hot, now, end);
+                let (cov, h2) = self.gateways[j].run_span(
+                    &mut self.ring,
+                    &mut self.fifos,
+                    &mut self.accels,
+                    &mut self.tracer,
+                    now,
+                    to,
+                    end,
+                    &wiring.mask[t],
+                );
+                hot.acct[t] = hot.acct[t].max(cov);
+                hot.h[t] = h2;
+                if self.gateways[j].fuse_ok {
+                    // Closed-form cascade commits advanced chain
+                    // accelerators past the clock: clamp their
+                    // accounted-through markers so the fused firings are
+                    // never skip-replayed, and a flit parked for one is
+                    // consumed exactly at its committed `busy_until`.
+                    for a in &self.gateways[j].chain {
+                        let ta = hot.acc_base + a.0;
+                        let fc = self.accels[a.0].fused_covered();
+                        if hot.acct[ta] < fc {
+                            hot.acct[ta] = fc;
+                        }
+                    }
+                }
+                self.wake_watchers(&mut hot, &mut wiring, t, cov);
+                acted = true;
+            }
+            for k in 0..na {
+                let t = hot.acc_base + k;
+                if hot.h[t] > now {
+                    continue;
+                }
+                if hot.acct[t] < now {
+                    self.accels[k].skip(hot.acct[t], now);
+                    hot.acct[t] = now;
+                }
+                // An accelerator's window needs no bound at all: it reads
+                // only its own NI state (arrivals park and replay anchored
+                // on `busy_until`), forwards are held back unless credits
+                // are positive on the committed view (arrivals only add),
+                // and `covered` never claims past its last action.
+                let (cov, h2) = self.accels[k].run_span(&mut self.ring, now, end);
+                hot.acct[t] = hot.acct[t].max(cov);
+                hot.h[t] = h2;
+                // A drain-waiting gateway's horizon reads this accelerator's
+                // state; refresh it for the next executable cycle.
+                for oi in 0..hot.owners[k].len() {
+                    let j = hot.owners[k][oi];
+                    if self.gateways[j].horizon_tracks_accels() {
+                        hot.h[hot.gw_base + j] =
+                            self.gateways[j].horizon(&self.fifos, &self.accels, now + 1);
+                    }
+                }
+                acted = true;
+            }
+            if acted {
+                // Complete cycle `now` with its ring step, as the lock-step
+                // order does after all tiles have stepped.
+                self.engine_stats.full_steps += 1;
+                self.ring.step();
+                self.cycle = now + 1;
+                continue;
+            }
+            // Nothing due at `now`: advance the clock to the next event.
+            // Parked flits (see above) are already folded into `hot.h`.
+            let mut nxt = end;
+            for &v in &hot.h {
+                if v < nxt {
+                    nxt = v;
+                }
+            }
+            debug_assert!(nxt > now, "no tile due yet clock cannot advance");
+            while self.cycle < nxt {
+                let c = self.cycle;
+                let rot = self.ring.rotation_steps();
+                if rot == 0 {
+                    let d0 = self.ring.stats[0].delivered;
+                    self.ring.step();
+                    self.cycle = c + 1;
+                    self.engine_stats.ring_only_cycles += 1;
+                    if self.ring.stats[0].delivered != d0 {
+                        // A data flit landed: its owner may now be due.
+                        break;
+                    }
+                } else {
+                    let k = rot.min(nxt - c);
+                    self.ring.skip(k);
+                    self.cycle = c + k;
+                    if rot == u64::MAX {
+                        self.engine_stats.skipped_cycles += k;
+                    } else {
+                        self.engine_stats.ring_only_cycles += k;
+                    }
+                }
+            }
+        }
+        // Replay the deferred bookkeeping of every tile up to the end.
+        for i in 0..np {
+            if hot.acct[i] < self.cycle {
+                self.processors[i].skip(hot.acct[i], self.cycle);
+            }
+        }
+        for j in 0..ng {
+            let t = hot.gw_base + j;
+            if hot.acct[t] < self.cycle {
+                self.gateways[j].skip_quiet(hot.acct[t], self.cycle);
+            }
+        }
+        for k in 0..na {
+            let t = hot.acc_base + k;
+            if hot.acct[t] < self.cycle {
+                self.accels[k].skip(hot.acct[t], self.cycle);
+            }
+        }
+    }
+
     /// Run for `cycles` cycles in the configured [`StepMode`].
     pub fn run(&mut self, cycles: u64) {
         let end = self.cycle.saturating_add(cycles);
@@ -731,7 +1124,11 @@ impl System {
                 }
             }
             StepMode::EventDriven => {
-                self.event_run(end, None);
+                if self.tracer.is_enabled() {
+                    self.event_run(end, None);
+                } else {
+                    self.span_run(end);
+                }
             }
         }
     }

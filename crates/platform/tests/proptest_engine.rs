@@ -144,6 +144,7 @@ fn oracle_specs(t: &Topo) -> Vec<DeploySpec> {
             processors: vec![],
             gateways: vec![],
             config_bus_period: None,
+            station_map: None,
         })
         .collect()
 }
@@ -366,6 +367,37 @@ fn assert_identical(mut ex: System, mut ev: System) -> Result<(), TestCaseError>
     Ok(())
 }
 
+/// Strategy forcing *degenerate one-cycle spans*: every tile has work
+/// every cycle (ε = δ = ρ = 1, sources and sinks tick each cycle, tiny
+/// blocks with near-zero reconfiguration), so the span engine's closed-form
+/// windows collapse to single cycles and every span commits through the
+/// `to = now + 1` floor. This is the interval engine's worst case — it must
+/// degrade to exact per-cycle semantics, not merely fast ones.
+fn one_cycle_span_strategy() -> impl Strategy<Value = Topo> {
+    (
+        proptest::collection::vec((1usize..3, 1usize..3), 2..4),
+        (0u64..3, 2usize..5, 4usize..16, 16usize..64),
+        (1usize..3, 3_000u64..8_000),
+    )
+        .prop_map(
+            |(gateways, (reconfig, eta, in_cap, out_cap), (ni_depth, cycles))| Topo {
+                gateways,
+                epsilon: 1,
+                delta: 1,
+                rho: 1,
+                reconfig,
+                eta,
+                in_cap,
+                out_cap,
+                ni_depth,
+                src_interval: 1,
+                sink_interval: 1,
+                sink_budget: 1,
+                cycles,
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -374,6 +406,24 @@ proptest! {
         prop_assume!(accepted_by_analyzer(&t));
         let ex = run(&t, StepMode::Exhaustive);
         let ev = run(&t, StepMode::EventDriven);
+        assert_identical(ex, ev)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Degenerate one-cycle spans, traced and untraced: when every tile
+    /// acts every cycle the span engine executes the same lock-step
+    /// schedule as the reference, span by one-cycle span.
+    #[test]
+    fn one_cycle_spans_bit_identical(t in one_cycle_span_strategy()) {
+        prop_assume!(accepted_by_analyzer(&t));
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run(&t, StepMode::EventDriven);
+        assert_identical(ex, ev)?;
+        let ex = run_with(&t, StepMode::Exhaustive, false);
+        let ev = run_with(&t, StepMode::EventDriven, false);
         assert_identical(ex, ev)?;
     }
 }
@@ -430,6 +480,15 @@ mod pinned {
             Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
             Err(TestCaseError::Reject) => unreachable!(),
         }
+        // The untraced span fast path (cascade fusion eligible) must land
+        // on the same architectural state.
+        let ex = run_with(t, StepMode::Exhaustive, false);
+        let ev = run_with(t, StepMode::EventDriven, false);
+        match assert_identical(ex, ev) {
+            Ok(()) => {}
+            Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
+            Err(TestCaseError::Reject) => unreachable!(),
+        }
     }
 
     /// ε = 1 with 8-deep NI queues: the gateway injects a flit every
@@ -475,6 +534,89 @@ mod pinned {
             sink_interval: 1,
             sink_budget: 2,
             cycles: 14_000,
+        });
+    }
+
+    /// Drain-flip exactly at a span end: tiny blocks (η = 2) at ε = 3 make
+    /// the final DMA send of nearly every block land against a window
+    /// boundary, so the Streaming→Draining flip is repeatedly committed by
+    /// the *next* invocation through the flip anchor
+    /// `(next_send + 1) − ε` — one cycle after the last send, exactly as
+    /// the per-cycle reference steps it. Ragged chunked runs additionally
+    /// force `run()` ends onto flip cycles.
+    #[test]
+    fn drain_flip_at_span_end() {
+        let t = Topo {
+            gateways: vec![(1, 2), (2, 1)],
+            epsilon: 3,
+            delta: 1,
+            rho: 2,
+            reconfig: 3,
+            eta: 2,
+            in_cap: 16,
+            out_cap: 64,
+            ni_depth: 2,
+            src_interval: 2,
+            sink_interval: 1,
+            sink_budget: 1,
+            cycles: 9_973, // prime: chunk ends land on unaligned cycles
+        };
+        check(&t);
+        let ex = run(&t, StepMode::Exhaustive);
+        let ev = run_event_chunked(&t, 11);
+        match assert_identical(ex, ev) {
+            Ok(()) => {}
+            Err(TestCaseError::Fail(msg)) => panic!("{msg}"),
+            Err(TestCaseError::Reject) => unreachable!(),
+        }
+    }
+
+    /// A reconfiguration window opening in the middle of what would be a
+    /// long quiet span: three streams round-robin over one pair with a
+    /// reconfiguration longer than the streaming phase itself (R = 31 vs
+    /// η·ε = 8), so the span walker repeatedly parks on a Reconfig horizon
+    /// and must resume streaming on the exact `until` cycle.
+    #[test]
+    fn reconfig_window_splits_span() {
+        check(&Topo {
+            gateways: vec![(2, 3)],
+            epsilon: 2,
+            delta: 1,
+            rho: 1,
+            reconfig: 31,
+            eta: 4,
+            in_cap: 32,
+            out_cap: 64,
+            ni_depth: 2,
+            src_interval: 1,
+            sink_interval: 2,
+            sink_budget: 1,
+            cycles: 12_000,
+        });
+    }
+
+    /// Credit exhaustion mid-interval: a single NI credit against ε = 1
+    /// and a slow chain (ρ = 6) starves the DMA after every send, so
+    /// almost every streaming span degenerates into send → DmaNoCredit
+    /// stall → fresh-poll retry. The stall decision must only ever commit
+    /// on a same-cycle poll (the span fresh-guard), or stall counts and
+    /// block records drift from the reference.
+    #[test]
+    fn credit_exhaustion_mid_interval() {
+        check(&Topo {
+            gateways: vec![(3, 2)],
+            epsilon: 1,
+            delta: 1,
+            rho: 6,
+            reconfig: 5,
+            eta: 6,
+            in_cap: 32,
+            out_cap: 128,
+            ni_depth: 1,
+            src_interval: 1,
+            sink_interval: 1,
+            sink_budget: 1,
+            cycles: 11_000,
         });
     }
 

@@ -110,6 +110,38 @@ impl DeliveryLog {
     }
 }
 
+/// A posted write committed for a future cycle (see
+/// [`DualRing::send_data_at`]). Ordered by `(at, seq)` so a `BinaryHeap`
+/// of them pops the earliest commitment first; `seq` preserves program
+/// order among same-cycle commitments from the same station.
+#[derive(Clone, Debug)]
+struct Scheduled<F> {
+    at: u64,
+    seq: u64,
+    flit: F,
+}
+
+impl<F> PartialEq for Scheduled<F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<F> Eq for Scheduled<F> {}
+impl<F> PartialOrd for Scheduled<F> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<F> Ord for Scheduled<F> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// The dual-ring interconnect with `n` stations.
 ///
 /// # Representation (batched-span support)
@@ -161,6 +193,21 @@ pub struct DualRing<P> {
     pub stats: [RingStats; 2],
     /// Per-delivery log, kept only while profiling.
     delivery_log: Option<Box<DeliveryLog>>,
+    /// Sends committed for future cycles by the span engine
+    /// ([`DualRing::send_data_at`] / [`DualRing::send_credit_at`]). An
+    /// entry with activation cycle `a` drains into the normal TX queue at
+    /// the top of the [`DualRing::step`] entered while `cycle == a`, which
+    /// is bit-identical to the tile calling the immediate send at `a`.
+    sched_data: BinaryHeap<Scheduled<DataFlit<P>>>,
+    sched_credit: BinaryHeap<Scheduled<CreditFlit>>,
+    sched_seq: u64,
+    /// Committed-but-not-yet-activated sends (either ring) whose hop
+    /// distance exceeds 1. While zero — and the TX queues and ejection
+    /// heaps are empty — every present and future flit is distance-1 and
+    /// therefore confined to a single `(cycle, station)` slot cell, the
+    /// precondition for closed-form cascade fusion
+    /// ([`DualRing::multi_hop_quiet`]).
+    sched_multi_hop: usize,
 }
 
 impl<P: Clone> DualRing<P> {
@@ -185,6 +232,10 @@ impl<P: Clone> DualRing<P> {
             data_rx_occupancy: 0,
             stats: [RingStats::default(), RingStats::default()],
             delivery_log: None,
+            sched_data: BinaryHeap::new(),
+            sched_credit: BinaryHeap::new(),
+            sched_seq: 0,
+            sched_multi_hop: 0,
         }
     }
 
@@ -261,6 +312,103 @@ impl<P: Clone> DualRing<P> {
         self.credit_tx_occupancy += 1;
     }
 
+    /// Commit a posted write for cycle `at ≥ cycle()`. Bit-identical to the
+    /// producer calling [`DualRing::send_data`] while the ring clock reads
+    /// `at`: the flit enters the TX queue (injection stalls, delivery
+    /// latency and the delivery log all behave as if sent then). `at ==
+    /// cycle()` degenerates to an immediate send. Used by the span engine
+    /// to commit a whole interval of paced sends in one tile invocation.
+    pub fn send_data_at(&mut self, src: NodeId, dst: NodeId, stream: u32, payload: P, at: u64) {
+        assert!(at >= self.cycle, "scheduled send in the past");
+        if at == self.cycle {
+            self.send_data(src, dst, stream, payload);
+            return;
+        }
+        assert!(src < self.n && dst < self.n && src != dst, "bad endpoints");
+        self.sched_seq += 1;
+        if self.data_distance(src, dst) > 1 {
+            self.sched_multi_hop += 1;
+        }
+        self.sched_data.push(Scheduled {
+            at,
+            seq: self.sched_seq,
+            flit: DataFlit {
+                src,
+                dst,
+                stream,
+                payload,
+                injected_at: at,
+            },
+        });
+    }
+
+    /// Commit a credit transfer for cycle `at ≥ cycle()` (see
+    /// [`DualRing::send_data_at`]).
+    pub fn send_credit_at(&mut self, src: NodeId, dst: NodeId, stream: u32, amount: u32, at: u64) {
+        assert!(at >= self.cycle, "scheduled send in the past");
+        if at == self.cycle {
+            self.send_credit(src, dst, stream, amount);
+            return;
+        }
+        assert!(src < self.n && dst < self.n && src != dst, "bad endpoints");
+        self.sched_seq += 1;
+        if self.credit_distance(src, dst) > 1 {
+            self.sched_multi_hop += 1;
+        }
+        self.sched_credit.push(Scheduled {
+            at,
+            seq: self.sched_seq,
+            flit: CreditFlit {
+                src,
+                dst,
+                stream,
+                amount,
+                injected_at: at,
+            },
+        });
+    }
+
+    /// Earliest activation cycle among scheduled future sends, if any.
+    fn next_scheduled(&self) -> Option<u64> {
+        match (self.sched_data.peek(), self.sched_credit.peek()) {
+            (None, None) => None,
+            (Some(d), None) => Some(d.at),
+            (None, Some(c)) => Some(c.at),
+            (Some(d), Some(c)) => Some(d.at.min(c.at)),
+        }
+    }
+
+    /// Move scheduled sends whose activation cycle has arrived into the
+    /// normal TX queues. Runs at the top of [`DualRing::step`] *before* the
+    /// clock advances, so an entry scheduled for `at` is enqueued exactly
+    /// where an immediate send at `at` would have been.
+    fn activate_scheduled(&mut self) {
+        while let Some(s) = self.sched_data.peek() {
+            debug_assert!(s.at >= self.cycle, "missed a scheduled send");
+            if s.at != self.cycle {
+                break;
+            }
+            let s = self.sched_data.pop().unwrap();
+            if self.data_distance(s.flit.src, s.flit.dst) > 1 {
+                self.sched_multi_hop -= 1;
+            }
+            self.data_tx[s.flit.src].push_back(s.flit);
+            self.data_tx_occupancy += 1;
+        }
+        while let Some(s) = self.sched_credit.peek() {
+            debug_assert!(s.at >= self.cycle, "missed a scheduled send");
+            if s.at != self.cycle {
+                break;
+            }
+            let s = self.sched_credit.pop().unwrap();
+            if self.credit_distance(s.flit.src, s.flit.dst) > 1 {
+                self.sched_multi_hop -= 1;
+            }
+            self.credit_tx[s.flit.src].push_back(s.flit);
+            self.credit_tx_occupancy += 1;
+        }
+    }
+
     /// Pending TX occupancy of a station (posted writes not yet accepted).
     pub fn tx_backlog(&self, node: NodeId) -> usize {
         self.data_tx[node].len()
@@ -311,6 +459,7 @@ impl<P: Clone> DualRing<P> {
     /// directly from the scheduled-ejection heap — a step with no pending
     /// work touches no per-station state at all.
     pub fn step(&mut self) {
+        self.activate_scheduled();
         self.cycle += 1;
 
         // --- data ring ---
@@ -420,9 +569,10 @@ impl<P: Clone> DualRing<P> {
     ///   write, or a delivered *data* flit sits unread in an RX queue and
     ///   the owning tile must be given a chance to poll it);
     /// * `k` — the next `k` steps only move occupied slots along the ring
-    ///   (the nearest in-flight flit is `k + 1` hops from its destination);
-    /// * `u64::MAX` — nothing is in flight and the ring is externally
-    ///   driven.
+    ///   (the nearest in-flight flit is `k + 1` hops from its destination,
+    ///   and no send is committed for an earlier cycle);
+    /// * `u64::MAX` — nothing is in flight, nothing is scheduled, and the
+    ///   ring is externally driven.
     ///
     /// Delivered-but-unread **credits** deliberately do not hold the
     /// horizon at 0: a credit only raises a counter when its owner next
@@ -437,22 +587,78 @@ impl<P: Clone> DualRing<P> {
     ///
     /// [`step`]: DualRing::step
     pub fn idle_steps(&self) -> u64 {
-        if self.data_tx_occupancy > 0 || self.credit_tx_occupancy > 0 || self.data_rx_occupancy > 0
-        {
+        if self.data_rx_occupancy > 0 {
             return 0;
         }
+        self.rotation_steps()
+    }
+
+    /// Like [`DualRing::idle_steps`], but delivered-but-unread data does
+    /// *not* hold the count at 0. For engines that track pending
+    /// deliveries per tile themselves (the span engine defers a parked
+    /// flit to the owning tile's next accounted cycle), the remaining
+    /// steps really are pure rotations — skipping them cannot lose an
+    /// injection or ejection.
+    pub fn rotation_steps(&self) -> u64 {
+        if self.data_tx_occupancy > 0 || self.credit_tx_occupancy > 0 {
+            return 0;
+        }
+        // A send committed for cycle `a` activates in the step *entered* at
+        // `a`; the steps entered at cycles before `a` stay pure rotations.
+        let sched_bound = match self.next_scheduled() {
+            None => u64::MAX,
+            Some(a) => {
+                debug_assert!(a >= self.cycle, "scheduled send in the past");
+                a - self.cycle
+            }
+        };
         // Every in-flight flit's ejection cycle is scheduled, so the
         // nearest one answers in O(1): the ejecting step is the one that
         // advances the clock to that cycle; everything before it is a pure
         // rotation.
-        let next = match (self.data_eject.peek(), self.credit_eject.peek()) {
-            (None, None) => return u64::MAX, // empty ring
+        let eject_bound = match (self.data_eject.peek(), self.credit_eject.peek()) {
+            (None, None) => u64::MAX, // nothing in flight
             (Some(&Reverse((d, _))), None) => d,
             (None, Some(&Reverse((c, _)))) => c,
             (Some(&Reverse((d, _))), Some(&Reverse((c, _)))) => d.min(c),
         };
-        debug_assert!(next > self.cycle, "scheduled ejection in the past");
-        next - self.cycle - 1
+        if eject_bound == u64::MAX {
+            return sched_bound; // possibly MAX: truly empty ring
+        }
+        debug_assert!(eject_bound > self.cycle, "scheduled ejection in the past");
+        (eject_bound - self.cycle - 1).min(sched_bound)
+    }
+
+    /// Earliest cycle at which any flit — data or credit; in flight,
+    /// TX-queued, or committed for a future cycle — could be delivered
+    /// into a station's RX queue. Always `> cycle()`. The span engine
+    /// bounds every tile's execution window by this value: within
+    /// `[cycle(), bound)` no NI queue or credit counter can change under a
+    /// tile's feet, so interval arithmetic over that window observes
+    /// exactly what per-cycle stepping would.
+    ///
+    /// The bound is conservative for not-yet-injected flits (their
+    /// delivery cycle depends on slot contention): a queued flit is
+    /// assumed 1 hop away, a scheduled send is assumed to inject at its
+    /// activation cycle and land the next cycle.
+    pub fn next_delivery_bound(&self) -> u64 {
+        let mut b = u64::MAX;
+        if self.data_tx_occupancy > 0 || self.credit_tx_occupancy > 0 {
+            b = self.cycle + 1;
+        }
+        if let Some(a) = self.next_scheduled() {
+            // Activates at `a`, injects in the step advancing to `a + 1`,
+            // which is also the earliest eject (dist >= 1).
+            b = b.min(a + 1);
+        }
+        if let Some(&Reverse((d, _))) = self.data_eject.peek() {
+            b = b.min(d);
+        }
+        if let Some(&Reverse((c, _))) = self.credit_eject.peek() {
+            b = b.min(c);
+        }
+        debug_assert!(b > self.cycle);
+        b
     }
 
     /// True if any station holds a delivered-but-unread *data* flit.
@@ -469,7 +675,7 @@ impl<P: Clone> DualRing<P> {
     /// Equivalent to `k` calls to [`DualRing::step`]: the clock advances
     /// and occupied slots rotate, but nothing is injected or ejected.
     pub fn skip(&mut self, k: u64) {
-        debug_assert!(k <= self.idle_steps(), "ring skip past its horizon");
+        debug_assert!(k <= self.rotation_steps(), "ring skip past its horizon");
         self.cycle += k;
         let n = self.n as u64;
         let r = (if k < n { k } else { k % n }) as usize;
@@ -491,6 +697,57 @@ impl<P: Clone> DualRing<P> {
     /// Hop distance from `src` to `dst` along the credit ring direction.
     pub fn credit_distance(&self, src: NodeId, dst: NodeId) -> usize {
         (src + self.n - dst) % self.n
+    }
+
+    /// True when every flit that exists now — or is committed for a future
+    /// cycle — travels exactly one hop.
+    ///
+    /// A distance-1 flit injects and ejects within a single [`DualRing::step`]
+    /// (it occupies one `(cycle, station)` slot cell and the slot is free
+    /// again before the step returns), so between steps the ejection heaps
+    /// can only hold multi-hop flits and a distance-1 injection can never
+    /// stall. Under this predicate, flits whose transit is computed in
+    /// closed form ([`DualRing::fused_data_stats`]) and flits that really
+    /// rotate through the ring are mutually non-interacting: fusing some
+    /// hops of a cascade while stepping others is exact.
+    pub fn multi_hop_quiet(&self) -> bool {
+        self.data_tx_occupancy == 0
+            && self.credit_tx_occupancy == 0
+            && self.data_eject.is_empty()
+            && self.credit_eject.is_empty()
+            && self.sched_multi_hop == 0
+    }
+
+    /// Account a distance-1 data-ring transit in closed form: the delivery
+    /// statistics a real flit injected at `at` would have produced, without
+    /// ever occupying a slot. Returns the ejection cycle (`at + 1`).
+    ///
+    /// Only valid while [`DualRing::multi_hop_quiet`] holds and the
+    /// delivery log is disabled: distance-1 transits never stall and never
+    /// linger in a slot, so `delivered`, `total_latency` and `max_latency`
+    /// come out bit-identical to stepping the flit through.
+    pub fn fused_data_stats(&mut self, src: NodeId, dst: NodeId, at: u64) -> u64 {
+        let dist = self.data_distance(src, dst) as u64;
+        debug_assert_eq!(dist, 1, "cascade fusion is distance-1 only");
+        debug_assert!(at >= self.cycle, "fused transit in the past");
+        debug_assert!(self.delivery_log.is_none(), "fused transit while logging");
+        self.stats[0].delivered += 1;
+        self.stats[0].total_latency += dist;
+        self.stats[0].max_latency = self.stats[0].max_latency.max(dist);
+        at + dist
+    }
+
+    /// Account a distance-1 credit-ring transit in closed form (see
+    /// [`DualRing::fused_data_stats`]). Returns the ejection cycle.
+    pub fn fused_credit_stats(&mut self, src: NodeId, dst: NodeId, at: u64) -> u64 {
+        let dist = self.credit_distance(src, dst) as u64;
+        debug_assert_eq!(dist, 1, "cascade fusion is distance-1 only");
+        debug_assert!(at >= self.cycle, "fused transit in the past");
+        debug_assert!(self.delivery_log.is_none(), "fused transit while logging");
+        self.stats[1].delivered += 1;
+        self.stats[1].total_latency += dist;
+        self.stats[1].max_latency = self.stats[1].max_latency.max(dist);
+        at + dist
     }
 }
 
@@ -797,5 +1054,140 @@ mod tests {
             "latency {} too large",
             ring.stats[0].max_latency
         );
+    }
+
+    /// Drive `r` for `cycles` steps, then return a full observable snapshot:
+    /// stats fields, rx contents and the clock.
+    #[allow(clippy::type_complexity)]
+    fn drain_snapshot(
+        r: &mut DualRing<u64>,
+        cycles: u64,
+    ) -> (Vec<(u64, u64, u64, u64)>, Vec<Vec<u64>>, Vec<Vec<u32>>, u64) {
+        for _ in 0..cycles {
+            r.step();
+        }
+        let stats = r
+            .stats
+            .iter()
+            .map(|s| {
+                (
+                    s.delivered,
+                    s.total_latency,
+                    s.max_latency,
+                    s.injection_stalls,
+                )
+            })
+            .collect();
+        let n = r.num_nodes();
+        let data = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                while let Some(f) = r.recv_data(i) {
+                    v.push(f.payload);
+                }
+                v
+            })
+            .collect();
+        let credit = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                while let Some(c) = r.recv_credit(i) {
+                    v.push(c.amount);
+                }
+                v
+            })
+            .collect();
+        (stats, data, credit, r.cycle())
+    }
+
+    #[test]
+    fn scheduled_send_matches_immediate_send() {
+        // A send committed for cycle `a` must be indistinguishable from the
+        // producer calling send_data/send_credit while the clock reads `a`,
+        // including delivery latency accounting.
+        let mut sched: DualRing<u64> = DualRing::new(6);
+        sched.send_data_at(0, 3, 7, 11, 4);
+        sched.send_credit_at(3, 0, 7, 1, 6);
+
+        let mut imm: DualRing<u64> = DualRing::new(6);
+        for _ in 0..4 {
+            imm.step();
+        }
+        imm.send_data(0, 3, 7, 11);
+        for _ in 0..2 {
+            imm.step();
+        }
+        imm.send_credit(3, 0, 7, 1);
+
+        let a = drain_snapshot(&mut sched, 20);
+        let b = drain_snapshot(&mut imm, 20 - 6);
+        assert_eq!(a.0, b.0, "stats diverge");
+        assert_eq!(a.1, b.1, "data deliveries diverge");
+        assert_eq!(a.2, b.2, "credit deliveries diverge");
+    }
+
+    #[test]
+    fn scheduled_send_contends_like_immediate_send() {
+        // Occupied slots stall scheduled sends exactly as immediate ones:
+        // run the same contention pattern both ways and compare stalls,
+        // latencies and per-station delivery order.
+        let drive = |scheduled: bool| {
+            let mut r: DualRing<u64> = DualRing::new(4);
+            if scheduled {
+                // Long-haul flits every cycle from station 1 keep the slot
+                // at station 2 busy; station 2's own sends must stall.
+                for t in 0..8 {
+                    r.send_data_at(1, 0, 0, 100 + t, t);
+                    r.send_data_at(2, 3, 1, 200 + t, t);
+                }
+                drain_snapshot(&mut r, 30)
+            } else {
+                for t in 0..8 {
+                    r.send_data(1, 0, 0, 100 + t);
+                    r.send_data(2, 3, 1, 200 + t);
+                    r.step();
+                }
+                drain_snapshot(&mut r, 22)
+            }
+        };
+        let a = drive(true);
+        let b = drive(false);
+        assert_eq!(a.0, b.0, "stats (incl. injection stalls) diverge");
+        assert_eq!(a.1, b.1, "delivery contents diverge");
+        assert!(
+            a.0[0].3 > 0,
+            "contention pattern should stall at least once"
+        );
+    }
+
+    #[test]
+    fn idle_steps_bounded_by_scheduled_activation() {
+        let mut r: DualRing<u64> = DualRing::new(5);
+        assert_eq!(r.idle_steps(), u64::MAX);
+        r.send_data_at(0, 2, 0, 1, 10);
+        // Cycles 0..9 are pure rotations; the step entered at 10 injects.
+        assert_eq!(r.idle_steps(), 10);
+        r.skip(10);
+        assert_eq!(r.idle_steps(), 0);
+        r.step(); // activates + injects; 2 hops => ejects at cycle 12
+        assert_eq!(r.idle_steps(), 0, "ejection is due on the next step");
+        r.step();
+        let f = r.recv_data(2).expect("delivered");
+        assert_eq!(f.payload, 1);
+        assert_eq!(r.stats[0].max_latency, 2, "latency == hop distance");
+    }
+
+    #[test]
+    fn same_cycle_scheduled_send_is_immediate() {
+        let mut r: DualRing<u64> = DualRing::new(4);
+        r.skip(5);
+        r.send_data_at(1, 3, 0, 77, 5);
+        assert_eq!(r.idle_steps(), 0, "tx queue occupied right away");
+        for _ in 0..2 {
+            r.step();
+        }
+        let f = r.recv_data(3).expect("delivered");
+        assert_eq!(f.payload, 77);
+        assert_eq!(r.stats[0].max_latency, 2);
     }
 }

@@ -20,6 +20,25 @@ pub struct CreditTx {
     /// Stream id carried in flits.
     pub stream: u32,
     credits: u32,
+    /// Activation cycles of sends committed for the future via
+    /// [`CreditTx::send_at`]. Each entry consumed a credit at commit time;
+    /// [`CreditTx::credits_visible`] adds the not-yet-activated ones back
+    /// so observers at earlier cycles see the per-cycle counter value.
+    pending: VecDeque<u64>,
+    /// Arrival cycles of credits committed in closed form via
+    /// [`CreditTx::fused_return`] (the flit's wire journey was accounted
+    /// on the ring's statistics but never physically flown). Absorbed into
+    /// `credits` by [`CreditTx::poll_credits`] once the clock reaches the
+    /// arrival cycle — never earlier, so a poll between commit and arrival
+    /// observes exactly the per-cycle counter value.
+    incoming: VecDeque<u64>,
+    /// `(arrival m, spend at)` pairs: a committed send at `at` that
+    /// consumed a fused credit landing at `m ≤ at`, both still in the
+    /// future when the pair was formed. The per-cycle counter holds that
+    /// credit exactly during `[m, at)`; the pair contributes precisely
+    /// that window to [`CreditTx::credits_visible`] and annihilates (no
+    /// raw credit ever materializes) once the clock passes `at`.
+    transit: VecDeque<(u64, u64)>,
 }
 
 impl CreditTx {
@@ -31,18 +50,101 @@ impl CreditTx {
             remote,
             stream,
             credits: initial_credits,
+            pending: VecDeque::new(),
+            incoming: VecDeque::new(),
+            transit: VecDeque::new(),
         }
     }
 
-    /// Remaining credits.
+    /// Remaining credits, counting every committed send (including ones
+    /// scheduled for future cycles) as spent.
     pub fn credits(&self) -> u32 {
         self.credits
+    }
+
+    /// The credit counter as a per-cycle observer at cycle `now` would see
+    /// it: sends committed via [`CreditTx::send_at`] for cycles after `now`
+    /// have not happened yet from that observer's point of view, so their
+    /// credits are added back. Used by the span engine wherever another
+    /// tile reads this counter mid-interval (the shared-chain drain check).
+    pub fn credits_visible(&self, now: u64) -> u32 {
+        self.credits
+            + self.pending.iter().filter(|&&at| at > now).count() as u32
+            + self.incoming.iter().filter(|&&at| at <= now).count() as u32
+            + self
+                .transit
+                .iter()
+                .filter(|&&(m, at)| m <= now && now < at)
+                .count() as u32
+    }
+
+    /// Move fused credit returns that have landed by `now` into the raw
+    /// counter — exactly what a per-cycle poll at `now` would absorb.
+    fn absorb_incoming(&mut self, now: u64) {
+        while let Some(&at) = self.incoming.front() {
+            if at > now {
+                break;
+            }
+            self.incoming.pop_front();
+            self.credits += 1;
+        }
+    }
+
+    /// Take one credit for a send committed for cycle `at`, `now` being the
+    /// wall clock: from the raw counter if possible, else by pairing with
+    /// the earliest fused return landing by `at` (the per-cycle run holds
+    /// that credit at the spend cycle even though this engine's clock has
+    /// not reached its arrival yet). Returns `false` when neither exists —
+    /// the per-cycle counter at `at` really would read zero.
+    fn take_for(&mut self, at: u64, now: u64) -> bool {
+        self.absorb_incoming(now);
+        if self.credits > 0 {
+            self.credits -= 1;
+            if at > now {
+                self.pending.push_back(at);
+            }
+            return true;
+        }
+        match self.incoming.front() {
+            Some(&m) if m <= at => {
+                self.incoming.pop_front();
+                self.transit.push_back((m, at));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consume a credit for a send whose wire traffic is committed out of
+    /// band (the fused chain cascade). Bookkeeping-identical to
+    /// [`CreditTx::send_at`] without touching the ring. Returns `false`
+    /// when the per-cycle counter at `at` would read zero.
+    pub fn fused_take(&mut self, at: u64, now: u64) -> bool {
+        self.take_for(at, now)
+    }
+
+    /// Whether a send committed for cycle `at` would find a credit —
+    /// the non-mutating precondition of [`CreditTx::fused_take`] /
+    /// [`CreditTx::send_at`]. Exact for all closed-form state; physical
+    /// credit flits still on the wire are (conservatively) invisible, as
+    /// they are to every unpolled per-cycle observer.
+    pub fn available_at(&self, at: u64) -> bool {
+        self.credits > 0 || self.incoming.front().is_some_and(|&m| m <= at)
+    }
+
+    /// Register a credit whose return journey was committed in closed form
+    /// and lands at `arrival`. Arrival cycles must be registered in
+    /// non-decreasing order (cascades commit forward in time).
+    pub fn fused_return(&mut self, arrival: u64) {
+        debug_assert!(self.incoming.back().is_none_or(|&b| b <= arrival));
+        self.incoming.push_back(arrival);
     }
 
     /// Try to send one payload; consumes a credit. Returns `false` (and
     /// sends nothing) when out of credits — the upstream must stall, which
     /// is exactly the accelerator-stall behaviour of §IV-B.
     pub fn try_send<P: Clone>(&mut self, ring: &mut DualRing<P>, payload: P) -> bool {
+        self.absorb_incoming(ring.cycle());
         if self.credits == 0 {
             return false;
         }
@@ -51,8 +153,39 @@ impl CreditTx {
         true
     }
 
+    /// Commit a send for cycle `at ≥ ring.cycle()`; consumes a credit now.
+    /// Bit-identical on the wire to calling [`CreditTx::try_send`] while
+    /// the ring clock reads `at`. Returns `false` (sending nothing) when
+    /// out of credits.
+    pub fn send_at<P: Clone>(&mut self, ring: &mut DualRing<P>, payload: P, at: u64) -> bool {
+        if !self.take_for(at, ring.cycle()) {
+            return false;
+        }
+        ring.send_data_at(self.local, self.remote, self.stream, payload, at);
+        true
+    }
+
     /// Absorb credit flits returned by the receiver.
     pub fn poll_credits<P: Clone>(&mut self, ring: &mut DualRing<P>) {
+        // Scheduled sends whose activation cycle has passed are ordinary
+        // spent credits now; stop adding them back in `credits_visible`.
+        let now = ring.cycle();
+        while let Some(&at) = self.pending.front() {
+            if at > now {
+                break;
+            }
+            self.pending.pop_front();
+        }
+        // Absorb fused credit returns that have landed by now, and drop
+        // arrive-then-spend pairs whose spend cycle has passed (the credit
+        // existed only inside `[m, at)`; it never reaches the raw counter).
+        self.absorb_incoming(now);
+        while let Some(&(_, at)) = self.transit.front() {
+            if at > now {
+                break;
+            }
+            self.transit.pop_front();
+        }
         // Credits for other streams at the same station must not be eaten;
         // the platform layer demultiplexes instead. Here we only take
         // matching ones and re-queue the rest.
@@ -137,6 +270,16 @@ impl<P: Clone> CreditRx<P> {
         ring.send_credit(self.local, self.remote, self.stream, 1);
         Some(v)
     }
+
+    /// Take one token as part of a consume committed for cycle
+    /// `at ≥ ring.cycle()`: the returned credit enters the credit ring at
+    /// `at`, exactly as a [`CreditRx::pop`] at that cycle would. Used by
+    /// the span engine when a tile commits future consumes in one call.
+    pub fn pop_at(&mut self, ring: &mut DualRing<P>, at: u64) -> Option<P> {
+        let v = self.buf.pop_front()?;
+        ring.send_credit_at(self.local, self.remote, self.stream, 1, at);
+        Some(v)
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +356,55 @@ mod tests {
         rx_b.poll_data(&mut ring);
         assert_eq!(rx_a.pop(&mut ring), Some(55));
         assert_eq!(rx_b.pop(&mut ring), Some(77));
+    }
+
+    #[test]
+    fn scheduled_ni_traffic_matches_stepped_protocol() {
+        // Commit two sends and the matching future pops in one shot; the
+        // wire traffic and final credit state must match the per-cycle run
+        // of the same schedule.
+        let run = |scheduled: bool| {
+            let mut ring: DualRing<u64> = DualRing::new(4);
+            let mut tx = CreditTx::new(0, 2, 5, 2);
+            let mut rx: CreditRx<u64> = CreditRx::new(2, 0, 5, 2);
+            if scheduled {
+                assert!(tx.send_at(&mut ring, 10, 0));
+                assert!(tx.send_at(&mut ring, 11, 3));
+                assert_eq!(tx.credits(), 0);
+                assert_eq!(tx.credits_visible(0), 1, "cycle-3 send not yet visible");
+                assert_eq!(tx.credits_visible(3), 0);
+                for _ in 0..6 {
+                    ring.step();
+                    rx.poll_data(&mut ring);
+                }
+                assert_eq!(rx.pop_at(&mut ring, 6), Some(10));
+            } else {
+                assert!(tx.try_send(&mut ring, 10));
+                for _ in 0..3 {
+                    ring.step();
+                    rx.poll_data(&mut ring);
+                }
+                assert!(tx.try_send(&mut ring, 11));
+                for _ in 0..3 {
+                    ring.step();
+                    rx.poll_data(&mut ring);
+                }
+                assert_eq!(rx.pop(&mut ring), Some(10));
+            }
+            for _ in 0..4 {
+                ring.step();
+                tx.poll_credits(&mut ring);
+                rx.poll_data(&mut ring);
+            }
+            (
+                tx.credits(),
+                rx.len(),
+                ring.stats[0].delivered,
+                ring.stats[1].delivered,
+                ring.stats[0].max_latency,
+                ring.stats[1].max_latency,
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }
