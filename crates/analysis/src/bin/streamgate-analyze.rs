@@ -2,28 +2,55 @@
 //! command line.
 //!
 //! ```text
-//! streamgate-analyze [--json] [--profile FILE] [--spec FILE | PRESET]
+//! streamgate-analyze [--json] [--profile FILE] [--delta FILE]
+//!                    [--timing FILE] [--spec FILE | PRESET]
 //!
 //! PRESET: pal (default) | pal2 | fig6 | fig9-safe | fig9-broken
 //! ```
 //!
 //! Prints the analysis report as text (or machine-readable JSON with
-//! `--json`) and exits non-zero when any rule reports an Error. With
-//! `--profile`, a measured `RunProfile` JSON (written by the simulator
-//! binaries' own `--profile` flag) feeds measured per-hop burstiness back
-//! into rule A7 and measured arrival jitter into rule A10.
+//! `--json`). With `--profile`, a measured `RunProfile` JSON (written by
+//! the simulator binaries' own `--profile` flag) feeds measured per-hop
+//! burstiness back into rule A7 and measured arrival jitter into rule A10.
+//!
+//! With `--delta`, the spec is the *baseline* of an incremental
+//! admission-control session: the file is a JSON churn script
+//! (`{"deltas": [{"op": "add"|"remove"|"retune", "gateway": N,
+//! "stream": ...}]}`) whose requests are evaluated in order through the
+//! O(affected-gateways) incremental analyzer; admitted deltas commit,
+//! rejected ones leave the committed deployment untouched. One verdict
+//! line prints per delta, then the final committed deployment's report.
+//! `--timing FILE` additionally writes a JSON comparison of incremental
+//! vs full re-analysis wall time per delta.
+//!
+//! # Exit codes
+//!
+//! * `0` — the (final) deployment is **accepted**: no rule reported an
+//!   Error. Warnings and infos alone never fail the run.
+//! * `2` — the deployment is **rejected** (at least one Error
+//!   diagnostic), or the command line / input files were unusable.
+//!
+//! Exit code 1 is deliberately unused: it is what a crash (panic) yields,
+//! so automation can tell "analyzer said no" (2) from "analyzer broke" (1).
 
 use std::process::ExitCode;
-use streamgate_analysis::{analyze_profiled, parse_profile, AnalysisOptions, DeploySpec};
+use std::time::Instant;
+use streamgate_analysis::{
+    analyze_profiled, analyze_with, parse_delta_script, parse_profile, AnalysisOptions,
+    AnalysisState, DeploySpec,
+};
 
-const USAGE: &str = "usage: streamgate-analyze [--json] [--profile FILE] [--spec FILE | PRESET]\n\
-                     presets: pal (default), pal2, fig6, fig9-safe, fig9-broken";
+const USAGE: &str = "usage: streamgate-analyze [--json] [--profile FILE] [--delta FILE] [--timing FILE] [--spec FILE | PRESET]\n\
+                     presets: pal (default), pal2, fig6, fig9-safe, fig9-broken\n\
+                     exit codes: 0 = accepted (warnings allowed), 2 = rejected or usage error";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut spec_file: Option<String> = None;
     let mut preset: Option<String> = None;
     let mut profile_file: Option<String> = None;
+    let mut delta_file: Option<String> = None;
+    let mut timing_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,6 +67,20 @@ fn main() -> ExitCode {
                 Some(f) => profile_file = Some(f),
                 None => {
                     eprintln!("--profile needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--delta" => match args.next() {
+                Some(f) => delta_file = Some(f),
+                None => {
+                    eprintln!("--delta needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timing" => match args.next() {
+                Some(f) => timing_file = Some(f),
+                None => {
+                    eprintln!("--timing needs a file argument\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -86,6 +127,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(file) = delta_file {
+        return run_deltas(spec, &file, timing_file.as_deref(), json);
+    }
+
     let profile = match profile_file {
         Some(file) => {
             let text = match std::fs::read_to_string(&file) {
@@ -115,6 +160,89 @@ fn main() -> ExitCode {
     if report.is_accepted() {
         ExitCode::SUCCESS
     } else {
-        ExitCode::FAILURE
+        ExitCode::from(2)
+    }
+}
+
+/// Replay a churn script through the incremental analyzer. Prints one
+/// verdict line per delta and the final committed report; with `timing`,
+/// writes an incremental-vs-full wall-time comparison JSON.
+fn run_deltas(spec: DeploySpec, file: &str, timing: Option<&str>, json: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let deltas = match parse_delta_script(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse delta script {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let opts = AnalysisOptions::default();
+    let mut state = AnalysisState::new(spec, opts);
+    let mut rows = Vec::new();
+    for (i, delta) in deltas.iter().enumerate() {
+        let t0 = Instant::now();
+        let verdict = match state.apply(delta) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("delta {i} ({}): {e}", delta.describe());
+                return ExitCode::from(2);
+            }
+        };
+        let inc_ns = t0.elapsed().as_nanos();
+        let decision = if verdict.is_admitted() {
+            "admit"
+        } else {
+            "reject"
+        };
+        println!(
+            "delta {i}: {} -> {decision} ({} error(s), {} warning(s))",
+            delta.describe(),
+            verdict.report().error_count(),
+            verdict
+                .report()
+                .with_severity(streamgate_analysis::Severity::Warning)
+                .count(),
+        );
+        if timing.is_some() {
+            // Time a fresh full analysis of the same committed deployment
+            // for the speedup artifact. Only measured when asked: it is
+            // exactly the cost the incremental path exists to avoid.
+            let t1 = Instant::now();
+            let _full = analyze_with(state.spec(), &opts);
+            let full_ns = t1.elapsed().as_nanos();
+            rows.push(format!(
+                "    {{\"delta\": {i}, \"op\": \"{}\", \"decision\": \"{decision}\", \
+                 \"incremental_ns\": {inc_ns}, \"full_ns\": {full_ns}, \"speedup\": {:.2}}}",
+                delta.describe(),
+                full_ns as f64 / inc_ns.max(1) as f64,
+            ));
+        }
+    }
+
+    if let Some(out) = timing {
+        let body = format!("{{\n  \"deltas\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+        if let Err(e) = std::fs::write(out, body) {
+            eprintln!("cannot write timing file {out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = state.report();
+    if json {
+        println!("{}", report.to_json_text());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }

@@ -144,7 +144,12 @@ impl fmt::Display for Severity {
 }
 
 /// Where in the deployment a diagnostic points.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The derived `Ord` (deployment < gateway < stream < processor, then by
+/// index/name) is part of the report's deterministic diagnostic order:
+/// reports assembled from different rule-evaluation orders — e.g. a full
+/// analysis vs an incremental re-analysis — must sort identically.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Location {
     /// The deployment as a whole (gateway pair + chain).
     Deployment,
@@ -295,6 +300,29 @@ impl Diagnostic {
                 .to_string(),
         })
     }
+}
+
+/// Sort diagnostics into the report's canonical order: by rule, then
+/// location, then most severe first, then message. The key is a *total*
+/// order over every field, so the result is independent of the order the
+/// rules pushed their findings — a full analysis and an incremental
+/// re-analysis that produce the same multiset of diagnostics render
+/// byte-identical reports.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (
+            a.rule,
+            &a.location,
+            std::cmp::Reverse(a.severity),
+            &a.message,
+        )
+            .cmp(&(
+                b.rule,
+                &b.location,
+                std::cmp::Reverse(b.severity),
+                &b.message,
+            ))
+    });
 }
 
 impl fmt::Display for Diagnostic {

@@ -1,0 +1,731 @@
+//! Incremental admission-control analysis: O(affected-gateways)
+//! re-verification of the A1–A10 verdict under stream churn, plus the
+//! run-time [`AdmissionController`] that splices accepted streams into a
+//! *running* system.
+//!
+//! The paper's analysis is a design-time procedure over a fixed
+//! deployment. A production system, though, sees streams join and leave
+//! at traffic rates — and re-running the full analyzer per request is
+//! wasteful precisely where it hurts: the expensive rules (A1's CSDF
+//! self-timed execution, A2's exact minimum-buffer search) are *per
+//! gateway pair* and a stream change touches exactly one pair. This
+//! module follows the design-time/run-time split of the related
+//! multi-mode work (see PAPERS.md): a full analysis up front caches its
+//! per-rule intermediate facts ([`AnalysisState`]), and each
+//! [`Delta`] — add, remove or retune one stream — re-evaluates only the
+//! facts the change can reach:
+//!
+//! * the affected pair's A1–A6 diagnostics, τ̂ vector and utilisation
+//!   ([`crate::rules`]'s `PairFacts`) — the expensive part, recomputed
+//!   for **one** gateway;
+//! * the pair's additive A7 ring-load contribution (`RingContrib`) on the
+//!   hops of its path — recomputed for the same single gateway;
+//! * every *cheap* system-scope coupling — A8 round interference through
+//!   `shares_chain_with` groups (linear arithmetic over the cached τ̂
+//!   vectors), A9 config-bus slot overlap, A10 latency composition —
+//!   re-assembled from the cache in O(gateways + streams) scalar work
+//!   with no model execution.
+//!
+//! The soundness contract is *equivalence by construction*: the full
+//! analyzer ([`crate::analyze_with`]) is itself implemented as "compute
+//! all facts, assemble report", and the incremental path reuses the same
+//! assembly over a cache where only the affected entries were replaced.
+//! Unaffected entries are pure functions of spec parts the delta cannot
+//! touch, so **incremental verdict ≡ full re-analysis verdict, always**
+//! — diagnostics, bounds and JSON bytes included (enforced by the
+//! differential proptest in `tests/incremental_churn.rs`).
+
+use crate::diag::Report;
+use crate::profile::monitor_config_for;
+use crate::rules::{assemble_report, AnalysisOptions, Facts};
+use crate::spec::{stream_from_json, stream_kernels, DeploySpec, StreamDeploy};
+use crate::{json, Json};
+use streamgate_core::Monitor;
+use streamgate_platform::{CFifo, FifoId, StreamConfig, System};
+
+/// One stream-churn request against a deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Delta {
+    /// Deploy a new stream on gateway pair `gateway`.
+    AddStream {
+        /// Gateway (view) index the stream joins. Always 0 for
+        /// single-gateway specs.
+        gateway: usize,
+        /// The stream to deploy.
+        stream: StreamDeploy,
+    },
+    /// Tear down the named stream on gateway pair `gateway`.
+    RemoveStream {
+        /// Gateway (view) index the stream leaves.
+        gateway: usize,
+        /// Name of the stream to remove.
+        stream: String,
+    },
+    /// Replace the named stream's configuration (rate, block sizes,
+    /// capacities, budgets) in place.
+    RetuneStream {
+        /// Gateway (view) index of the stream.
+        gateway: usize,
+        /// Name of the stream to retune.
+        stream: String,
+        /// The replacement configuration (may carry a new name).
+        with: StreamDeploy,
+    },
+}
+
+impl Delta {
+    /// The gateway (view) index this delta touches — the *only* pair
+    /// whose expensive per-pair facts need re-evaluation.
+    pub fn gateway(&self) -> usize {
+        match self {
+            Delta::AddStream { gateway, .. }
+            | Delta::RemoveStream { gateway, .. }
+            | Delta::RetuneStream { gateway, .. } => *gateway,
+        }
+    }
+
+    /// Short human-readable description (`add s3 @ gw1` style).
+    pub fn describe(&self) -> String {
+        match self {
+            Delta::AddStream { gateway, stream } => {
+                format!("add {} @ gateway {gateway}", stream.name)
+            }
+            Delta::RemoveStream { gateway, stream } => {
+                format!("remove {stream} @ gateway {gateway}")
+            }
+            Delta::RetuneStream {
+                gateway,
+                stream,
+                with,
+            } => format!("retune {stream} -> {} @ gateway {gateway}", with.name),
+        }
+    }
+}
+
+/// Why a [`Delta`] could not even be *evaluated* (as opposed to being
+/// evaluated and rejected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta names a gateway the spec does not have.
+    UnknownGateway(usize),
+    /// The delta names a stream the gateway does not carry.
+    UnknownStream(usize, String),
+    /// An add/retune would create a second stream with the same name on
+    /// the same gateway (names key the run-time splice and the monitor).
+    DuplicateStream(usize, String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownGateway(g) => write!(f, "unknown gateway {g}"),
+            DeltaError::UnknownStream(g, s) => {
+                write!(f, "gateway {g} has no stream named {s:?}")
+            }
+            DeltaError::DuplicateStream(g, s) => {
+                write!(f, "gateway {g} already has a stream named {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The admission decision for one [`Delta`], carrying the full analyzer
+/// report of the *candidate* deployment (the spec with the delta
+/// applied) — identical, diagnostic for diagnostic, to what a fresh
+/// [`crate::analyze_with`] of that candidate produces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionVerdict {
+    /// The candidate deployment passes every rule: the change may be
+    /// committed (and, via [`AdmissionController`], spliced into the
+    /// running system).
+    Admit(Report),
+    /// The candidate deployment fails at least one rule at Error
+    /// severity. Nothing is committed; the running system and every
+    /// already-admitted stream's τ ≤ τ̂ bound are untouched.
+    Reject(Report),
+}
+
+impl AdmissionVerdict {
+    /// True for [`AdmissionVerdict::Admit`].
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, AdmissionVerdict::Admit(_))
+    }
+
+    /// The candidate deployment's full report, either way.
+    pub fn report(&self) -> &Report {
+        match self {
+            AdmissionVerdict::Admit(r) | AdmissionVerdict::Reject(r) => r,
+        }
+    }
+}
+
+/// Persistent analyzer state for incremental re-verification: the
+/// current (committed) spec, the cached per-rule facts of its full
+/// A1–A10 run, and the assembled report.
+#[derive(Clone, Debug)]
+pub struct AnalysisState {
+    spec: DeploySpec,
+    opts: AnalysisOptions,
+    facts: Facts,
+    report: Report,
+}
+
+impl AnalysisState {
+    /// Run the full analysis once and cache every intermediate fact.
+    pub fn new(spec: DeploySpec, opts: AnalysisOptions) -> AnalysisState {
+        let facts = Facts::compute(&spec, &opts);
+        let report = assemble_report(&spec, &facts);
+        AnalysisState {
+            spec,
+            opts,
+            facts,
+            report,
+        }
+    }
+
+    /// The committed deployment.
+    pub fn spec(&self) -> &DeploySpec {
+        &self.spec
+    }
+
+    /// The committed deployment's report.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Apply `delta` to a clone of the committed spec, returning the
+    /// candidate spec and the touched gateway index.
+    fn candidate_spec(&self, delta: &Delta) -> Result<(DeploySpec, usize), DeltaError> {
+        let mut spec = self.spec.clone();
+        let g = delta.gateway();
+        let streams: &mut Vec<StreamDeploy> = if spec.gateways.is_empty() {
+            if g != 0 {
+                return Err(DeltaError::UnknownGateway(g));
+            }
+            &mut spec.streams
+        } else {
+            match spec.gateways.get_mut(g) {
+                Some(gw) => &mut gw.streams,
+                None => return Err(DeltaError::UnknownGateway(g)),
+            }
+        };
+        match delta {
+            Delta::AddStream { stream, .. } => {
+                if streams.iter().any(|s| s.name == stream.name) {
+                    return Err(DeltaError::DuplicateStream(g, stream.name.clone()));
+                }
+                streams.push(stream.clone());
+            }
+            Delta::RemoveStream { stream, .. } => {
+                let i = streams
+                    .iter()
+                    .position(|s| s.name == *stream)
+                    .ok_or_else(|| DeltaError::UnknownStream(g, stream.clone()))?;
+                streams.remove(i);
+            }
+            Delta::RetuneStream { stream, with, .. } => {
+                let i = streams
+                    .iter()
+                    .position(|s| s.name == *stream)
+                    .ok_or_else(|| DeltaError::UnknownStream(g, stream.clone()))?;
+                if with.name != *stream && streams.iter().any(|s| s.name == with.name) {
+                    return Err(DeltaError::DuplicateStream(g, with.name.clone()));
+                }
+                streams[i] = with.clone();
+            }
+        }
+        Ok((spec, g))
+    }
+
+    /// Evaluate `delta` without committing anything: recompute the
+    /// touched gateway's facts on the candidate spec, re-assemble, and
+    /// judge. The expensive per-pair rules run for **one** gateway; every
+    /// other pair's cached facts are reused verbatim (they are functions
+    /// of spec parts the delta cannot change).
+    pub fn evaluate(&self, delta: &Delta) -> Result<AdmissionVerdict, DeltaError> {
+        Ok(self.evaluate_candidate(delta)?.2)
+    }
+
+    /// Evaluate `delta` and, **iff admitted**, commit the candidate spec,
+    /// facts and report as the new baseline. A rejected (or malformed)
+    /// delta leaves the state bit-for-bit untouched — the non-disruptive
+    /// reject path of the admission contract.
+    pub fn apply(&mut self, delta: &Delta) -> Result<AdmissionVerdict, DeltaError> {
+        let (spec, facts, verdict) = self.evaluate_candidate(delta)?;
+        if let AdmissionVerdict::Admit(report) = &verdict {
+            self.spec = spec;
+            self.facts = facts;
+            self.report = report.clone();
+        }
+        Ok(verdict)
+    }
+
+    fn candidate_report(spec: &DeploySpec, facts: &Facts) -> Report {
+        assemble_report(spec, facts)
+    }
+
+    fn evaluate_candidate(
+        &self,
+        delta: &Delta,
+    ) -> Result<(DeploySpec, Facts, AdmissionVerdict), DeltaError> {
+        let (spec, g) = self.candidate_spec(delta)?;
+        let mut facts = self.facts.clone();
+        facts.recompute_gateway(&spec, g, &self.opts);
+        let report = Self::candidate_report(&spec, &facts);
+        let verdict = if report.is_accepted() {
+            AdmissionVerdict::Admit(report)
+        } else {
+            AdmissionVerdict::Reject(report)
+        };
+        Ok((spec, facts, verdict))
+    }
+}
+
+/// Parse a `--delta` admission script: a JSON object with a `deltas`
+/// array whose entries are `{"op": "add", "gateway": N, "stream":
+/// {...}}`, `{"op": "remove", "gateway": N, "stream": "name"}` or
+/// `{"op": "retune", "gateway": N, "stream": {...}}` (retune matches the
+/// existing stream by the new configuration's name unless a separate
+/// `"target"` name is given). Stream objects use the spec-JSON stream
+/// encoding (`name`, `mu: [num, den]`, `eta_in`, `eta_out`, `reconfig`,
+/// `input_capacity`, `output_capacity`, optional `max_latency`).
+/// `gateway` defaults to 0.
+pub fn parse_delta_script(text: &str) -> Result<Vec<Delta>, String> {
+    let top = json::parse(text)?;
+    let arr = top
+        .get("deltas")
+        .and_then(Json::as_array)
+        .ok_or("delta script without a deltas array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let op = d
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("delta {i} without an op"))?;
+            let gateway = d.get("gateway").and_then(Json::as_u64).unwrap_or(0) as usize;
+            match op {
+                "add" => Ok(Delta::AddStream {
+                    gateway,
+                    stream: stream_from_json(
+                        d.get("stream")
+                            .ok_or_else(|| format!("delta {i}: add without a stream object"))?,
+                    )?,
+                }),
+                "remove" => Ok(Delta::RemoveStream {
+                    gateway,
+                    stream: d
+                        .get("stream")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("delta {i}: remove without a stream name"))?
+                        .to_string(),
+                }),
+                "retune" => {
+                    let with =
+                        stream_from_json(d.get("stream").ok_or_else(|| {
+                            format!("delta {i}: retune without a stream object")
+                        })?)?;
+                    let target = d
+                        .get("target")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| with.name.clone());
+                    Ok(Delta::RetuneStream {
+                        gateway,
+                        stream: target,
+                        with,
+                    })
+                }
+                other => Err(format!("delta {i}: unknown op {other:?}")),
+            }
+        })
+        .collect()
+}
+
+/// Why a run-time admission attempt failed beyond the analysis itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The delta was malformed against the committed spec.
+    Delta(DeltaError),
+    /// The platform could not be brought into the required state (an
+    /// idle affected pair inside its config-bus slot) within the cycle
+    /// budget — e.g. a saturated pair that never goes idle.
+    Timeout(String),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Delta(e) => write!(f, "{e}"),
+            AdmissionError::Timeout(m) => write!(f, "admission timeout: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl From<DeltaError> for AdmissionError {
+    fn from(e: DeltaError) -> AdmissionError {
+        AdmissionError::Delta(e)
+    }
+}
+
+/// What a run-time admission attempt did.
+#[derive(Debug)]
+pub struct AdmissionOutcome {
+    /// The analysis verdict, with the candidate deployment's full report.
+    pub verdict: AdmissionVerdict,
+    /// Reconfiguration window `[start, end)` of the config-bus splice
+    /// transaction, when the delta was admitted and touched the platform.
+    pub window: Option<(u64, u64)>,
+    /// C-FIFOs created for an admitted add/retune (input, output).
+    pub fifos: Option<(FifoId, FifoId)>,
+    /// The stream's index in its gateway's table after an admitted
+    /// add/retune splice.
+    pub stream_index: Option<usize>,
+}
+
+/// Run-time admission control over a *running* [`System`]: consults the
+/// incremental analyzer, and — only on [`AdmissionVerdict::Admit`] —
+/// splices the change in through the configuration bus inside an
+/// analyzed reconfiguration window, then re-arms the online [`Monitor`]
+/// with the updated bounds.
+///
+/// Transition-window soundness (DESIGN.md §10): a splice-in is an
+/// append-only stream-table write scheduled inside the pair's A9 bus
+/// slot; it never touches the active block's table entry, the round-robin
+/// cursor or the chain's data path, so every in-flight and co-deployed
+/// stream keeps its τ ≤ τ̂ bound across the transition, and the new
+/// stream's first block pays its full `R_s` through the ordinary
+/// admission path exactly as Eq. 2 charges it. A splice-out additionally
+/// waits for the pair to go idle, so no block is in flight on the
+/// affected pair when its table shrinks. Rejects return before any
+/// platform call — state mutation on the reject path is structurally
+/// impossible.
+pub struct AdmissionController {
+    state: AnalysisState,
+    /// Cycle budget for waiting on an idle pair, as a multiple of the
+    /// committed γ (the analyzer's round bound: every admitted block
+    /// completes within it, so a handful of rounds is ample slack).
+    idle_rounds: u64,
+}
+
+impl AdmissionController {
+    /// Controller over a committed baseline deployment. Runs the full
+    /// analysis once; subsequent requests are incremental.
+    pub fn new(spec: DeploySpec, opts: AnalysisOptions) -> AdmissionController {
+        AdmissionController {
+            state: AnalysisState::new(spec, opts),
+            idle_rounds: 8,
+        }
+    }
+
+    /// The underlying incremental analyzer state.
+    pub fn state(&self) -> &AnalysisState {
+        &self.state
+    }
+
+    /// The committed deployment.
+    pub fn spec(&self) -> &DeploySpec {
+        self.state.spec()
+    }
+
+    /// The committed deployment's report.
+    pub fn report(&self) -> &Report {
+        self.state.report()
+    }
+
+    /// Evaluate a delta without touching the platform or committing
+    /// anything — the pure analysis half of [`AdmissionController::request`].
+    pub fn evaluate(&self, delta: &Delta) -> Result<AdmissionVerdict, DeltaError> {
+        self.state.evaluate(delta)
+    }
+
+    /// Process one admission request against the running `system`.
+    ///
+    /// `gateway_map[v]` is the system gateway index of spec gateway view
+    /// `v` — `[built.gateway]` for a `BuiltSystem`, `&built.gateways` for
+    /// a [`crate::MultiBuiltSystem`] (both are identity mappings, which
+    /// the monitor re-arming also relies on). `monitor`, when given, is
+    /// re-armed with the updated τ̂/γ bounds after an admitted splice.
+    ///
+    /// On [`AdmissionVerdict::Reject`] the method returns *before any
+    /// platform interaction*: the system, the committed spec and every
+    /// admitted stream's bounds are untouched.
+    pub fn request(
+        &mut self,
+        system: &mut System,
+        gateway_map: &[usize],
+        delta: &Delta,
+        monitor: Option<&mut Monitor>,
+    ) -> Result<AdmissionOutcome, AdmissionError> {
+        let verdict = self.state.evaluate(delta)?;
+        if !verdict.is_admitted() {
+            return Ok(AdmissionOutcome {
+                verdict,
+                window: None,
+                fifos: None,
+                stream_index: None,
+            });
+        }
+        let g = delta.gateway();
+        let sysg = *gateway_map.get(g).ok_or(DeltaError::UnknownGateway(g))?;
+
+        let (window, fifos, stream_index) = match delta {
+            Delta::AddStream { stream, .. } => {
+                let t = self.align_to_slot(system, g, stream.reconfig);
+                let (i, o, idx) = self.splice_in(system, sysg, g, stream);
+                (Some((t, t + stream.reconfig)), Some((i, o)), Some(idx))
+            }
+            Delta::RemoveStream { stream, .. } => {
+                let (t, idx) = self.idle_in_slot(system, sysg, g, stream)?;
+                let removed = system.splice_out_stream(sysg, idx);
+                (Some((t, t + removed.reconfig_cycles)), None, None)
+            }
+            Delta::RetuneStream { stream, with, .. } => {
+                let (t, idx) = self.idle_in_slot(system, sysg, g, stream)?;
+                let _removed = system.splice_out_stream(sysg, idx);
+                let (i, o, new_idx) = self.splice_in(system, sysg, g, with);
+                (Some((t, t + with.reconfig)), Some((i, o)), Some(new_idx))
+            }
+        };
+
+        // Commit the analysis state. The candidate is the same one the
+        // evaluate above admitted, so this cannot reject.
+        let verdict = self.state.apply(delta)?;
+        debug_assert!(verdict.is_admitted());
+
+        if let Some(m) = monitor {
+            m.rearm(monitor_config_for(
+                self.state.spec(),
+                self.state.report(),
+                system,
+            ));
+        }
+        Ok(AdmissionOutcome {
+            verdict,
+            window,
+            fifos,
+            stream_index,
+        })
+    }
+
+    /// Create the stream's C-FIFOs (named like the spec builders name
+    /// them) and append its table entry with passthrough kernels — the
+    /// same kernels [`DeploySpec::build_platform`] installs.
+    fn splice_in(
+        &self,
+        system: &mut System,
+        sysg: usize,
+        g: usize,
+        stream: &StreamDeploy,
+    ) -> (FifoId, FifoId, usize) {
+        let spec = self.state.spec();
+        let (in_name, out_name) = if spec.is_multi() {
+            let gw = &spec.gateways[g].name;
+            (
+                format!("{gw}:{}:in", stream.name),
+                format!("{gw}:{}:out", stream.name),
+            )
+        } else {
+            (
+                format!("in:{}", stream.name),
+                format!("out:{}", stream.name),
+            )
+        };
+        let i = system.splice_fifo(CFifo::new(in_name, stream.input_capacity as usize));
+        let o = system.splice_fifo(CFifo::new(out_name, stream.output_capacity as usize));
+        let chain_len = system.gateways[sysg].chain.len();
+        let kernels = stream_kernels(chain_len, stream.eta_in, stream.eta_out);
+        let idx = system.splice_stream(
+            sysg,
+            StreamConfig::new(
+                stream.name.clone(),
+                i,
+                o,
+                stream.eta_in as usize,
+                stream.eta_out as usize,
+                stream.reconfig,
+                kernels,
+            ),
+        );
+        (i, o, idx)
+    }
+
+    /// Advance the system to the next cycle inside gateway `g`'s
+    /// config-bus slot with at least `r` cycles of slot left (rule A9
+    /// guarantees `r` fits any slot the pair declares). Specs without a
+    /// bus frame splice immediately. Returns the splice cycle.
+    fn align_to_slot(&self, system: &mut System, g: usize, r: u64) -> u64 {
+        let spec = self.state.spec();
+        let slot = spec
+            .gateway_views()
+            .get(g)
+            .and_then(|v| v.config_slot)
+            .zip(spec.config_bus_period);
+        let Some(((off, len), period)) = slot else {
+            return system.cycle();
+        };
+        let now = system.cycle();
+        let latest = off + len.saturating_sub(r.min(len));
+        let phase = now % period;
+        let t = if (off..=latest).contains(&phase) {
+            now
+        } else if phase < off {
+            now + (off - phase)
+        } else {
+            now + (period - phase) + off
+        };
+        if t > now {
+            system.run(t - now);
+        }
+        system.cycle()
+    }
+
+    /// Bring gateway `sysg` to *idle inside its bus slot*: wait for the
+    /// pair to finish its in-flight block (state predicate — fires at the
+    /// same cycle in both engines), then align to the slot, re-verifying
+    /// idleness after the alignment run, with bounded retries. Also
+    /// resolves the target stream's current table index by name.
+    fn idle_in_slot(
+        &self,
+        system: &mut System,
+        sysg: usize,
+        g: usize,
+        stream: &str,
+    ) -> Result<(u64, usize), AdmissionError> {
+        let gamma = self.state.report().gamma.max(1);
+        let budget = self.idle_rounds * gamma + 4000;
+        for _ in 0..8 {
+            let idle = system.gateways[sysg].is_idle()
+                || system.run_until(budget, |s| s.gateways[sysg].is_idle());
+            if !idle {
+                return Err(AdmissionError::Timeout(format!(
+                    "gateway {sysg} not idle within {budget} cycles (gamma = {gamma})"
+                )));
+            }
+            let t = self.align_to_slot(system, g, 0);
+            if system.gateways[sysg].is_idle() {
+                let gw = &system.gateways[sysg];
+                let idx = (0..gw.num_streams())
+                    .find(|&i| gw.stream(i).name == stream)
+                    .ok_or_else(|| {
+                        AdmissionError::Delta(DeltaError::UnknownStream(g, stream.to_string()))
+                    })?;
+                return Ok((t, idx));
+            }
+        }
+        Err(AdmissionError::Timeout(format!(
+            "gateway {sysg} kept admitting blocks across its config-bus slot"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_with, DeploySpec};
+    use streamgate_ilp::Rational;
+
+    fn probe(name: &str) -> StreamDeploy {
+        StreamDeploy {
+            name: name.into(),
+            mu: Rational::new(1, 1_000_000),
+            eta_in: 8,
+            eta_out: 8,
+            reconfig: 20,
+            input_capacity: 64,
+            output_capacity: 64,
+            max_latency: None,
+        }
+    }
+
+    #[test]
+    fn add_then_remove_matches_full_analysis() {
+        let opts = AnalysisOptions::default();
+        let mut st = AnalysisState::new(DeploySpec::pal2(), opts);
+        let add = Delta::AddStream {
+            gateway: 1,
+            stream: probe("probe"),
+        };
+        let v = st.apply(&add).unwrap();
+        assert!(v.is_admitted(), "{}", v.report().render_text());
+        let mut full_spec = DeploySpec::pal2();
+        full_spec.gateways[1].streams.push(probe("probe"));
+        let full = analyze_with(&full_spec, &opts);
+        assert_eq!(v.report(), &full);
+        assert_eq!(v.report().to_json_text(), full.to_json_text());
+
+        let rm = Delta::RemoveStream {
+            gateway: 1,
+            stream: "probe".into(),
+        };
+        let v = st.apply(&rm).unwrap();
+        assert!(v.is_admitted());
+        assert_eq!(v.report(), &analyze_with(&DeploySpec::pal2(), &opts));
+    }
+
+    #[test]
+    fn reject_leaves_state_untouched() {
+        let opts = AnalysisOptions::default();
+        let mut st = AnalysisState::new(DeploySpec::pal2(), opts);
+        let before = st.report().clone();
+        // μ = 1/2 on the shared chain over-commits it (A8).
+        let mut hog = probe("hog");
+        hog.mu = Rational::new(1, 2);
+        let v = st
+            .apply(&Delta::AddStream {
+                gateway: 1,
+                stream: hog,
+            })
+            .unwrap();
+        assert!(!v.is_admitted());
+        assert_eq!(st.report(), &before);
+        assert_eq!(st.spec(), &DeploySpec::pal2());
+    }
+
+    #[test]
+    fn delta_errors_are_reported() {
+        let st = AnalysisState::new(DeploySpec::pal2(), AnalysisOptions::default());
+        assert_eq!(
+            st.evaluate(&Delta::RemoveStream {
+                gateway: 0,
+                stream: "nope".into()
+            }),
+            Err(DeltaError::UnknownStream(0, "nope".into()))
+        );
+        assert_eq!(
+            st.evaluate(&Delta::AddStream {
+                gateway: 7,
+                stream: probe("x")
+            }),
+            Err(DeltaError::UnknownGateway(7))
+        );
+        assert_eq!(
+            st.evaluate(&Delta::AddStream {
+                gateway: 0,
+                stream: probe("ch1-front")
+            }),
+            Err(DeltaError::DuplicateStream(0, "ch1-front".into()))
+        );
+    }
+
+    #[test]
+    fn delta_script_parses() {
+        let script = r#"{"deltas": [
+            {"op": "add", "gateway": 1, "stream": {"name": "s", "mu": [1, 100],
+             "eta_in": 8, "eta_out": 8, "reconfig": 20,
+             "input_capacity": 64, "output_capacity": 64}},
+            {"op": "remove", "gateway": 1, "stream": "s"},
+            {"op": "retune", "stream": {"name": "s", "mu": [1, 200],
+             "eta_in": 8, "eta_out": 8, "reconfig": 20,
+             "input_capacity": 64, "output_capacity": 64}}
+        ]}"#;
+        let deltas = parse_delta_script(script).unwrap();
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].gateway(), 1);
+        assert!(matches!(&deltas[2], Delta::RetuneStream { stream, .. } if stream == "s"));
+    }
+}

@@ -44,16 +44,21 @@
 #![deny(missing_docs)]
 
 pub mod diag;
+pub mod incremental;
 pub mod json;
 pub mod profile;
 pub mod rules;
 pub mod spec;
 
-pub use diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
+pub use diag::{sort_diagnostics, Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
+pub use incremental::{
+    parse_delta_script, AdmissionController, AdmissionError, AdmissionOutcome, AdmissionVerdict,
+    AnalysisState, Delta, DeltaError,
+};
 pub use json::Json;
 pub use profile::{
-    analyze_profiled, monitor_for, multi_tau_margin, parse_profile, round_margin, tau_margin,
-    RingEnvelope,
+    analyze_profiled, monitor_config_for, monitor_for, multi_tau_margin, parse_profile,
+    round_margin, tau_margin, RingEnvelope,
 };
 pub use rules::{analyze, analyze_with, AnalysisOptions};
 pub use spec::{

@@ -592,9 +592,7 @@ pub fn analyze_profiled(
     }
 
     report.diagnostics.extend(diags);
-    report
-        .diagnostics
-        .sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
+    crate::diag::sort_diagnostics(&mut report.diagnostics);
     report
 }
 
@@ -608,6 +606,14 @@ pub fn analyze_profiled(
 /// system's, which [`DeploySpec::build_platform`] and
 /// [`DeploySpec::build_multi_platform`] guarantee).
 pub fn monitor_for(spec: &DeploySpec, report: &Report, system: &System) -> Monitor {
+    Monitor::new(monitor_config_for(spec, report, system))
+}
+
+/// The [`MonitorConfig`] behind [`monitor_for`], exposed separately so a
+/// running monitor can be *re-armed* ([`Monitor::rearm`]) with bounds from
+/// an updated spec/report after an online admission changed the stream
+/// population.
+pub fn monitor_config_for(spec: &DeploySpec, report: &Report, system: &System) -> MonitorConfig {
     let mut cfg = MonitorConfig::from_system(system);
     let views = spec.gateway_views();
     let mut flat = 0usize;
@@ -638,7 +644,7 @@ pub fn monitor_for(spec: &DeploySpec, report: &Report, system: &System) -> Monit
             gc.round_bound = Some(g + margin * n + 16);
         }
     }
-    Monitor::new(cfg)
+    cfg
 }
 
 #[cfg(test)]

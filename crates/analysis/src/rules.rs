@@ -53,6 +53,185 @@ pub fn analyze(spec: &DeploySpec) -> Report {
 
 /// Run every rule over `spec` and collect the findings into a [`Report`].
 pub fn analyze_with(spec: &DeploySpec, opts: &AnalysisOptions) -> Report {
+    assemble_report(spec, &Facts::compute(spec, opts))
+}
+
+/// Cached per-pair facts: everything the *expensive* per-gateway rules
+/// (A1 CSDF liveness, A2 exact buffer search, A3 with the Algorithm 1
+/// solve, A5, A6 and the structural checks) produce for one
+/// [`GatewayView`]. These depend only on the pair's own chain, parameters
+/// and streams — never on any other pair's stream set — so a stream
+/// add/remove/retune on one gateway invalidates exactly one `PairFacts`.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct PairFacts {
+    /// Per-pair diagnostics with stream locations indexed *locally*
+    /// (0-based within the pair); [`assemble_report`] remaps them onto the
+    /// flat cross-gateway stream numbering.
+    pub(crate) diags: Vec<Diagnostic>,
+    /// τ̂ per local stream: `R_s + (η_s + 2)·c0` (Eq. 2) with the pair's
+    /// own `c0` — the input the system-scope round rule A8 consumes.
+    pub(crate) taus: Vec<u64>,
+    /// Aggregate chain utilisation `c0·Σμ` of the pair (Eq. 8).
+    pub(crate) util: Rational,
+}
+
+impl PairFacts {
+    pub(crate) fn compute(
+        spec: &DeploySpec,
+        view: &GatewayView,
+        opts: &AnalysisOptions,
+    ) -> PairFacts {
+        let mut diags = Vec::new();
+        let prob = view.sharing_problem();
+        let etas = view.etas();
+        let gamma = if view.streams.is_empty() {
+            0
+        } else {
+            prob.gamma(&etas)
+        };
+        let util = prob.utilisation();
+        let structurally_ok = check_structure(spec, view, 0, &mut diags);
+        let throughput_ok = check_throughput(spec, view, 0, &prob, &etas, gamma, &util, &mut diags);
+        check_buffers(
+            spec,
+            view,
+            0,
+            &prob,
+            &etas,
+            gamma,
+            throughput_ok,
+            opts,
+            &mut diags,
+        );
+        check_space_check(spec, view, 0, &mut diags);
+        check_credits(spec, view, &mut diags);
+        check_liveness(spec, view, 0, &prob, &etas, structurally_ok, &mut diags);
+        let c0 = view.c0();
+        let taus = view
+            .streams
+            .iter()
+            .map(|s| s.reconfig + (s.eta_in + 2) * c0)
+            .collect();
+        PairFacts { diags, taus, util }
+    }
+}
+
+/// One pair's additive contribution to the A7 ring-load accounting: dense
+/// per-hop load floors/ceilings on the data and credit rings, plus the
+/// set of data-ring hops the pair's blocks cross. Contributions are pure
+/// functions of the ring layout (which stream churn never changes) and
+/// the pair's own streams, so [`assemble_report`] can re-sum them in
+/// O(gateways × stations) without re-walking any unaffected pair.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct RingContrib {
+    /// Provable per-hop load floor on the data ring, flits/cycle.
+    pub(crate) data_min: Vec<Rational>,
+    /// Per-hop load ceiling on the data ring, flits/cycle.
+    pub(crate) data_max: Vec<Rational>,
+    /// Provable per-hop load floor on the credit ring.
+    pub(crate) credit_min: Vec<Rational>,
+    /// Per-hop load ceiling on the credit ring.
+    pub(crate) credit_max: Vec<Rational>,
+    /// Data-ring hops this pair's blocks cross (deduplicated).
+    pub(crate) hops: Vec<usize>,
+}
+
+impl RingContrib {
+    pub(crate) fn compute(layout: &crate::spec::RingLayout, view: &GatewayView) -> RingContrib {
+        let zero = Rational::from_int(0);
+        let mut c = RingContrib {
+            data_min: vec![zero; layout.nodes],
+            data_max: vec![zero; layout.nodes],
+            credit_min: vec![zero; layout.nodes],
+            credit_max: vec![zero; layout.nodes],
+            hops: Vec::new(),
+        };
+        let segs = layout.segments(view.index);
+        for s in view.streams {
+            let ratio = if s.eta_out >= s.eta_in {
+                Rational::ONE
+            } else {
+                Rational::new(s.eta_out as i128, s.eta_in as i128)
+            };
+            for (k, &(src, dst)) in segs.iter().enumerate() {
+                let wmin = if k == 0 { s.mu } else { s.mu * ratio };
+                for h in layout.data_hops(src, dst) {
+                    c.data_min[h] += wmin;
+                    c.data_max[h] += s.mu;
+                    if !c.hops.contains(&h) {
+                        c.hops.push(h);
+                    }
+                }
+                for h in layout.credit_hops(src, dst) {
+                    c.credit_min[h] += wmin;
+                    c.credit_max[h] += s.mu;
+                }
+            }
+        }
+        c
+    }
+}
+
+/// The analyzer's cached intermediate state: per-pair facts, per-pair ring
+/// contributions, and the stream-churn-invariant A4 TDM diagnostics.
+/// [`assemble_report`] turns this into a full [`Report`] by re-running
+/// only the cheap system-scope arithmetic (A7 summation, A8 Eq. 3–4, A9
+/// slot tables, A10 latency composition) — which is what makes the
+/// incremental admission analysis both fast and *exactly* equivalent to a
+/// fresh full run.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Facts {
+    /// One entry per gateway view, in view order.
+    pub(crate) pairs: Vec<PairFacts>,
+    /// One A7 contribution per gateway view, in view order.
+    pub(crate) ring: Vec<RingContrib>,
+    /// A4 TDM diagnostics — processors are untouched by stream churn.
+    pub(crate) tdm: Vec<Diagnostic>,
+}
+
+impl Facts {
+    /// Full evaluation of every cached fact (the expensive path).
+    pub(crate) fn compute(spec: &DeploySpec, opts: &AnalysisOptions) -> Facts {
+        let views = spec.gateway_views();
+        let layout = spec.ring_layout();
+        Facts {
+            pairs: views
+                .iter()
+                .map(|v| PairFacts::compute(spec, v, opts))
+                .collect(),
+            ring: views
+                .iter()
+                .map(|v| RingContrib::compute(&layout, v))
+                .collect(),
+            tdm: {
+                let mut d = Vec::new();
+                check_tdm(spec, &mut d);
+                d
+            },
+        }
+    }
+
+    /// Re-evaluate the cached facts of gateway `g` only — the
+    /// O(affected-gateways) path. `spec` must differ from the spec these
+    /// facts were computed from in gateway `g`'s stream list alone.
+    pub(crate) fn recompute_gateway(
+        &mut self,
+        spec: &DeploySpec,
+        g: usize,
+        opts: &AnalysisOptions,
+    ) {
+        let views = spec.gateway_views();
+        let layout = spec.ring_layout();
+        self.pairs[g] = PairFacts::compute(spec, &views[g], opts);
+        self.ring[g] = RingContrib::compute(&layout, &views[g]);
+    }
+}
+
+/// Assemble a [`Report`] from cached [`Facts`]: remap the per-pair
+/// diagnostics onto the flat stream numbering, then run the system-scope
+/// rules A7–A10 (cheap linear arithmetic over the cached τ̂ vectors and
+/// ring contributions) and sort everything into the canonical order.
+pub(crate) fn assemble_report(spec: &DeploySpec, facts: &Facts) -> Report {
     let views = spec.gateway_views();
     let mut diags = Vec::new();
 
@@ -74,58 +253,42 @@ pub fn analyze_with(spec: &DeploySpec, opts: &AnalysisOptions) -> Report {
         });
     }
 
-    // Per-pair rules A1–A6, one pass per view, with globally offset stream
+    // Per-pair rules A1–A6 from the cache, with globally offset stream
     // indices so diagnostics and bounds use one flat numbering.
     let mut util_max = Rational::from_int(0);
     let mut offset = 0;
     for v in &views {
-        let prob = v.sharing_problem();
-        let etas = v.etas();
-        let gamma = if v.streams.is_empty() {
-            0
-        } else {
-            prob.gamma(&etas)
-        };
-        let util = prob.utilisation();
-        if util > util_max {
-            util_max = util;
+        let pf = &facts.pairs[v.index];
+        if pf.util > util_max {
+            util_max = pf.util;
         }
-        let structurally_ok = check_structure(spec, v, offset, &mut diags);
-        let throughput_ok =
-            check_throughput(spec, v, offset, &prob, &etas, gamma, &util, &mut diags);
-        check_buffers(
-            spec,
-            v,
-            offset,
-            &prob,
-            &etas,
-            gamma,
-            throughput_ok,
-            opts,
-            &mut diags,
-        );
-        check_space_check(spec, v, offset, &mut diags);
-        check_credits(spec, v, &mut diags);
-        check_liveness(spec, v, offset, &prob, &etas, structurally_ok, &mut diags);
+        for d in &pf.diags {
+            let mut d = d.clone();
+            if let Location::Stream { index, .. } = &mut d.location {
+                *index += offset;
+            }
+            diags.push(d);
+        }
         offset += v.streams.len();
     }
-    check_tdm(spec, &mut diags);
+    diags.extend(facts.tdm.iter().cloned());
 
     // System-scope rules A7–A10.
-    let gamma_sys = check_system_round(spec, &views, &mut diags);
-    check_ring(spec, &views, &mut diags);
+    let taus: Vec<&[u64]> = facts.pairs.iter().map(|p| p.taus.as_slice()).collect();
+    let gamma_sys = check_system_round(spec, &views, &taus, &mut diags);
+    check_ring(spec, &views, &facts.ring, &mut diags);
     check_config_bus(spec, &views, &mut diags);
     check_latency(spec, &views, &gamma_sys, &mut diags);
 
-    // Deterministic order: by rule, most severe first, then insertion order.
-    diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
+    // Canonical order: insertion-order-independent, so reports built from
+    // cached facts and from a fresh full run are byte-identical.
+    crate::diag::sort_diagnostics(&mut diags);
 
     let mut bounds = Vec::new();
     let mut gi = 0;
     for v in &views {
-        let c0 = v.c0();
-        for s in v.streams {
-            let tau_hat = s.reconfig + (s.eta_in + 2) * c0;
+        for (i, s) in v.streams.iter().enumerate() {
+            let tau_hat = facts.pairs[v.index].taus[i];
             bounds.push(StreamBounds {
                 stream: s.name.clone(),
                 eta_in: s.eta_in,
@@ -809,20 +972,11 @@ fn check_liveness(
 fn check_system_round(
     spec: &DeploySpec,
     views: &[GatewayView],
+    // τ̂ per view per local stream (Eq. 2 with the view's own c0), from
+    // the cached per-pair facts.
+    taus: &[&[u64]],
     diags: &mut Vec<Diagnostic>,
 ) -> Vec<u64> {
-    // τ̂ per view per local stream (Eq. 2 with the view's own c0).
-    let taus: Vec<Vec<u64>> = views
-        .iter()
-        .map(|v| {
-            let c0 = v.c0();
-            v.streams
-                .iter()
-                .map(|s| s.reconfig + (s.eta_in + 2) * c0)
-                .collect()
-        })
-        .collect();
-
     let mut gamma_sys = Vec::new();
     let mut gamma_local = Vec::new();
     for v in views {
@@ -950,7 +1104,12 @@ fn check_system_round(
 /// minimum while μ stays the ceiling). Required load above one flit/cycle
 /// on any hop is a provable failure; a ceiling at or above one is a
 /// warning.
-fn check_ring(spec: &DeploySpec, views: &[GatewayView], diags: &mut Vec<Diagnostic>) {
+fn check_ring(
+    spec: &DeploySpec,
+    views: &[GatewayView],
+    contribs: &[RingContrib],
+    diags: &mut Vec<Diagnostic>,
+) {
     if views.iter().all(|v| v.chain.is_empty())
         || views.iter().any(|v| {
             v.streams
@@ -969,28 +1128,18 @@ fn check_ring(spec: &DeploySpec, views: &[GatewayView], diags: &mut Vec<Diagnost
     // Which gateways cross each data hop (for diagnostics + NI check).
     let mut hop_users: Vec<Vec<usize>> = vec![Vec::new(); layout.nodes];
 
+    // Sum the cached per-pair contributions (view order, exact rationals —
+    // identical to walking every stream of every pair directly).
     for v in views {
-        let segs = layout.segments(v.index);
-        for s in v.streams {
-            let ratio = if s.eta_out >= s.eta_in {
-                Rational::ONE
-            } else {
-                Rational::new(s.eta_out as i128, s.eta_in as i128)
-            };
-            for (k, &(src, dst)) in segs.iter().enumerate() {
-                let wmin = if k == 0 { s.mu } else { s.mu * ratio };
-                for h in layout.data_hops(src, dst) {
-                    data_min[h] += wmin;
-                    data_max[h] += s.mu;
-                    if !hop_users[h].contains(&v.index) {
-                        hop_users[h].push(v.index);
-                    }
-                }
-                for h in layout.credit_hops(src, dst) {
-                    credit_min[h] += wmin;
-                    credit_max[h] += s.mu;
-                }
-            }
+        let c = &contribs[v.index];
+        for h in 0..layout.nodes {
+            data_min[h] += c.data_min[h];
+            data_max[h] += c.data_max[h];
+            credit_min[h] += c.credit_min[h];
+            credit_max[h] += c.credit_max[h];
+        }
+        for &h in &c.hops {
+            hop_users[h].push(v.index);
         }
     }
 

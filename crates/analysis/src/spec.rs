@@ -861,29 +861,33 @@ fn streams_from_json(v: &Json) -> Result<Vec<StreamDeploy>, String> {
     v.as_array()
         .ok_or("streams must be an array")?
         .iter()
-        .map(|s| {
-            let mu = s
-                .get("mu")
-                .and_then(Json::as_array)
-                .filter(|a| a.len() == 2)
-                .ok_or("stream without mu [num, den]")?;
-            let num = mu[0].as_int().ok_or("bad mu numerator")?;
-            let den = mu[1].as_int().ok_or("bad mu denominator")?;
-            if den == 0 {
-                return Err("mu denominator is zero".to_string());
-            }
-            Ok(StreamDeploy {
-                name: j_str(s, "name")?,
-                mu: Rational::new(num, den),
-                eta_in: j_u64(s, "eta_in")?,
-                eta_out: j_u64(s, "eta_out")?,
-                reconfig: j_u64(s, "reconfig")?,
-                input_capacity: j_u64(s, "input_capacity")?,
-                output_capacity: j_u64(s, "output_capacity")?,
-                max_latency: s.get("max_latency").and_then(Json::as_u64),
-            })
-        })
+        .map(stream_from_json)
         .collect()
+}
+
+/// Parse one stream object of the spec-JSON `streams` encoding — shared
+/// with the `--delta` admission-script parser.
+pub(crate) fn stream_from_json(s: &Json) -> Result<StreamDeploy, String> {
+    let mu = s
+        .get("mu")
+        .and_then(Json::as_array)
+        .filter(|a| a.len() == 2)
+        .ok_or("stream without mu [num, den]")?;
+    let num = mu[0].as_int().ok_or("bad mu numerator")?;
+    let den = mu[1].as_int().ok_or("bad mu denominator")?;
+    if den == 0 {
+        return Err("mu denominator is zero".to_string());
+    }
+    Ok(StreamDeploy {
+        name: j_str(s, "name")?,
+        mu: Rational::new(num, den),
+        eta_in: j_u64(s, "eta_in")?,
+        eta_out: j_u64(s, "eta_out")?,
+        reconfig: j_u64(s, "reconfig")?,
+        input_capacity: j_u64(s, "input_capacity")?,
+        output_capacity: j_u64(s, "output_capacity")?,
+        max_latency: s.get("max_latency").and_then(Json::as_u64),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1114,13 +1118,13 @@ impl DeploySpec {
         }
     }
 
-    /// Build the cycle-level platform this spec describes (passthrough
-    /// kernels, one per chain stage) — the simulation twin the differential
-    /// tests validate analyzer verdicts against. Processor tiles are *not*
-    /// built; validation harnesses pre-fill the input FIFOs instead.
+    /// Build the cycle-level platform this spec describes — the simulation
+    /// twin the differential tests validate analyzer verdicts against.
+    /// Kernels realize each stream's rate conversion (see
+    /// [`stream_kernels`]). Processor tiles are *not* built; validation
+    /// harnesses pre-fill the input FIFOs instead.
     pub fn build_platform(&self) -> streamgate_core::BuiltSystem {
         use streamgate_core::{AccelDef, StreamDef, SystemSpec};
-        use streamgate_platform::PassthroughKernel;
         let spec = SystemSpec {
             chain: self
                 .chain
@@ -1138,14 +1142,7 @@ impl DeploySpec {
                     eta_in: s.eta_in as usize,
                     eta_out: s.eta_out as usize,
                     reconfig: s.reconfig,
-                    kernels: self
-                        .chain
-                        .iter()
-                        .map(|_| {
-                            Box::new(PassthroughKernel)
-                                as Box<dyn streamgate_platform::StreamKernel>
-                        })
-                        .collect(),
+                    kernels: stream_kernels(self.chain.len(), s.eta_in, s.eta_out),
                     input_capacity: s.input_capacity as usize,
                     output_capacity: s.output_capacity as usize,
                 })
@@ -1160,15 +1157,14 @@ impl DeploySpec {
     /// [`DeploySpec::ring_layout`] placement: one accelerator tile set per
     /// owned chain, one [`streamgate_platform::GatewayPair`] per gateway
     /// (with `shared_chain` set on every pair of a multi-pair group), and
-    /// passthrough kernels throughout — the simulation twin the
-    /// differential tests validate system-scope verdicts against.
+    /// rate-matched kernels per stream (see [`stream_kernels`]) — the
+    /// simulation twin the differential tests validate system-scope
+    /// verdicts against.
     ///
     /// Panics on single-gateway specs (use [`DeploySpec::build_platform`])
     /// and on structurally invalid gateway sections.
     pub fn build_multi_platform(&self) -> MultiBuiltSystem {
-        use streamgate_platform::{
-            AcceleratorTile, CFifo, GatewayPair, PassthroughKernel, StreamConfig, System,
-        };
+        use streamgate_platform::{AcceleratorTile, CFifo, GatewayPair, StreamConfig, System};
         assert!(
             self.is_multi(),
             "single-gateway specs build via build_platform"
@@ -1254,13 +1250,7 @@ impl DeploySpec {
                     s.eta_in as usize,
                     s.eta_out as usize,
                     s.reconfig,
-                    v.chain
-                        .iter()
-                        .map(|_| {
-                            Box::new(PassthroughKernel)
-                                as Box<dyn streamgate_platform::StreamKernel>
-                        })
-                        .collect(),
+                    stream_kernels(v.chain.len(), s.eta_in, s.eta_out),
                 ));
                 ins.push(i);
                 outs.push(o);
@@ -1276,6 +1266,42 @@ impl DeploySpec {
             outputs,
         }
     }
+}
+
+/// Kernels realizing a stream's `eta_in -> eta_out` rate conversion on a
+/// `chain_len`-stage pipeline: passthrough stages, except the final stage
+/// becomes a `eta_in/eta_out : 1` down-sampler when the stream decimates.
+///
+/// A 1:1 chain for a decimating stream would deadlock the platform: the
+/// exit gateway stops copying after `eta_out` samples while the chain still
+/// holds `eta_in - eta_out` more, so back-pressure wedges the entry DMA
+/// with the block forever incomplete. The analyzer's rules assume the
+/// chain *implements* the declared rates; the built twin must too.
+///
+/// Panics when a decimating stream's `eta_out` does not divide `eta_in`
+/// (no integer down-sampling factor exists) or when `eta_out > eta_in`
+/// (interpolation is not modelled).
+pub fn stream_kernels(
+    chain_len: usize,
+    eta_in: u64,
+    eta_out: u64,
+) -> Vec<Box<dyn streamgate_platform::StreamKernel>> {
+    use streamgate_platform::{DownsampleKernel, PassthroughKernel};
+    assert!(
+        eta_out > 0 && eta_out <= eta_in && eta_in.is_multiple_of(eta_out),
+        "stream rates {eta_in} -> {eta_out} have no integer decimation factor"
+    );
+    let factor = (eta_in / eta_out) as usize;
+    (0..chain_len)
+        .map(|j| {
+            if j + 1 == chain_len && factor > 1 {
+                Box::new(DownsampleKernel::new(factor))
+                    as Box<dyn streamgate_platform::StreamKernel>
+            } else {
+                Box::new(PassthroughKernel)
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1441,6 +1467,49 @@ mod tests {
             popped
         };
         assert_eq!(run(&DeploySpec::pal2()), run(&pal2_mapped()));
+    }
+
+    #[test]
+    fn identity_station_map_is_fully_equivalent_to_fallback() {
+        // A user map that spells out exactly the interleaved fallback
+        // placement is *indistinguishable* from omitting the map: same
+        // layout, byte-identical analyzer report, identical cycle-level
+        // trace. (ROADMAP: interleaved fallback vs user map equivalence.)
+        let plain = DeploySpec::pal2();
+        let fallback = plain.ring_layout();
+        let mut mapped = plain.clone();
+        mapped.station_map = Some(StationMap {
+            nodes: fallback.nodes,
+            entries: fallback.entries.clone(),
+            exits: fallback.exits.clone(),
+            chain_nodes: fallback.chain_nodes.clone(),
+        });
+        assert!(mapped.gateway_structure_errors().is_empty());
+        assert_eq!(mapped.ring_layout(), fallback);
+
+        let opts = crate::rules::AnalysisOptions {
+            exact_buffers: false,
+        };
+        let a = crate::rules::analyze_with(&plain, &opts);
+        let b = crate::rules::analyze_with(&mapped, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_text(), b.to_json_text());
+
+        let trace = |spec: &DeploySpec| {
+            let mut built = spec.build_multi_platform();
+            built.system.enable_tracing(0);
+            for (g, v) in spec.gateway_views().iter().enumerate() {
+                for (s, st) in v.streams.iter().enumerate() {
+                    for k in 0..st.eta_in {
+                        let f = built.inputs[g][s];
+                        built.system.fifos[f.0].try_push((k as f64, 0.0), 0);
+                    }
+                }
+            }
+            built.system.run(200_000);
+            built.system.tracer.events().to_vec()
+        };
+        assert_eq!(trace(&plain), trace(&mapped));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Integration tests for the `streamgate-analyze` exit-code contract and
+//! the `--delta` incremental-admission mode.
+//!
+//! The contract (documented in the binary's `--help`): exit 0 when the
+//! deployment is accepted — Warnings and Infos alone never fail a run —
+//! and exit 2 when it is rejected or the invocation itself is unusable.
+//! Exit 1 is reserved for crashes, so CI can distinguish "analyzer said
+//! no" from "analyzer broke".
+
+use std::process::Command;
+
+fn analyze(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_streamgate-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn streamgate-analyze")
+}
+
+#[test]
+fn accepted_deployment_exits_zero() {
+    let out = analyze(&["pal2"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("verdict: ACCEPTED"), "{text}");
+}
+
+#[test]
+fn warning_only_deployment_exits_zero() {
+    // fig6 with the check-for-space admission test disabled but buffers
+    // sized carries an A5 Warning and no Error: warnings must not fail
+    // the run.
+    let mut spec = streamgate_analysis::DeploySpec::fig6();
+    spec.check_for_space = false;
+    let report = streamgate_analysis::analyze(&spec);
+    assert!(report.is_accepted(), "{}", report.render_text());
+    assert!(
+        report
+            .with_severity(streamgate_analysis::Severity::Warning)
+            .count()
+            > 0,
+        "fixture must carry a warning:\n{}",
+        report.render_text()
+    );
+
+    let dir = std::env::temp_dir().join("streamgate-analyze-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("warn-only.json");
+    std::fs::write(&file, spec.to_json_text()).unwrap();
+
+    let out = analyze(&["--spec", file.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("warning"), "expected warnings in:\n{text}");
+    assert!(text.contains("verdict: ACCEPTED"), "{text}");
+    assert_eq!(out.status.code(), Some(0), "{text}");
+}
+
+#[test]
+fn rejected_deployment_exits_two() {
+    let out = analyze(&["fig9-broken"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("verdict: REJECTED"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(analyze(&["--spec"]).status.code(), Some(2));
+    assert_eq!(analyze(&["no-such-preset"]).status.code(), Some(2));
+    assert_eq!(analyze(&["--bogus-flag"]).status.code(), Some(2));
+    assert_eq!(
+        analyze(&["--delta", "/nonexistent/deltas.json", "pal2"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn delta_mode_replays_churn_and_reports_final_state() {
+    let dir = std::env::temp_dir().join("streamgate-analyze-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("deltas.json");
+    let timing = dir.join("timing.json");
+    std::fs::write(
+        &script,
+        r#"{"deltas": [
+            {"op": "add", "gateway": 1, "stream": {"name": "probe", "mu": [1, 1000000],
+             "eta_in": 8, "eta_out": 8, "reconfig": 20,
+             "input_capacity": 64, "output_capacity": 64}},
+            {"op": "add", "gateway": 1, "stream": {"name": "hog", "mu": [1, 2],
+             "eta_in": 8, "eta_out": 8, "reconfig": 20,
+             "input_capacity": 64, "output_capacity": 64}},
+            {"op": "remove", "gateway": 1, "stream": "probe"}
+        ]}"#,
+    )
+    .unwrap();
+
+    let out = analyze(&[
+        "--delta",
+        script.to_str().unwrap(),
+        "--timing",
+        timing.to_str().unwrap(),
+        "pal2",
+    ]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("delta 0: add probe @ gateway 1 -> admit"),
+        "{text}"
+    );
+    assert!(
+        text.contains("delta 1: add hog @ gateway 1 -> reject"),
+        "{text}"
+    );
+    assert!(
+        text.contains("delta 2: remove probe @ gateway 1 -> admit"),
+        "{text}"
+    );
+    // Final committed deployment is the baseline again: accepted, exit 0
+    // even though one request along the way was rejected.
+    assert!(text.contains("verdict: ACCEPTED"), "{text}");
+    assert_eq!(out.status.code(), Some(0), "{text}");
+
+    let timing_text = std::fs::read_to_string(&timing).unwrap();
+    assert!(timing_text.contains("\"incremental_ns\""), "{timing_text}");
+    assert!(timing_text.contains("\"full_ns\""), "{timing_text}");
+    assert!(timing_text.contains("\"speedup\""), "{timing_text}");
+}
+
+#[test]
+fn delta_mode_exits_two_when_final_state_rejected() {
+    let dir = std::env::temp_dir().join("streamgate-analyze-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let script = dir.join("bad-script.json");
+    // A malformed script (unknown stream) is a usage error.
+    std::fs::write(
+        &script,
+        r#"{"deltas": [{"op": "remove", "gateway": 1, "stream": "nope"}]}"#,
+    )
+    .unwrap();
+    let out = analyze(&["--delta", script.to_str().unwrap(), "pal2"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

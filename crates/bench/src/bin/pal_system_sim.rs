@@ -100,6 +100,150 @@ fn mode_json(wall: f64, cycles: u64, stats: streamgate_platform::EngineStats) ->
     )
 }
 
+/// `--churn`: online admission control on the two-gateway PAL deployment
+/// (Fig. 10). A running pal2 system, bound monitor armed, takes one
+/// admissible stream join (spliced in mid-run through the incremental
+/// analyzer, inside gateway 1's config-bus slot) and one infeasible join
+/// (rejected by rule A8 before any platform interaction). The monitor
+/// must stay silent across the whole transition, and the reject must
+/// leave system state and the committed bounds bit-for-bit untouched.
+fn run_churn_admission(mode: StepMode, cycles: u64) {
+    use streamgate_analysis::{
+        analyze, monitor_for, AdmissionController, AnalysisOptions, Delta, DeploySpec, StreamDeploy,
+    };
+    use streamgate_ilp::Rational;
+
+    println!("\n== online admission (--churn): pal2, mid-run joins ==");
+    let spec = DeploySpec::pal2();
+    let report = analyze(&spec);
+    assert!(report.is_accepted(), "pal2 baseline must be accepted");
+    let mut built = spec.build_multi_platform();
+    built.system.step_mode = mode;
+    built.system.enable_tracing((cycles / 1000).max(1));
+    let mut monitor = monitor_for(&spec, &report, &built.system);
+
+    // Two blocks of input per stream so the gateways are genuinely busy
+    // when the join arrives.
+    for (g, v) in spec.gateway_views().iter().enumerate() {
+        for (s, st) in v.streams.iter().enumerate() {
+            let f = built.inputs[g][s];
+            for k in 0..2 * st.eta_in {
+                built.system.fifos[f.0].try_push((k as f64, 0.0), 0);
+            }
+        }
+    }
+    built.system.run(cycles / 4);
+    assert_eq!(monitor.poll(&built.system.tracer), 0, "baseline run clean");
+
+    let mut ctrl = AdmissionController::new(spec.clone(), AnalysisOptions::default());
+    let probe = StreamDeploy {
+        name: "aux-meter".into(),
+        mu: Rational::new(1, 1_000_000),
+        eta_in: 8,
+        eta_out: 8,
+        reconfig: 20,
+        input_capacity: 64,
+        output_capacity: 64,
+        max_latency: None,
+    };
+
+    // Join 1: admissible. Spliced inside the A9 bus slot; monitor re-armed
+    // with the updated bounds across the transition.
+    let t_join = built.system.cycle();
+    let outcome = ctrl
+        .request(
+            &mut built.system,
+            &built.gateways,
+            &Delta::AddStream {
+                gateway: 1,
+                stream: probe,
+            },
+            Some(&mut monitor),
+        )
+        .expect("well-formed join");
+    assert!(outcome.verdict.is_admitted(), "aux-meter join must admit");
+    let (window_start, window_end) = outcome.window.expect("admitted join has a window");
+    let (fin, _fout) = outcome.fifos.expect("admitted join created fifos");
+    let idx = outcome.stream_index.expect("admitted join has an index");
+    println!(
+        "  join aux-meter @ gw 1: ADMITTED (reconfig window [{window_start}, {window_end}), \
+         requested at cycle {t_join})"
+    );
+    for k in 0..8 {
+        let now = built.system.cycle();
+        built.system.fifos[fin.0].try_push((k as f64, 0.0), now);
+    }
+    built.system.run(cycles / 4);
+    assert_eq!(
+        monitor.poll(&built.system.tracer),
+        0,
+        "monitor must stay silent across the admission transition"
+    );
+    let gw1 = &built.system.gateways[built.gateways[1]];
+    assert!(
+        gw1.stream(idx).blocks_done >= 1,
+        "spliced stream must run a block"
+    );
+
+    // Join 2: infeasible (μ = 1/2 over-commits the shared round, rule A8).
+    // The reject path must be non-disruptive: no new fifos, no new table
+    // entries, committed report untouched.
+    let fifos_before = built.system.fifos.len();
+    let streams_before: Vec<usize> = built
+        .gateways
+        .iter()
+        .map(|&g| built.system.gateways[g].num_streams())
+        .collect();
+    let report_before = ctrl.report().clone();
+    let hog = StreamDeploy {
+        name: "hog".into(),
+        mu: Rational::new(1, 2),
+        eta_in: 8,
+        eta_out: 8,
+        reconfig: 20,
+        input_capacity: 64,
+        output_capacity: 64,
+        max_latency: None,
+    };
+    let outcome = ctrl
+        .request(
+            &mut built.system,
+            &built.gateways,
+            &Delta::AddStream {
+                gateway: 1,
+                stream: hog,
+            },
+            Some(&mut monitor),
+        )
+        .expect("well-formed join");
+    assert!(!outcome.verdict.is_admitted(), "hog join must reject");
+    let a8_errors = outcome
+        .verdict
+        .report()
+        .with_severity(streamgate_analysis::Severity::Error)
+        .count();
+    println!("  join hog @ gw 1: REJECTED ({a8_errors} error(s); system untouched)");
+    assert_eq!(built.system.fifos.len(), fifos_before, "no fifos on reject");
+    let streams_after: Vec<usize> = built
+        .gateways
+        .iter()
+        .map(|&g| built.system.gateways[g].num_streams())
+        .collect();
+    assert_eq!(streams_after, streams_before, "no table entries on reject");
+    assert_eq!(ctrl.report(), &report_before, "committed bounds untouched");
+
+    built.system.run(cycles / 4);
+    assert_eq!(
+        monitor.poll(&built.system.tracer),
+        0,
+        "monitor silent after the rejected request"
+    );
+    println!(
+        "  monitor: {} violation(s) across baseline, admission window and reject",
+        monitor.violations().len()
+    );
+}
+
 fn main() {
     let args = parse_args();
     let cfg = PalSystemConfig::scaled_default();
@@ -125,6 +269,9 @@ fn main() {
     );
 
     let cycles = args.cycles.unwrap_or(cfg.clock_hz);
+    if args.churn {
+        run_churn_admission(args.step_mode, cycles.max(400_000));
+    }
     let seconds = cycles as f64 / cfg.clock_hz as f64;
     println!(
         "\nsimulating {cycles} cycles ({seconds:.3} s of stream time, engine: {}) …",

@@ -42,7 +42,11 @@ use streamgate_platform::StepMode;
 ///   for `streamgate-analyze --profile`;
 /// * `--accounting-json <path>` — write the exhaustive-vs-event per-phase
 ///   cycle accounting (gateway idle/reconfig/DMA, accelerator busy,
-///   processor busy) from the benchmark runs as machine-readable JSON.
+///   processor busy) from the benchmark runs as machine-readable JSON;
+/// * `--churn` — exercise online admission control mid-run (binaries that
+///   support it): one analyzable stream join is spliced into the running
+///   system through the incremental analyzer and one infeasible join is
+///   rejected, with the bound monitor armed across the transition.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -64,6 +68,8 @@ pub struct BenchArgs {
     pub profile: Option<String>,
     /// Per-phase cycle-accounting JSON output path (`--accounting-json`).
     pub accounting_json: Option<String>,
+    /// Exercise mid-run online admission control (`--churn`).
+    pub churn: bool,
 }
 
 /// Parse the shared experiment flags from `std::env::args()`.
@@ -75,7 +81,7 @@ pub fn parse_args() -> BenchArgs {
         eprintln!(
             "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
              [--mode exhaustive|event] [--bench-json <path>] [--analyze] \
-             [--profile <path>] [--accounting-json <path>]"
+             [--profile <path>] [--accounting-json <path>] [--churn]"
         );
         std::process::exit(2);
     })
@@ -122,6 +128,12 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
                     return Err("--analyze takes no value".into());
                 }
                 out.analyze = true;
+            }
+            "--churn" => {
+                if inline.is_some() {
+                    return Err("--churn takes no value".into());
+                }
+                out.churn = true;
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -244,6 +256,7 @@ mod tests {
             "--analyze",
             "--profile=p.json",
             "--accounting-json=a.json",
+            "--churn",
         ])
         .unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
@@ -254,6 +267,7 @@ mod tests {
         assert!(a.analyze);
         assert_eq!(a.profile.as_deref(), Some("p.json"));
         assert_eq!(a.accounting_json.as_deref(), Some("a.json"));
+        assert!(a.churn);
     }
 
     #[test]
@@ -261,7 +275,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.step_mode, StepMode::EventDriven);
         assert!(a.trace.is_none() && a.cycles.is_none() && a.seed.is_none());
-        assert!(!a.analyze);
+        assert!(!a.analyze && !a.churn);
     }
 
     #[test]
@@ -273,6 +287,7 @@ mod tests {
         assert!(parse(&["--profile"]).is_err());
         assert!(parse(&["--accounting-json"]).is_err());
         assert!(parse(&["--analyze=yes"]).is_err());
+        assert!(parse(&["--churn=yes"]).is_err());
     }
 
     #[test]

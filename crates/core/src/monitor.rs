@@ -212,6 +212,43 @@ impl Monitor {
         &self.cfg
     }
 
+    /// Swap in an updated configuration *mid-run* — the online-admission
+    /// path: a stream was spliced into (or out of) a running system and
+    /// the bounds must follow without losing the monitor's position in the
+    /// event log or its already-detected violations.
+    ///
+    /// The event cursor, detected violations and reported stall windows
+    /// are preserved. Per-gateway round/τ tracking state is kept for
+    /// gateways whose stream list is unchanged; a gateway whose stream
+    /// population changed gets its in-flight block and round window
+    /// cleared — its old window mixes blocks measured against the previous
+    /// round bound, and Eq. 3–4 says nothing about a round straddling the
+    /// reconfiguration. Callers re-arm while the affected pair is between
+    /// blocks, so no `BlockEnd` is orphaned by the reset.
+    pub fn rearm(&mut self, cfg: MonitorConfig) {
+        let n = cfg.gateways.len();
+        self.active.resize(n, None);
+        self.recent.resize(n, Vec::new());
+        for g in 0..n {
+            let changed = match self.cfg.gateways.get(g) {
+                Some(old) => {
+                    old.streams.len() != cfg.gateways[g].streams.len()
+                        || old
+                            .streams
+                            .iter()
+                            .zip(&cfg.gateways[g].streams)
+                            .any(|(a, b)| a.name != b.name)
+                }
+                None => true,
+            };
+            if changed {
+                self.active[g] = None;
+                self.recent[g].clear();
+            }
+        }
+        self.cfg = cfg;
+    }
+
     /// All violations detected so far, in detection order.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
@@ -502,6 +539,35 @@ mod tests {
         let mut m2 = Monitor::new(cfg_one_gateway(None, None));
         assert_eq!(m2.poll(&t2), 0);
         assert!(m2.is_clean());
+    }
+
+    #[test]
+    fn rearm_keeps_cursor_and_violations_and_resets_changed_gateways() {
+        let mut t = Tracer::enabled(0);
+        t.emit(|| block_end(0, 0, 50));
+        t.emit(|| block_end(1, 52, 200));
+        let mut m = Monitor::new(cfg_one_gateway(Some(100), None));
+        assert_eq!(m.poll(&t), 1, "tau violation before rearm");
+
+        // Same stream population, new bounds: position and history stay.
+        m.rearm(cfg_one_gateway(Some(300), None));
+        assert_eq!(m.violations().len(), 1, "violations survive rearm");
+        assert_eq!(m.poll(&t), 0, "consumed events are not re-checked");
+        t.emit(|| block_end(0, 204, 260));
+        assert_eq!(m.poll(&t), 0, "tau 56 within the new 300 bound");
+
+        // Changed stream population (a retuned/spliced stream): the
+        // gateway's round window resets, so pre-splice blocks do not
+        // combine with post-splice blocks into a bogus round measurement.
+        let mut cfg = cfg_one_gateway(Some(300), Some(80));
+        cfg.gateways[0].streams[1].name = "joined".into();
+        m.rearm(cfg);
+        // Without the reset this block would close the contiguous window
+        // (204, 260) + (262, 300) = 96 cycles against the 80-cycle round
+        // bound and flag; with it, the window restarts at the splice.
+        t.emit(|| block_end(1, 262, 300));
+        assert_eq!(m.poll(&t), 0, "round window restarted at the splice");
+        assert_eq!(m.violations().len(), 1);
     }
 
     #[test]

@@ -250,6 +250,96 @@ impl GatewayPair {
         self.streams.len() - 1
     }
 
+    /// Online-admission splice: append a stream's table entry while the
+    /// system runs. Writing the entry (descriptor plus kernel contexts)
+    /// is a configuration-bus transaction bounded by the stream's own
+    /// `R_s`, charged to [`GatewayPair::reconfig_cycles_total`] and traced
+    /// as a [`TraceEvent::ReconfigWindow`] — the admission controller
+    /// schedules the call inside the pair's config-bus slot, which rule A9
+    /// guarantees is at least `R_s` long.
+    ///
+    /// The splice is append-only and therefore legal in *any* gateway
+    /// state: the active block's table entry, the round-robin cursor and
+    /// the chain's data path are untouched, so in-flight blocks keep their
+    /// τ ≤ τ̂ guarantee. The new stream is first considered at the next
+    /// idle admission scan. Returns the new stream's index.
+    pub fn splice_stream(&mut self, s: StreamConfig, tracer: &mut Tracer, now: u64) -> usize {
+        assert_eq!(
+            s.kernels.len(),
+            self.chain.len(),
+            "stream must provide one kernel per chain accelerator"
+        );
+        let idx = self.streams.len();
+        let r = s.reconfig_cycles;
+        self.reconfig_cycles_total += r;
+        let gw = self.trace_id;
+        if r > 0 {
+            tracer.emit(|| TraceEvent::ReconfigWindow {
+                gateway: gw,
+                stream: idx as u32,
+                start: now,
+                end: now + r,
+            });
+        }
+        self.streams.push(s);
+        idx
+    }
+
+    /// Online-admission splice-out: remove stream `idx`'s table entry and
+    /// return it. Requires the pair to be *idle* (no block in flight). A
+    /// non-shared pair keeps the last-run stream's kernels installed in
+    /// the accelerators between blocks; if that stream is the one leaving,
+    /// its contexts are saved back over the configuration bus first
+    /// (traced as [`TraceEvent::ConfigSave`]). Stream indices above `idx`
+    /// shift down by one — historical [`BlockRecord`]s and trace events
+    /// keep the indices that were current when they were recorded.
+    pub fn splice_out_stream(
+        &mut self,
+        idx: usize,
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        now: u64,
+    ) -> StreamConfig {
+        assert!(
+            self.is_idle(),
+            "splice-out requires an idle gateway pair (no block in flight)"
+        );
+        assert!(idx < self.streams.len(), "stream index out of range");
+        let gw = self.trace_id;
+        if self.active == Some(idx) {
+            for (slot, acc) in self.chain.iter().enumerate() {
+                let words = accels[acc.0].kernel_state_words() as u32;
+                let k = accels[acc.0]
+                    .remove_kernel()
+                    .expect("last-run stream had kernels installed");
+                self.streams[idx].kernels[slot] = Some(k);
+                tracer.emit(|| TraceEvent::ConfigSave {
+                    gateway: gw,
+                    stream: idx as u32,
+                    accel: acc.0 as u32,
+                    cycle: now,
+                    words,
+                });
+            }
+            self.active = None;
+        } else if let Some(a) = self.active {
+            if a > idx {
+                self.active = Some(a - 1);
+            }
+        }
+        let s = self.streams.remove(idx);
+        match self.streams.len() {
+            0 => self.rr_next = 0,
+            n => {
+                if self.rr_next > idx {
+                    self.rr_next -= 1;
+                }
+                self.rr_next %= n;
+            }
+        }
+        s
+    }
+
     /// Streams registered.
     pub fn num_streams(&self) -> usize {
         self.streams.len()
@@ -1202,6 +1292,89 @@ mod tests {
         let mut f = h.fifos[h.gw.stream(0).output.0].clone();
         assert_eq!(f.pop(), Some((0.0, 0.0)));
         assert_eq!(f.pop(), Some((2.0, 0.0)));
+    }
+
+    #[test]
+    fn splice_in_mid_block_leaves_active_block_untouched() {
+        let mut h = Harness::new(vec![(8, 8, Box::new(ScaleKernel::new(2.0)))], 10);
+        h.fill_input(0, 8);
+        // Step into the in-flight block (reconfig window), then splice.
+        h.run(5);
+        assert!(!h.gw.is_idle());
+        let active_before = h.gw.active;
+        let rr_before = h.gw.rr_next;
+        let inf = FifoId(h.fifos.len());
+        h.fifos.push(CFifo::new("in-j", 4096));
+        let outf = FifoId(h.fifos.len());
+        h.fifos.push(CFifo::new("out-j", 4096));
+        let idx = h.gw.splice_stream(
+            StreamConfig::new(
+                "joined",
+                inf,
+                outf,
+                4,
+                4,
+                10,
+                vec![Box::new(PassthroughKernel)],
+            ),
+            &mut Tracer::disabled(),
+            h.now,
+        );
+        assert_eq!(idx, 1);
+        // Append-only: the in-flight block and the scan cursor are exactly
+        // where they were.
+        assert_eq!(h.gw.active, active_before);
+        assert_eq!(h.gw.rr_next, rr_before);
+        for k in 0..4 {
+            assert!(h.fifos[inf.0].try_push((k as f64, 0.0), h.now));
+        }
+        h.run(600);
+        assert_eq!(h.gw.stream(0).blocks_done, 1, "original block completed");
+        assert_eq!(h.gw.stream(1).blocks_done, 1, "spliced stream ran");
+        assert_eq!(h.fifos[outf.0].len(), 4);
+    }
+
+    #[test]
+    fn splice_out_recovers_kernels_and_fixes_cursor() {
+        let mut h = Harness::new(
+            vec![
+                (8, 8, Box::new(ScaleKernel::new(2.0))),
+                (8, 8, Box::new(ScaleKernel::new(3.0))),
+            ],
+            10,
+        );
+        h.fill_input(0, 8);
+        h.run(600);
+        assert!(h.gw.is_idle());
+        // Non-shared pair: stream 0's kernels are still installed in the
+        // accelerators between blocks (lazy save), so the table slot is
+        // empty until the splice-out pulls them back.
+        assert_eq!(h.gw.active, Some(0));
+        assert!(h.gw.streams[0].kernels[0].is_none());
+        let removed =
+            h.gw.splice_out_stream(0, &mut h.accels, &mut Tracer::disabled(), h.now);
+        assert_eq!(removed.name, "s0");
+        assert!(
+            removed.kernels.iter().all(Option::is_some),
+            "contexts saved back into the leaving stream's table entry"
+        );
+        assert_eq!(h.gw.active, None);
+        assert_eq!(h.gw.num_streams(), 1);
+        assert_eq!(h.gw.rr_next, 0);
+        // The surviving stream (old index 1, now 0) still works.
+        h.fill_input(0, 8);
+        h.run(600);
+        assert_eq!(h.gw.stream(0).blocks_done, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "splice-out requires an idle gateway pair")]
+    fn splice_out_refuses_in_flight_block() {
+        let mut h = Harness::new(vec![(8, 8, Box::new(PassthroughKernel))], 10);
+        h.fill_input(0, 8);
+        h.run(5);
+        assert!(!h.gw.is_idle());
+        h.gw.splice_out_stream(0, &mut h.accels, &mut Tracer::disabled(), h.now);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::accel::{AccelId, AcceleratorTile};
 use crate::cfifo::{CFifo, FifoId};
-use crate::gateway::GatewayPair;
+use crate::gateway::{GatewayPair, StreamConfig};
 use crate::processor::ProcessorTile;
 use crate::trace::{self, TraceEvent, TraceNames, Tracer};
 use crate::types::Sample;
@@ -220,6 +220,37 @@ impl System {
     pub fn add_fifo(&mut self, f: CFifo) -> FifoId {
         self.fifos.push(f);
         FifoId(self.fifos.len() - 1)
+    }
+
+    /// Add a C-FIFO *mid-run*, matching the tracing posture of the FIFOs
+    /// already in the system ([`System::enable_profiling`] enables
+    /// push-timestamp traces at construction time; a FIFO spliced in later
+    /// must follow suit or the profile would silently miss it). Safe
+    /// between [`System::run`] calls: the event engine rebuilds its wiring
+    /// at the start of every run.
+    pub fn splice_fifo(&mut self, mut f: CFifo) -> FifoId {
+        if !f.trace_enabled() && self.fifos.iter().any(CFifo::trace_enabled) {
+            f.enable_trace();
+        }
+        self.add_fifo(f)
+    }
+
+    /// Online-admission hook: append a stream to gateway `gateway`'s table
+    /// at the current cycle (see [`GatewayPair::splice_stream`] for the
+    /// config-bus accounting and the any-state safety argument). Call
+    /// between [`System::run`] calls only.
+    pub fn splice_stream(&mut self, gateway: usize, s: StreamConfig) -> usize {
+        let now = self.cycle;
+        self.gateways[gateway].splice_stream(s, &mut self.tracer, now)
+    }
+
+    /// Online-admission hook: remove stream `idx` from gateway `gateway`'s
+    /// table (see [`GatewayPair::splice_out_stream`]; the pair must be
+    /// idle). Call between [`System::run`] calls only.
+    pub fn splice_out_stream(&mut self, gateway: usize, idx: usize) -> StreamConfig {
+        let now = self.cycle;
+        let (gws, accels, tracer) = (&mut self.gateways, &mut self.accels, &mut self.tracer);
+        gws[gateway].splice_out_stream(idx, accels, tracer, now)
     }
 
     /// Add an accelerator tile; returns its id.
