@@ -15,8 +15,10 @@
 //!
 //! With `--delta`, the spec is the *baseline* of an incremental
 //! admission-control session: the file is a JSON churn script
-//! (`{"deltas": [{"op": "add"|"remove"|"retune", "gateway": N,
-//! "stream": ...}]}`) whose requests are evaluated in order through the
+//! (`{"deltas": [{"op": "add"|"remove"|"retune"|"switch", "gateway": N,
+//! "stream": ...}]}`; `switch` additionally names a declared `"mode"`
+//! and is checked against the spec's allowed transition edges) whose
+//! requests are evaluated in order through the
 //! O(affected-gateways) incremental analyzer; admitted deltas commit,
 //! rejected ones leave the committed deployment untouched. One verdict
 //! line prints per delta, then the final committed deployment's report.

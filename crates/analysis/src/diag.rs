@@ -1,7 +1,7 @@
 //! Structured diagnostics: rule identifiers, severities, and the report
 //! that [`crate::analyze`] produces.
 //!
-//! Every diagnostic carries a machine-readable rule ID (`A1`–`A10`), a
+//! Every diagnostic carries a machine-readable rule ID (`A1`–`A13`), a
 //! severity, a location inside the deployment (gateway / stream /
 //! processor), and a human message. Reports serialise to JSON (and parse
 //! back) so build pipelines can gate on them.
@@ -43,11 +43,23 @@ pub enum RuleId {
     /// A10 — end-to-end latency composition through the Fig. 7
     /// single-actor SDF abstraction.
     A10EndToEndLatency,
+    /// A11 — per-mode admissibility: every declared stream mode must
+    /// independently pass A1–A10 when substituted for the stream's
+    /// committed configuration.
+    A11ModeAdmissibility,
+    /// A12 — worst-case mode-transition delay: closed-form bound on the
+    /// cycles from switch request to the new mode's steady state
+    /// (drain-to-idle, config-bus save/restore, first-round ramp-in).
+    A12TransitionDelay,
+    /// A13 — transition interference-freedom: non-switching streams keep
+    /// their Eq. 3–4 round bounds and ring-load budgets throughout the
+    /// transition window, under worst-of-modes load from the switcher.
+    A13TransitionInterference,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::A1Liveness,
         RuleId::A2BufferCapacity,
         RuleId::A3Throughput,
@@ -58,6 +70,9 @@ impl RuleId {
         RuleId::A8SystemRound,
         RuleId::A9SlotConflict,
         RuleId::A10EndToEndLatency,
+        RuleId::A11ModeAdmissibility,
+        RuleId::A12TransitionDelay,
+        RuleId::A13TransitionInterference,
     ];
 
     /// The short machine-readable code (`"A1"` … `"A10"`).
@@ -73,6 +88,9 @@ impl RuleId {
             RuleId::A8SystemRound => "A8",
             RuleId::A9SlotConflict => "A9",
             RuleId::A10EndToEndLatency => "A10",
+            RuleId::A11ModeAdmissibility => "A11",
+            RuleId::A12TransitionDelay => "A12",
+            RuleId::A13TransitionInterference => "A13",
         }
     }
 
@@ -89,6 +107,9 @@ impl RuleId {
             RuleId::A8SystemRound => "system round feasibility (Eq. 3-4)",
             RuleId::A9SlotConflict => "configuration slot-table conflicts",
             RuleId::A10EndToEndLatency => "end-to-end latency (Fig. 7 SDF)",
+            RuleId::A11ModeAdmissibility => "per-mode admissibility",
+            RuleId::A12TransitionDelay => "mode-transition delay bound",
+            RuleId::A13TransitionInterference => "transition interference-freedom",
         }
     }
 
@@ -619,7 +640,7 @@ mod tests {
         for r in RuleId::ALL {
             assert_eq!(RuleId::from_code(r.code()), Some(r));
         }
-        assert_eq!(RuleId::from_code("A11"), None);
+        assert_eq!(RuleId::from_code("A14"), None);
         assert_eq!(RuleId::from_code("A10"), Some(RuleId::A10EndToEndLatency));
     }
 

@@ -12,8 +12,8 @@
 //! module follows the design-time/run-time split of the related
 //! multi-mode work (see PAPERS.md): a full analysis up front caches its
 //! per-rule intermediate facts ([`AnalysisState`]), and each
-//! [`Delta`] — add, remove or retune one stream — re-evaluates only the
-//! facts the change can reach:
+//! [`Delta`] — add, remove, retune or mode-switch one stream —
+//! re-evaluates only the facts the change can reach:
 //!
 //! * the affected pair's A1–A6 diagnostics, τ̂ vector and utilisation
 //!   ([`crate::rules`]'s `PairFacts`) — the expensive part, recomputed
@@ -37,7 +37,7 @@
 
 use crate::diag::Report;
 use crate::profile::monitor_config_for;
-use crate::rules::{assemble_report, AnalysisOptions, Facts};
+use crate::rules::{assemble_report, transition_delay_bound, AnalysisOptions, Facts, ModeReport};
 use crate::spec::{stream_from_json, stream_kernels, DeploySpec, StreamDeploy};
 use crate::{json, Json};
 use streamgate_core::Monitor;
@@ -71,6 +71,19 @@ pub enum Delta {
         /// The replacement configuration (may carry a new name).
         with: StreamDeploy,
     },
+    /// Switch the named stream to one of its *declared* modes
+    /// ([`crate::spec::StreamModes`]): a retune constrained to the
+    /// mode table, subject to the declaration's allowed-transition edges,
+    /// with rule A12's predicted transition-delay bound attached to the
+    /// outcome and armed on the online monitor.
+    ModeSwitch {
+        /// Gateway (view) index of the stream.
+        gateway: usize,
+        /// Name of the stream to switch.
+        stream: String,
+        /// Name of the declared target mode.
+        mode: String,
+    },
 }
 
 impl Delta {
@@ -80,7 +93,8 @@ impl Delta {
         match self {
             Delta::AddStream { gateway, .. }
             | Delta::RemoveStream { gateway, .. }
-            | Delta::RetuneStream { gateway, .. } => *gateway,
+            | Delta::RetuneStream { gateway, .. }
+            | Delta::ModeSwitch { gateway, .. } => *gateway,
         }
     }
 
@@ -98,6 +112,11 @@ impl Delta {
                 stream,
                 with,
             } => format!("retune {stream} -> {} @ gateway {gateway}", with.name),
+            Delta::ModeSwitch {
+                gateway,
+                stream,
+                mode,
+            } => format!("switch {stream} to mode {mode} @ gateway {gateway}"),
         }
     }
 }
@@ -113,6 +132,13 @@ pub enum DeltaError {
     /// An add/retune would create a second stream with the same name on
     /// the same gateway (names key the run-time splice and the monitor).
     DuplicateStream(usize, String),
+    /// A mode switch names a mode the stream's [`crate::spec::StreamModes`]
+    /// declaration does not carry (or the stream has no declaration at
+    /// all): `(gateway, stream, mode)`.
+    UnknownMode(usize, String, String),
+    /// A mode switch requests an edge the declaration's allowed-transition
+    /// list forbids: `(gateway, stream, from-mode, to-mode)`.
+    TransitionNotAllowed(usize, String, String, String),
 }
 
 impl std::fmt::Display for DeltaError {
@@ -125,6 +151,13 @@ impl std::fmt::Display for DeltaError {
             DeltaError::DuplicateStream(g, s) => {
                 write!(f, "gateway {g} already has a stream named {s:?}")
             }
+            DeltaError::UnknownMode(g, s, m) => {
+                write!(f, "gateway {g} stream {s:?} declares no mode named {m:?}")
+            }
+            DeltaError::TransitionNotAllowed(g, s, from, to) => write!(
+                f,
+                "gateway {g} stream {s:?} does not allow the mode transition {from:?} -> {to:?}"
+            ),
         }
     }
 }
@@ -195,6 +228,26 @@ impl AnalysisState {
         &self.report
     }
 
+    /// The rule A11 per-mode candidate reports of the committed spec,
+    /// straight from the cached facts — no re-analysis. Byte-identical to
+    /// [`crate::mode_reports`] of the committed spec (and therefore to a
+    /// full `analyze_with` of each mode's single-mode candidate).
+    pub fn mode_reports(&self) -> Vec<ModeReport> {
+        self.spec
+            .modes
+            .iter()
+            .zip(&self.facts.modes)
+            .flat_map(|(decl, mf)| {
+                mf.reports.iter().map(move |(name, r)| ModeReport {
+                    gateway: decl.gateway,
+                    stream: decl.stream.clone(),
+                    mode: name.clone(),
+                    report: r.clone(),
+                })
+            })
+            .collect()
+    }
+
     /// Apply `delta` to a clone of the committed spec, returning the
     /// candidate spec and the touched gateway index.
     fn candidate_spec(&self, delta: &Delta) -> Result<(DeploySpec, usize), DeltaError> {
@@ -235,8 +288,66 @@ impl AnalysisState {
                 }
                 streams[i] = with.clone();
             }
+            Delta::ModeSwitch { stream, mode, .. } => {
+                let i = streams
+                    .iter()
+                    .position(|s| s.name == *stream)
+                    .ok_or_else(|| DeltaError::UnknownStream(g, stream.clone()))?;
+                let with = self.mode_config(g, stream, mode)?;
+                // Transition edges only constrain switches *between
+                // declared modes*: when the committed configuration is one
+                // of the declared modes, the edge from it must be allowed.
+                // A committed configuration outside the mode table (the
+                // initial deployment) may enter any declared mode.
+                let decl = self
+                    .spec
+                    .stream_modes(g, stream)
+                    .expect("mode_config validated the declaration");
+                let from = decl.modes.iter().find(|m| {
+                    let mut c = m.config.clone();
+                    c.name = stream.clone();
+                    c == streams[i]
+                });
+                if let Some(from) = from {
+                    if !decl.transition_allowed(&from.name, mode) {
+                        return Err(DeltaError::TransitionNotAllowed(
+                            g,
+                            stream.clone(),
+                            from.name.clone(),
+                            mode.clone(),
+                        ));
+                    }
+                }
+                streams[i] = with;
+            }
         }
         Ok((spec, g))
+    }
+
+    /// The committed configuration of the named stream, when present.
+    fn committed_stream(&self, g: usize, name: &str) -> Option<&StreamDeploy> {
+        let streams = if self.spec.gateways.is_empty() {
+            if g != 0 {
+                return None;
+            }
+            &self.spec.streams
+        } else {
+            &self.spec.gateways.get(g)?.streams
+        };
+        streams.iter().find(|s| s.name == name)
+    }
+
+    /// The named declared mode's configuration with the stream's name
+    /// substituted — the `StreamDeploy` a [`Delta::ModeSwitch`] installs.
+    fn mode_config(&self, g: usize, stream: &str, mode: &str) -> Result<StreamDeploy, DeltaError> {
+        let m = self
+            .spec
+            .stream_modes(g, stream)
+            .and_then(|d| d.mode(mode))
+            .ok_or_else(|| DeltaError::UnknownMode(g, stream.to_string(), mode.to_string()))?;
+        let mut with = m.config.clone();
+        with.name = stream.to_string();
+        Ok(with)
     }
 
     /// Evaluate `delta` without committing anything: recompute the
@@ -285,11 +396,13 @@ impl AnalysisState {
 
 /// Parse a `--delta` admission script: a JSON object with a `deltas`
 /// array whose entries are `{"op": "add", "gateway": N, "stream":
-/// {...}}`, `{"op": "remove", "gateway": N, "stream": "name"}` or
+/// {...}}`, `{"op": "remove", "gateway": N, "stream": "name"}`,
 /// `{"op": "retune", "gateway": N, "stream": {...}}` (retune matches the
 /// existing stream by the new configuration's name unless a separate
-/// `"target"` name is given). Stream objects use the spec-JSON stream
-/// encoding (`name`, `mu: [num, den]`, `eta_in`, `eta_out`, `reconfig`,
+/// `"target"` name is given) or `{"op": "switch", "gateway": N,
+/// "stream": "name", "mode": "mode-name"}` (a [`Delta::ModeSwitch`] to a
+/// declared mode). Stream objects use the spec-JSON stream encoding
+/// (`name`, `mu: [num, den]`, `eta_in`, `eta_out`, `reconfig`,
 /// `input_capacity`, `output_capacity`, optional `max_latency`).
 /// `gateway` defaults to 0.
 pub fn parse_delta_script(text: &str) -> Result<Vec<Delta>, String> {
@@ -338,6 +451,19 @@ pub fn parse_delta_script(text: &str) -> Result<Vec<Delta>, String> {
                         with,
                     })
                 }
+                "switch" => Ok(Delta::ModeSwitch {
+                    gateway,
+                    stream: d
+                        .get("stream")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("delta {i}: switch without a stream name"))?
+                        .to_string(),
+                    mode: d
+                        .get("mode")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("delta {i}: switch without a mode name"))?
+                        .to_string(),
+                }),
                 other => Err(format!("delta {i}: unknown op {other:?}")),
             }
         })
@@ -385,6 +511,12 @@ pub struct AdmissionOutcome {
     /// The stream's index in its gateway's table after an admitted
     /// add/retune splice.
     pub stream_index: Option<usize>,
+    /// Rule A12's predicted worst-case transition delay in cycles
+    /// ([`crate::TransitionBound::total`]), for an admitted
+    /// [`Delta::ModeSwitch`]: measured from the request cycle, the
+    /// switched stream's first post-switch block is guaranteed to drain
+    /// within it. `None` for every other delta kind.
+    pub predicted_delay: Option<u64>,
 }
 
 /// Run-time admission control over a *running* [`System`]: consults the
@@ -416,8 +548,15 @@ impl AdmissionController {
     /// Controller over a committed baseline deployment. Runs the full
     /// analysis once; subsequent requests are incremental.
     pub fn new(spec: DeploySpec, opts: AnalysisOptions) -> AdmissionController {
+        AdmissionController::from_state(AnalysisState::new(spec, opts))
+    }
+
+    /// Controller over an *existing* analyzer state — e.g. the one a sim
+    /// bin's `--analyze` pre-flight already computed — so the full
+    /// analysis runs exactly once per process.
+    pub fn from_state(state: AnalysisState) -> AdmissionController {
         AdmissionController {
-            state: AnalysisState::new(spec, opts),
+            state,
             idle_rounds: 8,
         }
     }
@@ -468,10 +607,38 @@ impl AdmissionController {
                 window: None,
                 fifos: None,
                 stream_index: None,
+                predicted_delay: None,
             });
         }
         let g = delta.gateway();
         let sysg = *gateway_map.get(g).ok_or(DeltaError::UnknownGateway(g))?;
+
+        // A12's transition-delay bound is anchored at the *request* cycle
+        // (it budgets the drain/alignment waits the splice is about to
+        // perform), so capture the clock before any platform interaction.
+        let request_cycle = system.cycle();
+        let predicted_delay = match delta {
+            Delta::ModeSwitch { stream, mode, .. } => {
+                let with = self.state.mode_config(g, stream, mode)?;
+                let old = self
+                    .state
+                    .committed_stream(g, stream)
+                    .ok_or_else(|| DeltaError::UnknownStream(g, stream.clone()))?
+                    .clone();
+                Some(
+                    transition_delay_bound(
+                        self.state.spec(),
+                        g,
+                        &old,
+                        &with,
+                        self.state.report().gamma,
+                        verdict.report().gamma,
+                    )
+                    .total(),
+                )
+            }
+            _ => None,
+        };
 
         let (window, fifos, stream_index) = match delta {
             Delta::AddStream { stream, .. } => {
@@ -490,6 +657,17 @@ impl AdmissionController {
                 let (i, o, new_idx) = self.splice_in(system, sysg, g, with);
                 (Some((t, t + with.reconfig)), Some((i, o)), Some(new_idx))
             }
+            Delta::ModeSwitch { stream, mode, .. } => {
+                // A mode switch is an *in-place* config-bus retune: the
+                // table order and round-robin cursor survive, so every
+                // non-switching stream keeps its index and its service
+                // position through the transition window.
+                let with = self.state.mode_config(g, stream, mode)?;
+                let (t, idx) = self.idle_in_slot(system, sysg, g, stream)?;
+                let (i, o, cfg) = self.build_entry(system, sysg, g, &with);
+                let _old = system.retune_stream(sysg, idx, cfg);
+                (Some((t, t + with.reconfig)), Some((i, o)), Some(idx))
+            }
         };
 
         // Commit the analysis state. The candidate is the same one the
@@ -503,25 +681,32 @@ impl AdmissionController {
                 self.state.report(),
                 system,
             ));
+            // Arm the run-time A12 check: the switched stream's first
+            // post-switch block must drain within the predicted bound.
+            if let (Delta::ModeSwitch { stream, .. }, Some(d)) = (delta, predicted_delay) {
+                m.arm_transition_deadline(sysg, stream, request_cycle + d);
+            }
         }
         Ok(AdmissionOutcome {
             verdict,
             window,
             fifos,
             stream_index,
+            predicted_delay,
         })
     }
 
     /// Create the stream's C-FIFOs (named like the spec builders name
-    /// them) and append its table entry with passthrough kernels — the
-    /// same kernels [`DeploySpec::build_platform`] installs.
-    fn splice_in(
+    /// them) and its table entry with passthrough kernels — the same
+    /// kernels [`DeploySpec::build_platform`] installs. Shared by the
+    /// append splice and the in-place mode-switch retune.
+    fn build_entry(
         &self,
         system: &mut System,
         sysg: usize,
         g: usize,
         stream: &StreamDeploy,
-    ) -> (FifoId, FifoId, usize) {
+    ) -> (FifoId, FifoId, StreamConfig) {
         let spec = self.state.spec();
         let (in_name, out_name) = if spec.is_multi() {
             let gw = &spec.gateways[g].name;
@@ -539,18 +724,29 @@ impl AdmissionController {
         let o = system.splice_fifo(CFifo::new(out_name, stream.output_capacity as usize));
         let chain_len = system.gateways[sysg].chain.len();
         let kernels = stream_kernels(chain_len, stream.eta_in, stream.eta_out);
-        let idx = system.splice_stream(
-            sysg,
-            StreamConfig::new(
-                stream.name.clone(),
-                i,
-                o,
-                stream.eta_in as usize,
-                stream.eta_out as usize,
-                stream.reconfig,
-                kernels,
-            ),
+        let cfg = StreamConfig::new(
+            stream.name.clone(),
+            i,
+            o,
+            stream.eta_in as usize,
+            stream.eta_out as usize,
+            stream.reconfig,
+            kernels,
         );
+        (i, o, cfg)
+    }
+
+    /// [`AdmissionController::build_entry`] plus the append-only table
+    /// splice; returns the new entry's index.
+    fn splice_in(
+        &self,
+        system: &mut System,
+        sysg: usize,
+        g: usize,
+        stream: &StreamDeploy,
+    ) -> (FifoId, FifoId, usize) {
+        let (i, o, cfg) = self.build_entry(system, sysg, g, stream);
+        let idx = system.splice_stream(sysg, cfg);
         (i, o, idx)
     }
 
@@ -712,6 +908,102 @@ mod tests {
         );
     }
 
+    /// pal2 with a two-mode declaration (`slow` = the committed config,
+    /// `fast` = a shorter reconfiguration window, so it stays inside the
+    /// pair's A9 bus slot) on gateway 0's first stream, with the only
+    /// allowed edge `slow -> fast`.
+    fn pal2_with_modes() -> (DeploySpec, String) {
+        let mut spec = DeploySpec::pal2();
+        let slow = spec.gateways[0].streams[0].clone();
+        let mut fast = slow.clone();
+        fast.reconfig -= 16;
+        let name = slow.name.clone();
+        spec.modes = vec![crate::spec::StreamModes {
+            gateway: 0,
+            stream: name.clone(),
+            modes: vec![
+                crate::spec::StreamMode {
+                    name: "slow".into(),
+                    config: slow,
+                },
+                crate::spec::StreamMode {
+                    name: "fast".into(),
+                    config: fast,
+                },
+            ],
+            transitions: vec![("slow".into(), "fast".into())],
+        }];
+        (spec, name)
+    }
+
+    #[test]
+    fn mode_switch_matches_full_analysis_and_respects_edges() {
+        let opts = AnalysisOptions::default();
+        let (spec, name) = pal2_with_modes();
+        let mut st = AnalysisState::new(spec.clone(), opts);
+
+        // Unknown mode and no-declaration streams are delta errors.
+        assert_eq!(
+            st.evaluate(&Delta::ModeSwitch {
+                gateway: 0,
+                stream: name.clone(),
+                mode: "turbo".into()
+            }),
+            Err(DeltaError::UnknownMode(0, name.clone(), "turbo".into()))
+        );
+        let other = spec.gateways[1].streams[0].name.clone();
+        assert_eq!(
+            st.evaluate(&Delta::ModeSwitch {
+                gateway: 1,
+                stream: other.clone(),
+                mode: "fast".into()
+            }),
+            Err(DeltaError::UnknownMode(1, other, "fast".into()))
+        );
+
+        // slow -> fast is allowed and must equal the full analysis of the
+        // spec with the fast config in force (modes declaration kept).
+        let v = st
+            .apply(&Delta::ModeSwitch {
+                gateway: 0,
+                stream: name.clone(),
+                mode: "fast".into(),
+            })
+            .unwrap();
+        assert!(v.is_admitted(), "{}", v.report().render_text());
+        let mut full_spec = spec.clone();
+        full_spec.gateways[0].streams[0] = spec.modes[0].modes[1].config.clone();
+        full_spec.gateways[0].streams[0].name = name.clone();
+        let full = analyze_with(&full_spec, &opts);
+        assert_eq!(v.report().to_json_text(), full.to_json_text());
+
+        // fast -> slow has no declared edge: rejected before analysis.
+        assert_eq!(
+            st.evaluate(&Delta::ModeSwitch {
+                gateway: 0,
+                stream: name.clone(),
+                mode: "slow".into()
+            }),
+            Err(DeltaError::TransitionNotAllowed(
+                0,
+                name.clone(),
+                "fast".into(),
+                "slow".into()
+            ))
+        );
+    }
+
+    #[test]
+    fn cached_mode_reports_match_recomputed_ones() {
+        let (spec, _) = pal2_with_modes();
+        let opts = AnalysisOptions::default();
+        let st = AnalysisState::new(spec.clone(), opts);
+        let cached = st.mode_reports();
+        let fresh = crate::rules::mode_reports(&spec, &opts);
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached, fresh);
+    }
+
     #[test]
     fn delta_script_parses() {
         let script = r#"{"deltas": [
@@ -721,11 +1013,21 @@ mod tests {
             {"op": "remove", "gateway": 1, "stream": "s"},
             {"op": "retune", "stream": {"name": "s", "mu": [1, 200],
              "eta_in": 8, "eta_out": 8, "reconfig": 20,
-             "input_capacity": 64, "output_capacity": 64}}
+             "input_capacity": 64, "output_capacity": 64}},
+            {"op": "switch", "gateway": 1, "stream": "s", "mode": "fast"}
         ]}"#;
         let deltas = parse_delta_script(script).unwrap();
-        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas.len(), 4);
         assert_eq!(deltas[0].gateway(), 1);
         assert!(matches!(&deltas[2], Delta::RetuneStream { stream, .. } if stream == "s"));
+        assert_eq!(
+            deltas[3],
+            Delta::ModeSwitch {
+                gateway: 1,
+                stream: "s".into(),
+                mode: "fast".into()
+            }
+        );
+        assert!(parse_delta_script(r#"{"deltas": [{"op": "switch", "stream": "s"}]}"#).is_err());
     }
 }

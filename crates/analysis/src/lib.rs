@@ -18,6 +18,9 @@
 //! | A8   | system | system round feasibility with cross-pair chain sharing | Eq. 3–4, Fig. 10 |
 //! | A9   | system | configuration-bus TDM slot-table conflicts across pairs | §III–IV |
 //! | A10  | system | end-to-end latency via the single-actor SDF abstraction | Fig. 7 |
+//! | A11  | system | per-mode admissibility of every declared stream mode | §V |
+//! | A12  | system | closed-form worst-case mode-transition delay | §III, §V |
+//! | A13  | system | transition interference-freedom of non-switching streams | Eq. 3–4 |
 //!
 //! A [`DeploySpec`] comes in two shapes: the original *single-gateway*
 //! shape (one chain, one stream set) and the *multi-gateway* shape, where
@@ -60,8 +63,11 @@ pub use profile::{
     analyze_profiled, monitor_config_for, monitor_for, multi_tau_margin, parse_profile,
     round_margin, tau_margin, RingEnvelope,
 };
-pub use rules::{analyze, analyze_with, AnalysisOptions};
+pub use rules::{
+    analyze, analyze_with, mode_reports, transition_delay_bound, AnalysisOptions, ModeReport,
+    TransitionBound,
+};
 pub use spec::{
     ChainStage, DeploySpec, GatewayDeploy, GatewayView, MultiBuiltSystem, ProcessorDeploy,
-    RingLayout, StreamDeploy, TaskDeploy, ToDeploySpec,
+    RingLayout, StreamDeploy, StreamMode, StreamModes, TaskDeploy, ToDeploySpec,
 };

@@ -1,4 +1,4 @@
-//! The analysis rules A1–A10 and the [`analyze`] entry point.
+//! The analysis rules A1–A13 and the [`analyze`] entry point.
 //!
 //! Every rule checks a compile-time property the paper derives for the
 //! gateway architecture (see DESIGN.md §8 for the rule ↔ equation/figure
@@ -13,10 +13,14 @@
 //! are *system scope*: ring contention across pairs (A7), the system round
 //! with cross-pair chain sharing (A8), configuration-bus slot tables (A9)
 //! and end-to-end latency through the Fig. 7 single-actor abstraction
-//! (A10).
+//! (A10). Rules A11–A13 analyse the multi-mode declarations of
+//! [`DeploySpec::modes`]: per-mode admissibility through the incremental
+//! facts cache (A11), closed-form worst-case transition delay (A12) and
+//! interference-freedom of non-switching streams throughout a transition
+//! window (A13).
 
 use crate::diag::{Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
-use crate::spec::{DeploySpec, GatewayView};
+use crate::spec::{DeploySpec, GatewayView, StreamDeploy};
 use streamgate_core::{fig5_csdf, minimum_stream_buffers, Fig5Params, SharingProblem};
 use streamgate_ilp::Rational;
 
@@ -187,6 +191,8 @@ pub(crate) struct Facts {
     pub(crate) ring: Vec<RingContrib>,
     /// A4 TDM diagnostics — processors are untouched by stream churn.
     pub(crate) tdm: Vec<Diagnostic>,
+    /// A11–A13 multi-mode facts, one per [`DeploySpec::modes`] declaration.
+    pub(crate) modes: Vec<ModeFacts>,
 }
 
 impl Facts {
@@ -194,7 +200,7 @@ impl Facts {
     pub(crate) fn compute(spec: &DeploySpec, opts: &AnalysisOptions) -> Facts {
         let views = spec.gateway_views();
         let layout = spec.ring_layout();
-        Facts {
+        let mut facts = Facts {
             pairs: views
                 .iter()
                 .map(|v| PairFacts::compute(spec, v, opts))
@@ -208,12 +214,21 @@ impl Facts {
                 check_tdm(spec, &mut d);
                 d
             },
-        }
+            modes: Vec::new(),
+        };
+        let modes = compute_mode_facts(spec, opts, &facts);
+        facts.modes = modes;
+        facts
     }
 
     /// Re-evaluate the cached facts of gateway `g` only — the
     /// O(affected-gateways) path. `spec` must differ from the spec these
     /// facts were computed from in gateway `g`'s stream list alone.
+    ///
+    /// Mode facts are refreshed for *every* declaration: a per-mode
+    /// candidate substitutes into the whole system (its report spans all
+    /// gateways), so each refresh still costs only one gateway
+    /// re-evaluation per declared mode, never a full [`Facts::compute`].
     pub(crate) fn recompute_gateway(
         &mut self,
         spec: &DeploySpec,
@@ -224,7 +239,450 @@ impl Facts {
         let layout = spec.ring_layout();
         self.pairs[g] = PairFacts::compute(spec, &views[g], opts);
         self.ring[g] = RingContrib::compute(&layout, &views[g]);
+        let modes = compute_mode_facts(spec, opts, self);
+        self.modes = modes;
     }
+}
+
+/// Cached A11–A13 facts of one [`crate::spec::StreamModes`] declaration:
+/// the finished diagnostics (final flat-indexed locations) plus the
+/// per-mode candidate reports rule A11 derived from the base facts.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ModeFacts {
+    /// A11–A13 findings, ready for [`assemble_report`] to splice in.
+    pub(crate) diags: Vec<Diagnostic>,
+    /// Per declared mode (declaration order): the mode name and the full
+    /// report of its equivalent single-mode candidate spec. Empty when the
+    /// declaration is structurally invalid.
+    pub(crate) reports: Vec<(String, Report)>,
+}
+
+/// The A12 closed-form worst-case transition-delay bound, decomposed into
+/// the four phases a run-time mode switch passes through. All figures are
+/// cycles; [`TransitionBound::total`] is the bound rule A12 reports and
+/// the online monitor is armed with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransitionBound {
+    /// Drain-to-idle of in-flight blocks under the *old* mode's round
+    /// bound: the run-time splice waits for the gateway to fall idle
+    /// inside its configuration slot, retrying up to 8 times with an
+    /// 8-round + fill-slack budget per attempt.
+    pub drain: u64,
+    /// Worst-case wait for the gateway's configuration-bus slot (one full
+    /// TDM frame of the config bus; 0 when no bus period is declared).
+    pub align: u64,
+    /// Configuration-bus save/restore windows: the old mode's state is
+    /// saved (R_old) and the new mode's configuration loaded (R_new).
+    pub save_restore: u64,
+    /// First-round ramp-in of the new mode: one worst-case round under
+    /// the new mode's bounds plus the measurement margin the monitor
+    /// grants steady-state rounds.
+    pub ramp: u64,
+}
+
+impl TransitionBound {
+    /// Total worst-case cycles from the switch request to the new mode's
+    /// steady state.
+    pub fn total(&self) -> u64 {
+        self.drain + self.align + self.save_restore + self.ramp
+    }
+}
+
+/// A12 — the closed-form worst-case delay of retuning one stream of
+/// `gateway` from configuration `old` to configuration `new`, where
+/// `gamma_old` / `gamma_new` are the system round bounds (Eq. 3–4) of the
+/// deployment with the respective configuration in force. The bound is
+/// conservative by construction: every phase uses the analyzer's
+/// worst-case figure, so a run-time switch always completes within
+/// [`TransitionBound::total`] cycles (the differential harness checks
+/// predicted ≥ measured on both engines).
+pub fn transition_delay_bound(
+    spec: &DeploySpec,
+    gateway: usize,
+    old: &StreamDeploy,
+    new: &StreamDeploy,
+    gamma_old: u64,
+    gamma_new: u64,
+) -> TransitionBound {
+    let views = spec.gateway_views();
+    let v = &views[gateway];
+    let p = spec.config_bus_period.unwrap_or(0);
+    let margin = if spec.is_multi() {
+        crate::profile::multi_tau_margin(spec, v.chain.len() as u64, v.c0())
+    } else {
+        crate::profile::tau_margin(spec)
+    };
+    TransitionBound {
+        drain: 8 * (8 * gamma_old + 4000 + p),
+        align: p,
+        save_restore: old.reconfig + new.reconfig,
+        ramp: gamma_new + margin * v.streams.len() as u64 + 16,
+    }
+}
+
+/// One entry of [`mode_reports`]: the rule A11 candidate report of one
+/// declared mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModeReport {
+    /// Gateway index of the owning declaration.
+    pub gateway: usize,
+    /// Stream the mode belongs to.
+    pub stream: String,
+    /// Mode name.
+    pub mode: String,
+    /// The full report of the mode's equivalent single-mode spec —
+    /// byte-identical to `analyze_with` of
+    /// [`DeploySpec::single_mode_candidate`].
+    pub report: Report,
+}
+
+/// The per-mode A11 candidate reports of every structurally valid
+/// declaration in `spec.modes`, computed through the incremental facts
+/// cache (each mode costs one gateway re-evaluation, not a full
+/// analysis).
+pub fn mode_reports(spec: &DeploySpec, opts: &AnalysisOptions) -> Vec<ModeReport> {
+    let facts = Facts::compute(spec, opts);
+    spec.modes
+        .iter()
+        .zip(&facts.modes)
+        .flat_map(|(decl, mf)| {
+            mf.reports.iter().map(move |(name, r)| ModeReport {
+                gateway: decl.gateway,
+                stream: decl.stream.clone(),
+                mode: name.clone(),
+                report: r.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Evaluate rules A11–A13 for every [`DeploySpec::modes`] declaration
+/// against the cached base facts. Each declared mode is analysed as the
+/// equivalent single-mode candidate spec by cloning the base facts and
+/// re-evaluating only the owning gateway — the incremental path that makes
+/// N declared modes cost N gateway re-evaluations instead of N full runs.
+fn compute_mode_facts(spec: &DeploySpec, opts: &AnalysisOptions, base: &Facts) -> Vec<ModeFacts> {
+    if spec.modes.is_empty() {
+        return Vec::new();
+    }
+    let views = spec.gateway_views();
+    let offsets: Vec<usize> = views
+        .iter()
+        .scan(0usize, |acc, v| {
+            let o = *acc;
+            *acc += v.streams.len();
+            Some(o)
+        })
+        .collect();
+    spec.modes
+        .iter()
+        .enumerate()
+        .map(|(di, decl)| {
+            let mut diags = Vec::new();
+            let mut reports = Vec::new();
+            let mut structural_ok = true;
+            let g = decl.gateway;
+            if spec.modes[..di]
+                .iter()
+                .any(|e| e.gateway == g && e.stream == decl.stream)
+            {
+                diags.push(Diagnostic {
+                    rule: RuleId::A11ModeAdmissibility,
+                    severity: Severity::Error,
+                    location: Location::Deployment,
+                    message: format!(
+                        "duplicate multi-mode declaration for stream '{}' on gateway {g}",
+                        decl.stream
+                    ),
+                });
+                structural_ok = false;
+            }
+            if g >= views.len() {
+                diags.push(Diagnostic {
+                    rule: RuleId::A11ModeAdmissibility,
+                    severity: Severity::Error,
+                    location: Location::Deployment,
+                    message: format!(
+                        "mode declaration for stream '{}' references unknown gateway {g} \
+                         ({} present)",
+                        decl.stream,
+                        views.len()
+                    ),
+                });
+                return ModeFacts { diags, reports };
+            }
+            let v = &views[g];
+            let Some(local) = v.streams.iter().position(|s| s.name == decl.stream) else {
+                diags.push(Diagnostic {
+                    rule: RuleId::A11ModeAdmissibility,
+                    severity: Severity::Error,
+                    location: gw_loc(spec, v),
+                    message: format!(
+                        "mode declaration references unknown stream '{}'",
+                        decl.stream
+                    ),
+                });
+                return ModeFacts { diags, reports };
+            };
+            let flat = offsets[g] + local;
+            let loc = Location::Stream {
+                index: flat,
+                name: decl.stream.clone(),
+            };
+            if decl.modes.is_empty() {
+                diags.push(Diagnostic {
+                    rule: RuleId::A11ModeAdmissibility,
+                    severity: Severity::Warning,
+                    location: loc.clone(),
+                    message: "multi-mode declaration lists no modes: nothing to switch to".into(),
+                });
+                structural_ok = false;
+            }
+            for (i, m) in decl.modes.iter().enumerate() {
+                if decl.modes[..i].iter().any(|e| e.name == m.name) {
+                    diags.push(Diagnostic {
+                        rule: RuleId::A11ModeAdmissibility,
+                        severity: Severity::Error,
+                        location: loc.clone(),
+                        message: format!("duplicate mode name '{}'", m.name),
+                    });
+                    structural_ok = false;
+                }
+            }
+            for (f, t) in &decl.transitions {
+                for name in [f, t] {
+                    if decl.mode(name).is_none() {
+                        diags.push(Diagnostic {
+                            rule: RuleId::A11ModeAdmissibility,
+                            severity: Severity::Error,
+                            location: loc.clone(),
+                            message: format!(
+                                "transition ('{f}' -> '{t}') references undeclared mode \
+                                 '{name}'"
+                            ),
+                        });
+                        structural_ok = false;
+                    }
+                }
+            }
+            if !structural_ok {
+                return ModeFacts { diags, reports };
+            }
+
+            // A11 — per-mode candidate reports from the cached base facts:
+            // clone, re-evaluate the one owning gateway, assemble.
+            let mut mode_taus = Vec::new();
+            let mut mode_rings = Vec::new();
+            for m in &decl.modes {
+                let candidate = spec
+                    .single_mode_candidate(g, &decl.stream, &m.config)
+                    .expect("declaration validated above");
+                let mut cf = Facts {
+                    pairs: base.pairs.clone(),
+                    ring: base.ring.clone(),
+                    tdm: base.tdm.clone(),
+                    modes: Vec::new(),
+                };
+                cf.recompute_gateway(&candidate, g, opts);
+                mode_taus.push(cf.pairs[g].taus[local]);
+                mode_rings.push(cf.ring[g].clone());
+                reports.push((m.name.clone(), assemble_report(&candidate, &cf)));
+            }
+            let mut all_admissible = true;
+            for (name, r) in &reports {
+                if !r.is_accepted() {
+                    all_admissible = false;
+                    let first = r
+                        .with_severity(Severity::Error)
+                        .next()
+                        .map(|d| d.message.clone())
+                        .unwrap_or_default();
+                    diags.push(Diagnostic {
+                        rule: RuleId::A11ModeAdmissibility,
+                        severity: Severity::Error,
+                        location: loc.clone(),
+                        message: format!(
+                            "mode '{name}' is inadmissible as a single-mode deployment: \
+                             {} error(s); first: {first}",
+                            r.error_count()
+                        ),
+                    });
+                }
+            }
+            if all_admissible {
+                diags.push(Diagnostic {
+                    rule: RuleId::A11ModeAdmissibility,
+                    severity: Severity::Info,
+                    location: loc.clone(),
+                    message: format!(
+                        "all {} declared mode(s) independently pass A1-A10",
+                        reports.len()
+                    ),
+                });
+            }
+
+            // A12 — worst-case transition delay per allowed transition.
+            let idx = |name: &str| decl.modes.iter().position(|m| m.name == name).unwrap();
+            let pairs_to_check: Vec<(usize, usize)> = if decl.transitions.is_empty() {
+                (0..decl.modes.len())
+                    .flat_map(|a| (0..decl.modes.len()).map(move |b| (a, b)))
+                    .filter(|&(a, b)| a != b)
+                    .collect()
+            } else {
+                decl.transitions
+                    .iter()
+                    .map(|(f, t)| (idx(f), idx(t)))
+                    .collect()
+            };
+            for &(a, b) in &pairs_to_check {
+                let bound = transition_delay_bound(
+                    spec,
+                    g,
+                    &decl.modes[a].config,
+                    &decl.modes[b].config,
+                    reports[a].1.gamma,
+                    reports[b].1.gamma,
+                );
+                diags.push(Diagnostic {
+                    rule: RuleId::A12TransitionDelay,
+                    severity: Severity::Info,
+                    location: loc.clone(),
+                    message: format!(
+                        "transition '{}' -> '{}': worst-case delay <= {} cycles \
+                         (drain {} + slot alignment {} + save/restore {} + ramp-in {})",
+                        decl.modes[a].name,
+                        decl.modes[b].name,
+                        bound.total(),
+                        bound.drain,
+                        bound.align,
+                        bound.save_restore,
+                        bound.ramp
+                    ),
+                });
+            }
+
+            // A13 — interference-freedom: every non-switching stream keeps
+            // its Eq. 3–4 round bound and buffer margins under the
+            // worst-of-modes τ̂ of the switcher, and the additive A7 ring
+            // loads stay under one flit/cycle with the switcher's
+            // worst-of-modes contribution substituted in.
+            let worst_tau = mode_taus
+                .iter()
+                .copied()
+                .chain([base.pairs[g].taus[local]])
+                .max()
+                .unwrap();
+            let mut taus_w: Vec<Vec<u64>> = base.pairs.iter().map(|p| p.taus.clone()).collect();
+            taus_w[g][local] = worst_tau;
+            let tau_refs: Vec<&[u64]> = taus_w.iter().map(|t| t.as_slice()).collect();
+            let (gamma_w, _) = system_round_bounds_from_taus(&views, &tau_refs);
+            let mut interference_free = true;
+            for (gi, (_, s)) in views
+                .iter()
+                .flat_map(|w| w.streams.iter().map(move |s| (w, s)))
+                .enumerate()
+            {
+                if gi == flat || !s.mu.is_positive() || s.eta_in == 0 || gamma_w[gi] == 0 {
+                    continue;
+                }
+                let gw = gamma_w[gi];
+                let sloc = Location::Stream {
+                    index: gi,
+                    name: s.name.clone(),
+                };
+                if Rational::new(s.eta_in as i128, gw as i128) < s.mu {
+                    interference_free = false;
+                    diags.push(Diagnostic {
+                        rule: RuleId::A13TransitionInterference,
+                        severity: Severity::Error,
+                        location: sloc,
+                        message: format!(
+                            "transitions of '{}' break this stream's round bound: \
+                             eta/gamma = {}/{gw} < mu = {} under the switcher's \
+                             worst-of-modes tau-hat = {worst_tau} — Eq. 3-4 must hold \
+                             throughout the transition window",
+                            decl.stream, s.eta_in, s.mu
+                        ),
+                    });
+                    continue;
+                }
+                let influx = (s.mu * Rational::from_int(gw as i128)).ceil().max(0) as u64;
+                if s.input_capacity < s.eta_in + influx {
+                    interference_free = false;
+                    diags.push(Diagnostic {
+                        rule: RuleId::A13TransitionInterference,
+                        severity: Severity::Warning,
+                        location: sloc,
+                        message: format!(
+                            "input capacity {} < eta_in + ceil(mu*gamma) = {} + {influx} \
+                             while '{}' transitions: a hard producer can overflow \
+                             within the transition window",
+                            s.input_capacity, s.eta_in, decl.stream
+                        ),
+                    });
+                }
+            }
+            let layout = spec.ring_layout();
+            let mut worst_ring = base.ring[g].clone();
+            for c in &mode_rings {
+                for h in 0..layout.nodes {
+                    if c.data_min[h] > worst_ring.data_min[h] {
+                        worst_ring.data_min[h] = c.data_min[h];
+                    }
+                    if c.credit_min[h] > worst_ring.credit_min[h] {
+                        worst_ring.credit_min[h] = c.credit_min[h];
+                    }
+                }
+            }
+            for ring_name in ["data", "credit"] {
+                for h in 0..layout.nodes {
+                    let mut load = Rational::from_int(0);
+                    for w in &views {
+                        let c = if w.index == g {
+                            &worst_ring
+                        } else {
+                            &base.ring[w.index]
+                        };
+                        load += if ring_name == "data" {
+                            c.data_min[h]
+                        } else {
+                            c.credit_min[h]
+                        };
+                    }
+                    if load > Rational::ONE {
+                        interference_free = false;
+                        diags.push(Diagnostic {
+                            rule: RuleId::A13TransitionInterference,
+                            severity: Severity::Error,
+                            location: Location::Deployment,
+                            message: format!(
+                                "{ring_name}-ring hop {h} over-committed while '{}' \
+                                 transitions: worst-of-modes sustained load {}/{} > 1 \
+                                 flit/cycle",
+                                decl.stream,
+                                load.numer(),
+                                load.denom()
+                            ),
+                        });
+                    }
+                }
+            }
+            if interference_free {
+                diags.push(Diagnostic {
+                    rule: RuleId::A13TransitionInterference,
+                    severity: Severity::Info,
+                    location: loc,
+                    message: format!(
+                        "transitions are interference-free: every non-switching stream \
+                         keeps its Eq. 3-4 round bound, buffer margin and ring-load \
+                         budget under '{}' worst-of-modes load",
+                        decl.stream
+                    ),
+                });
+            }
+            ModeFacts { diags, reports }
+        })
+        .collect()
 }
 
 /// Assemble a [`Report`] from cached [`Facts`]: remap the per-pair
@@ -273,12 +731,18 @@ pub(crate) fn assemble_report(spec: &DeploySpec, facts: &Facts) -> Report {
     }
     diags.extend(facts.tdm.iter().cloned());
 
+    // Multi-mode rules A11–A13 from the cached per-declaration facts.
+    for mf in &facts.modes {
+        diags.extend(mf.diags.iter().cloned());
+    }
+
     // System-scope rules A7–A10.
     let taus: Vec<&[u64]> = facts.pairs.iter().map(|p| p.taus.as_slice()).collect();
     let gamma_sys = check_system_round(spec, &views, &taus, &mut diags);
     check_ring(spec, &views, &facts.ring, &mut diags);
     check_config_bus(spec, &views, &mut diags);
     check_latency(spec, &views, &gamma_sys, &mut diags);
+    check_fusion(spec, &views, &mut diags);
 
     // Canonical order: insertion-order-independent, so reports built from
     // cached facts and from a fresh full run are byte-identical.
@@ -977,27 +1441,7 @@ fn check_system_round(
     taus: &[&[u64]],
     diags: &mut Vec<Diagnostic>,
 ) -> Vec<u64> {
-    let mut gamma_sys = Vec::new();
-    let mut gamma_local = Vec::new();
-    for v in views {
-        let own: u64 = taus[v.index].iter().sum();
-        let n_g = v.streams.len() as u64;
-        let mut interference = 0u64;
-        for w in views {
-            if w.index == v.index || w.group != v.group || w.streams.is_empty() {
-                continue;
-            }
-            let claims = n_g + 1;
-            let max_t = *taus[w.index].iter().max().unwrap();
-            let sum_t: u64 = taus[w.index].iter().sum();
-            let n_h = w.streams.len() as u64;
-            interference += (claims * max_t).min(claims.div_ceil(n_h) * sum_t);
-        }
-        for _ in v.streams {
-            gamma_sys.push(own + interference);
-            gamma_local.push(own);
-        }
-    }
+    let (gamma_sys, gamma_local) = system_round_bounds_from_taus(views, taus);
 
     // Group utilisation: each admitted block claims the shared chain for
     // τ̂ cycles per η samples, so Σ μ·τ̂/η over the group is the fraction
@@ -1093,6 +1537,36 @@ fn check_system_round(
         });
     }
     gamma_sys
+}
+
+/// The Eq. 3–4 system round bounds per flat stream — gateway-local Σ τ̂
+/// plus the Fig. 10 shared-chain interference term — for an arbitrary τ̂
+/// assignment. Shared by rule A8 (committed τ̂) and rule A13
+/// (worst-of-modes τ̂ during a transition window). Returns
+/// `(gamma_sys, gamma_local)`.
+fn system_round_bounds_from_taus(views: &[GatewayView], taus: &[&[u64]]) -> (Vec<u64>, Vec<u64>) {
+    let mut gamma_sys = Vec::new();
+    let mut gamma_local = Vec::new();
+    for v in views {
+        let own: u64 = taus[v.index].iter().sum();
+        let n_g = v.streams.len() as u64;
+        let mut interference = 0u64;
+        for w in views {
+            if w.index == v.index || w.group != v.group || w.streams.is_empty() {
+                continue;
+            }
+            let claims = n_g + 1;
+            let max_t = *taus[w.index].iter().max().unwrap();
+            let sum_t: u64 = taus[w.index].iter().sum();
+            let n_h = w.streams.len() as u64;
+            interference += (claims * max_t).min(claims.div_ceil(n_h) * sum_t);
+        }
+        for _ in v.streams {
+            gamma_sys.push(own + interference);
+            gamma_local.push(own);
+        }
+    }
+    (gamma_sys, gamma_local)
 }
 
 /// A7 — cross-gateway ring contention on the [`DeploySpec::ring_layout`]
@@ -1459,6 +1933,76 @@ fn check_latency(
     }
 }
 
+/// Fusion-eligibility diagnostics: the static part of the span engine's
+/// per-gateway `fuse_ok` decision, reported so the "all-or-nothing
+/// fusion" behaviour is visible instead of silent. The engine fuses a
+/// gateway's chain hot loop into closed-form interval execution only when
+/// every chain segment is unit-distance on both rings and the gateway's
+/// stations are disjoint from every other chain group's; delivery-event
+/// logging additionally disables fusion at run time, which a static spec
+/// cannot see — the diagnostic says so.
+fn check_fusion(spec: &DeploySpec, views: &[GatewayView], diags: &mut Vec<Diagnostic>) {
+    if !spec.is_multi() || !spec.gateway_structure_errors().is_empty() {
+        return;
+    }
+    let layout = spec.ring_layout();
+    let stations: Vec<Vec<usize>> = views
+        .iter()
+        .map(|v| {
+            let mut s = layout.chain_nodes[v.index].clone();
+            s.push(layout.entries[v.index]);
+            s.push(layout.exits[v.index]);
+            s
+        })
+        .collect();
+    for v in views {
+        let mut reason = None;
+        if v.chain.is_empty() {
+            reason = Some("the chain is empty".to_string());
+        }
+        if reason.is_none() {
+            for &(src, dst) in &layout.segments(v.index) {
+                let d = layout.data_hops(src, dst).len();
+                let c = layout.credit_hops(src, dst).len();
+                if d != 1 || c != 1 {
+                    reason = Some(format!(
+                        "mixed-distance chain: segment {src} -> {dst} spans {d} data / \
+                         {c} credit hop(s), not 1/1"
+                    ));
+                    break;
+                }
+            }
+        }
+        if reason.is_none() {
+            for w in views {
+                if w.index == v.index || w.group == v.group {
+                    continue;
+                }
+                if stations[v.index]
+                    .iter()
+                    .any(|s| stations[w.index].contains(s))
+                {
+                    reason = Some(format!("ring stations overlap gateway '{}'", w.name));
+                    break;
+                }
+            }
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::A7RingContention,
+            severity: Severity::Info,
+            location: gw_loc(spec, v),
+            message: match reason {
+                None => "span-engine chain fusion statically eligible (fuse_ok): every \
+                         chain segment is unit-distance and the stations are disjoint \
+                         from other chain groups (delivery-event logging still disables \
+                         fusion at run time)"
+                    .into(),
+                Some(r) => format!("span-engine chain fusion statically ineligible: {r}"),
+            },
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1489,6 +2033,7 @@ mod tests {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         }
     }
 
@@ -1637,6 +2182,7 @@ mod tests {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         };
         let r = analyze(&s);
         assert!(
@@ -1767,6 +2313,7 @@ mod tests {
             gateways: vec![gw(0), gw(1)],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         }
     }
 

@@ -111,6 +111,52 @@ pub struct StationMap {
     pub chain_nodes: Vec<Vec<usize>>,
 }
 
+/// One declared operating mode of a stream: a name plus the complete
+/// per-stream configuration (rate μ, block sizes η, reconfiguration
+/// window, buffer sizing) the stream runs with while in that mode.
+///
+/// The `config.name` field is ignored on substitution — a mode always
+/// keeps the identity of the stream it belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamMode {
+    /// Mode name, unique within the owning [`StreamModes`] declaration.
+    pub name: String,
+    /// The stream configuration in force while this mode is active.
+    pub config: StreamDeploy,
+}
+
+/// The multi-mode declaration of one stream: the set of operating modes
+/// it may run in and (optionally) which mode-to-mode transitions are
+/// allowed.
+///
+/// Rules A11–A13 analyse these declarations statically; the
+/// `ModeSwitch` admission delta executes them at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamModes {
+    /// Gateway index of the owning stream (0 in the single-gateway shape).
+    pub gateway: usize,
+    /// Name of the stream these modes belong to.
+    pub stream: String,
+    /// Declared modes, in declaration order.
+    pub modes: Vec<StreamMode>,
+    /// Allowed transitions as `(from, to)` mode-name pairs. Empty means
+    /// every mode can switch to every other mode.
+    pub transitions: Vec<(String, String)>,
+}
+
+impl StreamModes {
+    /// Look up a declared mode by name.
+    pub fn mode(&self, name: &str) -> Option<&StreamMode> {
+        self.modes.iter().find(|m| m.name == name)
+    }
+
+    /// True when a switch from mode `from` to mode `to` is allowed by the
+    /// declared transition set (empty set = fully connected).
+    pub fn transition_allowed(&self, from: &str, to: &str) -> bool {
+        self.transitions.is_empty() || self.transitions.iter().any(|(f, t)| f == from && t == to)
+    }
+}
+
 /// A complete static deployment description — the analyzer input.
 ///
 /// Two shapes share this type:
@@ -150,6 +196,9 @@ pub struct DeploySpec {
     /// User-chosen ring placement; `None` selects the default interleaved
     /// layout. Validated by [`DeploySpec::gateway_structure_errors`].
     pub station_map: Option<StationMap>,
+    /// Multi-mode declarations (rules A11–A13); empty when every stream
+    /// is single-mode.
+    pub modes: Vec<StreamModes>,
 }
 
 /// A uniform per-gateway view over both [`DeploySpec`] shapes: rules that
@@ -670,6 +719,50 @@ impl DeploySpec {
                 ]),
             ));
         }
+        if !self.modes.is_empty() {
+            top.push((
+                "modes",
+                Json::Array(
+                    self.modes
+                        .iter()
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("gateway", Json::Int(m.gateway as i128)),
+                                ("stream", Json::Str(m.stream.clone())),
+                                (
+                                    "modes",
+                                    Json::Array(
+                                        m.modes
+                                            .iter()
+                                            .map(|md| {
+                                                Json::obj(vec![
+                                                    ("name", Json::Str(md.name.clone())),
+                                                    ("config", stream_to_json(&md.config)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "transitions",
+                                    Json::Array(
+                                        m.transitions
+                                            .iter()
+                                            .map(|(f, t)| {
+                                                Json::Array(vec![
+                                                    Json::Str(f.clone()),
+                                                    Json::Str(t.clone()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(top)
     }
 
@@ -772,6 +865,49 @@ impl DeploySpec {
                 })
             }
         };
+        let modes = match v.get("modes").and_then(Json::as_array) {
+            None => Vec::new(),
+            Some(ms) => ms
+                .iter()
+                .map(|m| {
+                    let modes = m
+                        .get("modes")
+                        .and_then(Json::as_array)
+                        .ok_or("mode declaration without modes array")?
+                        .iter()
+                        .map(|md| {
+                            Ok(StreamMode {
+                                name: j_str(md, "name")?,
+                                config: stream_from_json(
+                                    md.get("config").ok_or("mode without config")?,
+                                )?,
+                            })
+                        })
+                        .collect::<Result<_, String>>()?;
+                    let transitions = match m.get("transitions").and_then(Json::as_array) {
+                        None => Vec::new(),
+                        Some(ts) => ts
+                            .iter()
+                            .map(|t| {
+                                let pair = t
+                                    .as_array()
+                                    .filter(|a| a.len() == 2)
+                                    .ok_or("transition must be [from, to]")?;
+                                let f = pair[0].as_str().ok_or("bad transition from")?;
+                                let to = pair[1].as_str().ok_or("bad transition to")?;
+                                Ok((f.to_string(), to.to_string()))
+                            })
+                            .collect::<Result<_, String>>()?,
+                    };
+                    Ok(StreamModes {
+                        gateway: j_u64(m, "gateway")? as usize,
+                        stream: j_str(m, "stream")?,
+                        modes,
+                        transitions,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         Ok(DeploySpec {
             name: j_str(&v, "name")?,
             chain,
@@ -787,6 +923,7 @@ impl DeploySpec {
             gateways,
             config_bus_period: v.get("config_bus_period").and_then(Json::as_u64),
             station_map,
+            modes,
         })
     }
 }
@@ -819,29 +956,28 @@ fn chain_to_json(chain: &[ChainStage]) -> Json {
 }
 
 fn streams_to_json(streams: &[StreamDeploy]) -> Json {
-    Json::Array(
-        streams
-            .iter()
-            .map(|s| {
-                let mut pairs = vec![
-                    ("name", Json::Str(s.name.clone())),
-                    (
-                        "mu",
-                        Json::Array(vec![Json::Int(s.mu.numer()), Json::Int(s.mu.denom())]),
-                    ),
-                    ("eta_in", Json::Int(s.eta_in as i128)),
-                    ("eta_out", Json::Int(s.eta_out as i128)),
-                    ("reconfig", Json::Int(s.reconfig as i128)),
-                    ("input_capacity", Json::Int(s.input_capacity as i128)),
-                    ("output_capacity", Json::Int(s.output_capacity as i128)),
-                ];
-                if let Some(l) = s.max_latency {
-                    pairs.push(("max_latency", Json::Int(l as i128)));
-                }
-                Json::obj(pairs)
-            })
-            .collect(),
-    )
+    Json::Array(streams.iter().map(stream_to_json).collect())
+}
+
+/// Serialise one stream object of the spec-JSON `streams` encoding —
+/// shared with the per-mode `config` encoding.
+fn stream_to_json(s: &StreamDeploy) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(s.name.clone())),
+        (
+            "mu",
+            Json::Array(vec![Json::Int(s.mu.numer()), Json::Int(s.mu.denom())]),
+        ),
+        ("eta_in", Json::Int(s.eta_in as i128)),
+        ("eta_out", Json::Int(s.eta_out as i128)),
+        ("reconfig", Json::Int(s.reconfig as i128)),
+        ("input_capacity", Json::Int(s.input_capacity as i128)),
+        ("output_capacity", Json::Int(s.output_capacity as i128)),
+    ];
+    if let Some(l) = s.max_latency {
+        pairs.push(("max_latency", Json::Int(l as i128)));
+    }
+    Json::obj(pairs)
 }
 
 fn chain_from_json(v: &Json) -> Result<Vec<ChainStage>, String> {
@@ -923,6 +1059,7 @@ impl DeploySpec {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         }
     }
 
@@ -961,6 +1098,7 @@ impl DeploySpec {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         }
     }
 
@@ -1040,6 +1178,7 @@ impl DeploySpec {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         }
     }
 
@@ -1115,7 +1254,47 @@ impl DeploySpec {
             ],
             config_bus_period: Some(2 * cfg.reconfig),
             station_map: None,
+            modes: vec![],
         }
+    }
+
+    /// The multi-mode declaration of `stream` on gateway `gateway`, when
+    /// one exists.
+    pub fn stream_modes(&self, gateway: usize, stream: &str) -> Option<&StreamModes> {
+        self.modes
+            .iter()
+            .find(|m| m.gateway == gateway && m.stream == stream)
+    }
+
+    /// The **equivalent single-mode spec** of one declared mode: this spec
+    /// with `stream`'s configuration on gateway `gateway` replaced by
+    /// `config` (the stream keeps its name) and every multi-mode
+    /// declaration dropped. Rule A11 requires each declared mode's
+    /// candidate to independently pass A1–A10; by construction the
+    /// candidate's report is exactly what a full analysis of this spec
+    /// would produce. Returns `None` when the gateway or stream does not
+    /// exist.
+    pub fn single_mode_candidate(
+        &self,
+        gateway: usize,
+        stream: &str,
+        config: &StreamDeploy,
+    ) -> Option<DeploySpec> {
+        let mut s = self.clone();
+        s.modes = Vec::new();
+        let streams = if s.gateways.is_empty() {
+            if gateway != 0 {
+                return None;
+            }
+            &mut s.streams
+        } else {
+            &mut s.gateways.get_mut(gateway)?.streams
+        };
+        let i = streams.iter().position(|x| x.name == stream)?;
+        let mut cfg = config.clone();
+        cfg.name = stream.to_string();
+        streams[i] = cfg;
+        Some(s)
     }
 
     /// Build the cycle-level platform this spec describes — the simulation
@@ -1328,10 +1507,48 @@ mod tests {
         // PR-3 consumers must keep seeing byte-identical documents.
         for spec in [DeploySpec::fig6(), DeploySpec::pal_scaled()] {
             let text = spec.to_json_text();
-            for key in ["gateways", "config_bus_period", "max_latency"] {
+            for key in ["gateways", "config_bus_period", "max_latency", "modes"] {
                 assert!(!text.contains(key), "legacy JSON grew a {key:?} key");
             }
         }
+    }
+
+    #[test]
+    fn mode_declarations_roundtrip_and_candidate_substitutes() {
+        let mut spec = DeploySpec::pal2();
+        let mut fast = spec.gateways[0].streams[0].clone();
+        fast.eta_in *= 2;
+        fast.eta_out *= 2;
+        let slow = spec.gateways[0].streams[0].clone();
+        spec.modes = vec![StreamModes {
+            gateway: 0,
+            stream: slow.name.clone(),
+            modes: vec![
+                StreamMode {
+                    name: "slow".into(),
+                    config: slow.clone(),
+                },
+                StreamMode {
+                    name: "fast".into(),
+                    config: fast.clone(),
+                },
+            ],
+            transitions: vec![("slow".into(), "fast".into())],
+        }];
+        let text = spec.to_json_text();
+        let back = DeploySpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json_text(), text);
+
+        let decl = spec.stream_modes(0, &slow.name).unwrap();
+        assert!(decl.transition_allowed("slow", "fast"));
+        assert!(!decl.transition_allowed("fast", "slow"));
+
+        let cand = spec.single_mode_candidate(0, &slow.name, &fast).unwrap();
+        assert!(cand.modes.is_empty());
+        assert_eq!(cand.gateways[0].streams[0].eta_in, fast.eta_in);
+        assert_eq!(cand.gateways[0].streams[0].name, slow.name);
+        assert!(spec.single_mode_candidate(0, "nope", &fast).is_none());
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn random_clean_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
         gateways: vec![],
         config_bus_period: None,
         station_map: None,
+        modes: vec![],
     }
 }
 
@@ -173,6 +174,7 @@ pub fn random_multi_spec(rng: &mut Rng, tag: usize) -> DeploySpec {
         gateways,
         config_bus_period: None,
         station_map: None,
+        modes: vec![],
     };
     // The credit window ni_depth·c0 must cover each pair's 2·distance ring
     // round trip (layout-aware A6) — size the NI for the worst pair, plus

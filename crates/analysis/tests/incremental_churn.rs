@@ -1,6 +1,6 @@
 //! Differential test for the incremental admission-control analyzer:
-//! random join/leave/retune churn against multi-gateway deployments, with
-//! the full analyzer as oracle at **every** step.
+//! random join/leave/retune/mode-switch churn against multi-gateway
+//! deployments, with the full analyzer as oracle at **every** step.
 //!
 //! The soundness contract of `analysis::incremental` is equivalence by
 //! construction — `AnalysisState::apply` must produce, for every delta,
@@ -17,12 +17,36 @@ mod common;
 use common::{fast_options, random_multi_spec, Rng};
 use proptest::prelude::*;
 use streamgate_analysis::{
-    analyze_with, AdmissionController, AnalysisState, Delta, DeploySpec, StreamDeploy,
+    analyze_with, AdmissionController, AnalysisState, Delta, DeploySpec, StreamDeploy, StreamMode,
+    StreamModes,
 };
 use streamgate_ilp::Rational;
 
 /// Reference mutation: apply `delta` to a spec the slow, obvious way.
 fn apply_delta(spec: &DeploySpec, delta: &Delta) -> DeploySpec {
+    let switch_cfg = if let Delta::ModeSwitch {
+        gateway,
+        stream,
+        mode,
+    } = delta
+    {
+        let decl = spec
+            .modes
+            .iter()
+            .find(|m| m.gateway == *gateway && m.stream == *stream)
+            .unwrap();
+        let mut cfg = decl
+            .modes
+            .iter()
+            .find(|m| m.name == *mode)
+            .unwrap()
+            .config
+            .clone();
+        cfg.name = stream.clone();
+        Some(cfg)
+    } else {
+        None
+    };
     let mut s = spec.clone();
     let streams = if s.gateways.is_empty() {
         &mut s.streams
@@ -38,6 +62,10 @@ fn apply_delta(spec: &DeploySpec, delta: &Delta) -> DeploySpec {
         Delta::RetuneStream { stream, with, .. } => {
             let i = streams.iter().position(|x| x.name == *stream).unwrap();
             streams[i] = with.clone();
+        }
+        Delta::ModeSwitch { stream, .. } => {
+            let i = streams.iter().position(|x| x.name == *stream).unwrap();
+            streams[i] = switch_cfg.unwrap();
         }
     }
     s
@@ -80,7 +108,20 @@ fn decode_delta(
         output_capacity: 8 * eta,
         max_latency: None,
     };
-    match op % 3 {
+    // A declared mode switch is only decodable while the moded stream is
+    // still deployed (churn may have removed it).
+    let switchable = spec.modes.first().and_then(|decl| {
+        let streams = if spec.gateways.is_empty() {
+            &spec.streams
+        } else {
+            &spec.gateways.get(decl.gateway)?.streams
+        };
+        streams
+            .iter()
+            .any(|s| s.name == decl.stream)
+            .then(|| (decl.gateway, decl.stream.clone(), decl.modes.clone()))
+    });
+    match op % 4 {
         1 if !existing.is_empty() => Delta::RemoveStream {
             gateway,
             stream: existing[st_sel as usize % existing.len()].clone(),
@@ -91,6 +132,14 @@ fn decode_delta(
                 gateway,
                 stream: target.clone(),
                 with: make(target),
+            }
+        }
+        3 if switchable.is_some() => {
+            let (gateway, stream, modes) = switchable.unwrap();
+            Delta::ModeSwitch {
+                gateway,
+                stream,
+                mode: modes[mu_sel as usize % modes.len()].name.clone(),
             }
         }
         _ => {
@@ -108,6 +157,31 @@ fn run_churn(seed: u64, steps: &[(u8, u8, u8, u8, u8)]) {
     let opts = fast_options();
     let mut rng = Rng::new(seed);
     let mut spec = random_multi_spec(&mut rng, seed as usize);
+    // Declare a two-mode table on gateway 0's first stream so mode
+    // switches join the churn mix: "base" is the committed configuration,
+    // "burst" trades a longer reconfiguration window (different τ̂, γ and
+    // A12/A13 figures) at the same rate. Transitions stay fully connected
+    // so back-to-back switches in any order are legal.
+    if let Some(slow) = spec.gateways.first().and_then(|g| g.streams.first()) {
+        let slow = slow.clone();
+        let mut burst = slow.clone();
+        burst.reconfig += 16;
+        spec.modes = vec![StreamModes {
+            gateway: 0,
+            stream: slow.name.clone(),
+            modes: vec![
+                StreamMode {
+                    name: "base".into(),
+                    config: slow,
+                },
+                StreamMode {
+                    name: "burst".into(),
+                    config: burst,
+                },
+            ],
+            transitions: vec![],
+        }];
+    }
     let mut state = AnalysisState::new(spec.clone(), opts);
     let mut counter = 0;
     for &step in steps {

@@ -44,6 +44,7 @@ fn baseline() -> DeploySpec {
         gateways: vec![],
         config_bus_period: None,
         station_map: None,
+        modes: vec![],
     }
 }
 
@@ -187,6 +188,7 @@ fn multi_baseline() -> DeploySpec {
         gateways: vec![gw(0, Rational::new(1, 20)), gw(1, Rational::new(1, 20))],
         config_bus_period: None,
         station_map: None,
+        modes: vec![],
     }
 }
 

@@ -89,6 +89,7 @@ fn spec_of(raw: &RawDeploy) -> DeploySpec {
         gateways: vec![],
         config_bus_period: None,
         station_map: None,
+        modes: vec![],
     }
 }
 

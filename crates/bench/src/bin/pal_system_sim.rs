@@ -103,24 +103,60 @@ fn mode_json(wall: f64, cycles: u64, stats: streamgate_platform::EngineStats) ->
 /// `--churn`: online admission control on the two-gateway PAL deployment
 /// (Fig. 10). A running pal2 system, bound monitor armed, takes one
 /// admissible stream join (spliced in mid-run through the incremental
-/// analyzer, inside gateway 1's config-bus slot) and one infeasible join
-/// (rejected by rule A8 before any platform interaction). The monitor
-/// must stay silent across the whole transition, and the reject must
-/// leave system state and the committed bounds bit-for-bit untouched.
+/// analyzer, inside gateway 1's config-bus slot), one declared mode switch
+/// (retuned in place over the config bus, with the measured transition
+/// delay checked against the A12 bound and a refused reverse edge), and
+/// one infeasible join (rejected by rule A8 before any platform
+/// interaction). The monitor must stay silent across every transition,
+/// and the reject must leave system state and the committed bounds
+/// bit-for-bit untouched.
+///
+/// The deployment is analyzed exactly once: the baseline report and the
+/// admission controller share a single `AnalysisState`, so every request
+/// is served from the cached incremental `Facts` rather than a fresh full
+/// re-analysis.
 fn run_churn_admission(mode: StepMode, cycles: u64) {
     use streamgate_analysis::{
-        analyze, monitor_for, AdmissionController, AnalysisOptions, Delta, DeploySpec, StreamDeploy,
+        monitor_for, AdmissionController, AnalysisOptions, AnalysisState, Delta, DeploySpec,
+        StreamDeploy, StreamMode, StreamModes,
     };
+    use streamgate_core::measured_transition_delay;
     use streamgate_ilp::Rational;
 
     println!("\n== online admission (--churn): pal2, mid-run joins ==");
-    let spec = DeploySpec::pal2();
-    let report = analyze(&spec);
-    assert!(report.is_accepted(), "pal2 baseline must be accepted");
+    let mut spec = DeploySpec::pal2();
+    // Declare a two-mode table on ch1-front: "cruise" is the committed
+    // configuration, "eco" trades a shorter reconfiguration window. Only
+    // the cruise -> eco edge is allowed, so the demo can also show the
+    // analyzer refusing the reverse switch.
+    let cruise = spec.gateways[0].streams[0].clone();
+    let mut eco = cruise.clone();
+    eco.reconfig -= 16;
+    let front = cruise.name.clone();
+    spec.modes = vec![StreamModes {
+        gateway: 0,
+        stream: front.clone(),
+        modes: vec![
+            StreamMode {
+                name: "cruise".into(),
+                config: cruise,
+            },
+            StreamMode {
+                name: "eco".into(),
+                config: eco,
+            },
+        ],
+        transitions: vec![("cruise".into(), "eco".into())],
+    }];
+    let state = AnalysisState::new(spec.clone(), AnalysisOptions::default());
+    assert!(
+        state.report().is_accepted(),
+        "pal2 baseline must be accepted"
+    );
     let mut built = spec.build_multi_platform();
     built.system.step_mode = mode;
     built.system.enable_tracing((cycles / 1000).max(1));
-    let mut monitor = monitor_for(&spec, &report, &built.system);
+    let mut monitor = monitor_for(&spec, state.report(), &built.system);
 
     // Two blocks of input per stream so the gateways are genuinely busy
     // when the join arrives.
@@ -135,7 +171,7 @@ fn run_churn_admission(mode: StepMode, cycles: u64) {
     built.system.run(cycles / 4);
     assert_eq!(monitor.poll(&built.system.tracer), 0, "baseline run clean");
 
-    let mut ctrl = AdmissionController::new(spec.clone(), AnalysisOptions::default());
+    let mut ctrl = AdmissionController::from_state(state);
     let probe = StreamDeploy {
         name: "aux-meter".into(),
         mu: Rational::new(1, 1_000_000),
@@ -184,6 +220,67 @@ fn run_churn_admission(mode: StepMode, cycles: u64) {
         gw1.stream(idx).blocks_done >= 1,
         "spliced stream must run a block"
     );
+
+    // Mode switch: retune ch1-front to its declared "eco" mode in place
+    // over the config bus. The A12 bound predicts the worst-case
+    // transition delay from the request cycle; the measured first
+    // post-switch block must land within it, and the monitor — armed with
+    // that very bound as a one-shot deadline — must stay silent.
+    let t_switch = built.system.cycle();
+    let outcome = ctrl
+        .request(
+            &mut built.system,
+            &built.gateways,
+            &Delta::ModeSwitch {
+                gateway: 0,
+                stream: front.clone(),
+                mode: "eco".into(),
+            },
+            Some(&mut monitor),
+        )
+        .expect("declared mode switch is well-formed");
+    assert!(outcome.verdict.is_admitted(), "eco switch must admit");
+    let predicted = outcome
+        .predicted_delay
+        .expect("admitted mode switch carries an A12 bound");
+    let front_idx = outcome.stream_index.expect("switch keeps the table index");
+    let (fin, _fout) = outcome.fifos.expect("switch rebuilt the stream fifos");
+    for k in 0..spec.gateways[0].streams[0].eta_in {
+        let now = built.system.cycle();
+        built.system.fifos[fin.0].try_push((k as f64, 0.0), now);
+    }
+    built.system.run(cycles / 4);
+    assert_eq!(
+        monitor.poll(&built.system.tracer),
+        0,
+        "monitor must stay silent across the mode transition"
+    );
+    let measured = measured_transition_delay(&built.system, built.gateways[0], front_idx, t_switch)
+        .expect("retuned stream ran a post-switch block");
+    assert!(
+        measured <= predicted,
+        "A12 transition bound violated: measured {measured} > predicted {predicted}"
+    );
+    println!(
+        "  switch {front} -> eco @ gw 0: ADMITTED (A12 predicted {predicted} cycles, \
+         measured {measured})"
+    );
+
+    // The reverse edge is not declared, so the analyzer refuses it before
+    // touching the platform.
+    let err = ctrl
+        .request(
+            &mut built.system,
+            &built.gateways,
+            &Delta::ModeSwitch {
+                gateway: 0,
+                stream: front.clone(),
+                mode: "cruise".into(),
+            },
+            Some(&mut monitor),
+        )
+        .expect_err("eco -> cruise is not a declared transition");
+    println!("  switch {front} -> cruise: REFUSED ({err})");
 
     // Join 2: infeasible (μ = 1/2 over-commits the shared round, rule A8).
     // The reject path must be non-disruptive: no new fifos, no new table

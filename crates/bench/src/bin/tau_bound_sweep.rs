@@ -123,6 +123,7 @@ fn main() {
                 gateways: vec![],
                 config_bus_period: None,
                 station_map: None,
+                modes: vec![],
             };
             let report = streamgate_analysis::analyze(&spec);
             println!(

@@ -45,8 +45,10 @@ use streamgate_platform::StepMode;
 ///   processor busy) from the benchmark runs as machine-readable JSON;
 /// * `--churn` — exercise online admission control mid-run (binaries that
 ///   support it): one analyzable stream join is spliced into the running
-///   system through the incremental analyzer and one infeasible join is
-///   rejected, with the bound monitor armed across the transition.
+///   system through the incremental analyzer, one declared mode switch is
+///   retuned in place with the A12 transition-delay bound checked against
+///   the measured first post-switch block, and one infeasible join is
+///   rejected, with the bound monitor armed across every transition.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -145,18 +147,32 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
 /// print its report, and exit with status 1 when the deployment is rejected
 /// (any rule at Error severity) — the simulation would deadlock, wedge or
 /// miss its throughput, so there is no point running it.
-pub fn preflight_analyze(spec: &streamgate_analysis::DeploySpec) {
-    let report = streamgate_analysis::analyze(spec);
+///
+/// The analysis runs through the same cached-`Facts` path the incremental
+/// admission controller uses (`AnalysisState` assembles the identical
+/// report the batch `analyze` entry point produces), and the state is
+/// returned so a binary that goes on to serve `--churn`/`--delta` requests
+/// against the *same* spec can seed its controller from it instead of
+/// recomputing the deployment from scratch. Callers that only want the
+/// accept/reject gate can ignore the return value.
+pub fn preflight_analyze(
+    spec: &streamgate_analysis::DeploySpec,
+) -> streamgate_analysis::AnalysisState {
+    let state = streamgate_analysis::AnalysisState::new(
+        spec.clone(),
+        streamgate_analysis::AnalysisOptions::default(),
+    );
     println!("== static analysis pre-flight ==");
-    print!("{}", report.render_text());
+    print!("{}", state.report().render_text());
     println!();
-    if !report.is_accepted() {
+    if !state.report().is_accepted() {
         eprintln!(
             "pre-flight analysis rejected deployment '{}': refusing to simulate",
-            report.deployment
+            state.report().deployment
         );
         std::process::exit(1);
     }
+    state
 }
 
 /// Collect the measured [`streamgate_core::RunProfile`] of a finished

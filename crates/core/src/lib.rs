@@ -29,7 +29,7 @@
 //!   the-earlier-the-better refinement of simulated traces — all measured
 //!   through the tracer.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod abstraction;
 pub mod blocksize;
@@ -62,5 +62,6 @@ pub use profile::{
     GatewayProfile, HopProfile, RunProfile, StallProfile, StreamProfile,
 };
 pub use validate::{
-    max_round_time, measure_block_times, system_metrics, validate_tau_bound, TauValidation,
+    max_round_time, measure_block_times, measured_transition_delay, system_metrics,
+    validate_tau_bound, TauValidation,
 };

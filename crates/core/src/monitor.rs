@@ -45,6 +45,12 @@ pub struct StreamMonitorConfig {
     pub name: String,
     /// Upper bound on measured block time τ (Eq. 2), when known.
     pub tau_bound: Option<u64>,
+    /// Absolute deadline cycle for an in-flight mode transition: the
+    /// stream's next completed block must drain by this cycle (rule A12's
+    /// predicted transition-delay bound, anchored at the switch-request
+    /// cycle). Armed by [`Monitor::arm_transition_deadline`] after an
+    /// admitted mode switch; cleared by the first completed block.
+    pub transition_deadline: Option<u64>,
 }
 
 /// Per-gateway monitoring configuration.
@@ -97,6 +103,7 @@ impl MonitorConfig {
                         .map(|s| StreamMonitorConfig {
                             name: g.stream(s).name.clone(),
                             tau_bound: None,
+                            transition_deadline: None,
                         })
                         .collect(),
                 })
@@ -126,6 +133,10 @@ pub enum ViolationKind {
     /// An exit C-FIFO back-pressured a block occupying the chain — the
     /// Fig. 9 head-of-line blocking the check-for-space test prevents.
     HeadOfLineBlocking,
+    /// A mode transition missed its predicted completion deadline: the
+    /// switching stream's first post-switch block did not drain within
+    /// rule A12's worst-case transition-delay bound.
+    TransitionOverrun,
 }
 
 impl ViolationKind {
@@ -136,6 +147,7 @@ impl ViolationKind {
             ViolationKind::RoundExceeded => "round-exceeded",
             ViolationKind::BufferOverflow => "buffer-overflow",
             ViolationKind::HeadOfLineBlocking => "head-of-line-blocking",
+            ViolationKind::TransitionOverrun => "transition-overrun",
         }
     }
 }
@@ -246,7 +258,75 @@ impl Monitor {
                 self.recent[g].clear();
             }
         }
+        // Pending transition deadlines survive a re-arm: the controller
+        // re-arms with analyzer bounds (which carry no deadline) before
+        // re-arming the switched stream's deadline, and an unrelated
+        // admission must not silently disarm an in-flight transition check.
+        let mut cfg = cfg;
+        for (g, gw) in cfg.gateways.iter_mut().enumerate() {
+            for sc in &mut gw.streams {
+                if sc.transition_deadline.is_none() {
+                    sc.transition_deadline = self
+                        .cfg
+                        .gateways
+                        .get(g)
+                        .and_then(|old| old.streams.iter().find(|o| o.name == sc.name))
+                        .and_then(|o| o.transition_deadline);
+                }
+            }
+        }
         self.cfg = cfg;
+    }
+
+    /// Arm the transition-deadline check for one stream (by name) of
+    /// gateway `gateway`: the stream's next completed block must drain by
+    /// absolute cycle `deadline` (rule A12's predicted bound anchored at
+    /// the switch-request cycle), else a
+    /// [`ViolationKind::TransitionOverrun`] is reported. The deadline is
+    /// one-shot — the first completed block clears it.
+    pub fn arm_transition_deadline(&mut self, gateway: usize, stream: &str, deadline: u64) {
+        if let Some(sc) = self
+            .cfg
+            .gateways
+            .get_mut(gateway)
+            .and_then(|g| g.streams.iter_mut().find(|s| s.name == stream))
+        {
+            sc.transition_deadline = Some(deadline);
+        }
+    }
+
+    /// Check every armed transition deadline against the current cycle:
+    /// a transition whose deadline has passed with *no* completed block is
+    /// just as overrun as one whose first block drained late. Call with
+    /// `system.cycle()` after polling; returns the number of violations
+    /// raised (expired deadlines are disarmed so each fires once).
+    pub fn check_transition_deadlines(&mut self, now: u64) -> usize {
+        let mut raised = 0;
+        for g in 0..self.cfg.gateways.len() {
+            for s in 0..self.cfg.gateways[g].streams.len() {
+                let Some(deadline) = self.cfg.gateways[g].streams[s].transition_deadline else {
+                    continue;
+                };
+                if now > deadline {
+                    self.cfg.gateways[g].streams[s].transition_deadline = None;
+                    self.violations.push(Violation {
+                        kind: ViolationKind::TransitionOverrun,
+                        cycle: now,
+                        gateway: Some(g),
+                        gateway_name: self.gateway_name(g),
+                        stream: Some(s),
+                        stream_name: self.stream_name(g, s),
+                        fifo: None,
+                        message: format!(
+                            "mode transition incomplete at cycle {now}: no block drained \
+                             by the predicted A12 deadline {deadline}"
+                        ),
+                    });
+                    raised += 1;
+                }
+            }
+        }
+        raised
     }
 
     /// All violations detected so far, in detection order.
@@ -333,6 +413,31 @@ impl Monitor {
             ),
             None => (None, None, 0),
         };
+        // One-shot A12 transition-deadline check: the first completed
+        // block after the switch must drain by the predicted deadline.
+        let deadline = self
+            .cfg
+            .gateways
+            .get_mut(g)
+            .and_then(|c| c.streams.get_mut(s))
+            .and_then(|sc| sc.transition_deadline.take());
+        if let Some(deadline) = deadline {
+            if drain_end > deadline {
+                self.violations.push(Violation {
+                    kind: ViolationKind::TransitionOverrun,
+                    cycle: drain_end,
+                    gateway: Some(g),
+                    gateway_name: self.gateway_name(g),
+                    stream: Some(s),
+                    stream_name: self.stream_name(g, s),
+                    fifo: None,
+                    message: format!(
+                        "first post-switch block drained at cycle {drain_end} > \
+                         predicted A12 transition deadline {deadline}"
+                    ),
+                });
+            }
+        }
         if let Some(bound) = tau_bound {
             if tau > bound {
                 self.violations.push(Violation {
@@ -450,10 +555,12 @@ mod tests {
                     StreamMonitorConfig {
                         name: "s0".into(),
                         tau_bound,
+                        transition_deadline: None,
                     },
                     StreamMonitorConfig {
                         name: "s1".into(),
                         tau_bound,
+                        transition_deadline: None,
                     },
                 ],
             }],
@@ -568,6 +675,40 @@ mod tests {
         t.emit(|| block_end(1, 262, 300));
         assert_eq!(m.poll(&t), 0, "round window restarted at the splice");
         assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn transition_deadline_one_shot_and_survives_rearm() {
+        let mut t = Tracer::enabled(0);
+        let mut m = Monitor::new(cfg_one_gateway(None, None));
+        m.arm_transition_deadline(0, "s1", 100);
+        // Re-arm with fresh bounds (no deadline): the pending deadline is
+        // inherited, not silently disarmed.
+        m.rearm(cfg_one_gateway(Some(1_000_000), None));
+        // First post-switch block drains late → overrun, deadline cleared.
+        t.emit(|| block_end(1, 60, 140));
+        assert_eq!(m.poll(&t), 1);
+        let v = &m.violations()[0];
+        assert_eq!(v.kind, ViolationKind::TransitionOverrun);
+        assert_eq!(v.stream_name, "s1");
+        // One-shot: the next block is steady state, not a transition.
+        t.emit(|| block_end(1, 150, 400));
+        assert_eq!(m.poll(&t), 0);
+
+        // In-time completion stays silent; an expired deadline with no
+        // block at all fires through the explicit clock check.
+        let mut m2 = Monitor::new(cfg_one_gateway(None, None));
+        m2.arm_transition_deadline(0, "s0", 1000);
+        t.emit(|| block_end(0, 410, 430));
+        assert_eq!(m2.poll(&t), 0, "block drained within its deadline");
+        m2.arm_transition_deadline(0, "s1", 500);
+        assert_eq!(m2.check_transition_deadlines(450), 0);
+        assert_eq!(m2.check_transition_deadlines(501), 1);
+        assert_eq!(
+            m2.violations().last().unwrap().kind,
+            ViolationKind::TransitionOverrun
+        );
+        assert_eq!(m2.check_transition_deadlines(502), 0, "fires once");
     }
 
     #[test]

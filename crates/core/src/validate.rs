@@ -100,6 +100,29 @@ pub fn max_round_time(metrics: &GatewayMetrics) -> Option<u64> {
     metrics.max_round_time()
 }
 
+/// Measured mode-transition delay: cycles from the switch-request cycle to
+/// the drain end of the switched stream's **first** block admitted at or
+/// after the request — the quantity rule A12's closed-form bound must
+/// dominate. `stream` is the stream's post-splice table index (the
+/// `stream_index` of the admission outcome). Returns `None` while no
+/// post-switch block has completed yet.
+///
+/// # Panics
+///
+/// Panics when the system was run without `System::enable_tracing`.
+pub fn measured_transition_delay(
+    sys: &System,
+    gateway: usize,
+    stream: usize,
+    request_cycle: u64,
+) -> Option<u64> {
+    system_metrics(sys, gateway)
+        .blocks
+        .iter()
+        .find(|b| b.stream == stream && b.start >= request_cycle)
+        .map(|b| b.drain_end.saturating_sub(request_cycle))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

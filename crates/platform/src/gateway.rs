@@ -340,6 +340,66 @@ impl GatewayPair {
         s
     }
 
+    /// Config-bus retune: replace stream `idx`'s table entry *in place*
+    /// with a new configuration — the mode-switch primitive. Like
+    /// [`GatewayPair::splice_out_stream`] it requires an idle pair and
+    /// saves the leaving configuration's kernel contexts back over the
+    /// configuration bus when they are still installed in the chain
+    /// ([`TraceEvent::ConfigSave`]); like [`GatewayPair::splice_stream`]
+    /// it charges the incoming configuration's `R_s` as a traced
+    /// [`TraceEvent::ReconfigWindow`]. Unlike an out-then-in splice pair
+    /// the table order and the round-robin cursor are untouched, so every
+    /// co-deployed stream keeps both its index and its service position.
+    /// Returns the replaced entry.
+    pub fn retune_stream(
+        &mut self,
+        idx: usize,
+        s: StreamConfig,
+        accels: &mut [AcceleratorTile],
+        tracer: &mut Tracer,
+        now: u64,
+    ) -> StreamConfig {
+        assert!(
+            self.is_idle(),
+            "retune requires an idle gateway pair (no block in flight)"
+        );
+        assert!(idx < self.streams.len(), "stream index out of range");
+        assert_eq!(
+            s.kernels.len(),
+            self.chain.len(),
+            "stream must provide one kernel per chain accelerator"
+        );
+        let gw = self.trace_id;
+        if self.active == Some(idx) {
+            for (slot, acc) in self.chain.iter().enumerate() {
+                let words = accels[acc.0].kernel_state_words() as u32;
+                let k = accels[acc.0]
+                    .remove_kernel()
+                    .expect("last-run stream had kernels installed");
+                self.streams[idx].kernels[slot] = Some(k);
+                tracer.emit(|| TraceEvent::ConfigSave {
+                    gateway: gw,
+                    stream: idx as u32,
+                    accel: acc.0 as u32,
+                    cycle: now,
+                    words,
+                });
+            }
+            self.active = None;
+        }
+        let r = s.reconfig_cycles;
+        self.reconfig_cycles_total += r;
+        if r > 0 {
+            tracer.emit(|| TraceEvent::ReconfigWindow {
+                gateway: gw,
+                stream: idx as u32,
+                start: now,
+                end: now + r,
+            });
+        }
+        std::mem::replace(&mut self.streams[idx], s)
+    }
+
     /// Streams registered.
     pub fn num_streams(&self) -> usize {
         self.streams.len()
@@ -1365,6 +1425,79 @@ mod tests {
         h.fill_input(0, 8);
         h.run(600);
         assert_eq!(h.gw.stream(0).blocks_done, 1);
+    }
+
+    #[test]
+    fn retune_in_place_preserves_table_order_and_recovers_kernels() {
+        let mut h = Harness::new(
+            vec![
+                (8, 8, Box::new(ScaleKernel::new(2.0))),
+                (8, 8, Box::new(ScaleKernel::new(3.0))),
+            ],
+            10,
+        );
+        h.fill_input(0, 8);
+        h.run(600);
+        assert!(h.gw.is_idle());
+        // Stream 0's kernels are lazily left installed in the chain: the
+        // retune must save them back before the entry is replaced.
+        assert_eq!(h.gw.active, Some(0));
+        let rr_before = h.gw.rr_next;
+        let inf = FifoId(h.fifos.len());
+        h.fifos.push(CFifo::new("in-r", 4096));
+        let outf = FifoId(h.fifos.len());
+        h.fifos.push(CFifo::new("out-r", 4096));
+        let old = h.gw.retune_stream(
+            0,
+            StreamConfig::new(
+                "s0",
+                inf,
+                outf,
+                4,
+                4,
+                10,
+                vec![Box::new(ScaleKernel::new(5.0))],
+            ),
+            &mut h.accels,
+            &mut Tracer::disabled(),
+            h.now,
+        );
+        assert_eq!(old.name, "s0");
+        assert!(
+            old.kernels.iter().all(Option::is_some),
+            "contexts saved back into the replaced entry"
+        );
+        assert_eq!(h.gw.active, None);
+        assert_eq!(h.gw.num_streams(), 2, "in place: table size unchanged");
+        assert_eq!(h.gw.rr_next, rr_before, "cursor untouched");
+        assert_eq!(h.gw.stream(1).name, "s1", "other stream keeps its slot");
+        // The retuned entry runs with its new block size and kernel.
+        for k in 0..4 {
+            assert!(h.fifos[inf.0].try_push((k as f64 + 1.0, 0.0), h.now));
+        }
+        h.run(600);
+        assert_eq!(h.gw.stream(0).blocks_done, 1, "retuned stream ran");
+        assert_eq!(h.fifos[outf.0].len(), 4);
+        let mut f = h.fifos[outf.0].clone();
+        assert_eq!(f.pop(), Some((5.0, 0.0)), "new kernel in force");
+    }
+
+    #[test]
+    #[should_panic(expected = "retune requires an idle gateway pair")]
+    fn retune_refuses_in_flight_block() {
+        let mut h = Harness::new(vec![(8, 8, Box::new(PassthroughKernel))], 10);
+        let inf = h.gw.stream(0).input;
+        let outf = h.gw.stream(0).output;
+        h.fill_input(0, 8);
+        h.run(5);
+        assert!(!h.gw.is_idle());
+        h.gw.retune_stream(
+            0,
+            StreamConfig::new("s0", inf, outf, 4, 4, 10, vec![Box::new(PassthroughKernel)]),
+            &mut h.accels,
+            &mut Tracer::disabled(),
+            h.now,
+        );
     }
 
     #[test]

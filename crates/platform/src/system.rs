@@ -253,6 +253,15 @@ impl System {
         gws[gateway].splice_out_stream(idx, accels, tracer, now)
     }
 
+    /// Mode-switch hook: replace stream `idx`'s table entry in place over
+    /// the configuration bus (see [`GatewayPair::retune_stream`]; the pair
+    /// must be idle). Call between [`System::run`] calls only.
+    pub fn retune_stream(&mut self, gateway: usize, idx: usize, s: StreamConfig) -> StreamConfig {
+        let now = self.cycle;
+        let (gws, accels, tracer) = (&mut self.gateways, &mut self.accels, &mut self.tracer);
+        gws[gateway].retune_stream(idx, s, accels, tracer, now)
+    }
+
     /// Add an accelerator tile; returns its id.
     pub fn add_accel(&mut self, a: AcceleratorTile) -> AccelId {
         self.accels.push(a);

@@ -145,6 +145,7 @@ fn oracle_specs(t: &Topo) -> Vec<DeploySpec> {
             gateways: vec![],
             config_bus_period: None,
             station_map: None,
+            modes: vec![],
         })
         .collect()
 }
