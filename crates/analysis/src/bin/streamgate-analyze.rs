@@ -38,12 +38,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use streamgate_analysis::{
-    analyze_profiled, analyze_with, parse_delta_script, parse_profile, AnalysisOptions,
-    AnalysisState, DeploySpec,
+    analyze_profiled, analyze_with, parse_delta_script, parse_profile, render_postmortem,
+    AnalysisOptions, AnalysisState, DeploySpec,
 };
 
-const USAGE: &str = "usage: streamgate-analyze [--json] [--profile FILE] [--delta FILE] [--timing FILE] [--spec FILE | PRESET]\n\
+const USAGE: &str = "usage: streamgate-analyze [--json] [--profile FILE] [--postmortem FILE] [--delta FILE] [--timing FILE] [--spec FILE | PRESET]\n\
                      presets: pal (default), pal2, fig6, fig9-safe, fig9-broken\n\
+                     --postmortem renders a flight-recorder postmortem.json against the spec's bounds\n\
                      exit codes: 0 = accepted (warnings allowed), 2 = rejected or usage error";
 
 fn main() -> ExitCode {
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
     let mut spec_file: Option<String> = None;
     let mut preset: Option<String> = None;
     let mut profile_file: Option<String> = None;
+    let mut postmortem_file: Option<String> = None;
     let mut delta_file: Option<String> = None;
     let mut timing_file: Option<String> = None;
 
@@ -69,6 +71,13 @@ fn main() -> ExitCode {
                 Some(f) => profile_file = Some(f),
                 None => {
                     eprintln!("--profile needs a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--postmortem" => match args.next() {
+                Some(f) => postmortem_file = Some(f),
+                None => {
+                    eprintln!("--postmortem needs a file argument\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -133,6 +142,10 @@ fn main() -> ExitCode {
         return run_deltas(spec, &file, timing_file.as_deref(), json);
     }
 
+    if let Some(file) = postmortem_file {
+        return run_postmortem(spec, &file);
+    }
+
     let profile = match profile_file {
         Some(file) => {
             let text = match std::fs::read_to_string(&file) {
@@ -163,6 +176,39 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
+    }
+}
+
+/// Render a flight-recorder postmortem dump against the spec's predicted
+/// bounds: the violation context, the blame breakdown of the violating
+/// block, and each component's analytic ceiling. Exit 0 on a successful
+/// render (the dump documents the failure; the render itself succeeded),
+/// 2 on unusable input.
+fn run_postmortem(spec: DeploySpec, file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let pm = match streamgate_analysis::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse postmortem {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze_with(&spec, &AnalysisOptions::default());
+    match render_postmortem(&spec, &report, &pm) {
+        Ok(rendered) => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot render postmortem {file}: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 

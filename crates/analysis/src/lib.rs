@@ -46,6 +46,7 @@
 //! [`monitor_for`] arms an online monitor with the analyzer's bounds.
 #![deny(missing_docs)]
 
+pub mod blame;
 pub mod diag;
 pub mod incremental;
 pub mod json;
@@ -53,6 +54,9 @@ pub mod profile;
 pub mod rules;
 pub mod spec;
 
+pub use blame::{
+    check_blame_conformance, component_ceilings, render_postmortem, ComponentCeilings,
+};
 pub use diag::{sort_diagnostics, Diagnostic, Location, Report, RuleId, Severity, StreamBounds};
 pub use incremental::{
     parse_delta_script, AdmissionController, AdmissionError, AdmissionOutcome, AdmissionVerdict,

@@ -144,6 +144,21 @@ fn parse_hops(v: &Json, key: &str, windows: &[u64]) -> Result<Vec<HopProfile>, S
 /// `streamgate_core::profile::RunProfile::to_json_text` emits.
 pub fn parse_profile(text: &str) -> Result<RunProfile, String> {
     let v = crate::json::parse(text)?;
+    // Accept-or-warn on the artifact schema version: cross-PR CI compares
+    // artifacts from adjacent revisions, so a version skew must not make
+    // the comparison impossible — it just stops being authoritative.
+    match v.get("schema_version").and_then(Json::as_u64) {
+        None => eprintln!(
+            "warning: profile carries no schema_version (pre-v{} artifact); \
+             parsing best-effort",
+            streamgate_core::profile::SCHEMA_VERSION
+        ),
+        Some(sv) if sv != streamgate_core::profile::SCHEMA_VERSION => eprintln!(
+            "warning: profile schema_version {sv} != supported {}; parsing best-effort",
+            streamgate_core::profile::SCHEMA_VERSION
+        ),
+        Some(_) => {}
+    }
     let windows = u64_list(&v, "windows", "profile")?;
     let streams = req(&v, "streams", "profile")?
         .as_array()

@@ -127,6 +127,50 @@ fn delta_mode_replays_churn_and_reports_final_state() {
 }
 
 #[test]
+fn postmortem_mode_renders_dump_against_spec_bounds() {
+    // Produce a real flight-recorder dump: the Fig. 9 wedge observed with
+    // the recorder only (full tracing off), monitor armed post-hoc.
+    let spec = streamgate_analysis::DeploySpec::fig9(false);
+    let report = streamgate_analysis::analyze(&spec);
+    let mut b = spec.build_platform();
+    b.system.enable_flight_recorder(1024);
+    for (i, s) in spec.streams.iter().enumerate() {
+        for k in 0..s.input_capacity {
+            if !b.push_input(i, (k as f64, 0.5)) {
+                break;
+            }
+        }
+    }
+    b.system.run(2_000);
+    let mut monitor = streamgate_analysis::monitor_for(&spec, &report, &b.system);
+    assert!(monitor.poll(&b.system.tracer) > 0, "wedge must trip");
+    let pm = streamgate_core::collect_postmortem(&b.system, &monitor, &spec.name);
+
+    let dir = std::env::temp_dir().join("streamgate-analyze-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("postmortem.json");
+    std::fs::write(&file, pm.to_json_text()).unwrap();
+
+    // Rendering a dump that documents a failure is itself a success (exit
+    // 0); the explanation must name the violation and the blame component
+    // that exceeded its predicted ceiling.
+    let out = analyze(&["--postmortem", file.to_str().unwrap(), "fig9-broken"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "{text}");
+    assert!(text.contains("postmortem of deployment"), "{text}");
+    assert!(text.contains("head-of-line"), "{text}");
+    assert!(text.contains("EXCEEDED"), "{text}");
+
+    // An unreadable dump is a usage error.
+    assert_eq!(
+        analyze(&["--postmortem", "/nonexistent/pm.json", "fig9-broken"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
 fn delta_mode_exits_two_when_final_state_rejected() {
     let dir = std::env::temp_dir().join("streamgate-analyze-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -21,8 +21,12 @@ use common::{
     clean_cycles, fast_options, multi_clean_cycles, multi_tau_margin, random_clean_spec,
     random_multi_spec, round_margin, run_saturated, run_saturated_multi, tau_margin, Rng,
 };
-use streamgate_analysis::{analyze_profiled, analyze_with, monitor_for, RuleId, Severity};
-use streamgate_core::{collect_profile, max_round_time, system_metrics, validate_tau_bound};
+use streamgate_analysis::{
+    analyze_profiled, analyze_with, check_blame_conformance, monitor_for, RuleId, Severity,
+};
+use streamgate_core::{
+    collect_blame, collect_profile, max_round_time, system_metrics, validate_tau_bound,
+};
 use streamgate_platform::StepMode;
 
 const ENGINES: [StepMode; 2] = [StepMode::Exhaustive, StepMode::EventDriven];
@@ -44,6 +48,7 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
         let cycles = clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
         let mut profiles = Vec::new();
+        let mut blames = Vec::new();
         let mut traces = Vec::new();
         for mode in ENGINES {
             let mut b = run_saturated(&spec, mode, cycles);
@@ -107,6 +112,19 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
             );
             profiles.push(profile);
 
+            // Causal attribution: every completed block's τ decomposes
+            // exactly (sum-to-τ is asserted inside collect_blame), and
+            // each measured component stays under its analytic ceiling —
+            // strictly stronger than the aggregate τ ≤ τ̂ check above.
+            let blame = collect_blame(&mut b.system, &spec.name);
+            let failures = check_blame_conformance(&spec, &report, &blame);
+            assert!(
+                failures.is_empty(),
+                "case {case} ({mode:?}): componentwise conformance failed:\n{}",
+                failures.join("\n")
+            );
+            blames.push(blame);
+
             // Keep the full structured event stream for cross-engine
             // comparison (flushing open stall windows first so both
             // engines are finalized identically).
@@ -116,6 +134,16 @@ fn accepted_topologies_meet_bounds_on_both_engines() {
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
             "case {case}: engines disagree on completed blocks"
+        );
+        // Blame reports must be bit-identical between engines (only the
+        // mode tag may differ), down to the serialized JSON.
+        let mut bl_ev = blames.pop().unwrap();
+        let bl_ex = blames.pop().unwrap();
+        bl_ev.mode = bl_ex.mode.clone();
+        assert_eq!(
+            bl_ex.to_json_text(),
+            bl_ev.to_json_text(),
+            "case {case}: engines disagree on the blame report"
         );
         // The two engines must have produced bit-identical measurements;
         // only the `mode` tag may differ.
@@ -312,6 +340,7 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
         let cycles = multi_clean_cycles(&spec);
         let mut blocks_by_engine = Vec::new();
         let mut profiles = Vec::new();
+        let mut blames = Vec::new();
         let mut traces = Vec::new();
         for mode in ENGINES {
             let mut b = run_saturated_multi(&spec, mode, cycles);
@@ -391,6 +420,19 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
             );
             profiles.push(profile);
 
+            // Causal attribution: every completed block's τ decomposes
+            // exactly (sum-to-τ is asserted inside collect_blame), and
+            // each measured component stays under its analytic ceiling —
+            // strictly stronger than the aggregate τ ≤ τ̂ check above.
+            let blame = collect_blame(&mut b.system, &spec.name);
+            let failures = check_blame_conformance(&spec, &report, &blame);
+            assert!(
+                failures.is_empty(),
+                "case {case} ({mode:?}): componentwise conformance failed:\n{}",
+                failures.join("\n")
+            );
+            blames.push(blame);
+
             // Keep the full structured event stream for cross-engine
             // comparison (flushing open stall windows first so both
             // engines are finalized identically).
@@ -400,6 +442,16 @@ fn accepted_multi_gateway_topologies_meet_bounds_on_both_engines() {
         assert_eq!(
             blocks_by_engine[0], blocks_by_engine[1],
             "case {case}: engines disagree on completed blocks"
+        );
+        // Blame reports must be bit-identical between engines (only the
+        // mode tag may differ), down to the serialized JSON.
+        let mut bl_ev = blames.pop().unwrap();
+        let bl_ex = blames.pop().unwrap();
+        bl_ev.mode = bl_ex.mode.clone();
+        assert_eq!(
+            bl_ex.to_json_text(),
+            bl_ev.to_json_text(),
+            "case {case}: engines disagree on the blame report"
         );
         // The two engines must have produced bit-identical measurements;
         // only the `mode` tag may differ.

@@ -59,12 +59,14 @@ fn main() {
         ni_depth: 2,
     };
     let (model, gantt) = fig6_schedule(&p, 2);
-    println!("Fig. 6: self-timed schedule of the Fig. 5 CSDF model");
-    println!(
+    args.log("Fig. 6: self-timed schedule of the Fig. 5 CSDF model");
+    args.log(format!(
         "η = {}, ε = {}, ρ_A = {}, δ = {}, R_s = {}\n",
         p.eta, p.epsilon, p.rho_a, p.delta, p.reconfig
-    );
-    print!("{}", gantt.render_ascii(100));
+    ));
+    if !args.quiet {
+        print!("{}", gantt.render_ascii(100));
+    }
 
     // The block-time bound of Eq. 2 on the measured schedule.
     let c0 = p.epsilon.max(p.rho_a).max(p.delta);
@@ -84,19 +86,20 @@ fn main() {
     );
 
     // And the paper's structure: reconfiguration, η transfers, pipeline drain.
-    println!(
+    args.log(
         "\nschedule structure (cf. Fig. 6): R_s head on vG0's first phase, η\n\
          staggered transfers at pace max(ε,ρ_A,δ), then the pipeline drains\n\
-         through vA and vG1 before the next block may start."
+         through vA and vG1 before the next block may start.",
     );
 
     if let Some(path) = args.trace {
         write_trace(&path, &gantt_chrome_json(&gantt));
     }
 
-    if let Some(path) = args.profile {
+    if args.profile.is_some() || args.blame.is_some() {
         // The Gantt above is a model-level schedule; the measured profile
-        // comes from the equivalent cycle-level platform deployment.
+        // and blame attribution come from the equivalent cycle-level
+        // platform deployment.
         let spec = streamgate_analysis::DeploySpec::fig6();
         let mut built = spec.build_platform();
         built.system.step_mode = args.step_mode;
@@ -108,6 +111,14 @@ fn main() {
             }
         }
         built.system.run(args.cycles.unwrap_or(20_000));
-        streamgate_bench::write_profile(&path, &mut built.system, &spec.name);
+        if let Some(path) = &args.blame {
+            // Per-block decomposition of the measured τ into the very
+            // segments the schedule above draws (reconfig head, DMA
+            // transfers, drain through vA/vG1).
+            streamgate_bench::write_blame(path, &mut built.system, &spec.name);
+        }
+        if let Some(path) = &args.profile {
+            streamgate_bench::write_profile(path, &mut built.system, &spec.name);
+        }
     }
 }

@@ -13,9 +13,16 @@
 //! Chrome trace, `--profile out.json` to write that run's measured
 //! `RunProfile` JSON, `--cycles <n>` to change the platform-run length,
 //! and `--mode exhaustive|event` to select the simulation engine.
+//!
+//! Pass `--postmortem pm.json` to additionally re-run the broken variant
+//! the way a *deployed* system would observe it: full tracing off, only the
+//! bounded flight recorder on, the bound monitor armed. The monitor flags
+//! the Fig. 9 wedge and the flight recorder's retained window is dumped as
+//! a postmortem whose blame attribution names head-of-line blocking on the
+//! wedged stream — render it with `streamgate-analyze --postmortem`.
 
 use std::collections::VecDeque;
-use streamgate_bench::{parse_args, print_table, write_trace};
+use streamgate_bench::{parse_args, print_table, write_postmortem, write_trace};
 use streamgate_core::system_metrics;
 use streamgate_dataflow::{check_refinement, ArrivalTrace, RefinementOutcome};
 use streamgate_platform::{
@@ -50,6 +57,15 @@ fn dedicated(n: usize) -> ArrivalTrace {
     ArrivalTrace::new((0..n as u64).map(|k| k * 4).collect())
 }
 
+/// How the platform run is observed: full trace, run profile, or the
+/// bounded always-on flight recorder (the deployed-system configuration).
+#[derive(Clone, Copy)]
+enum Observe {
+    Trace,
+    Profile,
+    Recorder,
+}
+
 /// Two streams over one shared accelerator chain; stream 1's consumer FIFO
 /// is smaller than its block and never drained (an arbitrarily slow
 /// consumer). With the §V-G check-for-space admission test the block never
@@ -59,14 +75,16 @@ fn run_platform(
     check_for_space: bool,
     mode: StepMode,
     cycles: u64,
-    profiled: bool,
+    observe: Observe,
 ) -> (System, u64, u64) {
     let mut sys = System::new(4);
     sys.step_mode = mode;
-    if profiled {
-        sys.enable_profiling(0);
-    } else {
-        sys.enable_tracing(0);
+    match observe {
+        Observe::Profile => sys.enable_profiling(0),
+        Observe::Trace => sys.enable_tracing(0),
+        // Production observability: no full event stream, just the bounded
+        // ring of recent raw events (and the always-cheap stall counters).
+        Observe::Recorder => sys.enable_flight_recorder(4096),
     }
     let i0 = sys.add_fifo(CFifo::new("i0", 4096));
     let o0 = sys.add_fifo(CFifo::new("o0", 1 << 16));
@@ -123,8 +141,8 @@ fn main() {
             println!();
         }
     }
-    println!("Fig. 9: two producer/consumer pairs over ONE FIFO; stream 1's");
-    println!("consumer is slow; stream 0's tokens queue behind its tokens.\n");
+    args.log("Fig. 9: two producer/consumer pairs over ONE FIFO; stream 1's");
+    args.log("consumer is slow; stream 0's tokens queue behind its tokens.\n");
     let mut rows = Vec::new();
     for slow in [1u64, 3, 5, 7, 9, 12] {
         let shared = run_shared(slow, 2000);
@@ -147,54 +165,90 @@ fn main() {
             max_late.to_string(),
         ]);
     }
-    print_table(
-        "refinement of stream 0 vs its dedicated-FIFO model",
-        &["slow-consumer cost", "outcome", "max lateness (cycles)"],
-        &rows,
-    );
-    println!(
+    if !args.quiet {
+        print_table(
+            "refinement of stream 0 vs its dedicated-FIFO model",
+            &["slow-consumer cost", "outcome", "max lateness (cycles)"],
+            &rows,
+        );
+    }
+    args.log(
         "\nonce the slow consumer's service time exceeds the production period,\n\
          head-of-line blocking accumulates without bound — \"tokens from\n\
          another stream can influence when produced tokens arrive\" (§V-G).\n\
          The gateways avoid this by draining the FIFO before every switch,\n\
-         giving each block an exclusive FIFO (mutual exclusivity)."
+         giving each block an exclusive FIFO (mutual exclusivity).",
     );
 
     // --- the same effect on the cycle-level platform -----------------------
-    let profiled = args.profile.is_some();
-    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false, args.step_mode, cycles, profiled);
-    let (_good_sys, good_stalls, good_s0) = run_platform(true, args.step_mode, cycles, profiled);
-    print_table(
-        "platform: exit-gateway space check on/off (tracer stall cycles)",
-        &[
-            "check-for-space",
-            "exit-fifo-full stall cycles",
-            "s0 blocks done",
-        ],
-        &[
-            vec![
-                "disabled".into(),
-                bad_stalls.to_string(),
-                bad_s0.to_string(),
+    let observe = if args.profile.is_some() {
+        Observe::Profile
+    } else {
+        Observe::Trace
+    };
+    let (mut bad_sys, bad_stalls, bad_s0) = run_platform(false, args.step_mode, cycles, observe);
+    let (_good_sys, good_stalls, good_s0) = run_platform(true, args.step_mode, cycles, observe);
+    if !args.quiet {
+        print_table(
+            "platform: exit-gateway space check on/off (tracer stall cycles)",
+            &[
+                "check-for-space",
+                "exit-fifo-full stall cycles",
+                "s0 blocks done",
             ],
-            vec![
-                "enabled".into(),
-                good_stalls.to_string(),
-                good_s0.to_string(),
+            &[
+                vec![
+                    "disabled".into(),
+                    bad_stalls.to_string(),
+                    bad_s0.to_string(),
+                ],
+                vec![
+                    "enabled".into(),
+                    good_stalls.to_string(),
+                    good_s0.to_string(),
+                ],
             ],
-        ],
-    );
+        );
+    }
     assert!(bad_stalls > 0 && good_stalls == 0 && good_s0 > bad_s0);
-    println!(
+    args.log(
         "\nwith the admission test disabled, stream 1's wedged block stalls the\n\
          exit gateway (head-of-line on the shared hardware FIFO) and stream 0\n\
-         starves; enabling the check removes every such stall cycle."
+         starves; enabling the check removes every such stall cycle.",
     );
 
     if let Some(path) = args.trace {
         write_trace(&path, &bad_sys.chrome_trace_json());
     }
+    if let Some(path) = args.blame {
+        // Full attribution of every *completed* block on the broken run —
+        // the wedged block itself is in-flight and shows up in the
+        // postmortem path below instead.
+        streamgate_bench::write_blame(&path, &mut bad_sys, "fig9-broken");
+    }
     if let Some(path) = args.profile {
         streamgate_bench::write_profile(&path, &mut bad_sys, "fig9-broken");
+    }
+
+    // --- postmortem: the failure as a deployed system would catch it ------
+    // Re-run the broken variant with full tracing OFF and only the bounded
+    // flight recorder on; arm the bound monitor with the analyzer's
+    // predictions; the Fig. 9 wedge trips it, and the recorder dump is
+    // attributed: the postmortem's top blame component names head-of-line
+    // blocking on the wedged stream (`s1`).
+    if let Some(path) = args.postmortem {
+        let spec = streamgate_analysis::DeploySpec::fig9(false);
+        let report = streamgate_analysis::analyze(&spec);
+        let (pm_sys, _, _) = run_platform(false, args.step_mode, cycles, Observe::Recorder);
+        let mut monitor = streamgate_analysis::monitor_for(&spec, &report, &pm_sys);
+        monitor.poll(&pm_sys.tracer);
+        assert!(
+            !monitor.is_clean(),
+            "the Fig. 9 wedge must trip the armed monitor"
+        );
+        for v in monitor.violations() {
+            println!("monitor: {v}");
+        }
+        write_postmortem(&path, &pm_sys, &monitor, &spec.name);
     }
 }

@@ -23,23 +23,38 @@ use streamgate_core::{
 use streamgate_dsp::{decode_stereo, rms_error, snr_db, tone_power, PalStereoSource};
 use streamgate_platform::{AccelId, StallCause, StepMode};
 
+/// Observability level of one simulated run.
+#[derive(Clone, Copy, PartialEq)]
+enum SimObserve {
+    /// Nothing — used for the engine-timing comparison runs only.
+    Off,
+    /// Bounded flight recorder (the always-on production configuration).
+    Recorder,
+    /// Full structured event trace.
+    Trace,
+    /// Full trace + ring delivery log + FIFO traces.
+    Profile,
+}
+
 /// Build the PAL platform, run it for `cycles` under `mode`, and return the
 /// finished system together with the wall-clock seconds the run took.
 fn simulate(
     cfg: &PalSystemConfig,
     cycles: u64,
     mode: StepMode,
-    tracing: bool,
-    profiling: bool,
+    observe: SimObserve,
 ) -> (PalSystem, f64) {
     let mut pal = build_pal_system(cfg);
     pal.system.step_mode = mode;
-    if profiling {
-        // Full observability: tracer + ring delivery log + FIFO traces.
-        pal.system.enable_profiling((cycles / 1000).max(1));
-    } else if tracing {
+    match observe {
+        SimObserve::Off => {}
+        // Last few thousand raw events, kept even with tracing off — cheap
+        // enough to leave on by default so failures are explainable.
+        SimObserve::Recorder => pal.system.enable_flight_recorder(4096),
         // ~1000 FIFO/ring counter samples over the run; spans are exact.
-        pal.system.enable_tracing((cycles / 1000).max(1));
+        SimObserve::Trace => pal.system.enable_tracing((cycles / 1000).max(1)),
+        // Full observability: tracer + ring delivery log + FIFO traces.
+        SimObserve::Profile => pal.system.enable_profiling((cycles / 1000).max(1)),
     }
     let t0 = Instant::now();
     pal.system.run(cycles);
@@ -349,43 +364,69 @@ fn main() {
         streamgate_bench::preflight_analyze(&cfg.to_deploy_spec());
     }
     let prob = cfg.sharing_problem();
-    println!(
+    args.log(format!(
         "laptop-scale PAL config: audio {} Hz, baseband {} Hz, clock {} Hz",
         cfg.pal.audio_rate(),
         cfg.pal.fs,
         cfg.clock_hz
-    );
-    println!(
+    ));
+    args.log(format!(
         "utilisation {:.2} % (paper's operating point: 95.4 %)",
         prob.utilisation().to_f64() * 100.0
-    );
+    ));
     let minimum = solve_blocksizes_checked(&prob).expect("feasible");
-    println!(
+    args.log(format!(
         "minimum η = {:?}; configured η = {:?}",
         minimum.etas, cfg.etas
-    );
+    ));
 
     let cycles = args.cycles.unwrap_or(cfg.clock_hz);
     if args.churn {
         run_churn_admission(args.step_mode, cycles.max(400_000));
     }
     let seconds = cycles as f64 / cfg.clock_hz as f64;
-    println!(
+    args.log(format!(
         "\nsimulating {cycles} cycles ({seconds:.3} s of stream time, engine: {}) …",
         args.step_mode.name()
-    );
-    let (mut pal, wall) = simulate(
-        &cfg,
-        cycles,
-        args.step_mode,
-        args.trace.is_some(),
-        args.profile.is_some(),
-    );
-    println!(
+    ));
+    // Blame attribution needs the full event stream; otherwise the bounded
+    // flight recorder stays on by default (production observability).
+    let observe = if args.profile.is_some() {
+        SimObserve::Profile
+    } else if args.trace.is_some() || args.blame.is_some() {
+        SimObserve::Trace
+    } else {
+        SimObserve::Recorder
+    };
+    let (mut pal, wall) = simulate(&cfg, cycles, args.step_mode, observe);
+    args.log(format!(
         "wall-clock {:.2} s → {:.1} Mcycles/s",
         wall,
         cycles as f64 / wall.max(1e-9) / 1e6
-    );
+    ));
+
+    // Bound monitor over whatever the tracer retained (full trace or the
+    // flight recorder's window). A violation prints, and — with
+    // `--postmortem` — dumps the recorder for `streamgate-analyze` to
+    // explain. The clean PAL deployment is expected to stay silent.
+    {
+        use streamgate_analysis::ToDeploySpec;
+        let spec = cfg.to_deploy_spec();
+        let report = streamgate_analysis::analyze(&spec);
+        let mut monitor = streamgate_analysis::monitor_for(&spec, &report, &pal.system);
+        if monitor.poll(&pal.system.tracer) > 0 {
+            for v in monitor.violations() {
+                println!("monitor: {v}");
+            }
+            if let Some(path) = &args.postmortem {
+                streamgate_bench::write_postmortem(path, &pal.system, &monitor, &spec.name);
+            }
+            panic!(
+                "bound monitor flagged {} violation(s) on the PAL run",
+                monitor.violations().len()
+            );
+        }
+    }
     let (left, right) = pal.take_audio();
 
     // --- real-time verification -------------------------------------------
@@ -410,7 +451,10 @@ fn main() {
     // --- fidelity: platform vs reference chain -----------------------------
     let (f_l, f_r) = cfg.tones;
     let skip = 64;
-    if left.len() > 2 * skip {
+    if args.quiet {
+        // Fidelity tables are informational; the real-time verdict below is
+        // the acceptance signal.
+    } else if left.len() > 2 * skip {
         let l = &left[skip..];
         let r = &right[skip..];
         print_table(
@@ -457,82 +501,92 @@ fn main() {
     // --- sharing statistics -------------------------------------------------
     let gw = &pal.system.gateways[0];
     let total = pal.system.cycle() as f64;
-    print_table(
-        "gateway / accelerator statistics",
-        &["metric", "value"],
-        &[
-            vec![
-                "blocks ch1-front".into(),
-                gw.stream(0).blocks_done.to_string(),
+    if !args.quiet {
+        print_table(
+            "gateway / accelerator statistics",
+            &["metric", "value"],
+            &[
+                vec![
+                    "blocks ch1-front".into(),
+                    gw.stream(0).blocks_done.to_string(),
+                ],
+                vec![
+                    "blocks ch1-back".into(),
+                    gw.stream(2).blocks_done.to_string(),
+                ],
+                vec![
+                    "reconfig % of time".into(),
+                    format!("{:.1}", 100.0 * gw.reconfig_cycles_total as f64 / total),
+                ],
+                vec![
+                    "DMA busy % of time".into(),
+                    format!("{:.1}", 100.0 * gw.dma_busy_cycles as f64 / total),
+                ],
+                vec![
+                    "gateway idle %".into(),
+                    format!("{:.1}", 100.0 * gw.idle_cycles as f64 / total),
+                ],
+                vec![
+                    "CORDIC utilisation %".into(),
+                    format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(0))),
+                ],
+                vec![
+                    "FIR+D utilisation %".into(),
+                    format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(1))),
+                ],
             ],
-            vec![
-                "blocks ch1-back".into(),
-                gw.stream(2).blocks_done.to_string(),
-            ],
-            vec![
-                "reconfig % of time".into(),
-                format!("{:.1}", 100.0 * gw.reconfig_cycles_total as f64 / total),
-            ],
-            vec![
-                "DMA busy % of time".into(),
-                format!("{:.1}", 100.0 * gw.dma_busy_cycles as f64 / total),
-            ],
-            vec![
-                "gateway idle %".into(),
-                format!("{:.1}", 100.0 * gw.idle_cycles as f64 / total),
-            ],
-            vec![
-                "CORDIC utilisation %".into(),
-                format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(0))),
-            ],
-            vec![
-                "FIR+D utilisation %".into(),
-                format!("{:.1}", 100.0 * pal.system.accel_utilisation(AccelId(1))),
-            ],
-        ],
-    );
-    println!(
+        );
+    }
+    args.log(
         "\nsharing: ONE CORDIC + ONE FIR serve 4 logical uses → accelerator\n\
          utilisation ×4 vs duplication (paper: \"improved accelerator\n\
-         utilization by a factor of four\")."
+         utilization by a factor of four\").",
     );
 
     if let Some(path) = &args.profile {
         streamgate_bench::write_profile(path, &mut pal.system, "pal");
     }
 
+    if let Some(path) = &args.blame {
+        // Causal latency attribution of every completed block (requires the
+        // full event stream, which `observe` selected above).
+        streamgate_bench::write_blame(path, &mut pal.system, "pal");
+    }
+
     if let Some(path) = &args.trace {
-        // Tracer-derived per-stream metrics and stall breakdown.
-        let metrics = system_metrics(&pal.system, 0);
-        let rows: Vec<Vec<String>> = metrics
-            .streams
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                vec![
-                    pal.system.gateways[0].stream(i).name.clone(),
-                    m.blocks().to_string(),
-                    m.tau_min().to_string(),
-                    format!("{:.0}", m.tau_mean()),
-                    m.tau_max().to_string(),
-                    m.dma_stall.to_string(),
-                ]
-            })
-            .collect();
-        print_table(
-            "tracer: per-stream block times (cycles)",
-            &["stream", "blocks", "τ min", "τ mean", "τ max", "dma stall"],
-            &rows,
-        );
-        let stall_rows: Vec<Vec<String>> = StallCause::ALL
-            .iter()
-            .map(|&c| vec![c.to_string(), metrics.stall_cycles(c).to_string()])
-            .collect();
-        print_table(
-            "tracer: gateway stall breakdown",
-            &["cause", "cycles"],
-            &stall_rows,
-        );
+        if !args.quiet {
+            // Tracer-derived per-stream metrics and stall breakdown.
+            let metrics = system_metrics(&pal.system, 0);
+            let rows: Vec<Vec<String>> = metrics
+                .streams
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    vec![
+                        pal.system.gateways[0].stream(i).name.clone(),
+                        m.blocks().to_string(),
+                        m.tau_min().to_string(),
+                        format!("{:.0}", m.tau_mean()),
+                        m.tau_max().to_string(),
+                        m.dma_stall.to_string(),
+                    ]
+                })
+                .collect();
+            print_table(
+                "tracer: per-stream block times (cycles)",
+                &["stream", "blocks", "τ min", "τ mean", "τ max", "dma stall"],
+                &rows,
+            );
+            let stall_rows: Vec<Vec<String>> = StallCause::ALL
+                .iter()
+                .map(|&c| vec![c.to_string(), metrics.stall_cycles(c).to_string()])
+                .collect();
+            print_table(
+                "tracer: gateway stall breakdown",
+                &["cause", "cycles"],
+                &stall_rows,
+            );
+        }
         write_trace(path, &pal.system.chrome_trace_json());
     }
 
@@ -542,8 +596,8 @@ fn main() {
         // timing comparison is not skewed by the tracer or by cache warm-up
         // from the report run above.
         println!("\ntiming both engines over {cycles} cycles …");
-        let (pal_ev, wall_event) = simulate(&cfg, cycles, StepMode::EventDriven, false, false);
-        let (pal_ex, wall_exh) = simulate(&cfg, cycles, StepMode::Exhaustive, false, false);
+        let (pal_ev, wall_event) = simulate(&cfg, cycles, StepMode::EventDriven, SimObserve::Off);
+        let (pal_ex, wall_exh) = simulate(&cfg, cycles, StepMode::Exhaustive, SimObserve::Off);
         let speedup = wall_exh / wall_event.max(1e-9);
         let ev = pal_ev.system.engine_stats;
         println!(

@@ -74,12 +74,12 @@ fn run_case(
 
 fn main() {
     let args = parse_args();
-    let trace_path = args.trace;
-    println!("Eq. 2 validity sweep: measured max block time vs τ̂ on the platform");
-    println!(
+    let trace_path = args.trace.clone();
+    args.log("Eq. 2 validity sweep: measured max block time vs τ̂ on the platform");
+    args.log(format!(
         "(engine: {}; margin: ring transport of the last samples, ≈ 8 cycles)\n",
         args.step_mode.name()
-    );
+    ));
     let mut rows = Vec::new();
     let mut worst_ratio = 0.0f64;
     let mut seed = args.seed.unwrap_or(0xC0FFEE).max(1); // xorshift must not start at 0
@@ -164,18 +164,28 @@ fn main() {
         ]);
         assert!(ok, "bound violated: case {case}");
     }
-    print_table(
-        "randomised τ̂ validation",
-        &[
-            "case", "η", "ε", "ρ_A", "R", "measured", "τ̂", "ratio", "check",
-        ],
-        &rows,
-    );
-    println!("\nworst measured/τ̂ ratio: {worst_ratio:.3} (≤ 1 + margin ⇒ bound valid;");
-    println!("close to 1 ⇒ bound tight, not vacuous)");
+    if !args.quiet {
+        print_table(
+            "randomised τ̂ validation",
+            &[
+                "case", "η", "ε", "ρ_A", "R", "measured", "τ̂", "ratio", "check",
+            ],
+            &rows,
+        );
+    }
+    args.log(format!(
+        "\nworst measured/τ̂ ratio: {worst_ratio:.3} (≤ 1 + margin ⇒ bound valid;"
+    ));
+    args.log("close to 1 ⇒ bound tight, not vacuous)");
     if let Some(mut sys) = last_sys {
         if let Some(path) = trace_path {
             write_trace(&path, &sys.chrome_trace_json());
+        }
+        if let Some(path) = args.blame {
+            // Where did the last case's cycles actually go? The attribution
+            // splits each measured τ into DMA transfer, ring transit,
+            // accelerator service and reconfig — the same terms Eq. 2 sums.
+            streamgate_bench::write_blame(&path, &mut sys, "tau-sweep");
         }
         if let Some(path) = args.profile {
             streamgate_bench::write_profile(&path, &mut sys, "tau-sweep");

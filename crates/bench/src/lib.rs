@@ -48,7 +48,19 @@ use streamgate_platform::StepMode;
 ///   system through the incremental analyzer, one declared mode switch is
 ///   retuned in place with the A12 transition-delay bound checked against
 ///   the measured first post-switch block, and one infeasible join is
-///   rejected, with the bound monitor armed across every transition.
+///   rejected, with the bound monitor armed across every transition;
+/// * `--blame <path>` — enable full tracing and write the causal latency
+///   attribution ([`streamgate_core::BlameReport`]: every completed block's
+///   τ decomposed into TDM-wait / DMA-credit / transfer / head-of-line /
+///   ring-transit / accelerator-service / reconfig cycles) as deterministic
+///   JSON;
+/// * `--postmortem <path>` — where to dump the flight-recorder
+///   `postmortem.json` if the run fails (monitor violation or wedge);
+///   binaries that support it keep a bounded flight recorder on even when
+///   full tracing is off. Render the dump with
+///   `streamgate-analyze --postmortem <path>`;
+/// * `--quiet` — suppress informational stdout (tables, schedules,
+///   progress); verdicts, violations and artefact-path lines still print.
 ///
 /// Flags an individual binary does not use are accepted and ignored, so CI
 /// can pass a uniform flag set to every harness.
@@ -72,6 +84,23 @@ pub struct BenchArgs {
     pub accounting_json: Option<String>,
     /// Exercise mid-run online admission control (`--churn`).
     pub churn: bool,
+    /// Blame-report JSON output path (`--blame`).
+    pub blame: Option<String>,
+    /// Flight-recorder postmortem dump path (`--postmortem`).
+    pub postmortem: Option<String>,
+    /// Suppress informational stdout (`--quiet`).
+    pub quiet: bool,
+}
+
+impl BenchArgs {
+    /// Print an informational line unless `--quiet` was given. Verdicts and
+    /// artefact-path lines should use `println!` directly — only chatter
+    /// (tables, schedules, per-round progress) goes through here.
+    pub fn log(&self, line: impl AsRef<str>) {
+        if !self.quiet {
+            println!("{}", line.as_ref());
+        }
+    }
 }
 
 /// Parse the shared experiment flags from `std::env::args()`.
@@ -83,7 +112,8 @@ pub fn parse_args() -> BenchArgs {
         eprintln!(
             "usage: [--trace <path>] [--cycles <n>] [--seed <n>] \
              [--mode exhaustive|event] [--bench-json <path>] [--analyze] \
-             [--profile <path>] [--accounting-json <path>] [--churn]"
+             [--profile <path>] [--accounting-json <path>] [--churn] \
+             [--blame <path>] [--postmortem <path>] [--quiet]"
         );
         std::process::exit(2);
     })
@@ -137,6 +167,14 @@ fn parse_arg_list<I: Iterator<Item = String>>(mut args: I) -> Result<BenchArgs, 
                 }
                 out.churn = true;
             }
+            "--blame" => out.blame = Some(take(&mut args, "--blame", inline)?),
+            "--postmortem" => out.postmortem = Some(take(&mut args, "--postmortem", inline)?),
+            "--quiet" => {
+                if inline.is_some() {
+                    return Err("--quiet takes no value".into());
+                }
+                out.quiet = true;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -187,6 +225,43 @@ pub fn write_profile(path: &str, system: &mut streamgate_platform::System, deplo
         ),
         Err(e) => {
             eprintln!("failed to write profile {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Collect the causal latency attribution ([`streamgate_core::BlameReport`])
+/// of a finished fully-traced run and write its deterministic JSON to
+/// `path` (the system must have been prepared with
+/// `System::enable_tracing`).
+pub fn write_blame(path: &str, system: &mut streamgate_platform::System, deployment: &str) {
+    let blame = streamgate_core::collect_blame(system, deployment);
+    match std::fs::write(path, blame.to_json_text()) {
+        Ok(()) => println!("\nblame report written to {path}"),
+        Err(e) => {
+            eprintln!("failed to write blame report {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Dump a flight-recorder postmortem of a failed run to `path` and print
+/// the `streamgate-analyze --postmortem` invocation that explains it
+/// against the spec's predicted bounds.
+pub fn write_postmortem(
+    path: &str,
+    system: &streamgate_platform::System,
+    monitor: &streamgate_core::Monitor,
+    deployment: &str,
+) {
+    let pm = streamgate_core::collect_postmortem(system, monitor, deployment);
+    match std::fs::write(path, pm.to_json_text()) {
+        Ok(()) => println!(
+            "postmortem written to {path} — explain it with \
+             `streamgate-analyze --postmortem {path}`"
+        ),
+        Err(e) => {
+            eprintln!("failed to write postmortem {path}: {e}");
             std::process::exit(1);
         }
     }
@@ -273,6 +348,10 @@ mod tests {
             "--profile=p.json",
             "--accounting-json=a.json",
             "--churn",
+            "--blame=bl.json",
+            "--postmortem",
+            "pm.json",
+            "--quiet",
         ])
         .unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
@@ -284,6 +363,9 @@ mod tests {
         assert_eq!(a.profile.as_deref(), Some("p.json"));
         assert_eq!(a.accounting_json.as_deref(), Some("a.json"));
         assert!(a.churn);
+        assert_eq!(a.blame.as_deref(), Some("bl.json"));
+        assert_eq!(a.postmortem.as_deref(), Some("pm.json"));
+        assert!(a.quiet);
     }
 
     #[test]
@@ -291,7 +373,8 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.step_mode, StepMode::EventDriven);
         assert!(a.trace.is_none() && a.cycles.is_none() && a.seed.is_none());
-        assert!(!a.analyze && !a.churn);
+        assert!(!a.analyze && !a.churn && !a.quiet);
+        assert!(a.blame.is_none() && a.postmortem.is_none());
     }
 
     #[test]
@@ -304,6 +387,18 @@ mod tests {
         assert!(parse(&["--accounting-json"]).is_err());
         assert!(parse(&["--analyze=yes"]).is_err());
         assert!(parse(&["--churn=yes"]).is_err());
+        assert!(parse(&["--blame"]).is_err());
+        assert!(parse(&["--postmortem"]).is_err());
+        assert!(parse(&["--quiet=1"]).is_err());
+    }
+
+    #[test]
+    fn quiet_suppresses_log_but_not_construction() {
+        let a = parse(&["--quiet"]).unwrap();
+        // `log` must be callable without printing; verdict lines bypass it.
+        a.log("this line must not appear when --quiet is set");
+        let loud = parse(&[]).unwrap();
+        loud.log("default args still log");
     }
 
     #[test]

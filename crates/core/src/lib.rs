@@ -25,6 +25,10 @@
 //!   [`RunProfile`] (the measured counterpart of the analyzer's bounds);
 //! * [`monitor`] — online checking of Eq. 2/Eq. 3–4/buffer-capacity/Fig. 9
 //!   invariants against the live trace, with structured violations;
+//! * [`attribution`] — causal latency attribution: every cycle of a
+//!   block's measured τ blamed on one mechanism (reconfig, DMA credit
+//!   wait, ring transit, accel service, head-of-line …), plus the
+//!   flight-recorder postmortem dump rendered by the analyzer CLI;
 //! * [`validate`] — bound validation: measured block times vs `τ̂`/`γ̂`,
 //!   the-earlier-the-better refinement of simulated traces — all measured
 //!   through the tracer.
@@ -32,6 +36,7 @@
 #![deny(missing_docs)]
 
 pub mod abstraction;
+pub mod attribution;
 pub mod blocksize;
 pub mod buffers;
 pub mod chain;
@@ -44,6 +49,10 @@ pub mod profile;
 pub mod validate;
 
 pub use abstraction::{sdf_abstraction, verify_csdf_refines_sdf, SdfAbstraction};
+pub use attribution::{
+    collect_blame, collect_postmortem, BlameCause, BlameReport, BlameSegment, BlockBlame,
+    Postmortem, PostmortemBlame, StreamBlame,
+};
 pub use blocksize::{
     solve_blocksizes_checked, solve_blocksizes_fixpoint, solve_blocksizes_ilp, BlockSizeError,
     BlockSizes,
@@ -63,5 +72,5 @@ pub use profile::{
 };
 pub use validate::{
     max_round_time, measure_block_times, measured_transition_delay, system_metrics,
-    validate_tau_bound, TauValidation,
+    validate_blame_totals, validate_tau_bound, TauValidation,
 };

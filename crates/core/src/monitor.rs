@@ -191,8 +191,14 @@ impl fmt::Display for Violation {
 #[derive(Debug)]
 pub struct Monitor {
     cfg: MonitorConfig,
-    /// Next unconsumed index into the tracer's event log.
-    cursor: usize,
+    /// Next unconsumed *absolute* event index: dropped + in-log position.
+    /// Absolute indexing keeps the monitor correct over a flight recorder
+    /// (`Tracer::flight_recorder`), whose log sheds its oldest entries.
+    cursor: u64,
+    /// Events evicted by the flight recorder before this monitor could
+    /// consume them. Checks over those events silently did not happen —
+    /// the honesty counter a postmortem must report.
+    missed: u64,
     /// Per gateway: the admitted-but-uncompleted block `(stream, start)`.
     active: Vec<Option<(usize, u64)>>,
     /// Per gateway: `(start, drain_end)` of the most recent completed
@@ -212,6 +218,7 @@ impl Monitor {
         Monitor {
             cfg,
             cursor: 0,
+            missed: 0,
             active: vec![None; n],
             recent: vec![Vec::new(); n],
             reported_wedges: Vec::new(),
@@ -339,6 +346,13 @@ impl Monitor {
         self.violations.is_empty()
     }
 
+    /// Events evicted by a flight recorder before any poll could consume
+    /// them. Non-zero means the monitor's picture has gaps: poll more
+    /// often, or raise the recorder capacity.
+    pub fn missed_events(&self) -> u64 {
+        self.missed
+    }
+
     /// Consume the trace events appended since the last poll (plus the
     /// tracer's still-open stall windows) and run every check. Returns the
     /// number of violations detected by *this* poll — so
@@ -346,9 +360,15 @@ impl Monitor {
     /// predicate that stops a run at the first violation.
     pub fn poll(&mut self, tracer: &Tracer) -> usize {
         let before = self.violations.len();
+        let dropped = tracer.events_dropped();
+        if self.cursor < dropped {
+            // A flight recorder evicted events we never saw.
+            self.missed += dropped - self.cursor;
+            self.cursor = dropped;
+        }
         let events = tracer.events();
-        while self.cursor < events.len() {
-            let e = events[self.cursor];
+        while ((self.cursor - dropped) as usize) < events.len() {
+            let e = events[(self.cursor - dropped) as usize];
             self.cursor += 1;
             match e {
                 TraceEvent::BlockStart {
@@ -709,6 +729,89 @@ mod tests {
             ViolationKind::TransitionOverrun
         );
         assert_eq!(m2.check_transition_deadlines(502), 0, "fires once");
+    }
+
+    #[test]
+    fn rearm_mid_window_neither_drops_nor_double_fires_deadline() {
+        // Regression contract for online admission: a rearm landing while
+        // an A12 deadline is pending must leave exactly one armed one-shot
+        // check behind — the deadline fires once on the late block, never
+        // twice, and is not silently disarmed by any number of rearms.
+        let mut t = Tracer::enabled(0);
+        let mut m = Monitor::new(cfg_one_gateway(None, None));
+        m.arm_transition_deadline(0, "s1", 100);
+        // Several rearms mid-window, including one that resets the OTHER
+        // stream's tracking (changed name) — s1's deadline must survive.
+        m.rearm(cfg_one_gateway(Some(1_000_000), None));
+        let mut cfg = cfg_one_gateway(Some(1_000_000), None);
+        cfg.gateways[0].streams[0].name = "replaced".into();
+        m.rearm(cfg);
+        m.rearm(cfg_one_gateway(None, None));
+        // A rearm that carries its OWN deadline for s1 wins over the
+        // inherited one (the controller re-armed deliberately).
+        let mut cfg = cfg_one_gateway(None, None);
+        cfg.gateways[0].streams[1].transition_deadline = Some(120);
+        m.rearm(cfg);
+        // Block drains at 130: late against 120 → exactly one violation.
+        t.emit(|| block_end(1, 60, 130));
+        assert_eq!(m.poll(&t), 1, "armed deadline fires on the late block");
+        assert_eq!(m.violations()[0].kind, ViolationKind::TransitionOverrun);
+        assert!(
+            m.violations()[0].message.contains("deadline 120"),
+            "explicit re-arm must win over inheritance: {}",
+            m.violations()[0].message
+        );
+        // One-shot: the next block (and a late clock check) stay silent.
+        t.emit(|| block_end(1, 140, 400));
+        assert_eq!(m.poll(&t), 0, "deadline must not double-fire");
+        assert_eq!(m.check_transition_deadlines(1000), 0);
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn rearm_preserves_wedge_dedup() {
+        let mut t = Tracer::enabled(0);
+        for now in 30..40 {
+            t.stall_cycle(0, StallCause::ExitFifoFull, now);
+        }
+        let mut m = Monitor::new(cfg_one_gateway(None, None));
+        assert_eq!(m.poll(&t), 1);
+        m.rearm(cfg_one_gateway(Some(500), None));
+        // The same open window after a rearm must not be re-reported.
+        for now in 40..50 {
+            t.stall_cycle(0, StallCause::ExitFifoFull, now);
+        }
+        assert_eq!(m.poll(&t), 0, "wedge dedup survives rearm");
+        t.finish(50);
+        assert_eq!(m.poll(&t), 0, "closing event still deduped");
+        assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn flight_recorder_eviction_counts_missed_events() {
+        // A tiny recorder sheds events between polls: the monitor must
+        // keep its position (absolute indexing), still check what it can
+        // see, and report the gap honestly instead of re-reading shifted
+        // indices.
+        let mut t = Tracer::flight_recorder(0, 2);
+        let mut m = Monitor::new(cfg_one_gateway(Some(100), None));
+        for k in 0..40u64 {
+            t.emit(|| block_end(0, 10 * k, 10 * k + 5));
+        }
+        assert!(t.events_dropped() > 0);
+        assert_eq!(m.poll(&t), 0, "retained blocks all within bound");
+        assert_eq!(
+            m.missed_events() + t.events().len() as u64,
+            40,
+            "every emitted event is either checked or counted as missed"
+        );
+        // A violation in the retained window is still caught.
+        t.emit(|| block_end(1, 500, 800));
+        assert_eq!(m.poll(&t), 1);
+        assert_eq!(m.violations()[0].kind, ViolationKind::TauExceeded);
+        let missed = m.missed_events();
+        assert_eq!(m.poll(&t), 0, "no re-check after eviction bookkeeping");
+        assert_eq!(m.missed_events(), missed);
     }
 
     #[test]

@@ -479,7 +479,13 @@ pub fn collect_profile(system: &mut System, deployment: &str) -> RunProfile {
 // Deterministic JSON encoding (no external dependencies; key order fixed).
 // ---------------------------------------------------------------------------
 
-fn esc(s: &str) -> String {
+/// Schema version stamped into every serialized observability artifact
+/// (`RunProfile` JSON, blame reports, postmortem dumps) so cross-PR CI
+/// artifacts stay comparable: consumers accept a matching version and warn
+/// (rather than fail) on mismatch.
+pub const SCHEMA_VERSION: u64 = 1;
+
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -495,7 +501,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn nums(v: &[u64]) -> String {
+pub(crate) fn nums(v: &[u64]) -> String {
     let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
     format!("[{}]", items.join(","))
 }
@@ -600,7 +606,8 @@ impl RunProfile {
             })
             .collect();
         format!(
-            "{{\"deployment\":\"{}\",\"mode\":\"{}\",\"cycles\":{},\"ring_nodes\":{},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\"deployment\":\"{}\",\"mode\":\"{}\",\
+             \"cycles\":{},\"ring_nodes\":{},\
              \"windows\":{},\"data_hops\":{},\"credit_hops\":{},\"streams\":[{}],\
              \"gateways\":[{}],\"fifos\":[{}]}}",
             esc(&self.deployment),

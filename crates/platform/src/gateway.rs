@@ -848,8 +848,11 @@ impl GatewayPair {
     /// the span engine flushes lazily at the *wake* cycle, when a producer's
     /// push may already be visible, so the scan could legitimately differ
     /// from what it returned during the flushed cycles. Only `Idle` accrues
-    /// anything per cycle (untraced runs — the span engine's domain — have
-    /// no per-cycle stall attribution to replay).
+    /// anything per cycle. Untraced runs have no stall attribution to
+    /// replay; flight-recorder runs (which also take the span path) accept
+    /// that check-for-space *idle* windows go unattributed here — block
+    /// lifecycle, DMA-credit and exit-full events are still committed
+    /// exactly by [`GatewayPair::run_span`].
     pub fn skip_quiet(&mut self, from: u64, to: u64) {
         debug_assert!(to > from);
         if self.state == GwState::Idle {

@@ -211,6 +211,23 @@ impl System {
         }
     }
 
+    /// Turn on the always-affordable flight recorder: the same structured
+    /// events as [`System::enable_tracing`], but only the most recent
+    /// `capacity` are retained (see [`Tracer::flight_recorder`]). Running
+    /// stall totals stay exact regardless of eviction. Unlike full
+    /// tracing, the recorder keeps the event-driven engine on its
+    /// closed-form span path, so leaving it on costs almost nothing —
+    /// that is the point: when a `Monitor` flags a violation mid-run, the
+    /// recent history needed for a postmortem is already there.
+    ///
+    /// A no-op when a full trace (or profile) is already enabled: the
+    /// complete log subsumes the recorder.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        if !self.tracer.is_full() {
+            self.tracer = Tracer::flight_recorder(0, capacity);
+        }
+    }
+
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -1164,7 +1181,12 @@ impl System {
                 }
             }
             StepMode::EventDriven => {
-                if self.tracer.is_enabled() {
+                // Only a *full* trace needs the per-event engine (periodic
+                // samples, accelerator edges, exact fused-send bookkeeping).
+                // The flight recorder rides the closed-form span path, which
+                // emits the same block-lifecycle and stall events — that is
+                // what keeps an always-on recorder near-free.
+                if self.tracer.is_full() {
                     self.event_run(end, None);
                 } else {
                     self.span_run(end);

@@ -24,6 +24,14 @@
 //! that, and `trace_overhead_is_negligible` in this module enforces
 //! behavioural equality.
 //!
+//! Between "off" and "full" sits the **flight recorder**
+//! ([`Tracer::flight_recorder`]): the same emission sites feed a bounded
+//! ring of the most recent events, so a production run that is not being
+//! profiled still retains enough recent history to explain a bound
+//! violation after the fact (see `streamgate-core`'s postmortem support).
+//! Evicted events are counted ([`Tracer::events_dropped`]) so consumers
+//! can tell a truncated log from a complete one.
+//!
 //! [`chrome_trace_json`] renders an event log in the Chrome trace-event
 //! format, viewable in `chrome://tracing` or <https://ui.perfetto.dev>.
 
@@ -246,6 +254,27 @@ struct TraceData {
     fifo_hwm_seen: Vec<u32>,
     /// Period of `FifoLevel`/`RingCounters` samples in cycles.
     sample_interval: u64,
+    /// Flight-recorder bound: keep at most this many recent events
+    /// (0 = unbounded full trace).
+    bound: usize,
+    /// Events evicted from the front of a bounded log.
+    events_dropped: u64,
+}
+
+impl TraceData {
+    /// Append an event, enforcing the flight-recorder bound. The drain is
+    /// amortised: the log is allowed to grow to `2 × bound` before the
+    /// oldest half is shed in one `memmove`, so the per-event cost stays
+    /// O(1) and the retained suffix is always at least `bound` events.
+    #[inline]
+    fn push_event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+        if self.bound != 0 && self.events.len() >= 2 * self.bound {
+            let excess = self.events.len() - self.bound;
+            self.events.drain(..excess);
+            self.events_dropped += excess as u64;
+        }
+    }
 }
 
 /// The event sink threaded through the simulator.
@@ -275,10 +304,48 @@ impl Tracer {
         }
     }
 
-    /// True when events are being recorded.
+    /// A bounded flight recorder: identical emission behaviour to
+    /// [`Tracer::enabled`], but only the most recent `capacity` events are
+    /// retained (older ones are evicted and counted by
+    /// [`Tracer::events_dropped`]). Cheap enough to leave on in production
+    /// runs: the event-driven engine keeps using its closed-form span path
+    /// (`System::run` only falls back to per-event stepping for *full*
+    /// tracing), and the ring never grows past `2 × capacity` entries.
+    pub fn flight_recorder(sample_interval: u64, capacity: usize) -> Self {
+        Tracer {
+            data: Some(Box::new(TraceData {
+                sample_interval,
+                bound: capacity.max(1),
+                ..TraceData::default()
+            })),
+        }
+    }
+
+    /// True when events are being recorded (full trace *or* flight
+    /// recorder).
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.data.is_some()
+    }
+
+    /// True only for an unbounded full trace — the condition for consumers
+    /// that need the *complete* event log (profiles, Chrome exports,
+    /// per-event engine stepping). A flight recorder reports `false`.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.data.as_ref().is_some_and(|d| d.bound == 0)
+    }
+
+    /// Flight-recorder capacity (0 when disabled or tracing in full).
+    pub fn recorder_bound(&self) -> usize {
+        self.data.as_ref().map_or(0, |d| d.bound)
+    }
+
+    /// Events evicted from the front of a bounded log (always 0 for a full
+    /// trace). `events_dropped() + events().len()` is the absolute index
+    /// one past the newest recorded event.
+    pub fn events_dropped(&self) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.events_dropped)
     }
 
     /// Period of FIFO/ring counter samples (0 when disabled).
@@ -291,7 +358,8 @@ impl Tracer {
     #[inline]
     pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
         if let Some(d) = &mut self.data {
-            d.events.push(f());
+            let e = f();
+            d.push_event(e);
         }
     }
 
@@ -321,7 +389,7 @@ impl Tracer {
             Some((_, n)) => *n += to - from,
             None => d.stall_totals.push(((gateway, cause), to - from)),
         }
-        if let Some(w) = d
+        let closed = if let Some(w) = d
             .open_stalls
             .iter_mut()
             .find(|(g, c, _, _)| *g == gateway && *c == cause)
@@ -339,10 +407,12 @@ impl Tracer {
             };
             w.2 = from;
             w.3 = to - 1;
-            d.events.push(closed);
+            closed
         } else {
             d.open_stalls.push((gateway, cause, from, to - 1));
-        }
+            return;
+        };
+        d.push_event(closed);
     }
 
     /// Total stalled cycles recorded for a gateway and cause (valid while
@@ -396,7 +466,7 @@ impl Tracer {
                         end: now,
                         open: true,
                     };
-                    d.events.push(ev);
+                    d.push_event(ev);
                 }
             }
             (Some(w), false) => {
@@ -418,7 +488,7 @@ impl Tracer {
         }
         if hwm as u32 > d.fifo_hwm_seen[fifo] {
             d.fifo_hwm_seen[fifo] = hwm as u32;
-            d.events.push(TraceEvent::FifoHighWater {
+            d.push_event(TraceEvent::FifoHighWater {
                 fifo: fifo as u32,
                 cycle: now,
                 level: hwm as u32,
@@ -432,18 +502,19 @@ impl Tracer {
     /// reading a complete log.
     pub fn finish(&mut self, now: u64) {
         let Some(d) = &mut self.data else { return };
-        for (gateway, cause, start, end) in d.open_stalls.drain(..) {
-            d.events.push(TraceEvent::StallWindow {
+        let stalls: Vec<_> = d.open_stalls.drain(..).collect();
+        for (gateway, cause, start, end) in stalls {
+            d.push_event(TraceEvent::StallWindow {
                 gateway,
                 cause,
                 start,
                 end,
             });
         }
-        for (accel, win) in d.accel_active.iter_mut().enumerate() {
-            if let Some(w) = win.take() {
+        for accel in 0..d.accel_active.len() {
+            if let Some(w) = d.accel_active[accel].take() {
                 let end = if w.open { now.saturating_sub(1) } else { w.end };
-                d.events.push(TraceEvent::AccelActive {
+                d.push_event(TraceEvent::AccelActive {
                     accel: accel as u32,
                     start: w.start,
                     end,
@@ -761,6 +832,59 @@ mod tests {
         assert!(!t.is_enabled());
         assert!(t.is_empty());
         assert_eq!(t.stall_cycles(0, StallCause::DmaNoCredit), 0);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_recent_events_and_counts_drops() {
+        let mut t = Tracer::flight_recorder(0, 4);
+        assert!(t.is_enabled() && !t.is_full());
+        assert_eq!(t.recorder_bound(), 4);
+        for k in 0..20u64 {
+            t.emit(|| TraceEvent::BlockStart {
+                gateway: 0,
+                stream: 0,
+                cycle: k,
+            });
+        }
+        // Retained suffix is at least `bound` and at most `2·bound − 1`
+        // events; drops + retained always account for every emission.
+        assert!(t.len() >= 4 && t.len() < 8, "len {}", t.len());
+        assert_eq!(t.events_dropped() + t.len() as u64, 20);
+        // The newest events are intact and in order.
+        let cycles: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| match *e {
+                TraceEvent::BlockStart { cycle, .. } => cycle,
+                _ => unreachable!(),
+            })
+            .collect();
+        let first = 20 - cycles.len() as u64;
+        assert_eq!(cycles, (first..20).collect::<Vec<_>>());
+        // Stall totals are running counters, unaffected by eviction.
+        for now in 0..100 {
+            t.stall_cycle(0, StallCause::DmaNoCredit, 2 * now);
+        }
+        t.finish(500);
+        assert_eq!(t.stall_cycles(0, StallCause::DmaNoCredit), 100);
+    }
+
+    #[test]
+    fn full_tracer_never_drops() {
+        let mut t = Tracer::enabled(0);
+        for k in 0..1000u64 {
+            t.emit(|| TraceEvent::BlockStart {
+                gateway: 0,
+                stream: 0,
+                cycle: k,
+            });
+        }
+        assert!(t.is_full());
+        assert_eq!(t.recorder_bound(), 0);
+        assert_eq!(t.events_dropped(), 0);
+        assert_eq!(t.len(), 1000);
+        assert!(!Tracer::disabled().is_full());
+        assert_eq!(Tracer::disabled().events_dropped(), 0);
     }
 
     #[test]
